@@ -1,0 +1,53 @@
+//! **Extension (the paper's future work)** — *"improving the machine
+//! learning model by combining different approaches"*: a precision-first
+//! ensemble that keeps only the triples extracted by both the CRF and
+//! the BiLSTM. The paper observes the two backends "often make similar
+//! mistakes, but they can complement each other".
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::{PipelineConfig, TaggerKind};
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&[
+        CategoryKind::VacuumCleaner,
+        CategoryKind::LadiesBags,
+        CategoryKind::Garden,
+    ]);
+
+    let configs: Vec<(&str, TaggerKind)> = vec![
+        ("CRF + cleaning", TaggerKind::Crf),
+        ("RNN + cleaning", TaggerKind::Rnn),
+        ("Ensemble (CRF ∩ RNN) + cleaning", TaggerKind::Ensemble),
+    ];
+
+    let mut header = vec!["-".to_owned()];
+    for p in &prepared {
+        header.push(format!("{} P", p.kind.name()));
+        header.push(format!("{} C", p.kind.name()));
+    }
+    let mut table = TextTable::new(header);
+
+    for (name, tagger) in &configs {
+        let cells = run_parallel(&prepared, |p| {
+            let cfg = PipelineConfig {
+                iterations: 1,
+                tagger: *tagger,
+                ..Default::default()
+            };
+            let outcome = p.run(cfg);
+            let r = outcome.evaluate_iteration(1, &p.dataset);
+            (r.precision(), r.coverage())
+        });
+        let mut row = vec![name.to_string()];
+        for (p, c) in cells {
+            row.push(pct(p));
+            row.push(pct(c));
+        }
+        table.row(row);
+    }
+
+    println!("Ensemble extension — intersecting CRF and RNN extractions (1 iteration)");
+    println!("(expected: ensemble precision ≥ each backend; coverage ≤ each backend)\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,58 @@
+//! **Figure 3** — precision (top) and coverage (bottom) of the CRF
+//! model across bootstrap iterations, without cleaning (left) and with
+//! cleaning (right), one series per category.
+//!
+//! Output: four blocks of iteration series (0 = seed … 5), one line per
+//! category.
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::PipelineConfig;
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
+    let iterations = 5usize;
+
+    let base = PipelineConfig {
+        iterations,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, PipelineConfig)> = vec![
+        ("without cleaning", base.clone().without_cleaning()),
+        ("with cleaning", base),
+    ];
+
+    for (label, cfg) in &variants {
+        let series = run_parallel(&prepared, |p| {
+            let outcome = p.run(cfg.clone());
+            (0..=iterations)
+                .map(|i| {
+                    let r = outcome.evaluate_iteration(i, &p.dataset);
+                    (r.precision(), r.coverage())
+                })
+                .collect::<Vec<_>>()
+        });
+
+        let mut header = vec!["Category".to_owned()];
+        header.extend((0..=iterations).map(|i| format!("it{i}")));
+
+        for (metric, pick) in [
+            ("precision", 0usize),
+            ("coverage", 1usize),
+        ] {
+            let mut table = TextTable::new(header.clone());
+            for (p, points) in prepared.iter().zip(&series) {
+                let mut row = vec![p.kind.name().to_owned()];
+                row.extend(points.iter().map(|&(pr, cov)| {
+                    pct(if pick == 0 { pr } else { cov })
+                }));
+                table.row(row);
+            }
+            println!("Figure 3 — CRF {metric} across bootstrap iterations, {label}");
+            println!("(paper: precision decays across iterations; cleaning keeps it above ~85;");
+            println!(" coverage rises steeply and is somewhat lower with cleaning)\n");
+            print!("{}", table.render());
+            println!();
+        }
+    }
+}

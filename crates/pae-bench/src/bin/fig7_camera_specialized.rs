@@ -1,0 +1,15 @@
+//! **Figure 7** — increase in per-attribute coverage on Digital Cameras
+//! when the paper's complex attributes (A1 shutter speed, A2 effective
+//! pixels, A3 weight) are tagged by one specialized model instead of
+//! the global model (`+g` = global, `+s` = specialized).
+
+use pae_bench::specialized_figure;
+use pae_synth::CategoryKind;
+
+fn main() {
+    specialized_figure(
+        CategoryKind::DigitalCameras,
+        &["shutter_speed", "effective_pixels", "weight"],
+        "Figure 7 — Digital Cameras attribute coverage: global vs specialized model",
+    );
+}

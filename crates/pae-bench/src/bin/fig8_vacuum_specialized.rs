@@ -1,0 +1,14 @@
+//! **Figure 8** — increase in per-attribute coverage on Vacuum Cleaner
+//! for B1 type, B2 type of container, B3 power supply type, comparing
+//! the global model (`+g`) with a specialized model (`+s`).
+
+use pae_bench::specialized_figure;
+use pae_synth::CategoryKind;
+
+fn main() {
+    specialized_figure(
+        CategoryKind::VacuumCleaner,
+        &["type", "container_type", "power_supply"],
+        "Figure 8 — Vacuum Cleaner attribute coverage: global vs specialized model",
+    );
+}

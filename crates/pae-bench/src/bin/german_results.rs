@@ -1,0 +1,37 @@
+//! **§VII-B (text)** — German-language results: mailbox, coffee
+//! machines, and garden, using CRF with cleaning for five iterations.
+//!
+//! Paper: mailbox P 94.4 / C 73, coffee machines P 92 / C 57.3,
+//! garden P 84.2 / C 87. Triple counts (§VII-C): garden 2096,
+//! mailbox 2943, coffee machines 1626.
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::PipelineConfig;
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&CategoryKind::GERMAN_CATEGORIES);
+    let cfg = PipelineConfig {
+        iterations: 5,
+        ..Default::default()
+    };
+
+    let reports = run_parallel(&prepared, |p| {
+        let outcome = p.run(cfg.clone());
+        outcome.evaluate(&p.dataset)
+    });
+
+    let mut table = TextTable::new(vec!["Category", "precision", "coverage", "#triples"]);
+    for (p, r) in prepared.iter().zip(&reports) {
+        table.row(vec![
+            p.kind.name().to_owned(),
+            pct(r.precision()),
+            pct(r.coverage()),
+            r.n_triples().to_string(),
+        ]);
+    }
+
+    println!("German categories after five bootstrap cycles (CRF + cleaning)");
+    println!("(paper: precision 84.2–94.4, coverage 57.3–87.0; results comparable to Japanese)\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,42 @@
+//! **§VIII-E (text)** — heterogeneous categories: Baby Carriers (a
+//! homogeneous leaf) vs Baby Goods (its heterogeneous parent, mixing
+//! carriers, clothes, and toys with overlapping value vocabularies).
+//!
+//! Paper: Baby Carriers 85.15 % precision; Baby Goods drops to 63.16 %.
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::PipelineConfig;
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&[CategoryKind::BabyCarriers, CategoryKind::BabyGoods]);
+    let cfg = PipelineConfig {
+        iterations: 2,
+        ..Default::default()
+    };
+
+    let reports = run_parallel(&prepared, |p| {
+        let outcome = p.run(cfg.clone());
+        outcome.evaluate(&p.dataset)
+    });
+
+    let mut table = TextTable::new(vec!["Category", "precision", "coverage", "#triples"]);
+    for (p, r) in prepared.iter().zip(&reports) {
+        table.row(vec![
+            p.kind.name().to_owned(),
+            pct(r.precision()),
+            pct(r.coverage()),
+            r.n_triples().to_string(),
+        ]);
+    }
+
+    println!("Heterogeneous categories (CRF + cleaning, 2 iterations)");
+    println!("(paper: the homogeneous child reaches 85.2 precision; the heterogeneous parent only 63.2)\n");
+    print!("{}", table.render());
+
+    let drop = reports[0].precision() - reports[1].precision();
+    println!(
+        "\nPrecision drop from homogeneous to heterogeneous: {} points",
+        pct(drop)
+    );
+}

@@ -1,0 +1,36 @@
+//! Error-analysis probe: dump incorrect triples for one category.
+use pae_core::{BootstrapPipeline, PipelineConfig};
+use pae_synth::truth::Judgement;
+use pae_synth::{CategoryKind, DatasetSpec};
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("mailbox") => CategoryKind::MailboxDe,
+        Some("coffee") => CategoryKind::CoffeeMachinesDe,
+        Some("camera") => CategoryKind::DigitalCameras,
+        _ => CategoryKind::GardenDe,
+    };
+    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let dataset = DatasetSpec::new(kind, 42).products(n).generate();
+    let cfg = PipelineConfig { iterations: 2, ..Default::default() };
+    let outcome = BootstrapPipeline::new(cfg).run(&dataset);
+    let triples = outcome.final_triples();
+    let mut wrong = 0;
+    let mut maybe = 0;
+    for t in &triples {
+        match dataset.truth.judge(t.product, &t.attr, &t.value) {
+            Judgement::Correct => {}
+            j => {
+                if wrong + maybe < 30 {
+                    let canon = dataset.truth.canonical_attr(&t.attr).unwrap_or("?");
+                    println!("{j:?} p{} attr={}({canon}) value={:?}", t.product, t.attr, t.value);
+                }
+                if j == Judgement::MaybeIncorrect { maybe += 1 } else { wrong += 1 }
+            }
+        }
+    }
+    println!("total={} wrong={wrong} maybe={maybe}", triples.len());
+    println!("label space: {:?}", outcome.label_space.attrs().iter().map(|a| {
+        format!("{}->{}", a, dataset.truth.canonical_attr(a).unwrap_or("?"))
+    }).collect::<Vec<_>>());
+}

@@ -1,0 +1,50 @@
+//! **§VIII-B (text)** — parameter exploration for semantic cleaning:
+//! the size `n` of the per-attribute semantic core.
+//!
+//! Paper: removing the restriction on `n` entirely costs at most ~1
+//! precision point (worst on Garden and Shoes) because the produced
+//! values are semantically close to each other by construction of the
+//! strict extraction process.
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::PipelineConfig;
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&[
+        CategoryKind::Garden,
+        CategoryKind::Shoes,
+        CategoryKind::VacuumCleaner,
+    ]);
+
+    let core_sizes: Vec<(String, Option<usize>)> = vec![
+        ("n=3".into(), Some(3)),
+        ("n=5".into(), Some(5)),
+        ("n=10".into(), Some(10)),
+        ("n=20".into(), Some(20)),
+        ("unrestricted".into(), None),
+    ];
+
+    let mut header = vec!["core size".to_owned()];
+    header.extend(prepared.iter().map(|p| p.kind.name().to_owned()));
+    let mut table = TextTable::new(header);
+
+    for (label, n) in &core_sizes {
+        let mut cfg = PipelineConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        cfg.semantic.core_size = *n;
+        let cells = run_parallel(&prepared, |p| {
+            let outcome = p.run(cfg.clone());
+            outcome.evaluate(&p.dataset).precision()
+        });
+        let mut row = vec![label.clone()];
+        row.extend(cells.iter().map(|v| pct(*v)));
+        table.row(row);
+    }
+
+    println!("Semantic-core size sweep — precision after two bootstrap cycles (CRF + cleaning)");
+    println!("(paper: the restriction on n barely matters — ≤1 point even unrestricted)\n");
+    print!("{}", table.render());
+}

@@ -1,0 +1,60 @@
+//! **Table I** — precision and coverage of the automatically obtained
+//! seed instances, per category.
+//!
+//! Paper columns: `#Pairs`, `#Triples`, `Precision Pairs`,
+//! `Precision Triples`, `Coverage Triples` over the eight Japanese
+//! categories.
+
+use pae_bench::{pct, prepare_all, run_parallel, TextTable};
+use pae_core::PipelineConfig;
+use pae_synth::CategoryKind;
+
+fn main() {
+    let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
+
+    // Seed only: zero bootstrap iterations.
+    let cfg = PipelineConfig {
+        iterations: 0,
+        ..Default::default()
+    };
+    let reports = run_parallel(&prepared, |p| {
+        let outcome = p.run(cfg.clone());
+        let seed = outcome.seed_report(&p.dataset);
+        (
+            outcome.seed.table.n_pairs(),
+            seed.n_triples,
+            seed.pair_precision(),
+            seed.triple_precision(),
+            seed.coverage(),
+        )
+    });
+
+    let mut table = TextTable::new(vec![
+        "Metric",
+        "Tennis",
+        "Kitchen",
+        "Cosmetics",
+        "Garden",
+        "Shoes",
+        "Ladies Bags",
+        "Digital Cameras",
+        "Vacuum Cleaner",
+    ]);
+    type SeedRow = (usize, usize, f64, f64, f64);
+    let col = |f: &dyn Fn(&SeedRow) -> String| -> Vec<String> {
+        reports.iter().map(f).collect()
+    };
+    let mut row = |name: &str, cells: Vec<String>| {
+        let mut r = vec![name.to_owned()];
+        r.extend(cells);
+        table.row(r);
+    };
+    row("#Pairs", col(&|r| r.0.to_string()));
+    row("#Triples", col(&|r| r.1.to_string()));
+    row("Precision Pairs", col(&|r| pct(r.2)));
+    row("Precision Triples", col(&|r| pct(r.3)));
+    row("Coverage Triples", col(&|r| pct(r.4)));
+
+    println!("Table I — seed precision and coverage (paper: precision pairs 92–100, triples 88.5–99.7, coverage 6.5–39.2)\n");
+    print!("{}", table.render());
+}

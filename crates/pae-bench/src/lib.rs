@@ -1,0 +1,328 @@
+//! Shared experiment harness for the paper-reproduction binaries.
+//!
+//! Every table and figure of the paper's evaluation has one binary in
+//! `src/bin/`; this library holds what they share: dataset scaling,
+//! per-category runners with corpus caching, the standard system
+//! configurations, cluster→canonical attribute mapping, and plain-text
+//! table formatting.
+//!
+//! Scale is controlled by the `PAE_SCALE` environment variable:
+//! `small` (quick smoke runs), default (minutes per experiment), or
+//! `full` (closest to the paper's relative corpus sizes).
+
+use std::collections::HashMap;
+
+use pae_core::{parse_corpus, BootstrapOutcome, BootstrapPipeline, Corpus, PipelineConfig, TaggerKind};
+use pae_core::config::RnnOptions;
+use pae_synth::{CategoryKind, Dataset, DatasetSpec};
+
+/// Master seed shared by all experiments (reported in EXPERIMENTS.md).
+pub const MASTER_SEED: u64 = 42;
+
+/// Product count for one category, honoring `PAE_SCALE`.
+pub fn scaled_products(kind: CategoryKind) -> usize {
+    let base = kind.default_products();
+    match std::env::var("PAE_SCALE").as_deref() {
+        Ok("small") => base / 4,
+        Ok("full") => base * 2,
+        _ => base,
+    }
+}
+
+/// Generates a category dataset at experiment scale.
+pub fn dataset(kind: CategoryKind) -> Dataset {
+    DatasetSpec::new(kind, MASTER_SEED)
+        .products(scaled_products(kind))
+        .generate()
+}
+
+/// A generated dataset with its parsed corpus (parse once, run many
+/// configurations).
+pub struct Prepared {
+    /// The category.
+    pub kind: CategoryKind,
+    /// Generated pages + truth.
+    pub dataset: Dataset,
+    /// Parsed corpus.
+    pub corpus: Corpus,
+}
+
+/// Prepares one category.
+pub fn prepare(kind: CategoryKind) -> Prepared {
+    let dataset = dataset(kind);
+    let corpus = parse_corpus(&dataset);
+    Prepared {
+        kind,
+        dataset,
+        corpus,
+    }
+}
+
+/// Prepares several categories in parallel (bounded by available
+/// parallelism; generation + parsing is the cheap part, but it adds up
+/// across 8 categories).
+pub fn prepare_all(kinds: &[CategoryKind]) -> Vec<Prepared> {
+    let mut slots: Vec<Option<Prepared>> = kinds.iter().map(|_| None).collect();
+    let chunk = jobs();
+    for (slot_chunk, kind_chunk) in slots.chunks_mut(chunk).zip(kinds.chunks(chunk)) {
+        crossbeam::thread::scope(|scope| {
+            for (slot, &kind) in slot_chunk.iter_mut().zip(kind_chunk) {
+                scope.spawn(move |_| {
+                    *slot = Some(prepare(kind));
+                });
+            }
+        })
+        .expect("prepare threads");
+    }
+    slots.into_iter().map(|s| s.expect("prepared")).collect()
+}
+
+impl Prepared {
+    /// Runs one configuration on the cached corpus.
+    pub fn run(&self, config: PipelineConfig) -> BootstrapOutcome {
+        BootstrapPipeline::new(config).run_on_corpus(&self.dataset, &self.corpus)
+    }
+
+    /// Maps a cluster (alias) name to its canonical attribute.
+    pub fn canonical_of<'a>(&'a self, cluster: &'a str) -> &'a str {
+        self.dataset.truth.canonical_attr(cluster).unwrap_or(cluster)
+    }
+
+    /// Cluster names in `outcome`'s label space whose canonical
+    /// attribute is `canonical`.
+    pub fn clusters_for(&self, outcome: &BootstrapOutcome, canonical: &str) -> Vec<String> {
+        outcome
+            .label_space
+            .attrs()
+            .iter()
+            .filter(|c| self.canonical_of(c) == canonical)
+            .cloned()
+            .collect()
+    }
+}
+
+/// The five system configurations of the paper's Tables II–III.
+pub fn standard_configs(iterations: usize) -> Vec<(&'static str, PipelineConfig)> {
+    let base = PipelineConfig {
+        iterations,
+        ..Default::default()
+    };
+    let rnn = |epochs: usize| PipelineConfig {
+        tagger: TaggerKind::Rnn,
+        rnn: RnnOptions {
+            epochs,
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    vec![
+        ("RNN 2 epochs", rnn(2).without_cleaning()),
+        ("RNN 10 epochs", rnn(10).without_cleaning()),
+        ("RNN 2 epochs + cleaning", rnn(2)),
+        ("CRF", base.clone().without_cleaning()),
+        ("CRF + cleaning", base),
+    ]
+}
+
+/// Number of concurrent category jobs (`PAE_JOBS`, default 4 — CRF
+/// training holds the L-BFGS history in memory, so unbounded fan-out
+/// is unwise).
+pub fn jobs() -> usize {
+    std::env::var("PAE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j > 0)
+        .unwrap_or(4)
+}
+
+/// Runs one closure per prepared category, `jobs()` at a time,
+/// preserving order.
+pub fn run_parallel<T, F>(prepared: &[Prepared], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Prepared) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = prepared.iter().map(|_| None).collect();
+    let chunk = jobs();
+    for (slot_chunk, p_chunk) in slots.chunks_mut(chunk).zip(prepared.chunks(chunk)) {
+        crossbeam::thread::scope(|scope| {
+            for (slot, p) in slot_chunk.iter_mut().zip(p_chunk) {
+                let f = &f;
+                scope.spawn(move |_| {
+                    *slot = Some(f(p));
+                });
+            }
+        })
+        .expect("experiment threads");
+    }
+    slots.into_iter().map(|s| s.expect("run")).collect()
+}
+
+/// Plain-text table writer with fixed-width columns.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths = vec![0usize; n];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Shared driver for the specialized-model figures (7 and 8): compares
+/// per-attribute coverage and precision between the global model and a
+/// model specialized to `canonical_attrs`.
+pub fn specialized_figure(kind: CategoryKind, canonical_attrs: &[&str], title: &str) {
+    use pae_core::specialized::run_specialized;
+    use pae_core::evaluate_triples;
+
+    let p = prepare(kind);
+    let cfg = PipelineConfig {
+        iterations: 1,
+        ..Default::default()
+    };
+    let outcome = p.run(cfg.clone());
+    let global = outcome.evaluate(&p.dataset);
+
+    let clusters: Vec<String> = canonical_attrs
+        .iter()
+        .flat_map(|a| p.clusters_for(&outcome, a))
+        .collect();
+    let subset: Vec<&str> = clusters.iter().map(String::as_str).collect();
+    if subset.is_empty() {
+        println!("{title}\n(no clusters for the requested attributes were discovered at this scale)");
+        return;
+    }
+    let run = run_specialized(&p.corpus, &outcome, &subset, &cfg);
+    let special = evaluate_triples(&run.triples, &p.dataset.truth);
+
+    let mut table = TextTable::new(vec!["Attribute", "coverage", "precision"]);
+    for (i, attr) in canonical_attrs.iter().enumerate() {
+        let label = format!("A{} {attr}", i + 1);
+        table.row(vec![
+            format!("{label} +g"),
+            pct(global.attr_coverage_of(attr)),
+            pct(global.attr_precision_of(attr)),
+        ]);
+        table.row(vec![
+            format!("{label} +s"),
+            pct(special.attr_coverage_of(attr)),
+            pct(special.attr_precision_of(attr)),
+        ]);
+    }
+
+    println!("{title}");
+    println!("(paper: specialized models can raise attribute coverage by orders of magnitude,");
+    println!(" at a precision cost for confusable attributes)\n");
+    print!("{}", table.render());
+}
+
+/// Formats `x` as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Per-attribute coverage of `canonical` in a report produced against
+/// `prepared`'s truth.
+pub fn canonical_coverage(
+    report: &pae_core::EvalReport,
+    _prepared: &Prepared,
+    canonical: &str,
+) -> f64 {
+    report.attr_coverage_of(canonical)
+}
+
+/// Groups an outcome's per-attribute metrics by canonical attribute.
+pub fn coverage_by_canonical(
+    report: &pae_core::EvalReport,
+) -> HashMap<String, f64> {
+    let n = report.n_products.max(1) as f64;
+    report
+        .attr_coverage
+        .iter()
+        .map(|(a, &c)| (a.clone(), c as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a longer name", "22.5"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("a longer name"));
+    }
+
+    #[test]
+    fn standard_configs_match_paper_grid() {
+        let configs = standard_configs(1);
+        assert_eq!(configs.len(), 5);
+        assert_eq!(configs[0].0, "RNN 2 epochs");
+        assert!(!configs[0].1.use_veto);
+        assert!(configs[2].1.use_veto && configs[2].1.use_semantic);
+        assert_eq!(configs[4].0, "CRF + cleaning");
+        assert_eq!(configs[1].1.rnn.epochs, 10);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.934), "93.4");
+        assert_eq!(pct(1.0), "100.0");
+    }
+}

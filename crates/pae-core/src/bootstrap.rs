@@ -1,0 +1,472 @@
+//! The bootstrap loop (Figure 1 of the paper).
+
+use pae_synth::Dataset;
+use pae_text::LexiconPosTagger;
+
+use crate::cleaning::{apply_veto, semantic_clean, SemanticCleanStats, VetoStats};
+use crate::corrections::Corrections;
+use crate::config::{PipelineConfig, TaggerKind};
+use crate::corpus::{parse_corpus_with, Corpus};
+use crate::diversify::diversify;
+use crate::eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+use crate::seed::{build_seed, Seed};
+use crate::tagger::{extract_candidates, TrainedTagger};
+use crate::trainset::{generate_training_set, LabelSpace};
+use crate::types::{AttrTable, Triple};
+
+/// State after one Tagger–Cleaner cycle.
+#[derive(Debug, Clone)]
+pub struct IterationSnapshot {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// The dataset after this cycle: everything accumulated so far,
+    /// re-cleaned (so it can shrink when cleaning reclaims earlier
+    /// errors).
+    pub triples: Vec<Triple>,
+    /// Raw candidates the tagger produced this cycle.
+    pub n_candidates: usize,
+    /// Veto-rule removals this cycle.
+    pub veto: VetoStats,
+    /// Semantic-cleaning removals this cycle.
+    pub semantic: SemanticCleanStats,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug)]
+pub struct BootstrapOutcome {
+    /// The cleaned seed.
+    pub seed: Seed,
+    /// The seed table after diversification (equals `seed.table` when
+    /// diversification is disabled).
+    pub diversified: AttrTable,
+    /// The BIO label space over attribute clusters.
+    pub label_space: LabelSpace,
+    /// One snapshot per bootstrap iteration.
+    pub snapshots: Vec<IterationSnapshot>,
+}
+
+impl BootstrapOutcome {
+    /// Triples after the last iteration (the seed triples if the loop
+    /// ran zero times).
+    pub fn final_triples(&self) -> Vec<Triple> {
+        match self.snapshots.last() {
+            Some(s) => s.triples.clone(),
+            None => seed_triples(&self.seed),
+        }
+    }
+
+    /// Evaluates the final triples.
+    pub fn evaluate(&self, dataset: &Dataset) -> EvalReport {
+        evaluate_triples(&self.final_triples(), &dataset.truth)
+    }
+
+    /// Evaluates a specific iteration (1-based; 0 = seed only).
+    pub fn evaluate_iteration(&self, iteration: usize, dataset: &Dataset) -> EvalReport {
+        if iteration == 0 {
+            return evaluate_triples(&seed_triples(&self.seed), &dataset.truth);
+        }
+        let snap = &self.snapshots[iteration - 1];
+        evaluate_triples(&snap.triples, &dataset.truth)
+    }
+
+    /// Seed-level report (Table I).
+    pub fn seed_report(&self, dataset: &Dataset) -> PairReport {
+        evaluate_pairs(&self.seed.table, &self.seed.product_pairs, &dataset.truth)
+    }
+}
+
+/// Converts the seed's product pairs into triples.
+pub fn seed_triples(seed: &Seed) -> Vec<Triple> {
+    let mut out: Vec<Triple> = seed
+        .product_pairs
+        .iter()
+        .map(|p| Triple::new(p.product, p.attr.clone(), p.value.clone()))
+        .collect();
+    out.sort_by(|a, b| (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value)));
+    out.dedup();
+    out
+}
+
+/// The end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct BootstrapPipeline {
+    config: PipelineConfig,
+    corrections: Corrections,
+}
+
+impl BootstrapPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        BootstrapPipeline {
+            config,
+            corrections: Corrections::new(),
+        }
+    }
+
+    /// Attaches human corrections (§VIII): applied to the seed before
+    /// the loop and to every cycle's output.
+    pub fn with_corrections(mut self, corrections: Corrections) -> Self {
+        self.corrections = corrections;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Parses the corpus and runs the loop.
+    pub fn run(&self, dataset: &Dataset) -> BootstrapOutcome {
+        let corpus = parse_corpus_with(dataset, self.config.pos_backend);
+        self.run_on_corpus(dataset, &corpus)
+    }
+
+    /// Runs the loop on an already-parsed corpus (the experiment
+    /// harness parses once and evaluates many configurations).
+    pub fn run_on_corpus(&self, dataset: &Dataset, corpus: &Corpus) -> BootstrapOutcome {
+        let cfg = &self.config;
+
+        // Pre-processing: seed + diversification (lines 1–5).
+        let mut seed = build_seed(corpus, &dataset.query_log, &cfg.aggregation, &cfg.value_clean);
+        self.corrections.apply_to_seed(&mut seed);
+        let diversified = if cfg.use_diversification {
+            let pos_tagger = LexiconPosTagger::new(dataset.lexicon.clone());
+            let pos_key = |value: &str| -> String {
+                value
+                    .split(' ')
+                    .map(|t| pos_tagger.tag_word(t).mnemonic())
+                    .collect::<Vec<_>>()
+                    .join("-")
+            };
+            diversify(&seed.table, &seed.raw_table, &pos_key, &cfg.diversify)
+        } else {
+            seed.table.clone()
+        };
+
+        // Label space over the most substantial clusters.
+        let label_space = LabelSpace::new(top_attrs(&diversified, 12));
+
+        // Category-level extra values (diversified additions).
+        let extra_values: Vec<(String, String)> = diversified
+            .attrs()
+            .iter()
+            .flat_map(|attr| {
+                diversified
+                    .values_of(attr)
+                    .into_iter()
+                    .map(|v| (attr.to_string(), v.to_owned()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let word_sentences = corpus.word_sentences();
+        let mut triples = seed_triples(&seed);
+        let mut snapshots = Vec::with_capacity(cfg.iterations);
+
+        for iteration in 1..=cfg.iterations {
+            // Tagging (lines 10–12).
+            let candidates = train_and_extract(
+                corpus,
+                &triples,
+                &extra_values,
+                &label_space,
+                cfg,
+            );
+            let n_candidates = candidates.len();
+
+            // The paper's line 20 (`dataset = clean_ds`) re-derives the
+            // dataset from the cleaned tagged data each cycle, so
+            // cleaning gets a shot at *everything* accumulated so far —
+            // including seed errors — not just this cycle's additions.
+            let mut pool = triples.clone();
+            pool.extend(candidates);
+            pool.sort_by(|a, b| {
+                (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value))
+            });
+            pool.dedup();
+
+            // Cleaning (lines 14–20).
+            let (pool, veto) = if cfg.use_veto {
+                apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars)
+            } else {
+                (pool, VetoStats::default())
+            };
+            let (pool, semantic) = if cfg.use_semantic {
+                semantic_clean(
+                    pool,
+                    &word_sentences,
+                    &cfg.semantic,
+                    cfg.seed.wrapping_add(iteration as u64),
+                )
+            } else {
+                (pool, SemanticCleanStats::default())
+            };
+            let pool = if self.corrections.is_empty() {
+                pool
+            } else {
+                self.corrections.apply_to_triples(pool)
+            };
+            let prev_len = triples.len();
+            triples = pool;
+
+            snapshots.push(IterationSnapshot {
+                iteration,
+                triples: triples.clone(),
+                n_candidates,
+                veto,
+                semantic,
+            });
+
+            // Optional convergence-based stopping criterion (§V).
+            if cfg.stop_when_gain_below > 0
+                && triples.len().saturating_sub(prev_len) < cfg.stop_when_gain_below
+            {
+                break;
+            }
+        }
+
+        BootstrapOutcome {
+            seed,
+            diversified,
+            label_space,
+            snapshots,
+        }
+    }
+}
+
+/// Trains the configured tagger on the current triples and extracts
+/// new candidates from the whole corpus. Also used by the specialized
+/// per-attribute models (§VIII-D).
+pub fn train_and_extract(
+    corpus: &Corpus,
+    triples: &[Triple],
+    extra_values: &[(String, String)],
+    space: &LabelSpace,
+    cfg: &PipelineConfig,
+) -> Vec<Triple> {
+    let labeled = generate_training_set(corpus, triples, space, extra_values);
+    if labeled.is_empty() {
+        return Vec::new();
+    }
+    match cfg.tagger {
+        TaggerKind::Crf => {
+            let tagger = TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf);
+            extract_candidates(&tagger, corpus, space)
+        }
+        TaggerKind::Rnn => {
+            let tagger = TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn);
+            extract_candidates(&tagger, corpus, space)
+        }
+        TaggerKind::Ensemble => {
+            // Precision-first combination: a candidate must be produced
+            // by both backends to survive. Both extractions arrive
+            // sorted and deduplicated, so the intersection is a merge.
+            let crf = TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf);
+            let rnn = TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn);
+            let a = extract_candidates(&crf, corpus, space);
+            let b = extract_candidates(&rnn, corpus, space);
+            intersect_sorted(a, &b)
+        }
+    }
+}
+
+/// Intersection of two sorted, deduplicated triple lists.
+fn intersect_sorted(a: Vec<Triple>, b: &[Triple]) -> Vec<Triple> {
+    let key = |t: &Triple| (t.product, t.attr.clone(), t.value.clone());
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut j = 0;
+    for t in a {
+        let k = key(&t);
+        while j < b.len() && key(&b[j]) < k {
+            j += 1;
+        }
+        if j < b.len() && key(&b[j]) == k {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Keeps the `max` highest-mass attribute clusters.
+fn top_attrs(table: &AttrTable, max: usize) -> Vec<String> {
+    let mut attrs: Vec<(String, usize)> = table
+        .values
+        .iter()
+        .map(|(a, vals)| (a.clone(), vals.values().sum()))
+        .collect();
+    attrs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    attrs.into_iter().take(max).map(|(a, _)| a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pae_synth::{CategoryKind, DatasetSpec};
+
+    fn quick_config() -> PipelineConfig {
+        let mut cfg = PipelineConfig {
+            iterations: 1,
+            ..Default::default()
+        };
+        cfg.crf.max_iters = 40;
+        cfg
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_with_crf() {
+        let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+            .products(80)
+            .generate();
+        let outcome = BootstrapPipeline::new(quick_config()).run(&dataset);
+
+        let seed_report = outcome.seed_report(&dataset);
+        assert!(
+            seed_report.pair_precision() > 0.7,
+            "seed pair precision {}",
+            seed_report.pair_precision()
+        );
+
+        let report = outcome.evaluate(&dataset);
+        assert!(report.n_triples() > 0, "no triples extracted");
+        assert!(
+            report.precision() > 0.5,
+            "precision {} too low",
+            report.precision()
+        );
+        // Bootstrapping must increase coverage over the seed.
+        assert!(
+            report.coverage() > seed_report.coverage(),
+            "coverage {} !> seed {}",
+            report.coverage(),
+            seed_report.coverage()
+        );
+    }
+
+    #[test]
+    fn snapshots_grow_the_dataset() {
+        let dataset = DatasetSpec::new(CategoryKind::LadiesBags, 7)
+            .products(60)
+            .generate();
+        let mut cfg = quick_config();
+        cfg.iterations = 2;
+        let outcome = BootstrapPipeline::new(cfg).run(&dataset);
+        assert_eq!(outcome.snapshots.len(), 2);
+        // Bootstrapping must extract beyond the seed.
+        let seed_n = seed_triples(&outcome.seed).len();
+        assert!(
+            outcome.snapshots[1].triples.len() > seed_n,
+            "no growth: {} vs seed {}",
+            outcome.snapshots[1].triples.len(),
+            seed_n
+        );
+        assert!(outcome.snapshots[0].n_candidates > 0);
+    }
+
+    #[test]
+    fn zero_iterations_returns_seed() {
+        let dataset = DatasetSpec::new(CategoryKind::Tennis, 3)
+            .products(50)
+            .generate();
+        let mut cfg = quick_config();
+        cfg.iterations = 0;
+        let outcome = BootstrapPipeline::new(cfg).run(&dataset);
+        assert!(outcome.snapshots.is_empty());
+        assert_eq!(
+            outcome.final_triples().len(),
+            seed_triples(&outcome.seed).len()
+        );
+    }
+
+    #[test]
+    fn corrections_remove_vetoed_pairs_from_output() {
+        let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+            .products(60)
+            .generate();
+        let corpus = crate::corpus::parse_corpus(&dataset);
+        let base = BootstrapPipeline::new(quick_config()).run_on_corpus(&dataset, &corpus);
+        let triples = base.final_triples();
+        assert!(!triples.is_empty());
+        let victim = triples[0].clone();
+
+        let corrected = BootstrapPipeline::new(quick_config())
+            .with_corrections(
+                crate::corrections::Corrections::new().veto_pair(&victim.attr, &victim.value),
+            )
+            .run_on_corpus(&dataset, &corpus);
+        assert!(
+            corrected
+                .final_triples()
+                .iter()
+                .all(|t| !(t.attr == victim.attr && t.value == victim.value)),
+            "vetoed pair survived"
+        );
+    }
+
+    #[test]
+    fn early_stopping_halts_converged_loop() {
+        let dataset = DatasetSpec::new(CategoryKind::LadiesBags, 7)
+            .products(50)
+            .generate();
+        let corpus = crate::corpus::parse_corpus(&dataset);
+        let mut cfg = quick_config();
+        cfg.iterations = 5;
+        cfg.stop_when_gain_below = 10_000; // absurdly high: stop after cycle 1
+        let outcome = BootstrapPipeline::new(cfg).run_on_corpus(&dataset, &corpus);
+        assert_eq!(outcome.snapshots.len(), 1, "loop should stop immediately");
+    }
+
+    #[test]
+    fn intersect_sorted_is_set_intersection() {
+        let mk = |p: u32, v: &str| Triple::new(p, "a", v);
+        let a = vec![mk(0, "x"), mk(1, "y"), mk(2, "z")];
+        let b = vec![mk(0, "x"), mk(2, "z"), mk(3, "w")];
+        let got = intersect_sorted(a, &b);
+        assert_eq!(got, vec![mk(0, "x"), mk(2, "z")]);
+        assert!(intersect_sorted(Vec::new(), &b).is_empty());
+        assert!(intersect_sorted(vec![mk(9, "q")], &[]).is_empty());
+    }
+
+    #[test]
+    fn ensemble_extracts_subset_of_both_backends() {
+        let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+            .products(60)
+            .generate();
+        let corpus = crate::corpus::parse_corpus(&dataset);
+        let run = |tagger| {
+            let mut cfg = quick_config();
+            cfg.tagger = tagger;
+            BootstrapPipeline::new(cfg)
+                .run_on_corpus(&dataset, &corpus)
+                .snapshots[0]
+                .n_candidates
+        };
+        let crf = run(crate::config::TaggerKind::Crf);
+        let rnn = run(crate::config::TaggerKind::Rnn);
+        let ens = run(crate::config::TaggerKind::Ensemble);
+        assert!(ens <= crf, "ensemble {ens} > crf {crf}");
+        assert!(ens <= rnn, "ensemble {ens} > rnn {rnn}");
+    }
+
+    #[test]
+    fn disabled_modules_change_behaviour() {
+        let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+            .products(60)
+            .generate();
+        let corpus = crate::corpus::parse_corpus(&dataset);
+
+        let full = BootstrapPipeline::new(quick_config()).run_on_corpus(&dataset, &corpus);
+        let no_div = BootstrapPipeline::new(quick_config().without_diversification())
+            .run_on_corpus(&dataset, &corpus);
+        // Diversification can only extend the seed table.
+        assert!(full.diversified.n_pairs() >= no_div.diversified.n_pairs());
+
+        let no_clean = BootstrapPipeline::new(quick_config().without_cleaning())
+            .run_on_corpus(&dataset, &corpus);
+        let cleaned_n = full.snapshots[0].triples.len();
+        let raw_n = no_clean.snapshots[0].triples.len();
+        assert!(
+            raw_n >= cleaned_n,
+            "cleaning should not add triples: {raw_n} vs {cleaned_n}"
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Cleaning (§V-C): syntactic veto rules and semantic-drift control.
+
+pub mod semantic;
+pub mod veto;
+
+pub use semantic::{semantic_clean, SemanticCleanStats};
+pub use veto::{apply_veto, VetoStats};

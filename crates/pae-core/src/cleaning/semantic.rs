@@ -1,0 +1,291 @@
+//! Semantic cleaning (§V-C): word2vec-based drift control.
+//!
+//! Per bootstrap iteration: (i) group multiword values into single
+//! tokens, (ii) train word2vec on the (regrouped) corpus, (iii) build a
+//! per-attribute *semantic core* by iteratively discarding the value
+//! with the lowest multiplicative cosine similarity to the rest, and
+//! (iv) remove candidate triples whose value is semantically distant
+//! from the core.
+
+use std::collections::{HashMap, HashSet};
+
+use pae_embed::{group_phrases, multiplicative_similarity, W2vConfig, W2vModel};
+
+use crate::config::SemanticOptions;
+use crate::types::Triple;
+
+/// Removal statistics for the reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SemanticCleanStats {
+    /// Triples removed as semantically distant.
+    pub removed: usize,
+    /// Distinct values that had no embedding (kept unscored).
+    pub unscored_values: usize,
+}
+
+/// Runs semantic cleaning over candidate triples.
+///
+/// `sentences` is the iteration's corpus (plain word lists); the
+/// word2vec model is retrained here every call, as the paper requires
+/// (newly discovered entities have no pre-trained vectors).
+pub fn semantic_clean(
+    triples: Vec<Triple>,
+    sentences: &[Vec<String>],
+    options: &SemanticOptions,
+    seed: u64,
+) -> (Vec<Triple>, SemanticCleanStats) {
+    let mut stats = SemanticCleanStats::default();
+    if triples.is_empty() {
+        return (triples, stats);
+    }
+
+    // (i) group multiword values into single tokens.
+    let phrases: Vec<Vec<String>> = triples
+        .iter()
+        .map(|t| t.value_tokens().iter().map(|s| s.to_string()).collect())
+        .filter(|p: &Vec<String>| p.len() >= 2)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    let grouped = group_phrases(sentences, &phrases);
+
+    // (ii) train word2vec on the regrouped corpus.
+    let config = W2vConfig {
+        dim: options.dim,
+        epochs: options.epochs,
+        min_count: 2,
+        seed,
+        ..Default::default()
+    };
+    let Some(model) = W2vModel::train(&grouped, &config) else {
+        return (triples, stats); // no semantic evidence at all
+    };
+
+    // Values per attribute, as single tokens.
+    let mut values_per_attr: HashMap<&str, HashSet<String>> = HashMap::new();
+    for t in &triples {
+        values_per_attr
+            .entry(t.attr.as_str())
+            .or_default()
+            .insert(t.value.replace(' ', "_"));
+    }
+
+    // Mean-center the value vectors: SGNS embeddings are anisotropic
+    // (all vectors share a large common component, especially on small
+    // domain corpora), which would make every cosine ~1 and the drift
+    // filter blind. Removing the common component across all candidate
+    // values restores contrast between attribute clusters.
+    let mut all_names: Vec<&str> = values_per_attr
+        .values()
+        .flatten()
+        .map(String::as_str)
+        .collect();
+    all_names.sort_unstable();
+    all_names.dedup();
+    let mut mean = vec![0.0f32; options.dim];
+    let mut n_embedded = 0usize;
+    for name in &all_names {
+        if let Some(v) = model.vector(name) {
+            for (m, x) in mean.iter_mut().zip(v) {
+                *m += x;
+            }
+            n_embedded += 1;
+        }
+    }
+    if n_embedded > 0 {
+        for m in mean.iter_mut() {
+            *m /= n_embedded as f32;
+        }
+    }
+    let centered: HashMap<&str, Vec<f32>> = all_names
+        .iter()
+        .filter_map(|&name| {
+            model
+                .vector(name)
+                .map(|v| (name, v.iter().zip(&mean).map(|(x, m)| x - m).collect()))
+        })
+        .collect();
+
+    // (iii) core per attribute + (iv) keep decision per value.
+    let mut keep: HashMap<(String, String), bool> = HashMap::new();
+    for (attr, values) in &values_per_attr {
+        let mut embedded: Vec<(&str, &[f32])> = values
+            .iter()
+            .filter_map(|v| {
+                centered
+                    .get(v.as_str())
+                    .map(|vec| (v.as_str(), vec.as_slice()))
+            })
+            .collect();
+        embedded.sort_by_key(|(v, _)| *v);
+        let missing = values.len() - embedded.len();
+        stats.unscored_values += missing;
+
+        if embedded.len() < 3 {
+            // Too little evidence to form a core: keep everything.
+            for v in values {
+                keep.insert((attr.to_string(), v.clone()), true);
+            }
+            continue;
+        }
+
+        let core = build_core(&embedded, options.core_size);
+        let core_vecs: Vec<&[f32]> = core.iter().map(|&i| embedded[i].1).collect();
+        let core_names: HashSet<&str> = core.iter().map(|&i| embedded[i].0).collect();
+
+        for (name, vec) in &embedded {
+            let ok = core_names.contains(name)
+                || multiplicative_similarity(vec, &core_vecs) >= options.keep_threshold;
+            keep.insert((attr.to_string(), name.to_string()), ok);
+        }
+        // Unembedded values: no evidence against them — keep.
+        for v in values {
+            keep.entry((attr.to_string(), v.clone())).or_insert(true);
+        }
+    }
+
+    let before = triples.len();
+    let survivors: Vec<Triple> = triples
+        .into_iter()
+        .filter(|t| {
+            keep.get(&(t.attr.clone(), t.value.replace(' ', "_")))
+                .copied()
+                .unwrap_or(true)
+        })
+        .collect();
+    stats.removed = before - survivors.len();
+    (survivors, stats)
+}
+
+/// Builds the core as index set into `embedded`: iteratively discard
+/// the value with the lowest multiplicative similarity to the rest
+/// until `core_size` remain (`None` keeps everything).
+fn build_core(embedded: &[(&str, &[f32])], core_size: Option<usize>) -> Vec<usize> {
+    let target = core_size.unwrap_or(embedded.len()).max(2);
+    let mut alive: Vec<usize> = (0..embedded.len()).collect();
+    while alive.len() > target {
+        let mut worst = 0;
+        let mut worst_score = f32::INFINITY;
+        for (pos, &i) in alive.iter().enumerate() {
+            let rest: Vec<&[f32]> = alive
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| embedded[j].1)
+                .collect();
+            let score = multiplicative_similarity(embedded[i].1, &rest);
+            if score < worst_score {
+                worst_score = score;
+                worst = pos;
+            }
+        }
+        alive.remove(worst);
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus where color words share contexts and digits share
+    /// different contexts.
+    fn corpus() -> Vec<Vec<String>> {
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        for round in 0..150 {
+            let c = ["aka", "ao", "kiiro", "momo"][round % 4];
+            let d = ["2", "3", "4", "5"][round % 4];
+            out.push(mk(&format!("iro ha {c} kaban kirei")));
+            out.push(mk(&format!("kaban iro {c} subarashii")));
+            out.push(mk(&format!("omosa no {d} kg omoi")));
+            out.push(mk(&format!("hako de {d} kg gurai")));
+        }
+        out
+    }
+
+    fn options() -> SemanticOptions {
+        SemanticOptions {
+            core_size: Some(3),
+            keep_threshold: 0.55,
+            dim: 16,
+            epochs: 25,
+        }
+    }
+
+    #[test]
+    fn drifted_value_is_removed() {
+        // Candidate color values include a weight-context intruder.
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+            Triple::new(2, "iro", "kiiro"),
+            Triple::new(3, "iro", "momo"),
+            Triple::new(4, "iro", "kg"), // drift: unit word
+        ];
+        let (out, stats) = semantic_clean(triples, &corpus(), &options(), 7);
+        assert!(
+            out.iter().all(|t| t.value != "kg"),
+            "drifted value kept: {out:?}"
+        );
+        assert!(stats.removed >= 1);
+        // The legitimate colors survive.
+        assert!(out.iter().any(|t| t.value == "aka"));
+        assert!(out.len() >= 3);
+    }
+
+    #[test]
+    fn multiword_values_are_grouped_and_scored() {
+        let mut sentences = corpus();
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        for round in 0..40 {
+            let c = ["aka", "ao"][round % 2];
+            sentences.push(mk(&format!("iro : fuka {c} kaban desu")));
+        }
+        let triples = vec![
+            Triple::new(0, "iro", "fuka aka"),
+            Triple::new(1, "iro", "fuka ao"),
+            Triple::new(2, "iro", "aka"),
+            Triple::new(3, "iro", "ao"),
+        ];
+        let (out, _) = semantic_clean(triples, &sentences, &options(), 7);
+        assert!(out.iter().any(|t| t.value == "fuka aka"), "{out:?}");
+    }
+
+    #[test]
+    fn tiny_attribute_sets_are_kept() {
+        let triples = vec![
+            Triple::new(0, "rare", "aka"),
+            Triple::new(1, "rare", "kg"),
+        ];
+        let (out, stats) = semantic_clean(triples.clone(), &corpus(), &options(), 7);
+        assert_eq!(out.len(), triples.len());
+        assert_eq!(stats.removed, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (out, stats) = semantic_clean(Vec::new(), &corpus(), &options(), 7);
+        assert!(out.is_empty());
+        assert_eq!(stats.removed, 0);
+        let (out, _) = semantic_clean(
+            vec![Triple::new(0, "a", "x")],
+            &[],
+            &options(),
+            7,
+        );
+        assert_eq!(out.len(), 1, "no corpus → keep everything");
+    }
+
+    #[test]
+    fn no_core_restriction_keeps_more() {
+        let triples: Vec<Triple> = ["aka", "ao", "kiiro", "momo"]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Triple::new(i as u32, "iro", *v))
+            .collect();
+        let mut opts = options();
+        opts.core_size = None;
+        let (out, _) = semantic_clean(triples.clone(), &corpus(), &opts, 7);
+        assert_eq!(out.len(), triples.len());
+    }
+}

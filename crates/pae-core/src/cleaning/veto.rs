@@ -1,0 +1,178 @@
+//! The four syntactic veto rules (§V-C):
+//!
+//! 1. **symbols** — 1-gram entities that are symbols (`;`, `*`, …);
+//! 2. **mark-up tags** — values containing markup fragments;
+//! 3. **unpopular entities** — per attribute, entities ranked by the
+//!    number of tagged items; only the top 80 % are kept;
+//! 4. **long values** — values exceeding 30 characters.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::types::Triple;
+
+/// What the veto pass removed (for the experiment reports).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VetoStats {
+    /// Removed by rule 1 (symbol unigrams).
+    pub symbols: usize,
+    /// Removed by rule 2 (markup).
+    pub markup: usize,
+    /// Removed by rule 3 (unpopular tail).
+    pub unpopular: usize,
+    /// Removed by rule 4 (overlong values).
+    pub long: usize,
+}
+
+impl VetoStats {
+    /// Total vetoed triples.
+    pub fn total(&self) -> usize {
+        self.symbols + self.markup + self.unpopular + self.long
+    }
+}
+
+/// Markup-ish tokens that cannot appear inside a legitimate value.
+fn is_markup_token(tok: &str) -> bool {
+    tok.starts_with('<')
+        || tok.ends_with('>')
+        || matches!(tok, "<" | ">" | "&" | "\"" | "*" | "br" | "nbsp")
+}
+
+/// True for a single-token value that is pure symbols/punctuation.
+fn is_symbol_unigram(value: &str) -> bool {
+    !value.contains(' ')
+        && !value.is_empty()
+        && value
+            .chars()
+            .all(|c| !c.is_alphanumeric())
+}
+
+/// Applies the four rules; returns survivors and removal statistics.
+///
+/// `keep_fraction` is rule 3's retention rate (the paper's 0.8) and
+/// `max_chars` rule 4's length bound (the paper's 30).
+pub fn apply_veto(
+    triples: Vec<Triple>,
+    keep_fraction: f64,
+    max_chars: usize,
+) -> (Vec<Triple>, VetoStats) {
+    let mut stats = VetoStats::default();
+
+    // Rules 1, 2, 4 are per-triple.
+    let mut survivors: Vec<Triple> = Vec::with_capacity(triples.len());
+    for t in triples {
+        if is_symbol_unigram(&t.value) {
+            stats.symbols += 1;
+        } else if t.value.split(' ').any(is_markup_token) {
+            stats.markup += 1;
+        } else if t.value.chars().count() > max_chars {
+            stats.long += 1;
+        } else {
+            survivors.push(t);
+        }
+    }
+
+    // Rule 3: per attribute, rank entities by the number of distinct
+    // items tagged with them; keep the top `keep_fraction`.
+    let mut items_per_entity: HashMap<(&str, &str), HashSet<u32>> = HashMap::new();
+    for t in &survivors {
+        items_per_entity
+            .entry((t.attr.as_str(), t.value.as_str()))
+            .or_default()
+            .insert(t.product);
+    }
+    let mut per_attr: HashMap<&str, Vec<(&str, usize)>> = HashMap::new();
+    for ((attr, value), items) in &items_per_entity {
+        per_attr.entry(attr).or_default().push((value, items.len()));
+    }
+    let mut kept: HashSet<(String, String)> = HashSet::new();
+    for (attr, mut entities) in per_attr {
+        entities.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let keep = ((entities.len() as f64 * keep_fraction).ceil() as usize).max(1);
+        for (value, _) in entities.into_iter().take(keep) {
+            kept.insert((attr.to_owned(), value.to_owned()));
+        }
+    }
+    let before = survivors.len();
+    let survivors: Vec<Triple> = survivors
+        .into_iter()
+        .filter(|t| kept.contains(&(t.attr.clone(), t.value.clone())))
+        .collect();
+    stats.unpopular = before - survivors.len();
+
+    (survivors, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(product: u32, attr: &str, value: &str) -> Triple {
+        Triple::new(product, attr, value)
+    }
+
+    #[test]
+    fn symbol_unigrams_vetoed() {
+        let (out, stats) = apply_veto(
+            vec![t(0, "a", ";"), t(1, "a", "*"), t(2, "a", "aka")],
+            1.0,
+            30,
+        );
+        assert_eq!(stats.symbols, 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, "aka");
+    }
+
+    #[test]
+    fn decimal_values_are_not_symbol_vetoed() {
+        // "2 . 5 kg" contains the '.' token but is multi-token.
+        let (out, stats) = apply_veto(vec![t(0, "w", "2 . 5 kg")], 1.0, 30);
+        assert_eq!(stats.symbols, 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn markup_vetoed() {
+        let (out, stats) = apply_veto(
+            vec![t(0, "a", "aka * ao"), t(1, "a", "<b> aka"), t(2, "a", "aka")],
+            1.0,
+            30,
+        );
+        assert_eq!(stats.markup, 2);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn long_values_vetoed() {
+        let long = "a".repeat(31);
+        let (out, stats) = apply_veto(vec![t(0, "a", &long), t(1, "a", "ok")], 1.0, 30);
+        assert_eq!(stats.long, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unpopular_tail_vetoed() {
+        // 5 entities; entity popularity 5,4,3,2,1 items. keep 80% → 4.
+        let mut triples = Vec::new();
+        for (i, value) in ["v1", "v2", "v3", "v4", "v5"].iter().enumerate() {
+            for p in 0..(5 - i) {
+                triples.push(t(p as u32, "a", value));
+            }
+        }
+        let (out, stats) = apply_veto(triples, 0.8, 30);
+        assert_eq!(stats.unpopular, 1, "{stats:?}");
+        assert!(out.iter().all(|tr| tr.value != "v5"));
+    }
+
+    #[test]
+    fn keep_at_least_one_entity() {
+        let (out, _) = apply_veto(vec![t(0, "a", "only")], 0.1, 30);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = apply_veto(Vec::new(), 0.8, 30);
+        assert!(out.is_empty());
+        assert_eq!(stats.total(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Pipeline configuration: every knob the paper ablates.
+
+use crate::corpus::PosBackend;
+use crate::diversify::DiversifyConfig;
+use crate::seed::{AggregationConfig, ValueCleanConfig};
+
+/// Which ML backend tags candidate triples (§VI-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaggerKind {
+    /// Linear-chain CRF, L-BFGS with L1+L2 (the paper's default pick).
+    Crf,
+    /// Char+word BiLSTM (NeuroNER-style RNN).
+    Rnn,
+    /// Precision-first ensemble (the paper's future-work direction:
+    /// *"improving the machine learning model by combining different
+    /// approaches"*): train both backends and keep only the triples
+    /// both extract.
+    Ensemble,
+}
+
+/// CRF hyperparameters.
+#[derive(Debug, Clone)]
+pub struct CrfOptions {
+    /// L1 coefficient.
+    pub l1: f64,
+    /// L2 coefficient.
+    pub l2: f64,
+    /// Maximum L-BFGS iterations.
+    pub max_iters: usize,
+    /// Feature window radius K.
+    pub window: usize,
+    /// Minimum number of occurrences for a feature to be kept
+    /// (CRFsuite's `minfreq`; 1 disables pruning). Pruning shrinks the
+    /// parameter vector — useful at `PAE_SCALE=full`.
+    pub min_feature_freq: usize,
+}
+
+impl Default for CrfOptions {
+    fn default() -> Self {
+        CrfOptions {
+            l1: 0.05,
+            l2: 0.05,
+            max_iters: 60,
+            window: 2,
+            min_feature_freq: 1,
+        }
+    }
+}
+
+/// BiLSTM hyperparameters surfaced by the evaluation (2 vs 10 epochs).
+#[derive(Debug, Clone)]
+pub struct RnnOptions {
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Word-level embedding and hidden size.
+    pub hidden: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RnnOptions {
+    fn default() -> Self {
+        RnnOptions {
+            epochs: 2,
+            learning_rate: 0.15,
+            hidden: 24,
+            seed: 17,
+        }
+    }
+}
+
+/// Semantic-cleaning parameters (§V-C).
+#[derive(Debug, Clone)]
+pub struct SemanticOptions {
+    /// Core-set size `n`; `None` disables the core restriction (the
+    /// §VIII-B parameter exploration found this barely matters).
+    pub core_size: Option<usize>,
+    /// Minimum multiplicative similarity to the core to survive.
+    pub keep_threshold: f32,
+    /// word2vec dimensionality.
+    pub dim: usize,
+    /// word2vec epochs per bootstrap iteration.
+    pub epochs: usize,
+}
+
+impl Default for SemanticOptions {
+    fn default() -> Self {
+        SemanticOptions {
+            core_size: Some(10),
+            keep_threshold: 0.52,
+            dim: 24,
+            epochs: 2,
+        }
+    }
+}
+
+/// Full pipeline configuration (Figure 1 + §VI).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Bootstrap iterations N (the paper stops at 5).
+    pub iterations: usize,
+    /// Tagger backend.
+    pub tagger: TaggerKind,
+    /// CRF options (used when `tagger == Crf`).
+    pub crf: CrfOptions,
+    /// RNN options (used when `tagger == Rnn`).
+    pub rnn: RnnOptions,
+    /// Apply the four syntactic veto rules.
+    pub use_veto: bool,
+    /// Apply word2vec semantic cleaning.
+    pub use_semantic: bool,
+    /// Apply seed value diversification.
+    pub use_diversification: bool,
+    /// Semantic-cleaning parameters.
+    pub semantic: SemanticOptions,
+    /// Seed value-cleaning parameters.
+    pub value_clean: ValueCleanConfig,
+    /// Attribute-aggregation parameters.
+    pub aggregation: AggregationConfig,
+    /// Diversification parameters.
+    pub diversify: DiversifyConfig,
+    /// PoS tagger backend for corpus analysis.
+    pub pos_backend: PosBackend,
+    /// Veto rule (iv): maximum value length in characters.
+    pub max_value_chars: usize,
+    /// Veto rule (iii): fraction of entities kept per attribute.
+    pub unpopular_keep: f64,
+    /// Stop early when a cycle adds fewer than this many new triples
+    /// (`0` disables; the paper simply fixes five iterations, but its
+    /// §V describes the loop as running "until a stopping criterion is
+    /// met").
+    pub stop_when_gain_below: usize,
+    /// Master RNG seed for the stochastic components.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            iterations: 5,
+            tagger: TaggerKind::Crf,
+            crf: CrfOptions::default(),
+            rnn: RnnOptions::default(),
+            use_veto: true,
+            use_semantic: true,
+            use_diversification: true,
+            semantic: SemanticOptions::default(),
+            value_clean: ValueCleanConfig::default(),
+            aggregation: AggregationConfig::default(),
+            diversify: DiversifyConfig::default(),
+            pos_backend: PosBackend::Lexicon,
+            max_value_chars: 30,
+            unpopular_keep: 0.8,
+            stop_when_gain_below: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's "no cleaning" ablation (veto + semantic off).
+    pub fn without_cleaning(mut self) -> Self {
+        self.use_veto = false;
+        self.use_semantic = false;
+        self
+    }
+
+    /// The paper's `-sem` ablation.
+    pub fn without_semantic(mut self) -> Self {
+        self.use_semantic = false;
+        self
+    }
+
+    /// The paper's `-div` ablation.
+    pub fn without_diversification(mut self) -> Self {
+        self.use_diversification = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.tagger, TaggerKind::Crf);
+        assert!(c.use_veto && c.use_semantic && c.use_diversification);
+        assert_eq!(c.max_value_chars, 30);
+        assert!((c.unpopular_keep - 0.8).abs() < 1e-12);
+        assert_eq!(c.rnn.epochs, 2);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = PipelineConfig::default().without_cleaning();
+        assert!(!c.use_veto && !c.use_semantic);
+        let c = PipelineConfig::default().without_semantic();
+        assert!(c.use_veto && !c.use_semantic);
+        let c = PipelineConfig::default().without_diversification();
+        assert!(!c.use_diversification);
+    }
+}

@@ -1,0 +1,174 @@
+//! Value diversification (§V-A, a contribution of the paper).
+//!
+//! Cleaning keeps only popular/queried values, which collapses the
+//! *shape* diversity of the seed — e.g. vacuum-cleaner weights end up
+//! all-integer, so the tagger later mis-tags `2.5kg` as `5kg`. This
+//! module re-adds, for each attribute, the `n` most frequent raw values
+//! of each of the attribute's `k` most frequent PoS-tag sequences
+//! (`CD-SYM-CD-UNIT` for `1.5kg`), restoring shape coverage without
+//! re-admitting arbitrary noise.
+
+use std::collections::HashMap;
+
+use crate::types::AttrTable;
+
+/// Diversification parameters (the paper's `k` and `n`).
+#[derive(Debug, Clone)]
+pub struct DiversifyConfig {
+    /// Number of PoS sequences kept per attribute.
+    pub top_k_sequences: usize,
+    /// Number of values re-added per kept sequence.
+    pub top_n_values: usize,
+}
+
+impl Default for DiversifyConfig {
+    fn default() -> Self {
+        DiversifyConfig {
+            top_k_sequences: 3,
+            top_n_values: 12,
+        }
+    }
+}
+
+/// Diversifies `cleaned` using the raw candidate set.
+///
+/// `pos_key` maps a normalized value to its PoS-sequence key.
+pub fn diversify(
+    cleaned: &AttrTable,
+    raw: &AttrTable,
+    pos_key: &dyn Fn(&str) -> String,
+    config: &DiversifyConfig,
+) -> AttrTable {
+    let mut out = cleaned.clone();
+
+    for attr in cleaned.attrs() {
+        let Some(raw_values) = raw.values.get(attr) else {
+            continue;
+        };
+
+        // Sequence frequencies over raw observations.
+        let mut seq_freq: HashMap<String, usize> = HashMap::new();
+        let mut by_seq: HashMap<String, Vec<(&str, usize)>> = HashMap::new();
+        for (value, &count) in raw_values {
+            let key = pos_key(value);
+            *seq_freq.entry(key.clone()).or_insert(0) += count;
+            by_seq.entry(key).or_default().push((value, count));
+        }
+
+        let mut seqs: Vec<(&String, &usize)> = seq_freq.iter().collect();
+        seqs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+
+        for (seq, _) in seqs.into_iter().take(config.top_k_sequences) {
+            let mut values = by_seq.remove(seq).unwrap_or_default();
+            values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            for (value, count) in values.into_iter().take(config.top_n_values) {
+                if !out.values.get(attr).is_some_and(|m| m.contains_key(value)) {
+                    for _ in 0..count {
+                        out.add(attr, value);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// PoS key: digits → CD, unit suffix → UNIT, '.' → SYM, else NN.
+    fn toy_pos_key(value: &str) -> String {
+        value
+            .split(' ')
+            .map(|t| {
+                if t.chars().all(|c| c.is_ascii_digit()) {
+                    "CD"
+                } else if t == "." {
+                    "SYM"
+                } else if t == "kg" {
+                    "UNIT"
+                } else {
+                    "NN"
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    fn add_n(t: &mut AttrTable, attr: &str, value: &str, n: usize) {
+        for _ in 0..n {
+            t.add(attr, value);
+        }
+    }
+
+    #[test]
+    fn recovers_pruned_decimal_shape() {
+        // Raw: integers are popular, decimals rare; cleaning kept only
+        // the integers.
+        let mut raw = AttrTable::default();
+        add_n(&mut raw, "weight", "2 kg", 20);
+        add_n(&mut raw, "weight", "3 kg", 15);
+        add_n(&mut raw, "weight", "2 . 5 kg", 1);
+        add_n(&mut raw, "weight", "1 . 5 kg", 1);
+        let mut cleaned = AttrTable::default();
+        add_n(&mut cleaned, "weight", "2 kg", 20);
+        add_n(&mut cleaned, "weight", "3 kg", 15);
+
+        let out = diversify(&cleaned, &raw, &toy_pos_key, &DiversifyConfig::default());
+        let values = out.values_of("weight");
+        assert!(values.contains(&"2 . 5 kg"), "{values:?}");
+        assert!(values.contains(&"1 . 5 kg"), "{values:?}");
+    }
+
+    #[test]
+    fn respects_top_k_sequences() {
+        let mut raw = AttrTable::default();
+        add_n(&mut raw, "a", "1 kg", 10); // CD-UNIT (most frequent)
+        add_n(&mut raw, "a", "x", 5); // NN
+        add_n(&mut raw, "a", "1 . 5 kg", 1); // CD-SYM-CD-UNIT (least)
+        let mut cleaned = AttrTable::default();
+        add_n(&mut cleaned, "a", "1 kg", 10);
+
+        let cfg = DiversifyConfig {
+            top_k_sequences: 2,
+            top_n_values: 10,
+        };
+        let out = diversify(&cleaned, &raw, &toy_pos_key, &cfg);
+        let values = out.values_of("a");
+        assert!(values.contains(&"x"));
+        assert!(!values.contains(&"1 . 5 kg"), "third sequence must be cut");
+    }
+
+    #[test]
+    fn respects_top_n_values() {
+        let mut raw = AttrTable::default();
+        for i in 0..20 {
+            add_n(&mut raw, "a", &format!("{i} kg"), 20 - i);
+        }
+        let cleaned = AttrTable::default(); // nothing survived cleaning
+        // Empty cleaned table has no attrs to diversify.
+        let out = diversify(&cleaned, &raw, &toy_pos_key, &DiversifyConfig::default());
+        assert_eq!(out.n_pairs(), 0);
+
+        // With the attr present, only top-n are added.
+        let mut cleaned = AttrTable::default();
+        add_n(&mut cleaned, "a", "0 kg", 20);
+        let cfg = DiversifyConfig {
+            top_k_sequences: 1,
+            top_n_values: 5,
+        };
+        let out = diversify(&cleaned, &raw, &toy_pos_key, &cfg);
+        assert_eq!(out.values_of("a").len(), 5);
+    }
+
+    #[test]
+    fn existing_values_are_not_duplicated() {
+        let mut raw = AttrTable::default();
+        add_n(&mut raw, "a", "2 kg", 5);
+        let mut cleaned = AttrTable::default();
+        add_n(&mut cleaned, "a", "2 kg", 5);
+        let out = diversify(&cleaned, &raw, &toy_pos_key, &DiversifyConfig::default());
+        assert_eq!(out.values["a"]["2 kg"], 5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Evaluation metrics (§VI-C).
+
+use std::collections::{HashMap, HashSet};
+
+use pae_synth::truth::Judgement;
+use pae_synth::GroundTruth;
+
+use crate::corpus::TablePair;
+use crate::types::{AttrTable, Triple};
+
+/// Triple-level evaluation report.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Triples judged correct.
+    pub correct: usize,
+    /// Triples judged incorrect.
+    pub incorrect: usize,
+    /// Triples whose product+attribute match but value disagrees.
+    pub maybe_incorrect: usize,
+    /// Products with at least one triple.
+    pub covered_products: usize,
+    /// Products in the dataset.
+    pub n_products: usize,
+    /// Per canonical attribute: products covered by a triple of it.
+    pub attr_coverage: HashMap<String, usize>,
+    /// Per canonical attribute: correct / total triples.
+    pub attr_precision: HashMap<String, (usize, usize)>,
+}
+
+impl EvalReport {
+    /// `correct / (correct + incorrect + maybe_incorrect)` — the
+    /// paper's precision; 1.0 for an empty output.
+    pub fn precision(&self) -> f64 {
+        let denom = self.correct + self.incorrect + self.maybe_incorrect;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / denom as f64
+    }
+
+    /// Product coverage.
+    pub fn coverage(&self) -> f64 {
+        if self.n_products == 0 {
+            return 0.0;
+        }
+        self.covered_products as f64 / self.n_products as f64
+    }
+
+    /// Total triples evaluated.
+    pub fn n_triples(&self) -> usize {
+        self.correct + self.incorrect + self.maybe_incorrect
+    }
+
+    /// Average triples per covered product.
+    pub fn triples_per_product(&self) -> f64 {
+        if self.covered_products == 0 {
+            return 0.0;
+        }
+        self.n_triples() as f64 / self.covered_products as f64
+    }
+
+    /// Coverage of one canonical attribute.
+    pub fn attr_coverage_of(&self, attr: &str) -> f64 {
+        if self.n_products == 0 {
+            return 0.0;
+        }
+        *self.attr_coverage.get(attr).unwrap_or(&0) as f64 / self.n_products as f64
+    }
+
+    /// Precision of one canonical attribute.
+    pub fn attr_precision_of(&self, attr: &str) -> f64 {
+        match self.attr_precision.get(attr) {
+            Some((_, 0)) | None => 1.0,
+            Some((c, n)) => *c as f64 / *n as f64,
+        }
+    }
+}
+
+/// Evaluates extracted triples against the ground truth.
+pub fn evaluate_triples(triples: &[Triple], truth: &GroundTruth) -> EvalReport {
+    let mut report = EvalReport {
+        n_products: truth.n_products(),
+        ..Default::default()
+    };
+    let mut covered: HashSet<u32> = HashSet::new();
+    let mut attr_covered: HashMap<String, HashSet<u32>> = HashMap::new();
+
+    for t in triples {
+        let canonical = truth
+            .canonical_attr(&t.attr)
+            .unwrap_or(t.attr.as_str())
+            .to_owned();
+        let judgement = truth.judge(t.product, &t.attr, &t.value);
+        let entry = report.attr_precision.entry(canonical.clone()).or_insert((0, 0));
+        entry.1 += 1;
+        match judgement {
+            Judgement::Correct => {
+                report.correct += 1;
+                entry.0 += 1;
+            }
+            Judgement::MaybeIncorrect => report.maybe_incorrect += 1,
+            Judgement::Incorrect => report.incorrect += 1,
+        }
+        covered.insert(t.product);
+        attr_covered.entry(canonical).or_default().insert(t.product);
+    }
+
+    report.covered_products = covered.len();
+    report.attr_coverage = attr_covered
+        .into_iter()
+        .map(|(a, products)| (a, products.len()))
+        .collect();
+    report
+}
+
+/// Seed-level report (the paper's Table I).
+#[derive(Debug, Clone, Default)]
+pub struct PairReport {
+    /// Distinct `(attr, value)` pairs in the seed.
+    pub n_pairs: usize,
+    /// Pairs that are valid category-level associations.
+    pub correct_pairs: usize,
+    /// Seed triples (product-level pairs).
+    pub n_triples: usize,
+    /// Seed triples judged correct.
+    pub correct_triples: usize,
+    /// Product coverage of the seed triples.
+    pub covered_products: usize,
+    /// Products in the dataset.
+    pub n_products: usize,
+}
+
+impl PairReport {
+    /// Pair precision.
+    pub fn pair_precision(&self) -> f64 {
+        if self.n_pairs == 0 {
+            return 1.0;
+        }
+        self.correct_pairs as f64 / self.n_pairs as f64
+    }
+
+    /// Triple precision.
+    pub fn triple_precision(&self) -> f64 {
+        if self.n_triples == 0 {
+            return 1.0;
+        }
+        self.correct_triples as f64 / self.n_triples as f64
+    }
+
+    /// Product coverage.
+    pub fn coverage(&self) -> f64 {
+        if self.n_products == 0 {
+            return 0.0;
+        }
+        self.covered_products as f64 / self.n_products as f64
+    }
+}
+
+/// Evaluates the seed (cluster table + per-product pairs).
+pub fn evaluate_pairs(
+    table: &AttrTable,
+    product_pairs: &[TablePair],
+    truth: &GroundTruth,
+) -> PairReport {
+    let mut report = PairReport {
+        n_products: truth.n_products(),
+        ..Default::default()
+    };
+    for attr in table.attrs() {
+        for value in table.values_of(attr) {
+            report.n_pairs += 1;
+            if truth.pair_valid(attr, value) {
+                report.correct_pairs += 1;
+            }
+        }
+    }
+    let mut covered = HashSet::new();
+    for pair in product_pairs {
+        report.n_triples += 1;
+        if truth.judge(pair.product, &pair.attr, &pair.value) == Judgement::Correct {
+            report.correct_triples += 1;
+        }
+        covered.insert(pair.product);
+    }
+    report.covered_products = covered.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        t.attr_alias.insert("iro".into(), "color".into());
+        t.valid_pairs
+            .entry("color".into())
+            .or_default()
+            .extend(["aka".to_owned(), "ao".to_owned()]);
+        let mut p0 = HashMap::new();
+        p0.insert("color".to_owned(), HashSet::from(["aka".to_owned()]));
+        t.product_triples.insert(0, p0);
+        let mut p1 = HashMap::new();
+        p1.insert("color".to_owned(), HashSet::from(["ao".to_owned()]));
+        t.product_triples.insert(1, p1);
+        t.product_ids = vec![0, 1, 2, 3];
+        t
+    }
+
+    #[test]
+    fn precision_counts_maybe_incorrect_as_wrong() {
+        let truth = toy_truth();
+        let triples = vec![
+            Triple::new(0, "iro", "aka"), // correct
+            Triple::new(1, "iro", "aka"), // maybe (p1 is ao)
+            Triple::new(2, "iro", "aka"), // incorrect (p2 has no color)
+        ];
+        let r = evaluate_triples(&triples, &truth);
+        assert_eq!(r.correct, 1);
+        assert_eq!(r.maybe_incorrect, 1);
+        assert_eq!(r.incorrect, 1);
+        assert!((r.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.covered_products, 3);
+        assert!((r.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attr_level_metrics() {
+        let truth = toy_truth();
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+        ];
+        let r = evaluate_triples(&triples, &truth);
+        assert!((r.attr_coverage_of("color") - 0.5).abs() < 1e-12);
+        assert!((r.attr_precision_of("color") - 1.0).abs() < 1e-12);
+        assert_eq!(r.attr_coverage_of("weight"), 0.0);
+    }
+
+    #[test]
+    fn empty_output_has_unit_precision_zero_coverage() {
+        let truth = toy_truth();
+        let r = evaluate_triples(&[], &truth);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.n_triples(), 0);
+    }
+
+    #[test]
+    fn pair_report_judges_both_levels() {
+        let truth = toy_truth();
+        let mut table = AttrTable::default();
+        table.add("iro", "aka");
+        table.add("iro", "zzz");
+        let pairs = vec![
+            TablePair {
+                product: 0,
+                attr: "iro".into(),
+                value: "aka".into(),
+            },
+            TablePair {
+                product: 1,
+                attr: "iro".into(),
+                value: "aka".into(),
+            },
+        ];
+        let r = evaluate_pairs(&table, &pairs, &truth);
+        assert_eq!(r.n_pairs, 2);
+        assert_eq!(r.correct_pairs, 1);
+        assert_eq!(r.n_triples, 2);
+        assert_eq!(r.correct_triples, 1);
+        assert!((r.coverage() - 0.5).abs() < 1e-12);
+    }
+}

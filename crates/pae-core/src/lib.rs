@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! The paper's pipeline: bootstrapped product attribute extraction.
+//!
+//! Implements Figure 1 of the paper end to end:
+//!
+//! 1. **Pre-processing** — [`corpus`] parses product pages into tagged
+//!    sentences; [`seed`] harvests `<attribute, value>` candidates from
+//!    dictionary tables, aggregates redundant attribute names, and
+//!    cleans values against the query log; [`diversify`] generalizes
+//!    the seed's value shapes via PoS-sequence sampling.
+//! 2. **Tagging** — [`trainset`] projects the known triples onto the
+//!    corpus as BIO labels; [`tagger`] trains a CRF or BiLSTM backend
+//!    and decodes new candidate triples.
+//! 3. **Cleaning** — [`cleaning::veto`] applies the four syntactic veto
+//!    rules; [`cleaning::semantic`] trains word2vec on the corpus each
+//!    iteration and removes candidates far from each attribute's
+//!    semantic core.
+//! 4. **Loop** — [`bootstrap`] iterates tagging+cleaning for N cycles,
+//!    snapshotting each iteration for the evaluation harness.
+//!
+//! [`eval`] computes the paper's metrics (precision with the
+//! `maybe_incorrect` convention, product coverage, per-attribute
+//! coverage); [`specialized`] trains per-attribute-subset models
+//! (§VIII-D).
+
+pub mod bootstrap;
+pub mod cleaning;
+pub mod config;
+pub mod corrections;
+pub mod corpus;
+pub mod diversify;
+pub mod eval;
+pub mod seed;
+pub mod specialized;
+pub mod tagger;
+pub mod trainset;
+pub mod types;
+
+pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, IterationSnapshot};
+pub use corrections::Corrections;
+pub use config::{PipelineConfig, TaggerKind};
+pub use corpus::{parse_corpus, Corpus, ProductText};
+pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+pub use types::{AttrTable, Triple};

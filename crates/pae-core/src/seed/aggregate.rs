@@ -1,0 +1,201 @@
+//! Attribute-name aggregation (redundant-alias merging).
+//!
+//! Merchants name the same attribute differently (the paper's 製造元 vs
+//! メーカー, black vs schwarz). Following Charron et al. (the paper's
+//! [4]), two attribute names are scored by the values they share
+//! relative to their range sizes, *"adjusted by a decreasing function
+//! which reduces that confidence if the attributes have comparable
+//! range sizes"* — aliases of one attribute typically have skewed
+//! popularity, while two genuinely different attributes that share
+//! values (weight vs max shipping weight!) tend to have ranges of
+//! comparable size.
+
+use std::collections::HashMap;
+
+use crate::types::AttrTable;
+
+/// Aggregation parameters.
+#[derive(Debug, Clone)]
+pub struct AggregationConfig {
+    /// Minimum similarity score to merge two names.
+    pub threshold: f64,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig { threshold: 0.35 }
+    }
+}
+
+/// Similarity of two attribute names given their value sets.
+///
+/// `score = (|Va ∩ Vb| / min(|Va|, |Vb|)) · (1 − 0.75 · min/max)`
+///
+/// The first factor is containment confidence: a rare alias whose
+/// values all fall inside the popular alias's range is almost surely
+/// the same attribute. The second factor is the paper's decreasing
+/// adjustment: two names with *comparable* range sizes that still share
+/// values (weight vs maximum shipping weight) are probably distinct
+/// attributes drawing from the same value space, so their confidence
+/// is damped.
+pub fn similarity(a: &HashMap<String, usize>, b: &HashMap<String, usize>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let shared = a.keys().filter(|v| b.contains_key(*v)).count() as f64;
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let containment = shared / na.min(nb);
+    let ratio = na.min(nb) / na.max(nb);
+    containment * (1.0 - 0.75 * ratio)
+}
+
+/// Merges attribute names into clusters; returns `alias → cluster name`
+/// where the cluster name is the member with the most observations.
+#[allow(clippy::needless_range_loop)]
+pub fn aggregate_attributes(
+    candidates: &AttrTable,
+    config: &AggregationConfig,
+) -> HashMap<String, String> {
+    let names: Vec<&str> = candidates.attrs();
+    let n = names.len();
+
+    // Union-find over name indices (explicit indices: `find` needs
+    // `&mut` access while iterating pairs).
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &candidates.values[names[i]];
+            let b = &candidates.values[names[j]];
+            if similarity(a, b) >= config.threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+
+    // Observation mass per name (for choosing the cluster representative).
+    let mass = |name: &str| -> usize { candidates.values[name].values().sum() };
+
+    let mut cluster_best: HashMap<usize, &str> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let entry = cluster_best.entry(root).or_insert(names[i]);
+        if mass(names[i]) > mass(entry) {
+            *entry = names[i];
+        }
+    }
+
+    let mut out = HashMap::with_capacity(n);
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        out.insert(names[i].to_owned(), cluster_best[&root].to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, &[(&str, usize)])]) -> AttrTable {
+        let mut t = AttrTable::default();
+        for (attr, values) in entries {
+            for (v, count) in *values {
+                for _ in 0..*count {
+                    t.add(attr, v);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn aliases_with_skewed_ranges_merge() {
+        // "iro" is the popular alias with 6 values; "karaa" is rare with
+        // 2 values, both shared.
+        let t = table(&[
+            (
+                "iro",
+                &[("aka", 9), ("ao", 7), ("kiiro", 4), ("momo", 2), ("kuro", 5), ("shiro", 3)],
+            ),
+            ("karaa", &[("aka", 2), ("ao", 1)]),
+        ]);
+        let map = aggregate_attributes(&t, &AggregationConfig::default());
+        assert_eq!(map["karaa"], "iro");
+        assert_eq!(map["iro"], "iro");
+    }
+
+    #[test]
+    fn distinct_attributes_with_disjoint_values_stay_apart() {
+        let t = table(&[
+            ("iro", &[("aka", 5), ("ao", 3)]),
+            ("omosa", &[("2 kg", 5), ("3 kg", 4)]),
+        ]);
+        let map = aggregate_attributes(&t, &AggregationConfig::default());
+        assert_eq!(map["iro"], "iro");
+        assert_eq!(map["omosa"], "omosa");
+    }
+
+    #[test]
+    fn comparable_ranges_with_shared_values_resist_merging() {
+        // weight vs max shipping weight: same value shapes, comparable
+        // range sizes — the damping must keep them apart at the default
+        // threshold even with substantial overlap.
+        let t = table(&[
+            (
+                "omosa",
+                &[("2 kg", 5), ("3 kg", 4), ("4 kg", 3), ("5 kg", 2), ("7 kg", 1)],
+            ),
+            (
+                "saidaiomosa",
+                &[("2 kg", 3), ("3 kg", 3), ("6 kg", 2), ("8 kg", 2), ("9 kg", 1)],
+            ),
+        ]);
+        let a = &t.values["omosa"];
+        let b = &t.values["saidaiomosa"];
+        // 2 shared / 5 min = 0.4, damped by (1 - 0.75·1.0) = 0.25 → 0.1.
+        assert!(similarity(a, b) < 0.35);
+        let map = aggregate_attributes(&t, &AggregationConfig::default());
+        assert_eq!(map["omosa"], "omosa");
+        assert_eq!(map["saidaiomosa"], "saidaiomosa");
+    }
+
+    #[test]
+    fn representative_is_highest_mass_member() {
+        let t = table(&[
+            ("big", &[("x", 10), ("y", 10), ("z", 2), ("w", 2)]),
+            ("small", &[("x", 1), ("y", 1)]),
+        ]);
+        let map = aggregate_attributes(&t, &AggregationConfig::default());
+        assert_eq!(map["small"], "big");
+    }
+
+    #[test]
+    fn empty_table() {
+        let map = aggregate_attributes(&AttrTable::default(), &AggregationConfig::default());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn transitive_merging_via_union_find() {
+        // a↔b similar, b↔c similar, a↔c not directly: all one cluster.
+        let t = table(&[
+            ("a", &[("v1", 9), ("v2", 8), ("v3", 7), ("v4", 6), ("v5", 5), ("v6", 4)]),
+            ("b", &[("v1", 2), ("v2", 1)]),
+            ("c", &[("v1", 1)]),
+        ]);
+        let map = aggregate_attributes(&t, &AggregationConfig::default());
+        assert_eq!(map["b"], "a");
+        assert_eq!(map["c"], "a");
+    }
+}

@@ -1,0 +1,119 @@
+//! Seed construction (§V-A): candidate discovery, attribute-name
+//! aggregation, and value cleaning.
+
+pub mod aggregate;
+pub mod value_clean;
+
+use std::collections::HashMap;
+
+use crate::corpus::{Corpus, TablePair};
+use crate::types::AttrTable;
+
+pub use aggregate::{aggregate_attributes, AggregationConfig};
+pub use value_clean::{clean_values, ValueCleanConfig};
+
+/// The seed after discovery + aggregation + cleaning: the cluster table
+/// plus the per-product pairs (needed to tag the initial training set).
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Cluster name → values (cleaned).
+    pub table: AttrTable,
+    /// Cluster name → values *before* cleaning (the diversification
+    /// module samples shapes from here).
+    pub raw_table: AttrTable,
+    /// Per-product `(cluster, value)` pairs surviving cleaning.
+    pub product_pairs: Vec<TablePair>,
+    /// Alias → cluster name mapping produced by aggregation.
+    pub alias_to_cluster: HashMap<String, String>,
+}
+
+/// Builds the candidate [`AttrTable`] straight from dictionary tables
+/// (line 2 of the paper's algorithm).
+pub fn candidate_discovery(corpus: &Corpus) -> AttrTable {
+    let mut table = AttrTable::default();
+    for pair in &corpus.table_pairs {
+        table.add(&pair.attr, &pair.value);
+    }
+    table
+}
+
+/// Runs the full seed stage: discovery → aggregation → value cleaning.
+pub fn build_seed(
+    corpus: &Corpus,
+    query_log: &[String],
+    agg: &AggregationConfig,
+    clean: &ValueCleanConfig,
+) -> Seed {
+    let candidates = candidate_discovery(corpus);
+    let alias_to_cluster = aggregate_attributes(&candidates, agg);
+
+    // Re-key candidates by cluster.
+    let mut clustered = AttrTable::default();
+    for pair in &corpus.table_pairs {
+        let cluster = alias_to_cluster
+            .get(&pair.attr)
+            .cloned()
+            .unwrap_or_else(|| pair.attr.clone());
+        clustered.add(&cluster, &pair.value);
+    }
+
+    let table = clean_values(&clustered, query_log, clean);
+
+    // Product pairs surviving cleaning, re-keyed by cluster.
+    let surviving: HashMap<&str, &HashMap<String, usize>> = table
+        .values
+        .iter()
+        .map(|(k, v)| (k.as_str(), v))
+        .collect();
+    let product_pairs = corpus
+        .table_pairs
+        .iter()
+        .filter_map(|pair| {
+            let cluster = alias_to_cluster
+                .get(&pair.attr)
+                .cloned()
+                .unwrap_or_else(|| pair.attr.clone());
+            let kept = surviving
+                .get(cluster.as_str())
+                .is_some_and(|vals| vals.contains_key(&pair.value));
+            kept.then(|| TablePair {
+                product: pair.product,
+                attr: cluster,
+                value: pair.value.clone(),
+            })
+        })
+        .collect();
+
+    Seed {
+        table,
+        raw_table: clustered,
+        product_pairs,
+        alias_to_cluster,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::parse_corpus;
+    use pae_synth::{CategoryKind, DatasetSpec};
+
+    #[test]
+    fn seed_builds_on_generated_data() {
+        let d = DatasetSpec::new(CategoryKind::LadiesBags, 42)
+            .products(80)
+            .generate();
+        let corpus = parse_corpus(&d);
+        let seed = build_seed(
+            &corpus,
+            &d.query_log,
+            &AggregationConfig::default(),
+            &ValueCleanConfig::default(),
+        );
+        assert!(seed.table.n_pairs() > 10, "seed too small");
+        assert!(!seed.product_pairs.is_empty());
+        // Cleaning must not invent pairs.
+        let raw = candidate_discovery(&corpus);
+        assert!(seed.table.n_pairs() <= raw.n_pairs());
+    }
+}

@@ -1,0 +1,133 @@
+//! Seed value cleaning (§V-A): *"incorrect attribute values are removed
+//! by keeping only those values that are found in search queries (from
+//! the search log input) or occur very often in its web page"*.
+
+use std::collections::HashSet;
+
+use crate::types::AttrTable;
+
+/// Value-cleaning parameters.
+#[derive(Debug, Clone)]
+pub struct ValueCleanConfig {
+    /// A value observed at least this many times is kept regardless of
+    /// the query log.
+    pub min_frequency: usize,
+}
+
+impl Default for ValueCleanConfig {
+    fn default() -> Self {
+        ValueCleanConfig { min_frequency: 3 }
+    }
+}
+
+/// Applies the cleaning rule to a clustered candidate table.
+///
+/// A value is kept iff it appears (as a whole-token subsequence) in
+/// some query, or its observation count is at least `min_frequency`.
+/// Queries are compared token-wise so `akakaban` (a query for a red
+/// bag) matches the value `aka` only when tokenization splits it.
+pub fn clean_values(
+    candidates: &AttrTable,
+    query_log: &[String],
+    config: &ValueCleanConfig,
+) -> AttrTable {
+    // Normalized queries are produced by the corpus/query generation
+    // with the same tokenizer; here we only need token containment, so
+    // a set of all query token n-grams would be heavy — instead test
+    // subsequence containment per query lazily over a token index.
+    let query_tokens: Vec<Vec<&str>> = query_log
+        .iter()
+        .map(|q| q.split(' ').collect())
+        .collect();
+    // Fast pre-filter: set of all tokens occurring in any query.
+    let token_set: HashSet<&str> = query_tokens.iter().flatten().copied().collect();
+
+    let mut out = AttrTable::default();
+    for (attr, values) in &candidates.values {
+        for (value, &count) in values {
+            let keep = count >= config.min_frequency || in_queries(value, &query_tokens, &token_set);
+            if keep {
+                for _ in 0..count {
+                    out.add(attr, value);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whole-token containment of `value` in any query.
+fn in_queries(value: &str, queries: &[Vec<&str>], token_set: &HashSet<&str>) -> bool {
+    let v_tokens: Vec<&str> = value.split(' ').collect();
+    if v_tokens.iter().any(|t| !token_set.contains(t)) {
+        return false;
+    }
+    queries.iter().any(|q| contains_subsequence(q, &v_tokens))
+}
+
+/// True when `needle` occurs contiguously inside `haystack`.
+fn contains_subsequence(haystack: &[&str], needle: &[&str]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return needle.is_empty();
+    }
+    haystack
+        .windows(needle.len())
+        .any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: &[(&str, &str, usize)]) -> AttrTable {
+        let mut t = AttrTable::default();
+        for (attr, value, count) in entries {
+            for _ in 0..*count {
+                t.add(attr, value);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn frequent_values_survive_without_queries() {
+        let t = table(&[("color", "aka", 5), ("color", "typo", 1)]);
+        let cleaned = clean_values(&t, &[], &ValueCleanConfig { min_frequency: 3 });
+        assert_eq!(cleaned.values_of("color"), vec!["aka"]);
+    }
+
+    #[test]
+    fn queried_rare_values_survive() {
+        let t = table(&[("color", "momo", 1), ("color", "junk", 1)]);
+        let queries = vec!["momo kaban".to_owned()];
+        let cleaned = clean_values(&t, &queries, &ValueCleanConfig { min_frequency: 3 });
+        assert_eq!(cleaned.values_of("color"), vec!["momo"]);
+    }
+
+    #[test]
+    fn multiword_values_need_contiguous_match() {
+        let t = table(&[("material", "100 % cotton", 1)]);
+        let q_scattered = vec!["100 things % off cotton".to_owned()];
+        let cleaned = clean_values(&t, &q_scattered, &ValueCleanConfig { min_frequency: 5 });
+        assert!(cleaned.values_of("material").is_empty());
+
+        let q_exact = vec!["best 100 % cotton shirt".to_owned()];
+        let cleaned = clean_values(&t, &q_exact, &ValueCleanConfig { min_frequency: 5 });
+        assert_eq!(cleaned.values_of("material"), vec!["100 % cotton"]);
+    }
+
+    #[test]
+    fn counts_are_preserved() {
+        let t = table(&[("color", "aka", 4)]);
+        let cleaned = clean_values(&t, &[], &ValueCleanConfig { min_frequency: 2 });
+        assert_eq!(cleaned.values["color"]["aka"], 4);
+    }
+
+    #[test]
+    fn subsequence_helper() {
+        assert!(contains_subsequence(&["a", "b", "c"], &["b", "c"]));
+        assert!(!contains_subsequence(&["a", "b", "c"], &["a", "c"]));
+        assert!(contains_subsequence(&["a"], &[]));
+        assert!(!contains_subsequence(&[], &["a"]));
+    }
+}

@@ -1,0 +1,227 @@
+//! Tagger backends (§V-B): CRF and BiLSTM behind one interface.
+
+// The two backends legitimately differ a lot in size; boxing the CRF
+// fields would only add indirection on the hot decode path.
+#![allow(clippy::large_enum_variant)]
+
+use pae_crf::{CrfModel, FeatureExtractor, FeatureIndex, Instance};
+use pae_neural::{BiLstmTagger, TaggerConfig};
+use pae_text::PosTag;
+
+use crate::config::{CrfOptions, RnnOptions};
+use crate::corpus::Corpus;
+use crate::trainset::{decode_spans, LabelSpace, LabeledSentence};
+use crate::types::Triple;
+
+/// A trained sequence tagger.
+pub enum TrainedTagger {
+    /// Linear-chain CRF with the paper's feature templates.
+    Crf {
+        /// The trained model.
+        model: CrfModel,
+        /// Feature templates.
+        extractor: FeatureExtractor,
+        /// Frozen feature index.
+        index: FeatureIndex,
+    },
+    /// Char+word BiLSTM.
+    Rnn {
+        /// The trained network.
+        model: BiLstmTagger,
+    },
+}
+
+impl TrainedTagger {
+    /// Trains a CRF on the labelled sentences.
+    pub fn train_crf(
+        sentences: &[LabeledSentence],
+        n_labels: usize,
+        options: &CrfOptions,
+    ) -> TrainedTagger {
+        let extractor = FeatureExtractor::new(pae_crf::FeatureTemplates {
+            window: options.window,
+            max_sentence_bucket: 8,
+        });
+        let mut index = FeatureIndex::new();
+        let mut instances: Vec<Instance> = sentences
+            .iter()
+            .map(|s| {
+                let words: Vec<&str> = s.words.iter().map(String::as_str).collect();
+                let pos: Vec<&str> = s.pos.iter().map(|p| p.mnemonic()).collect();
+                Instance {
+                    features: extractor.encode_train(&words, &pos, s.sent_idx, &mut index),
+                    labels: s.labels.clone(),
+                }
+            })
+            .collect();
+
+        // CRFsuite-style minfreq pruning: drop singleton features from
+        // the instances. Their ids stay allocated (the weight simply
+        // remains zero) — cheap, and decode-time lookups are unchanged.
+        if options.min_feature_freq > 1 {
+            let mut counts = vec![0usize; index.len()];
+            for inst in &instances {
+                for feats in &inst.features {
+                    for &f in feats {
+                        counts[f as usize] += 1;
+                    }
+                }
+            }
+            for inst in &mut instances {
+                for feats in &mut inst.features {
+                    feats.retain(|&f| counts[f as usize] >= options.min_feature_freq);
+                }
+            }
+        }
+        let config = pae_crf::TrainConfig {
+            l1: options.l1,
+            l2: options.l2,
+            max_iters: options.max_iters,
+            epsilon: 1e-4,
+            dense_transitions: false,
+        };
+        let model = pae_crf::train(&instances, index.len(), n_labels, &config);
+        TrainedTagger::Crf {
+            model,
+            extractor,
+            index,
+        }
+    }
+
+    /// Trains the BiLSTM on the labelled sentences.
+    pub fn train_rnn(
+        sentences: &[LabeledSentence],
+        n_labels: usize,
+        options: &RnnOptions,
+    ) -> TrainedTagger {
+        let data: Vec<(Vec<String>, Vec<usize>)> = sentences
+            .iter()
+            .map(|s| (s.words.clone(), s.labels.clone()))
+            .collect();
+        let config = TaggerConfig {
+            epochs: options.epochs,
+            learning_rate: options.learning_rate,
+            word_dim: options.hidden,
+            word_hidden: options.hidden,
+            seed: options.seed,
+            ..Default::default()
+        };
+        TrainedTagger::Rnn {
+            model: BiLstmTagger::train(&data, n_labels, &config),
+        }
+    }
+
+    /// Tags one sentence.
+    pub fn tag(&self, words: &[String], pos: &[PosTag], sent_idx: usize) -> Vec<usize> {
+        match self {
+            TrainedTagger::Crf {
+                model,
+                extractor,
+                index,
+            } => {
+                let w: Vec<&str> = words.iter().map(String::as_str).collect();
+                let p: Vec<&str> = pos.iter().map(|t| t.mnemonic()).collect();
+                let feats = extractor.encode(&w, &p, sent_idx, index);
+                model.viterbi(&feats)
+            }
+            TrainedTagger::Rnn { model } => model.predict(words),
+        }
+    }
+}
+
+/// Runs the tagger over every sentence of the corpus and decodes the
+/// BIO output into candidate triples (deduplicated).
+pub fn extract_candidates(
+    tagger: &TrainedTagger,
+    corpus: &Corpus,
+    space: &LabelSpace,
+) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for product in &corpus.products {
+        for (sent_idx, sentence) in product.sentences.iter().enumerate() {
+            let words: Vec<String> = sentence.words().map(str::to_owned).collect();
+            if words.is_empty() {
+                continue;
+            }
+            let pos: Vec<PosTag> = sentence.tokens.iter().map(|t| t.pos).collect();
+            let labels = tagger.tag(&words, &pos, sent_idx);
+            for (attr, range) in decode_spans(&labels, space) {
+                let value = words[range].join(" ");
+                out.push(Triple::new(product.id, space.attrs()[attr].clone(), value));
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CrfOptions, RnnOptions};
+
+    fn toy_sentences(space: &LabelSpace) -> Vec<LabeledSentence> {
+        // "iro : aka" style sentences; attr 0 = color.
+        let mk = |words: &[&str], labels: Vec<usize>| LabeledSentence {
+            product: 0,
+            sent_idx: 0,
+            words: words.iter().map(|s| s.to_string()).collect(),
+            pos: words.iter().map(|_| PosTag::Noun).collect(),
+            labels,
+        };
+        let b = space.begin(0);
+        vec![
+            mk(&["iro", ":", "aka"], vec![0, 0, b]),
+            mk(&["iro", ":", "ao"], vec![0, 0, b]),
+            mk(&["kaban", "wa", "subarashii"], vec![0, 0, 0]),
+            mk(&["iro", ":", "kiiro"], vec![0, 0, b]),
+            mk(&["aka", "kaban"], vec![b, 0]),
+        ]
+    }
+
+    #[test]
+    fn crf_backend_learns_pattern() {
+        let space = LabelSpace::new(vec!["color".into()]);
+        let sentences = toy_sentences(&space);
+        let tagger = TrainedTagger::train_crf(&sentences, space.n_labels(), &CrfOptions::default());
+        let words: Vec<String> = ["iro", ":", "momo"].iter().map(|s| s.to_string()).collect();
+        let pos = vec![PosTag::Noun; 3];
+        let labels = tagger.tag(&words, &pos, 0);
+        assert_eq!(labels[2], space.begin(0), "labels: {labels:?}");
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn min_feature_freq_prunes_without_breaking_decode() {
+        let space = LabelSpace::new(vec!["color".into()]);
+        let sentences = toy_sentences(&space);
+        let mut options = CrfOptions {
+            min_feature_freq: 2,
+            ..Default::default()
+        };
+        options.max_iters = 40;
+        let tagger = TrainedTagger::train_crf(&sentences, space.n_labels(), &options);
+        let words: Vec<String> = ["iro", ":", "ao"].iter().map(|s| s.to_string()).collect();
+        let pos = vec![PosTag::Noun; 3];
+        let labels = tagger.tag(&words, &pos, 0);
+        assert_eq!(labels[2], space.begin(0), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn rnn_backend_learns_pattern() {
+        let space = LabelSpace::new(vec!["color".into()]);
+        let sentences = toy_sentences(&space);
+        let options = RnnOptions {
+            epochs: 80,
+            ..Default::default()
+        };
+        let tagger = TrainedTagger::train_rnn(&sentences, space.n_labels(), &options);
+        let words: Vec<String> = ["iro", ":", "aka"].iter().map(|s| s.to_string()).collect();
+        let pos = vec![PosTag::Noun; 3];
+        let labels = tagger.tag(&words, &pos, 0);
+        assert_eq!(labels[2], space.begin(0), "labels: {labels:?}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Training-set generation: projecting known triples onto the corpus
+//! as BIO labels (§V-A, line 5 of the algorithm).
+
+use std::collections::HashMap;
+
+use pae_text::PosTag;
+
+use crate::corpus::Corpus;
+use crate::types::Triple;
+
+/// The BIO label space over the attribute clusters.
+///
+/// Label 0 is `O`; attribute `i` owns labels `2i+1` (`B`) and `2i+2`
+/// (`I`). Attribute order is sorted cluster name, so the space is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct LabelSpace {
+    attrs: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl LabelSpace {
+    /// Builds the space from cluster names (deduplicated + sorted).
+    pub fn new(mut attrs: Vec<String>) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        let index = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        LabelSpace { attrs, index }
+    }
+
+    /// Number of labels (`1 + 2 · |attrs|`).
+    pub fn n_labels(&self) -> usize {
+        1 + 2 * self.attrs.len()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute names, sorted.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Index of an attribute name.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.index.get(attr).copied()
+    }
+
+    /// `B` label of attribute `i`.
+    pub fn begin(&self, attr: usize) -> usize {
+        1 + 2 * attr
+    }
+
+    /// `I` label of attribute `i`.
+    pub fn inside(&self, attr: usize) -> usize {
+        2 + 2 * attr
+    }
+
+    /// Decomposes a label into `(attr index, is_begin)`; `None` for `O`.
+    pub fn attr_of(&self, label: usize) -> Option<(usize, bool)> {
+        if label == 0 || label >= self.n_labels() {
+            return None;
+        }
+        Some(((label - 1) / 2, (label - 1).is_multiple_of(2)))
+    }
+
+    /// Restricts the space to a subset of attributes (specialized
+    /// models, §VIII-D). Unknown names are ignored.
+    pub fn restrict(&self, subset: &[&str]) -> LabelSpace {
+        LabelSpace::new(
+            self.attrs
+                .iter()
+                .filter(|a| subset.contains(&a.as_str()))
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+/// One BIO-labelled sentence.
+#[derive(Debug, Clone)]
+pub struct LabeledSentence {
+    /// Product the sentence came from.
+    pub product: u32,
+    /// Sentence index within the product (0 = title).
+    pub sent_idx: usize,
+    /// Surface words.
+    pub words: Vec<String>,
+    /// PoS tags, parallel to `words`.
+    pub pos: Vec<PosTag>,
+    /// BIO labels, parallel to `words`.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledSentence {
+    /// True when at least one non-`O` label is present.
+    pub fn has_annotations(&self) -> bool {
+        self.labels.iter().any(|&l| l != 0)
+    }
+}
+
+/// Generates the labelled corpus slice for the given known triples.
+///
+/// Only products that own at least one triple contribute sentences
+/// (the paper tags *"an initial set of products (the few ones with
+/// dictionary tables)"*); all their sentences are included so the
+/// model sees negatives. Within a sentence, every occurrence of one of
+/// the product's known values is tagged with its attribute; longer
+/// values win on overlap.
+pub fn generate_training_set(
+    corpus: &Corpus,
+    triples: &[Triple],
+    labels: &LabelSpace,
+    extra_values: &[(String, String)],
+) -> Vec<LabeledSentence> {
+    // Per-product value inventory.
+    let mut per_product: HashMap<u32, Vec<(usize, Vec<String>)>> = HashMap::new();
+    for t in triples {
+        if let Some(ai) = labels.attr_index(&t.attr) {
+            per_product
+                .entry(t.product)
+                .or_default()
+                .push((ai, t.value.split(' ').map(str::to_owned).collect()));
+        }
+    }
+    // Category-level extra values (diversified seed entries without a
+    // product) are taggable in any training product's page.
+    let extra: Vec<(usize, Vec<String>)> = extra_values
+        .iter()
+        .filter_map(|(attr, value)| {
+            labels
+                .attr_index(attr)
+                .map(|ai| (ai, value.split(' ').map(str::to_owned).collect()))
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for product in &corpus.products {
+        let Some(own) = per_product.get_mut(&product.id) else {
+            continue;
+        };
+        // Longer values first so overlaps resolve to the longest match.
+        let mut inventory: Vec<(usize, Vec<String>)> = own.clone();
+        inventory.extend(extra.iter().cloned());
+        inventory.sort_by_key(|(_, value)| std::cmp::Reverse(value.len()));
+        inventory.dedup();
+
+        for (sent_idx, sentence) in product.sentences.iter().enumerate() {
+            let words: Vec<String> = sentence.words().map(str::to_owned).collect();
+            let pos: Vec<PosTag> = sentence.tokens.iter().map(|t| t.pos).collect();
+            let mut lab = vec![0usize; words.len()];
+
+            for (ai, value) in &inventory {
+                mark_occurrences(&words, value, *ai, labels, &mut lab);
+            }
+            out.push(LabeledSentence {
+                product: product.id,
+                sent_idx,
+                words,
+                pos,
+                labels: lab,
+            });
+        }
+    }
+    out
+}
+
+/// Tags non-overlapping occurrences of `value` in `words`.
+fn mark_occurrences(
+    words: &[String],
+    value: &[String],
+    attr: usize,
+    labels: &LabelSpace,
+    out: &mut [usize],
+) {
+    if value.is_empty() || value.len() > words.len() {
+        return;
+    }
+    let mut i = 0;
+    while i + value.len() <= words.len() {
+        let window = &words[i..i + value.len()];
+        let free = out[i..i + value.len()].iter().all(|&l| l == 0);
+        if free && window.iter().zip(value).all(|(a, b)| a == b) {
+            out[i] = labels.begin(attr);
+            for slot in out[i + 1..i + value.len()].iter_mut() {
+                *slot = labels.inside(attr);
+            }
+            i += value.len();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Decodes BIO labels back into `(attr index, token range)` spans.
+pub fn decode_spans(labels_seq: &[usize], space: &LabelSpace) -> Vec<(usize, std::ops::Range<usize>)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < labels_seq.len() {
+        match space.attr_of(labels_seq[i]) {
+            Some((attr, true)) => {
+                let start = i;
+                i += 1;
+                while i < labels_seq.len()
+                    && space.attr_of(labels_seq[i]) == Some((attr, false))
+                {
+                    i += 1;
+                }
+                spans.push((attr, start..i));
+            }
+            // A stray `I` without its `B` starts a span too (robust
+            // decoding, as CRFsuite does).
+            Some((attr, false)) => {
+                let start = i;
+                i += 1;
+                while i < labels_seq.len()
+                    && space.attr_of(labels_seq[i]) == Some((attr, false))
+                {
+                    i += 1;
+                }
+                spans.push((attr, start..i));
+            }
+            None => i += 1,
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_space_layout() {
+        let s = LabelSpace::new(vec!["b".into(), "a".into(), "b".into()]);
+        assert_eq!(s.n_attrs(), 2);
+        assert_eq!(s.n_labels(), 5);
+        assert_eq!(s.attrs(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(s.begin(0), 1);
+        assert_eq!(s.inside(0), 2);
+        assert_eq!(s.begin(1), 3);
+        assert_eq!(s.attr_of(0), None);
+        assert_eq!(s.attr_of(3), Some((1, true)));
+        assert_eq!(s.attr_of(4), Some((1, false)));
+        assert_eq!(s.attr_of(9), None);
+    }
+
+    #[test]
+    fn restrict_keeps_subset() {
+        let s = LabelSpace::new(vec!["a".into(), "b".into(), "c".into()]);
+        let r = s.restrict(&["c", "a", "zzz"]);
+        assert_eq!(r.attrs(), &["a".to_owned(), "c".to_owned()]);
+        assert_eq!(r.n_labels(), 5);
+    }
+
+    #[test]
+    fn mark_tags_multiword_and_respects_overlap() {
+        let space = LabelSpace::new(vec!["color".into(), "material".into()]);
+        let words: Vec<String> = ["the", "deep", "red", "cotton", "bag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = vec![0; 5];
+        // Longer value tagged first wins.
+        mark_occurrences(
+            &words,
+            &["deep".to_owned(), "red".to_owned()],
+            0,
+            &space,
+            &mut out,
+        );
+        mark_occurrences(&words, &["red".to_owned()], 0, &space, &mut out);
+        mark_occurrences(&words, &["cotton".to_owned()], 1, &space, &mut out);
+        assert_eq!(out, vec![0, space.begin(0), space.inside(0), space.begin(1), 0]);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let space = LabelSpace::new(vec!["color".into(), "weight".into()]);
+        let labels = vec![
+            0,
+            space.begin(0),
+            space.inside(0),
+            0,
+            space.begin(1),
+            space.begin(0),
+        ];
+        let spans = decode_spans(&labels, &space);
+        assert_eq!(spans, vec![(0, 1..3), (1, 4..5), (0, 5..6)]);
+    }
+
+    #[test]
+    fn decode_handles_stray_inside() {
+        let space = LabelSpace::new(vec!["color".into()]);
+        let labels = vec![space.inside(0), space.inside(0), 0];
+        let spans = decode_spans(&labels, &space);
+        assert_eq!(spans, vec![(0, 0..2)]);
+    }
+}

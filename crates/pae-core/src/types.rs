@@ -1,0 +1,102 @@
+//! Shared pipeline types.
+
+use std::collections::HashMap;
+
+/// One extracted `<product, attribute, value>` triple.
+///
+/// `attr` is the *cluster name* chosen during attribute aggregation
+/// (the most frequent merchant alias); `value` is the normalized
+/// surface (tokens joined by single spaces).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Product id.
+    pub product: u32,
+    /// Attribute cluster name (a merchant alias surface).
+    pub attr: String,
+    /// Normalized value.
+    pub value: String,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(product: u32, attr: impl Into<String>, value: impl Into<String>) -> Self {
+        Triple {
+            product,
+            attr: attr.into(),
+            value: value.into(),
+        }
+    }
+
+    /// The value's tokens (normalized values are space-joined).
+    pub fn value_tokens(&self) -> Vec<&str> {
+        self.value.split(' ').collect()
+    }
+}
+
+/// The attribute inventory the pipeline works with after aggregation:
+/// cluster name → known normalized values.
+#[derive(Debug, Clone, Default)]
+pub struct AttrTable {
+    /// Cluster name → set of values with their observation counts.
+    pub values: HashMap<String, HashMap<String, usize>>,
+}
+
+impl AttrTable {
+    /// Adds one observation of `value` under `attr`.
+    pub fn add(&mut self, attr: &str, value: &str) {
+        *self
+            .values
+            .entry(attr.to_owned())
+            .or_default()
+            .entry(value.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// Attribute names, sorted for determinism.
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut a: Vec<&str> = self.values.keys().map(String::as_str).collect();
+        a.sort_unstable();
+        a
+    }
+
+    /// Distinct values known for `attr`.
+    pub fn values_of(&self, attr: &str) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .values
+            .get(attr)
+            .map(|m| m.keys().map(String::as_str).collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total distinct `(attr, value)` pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.values.values().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_tokens() {
+        let t = Triple::new(3, "iro", "2 . 5 kg");
+        assert_eq!(t.value_tokens(), vec!["2", ".", "5", "kg"]);
+    }
+
+    #[test]
+    fn attr_table_counts() {
+        let mut t = AttrTable::default();
+        t.add("color", "aka");
+        t.add("color", "aka");
+        t.add("color", "ao");
+        t.add("weight", "2 kg");
+        assert_eq!(t.attrs(), vec!["color", "weight"]);
+        assert_eq!(t.values_of("color"), vec!["aka", "ao"]);
+        assert_eq!(t.n_pairs(), 3);
+        assert_eq!(t.values["color"]["aka"], 2);
+        assert!(t.values_of("missing").is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Encoded instances for training and decoding.
+
+/// Dense feature id (assigned by [`crate::features::FeatureIndex`]).
+pub type FeatId = u32;
+
+/// Dense label id.
+pub type LabelId = usize;
+
+/// One encoded sequence: per-position binary features and gold labels.
+///
+/// `features.len() == labels.len()`; each inner vector holds the ids of
+/// the features active at that position (all features are binary, as in
+/// CRFsuite's default text mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Active feature ids per position.
+    pub features: Vec<Vec<FeatId>>,
+    /// Gold label per position (ignored at decode time).
+    pub labels: Vec<LabelId>,
+}
+
+impl Instance {
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Asserts internal consistency (equal lengths, labels in range).
+    pub fn validate(&self, n_labels: usize) -> Result<(), String> {
+        if self.features.len() != self.labels.len() {
+            return Err(format!(
+                "features/labels length mismatch: {} vs {}",
+                self.features.len(),
+                self.labels.len()
+            ));
+        }
+        if let Some(&bad) = self.labels.iter().find(|&&l| l >= n_labels) {
+            return Err(format!("label {bad} out of range (n_labels = {n_labels})"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_mismatch() {
+        let inst = Instance {
+            features: vec![vec![0], vec![1]],
+            labels: vec![0],
+        };
+        assert!(inst.validate(2).is_err());
+    }
+
+    #[test]
+    fn validate_catches_label_range() {
+        let inst = Instance {
+            features: vec![vec![0]],
+            labels: vec![5],
+        };
+        assert!(inst.validate(2).is_err());
+        assert!(inst.validate(6).is_ok());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance {
+            features: vec![],
+            labels: vec![],
+        };
+        assert!(inst.is_empty());
+        assert!(inst.validate(1).is_ok());
+    }
+}

@@ -1,0 +1,251 @@
+//! Feature templates and interning.
+//!
+//! The templates follow the paper's §VI-D exactly: *"for a given
+//! token/word in position t (w\[t\]) we generate the following features:
+//! the word w\[t\], the words in a window of size K around w\[t\], the
+//! part-of-speech (pos) tags of such words, the concatenation of the pos
+//! of those words, and the sentence number."*
+
+use std::collections::HashMap;
+
+use crate::data::FeatId;
+
+/// Grow-only feature-string interner.
+///
+/// During training, unseen feature strings are assigned fresh ids; at
+/// decode time the index is frozen and unseen features are skipped
+/// (they carry zero weight anyway).
+#[derive(Debug, Default, Clone)]
+pub struct FeatureIndex {
+    map: HashMap<String, FeatId>,
+}
+
+impl FeatureIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `feature`, assigning a fresh id when unseen.
+    pub fn intern(&mut self, feature: &str) -> FeatId {
+        if let Some(&id) = self.map.get(feature) {
+            return id;
+        }
+        let id = self.map.len() as FeatId;
+        self.map.insert(feature.to_owned(), id);
+        id
+    }
+
+    /// Looks up `feature` without interning.
+    pub fn get(&self, feature: &str) -> Option<FeatId> {
+        self.map.get(feature).copied()
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no feature has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Template configuration.
+#[derive(Debug, Clone)]
+pub struct FeatureTemplates {
+    /// Window radius K (the paper's window of size K; default 2).
+    pub window: usize,
+    /// Cap for the sentence-number feature: sentences beyond the cap
+    /// share one bucket (titles vs early vs late description text).
+    pub max_sentence_bucket: usize,
+}
+
+impl Default for FeatureTemplates {
+    fn default() -> Self {
+        FeatureTemplates {
+            window: 2,
+            max_sentence_bucket: 8,
+        }
+    }
+}
+
+/// Generates feature strings for every position of a sentence.
+///
+/// `words` and `pos` are parallel; `sentence_number` is the index of the
+/// sentence within its document.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    /// Template configuration.
+    pub templates: FeatureTemplates,
+}
+
+impl FeatureExtractor {
+    /// Extractor with the given templates.
+    pub fn new(templates: FeatureTemplates) -> Self {
+        FeatureExtractor { templates }
+    }
+
+    /// Produces the feature strings for position `t`.
+    pub fn features_at(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        t: usize,
+    ) -> Vec<String> {
+        debug_assert_eq!(words.len(), pos.len());
+        let k = self.templates.window as isize;
+        let n = words.len() as isize;
+        let ti = t as isize;
+        let mut feats = Vec::with_capacity((4 * k as usize + 2) + 3);
+
+        feats.push("bias".to_owned());
+        // Word and window words.
+        for d in -k..=k {
+            let idx = ti + d;
+            let w = if idx < 0 {
+                "<s>"
+            } else if idx >= n {
+                "</s>"
+            } else {
+                words[idx as usize]
+            };
+            feats.push(format!("w[{d}]={w}"));
+        }
+        // PoS of the window words.
+        let mut pos_concat = String::new();
+        for d in -k..=k {
+            let idx = ti + d;
+            let p = if idx < 0 {
+                "BOS"
+            } else if idx >= n {
+                "EOS"
+            } else {
+                pos[idx as usize]
+            };
+            feats.push(format!("p[{d}]={p}"));
+            if !pos_concat.is_empty() {
+                pos_concat.push('|');
+            }
+            pos_concat.push_str(p);
+        }
+        // Concatenation of the window PoS tags.
+        feats.push(format!("pseq={pos_concat}"));
+        // Sentence number (bucketed).
+        let bucket = sentence_number.min(self.templates.max_sentence_bucket);
+        feats.push(format!("sent={bucket}"));
+        feats
+    }
+
+    /// Encodes a full sentence, interning new features.
+    pub fn encode_train(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        index: &mut FeatureIndex,
+    ) -> Vec<Vec<FeatId>> {
+        (0..words.len())
+            .map(|t| {
+                self.features_at(words, pos, sentence_number, t)
+                    .iter()
+                    .map(|f| index.intern(f))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Encodes a sentence against a frozen index (unseen features skipped).
+    pub fn encode(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        index: &FeatureIndex,
+    ) -> Vec<Vec<FeatId>> {
+        (0..words.len())
+            .map(|t| {
+                self.features_at(words, pos, sentence_number, t)
+                    .iter()
+                    .filter_map(|f| index.get(f))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_assigns_dense_ids() {
+        let mut idx = FeatureIndex::new();
+        assert_eq!(idx.intern("a"), 0);
+        assert_eq!(idx.intern("b"), 1);
+        assert_eq!(idx.intern("a"), 0);
+        assert_eq!(idx.get("b"), Some(1));
+        assert_eq!(idx.get("c"), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn templates_cover_paper_features() {
+        let ex = FeatureExtractor::default();
+        let words = ["weight", ":", "2", "kg"];
+        let pos = ["NN", "SYM", "CD", "UNIT"];
+        let feats = ex.features_at(&words, &pos, 0, 2);
+        // Current word.
+        assert!(feats.contains(&"w[0]=2".to_owned()));
+        // Window words incl. boundaries.
+        assert!(feats.contains(&"w[-2]=weight".to_owned()));
+        assert!(feats.contains(&"w[2]=</s>".to_owned()));
+        // PoS tags and their concatenation.
+        assert!(feats.contains(&"p[1]=UNIT".to_owned()));
+        assert!(feats.contains(&"pseq=NN|SYM|CD|UNIT|EOS".to_owned()));
+        // Sentence number.
+        assert!(feats.contains(&"sent=0".to_owned()));
+    }
+
+    #[test]
+    fn sentence_bucket_caps() {
+        let ex = FeatureExtractor::default();
+        let feats = ex.features_at(&["x"], &["NN"], 99, 0);
+        assert!(feats.contains(&"sent=8".to_owned()));
+    }
+
+    #[test]
+    fn encode_roundtrip_and_frozen_decode() {
+        let ex = FeatureExtractor::default();
+        let words = ["red", "bag"];
+        let pos = ["JJ", "NN"];
+        let mut idx = FeatureIndex::new();
+        let enc = ex.encode_train(&words, &pos, 0, &mut idx);
+        assert_eq!(enc.len(), 2);
+        assert!(!enc[0].is_empty());
+
+        // Decoding the same sentence against the frozen index must
+        // produce identical ids.
+        let dec = ex.encode(&words, &pos, 0, &idx);
+        assert_eq!(enc, dec);
+
+        // An unseen sentence loses only its unseen features.
+        let dec2 = ex.encode(&["blue", "bag"], &pos, 0, &idx);
+        assert!(dec2[0].len() < enc[0].len());
+        assert!(!dec2[0].is_empty(), "shared window features survive");
+    }
+
+    #[test]
+    fn window_zero_still_has_word_and_pos() {
+        let ex = FeatureExtractor::new(FeatureTemplates {
+            window: 0,
+            max_sentence_bucket: 4,
+        });
+        let feats = ex.features_at(&["x"], &["NN"], 1, 0);
+        assert!(feats.contains(&"w[0]=x".to_owned()));
+        assert!(feats.contains(&"p[0]=NN".to_owned()));
+        assert!(feats.contains(&"pseq=NN".to_owned()));
+    }
+}

@@ -1,0 +1,286 @@
+//! Log-space forward/backward, marginals, and Viterbi decoding.
+
+// Dynamic-programming kernels read clearest with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::data::{FeatId, LabelId};
+use crate::model::CrfModel;
+use crate::numeric::log_sum_exp;
+
+/// Forward pass result.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// `alpha[t][l]` = log sum of scores of prefixes ending at `t` with
+    /// label `l` (includes the start weight and all emissions up to `t`).
+    pub alpha: Vec<Vec<f64>>,
+    /// Per-position emission scores (cached for reuse by backward).
+    pub emissions: Vec<Vec<f64>>,
+    /// Log-partition function `log Z` (includes end weights).
+    pub log_z: f64,
+}
+
+/// Runs the forward algorithm in log space.
+pub fn forward(model: &CrfModel, features: &[Vec<FeatId>]) -> Forward {
+    let n = features.len();
+    let l = model.n_labels;
+    let mut emissions = vec![vec![0.0; l]; n];
+    for (t, feats) in features.iter().enumerate() {
+        model.emission_scores(feats, &mut emissions[t]);
+    }
+    let mut alpha = vec![vec![f64::NEG_INFINITY; l]; n];
+    if n == 0 {
+        return Forward {
+            alpha,
+            emissions,
+            log_z: 0.0,
+        };
+    }
+    for y in 0..l {
+        alpha[0][y] = model.start(y) + emissions[0][y];
+    }
+    let mut scratch = vec![0.0; l];
+    for t in 1..n {
+        for y in 0..l {
+            for (p, s) in scratch.iter_mut().enumerate() {
+                *s = alpha[t - 1][p] + model.transition(p, y);
+            }
+            alpha[t][y] = log_sum_exp(&scratch) + emissions[t][y];
+        }
+    }
+    for (y, s) in scratch.iter_mut().enumerate() {
+        *s = alpha[n - 1][y] + model.end(y);
+    }
+    let log_z = log_sum_exp(&scratch);
+    Forward {
+        alpha,
+        emissions,
+        log_z,
+    }
+}
+
+/// Backward pass: `beta[t][l]` = log sum of scores of suffixes starting
+/// after `t` given label `l` at `t` (includes the end weight, excludes
+/// emission at `t`).
+pub fn backward(model: &CrfModel, emissions: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = emissions.len();
+    let l = model.n_labels;
+    let mut beta = vec![vec![f64::NEG_INFINITY; l]; n];
+    if n == 0 {
+        return beta;
+    }
+    for y in 0..l {
+        beta[n - 1][y] = model.end(y);
+    }
+    let mut scratch = vec![0.0; l];
+    for t in (0..n - 1).rev() {
+        for y in 0..l {
+            for (q, s) in scratch.iter_mut().enumerate() {
+                *s = model.transition(y, q) + emissions[t + 1][q] + beta[t + 1][q];
+            }
+            beta[t][y] = log_sum_exp(&scratch);
+        }
+    }
+    beta
+}
+
+/// Posterior marginals over the sequence.
+#[derive(Debug, Clone)]
+pub struct Marginals {
+    /// `node[t][l]` = P(y_t = l | x).
+    pub node: Vec<Vec<f64>>,
+    /// `edge[t][p][q]` = P(y_{t-1} = p, y_t = q | x), for t in `1..n`
+    /// stored at index `t - 1`.
+    pub edge: Vec<Vec<Vec<f64>>>,
+    /// Log-partition function.
+    pub log_z: f64,
+}
+
+/// Computes node and edge marginals via forward-backward.
+pub fn marginals(model: &CrfModel, features: &[Vec<FeatId>]) -> Marginals {
+    let fwd = forward(model, features);
+    let beta = backward(model, &fwd.emissions);
+    let n = features.len();
+    let l = model.n_labels;
+    let mut node = vec![vec![0.0; l]; n];
+    for t in 0..n {
+        for y in 0..l {
+            node[t][y] = (fwd.alpha[t][y] + beta[t][y] - fwd.log_z).exp();
+        }
+    }
+    let mut edge = vec![vec![vec![0.0; l]; l]; n.saturating_sub(1)];
+    for t in 1..n {
+        for p in 0..l {
+            for q in 0..l {
+                let s = fwd.alpha[t - 1][p]
+                    + model.transition(p, q)
+                    + fwd.emissions[t][q]
+                    + beta[t][q]
+                    - fwd.log_z;
+                edge[t - 1][p][q] = s.exp();
+            }
+        }
+    }
+    Marginals {
+        node,
+        edge,
+        log_z: fwd.log_z,
+    }
+}
+
+/// Viterbi decoding: most probable label sequence.
+pub fn viterbi(model: &CrfModel, features: &[Vec<FeatId>]) -> Vec<LabelId> {
+    let n = features.len();
+    let l = model.n_labels;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut emission = vec![0.0; l];
+    let mut delta = vec![vec![f64::NEG_INFINITY; l]; n];
+    let mut back = vec![vec![0usize; l]; n];
+    model.emission_scores(&features[0], &mut emission);
+    for y in 0..l {
+        delta[0][y] = model.start(y) + emission[y];
+    }
+    for t in 1..n {
+        model.emission_scores(&features[t], &mut emission);
+        for y in 0..l {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0;
+            for p in 0..l {
+                let s = delta[t - 1][p] + model.transition(p, y);
+                if s > best {
+                    best = s;
+                    arg = p;
+                }
+            }
+            delta[t][y] = best + emission[y];
+            back[t][y] = arg;
+        }
+    }
+    let mut last = 0;
+    let mut best = f64::NEG_INFINITY;
+    for y in 0..l {
+        let s = delta[n - 1][y] + model.end(y);
+        if s > best {
+            best = s;
+            last = y;
+        }
+    }
+    let mut out = vec![0; n];
+    let mut cur = last;
+    for t in (0..n).rev() {
+        out[t] = cur;
+        cur = back[t][cur];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Model with 2 labels / 2 features and hand-set weights.
+    fn toy_model() -> CrfModel {
+        let mut m = CrfModel::new(2, 2);
+        m.params[0] = 2.0; // f0 -> label 0
+        m.params[3] = 2.0; // f1 -> label 1
+        let t = m.trans_offset();
+        m.params[t + 1] = 0.5; // 0 -> 1 preferred
+        m
+    }
+
+    /// Brute-force log Z by enumerating all labellings.
+    fn brute_log_z(m: &CrfModel, feats: &[Vec<FeatId>]) -> f64 {
+        let n = feats.len();
+        let l = m.n_labels;
+        let mut scores = Vec::new();
+        let total = l.pow(n as u32);
+        for mut code in 0..total {
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(code % l);
+                code /= l;
+            }
+            scores.push(m.sequence_score(feats, &labels));
+        }
+        crate::numeric::log_sum_exp(&scores)
+    }
+
+    #[test]
+    fn forward_log_z_matches_brute_force() {
+        let m = toy_model();
+        let feats = vec![vec![0], vec![1], vec![0, 1]];
+        let fwd = forward(&m, &feats);
+        let brute = brute_log_z(&m, &feats);
+        assert!((fwd.log_z - brute).abs() < 1e-10, "{} vs {brute}", fwd.log_z);
+    }
+
+    #[test]
+    fn node_marginals_sum_to_one() {
+        let m = toy_model();
+        let feats = vec![vec![0], vec![], vec![1]];
+        let marg = marginals(&m, &feats);
+        for t in 0..feats.len() {
+            let s: f64 = marg.node[t].iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn edge_marginals_are_consistent_with_nodes() {
+        let m = toy_model();
+        let feats = vec![vec![0], vec![1], vec![]];
+        let marg = marginals(&m, &feats);
+        // Sum over p of edge[t-1][p][q] equals node[t][q].
+        for t in 1..feats.len() {
+            for q in 0..2 {
+                let s: f64 = (0..2).map(|p| marg.edge[t - 1][p][q]).sum();
+                assert!((s - marg.node[t][q]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force_argmax() {
+        let m = toy_model();
+        let feats = vec![vec![0], vec![1], vec![0]];
+        let got = viterbi(&m, &feats);
+
+        let n = feats.len();
+        let mut best_labels = vec![0; n];
+        let mut best = f64::NEG_INFINITY;
+        for code in 0..(2usize.pow(n as u32)) {
+            let labels: Vec<usize> = (0..n).map(|i| (code >> i) & 1).collect();
+            let s = m.sequence_score(&feats, &labels);
+            if s > best {
+                best = s;
+                best_labels = labels;
+            }
+        }
+        assert_eq!(got, best_labels);
+    }
+
+    #[test]
+    fn empty_sequence_inference() {
+        let m = toy_model();
+        assert!(viterbi(&m, &[]).is_empty());
+        assert_eq!(forward(&m, &[]).log_z, 0.0);
+        let marg = marginals(&m, &[]);
+        assert!(marg.node.is_empty() && marg.edge.is_empty());
+    }
+
+    #[test]
+    fn transitions_influence_decode() {
+        // Emissions are ambiguous; transitions must decide.
+        let mut m = CrfModel::new(1, 2);
+        let t = m.trans_offset();
+        m.params[t] = -1.0; // discourage 0->0
+        m.params[t + 1] = 1.0; // encourage 0->1
+        m.params[t + 2] = 1.0; // encourage 1->0
+        m.params[t + 3] = -1.0;
+        let s = m.start_offset();
+        m.params[s] = 0.1; // start at 0
+        let feats = vec![vec![], vec![], vec![], vec![]];
+        assert_eq!(viterbi(&m, &feats), vec![0, 1, 0, 1]);
+    }
+}

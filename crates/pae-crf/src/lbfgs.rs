@@ -1,0 +1,264 @@
+//! Limited-memory BFGS minimizer with backtracking line search.
+//!
+//! Generic over the objective: any `FnMut(&[f64], &mut [f64]) -> f64`
+//! that fills the gradient and returns the value. Used directly for
+//! L2-regularized CRF training and as the inner engine of
+//! [`crate::owlqn`] for L1.
+
+use std::collections::VecDeque;
+
+use crate::numeric::{axpy, dot, norm2};
+
+/// L-BFGS configuration.
+#[derive(Debug, Clone)]
+pub struct LbfgsConfig {
+    /// History size (number of curvature pairs kept).
+    pub history: usize,
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Convergence: stop when `||g|| / max(1, ||x||) < epsilon`.
+    pub epsilon: f64,
+    /// Maximum backtracking steps per line search.
+    pub max_linesearch: usize,
+    /// Armijo sufficient-decrease constant.
+    pub armijo: f64,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            history: 6,
+            max_iters: 100,
+            epsilon: 1e-5,
+            max_linesearch: 30,
+            armijo: 1e-4,
+        }
+    }
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Final point.
+    pub x: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the gradient-norm criterion was met.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0`.
+pub fn minimize<F>(mut f: F, x0: Vec<f64>, cfg: &LbfgsConfig) -> LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    let mut x = x0;
+    let mut g = vec![0.0; n];
+    let mut value = f(&x, &mut g);
+
+    let mut s_history: VecDeque<Vec<f64>> = VecDeque::new();
+    let mut y_history: VecDeque<Vec<f64>> = VecDeque::new();
+    let mut rho_history: VecDeque<f64> = VecDeque::new();
+
+    let mut direction = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+    let mut g_new = vec![0.0; n];
+
+    for iter in 0..cfg.max_iters {
+        let gnorm = norm2(&g);
+        if gnorm / norm2(&x).max(1.0) < cfg.epsilon {
+            return LbfgsResult {
+                x,
+                value,
+                iterations: iter,
+                converged: true,
+            };
+        }
+
+        two_loop(&g, &s_history, &y_history, &rho_history, &mut direction);
+        for d in direction.iter_mut() {
+            *d = -*d;
+        }
+        let mut dg = dot(&direction, &g);
+        if dg >= 0.0 {
+            // Not a descent direction (numerical breakdown): restart
+            // from steepest descent.
+            s_history.clear();
+            y_history.clear();
+            rho_history.clear();
+            for (d, &gi) in direction.iter_mut().zip(&g) {
+                *d = -gi;
+            }
+            dg = -gnorm * gnorm;
+        }
+
+        // Backtracking line search (Armijo).
+        let mut step = if iter == 0 { 1.0 / gnorm.max(1.0) } else { 1.0 };
+        let mut success = false;
+        for _ in 0..cfg.max_linesearch {
+            x_new.copy_from_slice(&x);
+            axpy(step, &direction, &mut x_new);
+            let v_new = f(&x_new, &mut g_new);
+            if v_new <= value + cfg.armijo * step * dg {
+                success = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !success {
+            return LbfgsResult {
+                x,
+                value,
+                iterations: iter,
+                converged: false,
+            };
+        }
+
+        // Update history.
+        let mut s = vec![0.0; n];
+        let mut yv = vec![0.0; n];
+        for i in 0..n {
+            s[i] = x_new[i] - x[i];
+            yv[i] = g_new[i] - g[i];
+        }
+        let ys = dot(&yv, &s);
+        if ys > 1e-10 {
+            if s_history.len() == cfg.history {
+                s_history.pop_front();
+                y_history.pop_front();
+                rho_history.pop_front();
+            }
+            rho_history.push_back(1.0 / ys);
+            s_history.push_back(s);
+            y_history.push_back(yv);
+        }
+
+        x.copy_from_slice(&x_new);
+        g.copy_from_slice(&g_new);
+        value = f(&x, &mut g); // refresh gradient at accepted point
+    }
+
+    LbfgsResult {
+        x,
+        value,
+        iterations: cfg.max_iters,
+        converged: false,
+    }
+}
+
+/// Two-loop recursion: `out = H · g` where `H` approximates the inverse
+/// Hessian from the stored curvature pairs.
+pub(crate) fn two_loop(
+    g: &[f64],
+    s_history: &VecDeque<Vec<f64>>,
+    y_history: &VecDeque<Vec<f64>>,
+    rho_history: &VecDeque<f64>,
+    out: &mut [f64],
+) {
+    out.copy_from_slice(g);
+    let k = s_history.len();
+    let mut alpha = vec![0.0; k];
+    for i in (0..k).rev() {
+        alpha[i] = rho_history[i] * dot(&s_history[i], out);
+        axpy(-alpha[i], &y_history[i], out);
+    }
+    if k > 0 {
+        let y = &y_history[k - 1];
+        let s = &s_history[k - 1];
+        let scale = dot(s, y) / dot(y, y).max(1e-12);
+        for o in out.iter_mut() {
+            *o *= scale;
+        }
+    }
+    for i in 0..k {
+        let beta = rho_history[i] * dot(&y_history[i], out);
+        axpy(alpha[i] - beta, &s_history[i], out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x0 - 3)^2 + 2 (x1 + 1)^2
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 3.0);
+            g[1] = 4.0 * (x[1] + 1.0);
+            (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2)
+        };
+        let res = minimize(f, vec![0.0, 0.0], &LbfgsConfig::default());
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] + 1.0).abs() < 1e-4, "{:?}", res.x);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -400.0 * a * (b - a * a) - 2.0 * (1.0 - a);
+            g[1] = 200.0 * (b - a * a);
+            (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2)
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 500,
+            epsilon: 1e-8,
+            ..Default::default()
+        };
+        let res = minimize(f, vec![-1.2, 1.0], &cfg);
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "{:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-3, "{:?}", res.x);
+    }
+
+    #[test]
+    fn converges_immediately_at_optimum() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        };
+        let res = minimize(f, vec![0.0], &LbfgsConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn zero_max_iters_returns_start_point() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * x[0];
+            x[0] * x[0]
+        };
+        let cfg = LbfgsConfig {
+            max_iters: 0,
+            ..Default::default()
+        };
+        let res = minimize(f, vec![3.0], &cfg);
+        assert_eq!(res.x, vec![3.0]);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn high_dimensional_quadratic() {
+        let n = 200;
+        let f = |x: &[f64], g: &mut [f64]| {
+            let mut v = 0.0;
+            for i in 0..x.len() {
+                let c = (i % 5 + 1) as f64;
+                let d = x[i] - i as f64 / 100.0;
+                g[i] = 2.0 * c * d;
+                v += c * d * d;
+            }
+            v
+        };
+        let res = minimize(f, vec![0.0; n], &LbfgsConfig::default());
+        assert!(res.converged, "iterations: {}", res.iterations);
+        for i in 0..n {
+            assert!((res.x[i] - i as f64 / 100.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! CRF parameter storage and scoring.
+
+use crate::data::{FeatId, LabelId};
+use crate::inference;
+
+/// A trained linear-chain CRF.
+///
+/// Parameters are stored as one flat vector (see [`CrfModel::params`])
+/// so the optimizers can treat the model as a point in R^n:
+///
+/// ```text
+/// [ unigram (n_features × n_labels) | transition (n_labels × n_labels)
+///   | start (n_labels) | end (n_labels) ]
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrfModel {
+    /// Number of labels.
+    pub n_labels: usize,
+    /// Number of (binary) observation features.
+    pub n_features: usize,
+    /// Flat parameter vector, layout documented on the struct.
+    pub params: Vec<f64>,
+}
+
+impl CrfModel {
+    /// Zero-initialized model.
+    pub fn new(n_features: usize, n_labels: usize) -> Self {
+        CrfModel {
+            n_labels,
+            n_features,
+            params: vec![0.0; Self::param_len(n_features, n_labels)],
+        }
+    }
+
+    /// Total parameter count for the given dimensions.
+    pub fn param_len(n_features: usize, n_labels: usize) -> usize {
+        n_features * n_labels + n_labels * n_labels + 2 * n_labels
+    }
+
+    /// Weight of `(feature, label)`.
+    #[inline]
+    pub fn unigram(&self, feat: FeatId, label: LabelId) -> f64 {
+        self.params[feat as usize * self.n_labels + label]
+    }
+
+    /// Transition weight `prev → cur`.
+    #[inline]
+    pub fn transition(&self, prev: LabelId, cur: LabelId) -> f64 {
+        self.params[self.trans_offset() + prev * self.n_labels + cur]
+    }
+
+    /// Start weight for `label` (virtual BOS transition).
+    #[inline]
+    pub fn start(&self, label: LabelId) -> f64 {
+        self.params[self.start_offset() + label]
+    }
+
+    /// End weight for `label` (virtual EOS transition).
+    #[inline]
+    pub fn end(&self, label: LabelId) -> f64 {
+        self.params[self.end_offset() + label]
+    }
+
+    /// Offset of the transition block in [`CrfModel::params`].
+    #[inline]
+    pub fn trans_offset(&self) -> usize {
+        self.n_features * self.n_labels
+    }
+
+    /// Offset of the start block.
+    #[inline]
+    pub fn start_offset(&self) -> usize {
+        self.trans_offset() + self.n_labels * self.n_labels
+    }
+
+    /// Offset of the end block.
+    #[inline]
+    pub fn end_offset(&self) -> usize {
+        self.start_offset() + self.n_labels
+    }
+
+    /// Emission scores for one position: `score[l] = Σ_f w[f, l]`.
+    pub fn emission_scores(&self, feats: &[FeatId], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_labels);
+        out.fill(0.0);
+        for &f in feats {
+            let base = f as usize * self.n_labels;
+            for (l, o) in out.iter_mut().enumerate() {
+                *o += self.params[base + l];
+            }
+        }
+    }
+
+    /// Unnormalized log-score of a full labelling.
+    pub fn sequence_score(&self, features: &[Vec<FeatId>], labels: &[LabelId]) -> f64 {
+        debug_assert_eq!(features.len(), labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let mut score = self.start(labels[0]) + self.end(labels[labels.len() - 1]);
+        for (t, (feats, &l)) in features.iter().zip(labels).enumerate() {
+            for &f in feats {
+                score += self.unigram(f, l);
+            }
+            if t > 0 {
+                score += self.transition(labels[t - 1], l);
+            }
+        }
+        score
+    }
+
+    /// Most likely labelling (Viterbi decode).
+    pub fn viterbi(&self, features: &[Vec<FeatId>]) -> Vec<LabelId> {
+        inference::viterbi(self, features)
+    }
+
+    /// Log-partition function of the sequence.
+    pub fn log_partition(&self, features: &[Vec<FeatId>]) -> f64 {
+        inference::forward(self, features).log_z
+    }
+
+    /// Number of parameters with magnitude above `eps` (sparsity probe;
+    /// L1 training should drive many to exactly zero).
+    pub fn active_params(&self, eps: f64) -> usize {
+        self.params.iter().filter(|p| p.abs() > eps).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_offsets_are_disjoint_and_total() {
+        let m = CrfModel::new(3, 2);
+        assert_eq!(m.trans_offset(), 6);
+        assert_eq!(m.start_offset(), 10);
+        assert_eq!(m.end_offset(), 12);
+        assert_eq!(m.params.len(), 14);
+    }
+
+    #[test]
+    fn sequence_score_sums_parts() {
+        let mut m = CrfModel::new(2, 2);
+        // unigram(f=0, l=1) = 1.0 ; trans(1→0) = 0.5 ; start(1)=0.25; end(0)=0.125
+        m.params[1] = 1.0; // unigram(f=0, l=1)
+        let t = m.trans_offset();
+        m.params[t + 2] = 0.5; // trans(1 -> 0)
+        let s = m.start_offset();
+        m.params[s + 1] = 0.25;
+        let e = m.end_offset();
+        m.params[e] = 0.125;
+
+        let feats = vec![vec![0u32], vec![]];
+        let score = m.sequence_score(&feats, &[1, 0]);
+        assert!((score - (1.0 + 0.5 + 0.25 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_scores_zero() {
+        let m = CrfModel::new(1, 2);
+        assert_eq!(m.sequence_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn emission_scores_accumulate() {
+        let mut m = CrfModel::new(2, 2);
+        m.params[0] = 1.0; // (f0, l0)
+        m.params[3] = 2.0; // (f1, l1)
+        let mut out = vec![0.0; 2];
+        m.emission_scores(&[0, 1], &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn active_params_counts_nonzero() {
+        let mut m = CrfModel::new(2, 2);
+        assert_eq!(m.active_params(1e-9), 0);
+        m.params[5] = 0.3;
+        assert_eq!(m.active_params(1e-9), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Small numeric helpers shared by inference and the optimizers.
+
+/// `log(sum(exp(xs)))` computed stably. Returns `-inf` for empty input.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs: [f64; 3] = [0.1, -2.0, 3.5];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        let got = log_sum_exp(&xs);
+        assert!((got - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = [1.0, 2.0, 3.0];
+        let mut b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        axpy(2.0, &a, &mut b);
+        assert_eq!(b, [6.0, 9.0, 12.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm1(&[-1.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! OWL-QN: Orthant-Wise Limited-memory Quasi-Newton.
+//!
+//! Minimizes `f(x) + c · ||x||₁` for a smooth `f` (Andrew & Gao, 2007).
+//! This is how CRFsuite realizes the L1 part of its default L1+L2
+//! regularization; the smooth part here is the CRF negative
+//! log-likelihood plus the L2 term.
+
+use std::collections::VecDeque;
+
+use crate::lbfgs::{two_loop, LbfgsConfig, LbfgsResult};
+use crate::numeric::{dot, norm1, norm2};
+
+/// Minimizes `f(x) + c * ||x||_1`.
+///
+/// `f` must fill the gradient of the *smooth* part only. Coordinates in
+/// `0..l1_start` are exempt from the L1 penalty when `l1_start > 0` is
+/// given — useful to keep transition weights dense, mirroring common
+/// CRF practice; pass `0` to penalize everything.
+pub fn minimize_l1<F>(
+    mut f: F,
+    x0: Vec<f64>,
+    c: f64,
+    l1_from: usize,
+    cfg: &LbfgsConfig,
+) -> LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    assert!(c >= 0.0, "l1 coefficient must be nonnegative");
+    let n = x0.len();
+    let penalized = |i: usize| i >= l1_from;
+
+    let mut x = x0;
+    let mut g = vec![0.0; n];
+    let mut smooth = f(&x, &mut g);
+    let mut value = smooth + c * l1_mass(&x, l1_from);
+
+    let mut s_history: VecDeque<Vec<f64>> = VecDeque::new();
+    let mut y_history: VecDeque<Vec<f64>> = VecDeque::new();
+    let mut rho_history: VecDeque<f64> = VecDeque::new();
+
+    let mut pg = vec![0.0; n]; // pseudo-gradient
+    let mut dir = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
+    let mut g_new = vec![0.0; n];
+
+    for iter in 0..cfg.max_iters {
+        // Pseudo-gradient of f + c|x|.
+        for i in 0..n {
+            if !penalized(i) || c == 0.0 {
+                pg[i] = g[i];
+            } else if x[i] > 0.0 {
+                pg[i] = g[i] + c;
+            } else if x[i] < 0.0 {
+                pg[i] = g[i] - c;
+            } else if g[i] + c < 0.0 {
+                pg[i] = g[i] + c;
+            } else if g[i] - c > 0.0 {
+                pg[i] = g[i] - c;
+            } else {
+                pg[i] = 0.0;
+            }
+        }
+        let pgnorm = norm2(&pg);
+        if pgnorm / norm2(&x).max(1.0) < cfg.epsilon {
+            return LbfgsResult {
+                x,
+                value,
+                iterations: iter,
+                converged: true,
+            };
+        }
+
+        // Quasi-Newton direction from the pseudo-gradient, projected
+        // onto the orthant of -pg.
+        two_loop(&pg, &s_history, &y_history, &rho_history, &mut dir);
+        for d in dir.iter_mut() {
+            *d = -*d;
+        }
+        // Align the direction with the steepest-descent orthant: any
+        // coordinate not opposing the pseudo-gradient is zeroed.
+        for i in 0..n {
+            if penalized(i) && dir[i] * pg[i] >= 0.0 {
+                dir[i] = 0.0;
+            }
+        }
+        let mut dg = dot(&dir, &pg);
+        if dg >= 0.0 {
+            s_history.clear();
+            y_history.clear();
+            rho_history.clear();
+            for (d, &p) in dir.iter_mut().zip(&pg) {
+                *d = -p;
+            }
+            dg = -pgnorm * pgnorm;
+        }
+
+        // Orthant for the projected line search: sign of x, or of -pg
+        // where x is zero.
+        let orthant: Vec<f64> = (0..n)
+            .map(|i| {
+                if !penalized(i) {
+                    0.0 // unconstrained coordinate
+                } else if x[i] != 0.0 {
+                    x[i].signum()
+                } else {
+                    -pg[i].signum()
+                }
+            })
+            .collect();
+
+        let mut step = if iter == 0 { 1.0 / pgnorm.max(1.0) } else { 1.0 };
+        let mut success = false;
+        let mut new_smooth = smooth;
+        let mut new_value = value;
+        for _ in 0..cfg.max_linesearch {
+            for i in 0..n {
+                let xi = x[i] + step * dir[i];
+                x_new[i] = if penalized(i) && orthant[i] != 0.0 && xi * orthant[i] < 0.0 {
+                    0.0 // crossed the orthant boundary: clip
+                } else {
+                    xi
+                };
+            }
+            new_smooth = f(&x_new, &mut g_new);
+            new_value = new_smooth + c * l1_mass(&x_new, l1_from);
+            if new_value <= value + cfg.armijo * step * dg {
+                success = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !success {
+            return LbfgsResult {
+                x,
+                value,
+                iterations: iter,
+                converged: false,
+            };
+        }
+
+        let mut s = vec![0.0; n];
+        let mut yv = vec![0.0; n];
+        for i in 0..n {
+            s[i] = x_new[i] - x[i];
+            yv[i] = g_new[i] - g[i];
+        }
+        let ys = dot(&yv, &s);
+        if ys > 1e-10 {
+            if s_history.len() == cfg.history {
+                s_history.pop_front();
+                y_history.pop_front();
+                rho_history.pop_front();
+            }
+            rho_history.push_back(1.0 / ys);
+            s_history.push_back(s);
+            y_history.push_back(yv);
+        }
+
+        x.copy_from_slice(&x_new);
+        g.copy_from_slice(&g_new);
+        smooth = new_smooth;
+        value = new_value;
+    }
+
+    LbfgsResult {
+        x,
+        value,
+        iterations: cfg.max_iters,
+        converged: false,
+    }
+}
+
+fn l1_mass(x: &[f64], l1_from: usize) -> f64 {
+    norm1(&x[l1_from.min(x.len())..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_thresholding_behaviour() {
+        // min (x - 1)^2 + c|x| has solution max(0, 1 - c/2).
+        for &(c, expected) in &[(0.5, 0.75), (1.0, 0.5), (3.0, 0.0)] {
+            let f = |x: &[f64], g: &mut [f64]| {
+                g[0] = 2.0 * (x[0] - 1.0);
+                (x[0] - 1.0).powi(2)
+            };
+            let res = minimize_l1(f, vec![0.0], c, 0, &LbfgsConfig::default());
+            assert!(
+                (res.x[0] - expected).abs() < 1e-4,
+                "c={c}: got {} want {expected}",
+                res.x[0]
+            );
+        }
+    }
+
+    #[test]
+    fn produces_exact_zeros() {
+        // Strong L1 on a weakly-pulled coordinate must zero it exactly.
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 5.0);
+            g[1] = 0.2 * (x[1] - 0.1);
+            (x[0] - 5.0).powi(2) + 0.1 * (x[1] - 0.1).powi(2)
+        };
+        let res = minimize_l1(f, vec![1.0, 1.0], 0.5, 0, &LbfgsConfig::default());
+        assert!((res.x[0] - 4.75).abs() < 1e-3, "{:?}", res.x);
+        assert_eq!(res.x[1], 0.0, "{:?}", res.x);
+    }
+
+    #[test]
+    fn exempt_prefix_is_unpenalized() {
+        // Same objective but coordinate 0 exempt from L1.
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 1.0);
+            g[1] = 2.0 * (x[1] - 1.0);
+            (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2)
+        };
+        let res = minimize_l1(f, vec![0.0, 0.0], 1.0, 1, &LbfgsConfig::default());
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] - 0.5).abs() < 1e-4, "{:?}", res.x);
+    }
+
+    #[test]
+    fn zero_c_matches_lbfgs() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] + 2.0);
+            (x[0] + 2.0).powi(2)
+        };
+        let res = minimize_l1(f, vec![4.0], 0.0, 0, &LbfgsConfig::default());
+        assert!((res.x[0] + 2.0).abs() < 1e-4);
+    }
+}

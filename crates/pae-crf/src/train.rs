@@ -1,0 +1,388 @@
+//! Training: negative log-likelihood objective and the `train` entry point.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::data::Instance;
+use crate::inference::marginals;
+use crate::lbfgs::{minimize, LbfgsConfig};
+use crate::model::CrfModel;
+use crate::owlqn::minimize_l1;
+
+/// Training configuration.
+///
+/// The defaults mirror the paper's setup: *"CRF with limited-memory
+/// BFGS training algorithm with L1+L2 regularization, the default
+/// configuration"* (CRFsuite's `lbfgs` trainer).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// L1 coefficient (`c1`). When positive, training uses OWL-QN.
+    pub l1: f64,
+    /// L2 coefficient (`c2`): value term `0.5 · l2 · ‖w‖²`.
+    pub l2: f64,
+    /// Maximum optimizer iterations.
+    pub max_iters: usize,
+    /// Relative gradient-norm convergence threshold.
+    pub epsilon: f64,
+    /// Exempt transition/start/end weights from the L1 penalty, keeping
+    /// the label chain dense (observation features stay sparse).
+    pub dense_transitions: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            l1: 0.1,
+            l2: 0.1,
+            max_iters: 100,
+            epsilon: 1e-4,
+            dense_transitions: false,
+        }
+    }
+}
+
+/// Computes the total negative log-likelihood of `instances` under the
+/// parameters in `model`, filling `grad` (which must be zeroed by the
+/// caller) with its gradient. Regularization is *not* included.
+pub fn nll_and_grad(model: &CrfModel, instances: &[Instance], grad: &mut [f64]) -> f64 {
+    debug_assert_eq!(grad.len(), model.params.len());
+    let l = model.n_labels;
+    let trans_off = model.trans_offset();
+    let start_off = model.start_offset();
+    let end_off = model.end_offset();
+    let mut nll = 0.0;
+
+    for inst in instances {
+        if inst.is_empty() {
+            continue;
+        }
+        let marg = marginals(model, &inst.features);
+        let gold_score = model.sequence_score(&inst.features, &inst.labels);
+        nll += marg.log_z - gold_score;
+
+        let n = inst.len();
+        // Empirical counts: subtract.
+        for (t, feats) in inst.features.iter().enumerate() {
+            let y = inst.labels[t];
+            for &f in feats {
+                grad[f as usize * l + y] -= 1.0;
+            }
+        }
+        grad[start_off + inst.labels[0]] -= 1.0;
+        grad[end_off + inst.labels[n - 1]] -= 1.0;
+        for t in 1..n {
+            grad[trans_off + inst.labels[t - 1] * l + inst.labels[t]] -= 1.0;
+        }
+
+        // Expected counts: add.
+        for (t, feats) in inst.features.iter().enumerate() {
+            for &f in feats {
+                let base = f as usize * l;
+                for y in 0..l {
+                    grad[base + y] += marg.node[t][y];
+                }
+            }
+        }
+        for y in 0..l {
+            grad[start_off + y] += marg.node[0][y];
+            grad[end_off + y] += marg.node[n - 1][y];
+        }
+        for t in 1..n {
+            let e = &marg.edge[t - 1];
+            for p in 0..l {
+                let row = trans_off + p * l;
+                for q in 0..l {
+                    grad[row + q] += e[p][q];
+                }
+            }
+        }
+    }
+    nll
+}
+
+/// Trains a CRF on `instances`.
+///
+/// `n_features` and `n_labels` fix the parameter dimensions (obtain
+/// them from the [`crate::features::FeatureIndex`] and the label set).
+pub fn train(
+    instances: &[Instance],
+    n_features: usize,
+    n_labels: usize,
+    config: &TrainConfig,
+) -> CrfModel {
+    for inst in instances {
+        inst.validate(n_labels).expect("invalid training instance");
+    }
+    let mut model = CrfModel::new(n_features, n_labels);
+    let dim = model.params.len();
+    let l2 = config.l2;
+
+    let lbfgs_cfg = LbfgsConfig {
+        max_iters: config.max_iters,
+        epsilon: config.epsilon,
+        ..Default::default()
+    };
+
+    // Smooth objective: NLL + 0.5·l2·‖w‖².
+    let objective = |x: &[f64], grad: &mut [f64]| -> f64 {
+        let m = CrfModel {
+            n_labels,
+            n_features,
+            params: x.to_vec(),
+        };
+        grad.fill(0.0);
+        let mut value = nll_and_grad(&m, instances, grad);
+        if l2 > 0.0 {
+            for (g, &w) in grad.iter_mut().zip(x) {
+                *g += l2 * w;
+            }
+            value += 0.5 * l2 * x.iter().map(|w| w * w).sum::<f64>();
+        }
+        value
+    };
+
+    let x0 = vec![0.0; dim];
+    let result = if config.l1 > 0.0 {
+        if config.dense_transitions {
+            // L1 applies to observation weights only; the transition /
+            // start / end suffix stays unpenalized.
+            minimize_l1_with_exempt_suffix(
+                objective,
+                x0,
+                config.l1,
+                model.trans_offset(),
+                &lbfgs_cfg,
+            )
+        } else {
+            minimize_l1(objective, x0, config.l1, 0, &lbfgs_cfg)
+        }
+    } else {
+        minimize(objective, x0, &lbfgs_cfg)
+    };
+
+    model.params = result.x;
+    model
+}
+
+/// OWL-QN over a vector whose *suffix* `[exempt_from..]` is exempt from
+/// the L1 penalty. Implemented by permuting coordinates so the exempt
+/// block becomes a prefix, which is what [`minimize_l1`] supports.
+fn minimize_l1_with_exempt_suffix<F>(
+    mut f: F,
+    x0: Vec<f64>,
+    c: f64,
+    exempt_from: usize,
+    cfg: &LbfgsConfig,
+) -> crate::lbfgs::LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let dim = x0.len();
+    let exempt_len = dim - exempt_from;
+    // Permutation: [exempt block | penalized block].
+    let to_orig = move |i: usize| {
+        if i < exempt_len {
+            exempt_from + i
+        } else {
+            i - exempt_len
+        }
+    };
+    let mut x_perm = vec![0.0; dim];
+    for (i, x) in x_perm.iter_mut().enumerate() {
+        *x = x0[to_orig(i)];
+    }
+    let mut buf_x = vec![0.0; dim];
+    let mut buf_g = vec![0.0; dim];
+    let wrapped = |xp: &[f64], gp: &mut [f64]| -> f64 {
+        for i in 0..dim {
+            buf_x[to_orig(i)] = xp[i];
+        }
+        let v = f(&buf_x, &mut buf_g);
+        for i in 0..dim {
+            gp[i] = buf_g[to_orig(i)];
+        }
+        v
+    };
+    let mut res = minimize_l1(wrapped, x_perm, c, exempt_len, cfg);
+    let mut x_out = vec![0.0; dim];
+    for i in 0..dim {
+        x_out[to_orig(i)] = res.x[i];
+    }
+    res.x = x_out;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Instance;
+
+    /// Tiny separable task: feature 0 ⇒ label 1, feature 1 ⇒ label 0.
+    /// All four label transitions occur so emissions dominate.
+    fn toy_instances() -> Vec<Instance> {
+        vec![
+            Instance {
+                features: vec![vec![0], vec![1], vec![0]],
+                labels: vec![1, 0, 1],
+            },
+            Instance {
+                features: vec![vec![1], vec![0]],
+                labels: vec![0, 1],
+            },
+            Instance {
+                features: vec![vec![1], vec![1], vec![0], vec![0]],
+                labels: vec![0, 0, 1, 1],
+            },
+        ]
+    }
+
+    #[test]
+    fn learns_separable_task() {
+        let model = train(&toy_instances(), 2, 2, &TrainConfig::default());
+        assert_eq!(model.viterbi(&[vec![0], vec![1], vec![1]]), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let instances = toy_instances();
+        let n_features = 2;
+        let n_labels = 2;
+        let mut model = CrfModel::new(n_features, n_labels);
+        // Non-trivial point.
+        for (i, p) in model.params.iter_mut().enumerate() {
+            *p = ((i as f64) * 0.37).sin() * 0.5;
+        }
+        let dim = model.params.len();
+        let mut grad = vec![0.0; dim];
+        let base_nll = nll_and_grad(&model, &instances, &mut grad);
+        assert!(base_nll > 0.0);
+
+        let eps = 1e-6;
+        for i in 0..dim {
+            let mut m2 = model.clone();
+            m2.params[i] += eps;
+            let mut scratch = vec![0.0; dim];
+            let up = nll_and_grad(&m2, &instances, &mut scratch);
+            m2.params[i] -= 2.0 * eps;
+            scratch.fill(0.0);
+            let down = nll_and_grad(&m2, &instances, &mut scratch);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn l1_training_produces_sparser_models() {
+        // Add noise features that fire everywhere (uninformative).
+        let mut instances = toy_instances();
+        for inst in &mut instances {
+            for feats in &mut inst.features {
+                feats.push(2);
+                feats.push(3);
+            }
+        }
+        let dense = train(
+            &instances,
+            4,
+            2,
+            &TrainConfig {
+                l1: 0.0,
+                l2: 0.01,
+                ..Default::default()
+            },
+        );
+        let sparse = train(
+            &instances,
+            4,
+            2,
+            &TrainConfig {
+                l1: 1.0,
+                l2: 0.01,
+                ..Default::default()
+            },
+        );
+        assert!(
+            sparse.active_params(1e-8) < dense.active_params(1e-8),
+            "sparse {} !< dense {}",
+            sparse.active_params(1e-8),
+            dense.active_params(1e-8)
+        );
+        // Sparsity must not destroy the separable mapping.
+        assert_eq!(sparse.viterbi(&[vec![0, 2, 3], vec![1, 2, 3]]), vec![1, 0]);
+    }
+
+    #[test]
+    fn dense_transitions_flag_keeps_chain_weights() {
+        // Noise features everywhere so L1 has something to kill.
+        let mut instances = toy_instances();
+        for inst in &mut instances {
+            for feats in &mut inst.features {
+                feats.extend([2, 3, 4, 5]);
+            }
+        }
+        let cfg = TrainConfig {
+            l1: 1.0,
+            l2: 0.01,
+            dense_transitions: true,
+            ..Default::default()
+        };
+        let model = train(&instances, 6, 2, &cfg);
+        let obs_end = model.trans_offset();
+        let obs_zero = model.params[..obs_end]
+            .iter()
+            .filter(|p| p.abs() < 1e-10)
+            .count();
+        // L1 must have driven some observation weights to exact zero …
+        assert!(obs_zero > 0, "no sparsity in observation block");
+        // … while the exempt transition/start/end suffix stays dense.
+        let suffix_nonzero = model.params[obs_end..]
+            .iter()
+            .filter(|p| p.abs() > 1e-10)
+            .count();
+        assert!(suffix_nonzero > 0, "transition block unexpectedly empty");
+    }
+
+    #[test]
+    fn exempt_suffix_adapter_matches_expected_solution() {
+        // min (x0 - 1)^2 + (x1 - 1)^2 with L1 c=1 on x0 only
+        // (x1 exempt as the suffix): x0 = 0.5, x1 = 1.
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 2.0 * (x[0] - 1.0);
+            g[1] = 2.0 * (x[1] - 1.0);
+            (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2)
+        };
+        let res = minimize_l1_with_exempt_suffix(
+            f,
+            vec![0.0, 0.0],
+            1.0,
+            1,
+            &LbfgsConfig::default(),
+        );
+        assert!((res.x[0] - 0.5).abs() < 1e-4, "{:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-4, "{:?}", res.x);
+    }
+
+    #[test]
+    fn empty_instance_is_skipped() {
+        let mut instances = toy_instances();
+        instances.push(Instance {
+            features: vec![],
+            labels: vec![],
+        });
+        let model = train(&instances, 2, 2, &TrainConfig::default());
+        assert_eq!(model.viterbi(&[vec![0]]), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid training instance")]
+    fn invalid_labels_panic() {
+        let instances = vec![Instance {
+            features: vec![vec![0]],
+            labels: vec![7],
+        }];
+        train(&instances, 1, 2, &TrainConfig::default());
+    }
+}

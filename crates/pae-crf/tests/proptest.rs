@@ -1,0 +1,101 @@
+//! Property-based tests for CRF inference on random models.
+
+use proptest::prelude::*;
+
+use pae_crf::data::Instance;
+use pae_crf::inference::{marginals, viterbi};
+use pae_crf::CrfModel;
+
+/// Builds a model with the given parameters (length must match).
+fn model(n_features: usize, n_labels: usize, params: Vec<f64>) -> CrfModel {
+    let mut m = CrfModel::new(n_features, n_labels);
+    assert_eq!(m.params.len(), params.len());
+    m.params = params;
+    m
+}
+
+/// Strategy: a small random model + a compatible feature sequence.
+fn model_and_features() -> impl Strategy<Value = (CrfModel, Vec<Vec<u32>>)> {
+    (2usize..4, 2usize..4).prop_flat_map(|(n_features, n_labels)| {
+        let dim = CrfModel::param_len(n_features, n_labels);
+        let params = proptest::collection::vec(-2.0..2.0f64, dim);
+        let feats = proptest::collection::vec(
+            proptest::collection::vec(0u32..n_features as u32, 0..n_features),
+            1..5,
+        );
+        (params, feats).prop_map(move |(p, f)| (model(n_features, n_labels, p), f))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// log Z must upper-bound the score of every labelling, and the
+    /// Viterbi labelling must score at least as high as random ones.
+    #[test]
+    fn log_partition_dominates_and_viterbi_is_argmax(
+        (m, feats) in model_and_features(),
+        random_labels in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let log_z = m.log_partition(&feats);
+        let best = viterbi(&m, &feats);
+        let best_score = m.sequence_score(&feats, &best);
+        prop_assert!(log_z >= best_score - 1e-9, "logZ {log_z} < viterbi {best_score}");
+
+        // Compare against an arbitrary labelling of the right length.
+        let labels: Vec<usize> = random_labels
+            .iter()
+            .cycle()
+            .take(feats.len())
+            .map(|&l| l % m.n_labels)
+            .collect();
+        let score = m.sequence_score(&feats, &labels);
+        prop_assert!(best_score >= score - 1e-9, "viterbi {best_score} < {score}");
+    }
+
+    /// Node marginals are distributions; edge marginals are consistent
+    /// with node marginals on both sides.
+    #[test]
+    fn marginals_are_consistent((m, feats) in model_and_features()) {
+        let marg = marginals(&m, &feats);
+        let n = feats.len();
+        let l = m.n_labels;
+        for t in 0..n {
+            let sum: f64 = marg.node[t].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "node[{t}] sums to {sum}");
+            for &p in &marg.node[t] {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p));
+            }
+        }
+        for t in 1..n {
+            for q in 0..l {
+                let s: f64 = (0..l).map(|p| marg.edge[t - 1][p][q]).sum();
+                prop_assert!((s - marg.node[t][q]).abs() < 1e-8);
+            }
+            for p in 0..l {
+                let s: f64 = (0..l).map(|q| marg.edge[t - 1][p][q]).sum();
+                prop_assert!((s - marg.node[t - 1][p]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Structural invariant of the NLL gradient: summed over labels,
+    /// empirical and expected counts cancel for every feature, because
+    /// both the marginals and the gold labelling put exactly one unit
+    /// of probability mass per firing position.
+    #[test]
+    fn gradient_rows_sum_to_zero((m, feats) in model_and_features()) {
+        let labels: Vec<usize> = (0..feats.len()).map(|i| i % m.n_labels).collect();
+        let instances = vec![Instance { features: feats, labels }];
+        let mut grad = vec![0.0; m.params.len()];
+        pae_crf::train::nll_and_grad(&m, &instances, &mut grad);
+        // For each feature f: sum over labels of grad equals
+        // (expected count − empirical count) summed over labels, which
+        // is zero because both marginals and the gold labelling put
+        // exactly one unit of mass per firing position.
+        for f in 0..m.n_features {
+            let row: f64 = (0..m.n_labels).map(|l| grad[f * m.n_labels + l]).sum();
+            prop_assert!(row.abs() < 1e-8, "feature {f} row sum {row}");
+        }
+    }
+}

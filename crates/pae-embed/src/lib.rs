@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! word2vec skip-gram with negative sampling (SGNS), from scratch.
+//!
+//! The paper's semantic-cleaning module trains word2vec *on the product
+//! corpus in every bootstrap iteration* (pre-trained embeddings cannot
+//! cover the newly discovered domain entities), groups multiword
+//! attribute values into single tokens, and measures semantic closeness
+//! with a multiplicative combination of cosine similarities.
+//!
+//! * [`vocab`] — frequency-filtered vocabulary with subsampling weights;
+//! * [`sampler`] — the unigram^0.75 negative-sampling table;
+//! * [`sgns`] — the trainer ([`W2vConfig`], [`W2vModel`]);
+//! * [`phrases`] — multiword grouping (`100% cotton` → `100%_cotton`);
+//! * [`similarity`] — cosine and multiplicative set similarity.
+
+pub mod phrases;
+pub mod sampler;
+pub mod sgns;
+pub mod similarity;
+pub mod vocab;
+
+pub use phrases::group_phrases;
+pub use sgns::{W2vConfig, W2vModel};
+pub use similarity::{cosine, multiplicative_similarity};
+pub use vocab::W2vVocab;

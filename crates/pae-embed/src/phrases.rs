@@ -1,0 +1,114 @@
+//! Multiword phrase grouping.
+//!
+//! The semantic-cleaning module's first step (§V-C): *"Group multiword
+//! attribute values tagged by the model as a single word"*, so each
+//! value gets one embedding. `100 % cotton` becomes the single token
+//! `100%_cotton`-style `100_%_cotton`.
+
+use std::collections::HashMap;
+
+/// Joins known multiword phrases into single underscore-joined tokens.
+///
+/// `phrases` are token sequences (length ≥ 2). Matching is greedy and
+/// longest-first at each position; single-token phrases are ignored.
+pub fn group_phrases(sentences: &[Vec<String>], phrases: &[Vec<String>]) -> Vec<Vec<String>> {
+    // Index phrases by first token for O(1) candidate lookup.
+    let mut by_first: HashMap<&str, Vec<&Vec<String>>> = HashMap::new();
+    for p in phrases {
+        if p.len() >= 2 {
+            by_first.entry(p[0].as_str()).or_default().push(p);
+        }
+    }
+    for list in by_first.values_mut() {
+        list.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    }
+
+    sentences
+        .iter()
+        .map(|sent| {
+            let mut out = Vec::with_capacity(sent.len());
+            let mut i = 0;
+            while i < sent.len() {
+                let mut matched = false;
+                if let Some(cands) = by_first.get(sent[i].as_str()) {
+                    for cand in cands {
+                        if i + cand.len() <= sent.len()
+                            && sent[i..i + cand.len()].iter().zip(cand.iter()).all(|(a, b)| a == b)
+                        {
+                            out.push(join_phrase(cand));
+                            i += cand.len();
+                            matched = true;
+                            break;
+                        }
+                    }
+                }
+                if !matched {
+                    out.push(sent[i].clone());
+                    i += 1;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Canonical single-token form of a multiword phrase.
+pub fn join_phrase(tokens: &[String]) -> String {
+    tokens.join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(s: &str) -> Vec<String> {
+        s.split(' ').map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn groups_known_phrases() {
+        let sentences = vec![mk("material is 100 % cotton today")];
+        let phrases = vec![mk("100 % cotton")];
+        let out = group_phrases(&sentences, &phrases);
+        assert_eq!(out[0], mk("material is 100_%_cotton today"));
+    }
+
+    #[test]
+    fn longest_phrase_wins() {
+        let sentences = vec![mk("deep sky blue bag")];
+        let phrases = vec![mk("deep sky"), mk("deep sky blue")];
+        let out = group_phrases(&sentences, &phrases);
+        assert_eq!(out[0], mk("deep_sky_blue bag"));
+    }
+
+    #[test]
+    fn non_overlapping_repeats() {
+        let sentences = vec![mk("a b a b")];
+        let phrases = vec![mk("a b")];
+        let out = group_phrases(&sentences, &phrases);
+        assert_eq!(out[0], mk("a_b a_b"));
+    }
+
+    #[test]
+    fn single_token_phrases_ignored() {
+        let sentences = vec![mk("red bag")];
+        let phrases = vec![vec!["red".to_owned()]];
+        let out = group_phrases(&sentences, &phrases);
+        assert_eq!(out[0], mk("red bag"));
+    }
+
+    #[test]
+    fn no_phrases_is_identity() {
+        let sentences = vec![mk("x y z")];
+        let out = group_phrases(&sentences, &[]);
+        assert_eq!(out, sentences);
+    }
+
+    #[test]
+    fn partial_prefix_does_not_match() {
+        let sentences = vec![mk("100 % wool")];
+        let phrases = vec![mk("100 % cotton")];
+        let out = group_phrases(&sentences, &phrases);
+        assert_eq!(out[0], mk("100 % wool"));
+    }
+}

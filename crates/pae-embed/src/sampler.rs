@@ -1,0 +1,92 @@
+//! Unigram^0.75 negative-sampling table.
+
+use rand::{Rng, RngExt};
+
+use crate::vocab::W2vVocab;
+
+/// Precomputed table for drawing negative samples proportionally to
+/// `count(w)^0.75`, as in the original word2vec implementation.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    table: Vec<u32>,
+}
+
+impl NegativeSampler {
+    /// Builds the table. `table_size` trades memory for fidelity; a few
+    /// hundred entries per word is plenty at our corpus sizes.
+    pub fn new(vocab: &W2vVocab, table_size: usize) -> Self {
+        assert!(!vocab.is_empty(), "cannot sample from an empty vocabulary");
+        let power = 0.75;
+        let total: f64 = (0..vocab.len())
+            .map(|i| (vocab.count(i) as f64).powf(power))
+            .sum();
+        let mut table = Vec::with_capacity(table_size);
+        let mut cumulative = (vocab.count(0) as f64).powf(power) / total;
+        let mut word = 0usize;
+        for i in 0..table_size {
+            table.push(word as u32);
+            if (i + 1) as f64 / table_size as f64 > cumulative && word + 1 < vocab.len() {
+                word += 1;
+                cumulative += (vocab.count(word) as f64).powf(power) / total;
+            }
+        }
+        NegativeSampler { table }
+    }
+
+    /// Draws one word id.
+    pub fn sample<R: Rng + RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        self.table[rng.random_range(0..self.table.len())] as usize
+    }
+
+    /// Table length (for tests).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vocab() -> W2vVocab {
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        // "a" 8x, "b" 2x, "c" 1x
+        W2vVocab::build(&[mk("a a a a a a a a b b c")], 1)
+    }
+
+    #[test]
+    fn sampling_roughly_follows_powered_counts() {
+        let v = vocab();
+        let sampler = NegativeSampler::new(&v, 10_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = [0usize; 3];
+        for _ in 0..30_000 {
+            hits[sampler.sample(&mut rng)] += 1;
+        }
+        // Expected proportions ~ 8^.75 : 2^.75 : 1 = 4.76 : 1.68 : 1.
+        assert!(hits[0] > hits[1] && hits[1] > hits[2], "{hits:?}");
+        let ratio_ab = hits[0] as f64 / hits[1] as f64;
+        assert!((2.0..4.0).contains(&ratio_ab), "a/b ratio {ratio_ab}");
+    }
+
+    #[test]
+    fn all_words_are_reachable() {
+        let v = vocab();
+        let sampler = NegativeSampler::new(&v, 1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..5_000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn empty_vocab_panics() {
+        let v = W2vVocab::build(&[], 1);
+        NegativeSampler::new(&v, 16);
+    }
+}

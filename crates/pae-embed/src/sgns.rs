@@ -1,0 +1,281 @@
+//! Skip-gram with negative sampling: the trainer and trained model.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::sampler::NegativeSampler;
+use crate::vocab::W2vVocab;
+
+/// SGNS hyperparameters.
+#[derive(Debug, Clone)]
+pub struct W2vConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Maximum context window radius (the effective radius is sampled
+    /// uniformly from `1..=window` per center, as in word2vec).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, linearly decayed to 1e-4 of itself.
+    pub learning_rate: f32,
+    /// Minimum corpus frequency for a word to be retained.
+    pub min_count: u64,
+    /// Subsampling threshold (`0.0` disables).
+    pub subsample: f64,
+    /// RNG seed — training is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        W2vConfig {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 3,
+            learning_rate: 0.025,
+            min_count: 2,
+            subsample: 1e-3,
+            seed: 1,
+        }
+    }
+}
+
+/// A trained SGNS model: input vectors per retained vocabulary word.
+#[derive(Debug, Clone)]
+pub struct W2vModel {
+    vocab: W2vVocab,
+    dim: usize,
+    /// Input embeddings, row-major `[vocab.len() × dim]`.
+    vectors: Vec<f32>,
+}
+
+impl W2vModel {
+    /// Trains on `sentences` (each a list of surface tokens).
+    ///
+    /// Returns `None` when the filtered vocabulary is empty — the
+    /// semantic-cleaning module treats that as "no semantic evidence".
+    pub fn train(sentences: &[Vec<String>], config: &W2vConfig) -> Option<Self> {
+        let vocab = W2vVocab::build(sentences, config.min_count);
+        if vocab.is_empty() {
+            return None;
+        }
+        let dim = config.dim;
+        let v = vocab.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Input vectors: uniform in [-0.5/dim, 0.5/dim]; output: zeros.
+        let mut syn0: Vec<f32> = (0..v * dim)
+            .map(|_| (rng.random_range(0.0f32..1.0) - 0.5) / dim as f32)
+            .collect();
+        let mut syn1: Vec<f32> = vec![0.0; v * dim];
+
+        let sampler = NegativeSampler::new(&vocab, (v * 64).max(1 << 14));
+
+        // Pre-encode sentences as ids.
+        let encoded: Vec<Vec<usize>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|w| vocab.id(w)).collect())
+            .filter(|s: &Vec<usize>| s.len() >= 2)
+            .collect();
+        if encoded.is_empty() {
+            return Some(W2vModel {
+                vocab,
+                dim,
+                vectors: syn0,
+            });
+        }
+
+        let total_steps = (config.epochs * encoded.len()).max(1);
+        let mut step = 0usize;
+        let mut grad = vec![0.0f32; dim];
+
+        for _epoch in 0..config.epochs {
+            for sent in &encoded {
+                let lr = (config.learning_rate
+                    * (1.0 - step as f32 / total_steps as f32))
+                    .max(config.learning_rate * 1e-4);
+                step += 1;
+
+                // Subsample the sentence.
+                let kept: Vec<usize> = sent
+                    .iter()
+                    .copied()
+                    .filter(|&w| {
+                        config.subsample <= 0.0
+                            || rng.random_range(0.0..1.0)
+                                < vocab.keep_probability(w, config.subsample)
+                    })
+                    .collect();
+                if kept.len() < 2 {
+                    continue;
+                }
+
+                for (pos, &center) in kept.iter().enumerate() {
+                    let radius = rng.random_range(1..=config.window.max(1));
+                    let lo = pos.saturating_sub(radius);
+                    let hi = (pos + radius + 1).min(kept.len());
+                    #[allow(clippy::needless_range_loop)]
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = kept[ctx_pos];
+                        // One positive + `negative` negatives.
+                        grad.fill(0.0);
+                        let ci = context * dim;
+                        for k in 0..=config.negative {
+                            let (target, label) = if k == 0 {
+                                (center, 1.0f32)
+                            } else {
+                                let mut neg = sampler.sample(&mut rng);
+                                if neg == center {
+                                    neg = sampler.sample(&mut rng);
+                                }
+                                (neg, 0.0)
+                            };
+                            let ti = target * dim;
+                            let mut dot = 0.0f32;
+                            for d in 0..dim {
+                                dot += syn0[ci + d] * syn1[ti + d];
+                            }
+                            let pred = sigmoid(dot);
+                            let g = (label - pred) * lr;
+                            for d in 0..dim {
+                                grad[d] += g * syn1[ti + d];
+                                syn1[ti + d] += g * syn0[ci + d];
+                            }
+                        }
+                        for d in 0..dim {
+                            syn0[ci + d] += grad[d];
+                        }
+                    }
+                }
+            }
+        }
+
+        Some(W2vModel {
+            vocab,
+            dim,
+            vectors: syn0,
+        })
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The training vocabulary.
+    pub fn vocab(&self) -> &W2vVocab {
+        &self.vocab
+    }
+
+    /// Input vector for `word`, if retained.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        let id = self.vocab.id(word)?;
+        Some(&self.vectors[id * self.dim..(id + 1) * self.dim])
+    }
+
+    /// Cosine similarity between two words; `None` if either is OOV.
+    pub fn cosine(&self, a: &str, b: &str) -> Option<f32> {
+        Some(crate::similarity::cosine(self.vector(a)?, self.vector(b)?))
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus with two clear distributional clusters: colors appear in
+    /// `color : X bag` contexts, digits in `weight : N kg` contexts.
+    fn clustered_corpus() -> Vec<Vec<String>> {
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        let colors = ["red", "blue", "green", "pink"];
+        let digits = ["2", "3", "4", "5"];
+        for round in 0..60 {
+            let c = colors[round % colors.len()];
+            let d = digits[round % digits.len()];
+            out.push(mk(&format!("color : {c} nice bag")));
+            out.push(mk(&format!("the bag is {c} today")));
+            out.push(mk(&format!("weight : {d} kg heavy")));
+            out.push(mk(&format!("it weighs {d} kg exactly")));
+        }
+        out
+    }
+
+    fn trained() -> W2vModel {
+        let cfg = W2vConfig {
+            dim: 24,
+            window: 3,
+            negative: 5,
+            epochs: 12,
+            min_count: 2,
+            subsample: 0.0,
+            seed: 42,
+            ..Default::default()
+        };
+        W2vModel::train(&clustered_corpus(), &cfg).expect("non-empty vocab")
+    }
+
+    #[test]
+    fn distributional_clusters_emerge() {
+        let m = trained();
+        let same = m.cosine("red", "blue").unwrap();
+        let cross = m.cosine("red", "3").unwrap();
+        assert!(
+            same > cross,
+            "cos(red,blue)={same} should exceed cos(red,3)={cross}"
+        );
+        let same_num = m.cosine("2", "4").unwrap();
+        let cross_num = m.cosine("2", "green").unwrap();
+        assert!(same_num > cross_num, "{same_num} vs {cross_num}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = trained();
+        let b = trained();
+        assert_eq!(a.vector("red").unwrap(), b.vector("red").unwrap());
+    }
+
+    #[test]
+    fn oov_words_have_no_vector() {
+        let m = trained();
+        assert!(m.vector("zzzzz").is_none());
+        assert!(m.cosine("red", "zzzzz").is_none());
+    }
+
+    #[test]
+    fn empty_corpus_yields_none() {
+        assert!(W2vModel::train(&[], &W2vConfig::default()).is_none());
+    }
+
+    #[test]
+    fn min_count_prunes_rare_words() {
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        let corpus = vec![mk("a b a b a b"), mk("a b singleton")];
+        let cfg = W2vConfig {
+            min_count: 2,
+            epochs: 1,
+            ..Default::default()
+        };
+        let m = W2vModel::train(&corpus, &cfg).unwrap();
+        assert!(m.vector("singleton").is_none());
+        assert!(m.vector("a").is_some());
+    }
+}

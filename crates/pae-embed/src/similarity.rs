@@ -1,0 +1,90 @@
+//! Cosine and multiplicative set similarity.
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns `0.0` when either vector has zero norm.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Multiplicative combination of the cosine similarities between a
+/// candidate and every member of a core set (the paper's footnote 4).
+///
+/// Each cosine is mapped to `(1 + cos) / 2 ∈ [0, 1]` before the product
+/// (the standard trick for multiplicative combination, which is
+/// undefined for negative factors), and the geometric mean is returned
+/// so the score is comparable across core sets of different sizes.
+/// Returns `0.0` for an empty core.
+pub fn multiplicative_similarity(candidate: &[f32], core: &[&[f32]]) -> f32 {
+    if core.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0f64;
+    for member in core {
+        let shifted = ((1.0 + cosine(candidate, member)) / 2.0).clamp(1e-6, 1.0);
+        log_sum += (shifted as f64).ln();
+    }
+    (log_sum / core.len() as f64).exp() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vectors_are_neutral() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = [0.3, -0.7, 0.2];
+        let b = [0.6, -1.4, 0.4];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiplicative_prefers_aligned_candidates() {
+        let core: Vec<&[f32]> = vec![&[1.0, 0.0], &[0.9, 0.1]];
+        let aligned = multiplicative_similarity(&[1.0, 0.05], &core);
+        let orthogonal = multiplicative_similarity(&[0.0, 1.0], &core);
+        let opposed = multiplicative_similarity(&[-1.0, 0.0], &core);
+        assert!(aligned > orthogonal, "{aligned} vs {orthogonal}");
+        assert!(orthogonal > opposed, "{orthogonal} vs {opposed}");
+    }
+
+    #[test]
+    fn multiplicative_is_size_comparable() {
+        // Duplicating the core members must not change the geometric mean.
+        let small: Vec<&[f32]> = vec![&[1.0, 0.0]];
+        let big: Vec<&[f32]> = vec![&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]];
+        let cand = [0.7, 0.7];
+        let a = multiplicative_similarity(&cand, &small);
+        let b = multiplicative_similarity(&cand, &big);
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_core_scores_zero() {
+        assert_eq!(multiplicative_similarity(&[1.0], &[]), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Frequency-filtered vocabulary for SGNS training.
+
+use std::collections::HashMap;
+
+/// Vocabulary over a training corpus.
+///
+/// Words below `min_count` are dropped. Ids are assigned by descending
+/// frequency with ties broken lexicographically, so vocabulary
+/// construction is fully deterministic.
+#[derive(Debug, Clone)]
+pub struct W2vVocab {
+    index: HashMap<String, usize>,
+    words: Vec<String>,
+    counts: Vec<u64>,
+    total_tokens: u64,
+}
+
+impl W2vVocab {
+    /// Builds the vocabulary from sentences of surface tokens.
+    pub fn build(sentences: &[Vec<String>], min_count: u64) -> Self {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        let mut total = 0u64;
+        for sent in sentences {
+            for w in sent {
+                *freq.entry(w.as_str()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let mut items: Vec<(&str, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut index = HashMap::with_capacity(items.len());
+        let mut words = Vec::with_capacity(items.len());
+        let mut counts = Vec::with_capacity(items.len());
+        for (i, (w, c)) in items.into_iter().enumerate() {
+            index.insert(w.to_owned(), i);
+            words.push(w.to_owned());
+            counts.push(c);
+        }
+        W2vVocab {
+            index,
+            words,
+            counts,
+            total_tokens: total,
+        }
+    }
+
+    /// Id of `word`, if retained.
+    pub fn id(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Surface form for `id`.
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Corpus frequency of the word with `id`.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of retained words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no word was retained.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total tokens seen during construction (before filtering).
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// word2vec subsampling keep-probability for the word with `id`:
+    /// `min(1, sqrt(t/f) + t/f)` where `f` is the corpus-relative
+    /// frequency and `t` the subsample threshold.
+    pub fn keep_probability(&self, id: usize, threshold: f64) -> f64 {
+        if threshold <= 0.0 {
+            return 1.0;
+        }
+        let f = self.counts[id] as f64 / self.total_tokens.max(1) as f64;
+        let ratio = threshold / f;
+        (ratio.sqrt() + ratio).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+        vec![mk("a a a b b c"), mk("a b rare")]
+    }
+
+    #[test]
+    fn frequency_ordering_is_deterministic() {
+        let v = W2vVocab::build(&corpus(), 1);
+        assert_eq!(v.word(0), "a"); // 4 occurrences
+        assert_eq!(v.word(1), "b"); // 3
+        // c and rare both have 1: lexicographic tie-break.
+        assert_eq!(v.word(2), "c");
+        assert_eq!(v.word(3), "rare");
+        assert_eq!(v.total_tokens(), 9);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = W2vVocab::build(&corpus(), 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.id("c"), None);
+        assert_eq!(v.id("a"), Some(0));
+    }
+
+    #[test]
+    fn keep_probability_decreases_with_frequency() {
+        let v = W2vVocab::build(&corpus(), 1);
+        let frequent = v.keep_probability(0, 1e-2);
+        let rare = v.keep_probability(3, 1e-2);
+        assert!(frequent < rare);
+        assert!(rare <= 1.0);
+        // Threshold 0 disables subsampling.
+        assert_eq!(v.keep_probability(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = W2vVocab::build(&[], 1);
+        assert!(v.is_empty());
+        assert_eq!(v.total_tokens(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for similarity measures and phrase grouping.
+
+use proptest::prelude::*;
+
+use pae_embed::{cosine, group_phrases, multiplicative_similarity};
+
+fn vector(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cosine is symmetric and bounded in [-1, 1].
+    #[test]
+    fn cosine_symmetric_and_bounded(a in vector(8), b in vector(8)) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab), "cos = {ab}");
+    }
+
+    /// Cosine of a vector with itself is 1 (for nonzero vectors).
+    #[test]
+    fn cosine_self_is_one(a in vector(8)) {
+        let norm: f32 = a.iter().map(|x| x * x).sum();
+        prop_assume!(norm > 1e-6);
+        prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    /// Multiplicative set similarity is bounded in [0, 1] and invariant
+    /// under duplicating core members (geometric mean).
+    #[test]
+    fn multiplicative_bounded_and_size_invariant(
+        cand in vector(8),
+        core in proptest::collection::vec(vector(8), 1..4),
+    ) {
+        let refs: Vec<&[f32]> = core.iter().map(Vec::as_slice).collect();
+        let s = multiplicative_similarity(&cand, &refs);
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&s), "sim = {s}");
+
+        let doubled: Vec<&[f32]> = refs.iter().chain(refs.iter()).copied().collect();
+        let s2 = multiplicative_similarity(&cand, &doubled);
+        prop_assert!((s - s2).abs() < 1e-4, "{s} vs doubled {s2}");
+    }
+
+    /// Phrase grouping preserves token count accounting: every output
+    /// token is either an input token or an underscore-join of
+    /// consecutive input tokens.
+    #[test]
+    fn phrase_grouping_is_consistent(
+        sentence in proptest::collection::vec("[a-c]{1,2}", 0..10),
+        phrase in proptest::collection::vec("[a-c]{1,2}", 2..4),
+    ) {
+        let grouped = group_phrases(&[sentence.clone()], &[phrase.clone()]);
+        let flattened: Vec<String> = grouped[0]
+            .iter()
+            .flat_map(|t| t.split('_').map(str::to_owned))
+            .collect();
+        prop_assert_eq!(flattened, sentence);
+    }
+}

@@ -1,0 +1,303 @@
+//! Stack-based tree builder producing a lightweight DOM.
+
+use crate::tokenizer::{tokenize, HtmlToken};
+
+/// A DOM node: element or text. Comments are dropped during tree
+/// building (they are invisible to extraction; the *markup veto rule*
+/// operates on tagger output, not on the DOM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with lower-cased name, attributes, and children.
+    Element {
+        /// Tag name, lower-cased.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// A text node (entity-decoded, never empty).
+    Text(String),
+}
+
+impl Node {
+    /// Element name, or `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Node::Element { name, .. } => Some(name),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Children slice (empty for text nodes).
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// First attribute value with the given (lower-case) name.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str()),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Depth-first pre-order iterator over this subtree.
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { stack: vec![self] }
+    }
+
+    /// Concatenated text of the subtree with single-space joining.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(self, &mut out);
+        out.trim().to_owned()
+    }
+}
+
+fn collect_text(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => {
+            if !out.is_empty() && !out.ends_with(char::is_whitespace) {
+                out.push(' ');
+            }
+            out.push_str(t.trim());
+        }
+        Node::Element { children, .. } => {
+            for c in children {
+                collect_text(c, out);
+            }
+        }
+    }
+}
+
+/// Pre-order DFS iterator, see [`Node::descendants`].
+pub struct Descendants<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Node;
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        if let Node::Element { children, .. } = node {
+            for c in children.iter().rev() {
+                self.stack.push(c);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// Tags that never have content.
+const VOID: &[&str] = &[
+    "br", "img", "hr", "input", "meta", "link", "area", "base", "col", "embed", "source", "track",
+    "wbr",
+];
+
+/// Tags whose open instance is implicitly closed by a sibling of the
+/// same name (li by li, tr by tr, td/th by td/th, p by p …).
+fn implies_close(open: &str, incoming: &str) -> bool {
+    matches!(
+        (open, incoming),
+        ("li", "li")
+            | ("tr", "tr")
+            | ("td", "td")
+            | ("td", "th")
+            | ("th", "td")
+            | ("th", "th")
+            | ("td", "tr")
+            | ("th", "tr")
+            | ("p", "p")
+            | ("option", "option")
+            | ("dt", "dt")
+            | ("dt", "dd")
+            | ("dd", "dd")
+            | ("dd", "dt")
+    )
+}
+
+/// Parses HTML into a forest of top-level nodes.
+///
+/// Unmatched end tags are ignored; unclosed elements are closed at end
+/// of input. The builder never panics on malformed markup.
+pub fn parse(html: &str) -> Vec<Node> {
+    // Each stack frame: (name, attrs, children-so-far).
+    type Frame = (String, Vec<(String, String)>, Vec<Node>);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut roots: Vec<Node> = Vec::new();
+
+    fn push_node(stack: &mut [Frame], roots: &mut Vec<Node>, node: Node) {
+        if let Some(top) = stack.last_mut() {
+            top.2.push(node);
+        } else {
+            roots.push(node);
+        }
+    }
+
+    fn close_top(stack: &mut Vec<Frame>, roots: &mut Vec<Node>) {
+        if let Some((name, attrs, children)) = stack.pop() {
+            push_node(
+                stack,
+                roots,
+                Node::Element {
+                    name,
+                    attrs,
+                    children,
+                },
+            );
+        }
+    }
+
+    for tok in tokenize(html) {
+        match tok {
+            HtmlToken::Text(t) => {
+                if !t.trim().is_empty() {
+                    push_node(&mut stack, &mut roots, Node::Text(t));
+                }
+            }
+            HtmlToken::Comment(_) => {}
+            HtmlToken::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                while let Some((open, _, _)) = stack.last() {
+                    if implies_close(open, &name) {
+                        close_top(&mut stack, &mut roots);
+                    } else {
+                        break;
+                    }
+                }
+                if self_closing || VOID.contains(&name.as_str()) {
+                    push_node(
+                        &mut stack,
+                        &mut roots,
+                        Node::Element {
+                            name,
+                            attrs,
+                            children: Vec::new(),
+                        },
+                    );
+                } else {
+                    stack.push((name, attrs, Vec::new()));
+                }
+            }
+            HtmlToken::EndTag { name } => {
+                // Close up to the matching open tag, if any.
+                if let Some(pos) = stack.iter().rposition(|(n, _, _)| *n == name) {
+                    while stack.len() > pos {
+                        close_top(&mut stack, &mut roots);
+                    }
+                }
+                // Otherwise: stray end tag, ignored.
+            }
+        }
+    }
+    while !stack.is_empty() {
+        close_top(&mut stack, &mut roots);
+    }
+    roots
+}
+
+/// Finds all elements with the given name anywhere in the forest.
+pub fn find_all<'a>(forest: &'a [Node], name: &str) -> Vec<&'a Node> {
+    let mut out = Vec::new();
+    for root in forest {
+        for node in root.descendants() {
+            if node.name() == Some(name) {
+                out.push(node);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let forest = parse("<div><p>a</p><p>b</p></div>");
+        assert_eq!(forest.len(), 1);
+        let div = &forest[0];
+        assert_eq!(div.name(), Some("div"));
+        assert_eq!(div.children().len(), 2);
+        assert_eq!(div.children()[0].text_content(), "a");
+    }
+
+    #[test]
+    fn implied_close_for_table_rows() {
+        let forest = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let trs = find_all(&forest, "tr");
+        assert_eq!(trs.len(), 2);
+        assert_eq!(find_all(&forest, "td").len(), 3);
+    }
+
+    #[test]
+    fn implied_close_for_paragraphs_and_li() {
+        let forest = parse("<p>one<p>two<ul><li>x<li>y</ul>");
+        assert_eq!(find_all(&forest, "p").len(), 2);
+        assert_eq!(find_all(&forest, "li").len(), 2);
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let forest = parse("<p>a<br>b</p>");
+        let p = &forest[0];
+        assert_eq!(p.children().len(), 3);
+        assert_eq!(p.children()[1].name(), Some("br"));
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let forest = parse("</div><p>x</p>");
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name(), Some("p"));
+    }
+
+    #[test]
+    fn unclosed_elements_close_at_eof() {
+        let forest = parse("<div><span>x");
+        assert_eq!(forest[0].name(), Some("div"));
+        assert_eq!(forest[0].children()[0].name(), Some("span"));
+        assert_eq!(forest[0].text_content(), "x");
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let forest = parse(r#"<a href="u" id="1">t</a>"#);
+        assert_eq!(forest[0].attr("href"), Some("u"));
+        assert_eq!(forest[0].attr("id"), Some("1"));
+        assert_eq!(forest[0].attr("class"), None);
+    }
+
+    #[test]
+    fn text_content_joins_with_spaces() {
+        let forest = parse("<div><b>100</b><span>%</span> cotton</div>");
+        assert_eq!(forest[0].text_content(), "100 % cotton");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let forest = parse("<a><b></b><c><d></d></c></a>");
+        let names: Vec<_> = forest[0]
+            .descendants()
+            .filter_map(|n| n.name())
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let forest = parse("<div>\n   <p>x</p>\n</div>");
+        assert_eq!(forest[0].children().len(), 1);
+    }
+}

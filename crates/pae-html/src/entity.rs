@@ -1,0 +1,115 @@
+//! HTML character-entity decoding.
+
+/// Decodes the named and numeric entities that occur in product pages.
+///
+/// Unknown entities are passed through verbatim (including the `&`),
+/// matching browser leniency.
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_owned();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((decoded, consumed)) = decode_one(&input[i..]) {
+                out.push_str(&decoded);
+                i += consumed;
+                continue;
+            }
+        }
+        // Copy the (possibly multi-byte) char starting at i.
+        let ch = input[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Attempts to decode a single entity at the start of `s` (which begins
+/// with `&`). Returns the decoded text and the number of bytes consumed.
+fn decode_one(s: &str) -> Option<(String, usize)> {
+    let end = s[1..].find(';')? + 1; // index of ';' in s
+    if end > 12 {
+        return None; // too long to be a real entity
+    }
+    let name = &s[1..end];
+    let decoded = match name {
+        "amp" => "&".to_owned(),
+        "lt" => "<".to_owned(),
+        "gt" => ">".to_owned(),
+        "quot" => "\"".to_owned(),
+        "apos" => "'".to_owned(),
+        "nbsp" => " ".to_owned(),
+        "times" => "×".to_owned(),
+        "deg" => "°".to_owned(),
+        _ => {
+            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)?.to_string()
+        }
+    };
+    Some((decoded, end + 1))
+}
+
+/// Escapes text for safe embedding in an HTML text node or attribute.
+pub fn escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_entities("a &amp; b &lt;c&gt;"), "a & b <c>");
+        assert_eq!(decode_entities("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+        assert_eq!(decode_entities("1&nbsp;kg"), "1 kg");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_entities("&#65;&#66;"), "AB");
+        assert_eq!(decode_entities("&#x41;"), "A");
+        assert_eq!(decode_entities("&#x2603;"), "☃");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode_entities("&bogus; &;"), "&bogus; &;");
+        assert_eq!(decode_entities("fish & chips"), "fish & chips");
+    }
+
+    #[test]
+    fn invalid_codepoint_passes_through() {
+        assert_eq!(decode_entities("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let raw = "a<b & \"c\">";
+        assert_eq!(decode_entities(&escape(raw)), raw);
+    }
+
+    #[test]
+    fn no_ampersand_fast_path() {
+        assert_eq!(decode_entities("plain text"), "plain text");
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Minimal HTML substrate for product-page processing.
+//!
+//! The pipeline consumes merchant product pages as HTML strings. This
+//! crate provides everything the pre-processor needs, built from
+//! scratch:
+//!
+//! * [`tokenizer`] — a forgiving HTML tokenizer (tags, attributes, text,
+//!   comments, entities);
+//! * [`dom`] — a stack-based tree builder producing a lightweight DOM;
+//! * [`table`] — a table model plus *dictionary table* detection (the
+//!   2-column × n-row or 2-row × n-column specification tables the seed
+//!   is harvested from);
+//! * [`text`] — block-level text extraction (titles + free-form
+//!   descriptions) that skips `<script>`/`<style>` and, by default,
+//!   table subtrees (tables feed the seed, not the tagger).
+//!
+//! The parser is not a spec-compliant HTML5 implementation; it is a
+//! robust subset good enough for real-world-ish product pages: implied
+//! end tags, void elements, attribute quoting styles, entities, and
+//! malformed markup are all handled without panicking.
+
+pub mod dom;
+pub mod entity;
+pub mod table;
+pub mod text;
+pub mod tokenizer;
+
+pub use dom::{parse, Node};
+pub use table::{extract_tables, DictTable, Table};
+pub use text::{extract_text, TextOptions};

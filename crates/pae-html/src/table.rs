@@ -1,0 +1,248 @@
+//! Table extraction and dictionary-table detection.
+//!
+//! The paper's seed is harvested from *tables with a dictionary
+//! structure, that is, of 2 rows and n columns or of 2 columns and n
+//! rows* (§V-A). This module extracts all tables from a page DOM and
+//! recognizes that structure, yielding `(attribute name, value)` pairs.
+
+use crate::dom::{find_all, Node};
+
+/// A rendered table: rows of trimmed cell texts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Rows in document order; each row holds its cell texts.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (maximum across rows — merchants produce
+    /// ragged tables).
+    pub fn n_cols(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Recognizes the dictionary structure and returns the pairs.
+    ///
+    /// * `n×2` (n rows, 2 columns): each row is `(name, value)`;
+    /// * `2×n` (2 rows, n≥3 columns): first row names, second row values.
+    ///
+    /// A 2×2 table is read in row form (`(name, value)` per row), the
+    /// more common merchant layout. Rows with missing cells are skipped.
+    pub fn as_dictionary(&self) -> Option<DictTable> {
+        if self.n_rows() >= 2 && self.n_cols() == 2 {
+            let pairs: Vec<(String, String)> = self
+                .rows
+                .iter()
+                .filter(|r| r.len() == 2 && !r[0].is_empty() && !r[1].is_empty())
+                .map(|r| (r[0].clone(), r[1].clone()))
+                .collect();
+            if pairs.len() >= 2 {
+                return Some(DictTable { pairs });
+            }
+        }
+        if self.n_rows() == 2 && self.n_cols() >= 3 {
+            let (names, values) = (&self.rows[0], &self.rows[1]);
+            let n = names.len().min(values.len());
+            let pairs: Vec<(String, String)> = (0..n)
+                .filter(|&i| !names[i].is_empty() && !values[i].is_empty())
+                .map(|i| (names[i].clone(), values[i].clone()))
+                .collect();
+            if pairs.len() >= 2 {
+                return Some(DictTable { pairs });
+            }
+        }
+        None
+    }
+}
+
+/// A table recognized as an `attribute → value` dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictTable {
+    /// `(attribute name, value)` pairs in document order.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// Extracts every `<table>` in the forest as a [`Table`].
+///
+/// Nested tables are extracted independently; the outer table's cell
+/// text does not include inner-table content (the inner table is its
+/// own extraction target).
+pub fn extract_tables(forest: &[Node]) -> Vec<Table> {
+    find_all(forest, "table")
+        .into_iter()
+        .map(table_from_node)
+        .collect()
+}
+
+fn table_from_node(table: &Node) -> Table {
+    let mut rows = Vec::new();
+    // Collect tr elements that belong to this table (not to a nested one).
+    collect_rows(table, table, &mut rows);
+    Table { rows }
+}
+
+fn collect_rows(root: &Node, node: &Node, rows: &mut Vec<Vec<String>>) {
+    for child in node.children() {
+        match child.name() {
+            Some("tr") => {
+                let mut cells = Vec::new();
+                for cell in child.children() {
+                    if matches!(cell.name(), Some("td") | Some("th")) {
+                        cells.push(cell_text(cell));
+                    }
+                }
+                rows.push(cells);
+            }
+            Some("table") if !std::ptr::eq(root, child) => {
+                // Nested table: handled by its own extraction.
+            }
+            _ => collect_rows(root, child, rows),
+        }
+    }
+}
+
+/// Cell text, excluding any nested-table content.
+fn cell_text(cell: &Node) -> String {
+    let mut out = String::new();
+    fn walk(node: &Node, out: &mut String) {
+        match node {
+            Node::Text(t) => {
+                if !out.is_empty() && !out.ends_with(char::is_whitespace) {
+                    out.push(' ');
+                }
+                out.push_str(t.trim());
+            }
+            Node::Element { name, children, .. } => {
+                if name == "table" {
+                    return;
+                }
+                for c in children {
+                    walk(c, out);
+                }
+            }
+        }
+    }
+    walk(cell, &mut out);
+    out.trim().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::parse;
+
+    fn dict_pairs(html: &str) -> Option<Vec<(String, String)>> {
+        let forest = parse(html);
+        let tables = extract_tables(&forest);
+        tables
+            .first()
+            .and_then(Table::as_dictionary)
+            .map(|d| d.pairs)
+    }
+
+    #[test]
+    fn n_by_2_dictionary() {
+        let html = "<table>\
+            <tr><th>color</th><td>red</td></tr>\
+            <tr><th>weight</th><td>2.5kg</td></tr>\
+            <tr><th>brand</th><td>Acme</td></tr>\
+            </table>";
+        let pairs = dict_pairs(html).expect("dictionary");
+        assert_eq!(
+            pairs,
+            vec![
+                ("color".to_owned(), "red".to_owned()),
+                ("weight".to_owned(), "2.5kg".to_owned()),
+                ("brand".to_owned(), "Acme".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn two_by_n_dictionary() {
+        let html = "<table>\
+            <tr><td>color</td><td>weight</td><td>brand</td></tr>\
+            <tr><td>red</td><td>2.5kg</td><td>Acme</td></tr>\
+            </table>";
+        let pairs = dict_pairs(html).expect("dictionary");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[1], ("weight".to_owned(), "2.5kg".to_owned()));
+    }
+
+    #[test]
+    fn wide_table_is_not_dictionary() {
+        let html = "<table>\
+            <tr><td>a</td><td>b</td><td>c</td></tr>\
+            <tr><td>1</td><td>2</td><td>3</td></tr>\
+            <tr><td>4</td><td>5</td><td>6</td></tr>\
+            </table>";
+        assert!(dict_pairs(html).is_none());
+    }
+
+    #[test]
+    fn single_row_is_not_dictionary() {
+        assert!(dict_pairs("<table><tr><td>a</td><td>b</td></tr></table>").is_none());
+    }
+
+    #[test]
+    fn ragged_rows_are_skipped() {
+        let html = "<table>\
+            <tr><td>color</td><td>red</td></tr>\
+            <tr><td>lonely</td></tr>\
+            <tr><td>brand</td><td>Acme</td></tr>\
+            </table>";
+        let pairs = dict_pairs(html).expect("dictionary");
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_cells_are_skipped() {
+        let html = "<table>\
+            <tr><td>color</td><td></td></tr>\
+            <tr><td>brand</td><td>Acme</td></tr>\
+            <tr><td>size</td><td>M</td></tr>\
+            </table>";
+        let pairs = dict_pairs(html).expect("dictionary");
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn tbody_wrapped_rows() {
+        let html = "<table><tbody>\
+            <tr><td>a</td><td>1</td></tr>\
+            <tr><td>b</td><td>2</td></tr>\
+            </tbody></table>";
+        assert_eq!(dict_pairs(html).expect("dict").len(), 2);
+    }
+
+    #[test]
+    fn nested_tables_extracted_separately() {
+        let html = "<table>\
+            <tr><td>outer</td><td><table>\
+                <tr><td>x</td><td>1</td></tr>\
+                <tr><td>y</td><td>2</td></tr>\
+            </table></td></tr>\
+            <tr><td>k</td><td>v</td></tr>\
+            </table>";
+        let forest = parse(html);
+        let tables = extract_tables(&forest);
+        assert_eq!(tables.len(), 2);
+        // Outer cell text excludes the nested table's content.
+        assert_eq!(tables[0].rows[0][1], "");
+    }
+
+    #[test]
+    fn markup_in_cells_is_flattened() {
+        let html = "<table>\
+            <tr><td><b>color</b></td><td><span>deep</span> red</td></tr>\
+            <tr><td>b</td><td>2</td></tr>\
+            </table>";
+        let pairs = dict_pairs(html).expect("dict");
+        assert_eq!(pairs[0], ("color".to_owned(), "deep red".to_owned()));
+    }
+}

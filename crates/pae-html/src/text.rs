@@ -1,0 +1,143 @@
+//! Block-level text extraction from product pages.
+
+use crate::dom::Node;
+
+/// Options controlling [`extract_text`].
+#[derive(Debug, Clone)]
+pub struct TextOptions {
+    /// Skip `<table>` subtrees (default `true`: tables feed the seed
+    /// extractor, not the free-text tagger).
+    pub skip_tables: bool,
+}
+
+impl Default for TextOptions {
+    fn default() -> Self {
+        TextOptions { skip_tables: true }
+    }
+}
+
+/// Elements that force a line break before and after their content.
+const BLOCK: &[&str] = &[
+    "p", "div", "li", "ul", "ol", "h1", "h2", "h3", "h4", "h5", "h6", "tr", "table", "section",
+    "article", "header", "footer", "dl", "dt", "dd", "blockquote", "body", "html",
+];
+
+/// Extracts readable text from a parsed page as newline-separated
+/// blocks. `<script>`/`<style>` are always skipped; `<br>` produces a
+/// line break; inline elements join with spaces.
+pub fn extract_text(forest: &[Node], options: &TextOptions) -> String {
+    let mut out = String::new();
+    for node in forest {
+        walk(node, options, &mut out);
+    }
+    // Collapse runs of blank lines and trim.
+    let mut result = String::with_capacity(out.len());
+    let mut blank = true;
+    for line in out.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            if !blank {
+                // preserve single separation via newline already added
+            }
+            blank = true;
+        } else {
+            if !result.is_empty() {
+                result.push('\n');
+            }
+            result.push_str(line);
+            blank = false;
+        }
+    }
+    result
+}
+
+fn walk(node: &Node, options: &TextOptions, out: &mut String) {
+    match node {
+        Node::Text(t) => {
+            let trimmed = t.trim();
+            if !trimmed.is_empty() {
+                if !out.is_empty() && !out.ends_with(['\n', ' ']) {
+                    out.push(' ');
+                }
+                out.push_str(trimmed);
+            }
+        }
+        Node::Element { name, children, .. } => {
+            match name.as_str() {
+                // Head content (incl. <title>) is metadata, not body
+                // text; callers that want the title read it explicitly.
+                "script" | "style" | "head" => return,
+                "table" if options.skip_tables => return,
+                "br" => {
+                    out.push('\n');
+                    return;
+                }
+                _ => {}
+            }
+            let block = BLOCK.contains(&name.as_str());
+            if block && !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            for c in children {
+                walk(c, options, out);
+            }
+            if block && !out.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::parse;
+
+    fn text(html: &str) -> String {
+        extract_text(&parse(html), &TextOptions::default())
+    }
+
+    #[test]
+    fn blocks_become_lines() {
+        assert_eq!(text("<p>one</p><p>two</p>"), "one\ntwo");
+    }
+
+    #[test]
+    fn inline_elements_join() {
+        assert_eq!(text("<p><b>100</b>% <i>cotton</i></p>"), "100 % cotton");
+    }
+
+    #[test]
+    fn br_breaks_lines() {
+        assert_eq!(text("<p>a<br>b</p>"), "a\nb");
+    }
+
+    #[test]
+    fn script_and_style_skipped() {
+        assert_eq!(text("<p>x</p><script>var a=1;</script><style>p{}</style>"), "x");
+    }
+
+    #[test]
+    fn tables_skipped_by_default() {
+        let html = "<p>desc</p><table><tr><td>k</td><td>v</td></tr></table>";
+        assert_eq!(text(html), "desc");
+    }
+
+    #[test]
+    fn tables_included_when_requested() {
+        let html = "<p>desc</p><table><tr><td>k</td><td>v</td></tr></table>";
+        let out = extract_text(&parse(html), &TextOptions { skip_tables: false });
+        assert!(out.contains("k v"), "got {out:?}");
+    }
+
+    #[test]
+    fn nested_blocks_do_not_duplicate_breaks() {
+        assert_eq!(text("<div><div><p>x</p></div></div>"), "x");
+    }
+
+    #[test]
+    fn empty_page() {
+        assert_eq!(text(""), "");
+        assert_eq!(text("<div></div>"), "");
+    }
+}

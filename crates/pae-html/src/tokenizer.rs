@@ -1,0 +1,322 @@
+//! Forgiving HTML tokenizer.
+
+use crate::entity::decode_entities;
+
+/// One HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlToken {
+    /// `<name attr="v" …>`; `self_closing` is true for `<br/>` style tags.
+    StartTag {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in document order, values entity-decoded.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A text node, entity-decoded. Never empty.
+    Text(String),
+    /// `<!-- … -->` (content kept for the markup veto rule tests).
+    Comment(String),
+}
+
+/// Tokenizes HTML. Malformed constructs degrade to text rather than
+/// failing: a lone `<` not followed by a tag-ish character is literal.
+pub fn tokenize(html: &str) -> Vec<HtmlToken> {
+    let bytes = html.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut text_start = 0;
+
+    let flush_text = |out: &mut Vec<HtmlToken>, start: usize, end: usize| {
+        if start < end {
+            let decoded = decode_entities(&html[start..end]);
+            if !decoded.is_empty() {
+                out.push(HtmlToken::Text(decoded));
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            flush_text(&mut out, text_start, i);
+            let close = html[i + 4..].find("-->").map(|p| i + 4 + p);
+            let (content_end, next) = match close {
+                Some(p) => (p, p + 3),
+                None => (html.len(), html.len()),
+            };
+            out.push(HtmlToken::Comment(html[i + 4..content_end].to_owned()));
+            i = next;
+            text_start = i;
+            continue;
+        }
+        // Doctype / processing instruction: skip to '>'.
+        if html[i..].starts_with("<!") || html[i..].starts_with("<?") {
+            flush_text(&mut out, text_start, i);
+            let close = html[i..].find('>').map(|p| i + p + 1).unwrap_or(html.len());
+            i = close;
+            text_start = i;
+            continue;
+        }
+        // End tag.
+        if html[i..].starts_with("</") {
+            let rest = &html[i + 2..];
+            if rest.starts_with(|c: char| c.is_ascii_alphabetic()) {
+                flush_text(&mut out, text_start, i);
+                let close = rest.find('>').map(|p| i + 2 + p);
+                let (name_end, next) = match close {
+                    Some(p) => (p, p + 1),
+                    None => (html.len(), html.len()),
+                };
+                let name = html[i + 2..name_end]
+                    .trim()
+                    .to_ascii_lowercase();
+                out.push(HtmlToken::EndTag { name });
+                i = next;
+                text_start = i;
+                continue;
+            }
+        }
+        // Start tag.
+        if html[i + 1..].starts_with(|c: char| c.is_ascii_alphabetic()) {
+            if let Some((tok, next)) = parse_start_tag(html, i) {
+                flush_text(&mut out, text_start, i);
+                // Raw-text elements: script/style content is opaque.
+                if let HtmlToken::StartTag { ref name, self_closing: false, .. } = tok {
+                    if name == "script" || name == "style" {
+                        let close_pat = format!("</{name}");
+                        let content_start = next;
+                        let close = html[content_start..]
+                            .to_ascii_lowercase()
+                            .find(&close_pat)
+                            .map(|p| content_start + p);
+                        let tag_name = name.clone();
+                        out.push(tok);
+                        let (content_end, after) = match close {
+                            Some(p) => {
+                                let after = html[p..]
+                                    .find('>')
+                                    .map(|q| p + q + 1)
+                                    .unwrap_or(html.len());
+                                (p, after)
+                            }
+                            None => (html.len(), html.len()),
+                        };
+                        if content_start < content_end {
+                            out.push(HtmlToken::Text(html[content_start..content_end].to_owned()));
+                        }
+                        out.push(HtmlToken::EndTag { name: tag_name });
+                        i = after;
+                        text_start = i;
+                        continue;
+                    }
+                }
+                out.push(tok);
+                i = next;
+                text_start = i;
+                continue;
+            }
+        }
+        // Literal '<'.
+        i += 1;
+    }
+    flush_text(&mut out, text_start, html.len());
+    out
+}
+
+/// Parses a start tag beginning at byte `start` (which is `<`).
+/// Returns the token and the index just past the closing `>`.
+fn parse_start_tag(html: &str, start: usize) -> Option<(HtmlToken, usize)> {
+    let bytes = html.as_bytes();
+    let mut i = start + 1;
+    let name_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        i += 1;
+    }
+    let name = html[name_start..i].to_ascii_lowercase();
+    if name.is_empty() {
+        return None;
+    }
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        match bytes[i] {
+            b'>' => {
+                i += 1;
+                break;
+            }
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // Attribute name.
+                let a_start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && !matches!(bytes[i], b'=' | b'>' | b'/')
+                {
+                    i += 1;
+                }
+                let attr_name = html[a_start..i].to_ascii_lowercase();
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                        let quote = bytes[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < bytes.len() && bytes[i] != quote {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i]);
+                        i = (i + 1).min(bytes.len());
+                    } else {
+                        let v_start = i;
+                        while i < bytes.len()
+                            && !bytes[i].is_ascii_whitespace()
+                            && bytes[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i]);
+                    }
+                }
+                if !attr_name.is_empty() {
+                    attrs.push((attr_name, value));
+                }
+            }
+        }
+    }
+    Some((
+        HtmlToken::StartTag {
+            name,
+            attrs,
+            self_closing,
+        },
+        i,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> HtmlToken {
+        HtmlToken::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_markup() {
+        let toks = tokenize("<p>hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("p"),
+                HtmlToken::Text("hello".into()),
+                HtmlToken::EndTag { name: "p".into() }
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<a href="x" class='c' data-n=5>"#);
+        match &toks[0] {
+            HtmlToken::StartTag { name, attrs, .. } => {
+                assert_eq!(name, "a");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("href".to_owned(), "x".to_owned()),
+                        ("class".to_owned(), "c".to_owned()),
+                        ("data-n".to_owned(), "5".to_owned())
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/>");
+        assert!(matches!(
+            &toks[0],
+            HtmlToken::StartTag { self_closing: true, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note -->x");
+        assert_eq!(
+            toks,
+            vec![
+                HtmlToken::Comment(" note ".into()),
+                HtmlToken::Text("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let toks = tokenize("<td>100% cotton &amp; linen</td>");
+        assert_eq!(toks[1], HtmlToken::Text("100% cotton & linen".into()));
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let toks = tokenize("1 < 2 and 3 > 2");
+        assert_eq!(toks, vec![HtmlToken::Text("1 < 2 and 3 > 2".into())]);
+    }
+
+    #[test]
+    fn script_content_is_opaque() {
+        let toks = tokenize("<script>if (a<b) {}</script>after");
+        assert_eq!(toks[1], HtmlToken::Text("if (a<b) {}".into()));
+        assert_eq!(toks[3], HtmlToken::Text("after".into()));
+    }
+
+    #[test]
+    fn unterminated_tag_does_not_panic() {
+        let toks = tokenize("<p class=");
+        assert!(!toks.is_empty());
+        let toks = tokenize("</");
+        assert_eq!(toks, vec![HtmlToken::Text("</".into())]);
+    }
+
+    #[test]
+    fn uppercase_tags_lowercased() {
+        let toks = tokenize("<TABLE><TR></TR></TABLE>");
+        assert_eq!(toks[0], start("table"));
+        assert_eq!(toks[3], HtmlToken::EndTag { name: "table".into() });
+    }
+}

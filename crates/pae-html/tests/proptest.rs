@@ -1,0 +1,55 @@
+//! Property-based tests for the HTML substrate: totality on tag soup
+//! and a render→parse→extract roundtrip for dictionary tables.
+
+use proptest::prelude::*;
+
+use pae_html::entity::escape;
+use pae_html::{extract_tables, extract_text, parse, TextOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parsing arbitrary tag soup never panics, and text extraction
+    /// over the result is total.
+    #[test]
+    fn parse_is_total_on_tag_soup(s in "[a-z<>/&; \"=']{0,120}") {
+        let forest = parse(&s);
+        let _ = extract_text(&forest, &TextOptions::default());
+        let _ = extract_tables(&forest);
+    }
+
+    /// A rendered dictionary table roundtrips through parse + extract,
+    /// entity escaping included.
+    #[test]
+    fn dictionary_table_roundtrip(
+        pairs in proptest::collection::vec(("[a-z<&]{1,8}", "[a-z0-9<&.][a-z0-9<&. ]{0,11}"), 2..6),
+    ) {
+        let mut html = String::from("<table>");
+        for (k, v) in &pairs {
+            html.push_str(&format!("<tr><th>{}</th><td>{}</td></tr>", escape(k), escape(v)));
+        }
+        html.push_str("</table>");
+
+        let forest = parse(&html);
+        let tables = extract_tables(&forest);
+        prop_assert_eq!(tables.len(), 1);
+        let dict = tables[0].as_dictionary().expect("dictionary shape");
+        prop_assert_eq!(dict.pairs.len(), pairs.len());
+        for ((k, v), (ek, ev)) in dict.pairs.iter().zip(&pairs) {
+            // Cell text is whitespace-normalized during extraction.
+            let norm = |s: &str| s.split_whitespace().collect::<Vec<_>>().join(" ");
+            prop_assert_eq!(norm(k), norm(ek));
+            prop_assert_eq!(norm(v), norm(ev));
+        }
+    }
+
+    /// Text extraction of escaped content returns the original text
+    /// (whitespace-normalized).
+    #[test]
+    fn escaped_text_roundtrip(s in "[a-z<>&\"' ]{0,60}") {
+        let html = format!("<p>{}</p>", escape(&s));
+        let out = extract_text(&parse(&html), &TextOptions::default());
+        let norm = |x: &str| x.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(norm(&out), norm(&s));
+    }
+}

@@ -1,0 +1,93 @@
+//! Affine (fully-connected) layer.
+
+use crate::ops::{affine, affine_backward};
+
+/// `y = W x + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Output dimensionality.
+    pub rows: usize,
+    /// Input dimensionality.
+    pub cols: usize,
+    /// Row-major weights `[rows × cols]`.
+    pub w: Vec<f32>,
+    /// Bias `[rows]`.
+    pub b: Vec<f32>,
+}
+
+/// Gradients matching [`Dense`].
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// d/dW.
+    pub w: Vec<f32>,
+    /// d/db.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    /// Zero-initialized layer.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Dense {
+            rows,
+            cols,
+            w: vec![0.0; rows * cols],
+            b: vec![0.0; rows],
+        }
+    }
+
+    /// Forward pass into `out`.
+    pub fn forward(&self, x: &[f32], out: &mut [f32]) {
+        affine(&self.w, &self.b, x, self.rows, self.cols, out);
+    }
+
+    /// Backward pass; accumulates into `grads` and `dx`.
+    pub fn backward(&self, x: &[f32], dy: &[f32], grads: &mut DenseGrads, dx: &mut [f32]) {
+        affine_backward(
+            &self.w, x, dy, self.rows, self.cols, &mut grads.w, &mut grads.b, dx,
+        );
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+impl DenseGrads {
+    /// Zeroed gradients for `layer`.
+    pub fn zeros(layer: &Dense) -> Self {
+        DenseGrads {
+            w: vec![0.0; layer.w.len()],
+            b: vec![0.0; layer.b.len()],
+        }
+    }
+
+    /// Resets to zero, keeping allocations.
+    pub fn clear(&mut self) {
+        self.w.fill(0.0);
+        self.b.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_roundtrip() {
+        let mut layer = Dense::new(2, 3);
+        layer.w = vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5];
+        layer.b = vec![0.0, 1.0];
+        let x = [2.0, 4.0, 6.0];
+        let mut y = [0.0; 2];
+        layer.forward(&x, &mut y);
+        assert_eq!(y, [-4.0, 7.0]);
+
+        let mut grads = DenseGrads::zeros(&layer);
+        let mut dx = [0.0; 3];
+        layer.backward(&x, &[1.0, 1.0], &mut grads, &mut dx);
+        assert_eq!(grads.b, vec![1.0, 1.0]);
+        assert_eq!(&grads.w[..3], &[2.0, 4.0, 6.0]);
+        assert_eq!(dx, [1.5, 0.5, -0.5]);
+    }
+}

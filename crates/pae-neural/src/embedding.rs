@@ -1,0 +1,117 @@
+//! Embedding lookup tables with sparse gradient accumulation.
+
+/// A dense embedding table `[vocab × dim]`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Number of rows (vocabulary size, including any OOV row).
+    pub vocab: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Row-major weights.
+    pub w: Vec<f32>,
+}
+
+/// Sparse gradients for an [`Embedding`]: only touched rows are stored.
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingGrads {
+    /// `(row, gradient)` pairs, possibly with repeated rows.
+    pub updates: Vec<(usize, Vec<f32>)>,
+}
+
+impl Embedding {
+    /// Zero-initialized table (caller fills via its initializer).
+    pub fn new(vocab: usize, dim: usize) -> Self {
+        Embedding {
+            vocab,
+            dim,
+            w: vec![0.0; vocab * dim],
+        }
+    }
+
+    /// Row view for `id`.
+    pub fn lookup(&self, id: usize) -> &[f32] {
+        &self.w[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Records a gradient for row `id`.
+    pub fn accumulate(&self, grads: &mut EmbeddingGrads, id: usize, grad: &[f32]) {
+        debug_assert_eq!(grad.len(), self.dim);
+        grads.updates.push((id, grad.to_vec()));
+    }
+
+    /// Applies SGD: `w[row] -= lr * grad` for each recorded update.
+    pub fn apply(&mut self, grads: &EmbeddingGrads, lr: f32) {
+        for (id, g) in &grads.updates {
+            let row = &mut self.w[id * self.dim..(id + 1) * self.dim];
+            for (w, &gv) in row.iter_mut().zip(g) {
+                *w -= lr * gv;
+            }
+        }
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.len()
+    }
+}
+
+impl EmbeddingGrads {
+    /// Clears recorded updates, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.updates.clear();
+    }
+
+    /// Scales every recorded gradient in place (used by global clipping).
+    pub fn scale(&mut self, factor: f32) {
+        for (_, g) in &mut self.updates {
+            for v in g.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+
+    /// Squared L2 norm of all recorded gradients.
+    pub fn sq_norm(&self) -> f32 {
+        self.updates
+            .iter()
+            .flat_map(|(_, g)| g.iter())
+            .map(|v| v * v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut e = Embedding::new(3, 2);
+        e.w = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(e.lookup(0), &[1.0, 2.0]);
+        assert_eq!(e.lookup(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn apply_subtracts_scaled_gradients() {
+        let mut e = Embedding::new(2, 2);
+        let mut g = EmbeddingGrads::default();
+        e.accumulate(&mut g, 1, &[1.0, -1.0]);
+        e.accumulate(&mut g, 1, &[1.0, 0.0]); // repeated row accumulates
+        e.apply(&g, 0.5);
+        assert_eq!(e.lookup(1), &[-1.0, 0.5]);
+        assert_eq!(e.lookup(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let e = Embedding::new(2, 2);
+        let mut g = EmbeddingGrads::default();
+        e.accumulate(&mut g, 0, &[3.0, 4.0]);
+        assert_eq!(g.sq_norm(), 25.0);
+        g.scale(0.5);
+        assert_eq!(g.sq_norm(), 6.25);
+        g.clear();
+        assert_eq!(g.sq_norm(), 0.0);
+    }
+}

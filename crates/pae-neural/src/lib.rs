@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Neural sequence-tagging substrate: a char+word BiLSTM tagger.
+//!
+//! Reproduces the paper's RNN backend (NeuroNER): *"NeuroNER stacks 2
+//! kinds of LSTM in the hidden layer to compute both previous and
+//! forward context of sequence input. It uses Stochastic Gradient
+//! Descent (SGD) with dropout regularization to update the weights.
+//! … character level representation is used as an input to BiLSTM, and
+//! word level representation is appended to the BiLSTM output"*.
+//!
+//! Everything — LSTM cells, embeddings, dense layers, dropout, backprop —
+//! is implemented by hand on flat `f32` buffers; correctness is pinned
+//! by finite-difference gradient checks in the test suite.
+//!
+//! * [`ops`] — vector/matrix primitives;
+//! * [`lstm`] — a single-direction LSTM layer with full backward pass;
+//! * [`embedding`] — lookup tables with sparse gradients;
+//! * [`dense`] — affine layer;
+//! * [`tagger`] — the assembled [`BiLstmTagger`] with train/predict.
+
+pub mod dense;
+pub mod embedding;
+pub mod lstm;
+pub mod ops;
+pub mod tagger;
+
+pub use tagger::{BiLstmTagger, TaggerConfig, TrainSentence};

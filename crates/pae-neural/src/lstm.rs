@@ -1,0 +1,316 @@
+//! Single-direction LSTM layer with a full manual backward pass.
+
+use crate::ops::{affine, sigmoid};
+
+/// LSTM parameters: one fused weight matrix over `[x_t ; h_{t-1}]`.
+///
+/// Gate order in the fused `4H` block: input `i`, forget `f`,
+/// candidate `g`, output `o`.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input dimensionality `I`.
+    pub input_dim: usize,
+    /// Hidden dimensionality `H`.
+    pub hidden: usize,
+    /// Fused weights, row-major `[4H × (I + H)]`.
+    pub w: Vec<f32>,
+    /// Fused bias `[4H]` (forget-gate block initialized to 1.0).
+    pub b: Vec<f32>,
+}
+
+/// Gradients matching [`Lstm`] parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// d/dW, same layout as [`Lstm::w`].
+    pub w: Vec<f32>,
+    /// d/db, same layout as [`Lstm::b`].
+    pub b: Vec<f32>,
+}
+
+impl LstmGrads {
+    /// Zeroed gradients for `lstm`.
+    pub fn zeros(lstm: &Lstm) -> Self {
+        LstmGrads {
+            w: vec![0.0; lstm.w.len()],
+            b: vec![0.0; lstm.b.len()],
+        }
+    }
+
+    /// Resets to zero, keeping allocations.
+    pub fn clear(&mut self) {
+        self.w.fill(0.0);
+        self.b.fill(0.0);
+    }
+}
+
+/// Forward-pass activations cached for backward.
+#[derive(Debug, Clone, Default)]
+pub struct LstmCache {
+    /// Inputs per step.
+    xs: Vec<Vec<f32>>,
+    /// Post-activation gates `[i, f, g, o]` per step (each `4H`).
+    gates: Vec<Vec<f32>>,
+    /// Cell states per step.
+    cs: Vec<Vec<f32>>,
+    /// Hidden states per step.
+    hs: Vec<Vec<f32>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with the given dimensions; weights are filled by
+    /// the caller's initializer (see [`crate::tagger`]).
+    pub fn new(input_dim: usize, hidden: usize) -> Self {
+        let mut b = vec![0.0; 4 * hidden];
+        // Standard trick: forget-gate bias 1.0 eases gradient flow.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Lstm {
+            input_dim,
+            hidden,
+            w: vec![0.0; 4 * hidden * (input_dim + hidden)],
+            b,
+        }
+    }
+
+    /// Runs the layer over `xs`, returning hidden states per step and
+    /// the cache needed by [`Lstm::backward`].
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmCache) {
+        let h = self.hidden;
+        let cols = self.input_dim + h;
+        let mut cache = LstmCache::default();
+        let mut h_prev = vec![0.0f32; h];
+        let mut c_prev = vec![0.0f32; h];
+        let mut zin = vec![0.0f32; cols];
+        let mut pre = vec![0.0f32; 4 * h];
+
+        for x in xs {
+            debug_assert_eq!(x.len(), self.input_dim);
+            zin[..self.input_dim].copy_from_slice(x);
+            zin[self.input_dim..].copy_from_slice(&h_prev);
+            affine(&self.w, &self.b, &zin, 4 * h, cols, &mut pre);
+
+            let mut gates = vec![0.0f32; 4 * h];
+            let mut c = vec![0.0f32; h];
+            let mut hidden = vec![0.0f32; h];
+            for j in 0..h {
+                let i_g = sigmoid(pre[j]);
+                let f_g = sigmoid(pre[h + j]);
+                let g_g = pre[2 * h + j].tanh();
+                let o_g = sigmoid(pre[3 * h + j]);
+                gates[j] = i_g;
+                gates[h + j] = f_g;
+                gates[2 * h + j] = g_g;
+                gates[3 * h + j] = o_g;
+                c[j] = f_g * c_prev[j] + i_g * g_g;
+                hidden[j] = o_g * c[j].tanh();
+            }
+            cache.xs.push(x.clone());
+            cache.gates.push(gates);
+            cache.cs.push(c.clone());
+            cache.hs.push(hidden.clone());
+            h_prev = hidden;
+            c_prev = c;
+        }
+        (cache.hs.clone(), cache)
+    }
+
+    /// Backward pass. `dhs[t]` is the loss gradient w.r.t. the hidden
+    /// state at step `t`. Accumulates parameter gradients into `grads`
+    /// and returns the gradients w.r.t. the inputs.
+    pub fn backward(
+        &self,
+        cache: &LstmCache,
+        dhs: &[Vec<f32>],
+        grads: &mut LstmGrads,
+    ) -> Vec<Vec<f32>> {
+        let n = cache.xs.len();
+        debug_assert_eq!(dhs.len(), n);
+        let h = self.hidden;
+        let cols = self.input_dim + h;
+        let mut dxs = vec![vec![0.0f32; self.input_dim]; n];
+        let mut dh_next = vec![0.0f32; h];
+        let mut dc_next = vec![0.0f32; h];
+        let mut dpre = vec![0.0f32; 4 * h];
+        let mut zin = vec![0.0f32; cols];
+        let mut dzin = vec![0.0f32; cols];
+
+        for t in (0..n).rev() {
+            let gates = &cache.gates[t];
+            let c = &cache.cs[t];
+            let c_prev: &[f32] = if t > 0 { &cache.cs[t - 1] } else { &[] };
+            let h_prev: &[f32] = if t > 0 { &cache.hs[t - 1] } else { &[] };
+
+            for j in 0..h {
+                let dh = dhs[t][j] + dh_next[j];
+                let i_g = gates[j];
+                let f_g = gates[h + j];
+                let g_g = gates[2 * h + j];
+                let o_g = gates[3 * h + j];
+                let tanh_c = c[j].tanh();
+                let dc = dh * o_g * (1.0 - tanh_c * tanh_c) + dc_next[j];
+                let cp = if t > 0 { c_prev[j] } else { 0.0 };
+
+                // Pre-activation gradients.
+                dpre[j] = dc * g_g * i_g * (1.0 - i_g); // input gate
+                dpre[h + j] = dc * cp * f_g * (1.0 - f_g); // forget gate
+                dpre[2 * h + j] = dc * i_g * (1.0 - g_g * g_g); // candidate
+                dpre[3 * h + j] = dh * tanh_c * o_g * (1.0 - o_g); // output gate
+                dc_next[j] = dc * f_g;
+            }
+
+            zin[..self.input_dim].copy_from_slice(&cache.xs[t]);
+            if t > 0 {
+                zin[self.input_dim..].copy_from_slice(h_prev);
+            } else {
+                zin[self.input_dim..].fill(0.0);
+            }
+            dzin.fill(0.0);
+            crate::ops::affine_backward(
+                &self.w,
+                &zin,
+                &dpre,
+                4 * h,
+                cols,
+                &mut grads.w,
+                &mut grads.b,
+                &mut dzin,
+            );
+            dxs[t].copy_from_slice(&dzin[..self.input_dim]);
+            dh_next.copy_from_slice(&dzin[self.input_dim..]);
+        }
+        dxs
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_lstm(input_dim: usize, hidden: usize) -> Lstm {
+        let mut lstm = Lstm::new(input_dim, hidden);
+        for (i, w) in lstm.w.iter_mut().enumerate() {
+            *w = ((i as f32 * 0.7391).sin()) * 0.4;
+        }
+        for (i, b) in lstm.b.iter_mut().enumerate() {
+            *b = ((i as f32 * 1.317).cos()) * 0.2;
+        }
+        lstm
+    }
+
+    fn seq(input_dim: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..len)
+            .map(|t| {
+                (0..input_dim)
+                    .map(|d| ((t * input_dim + d) as f32 * 0.913).sin() * 0.6)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Scalar loss: sum of all hidden activations (linear ⇒ dh = 1).
+    fn loss(lstm: &Lstm, xs: &[Vec<f32>]) -> f32 {
+        let (hs, _) = lstm.forward(xs);
+        hs.iter().flat_map(|h| h.iter()).sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let lstm = seeded_lstm(3, 4);
+        let xs = seq(3, 5);
+        let (hs, _) = lstm.forward(&xs);
+        assert_eq!(hs.len(), 5);
+        assert!(hs.iter().all(|h| h.len() == 4));
+        // Activations are bounded by tanh.
+        assert!(hs.iter().flatten().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let lstm = seeded_lstm(2, 3);
+        let (hs, cache) = lstm.forward(&[]);
+        assert!(hs.is_empty());
+        let mut grads = LstmGrads::zeros(&lstm);
+        let dxs = lstm.backward(&cache, &[], &mut grads);
+        assert!(dxs.is_empty());
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let lstm = seeded_lstm(2, 3);
+        let xs = seq(2, 4);
+        let (hs, cache) = lstm.forward(&xs);
+        let dhs: Vec<Vec<f32>> = hs.iter().map(|h| vec![1.0; h.len()]).collect();
+        let mut grads = LstmGrads::zeros(&lstm);
+        lstm.backward(&cache, &dhs, &mut grads);
+
+        let eps = 1e-3;
+        // Check a spread of weight entries and all biases.
+        for idx in (0..lstm.w.len()).step_by(7) {
+            let mut l2 = lstm.clone();
+            l2.w[idx] += eps;
+            let up = loss(&l2, &xs);
+            l2.w[idx] -= 2.0 * eps;
+            let down = loss(&l2, &xs);
+            let num = (up - down) / (2.0 * eps);
+            assert!(
+                (num - grads.w[idx]).abs() < 2e-2,
+                "w[{idx}]: numeric {num} vs analytic {}",
+                grads.w[idx]
+            );
+        }
+        for idx in 0..lstm.b.len() {
+            let mut l2 = lstm.clone();
+            l2.b[idx] += eps;
+            let up = loss(&l2, &xs);
+            l2.b[idx] -= 2.0 * eps;
+            let down = loss(&l2, &xs);
+            let num = (up - down) / (2.0 * eps);
+            assert!(
+                (num - grads.b[idx]).abs() < 2e-2,
+                "b[{idx}]: numeric {num} vs analytic {}",
+                grads.b[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let lstm = seeded_lstm(2, 3);
+        let xs = seq(2, 3);
+        let (hs, cache) = lstm.forward(&xs);
+        let dhs: Vec<Vec<f32>> = hs.iter().map(|h| vec![1.0; h.len()]).collect();
+        let mut grads = LstmGrads::zeros(&lstm);
+        let dxs = lstm.backward(&cache, &dhs, &mut grads);
+
+        let eps = 1e-3;
+        for t in 0..xs.len() {
+            for d in 0..2 {
+                let mut xs2 = xs.clone();
+                xs2[t][d] += eps;
+                let up = loss(&lstm, &xs2);
+                xs2[t][d] -= 2.0 * eps;
+                let down = loss(&lstm, &xs2);
+                let num = (up - down) / (2.0 * eps);
+                assert!(
+                    (num - dxs[t][d]).abs() < 2e-2,
+                    "dx[{t}][{d}]: numeric {num} vs analytic {}",
+                    dxs[t][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let lstm = Lstm::new(2, 4);
+        assert!(lstm.b[4..8].iter().all(|&v| v == 1.0));
+        assert!(lstm.b[..4].iter().all(|&v| v == 0.0));
+        assert!(lstm.b[8..].iter().all(|&v| v == 0.0));
+    }
+}

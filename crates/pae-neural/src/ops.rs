@@ -1,0 +1,173 @@
+//! Flat-buffer vector/matrix primitives used by the layers.
+
+/// `out = W · x + b` where `W` is row-major `[rows × cols]`.
+pub fn affine(w: &[f32], b: &[f32], x: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(w.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(out.len(), rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = b[r];
+        for (wi, xi) in row.iter().zip(x) {
+            acc += wi * xi;
+        }
+        out[r] = acc;
+    }
+}
+
+/// Accumulates the affine backward pass:
+/// `dw += dy ⊗ x`, `db += dy`, `dx += Wᵀ · dy`.
+#[allow(clippy::too_many_arguments)]
+pub fn affine_backward(
+    w: &[f32],
+    x: &[f32],
+    dy: &[f32],
+    rows: usize,
+    cols: usize,
+    dw: &mut [f32],
+    db: &mut [f32],
+    dx: &mut [f32],
+) {
+    for r in 0..rows {
+        let g = dy[r];
+        if g == 0.0 {
+            continue;
+        }
+        db[r] += g;
+        let row = &w[r * cols..(r + 1) * cols];
+        let drow = &mut dw[r * cols..(r + 1) * cols];
+        for c in 0..cols {
+            drow[c] += g * x[c];
+            dx[c] += g * row[c];
+        }
+    }
+}
+
+/// Elementwise logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically-stable softmax (in place).
+pub fn softmax(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Clips the global L2 norm of `grads` to `max_norm`, returning the
+/// scale factor applied (1.0 when no clipping happened).
+pub fn clip_global_norm(grads: &mut [&mut [f32]], max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    for g in grads.iter() {
+        for &v in g.iter() {
+            sq += v * v;
+        }
+    }
+    let norm = sq.sqrt();
+    if norm <= max_norm || norm == 0.0 {
+        return 1.0;
+    }
+    let scale = max_norm / norm;
+    for g in grads.iter_mut() {
+        for v in g.iter_mut() {
+            *v *= scale;
+        }
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_computes_wx_plus_b() {
+        let w = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let b = [0.5, -0.5];
+        let x = [1.0, -1.0];
+        let mut out = [0.0; 2];
+        affine(&w, &b, &x, 2, 2, &mut out);
+        assert_eq!(out, [-0.5, -1.5]);
+    }
+
+    #[test]
+    fn affine_backward_matches_finite_diff() {
+        let w = [0.3f32, -0.2, 0.7, 0.1, 0.5, -0.9]; // 2x3
+        let b = [0.1f32, -0.1];
+        let x = [0.4f32, -0.6, 0.2];
+        let dy = [1.0f32, -2.0];
+
+        let mut dw = [0.0f32; 6];
+        let mut db = [0.0f32; 2];
+        let mut dx = [0.0f32; 3];
+        affine_backward(&w, &x, &dy, 2, 3, &mut dw, &mut db, &mut dx);
+
+        // Loss L = dy · y; check dL/dw numerically.
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut w2 = w;
+            w2[i] += eps;
+            let mut y1 = [0.0f32; 2];
+            affine(&w2, &b, &x, 2, 3, &mut y1);
+            w2[i] -= 2.0 * eps;
+            let mut y2 = [0.0f32; 2];
+            affine(&w2, &b, &x, 2, 3, &mut y2);
+            let num = (dy[0] * (y1[0] - y2[0]) + dy[1] * (y1[1] - y2[1])) / (2.0 * eps);
+            assert!((num - dw[i]).abs() < 1e-2, "dw[{i}]: {num} vs {}", dw[i]);
+        }
+        // dx check.
+        for i in 0..3 {
+            let mut x2 = x;
+            x2[i] += eps;
+            let mut y1 = [0.0f32; 2];
+            affine(&w, &b, &x2, 2, 3, &mut y1);
+            x2[i] -= 2.0 * eps;
+            let mut y2 = [0.0f32; 2];
+            affine(&w, &b, &x2, 2, 3, &mut y2);
+            let num = (dy[0] * (y1[0] - y2[0]) + dy[1] * (y1[1] - y2[1])) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2, "dx[{i}]: {num} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut xs = [1000.0f32, 1001.0, 999.0];
+        softmax(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(xs[1] > xs[0] && xs[0] > xs[2]);
+    }
+
+    #[test]
+    fn clip_scales_only_when_needed() {
+        let mut a = [3.0f32, 4.0];
+        {
+            let mut refs: Vec<&mut [f32]> = vec![&mut a];
+            assert_eq!(clip_global_norm(&mut refs, 10.0), 1.0);
+        }
+        assert_eq!(a, [3.0, 4.0]);
+        {
+            let mut refs: Vec<&mut [f32]> = vec![&mut a];
+            let s = clip_global_norm(&mut refs, 1.0);
+            assert!((s - 0.2).abs() < 1e-6);
+        }
+        let norm = (a[0] * a[0] + a[1] * a[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,676 @@
+//! The assembled char+word BiLSTM sequence tagger.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dense::{Dense, DenseGrads};
+use crate::embedding::{Embedding, EmbeddingGrads};
+use crate::lstm::{Lstm, LstmCache, LstmGrads};
+use crate::ops::softmax;
+
+/// One training sentence: surface words and their gold label ids.
+pub type TrainSentence = (Vec<String>, Vec<usize>);
+
+/// Hyperparameters. The defaults keep CPU training fast at pipeline
+/// scale while preserving the architecture's qualitative behaviour
+/// (including the paper's 2-vs-10-epoch overfitting contrast).
+#[derive(Debug, Clone)]
+pub struct TaggerConfig {
+    /// Character embedding dimensionality.
+    pub char_dim: usize,
+    /// Character BiLSTM hidden size (per direction).
+    pub char_hidden: usize,
+    /// Word embedding dimensionality.
+    pub word_dim: usize,
+    /// Word BiLSTM hidden size (per direction).
+    pub word_hidden: usize,
+    /// Training epochs (the paper contrasts 2 vs 10).
+    pub epochs: usize,
+    /// SGD learning rate (decayed ×`lr_decay` per epoch).
+    pub learning_rate: f32,
+    /// Multiplicative per-epoch learning-rate decay.
+    pub lr_decay: f32,
+    /// Dropout probability on the token representation.
+    pub dropout: f32,
+    /// Probability of replacing a word id with the OOV id during
+    /// training (keeps the char path informative for unseen words).
+    pub word_dropout: f32,
+    /// Global gradient-norm clip.
+    pub clip: f32,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TaggerConfig {
+    fn default() -> Self {
+        TaggerConfig {
+            char_dim: 12,
+            char_hidden: 12,
+            word_dim: 24,
+            word_hidden: 24,
+            epochs: 2,
+            learning_rate: 0.15,
+            lr_decay: 0.95,
+            dropout: 0.3,
+            word_dropout: 0.1,
+            clip: 5.0,
+            seed: 17,
+        }
+    }
+}
+
+/// Char+word BiLSTM tagger (NeuroNER architecture, softmax output).
+#[derive(Debug, Clone)]
+pub struct BiLstmTagger {
+    config: TaggerConfig,
+    n_labels: usize,
+    /// Word → id; id 0 is reserved for OOV.
+    word_index: HashMap<String, usize>,
+    /// Char → id; id 0 is reserved for OOV.
+    char_index: HashMap<char, usize>,
+    word_emb: Embedding,
+    char_emb: Embedding,
+    char_fwd: Lstm,
+    char_bwd: Lstm,
+    word_fwd: Lstm,
+    word_bwd: Lstm,
+    out: Dense,
+}
+
+/// All gradients for one training step.
+struct Grads {
+    word_emb: EmbeddingGrads,
+    char_emb: EmbeddingGrads,
+    char_fwd: LstmGrads,
+    char_bwd: LstmGrads,
+    word_fwd: LstmGrads,
+    word_bwd: LstmGrads,
+    out: DenseGrads,
+}
+
+/// Cached activations of one sentence forward pass.
+struct Pass {
+    word_ids: Vec<usize>,
+    char_ids: Vec<Vec<usize>>,
+    char_fwd_caches: Vec<LstmCache>,
+    char_bwd_caches: Vec<LstmCache>,
+    /// Token representations after dropout (inputs to the word BiLSTM).
+    tokens: Vec<Vec<f32>>,
+    /// Dropout masks (empty when not training).
+    masks: Vec<Vec<f32>>,
+    word_fwd_cache: LstmCache,
+    word_bwd_cache: LstmCache,
+    /// Concatenated word BiLSTM states per position.
+    h_cat: Vec<Vec<f32>>,
+    /// Softmax probabilities per position.
+    probs: Vec<Vec<f32>>,
+}
+
+impl BiLstmTagger {
+    /// Trains the tagger on `sentences` with labels in `0..n_labels`.
+    pub fn train(sentences: &[TrainSentence], n_labels: usize, config: &TaggerConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tagger = Self::init(sentences, n_labels, config.clone(), &mut rng);
+
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+        let mut lr = config.learning_rate;
+        for _epoch in 0..config.epochs {
+            shuffle(&mut order, &mut rng);
+            for &si in &order {
+                let (words, labels) = &sentences[si];
+                if words.is_empty() {
+                    continue;
+                }
+                let pass = tagger.forward(words, Some(&mut rng));
+                let mut grads = tagger.zero_grads();
+                tagger.backward(&pass, labels, &mut grads);
+                tagger.clip_and_apply(&mut grads, lr);
+            }
+            lr *= config.lr_decay;
+        }
+        tagger
+    }
+
+    /// Predicts label ids for `words`.
+    pub fn predict(&self, words: &[String]) -> Vec<usize> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let pass = self.forward(words, None);
+        pass.probs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Average per-token cross-entropy of the sentence (diagnostics and
+    /// gradient-check tests).
+    pub fn loss(&self, words: &[String], labels: &[usize]) -> f32 {
+        if words.is_empty() {
+            return 0.0;
+        }
+        let pass = self.forward(words, None);
+        let mut nll = 0.0;
+        for (p, &y) in pass.probs.iter().zip(labels) {
+            nll -= p[y].max(1e-12).ln();
+        }
+        nll / words.len() as f32
+    }
+
+    /// Number of labels the model predicts.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.word_emb.param_count()
+            + self.char_emb.param_count()
+            + self.char_fwd.param_count()
+            + self.char_bwd.param_count()
+            + self.word_fwd.param_count()
+            + self.word_bwd.param_count()
+            + self.out.param_count()
+    }
+
+    fn init(
+        sentences: &[TrainSentence],
+        n_labels: usize,
+        config: TaggerConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut word_index: HashMap<String, usize> = HashMap::new();
+        let mut char_index: HashMap<char, usize> = HashMap::new();
+        for (words, labels) in sentences {
+            assert_eq!(words.len(), labels.len(), "words/labels length mismatch");
+            for w in words {
+                let next = word_index.len() + 1;
+                word_index.entry(w.clone()).or_insert(next);
+                for c in w.chars() {
+                    let next = char_index.len() + 1;
+                    char_index.entry(c).or_insert(next);
+                }
+            }
+        }
+
+        let token_dim = config.word_dim + 2 * config.char_hidden;
+        let mut tagger = BiLstmTagger {
+            n_labels,
+            word_emb: Embedding::new(word_index.len() + 1, config.word_dim),
+            char_emb: Embedding::new(char_index.len() + 1, config.char_dim),
+            char_fwd: Lstm::new(config.char_dim, config.char_hidden),
+            char_bwd: Lstm::new(config.char_dim, config.char_hidden),
+            word_fwd: Lstm::new(token_dim, config.word_hidden),
+            word_bwd: Lstm::new(token_dim, config.word_hidden),
+            out: Dense::new(n_labels, 2 * config.word_hidden),
+            word_index,
+            char_index,
+            config,
+        };
+        xavier(&mut tagger.word_emb.w, tagger.word_emb.dim, 1, rng);
+        xavier(&mut tagger.char_emb.w, tagger.char_emb.dim, 1, rng);
+        for lstm in [
+            &mut tagger.char_fwd,
+            &mut tagger.char_bwd,
+            &mut tagger.word_fwd,
+            &mut tagger.word_bwd,
+        ] {
+            let cols = lstm.input_dim + lstm.hidden;
+            xavier(&mut lstm.w, cols, 4 * lstm.hidden, rng);
+        }
+        xavier(&mut tagger.out.w, tagger.out.cols, tagger.out.rows, rng);
+        tagger
+    }
+
+    fn zero_grads(&self) -> Grads {
+        Grads {
+            word_emb: EmbeddingGrads::default(),
+            char_emb: EmbeddingGrads::default(),
+            char_fwd: LstmGrads::zeros(&self.char_fwd),
+            char_bwd: LstmGrads::zeros(&self.char_bwd),
+            word_fwd: LstmGrads::zeros(&self.word_fwd),
+            word_bwd: LstmGrads::zeros(&self.word_bwd),
+            out: DenseGrads::zeros(&self.out),
+        }
+    }
+
+    /// Forward pass. When `rng` is given, dropout is applied (training).
+    fn forward(&self, words: &[String], mut rng: Option<&mut StdRng>) -> Pass {
+        let n = words.len();
+        let ch = self.config.char_hidden;
+        let mut word_ids: Vec<usize> = words
+            .iter()
+            .map(|w| self.word_index.get(w).copied().unwrap_or(0))
+            .collect();
+        if let Some(rng) = rng.as_deref_mut() {
+            let p = self.config.word_dropout;
+            if p > 0.0 {
+                for id in word_ids.iter_mut() {
+                    if rng.random_range(0.0f32..1.0) < p {
+                        *id = 0;
+                    }
+                }
+            }
+        }
+        let char_ids: Vec<Vec<usize>> = words
+            .iter()
+            .map(|w| {
+                w.chars()
+                    .map(|c| self.char_index.get(&c).copied().unwrap_or(0))
+                    .collect()
+            })
+            .collect();
+
+        let mut char_fwd_caches = Vec::with_capacity(n);
+        let mut char_bwd_caches = Vec::with_capacity(n);
+        let mut tokens = Vec::with_capacity(n);
+        let mut masks = Vec::new();
+        for t in 0..n {
+            let embs: Vec<Vec<f32>> = char_ids[t]
+                .iter()
+                .map(|&c| self.char_emb.lookup(c).to_vec())
+                .collect();
+            let rev: Vec<Vec<f32>> = embs.iter().rev().cloned().collect();
+            let (hs_f, cache_f) = self.char_fwd.forward(&embs);
+            let (hs_b, cache_b) = self.char_bwd.forward(&rev);
+
+            let mut token = Vec::with_capacity(self.config.word_dim + 2 * ch);
+            token.extend_from_slice(self.word_emb.lookup(word_ids[t]));
+            match hs_f.last() {
+                Some(last) => token.extend_from_slice(last),
+                None => token.resize(token.len() + ch, 0.0),
+            }
+            match hs_b.last() {
+                Some(last) => token.extend_from_slice(last),
+                None => token.resize(token.len() + ch, 0.0),
+            }
+
+            if let Some(rng) = rng.as_deref_mut() {
+                let p = self.config.dropout;
+                if p > 0.0 {
+                    let mask: Vec<f32> = (0..token.len())
+                        .map(|_| {
+                            if rng.random_range(0.0f32..1.0) < p {
+                                0.0
+                            } else {
+                                1.0 / (1.0 - p)
+                            }
+                        })
+                        .collect();
+                    for (v, m) in token.iter_mut().zip(&mask) {
+                        *v *= m;
+                    }
+                    masks.push(mask);
+                }
+            }
+
+            char_fwd_caches.push(cache_f);
+            char_bwd_caches.push(cache_b);
+            tokens.push(token);
+        }
+
+        let rev_tokens: Vec<Vec<f32>> = tokens.iter().rev().cloned().collect();
+        let (hs_f, word_fwd_cache) = self.word_fwd.forward(&tokens);
+        let (hs_b, word_bwd_cache) = self.word_bwd.forward(&rev_tokens);
+
+        let mut h_cat = Vec::with_capacity(n);
+        let mut probs = Vec::with_capacity(n);
+        for t in 0..n {
+            let mut h = Vec::with_capacity(2 * self.config.word_hidden);
+            h.extend_from_slice(&hs_f[t]);
+            h.extend_from_slice(&hs_b[n - 1 - t]);
+            let mut logits = vec![0.0f32; self.n_labels];
+            self.out.forward(&h, &mut logits);
+            softmax(&mut logits);
+            h_cat.push(h);
+            probs.push(logits);
+        }
+
+        Pass {
+            word_ids,
+            char_ids,
+            char_fwd_caches,
+            char_bwd_caches,
+            tokens,
+            masks,
+            word_fwd_cache,
+            word_bwd_cache,
+            h_cat,
+            probs,
+        }
+    }
+
+    /// Backward pass for per-token cross-entropy, averaged over tokens.
+    fn backward(&self, pass: &Pass, labels: &[usize], grads: &mut Grads) {
+        let n = pass.tokens.len();
+        debug_assert_eq!(labels.len(), n);
+        let wh = self.config.word_hidden;
+        let ch = self.config.char_hidden;
+        let scale = 1.0 / n as f32;
+
+        // Output layer + split into word-BiLSTM direction gradients.
+        let mut dh_fwd = vec![vec![0.0f32; wh]; n];
+        let mut dh_bwd = vec![vec![0.0f32; wh]; n]; // indexed in reversed order
+        for t in 0..n {
+            let mut dlogits = pass.probs[t].clone();
+            dlogits[labels[t]] -= 1.0;
+            for d in dlogits.iter_mut() {
+                *d *= scale;
+            }
+            let mut dh = vec![0.0f32; 2 * wh];
+            self.out
+                .backward(&pass.h_cat[t], &dlogits, &mut grads.out, &mut dh);
+            dh_fwd[t].copy_from_slice(&dh[..wh]);
+            dh_bwd[n - 1 - t].copy_from_slice(&dh[wh..]);
+        }
+
+        let dx_fwd = self
+            .word_fwd
+            .backward(&pass.word_fwd_cache, &dh_fwd, &mut grads.word_fwd);
+        let dx_bwd = self
+            .word_bwd
+            .backward(&pass.word_bwd_cache, &dh_bwd, &mut grads.word_bwd);
+
+        for t in 0..n {
+            let mut dtoken: Vec<f32> = dx_fwd[t]
+                .iter()
+                .zip(&dx_bwd[n - 1 - t])
+                .map(|(a, b)| a + b)
+                .collect();
+            if let Some(mask) = pass.masks.get(t) {
+                for (d, m) in dtoken.iter_mut().zip(mask) {
+                    *d *= m;
+                }
+            }
+
+            // Word embedding part.
+            let wd = self.config.word_dim;
+            self.word_emb
+                .accumulate(&mut grads.word_emb, pass.word_ids[t], &dtoken[..wd]);
+
+            // Char BiLSTM part: gradient flows into the last hidden state
+            // of each direction only.
+            let n_chars = pass.char_ids[t].len();
+            if n_chars == 0 {
+                continue;
+            }
+            let mut dhs_f = vec![vec![0.0f32; ch]; n_chars];
+            dhs_f[n_chars - 1].copy_from_slice(&dtoken[wd..wd + ch]);
+            let dchars_f =
+                self.char_fwd
+                    .backward(&pass.char_fwd_caches[t], &dhs_f, &mut grads.char_fwd);
+
+            let mut dhs_b = vec![vec![0.0f32; ch]; n_chars];
+            dhs_b[n_chars - 1].copy_from_slice(&dtoken[wd + ch..]);
+            let dchars_b =
+                self.char_bwd
+                    .backward(&pass.char_bwd_caches[t], &dhs_b, &mut grads.char_bwd);
+
+            for (i, &cid) in pass.char_ids[t].iter().enumerate() {
+                // Forward direction processed chars in order; backward in
+                // reverse, so its dx index is mirrored.
+                let mut g = dchars_f[i].clone();
+                for (gv, bv) in g.iter_mut().zip(&dchars_b[n_chars - 1 - i]) {
+                    *gv += bv;
+                }
+                self.char_emb.accumulate(&mut grads.char_emb, cid, &g);
+            }
+        }
+    }
+
+    /// Clips the global gradient norm and applies SGD.
+    fn clip_and_apply(&mut self, grads: &mut Grads, lr: f32) {
+        let mut sq = grads.word_emb.sq_norm() + grads.char_emb.sq_norm();
+        for g in [
+            &grads.char_fwd,
+            &grads.char_bwd,
+            &grads.word_fwd,
+            &grads.word_bwd,
+        ] {
+            sq += g.w.iter().map(|v| v * v).sum::<f32>();
+            sq += g.b.iter().map(|v| v * v).sum::<f32>();
+        }
+        sq += grads.out.w.iter().map(|v| v * v).sum::<f32>();
+        sq += grads.out.b.iter().map(|v| v * v).sum::<f32>();
+        let norm = sq.sqrt();
+        let scale = if norm > self.config.clip && norm > 0.0 {
+            self.config.clip / norm
+        } else {
+            1.0
+        };
+
+        let step = lr * scale;
+        self.word_emb.apply(&grads.word_emb, step);
+        self.char_emb.apply(&grads.char_emb, step);
+        for (lstm, g) in [
+            (&mut self.char_fwd, &grads.char_fwd),
+            (&mut self.char_bwd, &grads.char_bwd),
+            (&mut self.word_fwd, &grads.word_fwd),
+            (&mut self.word_bwd, &grads.word_bwd),
+        ] {
+            for (w, gv) in lstm.w.iter_mut().zip(&g.w) {
+                *w -= step * gv;
+            }
+            for (b, gv) in lstm.b.iter_mut().zip(&g.b) {
+                *b -= step * gv;
+            }
+        }
+        for (w, gv) in self.out.w.iter_mut().zip(&grads.out.w) {
+            *w -= step * gv;
+        }
+        for (b, gv) in self.out.b.iter_mut().zip(&grads.out.b) {
+            *b -= step * gv;
+        }
+    }
+}
+
+/// Xavier-uniform initialization with `fan_in`/`fan_out`.
+fn xavier(w: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    for v in w.iter_mut() {
+        *v = rng.random_range(-limit..limit);
+    }
+}
+
+/// Fisher-Yates shuffle driven by the training RNG (keeps the crate's
+/// dependency on rand's distribution details minimal).
+fn shuffle(xs: &mut [usize], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(words: &str, labels: &[usize]) -> TrainSentence {
+        (
+            words.split(' ').map(str::to_owned).collect(),
+            labels.to_vec(),
+        )
+    }
+
+    /// Tiny BIO-ish task: label 1 on color words after "color :", label
+    /// 2 on digits after "weight :".
+    fn corpus() -> Vec<TrainSentence> {
+        let mut out = Vec::new();
+        for c in ["red", "blue", "green", "pink"] {
+            out.push(mk(&format!("color : {c} bag"), &[0, 0, 1, 0]));
+            out.push(mk(&format!("nice {c} tone"), &[0, 1, 0]));
+        }
+        for d in ["2", "3", "4", "7"] {
+            out.push(mk(&format!("weight : {d} kg"), &[0, 0, 2, 0]));
+        }
+        out
+    }
+
+    fn quick_config(epochs: usize) -> TaggerConfig {
+        TaggerConfig {
+            char_dim: 8,
+            char_hidden: 8,
+            word_dim: 12,
+            word_hidden: 12,
+            epochs,
+            learning_rate: 0.25,
+            lr_decay: 0.98,
+            dropout: 0.1,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_training_patterns() {
+        let tagger = BiLstmTagger::train(&corpus(), 3, &quick_config(30));
+        let words: Vec<String> = ["color", ":", "red", "bag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(tagger.predict(&words), vec![0, 0, 1, 0]);
+        let words: Vec<String> = ["weight", ":", "3", "kg"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(tagger.predict(&words), vec![0, 0, 2, 0]);
+    }
+
+    #[test]
+    fn more_epochs_reduce_training_loss() {
+        let short = BiLstmTagger::train(&corpus(), 3, &quick_config(1));
+        let long = BiLstmTagger::train(&corpus(), 3, &quick_config(15));
+        let data = corpus();
+        let loss = |t: &BiLstmTagger| {
+            data.iter().map(|(w, l)| t.loss(w, l)).sum::<f32>() / data.len() as f32
+        };
+        assert!(
+            loss(&long) < loss(&short),
+            "long {} !< short {}",
+            loss(&long),
+            loss(&short)
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = BiLstmTagger::train(&corpus(), 3, &quick_config(2));
+        let b = BiLstmTagger::train(&corpus(), 3, &quick_config(2));
+        let words: Vec<String> = ["color", ":", "blue"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(a.predict(&words), b.predict(&words));
+        assert_eq!(a.out.w, b.out.w);
+    }
+
+    #[test]
+    fn empty_sentence_handling() {
+        let tagger = BiLstmTagger::train(&corpus(), 3, &quick_config(1));
+        assert!(tagger.predict(&[]).is_empty());
+        assert_eq!(tagger.loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Untrained net, no dropout: perturb representative parameters
+        // of every component and compare against numeric gradients of
+        // the sentence loss.
+        let data = corpus();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = TaggerConfig {
+            char_dim: 4,
+            char_hidden: 4,
+            word_dim: 6,
+            word_hidden: 5,
+            dropout: 0.0,
+            ..quick_config(1)
+        };
+        let tagger = BiLstmTagger::init(&data, 3, cfg, &mut rng);
+        let (words, labels) = &data[0];
+
+        let pass = tagger.forward(words, None);
+        let mut grads = tagger.zero_grads();
+        tagger.backward(&pass, labels, &mut grads);
+
+        let eps = 1e-2f32;
+        let check = |name: &str, analytic: f32, perturb: &dyn Fn(&mut BiLstmTagger, f32)| {
+            let mut up = tagger.clone();
+            perturb(&mut up, eps);
+            let mut down = tagger.clone();
+            perturb(&mut down, -eps);
+            let num = (up.loss(words, labels) - down.loss(words, labels)) / (2.0 * eps);
+            assert!(
+                (num - analytic).abs() < 3e-2 + 0.2 * num.abs().max(analytic.abs()),
+                "{name}: numeric {num} vs analytic {analytic}"
+            );
+        };
+
+        check("out.w[0]", grads.out.w[0], &|t, e| t.out.w[0] += e);
+        check("out.b[1]", grads.out.b[1], &|t, e| t.out.b[1] += e);
+        check("word_fwd.w[3]", grads.word_fwd.w[3], &|t, e| {
+            t.word_fwd.w[3] += e
+        });
+        check("word_bwd.b[2]", grads.word_bwd.b[2], &|t, e| {
+            t.word_bwd.b[2] += e
+        });
+        check("char_fwd.w[5]", grads.char_fwd.w[5], &|t, e| {
+            t.char_fwd.w[5] += e
+        });
+
+        // Word embedding of the first word.
+        let wid = *tagger.word_index.get(&words[0]).unwrap();
+        let analytic_emb: f32 = grads
+            .word_emb
+            .updates
+            .iter()
+            .filter(|(id, _)| *id == wid)
+            .map(|(_, g)| g[0])
+            .sum();
+        check("word_emb", analytic_emb, &|t, e| {
+            let dim = t.word_emb.dim;
+            t.word_emb.w[wid * dim] += e;
+        });
+    }
+
+    #[test]
+    fn oov_words_fall_back_to_char_representation() {
+        // Char pattern (digits) should transfer to an unseen number.
+        let cfg = TaggerConfig {
+            word_dropout: 0.4,
+            ..quick_config(40)
+        };
+        let tagger = BiLstmTagger::train(&corpus(), 3, &cfg);
+        let words: Vec<String> = ["weight", ":", "27", "kg"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let pred = tagger.predict(&words);
+        assert_eq!(pred[2], 2, "unseen digit string should be labelled 2, got {pred:?}");
+    }
+
+    #[test]
+    fn prediction_is_deterministic_despite_training_dropout() {
+        let mut cfg = quick_config(3);
+        cfg.dropout = 0.5;
+        cfg.word_dropout = 0.3;
+        let tagger = BiLstmTagger::train(&corpus(), 3, &cfg);
+        let words: Vec<String> = ["color", ":", "red"].iter().map(|s| s.to_string()).collect();
+        let a = tagger.predict(&words);
+        let b = tagger.predict(&words);
+        assert_eq!(a, b, "inference must not sample dropout");
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let tagger = BiLstmTagger::train(&corpus(), 3, &quick_config(1));
+        let n = tagger.param_count();
+        assert!(n > 1000, "unexpectedly small model: {n}");
+        assert_eq!(n, tagger.param_count());
+    }
+}

@@ -1,0 +1,771 @@
+//! The category inventory: builders producing one [`CategorySchema`]
+//! (plus its lexicon) per category kind.
+//!
+//! The evaluated categories mirror the paper: eight Japanese-language
+//! categories (Table I–III), extra Japanese categories mentioned in the
+//! text (Watches, Rings, Wine, Furniture), the three German categories
+//! (mailbox, coffee machines, garden), and the Baby Carriers / Baby
+//! Goods pair for the heterogeneity study (§VIII-E).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pae_text::{Lexicon, PosTag};
+
+use crate::language::{Language, WordFactory};
+use crate::schema::{AttributeSpec, CategorySchema};
+use crate::values::{CategoricalValue, ValueGen};
+
+/// Every category the generator knows how to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CategoryKind {
+    /// Tennis gear (JA-like).
+    Tennis,
+    /// Kitchenware (JA-like).
+    Kitchen,
+    /// Cosmetics (JA-like).
+    Cosmetics,
+    /// Garden equipment (JA-like) — noisy, table-poor.
+    Garden,
+    /// Shoes (JA-like).
+    Shoes,
+    /// Ladies bags (JA-like) — table-rich.
+    LadiesBags,
+    /// Digital cameras (JA-like) — complex numeric attributes.
+    DigitalCameras,
+    /// Vacuum cleaners (JA-like) — integer-biased weight.
+    VacuumCleaner,
+    /// Watches (JA-like, extra).
+    Watches,
+    /// Rings (JA-like, extra; length vs width confusion).
+    Rings,
+    /// Wine (JA-like, extra).
+    Wine,
+    /// Furniture (JA-like, extra).
+    Furniture,
+    /// Mailboxes (DE-like).
+    MailboxDe,
+    /// Coffee machines (DE-like).
+    CoffeeMachinesDe,
+    /// Garden (DE-like).
+    GardenDe,
+    /// Baby carriers — homogeneous child of Baby Goods.
+    BabyCarriers,
+    /// Baby goods — heterogeneous (carriers + clothes + toys).
+    BabyGoods,
+}
+
+impl CategoryKind {
+    /// All category kinds, evaluation order.
+    pub const ALL: [CategoryKind; 17] = [
+        CategoryKind::Tennis,
+        CategoryKind::Kitchen,
+        CategoryKind::Cosmetics,
+        CategoryKind::Garden,
+        CategoryKind::Shoes,
+        CategoryKind::LadiesBags,
+        CategoryKind::DigitalCameras,
+        CategoryKind::VacuumCleaner,
+        CategoryKind::Watches,
+        CategoryKind::Rings,
+        CategoryKind::Wine,
+        CategoryKind::Furniture,
+        CategoryKind::MailboxDe,
+        CategoryKind::CoffeeMachinesDe,
+        CategoryKind::GardenDe,
+        CategoryKind::BabyCarriers,
+        CategoryKind::BabyGoods,
+    ];
+
+    /// The eight categories of the paper's Tables I–III.
+    pub const TABLE_CATEGORIES: [CategoryKind; 8] = [
+        CategoryKind::Tennis,
+        CategoryKind::Kitchen,
+        CategoryKind::Cosmetics,
+        CategoryKind::Garden,
+        CategoryKind::Shoes,
+        CategoryKind::LadiesBags,
+        CategoryKind::DigitalCameras,
+        CategoryKind::VacuumCleaner,
+    ];
+
+    /// The three German categories (§VII-B).
+    pub const GERMAN_CATEGORIES: [CategoryKind; 3] = [
+        CategoryKind::MailboxDe,
+        CategoryKind::CoffeeMachinesDe,
+        CategoryKind::GardenDe,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CategoryKind::Tennis => "Tennis",
+            CategoryKind::Kitchen => "Kitchen",
+            CategoryKind::Cosmetics => "Cosmetics",
+            CategoryKind::Garden => "Garden",
+            CategoryKind::Shoes => "Shoes",
+            CategoryKind::LadiesBags => "Ladies Bags",
+            CategoryKind::DigitalCameras => "Digital Cameras",
+            CategoryKind::VacuumCleaner => "Vacuum Cleaner",
+            CategoryKind::Watches => "Watches",
+            CategoryKind::Rings => "Rings",
+            CategoryKind::Wine => "Wine",
+            CategoryKind::Furniture => "Furniture",
+            CategoryKind::MailboxDe => "Mailbox (DE)",
+            CategoryKind::CoffeeMachinesDe => "Coffee Machines (DE)",
+            CategoryKind::GardenDe => "Garden (DE)",
+            CategoryKind::BabyCarriers => "Baby Carriers",
+            CategoryKind::BabyGoods => "Baby Goods",
+        }
+    }
+
+    /// Corpus language.
+    pub fn language(&self) -> Language {
+        match self {
+            CategoryKind::MailboxDe
+            | CategoryKind::CoffeeMachinesDe
+            | CategoryKind::GardenDe => Language::SpaceDelim,
+            _ => Language::Agglut,
+        }
+    }
+
+    /// Default product-page count, mirroring the paper's relative sizes
+    /// (Japanese ≈ 10k items, German ≈ 2k) at a CPU-friendly scale.
+    pub fn default_products(&self) -> usize {
+        match self.language() {
+            Language::Agglut => 600,
+            Language::SpaceDelim => 150,
+        }
+    }
+
+    /// Builds the schema and its lexicon, deterministically from `seed`.
+    pub fn build(&self, seed: u64) -> (CategorySchema, Lexicon) {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_kind(*self));
+        let mut factory = WordFactory::new(self.language());
+        register_units(&mut factory);
+        let mut b = Builder {
+            rng: &mut rng,
+            f: &mut factory,
+        };
+        let schema = match self {
+            CategoryKind::Tennis => b.tennis(),
+            CategoryKind::Kitchen => b.kitchen(),
+            CategoryKind::Cosmetics => b.cosmetics(),
+            CategoryKind::Garden => b.garden("Garden"),
+            CategoryKind::Shoes => b.shoes(),
+            CategoryKind::LadiesBags => b.ladies_bags(),
+            CategoryKind::DigitalCameras => b.digital_cameras(),
+            CategoryKind::VacuumCleaner => b.vacuum_cleaner(),
+            CategoryKind::Watches => b.watches(),
+            CategoryKind::Rings => b.rings(),
+            CategoryKind::Wine => b.wine(),
+            CategoryKind::Furniture => b.furniture(),
+            CategoryKind::MailboxDe => b.mailbox_de(),
+            CategoryKind::CoffeeMachinesDe => b.coffee_machines_de(),
+            CategoryKind::GardenDe => b.garden("Garden (DE)"),
+            CategoryKind::BabyCarriers => b.baby_carriers(),
+            CategoryKind::BabyGoods => b.baby_goods(),
+        };
+        (schema, factory.into_lexicon())
+    }
+}
+
+fn hash_kind(kind: CategoryKind) -> u64 {
+    // Stable per-kind perturbation of the user seed.
+    (CategoryKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL") as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Overrides the quantization step of a numeric attribute.
+fn set_step(attr: &mut AttributeSpec, step: i64) {
+    if let ValueGen::Numeric { step: s, .. } = &mut attr.values {
+        *s = step;
+    }
+}
+
+/// Units shared by all categories (ASCII, language neutral).
+fn register_units(f: &mut WordFactory) {
+    for u in ["kg", "g", "cm", "mm", "ml", "w", "px", "s", "l", "bar"] {
+        f.register(u, PosTag::Unit);
+    }
+}
+
+/// Internal builder holding the RNG and word factory.
+struct Builder<'a> {
+    rng: &'a mut StdRng,
+    f: &'a mut WordFactory,
+}
+
+impl Builder<'_> {
+    /// Fresh categorical pool: `n` canonical values, each with 1–3
+    /// surface variants; ~30% of values are two words long (multiword
+    /// values are a paper focus).
+    fn pool(&mut self, n: usize, tag: PosTag) -> Vec<CategoricalValue> {
+        let lang = self.f.language();
+        (0..n)
+            .map(|_| {
+                let n_variants = 1 + self.rng.random_range(0..3);
+                let variants: Vec<String> = (0..n_variants)
+                    .map(|_| {
+                        if self.rng.random_range(0.0..1.0) < 0.3 {
+                            let w1 = self.f.fresh(self.rng, 2, tag);
+                            let w2 = self.f.fresh(self.rng, 2, tag);
+                            lang.join(&[&w1, &w2])
+                        } else {
+                            let syllables = 2 + self.rng.random_range(0..2);
+                            self.f.fresh(self.rng, syllables, tag)
+                        }
+                    })
+                    .collect();
+                CategoricalValue {
+                    canonical: variants[0].clone(),
+                    variants,
+                }
+            })
+            .collect()
+    }
+
+    /// `n` fresh alias names for one attribute.
+    fn aliases(&mut self, n: usize) -> Vec<String> {
+        self.f.fresh_many(self.rng, n, 3, PosTag::Noun)
+    }
+
+    /// Implicit-mention context vocabulary for one attribute.
+    fn context(&mut self) -> Vec<String> {
+        self.f.fresh_many(self.rng, 3, 2, PosTag::Verb)
+    }
+
+    fn cat_attr(&mut self, canonical: &str, n_aliases: usize, n_values: usize) -> AttributeSpec {
+        let aliases = self.aliases(n_aliases);
+        let pool = self.pool(n_values, PosTag::Noun);
+        let ctx = self.context();
+        AttributeSpec::new(canonical, aliases, ValueGen::Categorical { pool }).with_context(ctx)
+    }
+
+    fn color_attr(&mut self) -> AttributeSpec {
+        let aliases = self.aliases(2);
+        let pool = self.pool(10, PosTag::Adj);
+        let ctx = self.context();
+        AttributeSpec::new("color", aliases, ValueGen::Categorical { pool }).with_context(ctx)
+    }
+
+    fn brand_attr(&mut self) -> AttributeSpec {
+        let aliases = self.aliases(2);
+        let pool = self.pool(12, PosTag::PropNoun);
+        let ctx = self.context();
+        AttributeSpec::new("brand", aliases, ValueGen::Categorical { pool }).with_context(ctx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn num_attr(
+        &mut self,
+        canonical: &str,
+        n_aliases: usize,
+        lo: i64,
+        hi: i64,
+        unit: &str,
+        decimal_prob: f64,
+        thousands: bool,
+    ) -> AttributeSpec {
+        let aliases = self.aliases(n_aliases);
+        let ctx = self.context();
+        AttributeSpec::new(
+            canonical,
+            aliases,
+            ValueGen::Numeric {
+                lo,
+                hi,
+                step: 1,
+                unit: unit.into(),
+                decimal_prob,
+                thousands,
+            },
+        )
+        .with_context(ctx)
+    }
+
+    /// Common scaffolding shared by every category.
+    fn base(&mut self, name: &str, attributes: Vec<AttributeSpec>) -> CategorySchema {
+        CategorySchema {
+            name: name.to_owned(),
+            language: self.f.language(),
+            attributes,
+            head_nouns: self.f.fresh_many(self.rng, 2, 3, PosTag::Noun),
+            filler: self.f.fresh_many(self.rng, 24, 3, PosTag::Noun),
+            connectives: self.f.fresh_many(self.rng, 6, 2, PosTag::Particle),
+            table_page_prob: 0.3,
+            table_noise_prob: 0.06,
+            table_value_noise: 0.04,
+            misleading_prob: 0.10,
+            secondary_product_prob: 0.08,
+            negation_prob: 0.03,
+        }
+    }
+
+    fn tennis(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("type", 2, 6),
+            self.cat_attr("material", 2, 8),
+            self.num_attr("gauge", 1, 1, 2, "mm", 0.6, false),
+            self.num_attr("length", 1, 60, 70, "cm", 0.2, false),
+        ];
+        let mut s = self.base("Tennis", attrs);
+        s.table_page_prob = 0.3;
+        s.table_noise_prob = 0.02;
+        s
+    }
+
+    fn kitchen(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 3, 9),
+            self.cat_attr("origin", 2, 7),
+            self.num_attr("capacity", 2, 1, 5, "l", 0.5, false),
+            self.num_attr("diameter", 1, 10, 30, "cm", 0.3, false),
+        ];
+        let mut s = self.base("Kitchen", attrs);
+        s.table_page_prob = 0.24;
+        s.table_noise_prob = 0.07;
+        s
+    }
+
+    fn cosmetics(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.cat_attr("skin_type", 2, 5),
+            self.cat_attr("origin", 2, 6),
+            {
+                let mut a = self.num_attr("volume", 2, 10, 500, "ml", 0.1, false);
+                set_step(&mut a, 10);
+                a
+            },
+            {
+                let mut a = self.num_attr("spf", 1, 10, 50, "", 0.0, false);
+                set_step(&mut a, 5);
+                a
+            },
+        ];
+        let mut s = self.base("Cosmetics", attrs);
+        s.table_page_prob = 0.4;
+        s.table_noise_prob = 0.07;
+        s
+    }
+
+    /// Garden: table-poor and noisy, with the weight vs maximum
+    /// shipping weight confusable from the paper's error analysis.
+    fn garden(&mut self, name: &str) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 2, 8),
+            self.num_attr("weight", 2, 1, 40, "kg", 0.25, false),
+            {
+                let mut a = self.num_attr("max_shipping_weight", 1, 20, 60, "kg", 0.1, false);
+                set_step(&mut a, 5);
+                a
+            },
+            {
+                let mut a = self.num_attr("width", 1, 20, 200, "cm", 0.2, false);
+                set_step(&mut a, 5);
+                a
+            },
+        ];
+        let mut s = self.base(name, attrs);
+        s.table_page_prob = 0.08;
+        s.table_noise_prob = 0.16;
+        s.table_value_noise = 0.07;
+        s.misleading_prob = 0.20;
+        s.secondary_product_prob = 0.15;
+        s
+    }
+
+    fn shoes(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 2, 8),
+            self.num_attr("size", 2, 22, 29, "cm", 0.6, false),
+            self.num_attr("heel_height", 1, 1, 12, "cm", 0.4, false),
+        ];
+        let mut s = self.base("Shoes", attrs);
+        s.table_page_prob = 0.12;
+        s.table_noise_prob = 0.08;
+        s
+    }
+
+    fn ladies_bags(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 3, 10),
+            self.cat_attr("closure", 2, 5),
+            self.num_attr("width", 1, 20, 50, "cm", 0.3, false),
+            self.num_attr("depth", 1, 5, 20, "cm", 0.3, false),
+        ];
+        let mut s = self.base("Ladies Bags", attrs);
+        s.table_page_prob = 0.42;
+        s.table_noise_prob = 0.02;
+        s.table_value_noise = 0.015;
+        s.misleading_prob = 0.05;
+        s
+    }
+
+    /// Digital cameras: the paper's complex-attribute category — pixel
+    /// counts with thousands separators, total vs effective pixels,
+    /// optical vs digital zoom, shutter-speed ranges.
+    fn digital_cameras(&mut self) -> CategorySchema {
+        let shutter = {
+            let aliases = self.aliases(1);
+            AttributeSpec::new(
+                "shutter_speed",
+                aliases,
+                ValueGen::Range {
+                    denominators: vec![1000, 1600, 2000, 4000, 6000, 8000],
+                    slow: vec![15, 30, 60],
+                    unit: "s".into(),
+                },
+            )
+            .with_probs(0.5, 0.3, 0.05)
+        };
+        // The confusable pairs share units and shapes but only overlap
+        // partially in range (as in reality: total >= effective pixels),
+        // so name aggregation can keep them apart while the tagger can
+        // still mix them up — the paper's second error source.
+        let mut eff = self.num_attr("effective_pixels", 1, 1000, 6000, "px", 0.0, true);
+        set_step(&mut eff, 100);
+        let mut tot = self.num_attr("total_pixels", 1, 4000, 12000, "px", 0.0, true);
+        set_step(&mut tot, 100);
+        let mut weight = self.num_attr("weight", 2, 100, 900, "g", 0.1, false);
+        set_step(&mut weight, 25);
+        let mut opt = self.num_attr("optical_zoom", 1, 2, 20, "", 0.1, false);
+        set_step(&mut opt, 2);
+        let mut dig = self.num_attr("digital_zoom", 1, 4, 40, "", 0.1, false);
+        set_step(&mut dig, 2);
+        let attrs = vec![
+            self.brand_attr(),
+            eff,
+            tot,
+            opt,
+            dig,
+            weight,
+            shutter,
+        ];
+        let mut s = self.base("Digital Cameras", attrs);
+        s.table_page_prob = 0.22;
+        s.table_noise_prob = 0.01;
+        s.table_value_noise = 0.01;
+        s.misleading_prob = 0.04;
+        s
+    }
+
+    /// Vacuum cleaner: the value-diversification showcase — weights are
+    /// heavily integer-biased in tables while decimals exist in text.
+    fn vacuum_cleaner(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.cat_attr("type", 2, 5),
+            self.cat_attr("container_type", 2, 4),
+            self.cat_attr("power_supply", 2, 4),
+            self.num_attr("weight", 2, 1, 9, "kg", 0.3, false),
+            {
+                let mut a = self.num_attr("suction", 1, 100, 600, "w", 0.0, false);
+                set_step(&mut a, 50);
+                a
+            },
+        ];
+        let mut s = self.base("Vacuum Cleaner", attrs);
+        s.table_page_prob = 0.35;
+        s.table_noise_prob = 0.05;
+        s
+    }
+
+    fn watches(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("band_material", 2, 7),
+            self.num_attr("case_diameter", 1, 28, 46, "mm", 0.4, false),
+        ];
+        let mut s = self.base("Watches", attrs);
+        s.table_page_prob = 0.3;
+        s
+    }
+
+    /// Rings: length vs width confusable (mentioned in §VIII).
+    fn rings(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.cat_attr("material", 2, 6),
+            self.num_attr("length", 1, 1, 20, "mm", 0.4, false),
+            self.num_attr("width", 1, 10, 30, "mm", 0.4, false),
+        ];
+        let mut s = self.base("Rings", attrs);
+        s.table_page_prob = 0.28;
+        s
+    }
+
+    fn wine(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.cat_attr("winery", 2, 10),
+            self.cat_attr("grape", 2, 8),
+            self.cat_attr("region", 2, 8),
+            {
+                let mut a = self.num_attr("volume", 1, 375, 1500, "ml", 0.0, false);
+                set_step(&mut a, 375);
+                a
+            },
+            self.num_attr("vintage", 1, 1990, 2018, "", 0.0, false),
+        ];
+        let mut s = self.base("Wine", attrs);
+        s.table_page_prob = 0.35;
+        s
+    }
+
+    fn furniture(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 2, 9),
+            {
+                let mut a = self.num_attr("width", 1, 30, 240, "cm", 0.2, false);
+                set_step(&mut a, 10);
+                a
+            },
+            {
+                let mut a = self.num_attr("height", 1, 30, 240, "cm", 0.2, false);
+                set_step(&mut a, 10);
+                a
+            },
+            {
+                let mut a = self.num_attr("weight", 1, 2, 80, "kg", 0.25, false);
+                set_step(&mut a, 2);
+                a
+            },
+        ];
+        let mut s = self.base("Furniture", attrs);
+        s.table_page_prob = 0.2;
+        s
+    }
+
+    fn mailbox_de(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("material", 2, 7),
+            self.cat_attr("lock_type", 2, 4),
+            self.num_attr("height", 1, 20, 60, "cm", 0.3, false),
+        ];
+        let mut s = self.base("Mailbox (DE)", attrs);
+        s.table_page_prob = 0.35;
+        s
+    }
+
+    fn coffee_machines_de(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.num_attr("pressure", 1, 9, 19, "bar", 0.1, false),
+            self.num_attr("capacity", 2, 1, 3, "l", 0.7, false),
+            {
+                let mut a = self.num_attr("power", 1, 800, 1800, "w", 0.0, false);
+                set_step(&mut a, 100);
+                a
+            },
+        ];
+        let mut s = self.base("Coffee Machines (DE)", attrs);
+        s.table_page_prob = 0.3;
+        s
+    }
+
+    fn baby_carriers(&mut self) -> CategorySchema {
+        let attrs = vec![
+            self.brand_attr(),
+            self.color_attr(),
+            self.cat_attr("carry_style", 2, 4),
+            self.num_attr("max_load", 1, 9, 20, "kg", 0.3, false),
+        ];
+        let mut s = self.base("Baby Carriers", attrs);
+        s.table_page_prob = 0.3;
+        s
+    }
+
+    /// Baby Goods: a heterogeneous union — three sub-type clusters with
+    /// overlapping value vocabularies, which is exactly what degrades
+    /// precision in the paper's §VIII-E.
+    fn baby_goods(&mut self) -> CategorySchema {
+        // A value pool shared verbatim between two semantically
+        // different attributes of different clusters.
+        let shared_pool = self.pool(8, PosTag::Noun);
+        let carrier_material = {
+            let aliases = self.aliases(2);
+            AttributeSpec::new(
+                "carrier_material",
+                aliases,
+                ValueGen::Categorical {
+                    pool: shared_pool.clone(),
+                },
+            )
+            .in_cluster(0)
+        };
+        let clothes_fabric = {
+            let aliases = self.aliases(2);
+            AttributeSpec::new(
+                "clothes_fabric",
+                aliases,
+                ValueGen::Categorical { pool: shared_pool },
+            )
+            .in_cluster(1)
+        };
+        let attrs = vec![
+            // Cluster 0: carriers.
+            self.brand_attr().in_cluster(0),
+            carrier_material,
+            self.num_attr("max_load", 1, 9, 20, "kg", 0.3, false).in_cluster(0),
+            // Cluster 1: clothes.
+            self.color_attr().in_cluster(1),
+            clothes_fabric,
+            self.num_attr("size", 1, 50, 95, "cm", 0.1, false).in_cluster(1),
+            // Cluster 2: toys.
+            self.cat_attr("toy_type", 2, 6).in_cluster(2),
+            self.num_attr("age", 1, 0, 6, "", 0.0, false).in_cluster(2),
+            self.num_attr("weight", 1, 1, 5, "kg", 0.4, false).in_cluster(2),
+        ];
+        let mut s = self.base("Baby Goods", attrs);
+        s.table_page_prob = 0.3;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in CategoryKind::ALL {
+            let (schema, lexicon) = kind.build(7);
+            assert!(!schema.attributes.is_empty(), "{kind:?}");
+            assert!(!lexicon.is_empty(), "{kind:?}");
+            assert_eq!(schema.language, kind.language());
+            for attr in &schema.attributes {
+                assert!(!attr.aliases.is_empty(), "{kind:?}/{}", attr.canonical);
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let (a, _) = CategoryKind::VacuumCleaner.build(42);
+        let (b, _) = CategoryKind::VacuumCleaner.build(42);
+        assert_eq!(a.attributes.len(), b.attributes.len());
+        assert_eq!(a.attributes[0].aliases, b.attributes[0].aliases);
+        assert_eq!(a.head_nouns, b.head_nouns);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = CategoryKind::Tennis.build(1);
+        let (b, _) = CategoryKind::Tennis.build(2);
+        assert_ne!(a.attributes[0].aliases, b.attributes[0].aliases);
+    }
+
+    #[test]
+    fn german_categories_are_space_delimited() {
+        for kind in CategoryKind::GERMAN_CATEGORIES {
+            assert_eq!(kind.language(), Language::SpaceDelim);
+        }
+        assert_eq!(CategoryKind::Tennis.language(), Language::Agglut);
+    }
+
+    #[test]
+    fn baby_goods_is_clustered_and_shares_values() {
+        let (s, _) = CategoryKind::BabyGoods.build(3);
+        assert!(s.attributes.iter().all(|a| a.cluster.is_some()));
+        let mat = s.attribute("carrier_material").unwrap();
+        let fab = s.attribute("clothes_fabric").unwrap();
+        assert_eq!(
+            mat.values.enumerable().unwrap(),
+            fab.values.enumerable().unwrap(),
+            "clusters must share a value pool to create confusion"
+        );
+        assert_ne!(mat.cluster, fab.cluster);
+    }
+
+    #[test]
+    fn baby_carriers_is_homogeneous() {
+        let (s, _) = CategoryKind::BabyCarriers.build(3);
+        assert!(s.attributes.iter().all(|a| a.cluster.is_none()));
+    }
+
+    #[test]
+    fn numeric_steps_quantize_values() {
+        use crate::values::ValueGen;
+        let (s, _) = CategoryKind::DigitalCameras.build(5);
+        let eff = s.attribute("effective_pixels").unwrap();
+        let ValueGen::Numeric { step, lo, hi, .. } = &eff.values else {
+            panic!("effective_pixels should be numeric");
+        };
+        assert_eq!(*step, 100);
+        assert!(*lo < *hi);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let v = eff.values.draw(&mut rng);
+            let digits: String = v.canonical.chars().filter(|c| c.is_ascii_digit()).collect();
+            let n: i64 = digits.parse().unwrap();
+            assert_eq!(n % 100, 0, "{}", v.canonical);
+        }
+    }
+
+    #[test]
+    fn confusable_pairs_overlap_but_differ_in_range() {
+        use crate::values::ValueGen;
+        let (s, _) = CategoryKind::DigitalCameras.build(5);
+        let get = |name: &str| {
+            let ValueGen::Numeric { lo, hi, .. } = s.attribute(name).unwrap().values else {
+                panic!("{name} should be numeric");
+            };
+            (lo, hi)
+        };
+        let (elo, ehi) = get("effective_pixels");
+        let (tlo, thi) = get("total_pixels");
+        assert!(tlo > elo && thi > ehi, "total should sit above effective");
+        assert!(tlo < ehi, "ranges must overlap to stay confusable");
+    }
+
+    #[test]
+    fn attributes_carry_context_words() {
+        let (s, lexicon) = CategoryKind::VacuumCleaner.build(5);
+        for attr in &s.attributes {
+            assert!(
+                !attr.context_words.is_empty(),
+                "{} lacks context words",
+                attr.canonical
+            );
+            for w in &attr.context_words {
+                assert!(lexicon.contains(w), "{w} not in lexicon");
+            }
+        }
+    }
+
+    #[test]
+    fn camera_has_confusable_pixel_attributes() {
+        let (s, _) = CategoryKind::DigitalCameras.build(5);
+        assert!(s.attribute("effective_pixels").is_some());
+        assert!(s.attribute("total_pixels").is_some());
+        assert!(s.attribute("shutter_speed").is_some());
+    }
+
+    #[test]
+    fn garden_is_table_poor_vs_ladies_bags() {
+        let (g, _) = CategoryKind::Garden.build(1);
+        let (l, _) = CategoryKind::LadiesBags.build(1);
+        assert!(g.table_page_prob < l.table_page_prob);
+        assert!(g.table_noise_prob > l.table_noise_prob);
+    }
+}

@@ -1,0 +1,287 @@
+//! Dataset assembly: spec → pages + query log + ground truth + lexicon.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pae_text::{Lexicon, Tokenizer};
+
+use crate::categories::CategoryKind;
+use crate::language::Language;
+use crate::page::{draw_product, render_page, ProductRecord};
+use crate::querylog::build_query_log;
+use crate::schema::CategorySchema;
+use crate::truth::GroundTruth;
+
+/// One rendered product page.
+#[derive(Debug, Clone)]
+pub struct ProductPage {
+    /// Product id (matches the ground truth).
+    pub id: u32,
+    /// Full HTML of the merchant page.
+    pub html: String,
+}
+
+/// Builder for one category dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    kind: CategoryKind,
+    seed: u64,
+    n_products: Option<usize>,
+}
+
+impl DatasetSpec {
+    /// Spec for `kind` with the master `seed`.
+    pub fn new(kind: CategoryKind, seed: u64) -> Self {
+        DatasetSpec {
+            kind,
+            seed,
+            n_products: None,
+        }
+    }
+
+    /// Overrides the product count (default: [`CategoryKind::default_products`]).
+    pub fn products(mut self, n: usize) -> Self {
+        self.n_products = Some(n);
+        self
+    }
+
+    /// Generates the dataset deterministically.
+    pub fn generate(&self) -> Dataset {
+        let (schema, lexicon) = self.kind.build(self.seed);
+        let n = self.n_products.unwrap_or(self.kind.default_products());
+        generate_from_schema(self.kind, schema, lexicon, self.seed, n)
+    }
+}
+
+/// Generates a dataset from a hand-built schema (the `custom_category`
+/// example shows the full flow). The schema's vocabulary must be
+/// registered in `lexicon` for the unsegmented language to tokenize.
+pub fn generate_from_schema(
+    kind: CategoryKind,
+    schema: CategorySchema,
+    lexicon: Lexicon,
+    seed: u64,
+    n_products: usize,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D));
+
+    let records: Vec<ProductRecord> = (0..n_products as u32)
+        .map(|id| draw_product(&schema, id, &mut rng))
+        .collect();
+    let pages: Vec<ProductPage> = records
+        .iter()
+        .map(|r| ProductPage {
+            id: r.id,
+            html: render_page(&schema, r, &mut rng),
+        })
+        .collect();
+    let query_log = build_query_log(&schema, &records, &mut rng);
+
+    let tokenizer = schema.language.tokenizer(&lexicon);
+    let truth = build_truth(&schema, &records, tokenizer.as_ref());
+
+    Dataset {
+        kind,
+        schema,
+        pages,
+        query_log,
+        truth,
+        lexicon,
+    }
+}
+
+/// A complete generated category dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Which category this is.
+    pub kind: CategoryKind,
+    /// The schema it was generated from.
+    pub schema: CategorySchema,
+    /// Rendered product pages.
+    pub pages: Vec<ProductPage>,
+    /// User search queries.
+    pub query_log: Vec<String>,
+    /// Exact ground truth (normalized surfaces).
+    pub truth: GroundTruth,
+    /// Segmentation/PoS lexicon covering the whole corpus vocabulary.
+    pub lexicon: Lexicon,
+}
+
+impl Dataset {
+    /// Corpus language.
+    pub fn language(&self) -> Language {
+        self.schema.language
+    }
+
+    /// Builds the tokenizer for this dataset's language.
+    pub fn tokenizer(&self) -> Box<dyn Tokenizer> {
+        self.language().tokenizer(&self.lexicon)
+    }
+
+    /// Normalizes a raw value string: tokenize, join with single spaces.
+    ///
+    /// The ground truth stores surfaces in exactly this form; every
+    /// comparison in the evaluation goes through it.
+    pub fn normalize(&self, raw: &str) -> String {
+        normalize_with(self.tokenizer().as_ref(), raw)
+    }
+}
+
+/// Normalization shared by truth construction and evaluation.
+pub fn normalize_with(tokenizer: &dyn Tokenizer, raw: &str) -> String {
+    let toks = tokenizer.tokenize(raw);
+    let mut out = String::with_capacity(raw.len() + toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+fn build_truth(
+    schema: &CategorySchema,
+    records: &[ProductRecord],
+    tokenizer: &dyn Tokenizer,
+) -> GroundTruth {
+    let mut truth = GroundTruth::default();
+    for attr in &schema.attributes {
+        for alias in &attr.aliases {
+            truth
+                .attr_alias
+                .insert(alias.clone(), attr.canonical.clone());
+        }
+        truth.valid_pairs.entry(attr.canonical.clone()).or_default();
+    }
+    for record in records {
+        truth.product_ids.push(record.id);
+        let entry = truth.product_triples.entry(record.id).or_default();
+        for (ai, value) in &record.values {
+            let attr = &schema.attributes[*ai];
+            let set = entry.entry(attr.canonical.clone()).or_default();
+            for surface in &value.surfaces {
+                let norm = normalize_with(tokenizer, surface);
+                truth
+                    .valid_pairs
+                    .get_mut(&attr.canonical)
+                    .expect("pre-seeded")
+                    .insert(norm.clone());
+                set.insert(norm);
+            }
+        }
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::Judgement;
+
+    fn small(kind: CategoryKind) -> Dataset {
+        DatasetSpec::new(kind, 42).products(40).generate()
+    }
+
+    #[test]
+    fn generates_requested_product_count() {
+        let d = small(CategoryKind::VacuumCleaner);
+        assert_eq!(d.pages.len(), 40);
+        assert_eq!(d.truth.n_products(), 40);
+        assert!(!d.query_log.is_empty());
+        assert!(!d.lexicon.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small(CategoryKind::Tennis);
+        let b = small(CategoryKind::Tennis);
+        assert_eq!(a.pages[7].html, b.pages[7].html);
+        assert_eq!(a.query_log, b.query_log);
+        assert_eq!(a.truth.n_truth_triples(), b.truth.n_truth_triples());
+    }
+
+    #[test]
+    fn truth_judges_drawn_values_as_correct() {
+        let d = small(CategoryKind::LadiesBags);
+        // Every product's truth triple must self-judge Correct.
+        let mut checked = 0;
+        for (&pid, attrs) in &d.truth.product_triples {
+            for (attr, values) in attrs {
+                for v in values {
+                    assert_eq!(d.truth.judge(pid, attr, v), Judgement::Correct);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn table_pairs_on_pages_are_in_truth() {
+        // Extract dictionary tables from the rendered pages and verify
+        // the (alias, value) pairs judge Correct — the seed extractor
+        // depends on this consistency end to end.
+        let d = small(CategoryKind::LadiesBags);
+        let mut table_pairs = 0;
+        let mut correct = 0;
+        for page in &d.pages {
+            let forest = pae_html::parse(&page.html);
+            for table in pae_html::extract_tables(&forest) {
+                let Some(dict) = table.as_dictionary() else {
+                    continue;
+                };
+                for (name, value) in dict.pairs {
+                    table_pairs += 1;
+                    let norm = d.normalize(&value);
+                    if d.truth.judge(page.id, &name, &norm) == Judgement::Correct {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(table_pairs > 20, "too few table pairs: {table_pairs}");
+        let precision = correct as f64 / table_pairs as f64;
+        assert!(
+            precision > 0.9,
+            "table pairs should be mostly correct: {correct}/{table_pairs}"
+        );
+    }
+
+    #[test]
+    fn normalization_splits_numeric_shapes_per_language() {
+        let d = small(CategoryKind::VacuumCleaner);
+        // Agglut: decimal digits split (footnote 3).
+        assert_eq!(d.normalize("2.5kg"), "2 . 5 kg");
+        let de = small(CategoryKind::MailboxDe);
+        assert_eq!(de.normalize("2.5kg"), "2.5 kg");
+    }
+
+    #[test]
+    fn page_text_contains_value_mentions() {
+        let d = small(CategoryKind::VacuumCleaner);
+        // At least some pages must mention truth values in free text
+        // (otherwise the tagger has nothing to learn).
+        let mut hits = 0;
+        for page in &d.pages {
+            let forest = pae_html::parse(&page.html);
+            let text = pae_html::extract_text(&forest, &pae_html::TextOptions::default());
+            let norm_text = d.normalize(&text);
+            if let Some(attrs) = d.truth.product_triples.get(&page.id) {
+                if attrs
+                    .values()
+                    .flatten()
+                    .any(|v| norm_text.contains(v.as_str()))
+                {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 20, "only {hits}/40 pages mention any value");
+    }
+
+    #[test]
+    fn german_dataset_has_fewer_default_products() {
+        assert!(CategoryKind::MailboxDe.default_products() < CategoryKind::Tennis.default_products());
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic languages and word generation.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use pae_text::{LatticeTokenizer, Lexicon, PosTag, Tokenizer, WhitespaceTokenizer};
+
+/// The two synthetic languages of the corpus.
+///
+/// `Agglut` models the paper's Japanese: words are concatenated with no
+/// separators and segmentation needs a dictionary. `SpaceDelim` models
+/// the paper's German: whitespace-separated words with compounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// Unsegmented (Japanese-like).
+    Agglut,
+    /// Space-delimited (German-like).
+    SpaceDelim,
+}
+
+impl Language {
+    /// Joins words into a sentence in this language's convention.
+    pub fn join(&self, words: &[&str]) -> String {
+        match self {
+            Language::Agglut => words.concat(),
+            Language::SpaceDelim => words.join(" "),
+        }
+    }
+
+    /// Sentence terminator.
+    pub fn terminator(&self) -> &'static str {
+        match self {
+            Language::Agglut => "。",
+            Language::SpaceDelim => ".",
+        }
+    }
+
+    /// Builds the tokenizer appropriate for this language.
+    pub fn tokenizer(&self, lexicon: &Lexicon) -> Box<dyn Tokenizer> {
+        match self {
+            Language::Agglut => Box::new(LatticeTokenizer::new(lexicon.clone())),
+            Language::SpaceDelim => Box::new(WhitespaceTokenizer::new()),
+        }
+    }
+
+    fn syllables(&self) -> &'static [&'static str] {
+        match self {
+            Language::Agglut => &[
+                "ka", "ki", "ku", "ke", "ko", "sa", "shi", "su", "se", "so", "ta", "chi", "te",
+                "to", "na", "ni", "no", "ma", "mi", "mo", "ra", "ri", "ru", "re", "wa", "ya",
+                "yo", "ha", "hi", "fu", "he", "ho",
+            ],
+            Language::SpaceDelim => &[
+                "ber", "fel", "gan", "hof", "kel", "lan", "mar", "nen", "rau", "sta", "tal",
+                "ung", "wei", "zer", "bach", "dorf", "gen", "heim", "licht", "stein", "mut",
+                "vor", "ach", "eck",
+            ],
+        }
+    }
+}
+
+/// Generates unique pronounceable words for one dataset.
+///
+/// All attribute names, values, and filler vocabulary come from one
+/// factory so the dataset-wide lexicon is collision-free — essential
+/// for the lattice tokenizer to segment deterministically.
+#[derive(Debug)]
+pub struct WordFactory {
+    language: Language,
+    used: HashSet<String>,
+    lexicon: Lexicon,
+}
+
+impl WordFactory {
+    /// A factory for `language`.
+    pub fn new(language: Language) -> Self {
+        WordFactory {
+            language,
+            used: HashSet::new(),
+            lexicon: Lexicon::new(),
+        }
+    }
+
+    /// The language this factory generates for.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Generates a fresh unique word of `syllable_count` syllables and
+    /// registers it in the lexicon under `tag`.
+    pub fn fresh(&mut self, rng: &mut StdRng, syllable_count: usize, tag: PosTag) -> String {
+        let syl = self.language.syllables();
+        loop {
+            let mut w = String::new();
+            for _ in 0..syllable_count {
+                w.push_str(syl[rng.random_range(0..syl.len())]);
+            }
+            // A prefix collision (existing word being a prefix of the new
+            // word or vice versa) is fine — longest-match handles it —
+            // but exact duplicates would merge two meanings.
+            if self.used.insert(w.clone()) {
+                self.lexicon.insert(w.clone(), tag);
+                return w;
+            }
+        }
+    }
+
+    /// Generates `n` fresh words.
+    pub fn fresh_many(
+        &mut self,
+        rng: &mut StdRng,
+        n: usize,
+        syllable_count: usize,
+        tag: PosTag,
+    ) -> Vec<String> {
+        (0..n).map(|_| self.fresh(rng, syllable_count, tag)).collect()
+    }
+
+    /// Registers an externally chosen word (e.g. a unit like `kg`).
+    pub fn register(&mut self, word: &str, tag: PosTag) {
+        self.used.insert(word.to_owned());
+        self.lexicon.insert(word, tag);
+    }
+
+    /// The lexicon accumulated so far.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Consumes the factory, yielding the lexicon.
+    pub fn into_lexicon(self) -> Lexicon {
+        self.lexicon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn join_conventions() {
+        assert_eq!(Language::Agglut.join(&["a", "b", "c"]), "abc");
+        assert_eq!(Language::SpaceDelim.join(&["a", "b", "c"]), "a b c");
+    }
+
+    #[test]
+    fn fresh_words_are_unique_and_in_lexicon() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut f = WordFactory::new(Language::Agglut);
+        let words = f.fresh_many(&mut rng, 200, 2, PosTag::Noun);
+        let distinct: HashSet<_> = words.iter().collect();
+        assert_eq!(distinct.len(), 200);
+        for w in &words {
+            assert_eq!(f.lexicon().tag_of(w), Some(PosTag::Noun));
+        }
+    }
+
+    #[test]
+    fn factory_is_deterministic() {
+        let gen = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut f = WordFactory::new(Language::SpaceDelim);
+            f.fresh_many(&mut rng, 10, 3, PosTag::Adj)
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    #[test]
+    fn register_external_units() {
+        let mut f = WordFactory::new(Language::Agglut);
+        f.register("kg", PosTag::Unit);
+        assert_eq!(f.lexicon().tag_of("kg"), Some(PosTag::Unit));
+    }
+
+    #[test]
+    fn tokenizer_roundtrip_agglut() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut f = WordFactory::new(Language::Agglut);
+        let words = f.fresh_many(&mut rng, 5, 3, PosTag::Noun);
+        let tok = Language::Agglut.tokenizer(f.lexicon());
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let sentence = Language::Agglut.join(&refs);
+        let toks = tok.tokenize(&sentence);
+        let got: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(got, refs);
+    }
+}

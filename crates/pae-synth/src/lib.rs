@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Synthetic e-commerce corpus generator with exact ground truth.
+//!
+//! The paper evaluates on proprietary Rakuten product pages in Japanese
+//! and German. This crate substitutes a deterministic generator that
+//! reproduces the *phenomena* the paper's pipeline and error analysis
+//! depend on:
+//!
+//! * merchant **attribute-name aliasing** (製造元 vs メーカー analogue);
+//! * **value variants** (several surface forms per canonical value);
+//! * HTML **dictionary spec tables** (the seed source) on a per-category
+//!   fraction of pages, plus titles and free-form descriptions;
+//! * **numeric shape skew** (integer-biased weights whose decimal forms
+//!   are missing from the seed — the diversification module's target);
+//! * **confusable attribute pairs** (total vs effective pixels, weight
+//!   vs maximum shipping weight, …);
+//! * **secondary-product mentions** and **negations** (the paper's
+//!   first error source);
+//! * markup noise, junk table rows, and junk queries;
+//! * two synthetic **languages**: an unsegmented one (Japanese-like,
+//!   requiring dictionary tokenization) and a space-delimited one
+//!   (German-like);
+//! * a **heterogeneous category** (Baby Goods ⊃ Baby Carriers) for the
+//!   paper's §VIII-E study.
+//!
+//! Every generated dataset carries its [`truth::GroundTruth`]: the
+//! exact set of correct `<product, attribute, value>` triples, which
+//! substitutes the paper's 235k-triple human-annotated truth sample.
+
+pub mod categories;
+pub mod dataset;
+pub mod language;
+pub mod merchant;
+pub mod page;
+pub mod querylog;
+pub mod schema;
+pub mod truth;
+pub mod values;
+
+pub use categories::CategoryKind;
+pub use dataset::{Dataset, DatasetSpec, ProductPage};
+pub use language::Language;
+pub use schema::{AttributeSpec, CategorySchema};
+pub use truth::GroundTruth;

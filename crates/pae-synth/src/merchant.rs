@@ -1,0 +1,85 @@
+//! Merchant noise model: how a seller's writing style varies.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Style knobs drawn per product page (each page is "written" by a
+/// merchant with its own habits).
+#[derive(Debug, Clone)]
+pub struct MerchantStyle {
+    /// Probability of using the preferred (first) alias / variant;
+    /// the remainder is uniform over the alternatives.
+    pub preferred_prob: f64,
+    /// Number of pure-filler sentences in the description.
+    pub filler_sentences: usize,
+    /// Whether the merchant decorates words with `*markup*` noise.
+    pub decorates: bool,
+    /// How much of the attribute inventory the merchant writes about
+    /// in free text (multiplies the per-attribute mention probs).
+    pub verbosity: f64,
+}
+
+impl MerchantStyle {
+    /// Draws a style.
+    pub fn draw(rng: &mut StdRng) -> Self {
+        MerchantStyle {
+            preferred_prob: 0.55 + rng.random_range(0.0..0.3),
+            filler_sentences: 2 + rng.random_range(0..4),
+            decorates: rng.random_range(0.0..1.0) < 0.3,
+            verbosity: 0.1 + rng.random_range(0.0..0.85),
+        }
+    }
+
+    /// Picks one of `options` with the preferred-first skew.
+    pub fn pick<'a>(&self, options: &'a [String], rng: &mut StdRng) -> &'a str {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 || rng.random_range(0.0..1.0) < self.preferred_prob {
+            &options[0]
+        } else {
+            &options[1 + rng.random_range(0..options.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pick_prefers_first_option() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let style = MerchantStyle {
+            preferred_prob: 0.8,
+            filler_sentences: 2,
+            decorates: false,
+            verbosity: 1.0,
+        };
+        let options = vec!["a".to_owned(), "b".to_owned(), "c".to_owned()];
+        let mut first = 0;
+        for _ in 0..1000 {
+            if style.pick(&options, &mut rng) == "a" {
+                first += 1;
+            }
+        }
+        assert!(first > 700, "preferred picked {first}/1000");
+    }
+
+    #[test]
+    fn single_option_always_picked() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let style = MerchantStyle::draw(&mut rng);
+        let options = vec!["only".to_owned()];
+        assert_eq!(style.pick(&options, &mut rng), "only");
+    }
+
+    #[test]
+    fn draw_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = MerchantStyle::draw(&mut rng);
+            assert!((0.55..=0.85).contains(&s.preferred_prob));
+            assert!((2..=5).contains(&s.filler_sentences));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Product records and HTML page rendering.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use pae_html::entity::escape;
+
+use crate::merchant::MerchantStyle;
+use crate::schema::CategorySchema;
+use crate::values::DrawnValue;
+
+/// The canonical facts about one product: what the ground truth records
+/// and what the page renderer works from.
+#[derive(Debug, Clone)]
+pub struct ProductRecord {
+    /// Product id.
+    pub id: u32,
+    /// Drawn value per attribute, indexed into `schema.attributes`.
+    /// Attributes outside the product's cluster are absent.
+    pub values: Vec<(usize, DrawnValue)>,
+    /// Sub-type cluster for heterogeneous categories.
+    pub cluster: Option<usize>,
+}
+
+/// Draws a product's canonical attribute values.
+pub fn draw_product(schema: &CategorySchema, id: u32, rng: &mut StdRng) -> ProductRecord {
+    let clusters: Vec<usize> = schema
+        .attributes
+        .iter()
+        .filter_map(|a| a.cluster)
+        .collect();
+    let cluster = if clusters.is_empty() {
+        None
+    } else {
+        let max = clusters.iter().copied().max().expect("nonempty");
+        Some(rng.random_range(0..=max))
+    };
+    let values = schema
+        .attributes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.cluster.is_none() || a.cluster == cluster)
+        .map(|(i, a)| (i, a.values.draw(rng)))
+        .collect();
+    ProductRecord {
+        id,
+        values,
+        cluster,
+    }
+}
+
+/// Renders the merchant HTML page for one product.
+pub fn render_page(schema: &CategorySchema, record: &ProductRecord, rng: &mut StdRng) -> String {
+    let style = MerchantStyle::draw(rng);
+    let lang = schema.language;
+    let term = lang.terminator();
+
+    let pick_filler = |rng: &mut StdRng| schema.filler[rng.random_range(0..schema.filler.len())].clone();
+    let pick_conn = |rng: &mut StdRng| {
+        schema.connectives[rng.random_range(0..schema.connectives.len())].clone()
+    };
+    let head = schema.head_nouns[rng.random_range(0..schema.head_nouns.len())].clone();
+
+    // Title: usually the brand-ish first value + head noun, but some
+    // merchants write uninformative titles.
+    let title_value = if rng.random_range(0.0..1.0) < 0.55 {
+        record
+            .values
+            .iter()
+            .map(|(_, v)| style.pick(&v.surfaces, rng).to_owned())
+            .next()
+            .unwrap_or_else(|| pick_filler(rng))
+    } else {
+        pick_filler(rng)
+    };
+    let title = lang.join(&[&title_value, &head]);
+
+    let mut sentences: Vec<String> = Vec::new();
+
+    // Explicit and implicit attribute mentions (scaled by how chatty
+    // this merchant is).
+    for (ai, value) in &record.values {
+        let attr = &schema.attributes[*ai];
+        let surface = style.pick(&value.surfaces, rng).to_owned();
+        if rng.random_range(0.0..1.0) < attr.text_prob * style.verbosity {
+            let alias = style.pick(&attr.aliases, rng).to_owned();
+            let s = if rng.random_range(0.0..1.0) < 0.6 {
+                lang.join(&[&alias, ":", &surface])
+            } else {
+                let conn = pick_conn(rng);
+                lang.join(&[&alias, &conn, &surface])
+            };
+            sentences.push(s);
+        }
+        if rng.random_range(0.0..1.0) < attr.implicit_prob * style.verbosity {
+            let ctx = if attr.context_words.is_empty() {
+                pick_conn(rng)
+            } else {
+                attr.context_words[rng.random_range(0..attr.context_words.len())].clone()
+            };
+            let filler = pick_filler(rng);
+            let s = match rng.random_range(0..3) {
+                0 => lang.join(&[&head, &ctx, &surface]),
+                1 => lang.join(&[&ctx, &surface, &filler]),
+                _ => lang.join(&[&surface, &ctx, &head]),
+            };
+            sentences.push(s);
+        }
+    }
+
+    // Filler sentences.
+    for _ in 0..style.filler_sentences {
+        let n = 3 + rng.random_range(0..4);
+        let words: Vec<String> = (0..n).map(|_| pick_filler(rng)).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        sentences.push(lang.join(&refs));
+    }
+
+    // Misleading explicit pattern: attribute name followed by a
+    // non-value ("color: see below") — the over-generalization trap.
+    if rng.random_range(0.0..1.0) < schema.misleading_prob && !record.values.is_empty() {
+        let (ai, _) = &record.values[rng.random_range(0..record.values.len())];
+        let attr = &schema.attributes[*ai];
+        let alias = style.pick(&attr.aliases, rng).to_owned();
+        let filler = pick_filler(rng);
+        sentences.push(lang.join(&[&alias, ":", &filler]));
+    }
+
+    // Secondary-product mention: a semantically valid pair that does
+    // NOT hold for this product (the paper's first error source).
+    if rng.random_range(0.0..1.0) < schema.secondary_product_prob {
+        if let Some((ai, wrong)) = draw_foreign_value(schema, record, rng) {
+            let attr = &schema.attributes[ai];
+            let alias = style.pick(&attr.aliases, rng).to_owned();
+            let filler = pick_filler(rng);
+            sentences.push(lang.join(&[&filler, &alias, ":", &wrong]));
+        }
+    }
+    // Negated mention, same effect through a different template.
+    if rng.random_range(0.0..1.0) < schema.negation_prob {
+        if let Some((_, wrong)) = draw_foreign_value(schema, record, rng) {
+            let neg = schema
+                .connectives
+                .last()
+                .expect("connectives nonempty")
+                .clone();
+            let conn = pick_conn(rng);
+            sentences.push(lang.join(&[&neg, &wrong, &conn]));
+        }
+    }
+
+    shuffle_strings(&mut sentences, rng);
+
+    // Spec table.
+    let mut table_html = String::new();
+    if rng.random_range(0.0..1.0) < schema.table_page_prob {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (ai, value) in &record.values {
+            let attr = &schema.attributes[*ai];
+            if rng.random_range(0.0..1.0) < attr.table_prob {
+                let alias = style.pick(&attr.aliases, rng).to_owned();
+                let surface = if rng.random_range(0.0..1.0) < schema.table_value_noise {
+                    // Merchant copy-paste mistake: value of some other
+                    // attribute lands in this row.
+                    match draw_foreign_row_value(schema, record, *ai, rng) {
+                        Some(wrong) => wrong,
+                        None => style.pick(&value.surfaces, rng).to_owned(),
+                    }
+                } else {
+                    style.pick(&value.surfaces, rng).to_owned()
+                };
+                rows.push((alias, surface));
+            }
+        }
+        // Junk rows exercise the seed's precision limits and the veto
+        // rules downstream.
+        if rng.random_range(0.0..1.0) < schema.table_noise_prob {
+            let junk_kind = rng.random_range(0..3);
+            let junk_value = match junk_kind {
+                0 => "***".to_owned(),
+                1 => {
+                    // Overlong shipping-note style value (> 30 chars).
+                    let words: Vec<String> = (0..9).map(|_| pick_filler(rng)).collect();
+                    let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+                    lang.join(&refs)
+                }
+                _ => ";".to_owned(),
+            };
+            rows.push((pick_filler(rng), junk_value));
+        }
+        if rows.len() >= 2 {
+            table_html.push_str("<table>");
+            for (k, v) in &rows {
+                table_html.push_str(&format!(
+                    "<tr><th>{}</th><td>{}</td></tr>",
+                    escape(k),
+                    escape(v)
+                ));
+            }
+            table_html.push_str("</table>");
+        }
+    }
+
+    // Assemble the body with light markup noise.
+    let mut body = String::new();
+    body.push_str(&format!("<h1>{}</h1>", escape(&title)));
+    body.push_str(&table_html);
+    body.push_str("<p>");
+    for (i, s) in sentences.iter().enumerate() {
+        let decorated = if style.decorates && i % 5 == 4 {
+            format!("*{}*", escape(s))
+        } else {
+            escape(s)
+        };
+        body.push_str(&decorated);
+        body.push_str(term);
+        if i % 3 == 2 {
+            body.push_str("</p><p>");
+        }
+    }
+    body.push_str("</p>");
+
+    format!(
+        "<html><head><title>{}</title></head><body>{}</body></html>",
+        escape(&title),
+        body
+    )
+}
+
+/// A wrong value for a table row: drawn from a *different* attribute
+/// of the same product (classic merchant copy-paste error).
+fn draw_foreign_row_value(
+    schema: &CategorySchema,
+    record: &ProductRecord,
+    exclude: usize,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let others: Vec<&(usize, crate::values::DrawnValue)> = record
+        .values
+        .iter()
+        .filter(|(ai, _)| *ai != exclude)
+        .collect();
+    if others.is_empty() {
+        return None;
+    }
+    let (ai, _) = others[rng.random_range(0..others.len())];
+    let candidate = schema.attributes[*ai].values.draw(rng);
+    Some(candidate.surfaces[0].clone())
+}
+
+/// Draws a valid `(attribute index, surface)` pair whose value differs
+/// from the product's own value for that attribute. Returns `None` when
+/// no categorical attribute offers an alternative.
+fn draw_foreign_value(
+    schema: &CategorySchema,
+    record: &ProductRecord,
+    rng: &mut StdRng,
+) -> Option<(usize, String)> {
+    for _ in 0..8 {
+        let (ai, own) = &record.values[rng.random_range(0..record.values.len())];
+        let attr = &schema.attributes[*ai];
+        let candidate = attr.values.draw(rng);
+        if candidate.canonical != own.canonical {
+            return Some((*ai, candidate.surfaces[0].clone()));
+        }
+    }
+    None
+}
+
+fn shuffle_strings(xs: &mut [String], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::CategoryKind;
+    use rand::SeedableRng;
+
+    fn setup() -> (CategorySchema, StdRng) {
+        let (schema, _) = CategoryKind::VacuumCleaner.build(11);
+        (schema, StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn product_draws_all_attributes_when_homogeneous() {
+        let (schema, mut rng) = setup();
+        let p = draw_product(&schema, 0, &mut rng);
+        assert_eq!(p.values.len(), schema.attributes.len());
+        assert_eq!(p.cluster, None);
+    }
+
+    #[test]
+    fn heterogeneous_products_only_carry_their_cluster() {
+        let (schema, _) = CategoryKind::BabyGoods.build(11);
+        let mut rng = StdRng::seed_from_u64(5);
+        for id in 0..20 {
+            let p = draw_product(&schema, id, &mut rng);
+            let c = p.cluster.expect("clustered");
+            for (ai, _) in &p.values {
+                assert_eq!(schema.attributes[*ai].cluster, Some(c));
+            }
+            assert!(p.values.len() < schema.attributes.len());
+        }
+    }
+
+    #[test]
+    fn page_is_parseable_html_with_title() {
+        let (schema, mut rng) = setup();
+        let p = draw_product(&schema, 0, &mut rng);
+        let html = render_page(&schema, &p, &mut rng);
+        let forest = pae_html::parse(&html);
+        assert_eq!(forest.len(), 1);
+        let titles = pae_html::dom::find_all(&forest, "title");
+        assert_eq!(titles.len(), 1);
+        assert!(!titles[0].text_content().is_empty());
+    }
+
+    #[test]
+    fn some_pages_have_dictionary_tables() {
+        let (schema, mut rng) = setup();
+        let mut with_tables = 0;
+        for id in 0..60 {
+            let p = draw_product(&schema, id, &mut rng);
+            let html = render_page(&schema, &p, &mut rng);
+            let forest = pae_html::parse(&html);
+            let tables = pae_html::extract_tables(&forest);
+            if tables.iter().any(|t| t.as_dictionary().is_some()) {
+                with_tables += 1;
+            }
+        }
+        // table_page_prob is 0.35 for vacuum cleaners.
+        assert!(
+            (8..=35).contains(&with_tables),
+            "unexpected table rate {with_tables}/60"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let (schema, _) = setup();
+        let render = || {
+            let mut rng = StdRng::seed_from_u64(77);
+            let p = draw_product(&schema, 3, &mut rng);
+            render_page(&schema, &p, &mut rng)
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn foreign_value_differs_from_own() {
+        let (schema, mut rng) = setup();
+        let p = draw_product(&schema, 0, &mut rng);
+        for _ in 0..20 {
+            if let Some((ai, surface)) = draw_foreign_value(&schema, &p, &mut rng) {
+                let own = p.values.iter().find(|(i, _)| *i == ai).unwrap();
+                assert!(!own.1.surfaces.contains(&surface));
+            }
+        }
+    }
+}

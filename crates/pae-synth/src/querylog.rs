@@ -1,0 +1,136 @@
+//! Search-query-log generation.
+//!
+//! The pipeline's value-cleaning step keeps a seed value only when it
+//! appears in user queries or is very frequent on pages. The generated
+//! log therefore contains queries for the *popular* values (weighted by
+//! how many products carry them) plus junk — so that rare-but-real
+//! value shapes (e.g. decimal weights) are dropped by cleaning and must
+//! be recovered by the diversification module, as in the paper.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::page::ProductRecord;
+use crate::schema::CategorySchema;
+
+/// Builds the query log from the drawn products.
+pub fn build_query_log(
+    schema: &CategorySchema,
+    products: &[ProductRecord],
+    rng: &mut StdRng,
+) -> Vec<String> {
+    // Count how many products carry each value surface.
+    let mut freq: HashMap<&str, usize> = HashMap::new();
+    for p in products {
+        for (_, v) in &p.values {
+            for s in &v.surfaces {
+                *freq.entry(s.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // HashMap iteration order is seeded per instance; sort for
+    // reproducibility.
+    let mut entries: Vec<(&str, usize)> = freq.into_iter().collect();
+    entries.sort_unstable();
+
+    let mut queries = Vec::new();
+    for (surface, count) in entries {
+        if count < 2 {
+            continue; // users do not search one-off values
+        }
+        // Roughly one query per two carrying products, capped.
+        let n = (count / 2).clamp(1, 12);
+        for _ in 0..n {
+            if rng.random_range(0.0..1.0) < 0.25 {
+                // Query with category context.
+                let noun = &schema.head_nouns[rng.random_range(0..schema.head_nouns.len())];
+                queries.push(schema.language.join(&[surface, noun]));
+            } else {
+                queries.push(surface.to_owned());
+            }
+        }
+    }
+
+    // Junk queries (misspellings, unrelated words).
+    let n_junk = (queries.len() / 8).max(3);
+    for _ in 0..n_junk {
+        let w = &schema.filler[rng.random_range(0..schema.filler.len())];
+        queries.push(w.clone());
+    }
+
+    shuffle(&mut queries, rng);
+    queries
+}
+
+fn shuffle(xs: &mut [String], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::CategoryKind;
+    use crate::page::draw_product;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popular_values_get_queries_rare_ones_do_not() {
+        let (schema, _) = CategoryKind::VacuumCleaner.build(13);
+        let mut rng = StdRng::seed_from_u64(31);
+        let products: Vec<ProductRecord> = (0..120)
+            .map(|id| draw_product(&schema, id, &mut rng))
+            .collect();
+        let log = build_query_log(&schema, &products, &mut rng);
+        assert!(!log.is_empty());
+
+        // Integer weights repeat across products → queried.
+        let weight_idx = schema
+            .attributes
+            .iter()
+            .position(|a| a.canonical == "weight")
+            .unwrap();
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for p in &products {
+            if let Some((_, v)) = p.values.iter().find(|(i, _)| *i == weight_idx) {
+                *freq.entry(v.surfaces[0].as_str()).or_insert(0) += 1;
+            }
+        }
+        let popular = freq
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(s, _)| s.to_string())
+            .unwrap();
+        assert!(
+            log.iter().any(|q| q.contains(&popular)),
+            "popular weight {popular} missing from the query log"
+        );
+
+        // One-off (frequency 1) surfaces must not be queried alone.
+        let singletons: Vec<&&str> = freq.iter().filter(|(_, c)| **c == 1).map(|(s, _)| s).collect();
+        for s in singletons {
+            assert!(
+                !log.iter().any(|q| q == *s),
+                "singleton value {s} should not appear as a query"
+            );
+        }
+    }
+
+    #[test]
+    fn query_log_is_deterministic() {
+        let (schema, _) = CategoryKind::Tennis.build(13);
+        let gen = || {
+            let mut rng = StdRng::seed_from_u64(8);
+            let products: Vec<ProductRecord> = (0..30)
+                .map(|id| draw_product(&schema, id, &mut rng))
+                .collect();
+            build_query_log(&schema, &products, &mut rng)
+        };
+        assert_eq!(gen(), gen());
+    }
+}

@@ -1,0 +1,169 @@
+//! Category schemas: the attribute inventory one category's products
+//! are generated from.
+
+use crate::language::Language;
+use crate::values::ValueGen;
+
+/// One attribute of a category.
+#[derive(Debug, Clone)]
+pub struct AttributeSpec {
+    /// Canonical attribute key used in the ground truth (English-ish
+    /// mnemonic: `color`, `weight`, `effective_pixels`, …).
+    pub canonical: String,
+    /// Surface attribute names merchants write, preferred first
+    /// (attribute-name aliasing; always non-empty).
+    pub aliases: Vec<String>,
+    /// Value generator.
+    pub values: ValueGen,
+    /// Probability the attribute appears in a product's spec table
+    /// (given the page has a table at all).
+    pub table_prob: f64,
+    /// Probability the attribute is mentioned in the free-text
+    /// description with an explicit `name: value` pattern.
+    pub text_prob: f64,
+    /// Probability of an *implicit* mention (value without the
+    /// attribute name, e.g. "this bag comes in <color>").
+    pub implicit_prob: f64,
+    /// Sub-type cluster for heterogeneous categories (§VIII-E): a
+    /// product only carries attributes of its own cluster. `None` means
+    /// the attribute applies to every product (homogeneous categories).
+    pub cluster: Option<usize>,
+    /// Attribute-specific context words used in *implicit* mentions
+    /// ("this bag :washes-easily: <material>") — real text reveals the
+    /// attribute through its surroundings even when the name is absent.
+    /// Empty = fall back to the category's generic connectives.
+    pub context_words: Vec<String>,
+}
+
+impl AttributeSpec {
+    /// Convenience constructor with the common probabilities.
+    pub fn new(canonical: impl Into<String>, aliases: Vec<String>, values: ValueGen) -> Self {
+        AttributeSpec {
+            canonical: canonical.into(),
+            aliases,
+            values,
+            table_prob: 0.8,
+            text_prob: 0.45,
+            implicit_prob: 0.12,
+            cluster: None,
+            context_words: Vec::new(),
+        }
+    }
+
+    /// Assigns the attribute to a sub-type cluster (heterogeneous
+    /// categories only).
+    pub fn in_cluster(mut self, cluster: usize) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Sets the implicit-mention context vocabulary.
+    pub fn with_context(mut self, words: Vec<String>) -> Self {
+        self.context_words = words;
+        self
+    }
+
+    /// Overrides the appearance probabilities.
+    pub fn with_probs(mut self, table: f64, text: f64, implicit: f64) -> Self {
+        self.table_prob = table;
+        self.text_prob = text;
+        self.implicit_prob = implicit;
+        self
+    }
+}
+
+/// A complete category description: everything the page generator
+/// needs to render products, and the truth builder needs to score them.
+#[derive(Debug, Clone)]
+pub struct CategorySchema {
+    /// Human-readable category name (`Digital Cameras`).
+    pub name: String,
+    /// Language of the category's corpus.
+    pub language: Language,
+    /// Attribute inventory.
+    pub attributes: Vec<AttributeSpec>,
+    /// The category's head noun(s) used in titles (`camera`).
+    pub head_nouns: Vec<String>,
+    /// Filler vocabulary for descriptions (non-value words).
+    pub filler: Vec<String>,
+    /// Connective/template words: (prefix-ish, verb-ish, closer-ish).
+    pub connectives: Vec<String>,
+    /// Fraction of products whose page carries a dictionary spec table
+    /// (drives seed coverage: Garden ≈ low, Ladies Bags ≈ high).
+    pub table_page_prob: f64,
+    /// Probability that a spec-table row is junk (markup fragments,
+    /// shipping notes) — drives seed precision.
+    pub table_noise_prob: f64,
+    /// Probability that a spec-table row carries a *wrong* value
+    /// (merchant copy-paste mistakes) — the seed's residual error.
+    pub table_value_noise: f64,
+    /// Probability of a misleading explicit pattern in the text
+    /// (`alias : <non-value>`, e.g. "color: see below") — the pattern
+    /// the tagger over-generalizes on and cleaning must catch.
+    pub misleading_prob: f64,
+    /// Probability a description mentions a *secondary* product with
+    /// its own attribute values (the paper's first error source).
+    pub secondary_product_prob: f64,
+    /// Probability of a negated mention ("does not include …").
+    pub negation_prob: f64,
+}
+
+impl CategorySchema {
+    /// Looks up an attribute by canonical key.
+    pub fn attribute(&self, canonical: &str) -> Option<&AttributeSpec> {
+        self.attributes.iter().find(|a| a.canonical == canonical)
+    }
+
+    /// All canonical attribute keys.
+    pub fn attribute_keys(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.canonical.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::{CategoricalValue, ValueGen};
+
+    fn toy_schema() -> CategorySchema {
+        CategorySchema {
+            name: "Toy".into(),
+            language: Language::SpaceDelim,
+            attributes: vec![AttributeSpec::new(
+                "color",
+                vec!["farbe".into()],
+                ValueGen::Categorical {
+                    pool: vec![CategoricalValue {
+                        canonical: "rot".into(),
+                        variants: vec!["rot".into()],
+                    }],
+                },
+            )],
+            head_nouns: vec!["tasche".into()],
+            filler: vec!["schoen".into()],
+            connectives: vec!["ist".into()],
+            table_page_prob: 0.5,
+            table_noise_prob: 0.05,
+            table_value_noise: 0.04,
+            misleading_prob: 0.1,
+            secondary_product_prob: 0.1,
+            negation_prob: 0.05,
+        }
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let s = toy_schema();
+        assert!(s.attribute("color").is_some());
+        assert!(s.attribute("weight").is_none());
+        assert_eq!(s.attribute_keys(), vec!["color"]);
+    }
+
+    #[test]
+    fn with_probs_overrides() {
+        let a = toy_schema().attributes[0].clone().with_probs(0.1, 0.2, 0.3);
+        assert_eq!(a.table_prob, 0.1);
+        assert_eq!(a.text_prob, 0.2);
+        assert_eq!(a.implicit_prob, 0.3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Ground truth and the paper's three-way triple judgement.
+
+use std::collections::{HashMap, HashSet};
+
+/// Verdict for one system-produced triple, following §VI-C:
+///
+/// * `Correct` — the triple occurs in the truth;
+/// * `MaybeIncorrect` — product and attribute match a correct triple
+///   but the value disagrees (counted as incorrect, per the paper);
+/// * `Incorrect` — everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Judgement {
+    /// Triple is correct.
+    Correct,
+    /// Product+attribute exist with a different value.
+    MaybeIncorrect,
+    /// Wrong attribute or wrong value.
+    Incorrect,
+}
+
+/// Exact ground truth for one generated dataset.
+///
+/// All value surfaces are stored *normalized* (tokenized and joined
+/// with single spaces) — compare with equally normalized system output.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Attribute alias (surface name) → canonical attribute key.
+    pub attr_alias: HashMap<String, String>,
+    /// Canonical attribute → set of valid normalized value surfaces
+    /// (category level, for pair precision).
+    pub valid_pairs: HashMap<String, HashSet<String>>,
+    /// Product → canonical attribute → correct normalized surfaces.
+    pub product_triples: HashMap<u32, HashMap<String, HashSet<String>>>,
+    /// All product ids in the dataset (coverage denominators).
+    pub product_ids: Vec<u32>,
+}
+
+impl GroundTruth {
+    /// Canonical attribute for a surface alias, when known.
+    pub fn canonical_attr(&self, alias: &str) -> Option<&str> {
+        self.attr_alias.get(alias).map(String::as_str)
+    }
+
+    /// Is `(attr, value)` a valid association at the category level?
+    /// (`attr` may be an alias or a canonical key.)
+    pub fn pair_valid(&self, attr: &str, value_norm: &str) -> bool {
+        let canonical = self.canonical_attr(attr).unwrap_or(attr);
+        self.valid_pairs
+            .get(canonical)
+            .is_some_and(|vs| vs.contains(value_norm))
+    }
+
+    /// Judges one system triple per the paper's scheme.
+    pub fn judge(&self, product: u32, attr: &str, value_norm: &str) -> Judgement {
+        let canonical = match self.canonical_attr(attr) {
+            Some(c) => c.to_owned(),
+            None => {
+                if self.valid_pairs.contains_key(attr) {
+                    attr.to_owned()
+                } else {
+                    return Judgement::Incorrect;
+                }
+            }
+        };
+        let Some(attrs) = self.product_triples.get(&product) else {
+            return Judgement::Incorrect;
+        };
+        match attrs.get(&canonical) {
+            Some(values) if values.contains(value_norm) => Judgement::Correct,
+            Some(_) => Judgement::MaybeIncorrect,
+            None => Judgement::Incorrect,
+        }
+    }
+
+    /// Number of products in the dataset.
+    pub fn n_products(&self) -> usize {
+        self.product_ids.len()
+    }
+
+    /// Total number of correct `<product, attribute, value-surface>`
+    /// triples (counting each distinct surface once).
+    pub fn n_truth_triples(&self) -> usize {
+        self.product_triples
+            .values()
+            .flat_map(|m| m.values())
+            .map(HashSet::len)
+            .sum()
+    }
+
+    /// Canonical attributes present in the truth.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.valid_pairs.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_truth() -> GroundTruth {
+        let mut t = GroundTruth::default();
+        t.attr_alias.insert("iro".into(), "color".into());
+        t.attr_alias.insert("karaa".into(), "color".into());
+        t.valid_pairs
+            .entry("color".into())
+            .or_default()
+            .extend(["aka".to_owned(), "ao".to_owned()]);
+        let mut p0 = HashMap::new();
+        p0.insert(
+            "color".to_owned(),
+            ["aka".to_owned(), "akairo".to_owned()].into_iter().collect(),
+        );
+        t.product_triples.insert(0, p0);
+        t.product_ids = vec![0, 1];
+        t
+    }
+
+    #[test]
+    fn judge_correct_via_any_alias_and_variant() {
+        let t = toy_truth();
+        assert_eq!(t.judge(0, "iro", "aka"), Judgement::Correct);
+        assert_eq!(t.judge(0, "karaa", "akairo"), Judgement::Correct);
+        assert_eq!(t.judge(0, "color", "aka"), Judgement::Correct);
+    }
+
+    #[test]
+    fn judge_maybe_incorrect_on_value_disagreement() {
+        let t = toy_truth();
+        assert_eq!(t.judge(0, "iro", "ao"), Judgement::MaybeIncorrect);
+    }
+
+    #[test]
+    fn judge_incorrect_for_unknown_attr_or_product() {
+        let t = toy_truth();
+        assert_eq!(t.judge(0, "sonota", "aka"), Judgement::Incorrect);
+        assert_eq!(t.judge(1, "iro", "aka"), Judgement::Incorrect);
+        assert_eq!(t.judge(9, "iro", "aka"), Judgement::Incorrect);
+    }
+
+    #[test]
+    fn pair_validity_is_category_level() {
+        let t = toy_truth();
+        assert!(t.pair_valid("iro", "ao"));
+        assert!(!t.pair_valid("iro", "zzz"));
+        assert!(!t.pair_valid("zzz", "aka"));
+    }
+
+    #[test]
+    fn counts() {
+        let t = toy_truth();
+        assert_eq!(t.n_products(), 2);
+        assert_eq!(t.n_truth_triples(), 2);
+        assert_eq!(t.attributes(), vec!["color"]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Value generators: categorical pools with variants, numeric shapes,
+//! and range shapes.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One canonical categorical value with its surface variants.
+///
+/// Merchants write the same entity several ways (the paper's black vs
+/// schwarz, 製造元 vs メーカー); `variants[0]` is the preferred form
+/// used in spec tables, the rest appear in free text.
+#[derive(Debug, Clone)]
+pub struct CategoricalValue {
+    /// Stable canonical key (equals `variants[0]`).
+    pub canonical: String,
+    /// All surface forms, preferred first.
+    pub variants: Vec<String>,
+}
+
+/// How an attribute's values are produced.
+#[derive(Debug, Clone)]
+pub enum ValueGen {
+    /// Closed set of named values.
+    Categorical {
+        /// The value pool.
+        pool: Vec<CategoricalValue>,
+    },
+    /// `number + unit` (weights, lengths, volumes, pixel counts).
+    Numeric {
+        /// Inclusive integer range for the whole part.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+        /// Quantization step: drawn values are multiples of `step`
+        /// within the range (pixel counts come in round numbers).
+        step: i64,
+        /// Unit token appended to the number (`kg`, `cm`, …).
+        unit: String,
+        /// Probability a rendered value has one decimal place.
+        decimal_prob: f64,
+        /// Render the whole part with a thousands separator (pixel
+        /// counts: `24,000`).
+        thousands: bool,
+    },
+    /// `low~high unit` ranges (shutter speed: `1/4000s~30s` analogue).
+    Range {
+        /// Denominator pool for the fast bound (`1/4000`).
+        denominators: Vec<i64>,
+        /// Slow-bound pool (seconds).
+        slow: Vec<i64>,
+        /// Unit token.
+        unit: String,
+    },
+}
+
+/// A concrete value drawn for one product: canonical key plus the
+/// surface forms it may be rendered with.
+#[derive(Debug, Clone)]
+pub struct DrawnValue {
+    /// Canonical key for truth bookkeeping.
+    pub canonical: String,
+    /// Surface forms (preferred first); every one is a correct surface
+    /// for this product.
+    pub surfaces: Vec<String>,
+}
+
+impl ValueGen {
+    /// Draws a value for one product.
+    pub fn draw(&self, rng: &mut StdRng) -> DrawnValue {
+        match self {
+            ValueGen::Categorical { pool } => {
+                let v = &pool[rng.random_range(0..pool.len())];
+                DrawnValue {
+                    canonical: v.canonical.clone(),
+                    surfaces: v.variants.clone(),
+                }
+            }
+            ValueGen::Numeric {
+                lo,
+                hi,
+                step,
+                unit,
+                decimal_prob,
+                thousands,
+            } => {
+                let step = (*step).max(1);
+                let n_steps = (*hi - *lo) / step;
+                let whole = *lo + step * rng.random_range(0..=n_steps);
+                let decimal = rng.random_range(0.0..1.0) < *decimal_prob;
+                let number = if decimal {
+                    let frac = rng.random_range(1..10);
+                    format!("{}.{}", render_whole(whole, *thousands), frac)
+                } else {
+                    render_whole(whole, *thousands)
+                };
+                let surface = format!("{number}{unit}");
+                DrawnValue {
+                    canonical: surface.clone(),
+                    surfaces: vec![surface],
+                }
+            }
+            ValueGen::Range {
+                denominators,
+                slow,
+                unit,
+            } => {
+                let d = denominators[rng.random_range(0..denominators.len())];
+                let s = slow[rng.random_range(0..slow.len())];
+                let surface = format!("1/{d}{unit}~{s}{unit}");
+                DrawnValue {
+                    canonical: surface.clone(),
+                    surfaces: vec![surface],
+                }
+            }
+        }
+    }
+
+    /// All canonical values this generator can emit, when enumerable
+    /// (categorical pools); numeric/range generators return `None`.
+    pub fn enumerable(&self) -> Option<Vec<String>> {
+        match self {
+            ValueGen::Categorical { pool } => {
+                Some(pool.iter().map(|v| v.canonical.clone()).collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+fn render_whole(whole: i64, thousands: bool) -> String {
+    if !thousands {
+        return whole.to_string();
+    }
+    let digits = whole.abs().to_string();
+    let mut out = String::new();
+    let offset = digits.len() % 3;
+    for (i, c) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if whole < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thousands_rendering() {
+        assert_eq!(render_whole(5, true), "5");
+        assert_eq!(render_whole(500, true), "500");
+        assert_eq!(render_whole(5000, true), "5,000");
+        assert_eq!(render_whole(2430000, true), "2,430,000");
+        assert_eq!(render_whole(5000, false), "5000");
+    }
+
+    #[test]
+    fn numeric_draws_respect_range_and_unit() {
+        let g = ValueGen::Numeric {
+            lo: 2,
+            hi: 9,
+            step: 1,
+            unit: "kg".into(),
+            decimal_prob: 0.0,
+            thousands: false,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = g.draw(&mut rng);
+            assert!(v.canonical.ends_with("kg"));
+            let n: i64 = v.canonical.trim_end_matches("kg").parse().unwrap();
+            assert!((2..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn decimal_probability_controls_shape() {
+        let g = |p: f64| ValueGen::Numeric {
+            lo: 1,
+            hi: 30,
+            step: 1,
+            unit: "kg".into(),
+            decimal_prob: p,
+            thousands: false,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let count_decimals = |g: &ValueGen, rng: &mut StdRng| {
+            (0..200)
+                .filter(|_| g.draw(rng).canonical.contains('.'))
+                .count()
+        };
+        assert_eq!(count_decimals(&g(0.0), &mut rng), 0);
+        let many = count_decimals(&g(0.9), &mut rng);
+        assert!(many > 120, "expected mostly decimals, got {many}");
+    }
+
+    #[test]
+    fn range_shape() {
+        let g = ValueGen::Range {
+            denominators: vec![4000, 6000],
+            slow: vec![30],
+            unit: "s".into(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = g.draw(&mut rng);
+        assert!(v.canonical.starts_with("1/"));
+        assert!(v.canonical.contains("~30s"), "{}", v.canonical);
+    }
+
+    #[test]
+    fn categorical_draw_carries_all_variants() {
+        let g = ValueGen::Categorical {
+            pool: vec![CategoricalValue {
+                canonical: "aka".into(),
+                variants: vec!["aka".into(), "akairo".into()],
+            }],
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = g.draw(&mut rng);
+        assert_eq!(v.canonical, "aka");
+        assert_eq!(v.surfaces.len(), 2);
+        assert_eq!(g.enumerable().unwrap(), vec!["aka".to_owned()]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Character classification shared by the tokenizers and taggers.
+
+/// Coarse character classes.
+///
+/// The classes drive token segmentation: runs of `Digit` become number
+/// tokens, `Symbol`/`Punct` characters are emitted as single-character
+/// tokens, and `Alpha` runs are looked up in the lexicon (lattice
+/// tokenizer) or kept whole (whitespace tokenizer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CharClass {
+    /// ASCII or Unicode decimal digit.
+    Digit,
+    /// Alphabetic character (any script).
+    Alpha,
+    /// Whitespace.
+    Space,
+    /// Sentence-level punctuation (`.`, `,`, `!`, `?`, `;`, `:`).
+    Punct,
+    /// Everything else that is printable: `%`, `/`, `~`, `*`, `-`, …
+    Symbol,
+}
+
+/// Classifies a single character.
+pub fn classify(c: char) -> CharClass {
+    if c.is_whitespace() {
+        CharClass::Space
+    } else if c.is_ascii_digit() || c.is_numeric() {
+        CharClass::Digit
+    } else if c.is_alphabetic() {
+        CharClass::Alpha
+    } else if matches!(c, '.' | ',' | '!' | '?' | ';' | ':' | '。' | '、') {
+        CharClass::Punct
+    } else {
+        CharClass::Symbol
+    }
+}
+
+/// Dominant class of a string: the class of its first character, or
+/// `Symbol` for the empty string. Useful for unknown-word handling.
+pub fn dominant(s: &str) -> CharClass {
+    s.chars().next().map_or(CharClass::Symbol, classify)
+}
+
+/// True when every character of `s` is a digit.
+pub fn all_digits(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| classify(c) == CharClass::Digit)
+}
+
+/// True when `s` is a single symbol or punctuation character.
+pub fn is_symbolic(s: &str) -> bool {
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => matches!(classify(c), CharClass::Symbol | CharClass::Punct),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_basic_ascii() {
+        assert_eq!(classify('3'), CharClass::Digit);
+        assert_eq!(classify('a'), CharClass::Alpha);
+        assert_eq!(classify(' '), CharClass::Space);
+        assert_eq!(classify('.'), CharClass::Punct);
+        assert_eq!(classify('%'), CharClass::Symbol);
+        assert_eq!(classify('-'), CharClass::Symbol);
+    }
+
+    #[test]
+    fn classifies_cjk_punctuation() {
+        assert_eq!(classify('。'), CharClass::Punct);
+        assert_eq!(classify('、'), CharClass::Punct);
+    }
+
+    #[test]
+    fn dominant_of_mixed_string_is_first_char() {
+        assert_eq!(dominant("3kg"), CharClass::Digit);
+        assert_eq!(dominant("kg"), CharClass::Alpha);
+        assert_eq!(dominant(""), CharClass::Symbol);
+    }
+
+    #[test]
+    fn all_digits_detects_digit_runs() {
+        assert!(all_digits("12345"));
+        assert!(!all_digits("12a"));
+        assert!(!all_digits(""));
+        assert!(!all_digits("1.5"));
+    }
+
+    #[test]
+    fn is_symbolic_only_for_single_symbols() {
+        assert!(is_symbolic("*"));
+        assert!(is_symbolic(";"));
+        assert!(!is_symbolic("**"));
+        assert!(!is_symbolic("a"));
+        assert!(!is_symbolic(""));
+    }
+}

@@ -1,0 +1,124 @@
+//! Word lexicon: surface form → part-of-speech, used by the lattice
+//! tokenizer (segmentation dictionary) and the lexicon PoS tagger.
+
+use std::collections::HashMap;
+
+use crate::pos::PosTag;
+
+/// A dictionary of known surface forms with their preferred PoS tag.
+///
+/// For unsegmented languages the lexicon doubles as the segmentation
+/// dictionary: the [`crate::tokenize::LatticeTokenizer`] matches the
+/// longest lexicon entry at each position.
+#[derive(Debug, Default, Clone)]
+pub struct Lexicon {
+    entries: HashMap<String, PosTag>,
+    /// Longest entry length in *characters* — bounds the lattice search.
+    max_chars: usize,
+}
+
+impl Lexicon {
+    /// Creates an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a lexicon from `(word, tag)` pairs. Later duplicates win.
+    pub fn from_entries<I, S>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (S, PosTag)>,
+        S: Into<String>,
+    {
+        let mut lex = Lexicon::new();
+        for (w, t) in entries {
+            lex.insert(w, t);
+        }
+        lex
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, word: impl Into<String>, tag: PosTag) {
+        let word = word.into();
+        self.max_chars = self.max_chars.max(word.chars().count());
+        self.entries.insert(word, tag);
+    }
+
+    /// Looks up the tag for `word`.
+    pub fn tag_of(&self, word: &str) -> Option<PosTag> {
+        self.entries.get(word).copied()
+    }
+
+    /// True when `word` is a known entry.
+    pub fn contains(&self, word: &str) -> bool {
+        self.entries.contains_key(word)
+    }
+
+    /// Longest entry length in characters (0 for an empty lexicon).
+    pub fn max_chars(&self) -> usize {
+        self.max_chars
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the lexicon has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(word, tag)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, PosTag)> {
+        self.entries.iter().map(|(w, &t)| (w.as_str(), t))
+    }
+
+    /// Merges `other` into `self`; entries of `other` win on conflict.
+    pub fn merge(&mut self, other: &Lexicon) {
+        for (w, t) in other.iter() {
+            self.insert(w, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut lex = Lexicon::new();
+        lex.insert("kg", PosTag::Unit);
+        lex.insert("red", PosTag::Adj);
+        assert_eq!(lex.tag_of("kg"), Some(PosTag::Unit));
+        assert_eq!(lex.tag_of("blue"), None);
+        assert!(lex.contains("red"));
+        assert_eq!(lex.len(), 2);
+    }
+
+    #[test]
+    fn max_chars_tracks_longest_entry() {
+        let mut lex = Lexicon::new();
+        assert_eq!(lex.max_chars(), 0);
+        lex.insert("ab", PosTag::Noun);
+        lex.insert("abcde", PosTag::Noun);
+        lex.insert("x", PosTag::Noun);
+        assert_eq!(lex.max_chars(), 5);
+    }
+
+    #[test]
+    fn later_duplicates_win() {
+        let lex = Lexicon::from_entries([("kg", PosTag::Noun), ("kg", PosTag::Unit)]);
+        assert_eq!(lex.tag_of("kg"), Some(PosTag::Unit));
+        assert_eq!(lex.len(), 1);
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = Lexicon::from_entries([("kg", PosTag::Noun)]);
+        let b = Lexicon::from_entries([("kg", PosTag::Unit), ("cm", PosTag::Unit)]);
+        a.merge(&b);
+        assert_eq!(a.tag_of("kg"), Some(PosTag::Unit));
+        assert_eq!(a.len(), 2);
+    }
+}

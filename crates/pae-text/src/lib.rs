@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! Text-processing substrate for the product attribute extraction pipeline.
+//!
+//! The paper's architecture is language independent *except* for the
+//! tokenizer and the part-of-speech tagger. This crate provides exactly
+//! that language-dependent boundary:
+//!
+//! * [`Vocab`] — a string interner shared by the statistical components.
+//! * [`CharClass`] — character classification used by both tokenizers.
+//! * Tokenizers:
+//!   * [`tokenize::WhitespaceTokenizer`] for space-delimited languages
+//!     (the paper's German),
+//!   * [`tokenize::LatticeTokenizer`] for unsegmented languages (the
+//!     paper's Japanese): dictionary longest-match with digit/symbol
+//!     splitting, so that `1.5` becomes three tokens (`1`, `.`, `5`) as
+//!     the paper's footnote 3 describes.
+//! * Part-of-speech taggers behind the [`PosTagger`] trait:
+//!   * [`tagger::LexiconPosTagger`] — dictionary + character-class rules,
+//!   * [`tagger::HmmPosTagger`] — a bigram hidden Markov model with
+//!     add-k smoothing and Viterbi decoding.
+//! * [`sentence::SentenceSplitter`] — delimiter-based segmentation.
+//!
+//! Everything is deterministic and allocation-conscious; tokens carry
+//! byte offsets into the original sentence so extraction spans can be
+//! mapped back to source text.
+
+pub mod charclass;
+pub mod lexicon;
+pub mod pos;
+pub mod sentence;
+pub mod tagger;
+pub mod token;
+pub mod tokenize;
+pub mod vocab;
+
+pub use charclass::CharClass;
+pub use lexicon::Lexicon;
+pub use pos::PosTag;
+pub use sentence::SentenceSplitter;
+pub use tagger::{HmmPosTagger, LexiconPosTagger, PosTagger};
+pub use token::{TaggedToken, Token};
+pub use tokenize::{LatticeTokenizer, Tokenizer, WhitespaceTokenizer};
+pub use vocab::Vocab;
+
+/// A tokenized and PoS-tagged sentence, the unit of work for the taggers
+/// and the bootstrap loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Tokens with their part-of-speech tags, in surface order.
+    pub tokens: Vec<TaggedToken>,
+}
+
+impl Sentence {
+    /// Builds a sentence by running `tokenizer` and then `tagger` over `text`.
+    pub fn analyze(text: &str, tokenizer: &dyn Tokenizer, tagger: &dyn PosTagger) -> Self {
+        let tokens = tokenizer.tokenize(text);
+        let tags = tagger.tag(&tokens);
+        Sentence {
+            tokens: tokens
+                .into_iter()
+                .zip(tags)
+                .map(|(token, pos)| TaggedToken { token, pos })
+                .collect(),
+        }
+    }
+
+    /// Surface forms of all tokens.
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.tokens.iter().map(|t| t.token.text.as_str())
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the sentence holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}

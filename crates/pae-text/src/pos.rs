@@ -1,0 +1,138 @@
+//! Part-of-speech tag set.
+//!
+//! The tag set is intentionally coarse: the pipeline only uses PoS tags
+//! as CRF features and as the alphabet for value-shape sequences in the
+//! diversification module (e.g. `Num Sym Num Unit` for `1.5kg`), so a
+//! compact universal-style inventory is sufficient and keeps the system
+//! language independent.
+
+use std::fmt;
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (brands, model names).
+    PropNoun,
+    /// Verb.
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Numeral (a digit run; decimals are split by the lattice tokenizer).
+    Num,
+    /// Measurement unit (`kg`, `cm`, `秒`-analogue, …).
+    Unit,
+    /// Grammatical particle / function word.
+    Particle,
+    /// Punctuation.
+    Punct,
+    /// Other symbols (`%`, `/`, `~`, `*`, …).
+    Sym,
+    /// Unknown / unclassified.
+    Other,
+}
+
+impl PosTag {
+    /// All tags, in a stable order (used by the HMM tagger's dense tables).
+    pub const ALL: [PosTag; 11] = [
+        PosTag::Noun,
+        PosTag::PropNoun,
+        PosTag::Verb,
+        PosTag::Adj,
+        PosTag::Adv,
+        PosTag::Num,
+        PosTag::Unit,
+        PosTag::Particle,
+        PosTag::Punct,
+        PosTag::Sym,
+        PosTag::Other,
+    ];
+
+    /// Dense index of the tag inside [`PosTag::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            PosTag::Noun => 0,
+            PosTag::PropNoun => 1,
+            PosTag::Verb => 2,
+            PosTag::Adj => 3,
+            PosTag::Adv => 4,
+            PosTag::Num => 5,
+            PosTag::Unit => 6,
+            PosTag::Particle => 7,
+            PosTag::Punct => 8,
+            PosTag::Sym => 9,
+            PosTag::Other => 10,
+        }
+    }
+
+    /// Inverse of [`PosTag::index`]; panics on out-of-range input.
+    pub fn from_index(i: usize) -> PosTag {
+        PosTag::ALL[i]
+    }
+
+    /// Short mnemonic used in PoS-sequence keys (`Num-Sym-Num-Unit`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            PosTag::Noun => "NN",
+            PosTag::PropNoun => "NNP",
+            PosTag::Verb => "VB",
+            PosTag::Adj => "JJ",
+            PosTag::Adv => "RB",
+            PosTag::Num => "CD",
+            PosTag::Unit => "UNIT",
+            PosTag::Particle => "PRT",
+            PosTag::Punct => "PUNCT",
+            PosTag::Sym => "SYM",
+            PosTag::Other => "X",
+        }
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Renders a PoS sequence as a stable string key, e.g. `CD-SYM-CD-UNIT`.
+pub fn sequence_key(tags: &[PosTag]) -> String {
+    let mut out = String::with_capacity(tags.len() * 4);
+    for (i, t) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push('-');
+        }
+        out.push_str(t.mnemonic());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &t) in PosTag::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(PosTag::from_index(i), t);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in PosTag::ALL {
+            assert!(seen.insert(t.mnemonic()), "duplicate mnemonic {t}");
+        }
+    }
+
+    #[test]
+    fn sequence_key_format() {
+        let key = sequence_key(&[PosTag::Num, PosTag::Sym, PosTag::Num, PosTag::Unit]);
+        assert_eq!(key, "CD-SYM-CD-UNIT");
+        assert_eq!(sequence_key(&[]), "");
+    }
+}

@@ -1,0 +1,107 @@
+//! Sentence segmentation.
+
+/// Splits raw block text into sentences on configurable delimiters.
+///
+/// Delimiter characters are kept attached to the preceding sentence
+/// (they matter as CRF context features). Empty sentences are dropped.
+#[derive(Debug, Clone)]
+pub struct SentenceSplitter {
+    delimiters: Vec<char>,
+}
+
+impl Default for SentenceSplitter {
+    fn default() -> Self {
+        SentenceSplitter {
+            delimiters: vec!['.', '!', '?', '\n', '。'],
+        }
+    }
+}
+
+impl SentenceSplitter {
+    /// Splitter with the default delimiter set (`.`, `!`, `?`, newline, `。`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splitter with a custom delimiter set.
+    pub fn with_delimiters(delimiters: Vec<char>) -> Self {
+        SentenceSplitter { delimiters }
+    }
+
+    /// Splits `text` into trimmed, non-empty sentences.
+    ///
+    /// A `.` between two digits is treated as a decimal point, not a
+    /// sentence boundary.
+    pub fn split(&self, text: &str) -> Vec<String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for (i, &c) in chars.iter().enumerate() {
+            cur.push(c);
+            if self.delimiters.contains(&c) {
+                let decimal_point = c == '.'
+                    && i > 0
+                    && i + 1 < chars.len()
+                    && chars[i - 1].is_ascii_digit()
+                    && chars[i + 1].is_ascii_digit();
+                if !decimal_point {
+                    push_trimmed(&mut out, &mut cur);
+                }
+            }
+        }
+        push_trimmed(&mut out, &mut cur);
+        out
+    }
+}
+
+fn push_trimmed(out: &mut Vec<String>, cur: &mut String) {
+    let trimmed = cur.trim();
+    if !trimmed.is_empty() {
+        out.push(trimmed.to_owned());
+    }
+    cur.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_periods() {
+        let s = SentenceSplitter::new();
+        assert_eq!(
+            s.split("Red bag. Blue bag! Done"),
+            ["Red bag.", "Blue bag!", "Done"]
+        );
+    }
+
+    #[test]
+    fn decimal_points_do_not_split() {
+        let s = SentenceSplitter::new();
+        assert_eq!(s.split("Weight is 2.5kg. Light"), ["Weight is 2.5kg.", "Light"]);
+    }
+
+    #[test]
+    fn newlines_split() {
+        let s = SentenceSplitter::new();
+        assert_eq!(s.split("a\nb\n\nc"), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cjk_period_splits() {
+        let s = SentenceSplitter::new();
+        assert_eq!(s.split("akakaban。aokaban"), ["akakaban。", "aokaban"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(SentenceSplitter::new().split("").is_empty());
+        assert!(SentenceSplitter::new().split("  \n ").is_empty());
+    }
+
+    #[test]
+    fn custom_delimiters() {
+        let s = SentenceSplitter::with_delimiters(vec![';']);
+        assert_eq!(s.split("a;b.c"), ["a;", "b.c"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Bigram hidden-Markov-model PoS tagger with Viterbi decoding.
+
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+
+use crate::pos::PosTag;
+use crate::tagger::lexicon::fallback_tag;
+use crate::tagger::PosTagger;
+use crate::token::Token;
+
+const N_TAGS: usize = PosTag::ALL.len();
+
+/// A classic bigram HMM tagger: `P(tag | prev_tag)` transitions and
+/// `P(word | tag)` emissions, both add-k smoothed, decoded with Viterbi.
+///
+/// Out-of-vocabulary words back off to the character-class heuristic of
+/// [`fallback_tag`] via a pseudo-emission: the heuristic tag receives
+/// most of the probability mass, everything else shares the rest. This
+/// mirrors the unknown-word handling of practical taggers without
+/// needing suffix tries.
+#[derive(Debug, Clone)]
+pub struct HmmPosTagger {
+    /// `log P(tag_j | tag_i)` stored row-major `[i][j]`, with a virtual
+    /// start state in row `N_TAGS`.
+    log_trans: Vec<[f64; N_TAGS]>,
+    /// `word -> log P(word | tag)` for every tag.
+    log_emit: HashMap<String, [f64; N_TAGS]>,
+    /// `log P(unseen | tag)` fallback mass per tag.
+    log_emit_unk: [f64; N_TAGS],
+    /// Weight the character-class heuristic gets for OOV words.
+    oov_heuristic_weight: f64,
+}
+
+/// One training sentence: `(surface, gold_tag)` pairs.
+pub type TrainSentence = Vec<(String, PosTag)>;
+
+impl HmmPosTagger {
+    /// Trains transition and emission tables from tagged sentences with
+    /// add-k smoothing (`k = 0.1`).
+    pub fn train(sentences: &[TrainSentence]) -> Self {
+        const K: f64 = 0.1;
+        let mut trans = vec![[K; N_TAGS]; N_TAGS + 1];
+        let mut emit_counts: HashMap<String, [f64; N_TAGS]> = HashMap::new();
+        let mut tag_totals = [0.0f64; N_TAGS];
+
+        for sent in sentences {
+            let mut prev = N_TAGS; // virtual start state
+            for (word, tag) in sent {
+                let t = tag.index();
+                trans[prev][t] += 1.0;
+                emit_counts.entry(word.clone()).or_insert([0.0; N_TAGS])[t] += 1.0;
+                tag_totals[t] += 1.0;
+                prev = t;
+            }
+        }
+
+        // Normalize transitions to log probabilities.
+        let mut log_trans = vec![[0.0f64; N_TAGS]; N_TAGS + 1];
+        for (i, row) in trans.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            for j in 0..N_TAGS {
+                log_trans[i][j] = (row[j] / total).ln();
+            }
+        }
+
+        // Emissions: P(word|tag) = (count + K) / (total + K * (V + 1)).
+        let vocab = emit_counts.len() as f64;
+        let mut log_emit = HashMap::with_capacity(emit_counts.len());
+        let mut log_emit_unk = [0.0f64; N_TAGS];
+        for t in 0..N_TAGS {
+            log_emit_unk[t] = (K / (tag_totals[t] + K * (vocab + 1.0))).ln();
+        }
+        for (word, counts) in emit_counts {
+            let mut row = [0.0f64; N_TAGS];
+            for t in 0..N_TAGS {
+                row[t] = ((counts[t] + K) / (tag_totals[t] + K * (vocab + 1.0))).ln();
+            }
+            log_emit.insert(word, row);
+        }
+
+        HmmPosTagger {
+            log_trans,
+            log_emit,
+            log_emit_unk,
+            oov_heuristic_weight: 0.8,
+        }
+    }
+
+    /// Number of distinct words with observed emissions.
+    pub fn vocab_size(&self) -> usize {
+        self.log_emit.len()
+    }
+
+    /// Emission log-scores for one word (known or OOV).
+    fn emission(&self, word: &str) -> [f64; N_TAGS] {
+        if let Some(row) = self.log_emit.get(word) {
+            return *row;
+        }
+        // OOV: combine the smoothed unknown mass with the char-class
+        // heuristic so number/symbol shapes are still tagged reliably.
+        let heur = fallback_tag(word).index();
+        let w = self.oov_heuristic_weight;
+        let mut row = self.log_emit_unk;
+        for (t, v) in row.iter_mut().enumerate() {
+            let bias = if t == heur { w } else { (1.0 - w) / (N_TAGS - 1) as f64 };
+            *v += bias.ln();
+        }
+        row
+    }
+
+    /// Viterbi decode over surface forms.
+    pub fn decode(&self, words: &[&str]) -> Vec<PosTag> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let n = words.len();
+        let mut delta = vec![[f64::NEG_INFINITY; N_TAGS]; n];
+        let mut back = vec![[0usize; N_TAGS]; n];
+
+        let e0 = self.emission(words[0]);
+        for t in 0..N_TAGS {
+            delta[0][t] = self.log_trans[N_TAGS][t] + e0[t];
+        }
+        for i in 1..n {
+            let e = self.emission(words[i]);
+            for t in 0..N_TAGS {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for p in 0..N_TAGS {
+                    let s = delta[i - 1][p] + self.log_trans[p][t];
+                    if s > best {
+                        best = s;
+                        arg = p;
+                    }
+                }
+                delta[i][t] = best + e[t];
+                back[i][t] = arg;
+            }
+        }
+
+        let mut last = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for t in 0..N_TAGS {
+            if delta[n - 1][t] > best {
+                best = delta[n - 1][t];
+                last = t;
+            }
+        }
+        let mut tags = vec![PosTag::Other; n];
+        let mut cur = last;
+        for i in (0..n).rev() {
+            tags[i] = PosTag::from_index(cur);
+            cur = back[i][cur];
+        }
+        tags
+    }
+}
+
+impl PosTagger for HmmPosTagger {
+    fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        self.decode(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_data() -> Vec<TrainSentence> {
+        // weight : 2 kg  /  red bag
+        let mk = |pairs: &[(&str, PosTag)]| {
+            pairs
+                .iter()
+                .map(|(w, t)| (w.to_string(), *t))
+                .collect::<TrainSentence>()
+        };
+        vec![
+            mk(&[
+                ("weight", PosTag::Noun),
+                (":", PosTag::Sym),
+                ("2", PosTag::Num),
+                ("kg", PosTag::Unit),
+            ]),
+            mk(&[
+                ("red", PosTag::Adj),
+                ("bag", PosTag::Noun),
+            ]),
+            mk(&[
+                ("size", PosTag::Noun),
+                (":", PosTag::Sym),
+                ("30", PosTag::Num),
+                ("cm", PosTag::Unit),
+            ]),
+            mk(&[
+                ("blue", PosTag::Adj),
+                ("bag", PosTag::Noun),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn recovers_training_tags() {
+        let hmm = HmmPosTagger::train(&training_data());
+        assert_eq!(
+            hmm.decode(&["weight", ":", "2", "kg"]),
+            [PosTag::Noun, PosTag::Sym, PosTag::Num, PosTag::Unit]
+        );
+        assert_eq!(hmm.decode(&["red", "bag"]), [PosTag::Adj, PosTag::Noun]);
+    }
+
+    #[test]
+    fn generalizes_unit_after_number() {
+        let hmm = HmmPosTagger::train(&training_data());
+        // "cm" appears after a number in training; a *known* unit after a
+        // new number context must still come out as Unit.
+        let tags = hmm.decode(&["size", ":", "9", "cm"]);
+        assert_eq!(tags[3], PosTag::Unit);
+        assert_eq!(tags[2], PosTag::Num);
+    }
+
+    #[test]
+    fn oov_numbers_use_heuristic() {
+        let hmm = HmmPosTagger::train(&training_data());
+        let tags = hmm.decode(&["77777"]);
+        assert_eq!(tags, [PosTag::Num]);
+    }
+
+    #[test]
+    fn oov_symbol_uses_heuristic() {
+        let hmm = HmmPosTagger::train(&training_data());
+        assert_eq!(hmm.decode(&["%"]), [PosTag::Sym]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let hmm = HmmPosTagger::train(&training_data());
+        assert!(hmm.decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn vocab_size_counts_distinct_words() {
+        let hmm = HmmPosTagger::train(&training_data());
+        // weight : 2 kg red bag size 30 cm blue  -> 10 distinct
+        assert_eq!(hmm.vocab_size(), 10);
+    }
+}

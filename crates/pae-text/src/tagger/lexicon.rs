@@ -1,0 +1,142 @@
+//! Rule + dictionary PoS tagger.
+
+use crate::charclass::{all_digits, classify, CharClass};
+use crate::lexicon::Lexicon;
+use crate::pos::PosTag;
+use crate::tagger::PosTagger;
+use crate::token::Token;
+
+/// Deterministic tagger: lexicon lookup first, then character-class
+/// rules for everything out of vocabulary.
+///
+/// Fallback rules, in order:
+/// 1. digit runs (including `2.5` / `24,000` shapes) → [`PosTag::Num`];
+/// 2. single punctuation characters → [`PosTag::Punct`];
+/// 3. single symbol characters → [`PosTag::Sym`];
+/// 4. capitalized alphabetic tokens → [`PosTag::PropNoun`];
+/// 5. remaining alphabetic tokens → [`PosTag::Noun`];
+/// 6. anything else → [`PosTag::Other`].
+#[derive(Debug, Clone)]
+pub struct LexiconPosTagger {
+    lexicon: Lexicon,
+}
+
+impl LexiconPosTagger {
+    /// Creates a tagger over `lexicon`.
+    pub fn new(lexicon: Lexicon) -> Self {
+        LexiconPosTagger { lexicon }
+    }
+
+    /// The backing lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Tags a single surface form.
+    pub fn tag_word(&self, word: &str) -> PosTag {
+        if let Some(t) = self.lexicon.tag_of(word) {
+            return t;
+        }
+        fallback_tag(word)
+    }
+}
+
+/// Character-class fallback used for out-of-vocabulary words.
+pub fn fallback_tag(word: &str) -> PosTag {
+    if all_digits(word) || numeric_shape(word) {
+        return PosTag::Num;
+    }
+    let mut chars = word.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => match classify(c) {
+            CharClass::Punct => return PosTag::Punct,
+            CharClass::Symbol => return PosTag::Sym,
+            _ => {}
+        },
+        (None, _) => return PosTag::Other,
+        _ => {}
+    }
+    let first = word.chars().next().expect("nonempty");
+    if first.is_alphabetic() {
+        if first.is_uppercase() {
+            PosTag::PropNoun
+        } else {
+            PosTag::Noun
+        }
+    } else {
+        PosTag::Other
+    }
+}
+
+/// True for digits with embedded `.`/`,` separators, e.g. `2.5`, `24,000`.
+fn numeric_shape(word: &str) -> bool {
+    let mut saw_digit = false;
+    let mut prev_digit = false;
+    for c in word.chars() {
+        if classify(c) == CharClass::Digit {
+            saw_digit = true;
+            prev_digit = true;
+        } else if matches!(c, '.' | ',') && prev_digit {
+            prev_digit = false;
+        } else {
+            return false;
+        }
+    }
+    saw_digit && prev_digit
+}
+
+impl PosTagger for LexiconPosTagger {
+    fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
+        tokens.iter().map(|t| self.tag_word(&t.text)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagger() -> LexiconPosTagger {
+        LexiconPosTagger::new(Lexicon::from_entries([
+            ("kg", PosTag::Unit),
+            ("red", PosTag::Adj),
+            ("the", PosTag::Particle),
+        ]))
+    }
+
+    #[test]
+    fn lexicon_entries_win() {
+        let t = tagger();
+        assert_eq!(t.tag_word("kg"), PosTag::Unit);
+        assert_eq!(t.tag_word("red"), PosTag::Adj);
+    }
+
+    #[test]
+    fn numbers_and_shapes() {
+        let t = tagger();
+        assert_eq!(t.tag_word("42"), PosTag::Num);
+        assert_eq!(t.tag_word("2.5"), PosTag::Num);
+        assert_eq!(t.tag_word("24,000"), PosTag::Num);
+        // Trailing separator is not a number.
+        assert_eq!(t.tag_word("24,"), PosTag::Other);
+    }
+
+    #[test]
+    fn symbols_and_punct() {
+        let t = tagger();
+        assert_eq!(t.tag_word("*"), PosTag::Sym);
+        assert_eq!(t.tag_word("."), PosTag::Punct);
+        assert_eq!(t.tag_word("%"), PosTag::Sym);
+    }
+
+    #[test]
+    fn oov_alpha_words() {
+        let t = tagger();
+        assert_eq!(t.tag_word("cotton"), PosTag::Noun);
+        assert_eq!(t.tag_word("Nikon"), PosTag::PropNoun);
+    }
+
+    #[test]
+    fn empty_is_other() {
+        assert_eq!(tagger().tag_word(""), PosTag::Other);
+    }
+}

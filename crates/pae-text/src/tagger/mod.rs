@@ -1,0 +1,41 @@
+//! Part-of-speech taggers.
+
+mod hmm;
+mod lexicon;
+
+pub use hmm::HmmPosTagger;
+pub use lexicon::LexiconPosTagger;
+
+use crate::pos::PosTag;
+use crate::token::Token;
+
+/// A PoS tagger assigns one tag per token.
+pub trait PosTagger: Send + Sync {
+    /// Tags `tokens`, returning exactly one tag per token.
+    fn tag(&self, tokens: &[Token]) -> Vec<PosTag>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::tokenize::{Tokenizer, WhitespaceTokenizer};
+
+    #[test]
+    fn taggers_return_one_tag_per_token() {
+        let toks = WhitespaceTokenizer::new().tokenize("red bag 2.5 kg .");
+        let lex = Lexicon::from_entries([
+            ("red", PosTag::Adj),
+            ("bag", PosTag::Noun),
+            ("kg", PosTag::Unit),
+        ]);
+        let lexicon_tagger = LexiconPosTagger::new(lex);
+        assert_eq!(lexicon_tagger.tag(&toks).len(), toks.len());
+
+        let hmm = HmmPosTagger::train(&[vec![
+            ("red".into(), PosTag::Adj),
+            ("bag".into(), PosTag::Noun),
+        ]]);
+        assert_eq!(hmm.tag(&toks).len(), toks.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! Token types produced by the tokenizers.
+
+use crate::pos::PosTag;
+
+/// A surface token with byte offsets into the sentence it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Surface form.
+    pub text: String,
+    /// Byte offset of the first byte in the source sentence.
+    pub start: usize,
+    /// Byte offset one past the last byte in the source sentence.
+    pub end: usize,
+}
+
+impl Token {
+    /// Creates a token covering `start..end` with the given surface form.
+    pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
+        Token {
+            text: text.into(),
+            start,
+            end,
+        }
+    }
+
+    /// Byte length of the token.
+    pub fn byte_len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// A token paired with its part-of-speech tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaggedToken {
+    /// The underlying surface token.
+    pub token: Token,
+    /// Part-of-speech tag assigned by the tagger.
+    pub pos: PosTag,
+}
+
+impl TaggedToken {
+    /// Surface form shortcut.
+    pub fn text(&self) -> &str {
+        &self.token.text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_len() {
+        let t = Token::new("abc", 4, 7);
+        assert_eq!(t.byte_len(), 3);
+        assert_eq!(t.text, "abc");
+    }
+
+    #[test]
+    fn tagged_token_text() {
+        let t = TaggedToken {
+            token: Token::new("kg", 0, 2),
+            pos: PosTag::Unit,
+        };
+        assert_eq!(t.text(), "kg");
+    }
+}

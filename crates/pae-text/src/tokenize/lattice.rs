@@ -1,0 +1,195 @@
+//! Dictionary lattice tokenizer for unsegmented languages.
+
+use crate::charclass::{classify, CharClass};
+use crate::lexicon::Lexicon;
+use crate::token::Token;
+use crate::tokenize::Tokenizer;
+
+/// Tokenizer for unsegmented languages (the paper's Japanese).
+///
+/// Segmentation rules, applied left to right:
+///
+/// 1. whitespace is skipped (it may still occur around markup);
+/// 2. a run of digits becomes one `Num`-shaped token — but separators
+///    are *not* absorbed, so `1.5` tokenizes to `1`, `.`, `5` exactly as
+///    the paper's footnote 3 reports for its Japanese tokenizer;
+/// 3. symbols and punctuation are single-character tokens;
+/// 4. for alphabetic runs, the longest lexicon entry starting at the
+///    current position wins (classic MeCab-style greedy longest match);
+/// 5. if no entry matches, characters are consumed until either a
+///    non-alphabetic character or a position where a lexicon entry
+///    begins, and emitted as one unknown token.
+#[derive(Debug, Clone)]
+pub struct LatticeTokenizer {
+    lexicon: Lexicon,
+}
+
+impl LatticeTokenizer {
+    /// Creates a tokenizer over the given segmentation dictionary.
+    pub fn new(lexicon: Lexicon) -> Self {
+        LatticeTokenizer { lexicon }
+    }
+
+    /// The segmentation dictionary.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Longest lexicon match starting at `chars[i]`, as a char count.
+    fn longest_match(&self, chars: &[(usize, char)], text: &str, i: usize) -> Option<usize> {
+        let max = self.lexicon.max_chars().min(chars.len() - i);
+        for len in (1..=max).rev() {
+            let start = chars[i].0;
+            let end = if i + len < chars.len() {
+                chars[i + len].0
+            } else {
+                text.len()
+            };
+            if self.lexicon.contains(&text[start..end]) {
+                return Some(len);
+            }
+        }
+        None
+    }
+}
+
+impl Tokenizer for LatticeTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<Token> {
+        let chars: Vec<(usize, char)> = text.char_indices().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (start_b, c) = chars[i];
+            match classify(c) {
+                CharClass::Space => {
+                    i += 1;
+                }
+                CharClass::Digit => {
+                    let mut j = i + 1;
+                    while j < chars.len() && classify(chars[j].1) == CharClass::Digit {
+                        j += 1;
+                    }
+                    let end_b = end_byte(&chars, text, j);
+                    out.push(Token::new(&text[start_b..end_b], start_b, end_b));
+                    i = j;
+                }
+                CharClass::Punct | CharClass::Symbol => {
+                    let end_b = end_byte(&chars, text, i + 1);
+                    out.push(Token::new(&text[start_b..end_b], start_b, end_b));
+                    i += 1;
+                }
+                CharClass::Alpha => {
+                    if let Some(len) = self.longest_match(&chars, text, i) {
+                        let end_b = end_byte(&chars, text, i + len);
+                        out.push(Token::new(&text[start_b..end_b], start_b, end_b));
+                        i += len;
+                    } else {
+                        // Unknown run: consume alpha chars until a known
+                        // entry starts or the class changes.
+                        let mut j = i + 1;
+                        while j < chars.len()
+                            && classify(chars[j].1) == CharClass::Alpha
+                            && self.longest_match(&chars, text, j).is_none()
+                        {
+                            j += 1;
+                        }
+                        let end_b = end_byte(&chars, text, j);
+                        out.push(Token::new(&text[start_b..end_b], start_b, end_b));
+                        i = j;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Byte offset of char index `j` (or the end of the text).
+fn end_byte(chars: &[(usize, char)], text: &str, j: usize) -> usize {
+    if j < chars.len() {
+        chars[j].0
+    } else {
+        text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::PosTag;
+
+    fn lex() -> Lexicon {
+        Lexicon::from_entries([
+            ("aka", PosTag::Adj),      // "red"
+            ("kaban", PosTag::Noun),   // "bag"
+            ("kg", PosTag::Unit),
+            ("omosa", PosTag::Noun),   // "weight"
+            ("no", PosTag::Particle),
+            ("akane", PosTag::Noun),   // longer entry sharing prefix with aka
+        ])
+    }
+
+    fn words(text: &str) -> Vec<String> {
+        LatticeTokenizer::new(lex())
+            .tokenize(text)
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "akane" must beat "aka".
+        assert_eq!(words("akane"), ["akane"]);
+        assert_eq!(words("akakaban"), ["aka", "kaban"]);
+    }
+
+    #[test]
+    fn decimal_splits_like_japanese() {
+        // Footnote 3 of the paper: 1.5 becomes three tokens.
+        assert_eq!(words("1.5kg"), ["1", ".", "5", "kg"]);
+    }
+
+    #[test]
+    fn digit_runs_stay_whole() {
+        assert_eq!(words("4000kg"), ["4000", "kg"]);
+    }
+
+    #[test]
+    fn unknown_runs_are_one_token_until_known_entry() {
+        assert_eq!(words("zzzkaban"), ["zzz", "kaban"]);
+        assert_eq!(words("zzz"), ["zzz"]);
+    }
+
+    #[test]
+    fn symbols_split() {
+        assert_eq!(words("omosa:2kg"), ["omosa", ":", "2", "kg"]);
+        assert_eq!(words("1/4000"), ["1", "/", "4000"]);
+    }
+
+    #[test]
+    fn whitespace_is_skipped() {
+        assert_eq!(words("aka kaban"), ["aka", "kaban"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(words("").is_empty());
+    }
+
+    #[test]
+    fn empty_lexicon_groups_whole_alpha_run() {
+        let t = LatticeTokenizer::new(Lexicon::new());
+        let toks = t.tokenize("abcdef");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "abcdef");
+    }
+
+    #[test]
+    fn offsets_are_exact() {
+        let text = "omosa:1.5kgakakaban";
+        for t in LatticeTokenizer::new(lex()).tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+}

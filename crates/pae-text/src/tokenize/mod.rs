@@ -1,0 +1,52 @@
+//! Tokenizers: the language-dependent segmentation layer.
+
+mod lattice;
+mod whitespace;
+
+pub use lattice::LatticeTokenizer;
+pub use whitespace::WhitespaceTokenizer;
+
+use crate::token::Token;
+
+/// A tokenizer turns one sentence of raw text into surface tokens with
+/// byte offsets.
+pub trait Tokenizer: Send + Sync {
+    /// Tokenizes a single sentence.
+    fn tokenize(&self, text: &str) -> Vec<Token>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shared invariant: every tokenizer must produce tokens whose
+    /// offsets slice back to their surface form, in increasing order.
+    pub(crate) fn check_offsets(text: &str, tokens: &[Token]) {
+        let mut prev_end = 0;
+        for t in tokens {
+            assert!(t.start >= prev_end, "tokens out of order in {text:?}");
+            assert!(t.end <= text.len());
+            assert_eq!(&text[t.start..t.end], t.text, "offset mismatch in {text:?}");
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn offsets_hold_for_both_tokenizers() {
+        use crate::lexicon::Lexicon;
+        use crate::pos::PosTag;
+        let text = "midnightblue 2.5kg *sale*";
+        let ws = WhitespaceTokenizer::new();
+        check_offsets(text, &ws.tokenize(text));
+
+        let lex = Lexicon::from_entries([
+            ("midnight", PosTag::Noun),
+            ("blue", PosTag::Adj),
+            ("kg", PosTag::Unit),
+            ("sale", PosTag::Noun),
+        ]);
+        let lat = LatticeTokenizer::new(lex);
+        let glued = "midnightblue2.5kg*sale*";
+        check_offsets(glued, &lat.tokenize(glued));
+    }
+}

@@ -1,0 +1,153 @@
+//! Whitespace tokenizer for space-delimited languages.
+
+use crate::charclass::{classify, CharClass};
+use crate::token::Token;
+use crate::tokenize::Tokenizer;
+
+/// Tokenizer for space-delimited languages (the paper's German).
+///
+/// Splits on whitespace, then splits each chunk at character-class
+/// boundaries so that punctuation and symbols become their own tokens.
+/// Decimal numbers (`2.5`, `1,5`) are kept as a single `Num`-shaped
+/// token — unlike the lattice tokenizer, mirroring the different
+/// behaviour of real German vs Japanese tokenizers that the paper's
+/// diversification module has to cope with.
+#[derive(Debug, Default, Clone)]
+pub struct WhitespaceTokenizer {
+    _priv: (),
+}
+
+impl WhitespaceTokenizer {
+    /// Creates the tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tokenizer for WhitespaceTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        let bytes_of = |s: &str| s.len();
+        let mut offset = 0usize;
+        for chunk in text.split_inclusive(char::is_whitespace) {
+            let trimmed = chunk.trim_end_matches(char::is_whitespace);
+            if !trimmed.is_empty() {
+                split_chunk(trimmed, offset, &mut out);
+            }
+            offset += bytes_of(chunk);
+        }
+        out
+    }
+}
+
+/// Splits one whitespace-free chunk at char-class boundaries.
+///
+/// A digit followed by `.`/`,` followed by another digit is kept inside
+/// the same number token (decimal and thousands separators).
+fn split_chunk(chunk: &str, base: usize, out: &mut Vec<Token>) {
+    let chars: Vec<(usize, char)> = chunk.char_indices().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (start_b, c) = chars[i];
+        let class = classify(c);
+        let mut j = i + 1;
+        match class {
+            CharClass::Digit => {
+                // Consume the full numeric shape: digits with embedded
+                // single separators between digits (2.5, 24,000).
+                while j < chars.len() {
+                    let cj = chars[j].1;
+                    let cls = classify(cj);
+                    if cls == CharClass::Digit {
+                        j += 1;
+                    } else if matches!(cj, '.' | ',')
+                        && j + 1 < chars.len()
+                        && classify(chars[j + 1].1) == CharClass::Digit
+                    {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            CharClass::Alpha => {
+                while j < chars.len() && classify(chars[j].1) == CharClass::Alpha {
+                    j += 1;
+                }
+            }
+            // Symbols and punctuation are single-character tokens.
+            CharClass::Punct | CharClass::Symbol => {}
+            CharClass::Space => unreachable!("chunks contain no whitespace"),
+        }
+        let end_b = if j < chars.len() { chars[j].0 } else { chunk.len() };
+        out.push(Token::new(
+            &chunk[start_b..end_b],
+            base + start_b,
+            base + end_b,
+        ));
+        i = j.max(i + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        WhitespaceTokenizer::new()
+            .tokenize(text)
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(words("red cotton bag"), ["red", "cotton", "bag"]);
+    }
+
+    #[test]
+    fn decimal_numbers_stay_whole() {
+        assert_eq!(words("weight 2.5 kg"), ["weight", "2.5", "kg"]);
+        assert_eq!(words("2,5kg"), ["2,5", "kg"]);
+    }
+
+    #[test]
+    fn thousands_separator_stays_whole() {
+        assert_eq!(words("24,000 pixels"), ["24,000", "pixels"]);
+    }
+
+    #[test]
+    fn trailing_punctuation_detached() {
+        assert_eq!(words("blue."), ["blue", "."]);
+        assert_eq!(words("sale!"), ["sale", "!"]);
+    }
+
+    #[test]
+    fn symbols_are_single_tokens() {
+        assert_eq!(words("*sale* 50%"), ["*", "sale", "*", "50", "%"]);
+    }
+
+    #[test]
+    fn number_unit_compound_is_split() {
+        assert_eq!(words("2.5kg"), ["2.5", "kg"]);
+        assert_eq!(words("1/4000s"), ["1", "/", "4000", "s"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(words("").is_empty());
+        assert!(words("   \t ").is_empty());
+    }
+
+    #[test]
+    fn offsets_are_exact() {
+        let text = " a  2.5kg! ";
+        let toks = WhitespaceTokenizer::new().tokenize(text);
+        for t in &toks {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+        let surface: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(surface, ["a", "2.5", "kg", "!"]);
+    }
+}

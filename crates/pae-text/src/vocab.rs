@@ -1,0 +1,102 @@
+//! String interner mapping surface forms to dense `u32` ids.
+//!
+//! The CRF feature extractor, the BiLSTM embeddings, and word2vec all
+//! operate on dense integer ids; a shared interner keeps the hot paths
+//! free of string hashing and cloning.
+
+use std::collections::HashMap;
+
+/// Dense id assigned to an interned string.
+pub type WordId = u32;
+
+/// A grow-only string interner.
+///
+/// Ids are assigned in first-seen order starting from zero, so a `Vocab`
+/// built from the same input sequence is always identical — important
+/// for the deterministic experiment harness.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    map: HashMap<String, WordId>,
+    words: Vec<String>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.map.get(word) {
+            return id;
+        }
+        let id = self.words.len() as WordId;
+        self.map.insert(word.to_owned(), id);
+        self.words.push(word.to_owned());
+        id
+    }
+
+    /// Looks up `word` without interning it.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.map.get(word).copied()
+    }
+
+    /// Returns the surface form for `id`, if assigned.
+    pub fn word(&self, id: WordId) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as WordId, w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("red");
+        let b = v.intern("blue");
+        assert_eq!(v.intern("red"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut v = Vocab::new();
+        let id = v.intern("cotton");
+        assert_eq!(v.get("cotton"), Some(id));
+        assert_eq!(v.word(id), Some("cotton"));
+        assert_eq!(v.get("linen"), None);
+        assert_eq!(v.word(99), None);
+    }
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let mut v = Vocab::new();
+        for (i, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(v.intern(w), i as WordId);
+        }
+        let collected: Vec<_> = v.iter().map(|(_, w)| w.to_owned()).collect();
+        assert_eq!(collected, ["a", "b", "c"]);
+    }
+}

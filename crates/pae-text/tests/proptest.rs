@@ -1,0 +1,71 @@
+//! Property-based tests for the tokenizers and taggers.
+
+use proptest::prelude::*;
+
+use pae_text::{
+    HmmPosTagger, LatticeTokenizer, Lexicon, LexiconPosTagger, PosTag, PosTagger, SentenceSplitter,
+    Tokenizer, WhitespaceTokenizer,
+};
+
+fn lexicon_strategy() -> impl Strategy<Value = Lexicon> {
+    proptest::collection::vec("[a-z]{2,6}", 1..8).prop_map(|words| {
+        Lexicon::from_entries(words.into_iter().map(|w| (w, PosTag::Noun)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lattice tokenization is total, lossless (modulo whitespace), and
+    /// offset-correct for any dictionary and any input.
+    #[test]
+    fn lattice_total_and_offset_correct(
+        lex in lexicon_strategy(),
+        text in "[a-z0-9.,% ]{0,48}",
+    ) {
+        let tok = LatticeTokenizer::new(lex);
+        let tokens = tok.tokenize(&text);
+        let mut prev = 0;
+        for t in &tokens {
+            prop_assert!(t.start >= prev);
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+            prev = t.end;
+        }
+        let rebuilt: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        let expected: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(rebuilt, expected);
+    }
+
+    /// Both taggers return exactly one tag per token on any input.
+    #[test]
+    fn taggers_are_total(text in "\\PC{0,48}") {
+        let tokens = WhitespaceTokenizer::new().tokenize(&text);
+        let lexicon_tagger = LexiconPosTagger::new(Lexicon::new());
+        prop_assert_eq!(lexicon_tagger.tag(&tokens).len(), tokens.len());
+        let hmm = HmmPosTagger::train(&[vec![
+            ("a".to_owned(), PosTag::Noun),
+            ("1".to_owned(), PosTag::Num),
+        ]]);
+        prop_assert_eq!(hmm.tag(&tokens).len(), tokens.len());
+    }
+
+    /// Sentence splitting never loses non-whitespace characters.
+    #[test]
+    fn sentence_split_preserves_content(text in "[a-z0-9.!? ]{0,60}") {
+        let sentences = SentenceSplitter::new().split(&text);
+        let joined: String = sentences.concat().chars().filter(|c| !c.is_whitespace()).collect();
+        let original: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(joined, original);
+    }
+
+    /// Splitting is stable: re-splitting any produced sentence yields
+    /// that sentence back (sentences contain no internal boundaries).
+    #[test]
+    fn sentence_split_is_stable(text in "[a-z .]{0,40}") {
+        let splitter = SentenceSplitter::new();
+        for s in splitter.split(&text) {
+            let again = splitter.split(&s);
+            prop_assert_eq!(again, vec![s]);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Language independence (the paper's core portability claim): the same
+//! pipeline runs unchanged on an unsegmented (Japanese-like) and a
+//! space-delimited (German-like) corpus — only the tokenizer differs,
+//! and it is selected from the dataset's language automatically.
+//!
+//! ```sh
+//! cargo run --release --example multilingual
+//! ```
+
+use pae::core::{BootstrapPipeline, PipelineConfig};
+use pae::synth::{CategoryKind, DatasetSpec, Language};
+
+fn main() {
+    let config = PipelineConfig {
+        iterations: 1,
+        ..Default::default()
+    };
+
+    for (kind, n) in [
+        (CategoryKind::Garden, 250),     // Agglut (Japanese-like)
+        (CategoryKind::GardenDe, 120),   // SpaceDelim (German-like)
+    ] {
+        let dataset = DatasetSpec::new(kind, 42).products(n).generate();
+
+        // Show the segmentation difference on a raw value.
+        let tokenizer = dataset.tokenizer();
+        let sample = "2.5kg";
+        let tokens: Vec<String> = tokenizer
+            .tokenize(sample)
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        let lang = match dataset.language() {
+            Language::Agglut => "unsegmented (Japanese-like)",
+            Language::SpaceDelim => "space-delimited (German-like)",
+        };
+        println!("{} — {lang}", kind.name());
+        println!("  tokenizer({sample:?}) = {tokens:?}");
+
+        let outcome = BootstrapPipeline::new(config.clone()).run(&dataset);
+        let report = outcome.evaluate(&dataset);
+        println!(
+            "  {} triples, precision {:.1}%, coverage {:.1}%\n",
+            report.n_triples(),
+            100.0 * report.precision(),
+            100.0 * report.coverage()
+        );
+    }
+}

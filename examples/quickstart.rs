@@ -1,0 +1,60 @@
+//! Quickstart: generate a synthetic category, run the bootstrapped
+//! extraction pipeline, and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pae::core::{BootstrapPipeline, PipelineConfig};
+use pae::synth::{CategoryKind, DatasetSpec};
+
+fn main() {
+    // 1. A small Vacuum Cleaner corpus: 120 product pages, query log,
+    //    tokenization lexicon, and exact ground truth.
+    let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+        .products(120)
+        .generate();
+    println!(
+        "dataset: {} pages, {} queries, {} truth triples",
+        dataset.pages.len(),
+        dataset.query_log.len(),
+        dataset.truth.n_truth_triples()
+    );
+
+    // 2. The paper's default pipeline: CRF tagger, veto + semantic
+    //    cleaning, value diversification, two bootstrap cycles.
+    let config = PipelineConfig {
+        iterations: 2,
+        ..Default::default()
+    };
+    let outcome = BootstrapPipeline::new(config).run(&dataset);
+
+    // 3. Seed quality (the paper's Table I view).
+    let seed = outcome.seed_report(&dataset);
+    println!(
+        "seed: {} pairs, precision {:.1}%, coverage {:.1}%",
+        seed.n_pairs,
+        100.0 * seed.pair_precision(),
+        100.0 * seed.coverage()
+    );
+
+    // 4. Final quality after bootstrapping.
+    let report = outcome.evaluate(&dataset);
+    println!(
+        "after {} iterations: {} triples, precision {:.1}%, coverage {:.1}%",
+        outcome.snapshots.len(),
+        report.n_triples(),
+        100.0 * report.precision(),
+        100.0 * report.coverage()
+    );
+
+    // 5. A few extracted triples, with their truth judgement.
+    println!("\nsample extractions:");
+    for triple in outcome.final_triples().iter().take(8) {
+        let judgement = dataset.truth.judge(triple.product, &triple.attr, &triple.value);
+        println!(
+            "  product {:>4}  {} = {:<24} [{judgement:?}]",
+            triple.product, triple.attr, triple.value
+        );
+    }
+}

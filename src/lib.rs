@@ -1,0 +1,43 @@
+//! # pae — Accurate Product Attribute Extraction on the Field
+//!
+//! Facade crate re-exporting the full reproduction of the ICDE 2019
+//! paper by Alonso Alemany, Nio, Rezk and Zhang: a bootstrapped,
+//! language/domain-independent pipeline that extracts
+//! `<product, attribute, value>` triples from e-commerce product pages.
+//!
+//! ## Crate map
+//!
+//! * [`text`] — tokenizers and PoS taggers (the only language-dependent layer)
+//! * [`html`] — HTML parsing, dictionary-table detection, text extraction
+//! * [`crf`] — linear-chain CRF with L-BFGS / OWL-QN training
+//! * [`neural`] — char+word BiLSTM sequence tagger
+//! * [`embed`] — word2vec skip-gram with negative sampling
+//! * [`synth`] — synthetic e-commerce corpus generator with exact ground truth
+//! * [`core`] — the paper's pipeline: seed, diversification, tagging,
+//!   cleaning, bootstrap loop, and evaluation metrics
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pae::core::{BootstrapPipeline, PipelineConfig, TaggerKind};
+//! use pae::synth::{CategoryKind, DatasetSpec};
+//!
+//! // Generate a small synthetic category and run one bootstrap cycle.
+//! let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+//!     .products(60)
+//!     .generate();
+//! let mut config = PipelineConfig::default();
+//! config.iterations = 1;
+//! config.tagger = TaggerKind::Crf;
+//! let outcome = BootstrapPipeline::new(config).run(&dataset);
+//! let report = outcome.evaluate(&dataset);
+//! assert!(report.precision() > 0.5);
+//! ```
+
+pub use pae_core as core;
+pub use pae_crf as crf;
+pub use pae_embed as embed;
+pub use pae_html as html;
+pub use pae_neural as neural;
+pub use pae_synth as synth;
+pub use pae_text as text;

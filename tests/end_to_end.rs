@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: the full pipeline on generated
+//! corpora, checking the paper-shape properties end to end.
+
+use pae::core::{BootstrapPipeline, PipelineConfig, TaggerKind};
+use pae::synth::{CategoryKind, DatasetSpec};
+
+fn quick(iterations: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig {
+        iterations,
+        ..Default::default()
+    };
+    cfg.crf.max_iters = 40;
+    cfg
+}
+
+#[test]
+fn crf_pipeline_reaches_high_precision_and_grows_coverage() {
+    let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+        .products(150)
+        .generate();
+    let outcome = BootstrapPipeline::new(quick(2)).run(&dataset);
+
+    let seed = outcome.seed_report(&dataset);
+    assert!(seed.pair_precision() > 0.85, "seed pair precision {}", seed.pair_precision());
+    assert!(seed.coverage() < 0.6, "seed coverage unexpectedly high");
+
+    let report = outcome.evaluate(&dataset);
+    assert!(report.precision() > 0.8, "precision {}", report.precision());
+    assert!(
+        report.coverage() > 2.0 * seed.coverage(),
+        "bootstrap barely grew coverage: {} vs seed {}",
+        report.coverage(),
+        seed.coverage()
+    );
+}
+
+#[test]
+fn rnn_pipeline_runs_and_underperforms_default_crf() {
+    let dataset = DatasetSpec::new(CategoryKind::LadiesBags, 42)
+        .products(120)
+        .generate();
+    let corpus = pae::core::parse_corpus(&dataset);
+
+    let crf = BootstrapPipeline::new(quick(1)).run_on_corpus(&dataset, &corpus);
+    let rnn_cfg = PipelineConfig {
+        tagger: TaggerKind::Rnn,
+        ..quick(1)
+    };
+    let rnn = BootstrapPipeline::new(rnn_cfg).run_on_corpus(&dataset, &corpus);
+
+    let crf_report = crf.evaluate(&dataset);
+    let rnn_report = rnn.evaluate(&dataset);
+    assert!(crf_report.n_triples() > 0 && rnn_report.n_triples() > 0);
+    // Out of the box, CRF is the more stable backend (the paper's §VII
+    // summary); allow a small tolerance.
+    assert!(
+        crf_report.precision() + 0.03 > rnn_report.precision(),
+        "CRF {} vs RNN {}",
+        crf_report.precision(),
+        rnn_report.precision()
+    );
+}
+
+#[test]
+fn cleaning_direction_on_noisy_category() {
+    // On the table-poor, noisy Garden category the no-cleaning variant
+    // must not beat the cleaned one by more than noise, and must
+    // produce at least as many (dirtier) triples.
+    let dataset = DatasetSpec::new(CategoryKind::Garden, 42)
+        .products(250)
+        .generate();
+    let corpus = pae::core::parse_corpus(&dataset);
+
+    let clean = BootstrapPipeline::new(quick(2)).run_on_corpus(&dataset, &corpus);
+    let dirty = BootstrapPipeline::new(quick(2).without_cleaning()).run_on_corpus(&dataset, &corpus);
+
+    let clean_report = clean.evaluate(&dataset);
+    let dirty_report = dirty.evaluate(&dataset);
+    assert!(
+        dirty_report.n_triples() >= clean_report.n_triples(),
+        "cleaning added triples: {} vs {}",
+        dirty_report.n_triples(),
+        clean_report.n_triples()
+    );
+    assert!(
+        clean_report.precision() >= dirty_report.precision() - 0.02,
+        "cleaning hurt precision: {} vs {}",
+        clean_report.precision(),
+        dirty_report.precision()
+    );
+}
+
+#[test]
+fn heterogeneous_category_is_less_precise_than_homogeneous_child() {
+    let mk = |kind| {
+        let dataset = DatasetSpec::new(kind, 42).products(150).generate();
+        let outcome = BootstrapPipeline::new(quick(2)).run(&dataset);
+        outcome.evaluate(&dataset).precision()
+    };
+    let carriers = mk(CategoryKind::BabyCarriers);
+    let goods = mk(CategoryKind::BabyGoods);
+    assert!(
+        carriers > goods,
+        "homogeneous {carriers} should beat heterogeneous {goods}"
+    );
+}
+
+#[test]
+fn german_category_works_end_to_end() {
+    let dataset = DatasetSpec::new(CategoryKind::MailboxDe, 42)
+        .products(120)
+        .generate();
+    let outcome = BootstrapPipeline::new(quick(2)).run(&dataset);
+    let report = outcome.evaluate(&dataset);
+    assert!(report.n_triples() > 20, "too few triples: {}", report.n_triples());
+    assert!(report.precision() > 0.7, "precision {}", report.precision());
+}

@@ -1,0 +1,91 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use pae::html::entity::{decode_entities, escape};
+use pae::text::{LatticeTokenizer, Lexicon, PosTag, Tokenizer, WhitespaceTokenizer};
+
+proptest! {
+    /// Escaping then decoding any string is the identity.
+    #[test]
+    fn entity_escape_roundtrip(s in "\\PC*") {
+        prop_assert_eq!(decode_entities(&escape(&s)), s);
+    }
+
+    /// Whitespace tokenizer offsets always slice back to the surface
+    /// form, in order, for arbitrary input.
+    #[test]
+    fn whitespace_tokenizer_offsets(s in "\\PC{0,60}") {
+        let toks = WhitespaceTokenizer::new().tokenize(&s);
+        let mut prev = 0;
+        for t in &toks {
+            prop_assert!(t.start >= prev);
+            prop_assert!(t.end <= s.len());
+            prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+            prev = t.end;
+        }
+    }
+
+    /// The lattice tokenizer never loses non-whitespace content: the
+    /// concatenated tokens equal the input with whitespace removed.
+    #[test]
+    fn lattice_tokenizer_is_lossless(s in "[a-z0-9., ]{0,40}") {
+        let lex = Lexicon::from_entries([
+            ("aka", PosTag::Adj),
+            ("kaban", PosTag::Noun),
+            ("kg", PosTag::Unit),
+        ]);
+        let toks = LatticeTokenizer::new(lex).tokenize(&s);
+        let rebuilt: String = toks.iter().map(|t| t.text.as_str()).collect();
+        let expected: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        prop_assert_eq!(rebuilt, expected);
+    }
+
+    /// HTML parsing never panics and parses to a consistent forest for
+    /// arbitrary tag soup.
+    #[test]
+    fn html_parse_total(s in "\\PC{0,120}") {
+        let forest = pae::html::parse(&s);
+        for root in &forest {
+            // Walking the tree must terminate and text extraction work.
+            let _ = root.text_content();
+        }
+    }
+
+    /// Value normalization (tokenize + join) is idempotent.
+    #[test]
+    fn normalization_idempotent(s in "[a-z0-9. ]{0,30}") {
+        let tok = WhitespaceTokenizer::new();
+        let once = pae::synth::dataset::normalize_with(&tok, &s);
+        let twice = pae::synth::dataset::normalize_with(&tok, &once);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The per-triple veto rules (symbols, markup, overlong) are
+    /// idempotent, and re-applying the full veto can only shrink the
+    /// set (the popularity rule keeps "top 80%", which is legitimately
+    /// non-idempotent on ties — re-ranking a trimmed set trims again).
+    #[test]
+    fn veto_shrinks_and_per_triple_rules_are_idempotent(
+        values in proptest::collection::vec("[a-z*;]{1,34}", 1..24),
+    ) {
+        use pae::core::cleaning::apply_veto;
+        use pae::core::Triple;
+        let triples: Vec<Triple> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Triple::new(i as u32 % 5, "attr", v.clone()))
+            .collect();
+        let (once, _) = apply_veto(triples, 0.8, 30);
+        let (twice, stats) = apply_veto(once.clone(), 0.8, 30);
+        prop_assert_eq!(stats.symbols, 0);
+        prop_assert_eq!(stats.markup, 0);
+        prop_assert_eq!(stats.long, 0);
+        prop_assert!(twice.len() <= once.len());
+        prop_assert!(twice.iter().all(|t| once.contains(t)));
+    }
+}

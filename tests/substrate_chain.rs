@@ -1,0 +1,96 @@
+//! Substrate-chain integration: HTML → tables → tokenizer → PoS → CRF,
+//! wired by hand (no pipeline), to pin the crate boundaries.
+
+use pae::crf::{train, FeatureExtractor, FeatureIndex, Instance, TrainConfig};
+use pae::html::{extract_tables, parse};
+use pae::text::{LexiconPosTagger, Lexicon, PosTag, PosTagger, Tokenizer, WhitespaceTokenizer};
+
+#[test]
+fn html_table_to_crf_chain() {
+    // 1. Parse a product-like page and read its dictionary table.
+    let html = "<html><body>\
+        <table>\
+          <tr><th>color</th><td>deep red</td></tr>\
+          <tr><th>weight</th><td>2.5kg</td></tr>\
+        </table>\
+        <p>this bag is deep red. weight : 2.5kg.</p>\
+        </body></html>";
+    let forest = parse(html);
+    let tables = extract_tables(&forest);
+    let dict = tables[0].as_dictionary().expect("dictionary table");
+    assert_eq!(dict.pairs.len(), 2);
+
+    // 2. Tokenize + tag the description sentences.
+    let tokenizer = WhitespaceTokenizer::new();
+    let lexicon = Lexicon::from_entries([
+        ("kg", PosTag::Unit),
+        ("red", PosTag::Adj),
+        ("deep", PosTag::Adj),
+    ]);
+    let tagger = LexiconPosTagger::new(lexicon);
+
+    // 3. Build two tiny training sentences from the table knowledge:
+    //    label the color value (label 1) and the weight value (label 2).
+    let extractor = FeatureExtractor::default();
+    let mut index = FeatureIndex::new();
+    let mut instances = Vec::new();
+    for (text, labels) in [
+        ("this bag is deep red", vec![0, 0, 0, 1, 1]),
+        ("weight : 2.5kg", vec![0, 0, 2, 2]),
+        ("this bag is deep blue", vec![0, 0, 0, 1, 1]),
+        ("weight : 3.5kg", vec![0, 0, 2, 2]),
+    ] {
+        let toks = tokenizer.tokenize(text);
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        let tags = tagger.tag(&toks);
+        let pos: Vec<&str> = tags.iter().map(|t| t.mnemonic()).collect();
+        assert_eq!(words.len(), labels.len(), "{text}: {words:?}");
+        instances.push(Instance {
+            features: extractor.encode_train(&words, &pos, 0, &mut index),
+            labels,
+        });
+    }
+
+    // 4. Train and decode an unseen sentence.
+    let model = train(&instances, index.len(), 3, &TrainConfig::default());
+    let toks = tokenizer.tokenize("weight : 9.5kg");
+    let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    let tags = tagger.tag(&toks);
+    let pos: Vec<&str> = tags.iter().map(|t| t.mnemonic()).collect();
+    let feats = extractor.encode(&words, &pos, 0, &index);
+    let decoded = model.viterbi(&feats);
+    assert_eq!(decoded[2], 2, "decoded: {decoded:?} for {words:?}");
+    assert_eq!(decoded[3], 2, "decoded: {decoded:?} for {words:?}");
+}
+
+#[test]
+fn word2vec_separates_table_value_clusters() {
+    // Values from two different table columns occupy different contexts;
+    // the embedding must reflect that (after mean-centering, which the
+    // pipeline's semantic cleaner applies internally — here raw cosine
+    // ordering is enough).
+    use pae::embed::{W2vConfig, W2vModel};
+    let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
+    let mut corpus = Vec::new();
+    for i in 0..120 {
+        let c = ["red", "blue", "green"][i % 3];
+        let w = ["2", "3", "4"][i % 3];
+        corpus.push(mk(&format!("color of bag {c} lovely")));
+        corpus.push(mk(&format!("weight near {w} kg heavy")));
+    }
+    let model = W2vModel::train(
+        &corpus,
+        &W2vConfig {
+            dim: 16,
+            epochs: 15,
+            min_count: 2,
+            subsample: 0.0,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .expect("vocab");
+    let same = model.cosine("red", "blue").unwrap();
+    let cross = model.cosine("red", "3").unwrap();
+    assert!(same > cross, "cos(red,blue)={same} vs cos(red,3)={cross}");
+}
