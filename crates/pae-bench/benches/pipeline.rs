@@ -82,6 +82,16 @@ fn bench_bootstrap(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Per-stage wall clock of one cycle, complementing the aggregate
+    // number above (PAE_JOBS-sensitive: the train/extract stages run
+    // on the worker pool).
+    let outcome = BootstrapPipeline::new(cfg).run_on_corpus(&dataset, &corpus);
+    println!(
+        "bootstrap/one_crf_cycle_60_products stage breakdown (PAE_JOBS={}):\n{}",
+        pae_bench::jobs(),
+        pae_bench::stage_timing_report(&outcome)
+    );
 }
 
 criterion_group!(benches, bench_seed, bench_cleaning, bench_bootstrap);

@@ -28,7 +28,11 @@ fn bench_html(c: &mut Criterion) {
         })
     });
     group.bench_function("extract_tables_50_pages", |b| {
-        let forests: Vec<_> = dataset.pages.iter().map(|p| pae_html::parse(&p.html)).collect();
+        let forests: Vec<_> = dataset
+            .pages
+            .iter()
+            .map(|p| pae_html::parse(&p.html))
+            .collect();
         b.iter(|| {
             forests
                 .iter()
@@ -129,7 +133,15 @@ fn bench_crf(c: &mut Criterion) {
 fn bench_embed(c: &mut Criterion) {
     let mk = |s: &str| s.split(' ').map(str::to_owned).collect::<Vec<_>>();
     let sentences: Vec<Vec<String>> = (0..400)
-        .map(|i| mk(&format!("word{} ctx{} word{} tail{}", i % 23, i % 7, (i + 3) % 23, i % 5)))
+        .map(|i| {
+            mk(&format!(
+                "word{} ctx{} word{} tail{}",
+                i % 23,
+                i % 7,
+                (i + 3) % 23,
+                i % 5
+            ))
+        })
         .collect();
     let mut group = c.benchmark_group("word2vec");
     group.sample_size(10);

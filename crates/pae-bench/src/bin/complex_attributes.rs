@@ -51,7 +51,9 @@ fn main() {
         }
     }
 
-    println!("Complex attributes — per-attribute precision and coverage (CRF + cleaning, 1 iteration)");
+    println!(
+        "Complex attributes — per-attribute precision and coverage (CRF + cleaning, 1 iteration)"
+    );
     println!("(paper: 87–100 precision on these attributes, but coverage around 10%)\n");
     print!("{}", table.render());
 }

@@ -36,16 +36,15 @@ fn main() {
         let mut header = vec!["Category".to_owned()];
         header.extend((0..=iterations).map(|i| format!("it{i}")));
 
-        for (metric, pick) in [
-            ("precision", 0usize),
-            ("coverage", 1usize),
-        ] {
+        for (metric, pick) in [("precision", 0usize), ("coverage", 1usize)] {
             let mut table = TextTable::new(header.clone());
             for (p, points) in prepared.iter().zip(&series) {
                 let mut row = vec![p.kind.name().to_owned()];
-                row.extend(points.iter().map(|&(pr, cov)| {
-                    pct(if pick == 0 { pr } else { cov })
-                }));
+                row.extend(
+                    points
+                        .iter()
+                        .map(|&(pr, cov)| pct(if pick == 0 { pr } else { cov })),
+                );
                 table.row(row);
             }
             println!("Figure 3 — CRF {metric} across bootstrap iterations, {label}");

@@ -37,6 +37,8 @@ fn main() {
     }
 
     println!("Figure 4 — average triples per product after the first iteration, with cleaning");
-    println!("(paper: CRF consistently associates more triples to products; both < 3 per product)\n");
+    println!(
+        "(paper: CRF consistently associates more triples to products; both < 3 per product)\n"
+    );
     print!("{}", table.render());
 }

@@ -34,7 +34,9 @@ fn main() {
         }
     }
 
-    println!("PoS-backend ablation — lexicon rules vs self-trained HMM (CRF + cleaning, 1 iteration)");
+    println!(
+        "PoS-backend ablation — lexicon rules vs self-trained HMM (CRF + cleaning, 1 iteration)"
+    );
     println!("(expected: comparable results — the pipeline is robust to the PoS layer)\n");
     print!("{}", table.render());
 }

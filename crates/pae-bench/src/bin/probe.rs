@@ -3,25 +3,65 @@ use pae_core::{BootstrapPipeline, PipelineConfig, TaggerKind};
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
-    for kind in [CategoryKind::VacuumCleaner, CategoryKind::Garden, CategoryKind::LadiesBags] {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    for kind in [
+        CategoryKind::VacuumCleaner,
+        CategoryKind::Garden,
+        CategoryKind::LadiesBags,
+    ] {
         let dataset = DatasetSpec::new(kind, 42).products(n).generate();
         let corpus = pae_core::parse_corpus(&dataset);
         for (name, cfg) in [
-            ("CRF+clean", PipelineConfig { iterations: 2, ..Default::default() }),
-            ("CRF-noclean", PipelineConfig { iterations: 2, ..Default::default() }.without_cleaning()),
-            ("RNN2+clean", PipelineConfig { iterations: 1, tagger: TaggerKind::Rnn, ..Default::default() }),
+            (
+                "CRF+clean",
+                PipelineConfig {
+                    iterations: 2,
+                    ..Default::default()
+                },
+            ),
+            (
+                "CRF-noclean",
+                PipelineConfig {
+                    iterations: 2,
+                    ..Default::default()
+                }
+                .without_cleaning(),
+            ),
+            (
+                "RNN2+clean",
+                PipelineConfig {
+                    iterations: 1,
+                    tagger: TaggerKind::Rnn,
+                    ..Default::default()
+                },
+            ),
         ] {
             let t0 = std::time::Instant::now();
             let out = BootstrapPipeline::new(cfg).run_on_corpus(&dataset, &corpus);
             let seed = out.seed_report(&dataset);
-            print!("{:16} {:12} seedP={:.1} seedCov={:.1}", kind.name(), name,
-                100.0*seed.triple_precision(), 100.0*seed.coverage());
+            print!(
+                "{:16} {:12} seedP={:.1} seedCov={:.1}",
+                kind.name(),
+                name,
+                100.0 * seed.triple_precision(),
+                100.0 * seed.coverage()
+            );
             for i in 0..=out.snapshots.len() {
                 let r = out.evaluate_iteration(i, &dataset);
-                print!(" | it{i}: P={:.1} C={:.1} n={}", 100.0*r.precision(), 100.0*r.coverage(), r.n_triples());
+                print!(
+                    " | it{i}: P={:.1} C={:.1} n={}",
+                    100.0 * r.precision(),
+                    100.0 * r.coverage(),
+                    r.n_triples()
+                );
             }
             println!("  [{:.1}s]", t0.elapsed().as_secs_f32());
+            for line in pae_bench::stage_timing_report(&out).lines() {
+                println!("    {line}");
+            }
         }
     }
 }

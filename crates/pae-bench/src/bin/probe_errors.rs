@@ -10,9 +10,15 @@ fn main() {
         Some("camera") => CategoryKind::DigitalCameras,
         _ => CategoryKind::GardenDe,
     };
-    let n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
     let dataset = DatasetSpec::new(kind, 42).products(n).generate();
-    let cfg = PipelineConfig { iterations: 2, ..Default::default() };
+    let cfg = PipelineConfig {
+        iterations: 2,
+        ..Default::default()
+    };
     let outcome = BootstrapPipeline::new(cfg).run(&dataset);
     let triples = outcome.final_triples();
     let mut wrong = 0;
@@ -23,14 +29,27 @@ fn main() {
             j => {
                 if wrong + maybe < 30 {
                     let canon = dataset.truth.canonical_attr(&t.attr).unwrap_or("?");
-                    println!("{j:?} p{} attr={}({canon}) value={:?}", t.product, t.attr, t.value);
+                    println!(
+                        "{j:?} p{} attr={}({canon}) value={:?}",
+                        t.product, t.attr, t.value
+                    );
                 }
-                if j == Judgement::MaybeIncorrect { maybe += 1 } else { wrong += 1 }
+                if j == Judgement::MaybeIncorrect {
+                    maybe += 1
+                } else {
+                    wrong += 1
+                }
             }
         }
     }
     println!("total={} wrong={wrong} maybe={maybe}", triples.len());
-    println!("label space: {:?}", outcome.label_space.attrs().iter().map(|a| {
-        format!("{}->{}", a, dataset.truth.canonical_attr(a).unwrap_or("?"))
-    }).collect::<Vec<_>>());
+    println!(
+        "label space: {:?}",
+        outcome
+            .label_space
+            .attrs()
+            .iter()
+            .map(|a| { format!("{}->{}", a, dataset.truth.canonical_attr(a).unwrap_or("?")) })
+            .collect::<Vec<_>>()
+    );
 }

@@ -3,13 +3,37 @@ use pae_core::{config::RnnOptions, BootstrapPipeline, PipelineConfig, TaggerKind
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42).products(200).generate();
+    let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+        .products(200)
+        .generate();
     let corpus = pae_core::parse_corpus(&dataset);
-    for (epochs, lr, hidden) in [(2, 0.3f32, 24), (10, 0.3, 24), (2, 0.3, 64), (10, 0.3, 64), (2, 0.5, 64), (10, 0.5, 64)] {
-        let mut cfg = PipelineConfig { iterations: 1, tagger: TaggerKind::Rnn, ..Default::default() };
-        cfg.rnn = RnnOptions { epochs, learning_rate: lr, hidden, ..Default::default() };
-        let out = BootstrapPipeline::new(cfg.clone().without_cleaning()).run_on_corpus(&dataset, &corpus);
+    for (epochs, lr, hidden) in [
+        (2, 0.3f32, 24),
+        (10, 0.3, 24),
+        (2, 0.3, 64),
+        (10, 0.3, 64),
+        (2, 0.5, 64),
+        (10, 0.5, 64),
+    ] {
+        let mut cfg = PipelineConfig {
+            iterations: 1,
+            tagger: TaggerKind::Rnn,
+            ..Default::default()
+        };
+        cfg.rnn = RnnOptions {
+            epochs,
+            learning_rate: lr,
+            hidden,
+            ..Default::default()
+        };
+        let out =
+            BootstrapPipeline::new(cfg.clone().without_cleaning()).run_on_corpus(&dataset, &corpus);
         let r = out.evaluate_iteration(1, &dataset);
-        println!("epochs={epochs:2} lr={lr} hid={hidden} P={:.1} C={:.1} n={}", 100.0*r.precision(), 100.0*r.coverage(), r.n_triples());
+        println!(
+            "epochs={epochs:2} lr={lr} hid={hidden} P={:.1} C={:.1} n={}",
+            100.0 * r.precision(),
+            100.0 * r.coverage(),
+            r.n_triples()
+        );
     }
 }

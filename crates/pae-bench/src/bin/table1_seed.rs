@@ -41,9 +41,7 @@ fn main() {
         "Vacuum Cleaner",
     ]);
     type SeedRow = (usize, usize, f64, f64, f64);
-    let col = |f: &dyn Fn(&SeedRow) -> String| -> Vec<String> {
-        reports.iter().map(f).collect()
-    };
+    let col = |f: &dyn Fn(&SeedRow) -> String| -> Vec<String> { reports.iter().map(f).collect() };
     let mut row = |name: &str, cells: Vec<String>| {
         let mut r = vec![name.to_owned()];
         r.extend(cells);

@@ -43,16 +43,8 @@ fn main() {
             let p5 = outcome.evaluate_iteration(5, &p.dataset).precision();
             (p1, p5)
         });
-        first.row(vec![
-            name.to_string(),
-            pct(cells[0].0),
-            pct(cells[1].0),
-        ]);
-        fifth.row(vec![
-            name.to_string(),
-            pct(cells[0].1),
-            pct(cells[1].1),
-        ]);
+        first.row(vec![name.to_string(), pct(cells[0].0), pct(cells[1].0)]);
+        fifth.row(vec![name.to_string(), pct(cells[0].1), pct(cells[1].1)]);
     }
 
     println!("Table IV (top) — precision after the first bootstrap cycle");

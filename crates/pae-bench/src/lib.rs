@@ -12,8 +12,10 @@
 
 use std::collections::HashMap;
 
-use pae_core::{parse_corpus, BootstrapOutcome, BootstrapPipeline, Corpus, PipelineConfig, TaggerKind};
 use pae_core::config::RnnOptions;
+use pae_core::{
+    parse_corpus, BootstrapOutcome, BootstrapPipeline, Corpus, PipelineConfig, TaggerKind,
+};
 use pae_synth::{CategoryKind, Dataset, DatasetSpec};
 
 /// Master seed shared by all experiments (reported in EXPERIMENTS.md).
@@ -58,23 +60,14 @@ pub fn prepare(kind: CategoryKind) -> Prepared {
     }
 }
 
-/// Prepares several categories in parallel (bounded by available
-/// parallelism; generation + parsing is the cheap part, but it adds up
-/// across 8 categories).
+/// Prepares several categories in parallel on the [`pae_runtime`]
+/// worker pool, returning them in input order.
+///
+/// The pool's work-stealing queue means one slow category delays only
+/// itself — unlike the old chunk-then-barrier scheme, where every
+/// chunk waited for its slowest member before the next chunk started.
 pub fn prepare_all(kinds: &[CategoryKind]) -> Vec<Prepared> {
-    let mut slots: Vec<Option<Prepared>> = kinds.iter().map(|_| None).collect();
-    let chunk = jobs();
-    for (slot_chunk, kind_chunk) in slots.chunks_mut(chunk).zip(kinds.chunks(chunk)) {
-        crossbeam::thread::scope(|scope| {
-            for (slot, &kind) in slot_chunk.iter_mut().zip(kind_chunk) {
-                scope.spawn(move |_| {
-                    *slot = Some(prepare(kind));
-                });
-            }
-        })
-        .expect("prepare threads");
-    }
-    slots.into_iter().map(|s| s.expect("prepared")).collect()
+    pae_runtime::parallel_map(kinds, |_, &kind| prepare(kind))
 }
 
 impl Prepared {
@@ -85,7 +78,10 @@ impl Prepared {
 
     /// Maps a cluster (alias) name to its canonical attribute.
     pub fn canonical_of<'a>(&'a self, cluster: &'a str) -> &'a str {
-        self.dataset.truth.canonical_attr(cluster).unwrap_or(cluster)
+        self.dataset
+            .truth
+            .canonical_attr(cluster)
+            .unwrap_or(cluster)
     }
 
     /// Cluster names in `outcome`'s label space whose canonical
@@ -124,38 +120,22 @@ pub fn standard_configs(iterations: usize) -> Vec<(&'static str, PipelineConfig)
     ]
 }
 
-/// Number of concurrent category jobs (`PAE_JOBS`, default 4 — CRF
-/// training holds the L-BFGS history in memory, so unbounded fan-out
-/// is unwise).
+/// Number of concurrent category jobs: [`pae_runtime::jobs`], i.e. the
+/// `PAE_JOBS` environment variable when set, else the machine's
+/// available parallelism.
 pub fn jobs() -> usize {
-    std::env::var("PAE_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&j| j > 0)
-        .unwrap_or(4)
+    pae_runtime::jobs()
 }
 
-/// Runs one closure per prepared category, `jobs()` at a time,
-/// preserving order.
+/// Runs one closure per prepared category on the worker pool,
+/// `jobs()` wide, preserving input order. Work-stealing: a slow
+/// category never blocks the categories queued behind it.
 pub fn run_parallel<T, F>(prepared: &[Prepared], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&Prepared) -> T + Sync,
 {
-    let mut slots: Vec<Option<T>> = prepared.iter().map(|_| None).collect();
-    let chunk = jobs();
-    for (slot_chunk, p_chunk) in slots.chunks_mut(chunk).zip(prepared.chunks(chunk)) {
-        crossbeam::thread::scope(|scope| {
-            for (slot, p) in slot_chunk.iter_mut().zip(p_chunk) {
-                let f = &f;
-                scope.spawn(move |_| {
-                    *slot = Some(f(p));
-                });
-            }
-        })
-        .expect("experiment threads");
-    }
-    slots.into_iter().map(|s| s.expect("run")).collect()
+    pae_runtime::parallel_map(prepared, |_, p| f(p))
 }
 
 /// Plain-text table writer with fixed-width columns.
@@ -221,8 +201,8 @@ impl TextTable {
 /// per-attribute coverage and precision between the global model and a
 /// model specialized to `canonical_attrs`.
 pub fn specialized_figure(kind: CategoryKind, canonical_attrs: &[&str], title: &str) {
-    use pae_core::specialized::run_specialized;
     use pae_core::evaluate_triples;
+    use pae_core::specialized::run_specialized;
 
     let p = prepare(kind);
     let cfg = PipelineConfig {
@@ -238,7 +218,9 @@ pub fn specialized_figure(kind: CategoryKind, canonical_attrs: &[&str], title: &
         .collect();
     let subset: Vec<&str> = clusters.iter().map(String::as_str).collect();
     if subset.is_empty() {
-        println!("{title}\n(no clusters for the requested attributes were discovered at this scale)");
+        println!(
+            "{title}\n(no clusters for the requested attributes were discovered at this scale)"
+        );
         return;
     }
     let run = run_specialized(&p.corpus, &outcome, &subset, &cfg);
@@ -270,6 +252,32 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}", 100.0 * x)
 }
 
+/// Per-stage wall-clock report for an outcome: one line for the
+/// pre-loop stages, then one row per bootstrap cycle (seconds).
+pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
+    let secs = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
+    let mut table = TextTable::new(vec![
+        "cycle", "train", "extract", "veto", "semantic", "total",
+    ]);
+    for s in &outcome.snapshots {
+        let t = &s.timings;
+        table.row(vec![
+            s.iteration.to_string(),
+            secs(t.train),
+            secs(t.extract),
+            secs(t.veto),
+            secs(t.semantic),
+            secs(t.total()),
+        ]);
+    }
+    format!(
+        "prep: seed {}s  diversify {}s\n{}",
+        secs(outcome.prep.seed),
+        secs(outcome.prep.diversify),
+        table.render()
+    )
+}
+
 /// Per-attribute coverage of `canonical` in a report produced against
 /// `prepared`'s truth.
 pub fn canonical_coverage(
@@ -281,9 +289,7 @@ pub fn canonical_coverage(
 }
 
 /// Groups an outcome's per-attribute metrics by canonical attribute.
-pub fn coverage_by_canonical(
-    report: &pae_core::EvalReport,
-) -> HashMap<String, f64> {
+pub fn coverage_by_canonical(report: &pae_core::EvalReport) -> HashMap<String, f64> {
     let n = report.n_products.max(1) as f64;
     report
         .attr_coverage
@@ -324,5 +330,62 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.934), "93.4");
         assert_eq!(pct(1.0), "100.0");
+    }
+
+    /// Regression test for the old chunk-then-barrier scheduler: a
+    /// slow item must delay only itself, and results must come back in
+    /// input order regardless of completion order.
+    #[test]
+    fn slow_item_does_not_block_the_queue() {
+        use std::sync::Mutex;
+        use std::time::Duration;
+        let completion = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..6).collect();
+        let out = pae_runtime::with_jobs(2, || {
+            pae_runtime::parallel_map(&items, |i, &x| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                completion.lock().unwrap().push(i);
+                x * 10
+            })
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50], "input order preserved");
+        let completion = completion.into_inner().unwrap();
+        assert_eq!(
+            *completion.last().unwrap(),
+            0,
+            "items behind the slow one should have finished first: {completion:?}"
+        );
+    }
+
+    #[test]
+    fn prepare_all_returns_categories_in_input_order() {
+        let kinds = [CategoryKind::MailboxDe, CategoryKind::GardenDe];
+        let prepared = pae_runtime::with_jobs(2, || prepare_all(&kinds));
+        let got: Vec<CategoryKind> = prepared.iter().map(|p| p.kind).collect();
+        assert_eq!(got, kinds);
+        assert!(prepared.iter().all(|p| !p.corpus.products.is_empty()));
+    }
+
+    #[test]
+    fn stage_timing_report_has_one_row_per_cycle() {
+        let dataset = DatasetSpec::new(CategoryKind::MailboxDe, 5)
+            .products(40)
+            .generate();
+        let mut cfg = PipelineConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        cfg.crf.max_iters = 10;
+        let outcome = BootstrapPipeline::new(cfg).run(&dataset);
+        let report = stage_timing_report(&outcome);
+        assert!(report.starts_with("prep: seed "), "{report}");
+        // Header + rule + one row per snapshot.
+        assert_eq!(
+            report.lines().count(),
+            1 + 2 + outcome.snapshots.len(),
+            "{report}"
+        );
     }
 }

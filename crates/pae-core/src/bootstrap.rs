@@ -4,13 +4,14 @@ use pae_synth::Dataset;
 use pae_text::LexiconPosTagger;
 
 use crate::cleaning::{apply_veto, semantic_clean, SemanticCleanStats, VetoStats};
-use crate::corrections::Corrections;
 use crate::config::{PipelineConfig, TaggerKind};
 use crate::corpus::{parse_corpus_with, Corpus};
+use crate::corrections::Corrections;
 use crate::diversify::diversify;
 use crate::eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
 use crate::seed::{build_seed, Seed};
 use crate::tagger::{extract_candidates, TrainedTagger};
+use crate::timing::{timed, PrepTimings, StageTimings};
 use crate::trainset::{generate_training_set, LabelSpace};
 use crate::types::{AttrTable, Triple};
 
@@ -29,6 +30,8 @@ pub struct IterationSnapshot {
     pub veto: VetoStats,
     /// Semantic-cleaning removals this cycle.
     pub semantic: SemanticCleanStats,
+    /// Per-stage wall clock for this cycle.
+    pub timings: StageTimings,
 }
 
 /// Everything a pipeline run produces.
@@ -43,6 +46,8 @@ pub struct BootstrapOutcome {
     pub label_space: LabelSpace,
     /// One snapshot per bootstrap iteration.
     pub snapshots: Vec<IterationSnapshot>,
+    /// Wall clock of the pre-loop stages (seed, diversification).
+    pub prep: PrepTimings,
 }
 
 impl BootstrapOutcome {
@@ -127,24 +132,37 @@ impl BootstrapPipeline {
         let cfg = &self.config;
 
         // Pre-processing: seed + diversification (lines 1–5).
-        let mut seed = build_seed(corpus, &dataset.query_log, &cfg.aggregation, &cfg.value_clean);
+        let (mut seed, seed_time) = timed(|| {
+            build_seed(
+                corpus,
+                &dataset.query_log,
+                &cfg.aggregation,
+                &cfg.value_clean,
+            )
+        });
         self.corrections.apply_to_seed(&mut seed);
-        let diversified = if cfg.use_diversification {
-            let pos_tagger = LexiconPosTagger::new(dataset.lexicon.clone());
-            let pos_key = |value: &str| -> String {
-                value
-                    .split(' ')
-                    .map(|t| pos_tagger.tag_word(t).mnemonic())
-                    .collect::<Vec<_>>()
-                    .join("-")
-            };
-            diversify(&seed.table, &seed.raw_table, &pos_key, &cfg.diversify)
-        } else {
-            seed.table.clone()
+        let (diversified, diversify_time) = timed(|| {
+            if cfg.use_diversification {
+                let pos_tagger = LexiconPosTagger::new(dataset.lexicon.clone());
+                let pos_key = |value: &str| -> String {
+                    value
+                        .split(' ')
+                        .map(|t| pos_tagger.tag_word(t).mnemonic())
+                        .collect::<Vec<_>>()
+                        .join("-")
+                };
+                diversify(&seed.table, &seed.raw_table, &pos_key, &cfg.diversify)
+            } else {
+                seed.table.clone()
+            }
+        });
+        let prep = PrepTimings {
+            seed: seed_time,
+            diversify: diversify_time,
         };
 
         // Label space over the most substantial clusters.
-        let label_space = LabelSpace::new(top_attrs(&diversified, 12));
+        let label_space = LabelSpace::new(top_attrs(&diversified, cfg.label_space_cap));
 
         // Category-level extra values (diversified additions).
         let extra_values: Vec<(String, String)> = diversified
@@ -165,13 +183,9 @@ impl BootstrapPipeline {
 
         for iteration in 1..=cfg.iterations {
             // Tagging (lines 10–12).
-            let candidates = train_and_extract(
-                corpus,
-                &triples,
-                &extra_values,
-                &label_space,
-                cfg,
-            );
+            let tagged =
+                train_and_extract_timed(corpus, &triples, &extra_values, &label_space, cfg);
+            let candidates = tagged.candidates;
             let n_candidates = candidates.len();
 
             // The paper's line 20 (`dataset = clean_ds`) re-derives the
@@ -186,21 +200,25 @@ impl BootstrapPipeline {
             pool.dedup();
 
             // Cleaning (lines 14–20).
-            let (pool, veto) = if cfg.use_veto {
-                apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars)
-            } else {
-                (pool, VetoStats::default())
-            };
-            let (pool, semantic) = if cfg.use_semantic {
-                semantic_clean(
-                    pool,
-                    &word_sentences,
-                    &cfg.semantic,
-                    cfg.seed.wrapping_add(iteration as u64),
-                )
-            } else {
-                (pool, SemanticCleanStats::default())
-            };
+            let ((pool, veto), veto_time) = timed(|| {
+                if cfg.use_veto {
+                    apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars)
+                } else {
+                    (pool, VetoStats::default())
+                }
+            });
+            let ((pool, semantic), semantic_time) = timed(|| {
+                if cfg.use_semantic {
+                    semantic_clean(
+                        pool,
+                        &word_sentences,
+                        &cfg.semantic,
+                        cfg.seed.wrapping_add(iteration as u64),
+                    )
+                } else {
+                    (pool, SemanticCleanStats::default())
+                }
+            });
             let pool = if self.corrections.is_empty() {
                 pool
             } else {
@@ -215,6 +233,12 @@ impl BootstrapPipeline {
                 n_candidates,
                 veto,
                 semantic,
+                timings: StageTimings {
+                    train: tagged.train,
+                    extract: tagged.extract,
+                    veto: veto_time,
+                    semantic: semantic_time,
+                },
             });
 
             // Optional convergence-based stopping criterion (§V).
@@ -230,8 +254,21 @@ impl BootstrapPipeline {
             diversified,
             label_space,
             snapshots,
+            prep,
         }
     }
+}
+
+/// [`train_and_extract_timed`]'s result: the candidates plus the wall
+/// clock of the train and extract stages.
+#[derive(Debug)]
+pub struct TrainExtract {
+    /// Candidate triples, sorted and deduplicated.
+    pub candidates: Vec<Triple>,
+    /// Tagger-training wall clock (slower backend for the ensemble).
+    pub train: std::time::Duration,
+    /// Corpus-decoding wall clock (slower backend for the ensemble).
+    pub extract: std::time::Duration,
 }
 
 /// Trains the configured tagger on the current triples and extracts
@@ -244,28 +281,57 @@ pub fn train_and_extract(
     space: &LabelSpace,
     cfg: &PipelineConfig,
 ) -> Vec<Triple> {
+    train_and_extract_timed(corpus, triples, extra_values, space, cfg).candidates
+}
+
+/// As [`train_and_extract`], but also reports per-stage wall clock.
+pub fn train_and_extract_timed(
+    corpus: &Corpus,
+    triples: &[Triple],
+    extra_values: &[(String, String)],
+    space: &LabelSpace,
+    cfg: &PipelineConfig,
+) -> TrainExtract {
     let labeled = generate_training_set(corpus, triples, space, extra_values);
     if labeled.is_empty() {
-        return Vec::new();
+        return TrainExtract {
+            candidates: Vec::new(),
+            train: std::time::Duration::ZERO,
+            extract: std::time::Duration::ZERO,
+        };
     }
+    let one_backend = |train: &dyn Fn() -> TrainedTagger| {
+        let (tagger, train_time) = timed(train);
+        let (candidates, extract_time) = timed(|| extract_candidates(&tagger, corpus, space));
+        TrainExtract {
+            candidates,
+            train: train_time,
+            extract: extract_time,
+        }
+    };
     match cfg.tagger {
         TaggerKind::Crf => {
-            let tagger = TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf);
-            extract_candidates(&tagger, corpus, space)
+            one_backend(&|| TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf))
         }
         TaggerKind::Rnn => {
-            let tagger = TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn);
-            extract_candidates(&tagger, corpus, space)
+            one_backend(&|| TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn))
         }
         TaggerKind::Ensemble => {
             // Precision-first combination: a candidate must be produced
             // by both backends to survive. Both extractions arrive
             // sorted and deduplicated, so the intersection is a merge.
-            let crf = TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf);
-            let rnn = TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn);
-            let a = extract_candidates(&crf, corpus, space);
-            let b = extract_candidates(&rnn, corpus, space);
-            intersect_sorted(a, &b)
+            // The backends are independent, so they train and decode
+            // concurrently on the worker pool; each arm's output only
+            // depends on its own seed, so the merge is deterministic.
+            let (a, b) = pae_runtime::join(
+                || one_backend(&|| TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)),
+                || one_backend(&|| TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)),
+            );
+            TrainExtract {
+                candidates: intersect_sorted(a.candidates, &b.candidates),
+                train: a.train.max(b.train),
+                extract: a.extract.max(b.extract),
+            }
         }
     }
 }

@@ -39,11 +39,7 @@ fn is_markup_token(tok: &str) -> bool {
 
 /// True for a single-token value that is pure symbols/punctuation.
 fn is_symbol_unigram(value: &str) -> bool {
-    !value.contains(' ')
-        && !value.is_empty()
-        && value
-            .chars()
-            .all(|c| !c.is_alphanumeric())
+    !value.contains(' ') && !value.is_empty() && value.chars().all(|c| !c.is_alphanumeric())
 }
 
 /// Applies the four rules; returns survivors and removal statistics.
@@ -133,7 +129,11 @@ mod tests {
     #[test]
     fn markup_vetoed() {
         let (out, stats) = apply_veto(
-            vec![t(0, "a", "aka * ao"), t(1, "a", "<b> aka"), t(2, "a", "aka")],
+            vec![
+                t(0, "a", "aka * ao"),
+                t(1, "a", "<b> aka"),
+                t(2, "a", "aka"),
+            ],
             1.0,
             30,
         );

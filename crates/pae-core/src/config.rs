@@ -83,6 +83,10 @@ pub struct SemanticOptions {
     pub dim: usize,
     /// word2vec epochs per bootstrap iteration.
     pub epochs: usize,
+    /// Minimum corpus frequency for a token to get an embedding
+    /// (word2vec's `min-count`). Rarer values stay unscored and are
+    /// kept — semantic cleaning only vetoes on positive evidence.
+    pub min_count: u64,
 }
 
 impl Default for SemanticOptions {
@@ -92,6 +96,7 @@ impl Default for SemanticOptions {
             keep_threshold: 0.52,
             dim: 24,
             epochs: 2,
+            min_count: 2,
         }
     }
 }
@@ -127,6 +132,11 @@ pub struct PipelineConfig {
     pub max_value_chars: usize,
     /// Veto rule (iii): fraction of entities kept per attribute.
     pub unpopular_keep: f64,
+    /// Maximum number of attribute clusters in the BIO label space:
+    /// the highest-mass clusters are kept, the tail is dropped. Label
+    /// count drives the CRF parameter dimension and the per-position
+    /// Viterbi cost, so this caps tagger cost on wide categories.
+    pub label_space_cap: usize,
     /// Stop early when a cycle adds fewer than this many new triples
     /// (`0` disables; the paper simply fixes five iterations, but its
     /// §V describes the loop as running "until a stopping criterion is
@@ -153,6 +163,7 @@ impl Default for PipelineConfig {
             pos_backend: PosBackend::Lexicon,
             max_value_chars: 30,
             unpopular_keep: 0.8,
+            label_space_cap: 12,
             stop_when_gain_below: 0,
             seed: 1,
         }
@@ -193,6 +204,8 @@ mod tests {
         assert_eq!(c.max_value_chars, 30);
         assert!((c.unpopular_keep - 0.8).abs() < 1e-12);
         assert_eq!(c.rnn.epochs, 2);
+        assert_eq!(c.label_space_cap, 12);
+        assert_eq!(c.semantic.min_count, 2);
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use pae_html::{extract_tables, extract_text, parse, TextOptions};
 use pae_synth::Dataset;
-use pae_text::{
-    HmmPosTagger, LexiconPosTagger, PosTagger, Sentence, SentenceSplitter, Tokenizer,
-};
+use pae_text::{HmmPosTagger, LexiconPosTagger, PosTagger, Sentence, SentenceSplitter, Tokenizer};
 
 /// Which PoS tagger backs the corpus analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -133,7 +133,7 @@ mod tests {
         Corrections::new()
             .veto_pair("omosa", "2 kg")
             .apply_to_seed(&mut seed);
-        assert!(seed.table.values.get("omosa").is_none());
+        assert!(!seed.table.values.contains_key("omosa"));
     }
 
     #[test]
@@ -151,10 +151,7 @@ mod tests {
 
     #[test]
     fn output_filtering() {
-        let triples = vec![
-            Triple::new(0, "iro", "aka"),
-            Triple::new(1, "iro", "zzz"),
-        ];
+        let triples = vec![Triple::new(0, "iro", "aka"), Triple::new(1, "iro", "zzz")];
         let out = Corrections::new()
             .veto_pair("iro", "zzz")
             .apply_to_triples(triples);

@@ -147,7 +147,7 @@ mod tests {
             add_n(&mut raw, "a", &format!("{i} kg"), 20 - i);
         }
         let cleaned = AttrTable::default(); // nothing survived cleaning
-        // Empty cleaned table has no attrs to diversify.
+                                            // Empty cleaned table has no attrs to diversify.
         let out = diversify(&cleaned, &raw, &toy_pos_key, &DiversifyConfig::default());
         assert_eq!(out.n_pairs(), 0);
 

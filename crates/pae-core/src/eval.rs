@@ -91,7 +91,10 @@ pub fn evaluate_triples(triples: &[Triple], truth: &GroundTruth) -> EvalReport {
             .unwrap_or(t.attr.as_str())
             .to_owned();
         let judgement = truth.judge(t.product, &t.attr, &t.value);
-        let entry = report.attr_precision.entry(canonical.clone()).or_insert((0, 0));
+        let entry = report
+            .attr_precision
+            .entry(canonical.clone())
+            .or_insert((0, 0));
         entry.1 += 1;
         match judgement {
             Judgement::Correct => {
@@ -227,10 +230,7 @@ mod tests {
     #[test]
     fn attr_level_metrics() {
         let truth = toy_truth();
-        let triples = vec![
-            Triple::new(0, "iro", "aka"),
-            Triple::new(1, "iro", "ao"),
-        ];
+        let triples = vec![Triple::new(0, "iro", "aka"), Triple::new(1, "iro", "ao")];
         let r = evaluate_triples(&triples, &truth);
         assert!((r.attr_coverage_of("color") - 0.5).abs() < 1e-12);
         assert!((r.attr_precision_of("color") - 1.0).abs() < 1e-12);

@@ -27,19 +27,21 @@
 pub mod bootstrap;
 pub mod cleaning;
 pub mod config;
-pub mod corrections;
 pub mod corpus;
+pub mod corrections;
 pub mod diversify;
 pub mod eval;
 pub mod seed;
 pub mod specialized;
 pub mod tagger;
+pub mod timing;
 pub mod trainset;
 pub mod types;
 
 pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, IterationSnapshot};
-pub use corrections::Corrections;
 pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
+pub use corrections::Corrections;
 pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+pub use timing::{PrepTimings, StageTimings};
 pub use types::{AttrTable, Triple};

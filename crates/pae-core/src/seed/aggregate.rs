@@ -126,7 +126,14 @@ mod tests {
         let t = table(&[
             (
                 "iro",
-                &[("aka", 9), ("ao", 7), ("kiiro", 4), ("momo", 2), ("kuro", 5), ("shiro", 3)],
+                &[
+                    ("aka", 9),
+                    ("ao", 7),
+                    ("kiiro", 4),
+                    ("momo", 2),
+                    ("kuro", 5),
+                    ("shiro", 3),
+                ],
             ),
             ("karaa", &[("aka", 2), ("ao", 1)]),
         ]);
@@ -154,11 +161,23 @@ mod tests {
         let t = table(&[
             (
                 "omosa",
-                &[("2 kg", 5), ("3 kg", 4), ("4 kg", 3), ("5 kg", 2), ("7 kg", 1)],
+                &[
+                    ("2 kg", 5),
+                    ("3 kg", 4),
+                    ("4 kg", 3),
+                    ("5 kg", 2),
+                    ("7 kg", 1),
+                ],
             ),
             (
                 "saidaiomosa",
-                &[("2 kg", 3), ("3 kg", 3), ("6 kg", 2), ("8 kg", 2), ("9 kg", 1)],
+                &[
+                    ("2 kg", 3),
+                    ("3 kg", 3),
+                    ("6 kg", 2),
+                    ("8 kg", 2),
+                    ("9 kg", 1),
+                ],
             ),
         ]);
         let a = &t.values["omosa"];
@@ -190,7 +209,17 @@ mod tests {
     fn transitive_merging_via_union_find() {
         // a↔b similar, b↔c similar, a↔c not directly: all one cluster.
         let t = table(&[
-            ("a", &[("v1", 9), ("v2", 8), ("v3", 7), ("v4", 6), ("v5", 5), ("v6", 4)]),
+            (
+                "a",
+                &[
+                    ("v1", 9),
+                    ("v2", 8),
+                    ("v3", 7),
+                    ("v4", 6),
+                    ("v5", 5),
+                    ("v6", 4),
+                ],
+            ),
             ("b", &[("v1", 2), ("v2", 1)]),
             ("c", &[("v1", 1)]),
         ]);

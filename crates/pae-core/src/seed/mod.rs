@@ -60,11 +60,8 @@ pub fn build_seed(
     let table = clean_values(&clustered, query_log, clean);
 
     // Product pairs surviving cleaning, re-keyed by cluster.
-    let surviving: HashMap<&str, &HashMap<String, usize>> = table
-        .values
-        .iter()
-        .map(|(k, v)| (k.as_str(), v))
-        .collect();
+    let surviving: HashMap<&str, &HashMap<String, usize>> =
+        table.values.iter().map(|(k, v)| (k.as_str(), v)).collect();
     let product_pairs = corpus
         .table_pairs
         .iter()

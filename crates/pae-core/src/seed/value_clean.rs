@@ -35,17 +35,15 @@ pub fn clean_values(
     // with the same tokenizer; here we only need token containment, so
     // a set of all query token n-grams would be heavy — instead test
     // subsequence containment per query lazily over a token index.
-    let query_tokens: Vec<Vec<&str>> = query_log
-        .iter()
-        .map(|q| q.split(' ').collect())
-        .collect();
+    let query_tokens: Vec<Vec<&str>> = query_log.iter().map(|q| q.split(' ').collect()).collect();
     // Fast pre-filter: set of all tokens occurring in any query.
     let token_set: HashSet<&str> = query_tokens.iter().flatten().copied().collect();
 
     let mut out = AttrTable::default();
     for (attr, values) in &candidates.values {
         for (value, &count) in values {
-            let keep = count >= config.min_frequency || in_queries(value, &query_tokens, &token_set);
+            let keep =
+                count >= config.min_frequency || in_queries(value, &query_tokens, &token_set);
             if keep {
                 for _ in 0..count {
                     out.add(attr, value);
@@ -70,9 +68,7 @@ fn contains_subsequence(haystack: &[&str], needle: &[&str]) -> bool {
     if needle.is_empty() || needle.len() > haystack.len() {
         return needle.is_empty();
     }
-    haystack
-        .windows(needle.len())
-        .any(|w| w == needle)
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 #[cfg(test)]

@@ -131,13 +131,18 @@ impl TrainedTagger {
 
 /// Runs the tagger over every sentence of the corpus and decodes the
 /// BIO output into candidate triples (deduplicated).
+///
+/// Products are tagged concurrently on the [`pae_runtime`] worker pool
+/// (Viterbi decoding is read-only over the trained model); per-product
+/// results are concatenated in product order before the canonical
+/// sort + dedup, so the output is independent of the thread count.
 pub fn extract_candidates(
     tagger: &TrainedTagger,
     corpus: &Corpus,
     space: &LabelSpace,
 ) -> Vec<Triple> {
-    let mut out = Vec::new();
-    for product in &corpus.products {
+    let per_product = pae_runtime::parallel_map(&corpus.products, |_, product| {
+        let mut local = Vec::new();
         for (sent_idx, sentence) in product.sentences.iter().enumerate() {
             let words: Vec<String> = sentence.words().map(str::to_owned).collect();
             if words.is_empty() {
@@ -147,13 +152,13 @@ pub fn extract_candidates(
             let labels = tagger.tag(&words, &pos, sent_idx);
             for (attr, range) in decode_spans(&labels, space) {
                 let value = words[range].join(" ");
-                out.push(Triple::new(product.id, space.attrs()[attr].clone(), value));
+                local.push(Triple::new(product.id, space.attrs()[attr].clone(), value));
             }
         }
-    }
-    out.sort_by(|a, b| {
-        (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value))
+        local
     });
+    let mut out: Vec<Triple> = per_product.into_iter().flatten().collect();
+    out.sort_by(|a, b| (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value)));
     out.dedup();
     out
 }

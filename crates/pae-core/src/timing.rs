@@ -1,0 +1,85 @@
+//! Per-stage wall-clock instrumentation for the bootstrap pipeline.
+//!
+//! Every [`crate::bootstrap::IterationSnapshot`] carries a
+//! [`StageTimings`] record and every
+//! [`crate::bootstrap::BootstrapOutcome`] a [`PrepTimings`] record, so
+//! the experiment binaries can report where a cycle spends its time
+//! without re-instrumenting the pipeline.
+
+use std::time::{Duration, Instant};
+
+/// Wall clock per pipeline stage for one Tagger–Cleaner cycle.
+///
+/// For the ensemble tagger the CRF and RNN backends run concurrently;
+/// `train` and `extract` then record the slower backend's duration
+/// (the stage's wall clock, not the summed CPU time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Tagger training (CRF L-BFGS and/or BiLSTM SGD).
+    pub train: Duration,
+    /// Viterbi/BiLSTM decoding over the whole corpus.
+    pub extract: Duration,
+    /// Syntactic veto rules.
+    pub veto: Duration,
+    /// word2vec retraining + semantic drift filtering.
+    pub semantic: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.train + self.extract + self.veto + self.semantic
+    }
+
+    /// One-line human-readable report.
+    pub fn summary(&self) -> String {
+        format!(
+            "train {:.3}s  extract {:.3}s  veto {:.3}s  semantic {:.3}s",
+            self.train.as_secs_f64(),
+            self.extract.as_secs_f64(),
+            self.veto.as_secs_f64(),
+            self.semantic.as_secs_f64(),
+        )
+    }
+}
+
+/// Wall clock for the pre-loop stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepTimings {
+    /// Seed construction from HTML dictionary tables.
+    pub seed: Duration,
+    /// Seed value diversification (zero when disabled).
+    pub diversify: Duration,
+}
+
+/// Times one closure, returning its result and the elapsed wall clock.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let t = StageTimings {
+            train: Duration::from_millis(5),
+            extract: Duration::from_millis(7),
+            veto: Duration::from_millis(1),
+            semantic: Duration::from_millis(2),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+        let s = t.summary();
+        assert!(s.contains("train") && s.contains("semantic"), "{s}");
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, d) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(5));
+    }
+}

@@ -199,7 +199,10 @@ fn mark_occurrences(
 }
 
 /// Decodes BIO labels back into `(attr index, token range)` spans.
-pub fn decode_spans(labels_seq: &[usize], space: &LabelSpace) -> Vec<(usize, std::ops::Range<usize>)> {
+pub fn decode_spans(
+    labels_seq: &[usize],
+    space: &LabelSpace,
+) -> Vec<(usize, std::ops::Range<usize>)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < labels_seq.len() {
@@ -207,9 +210,7 @@ pub fn decode_spans(labels_seq: &[usize], space: &LabelSpace) -> Vec<(usize, std
             Some((attr, true)) => {
                 let start = i;
                 i += 1;
-                while i < labels_seq.len()
-                    && space.attr_of(labels_seq[i]) == Some((attr, false))
-                {
+                while i < labels_seq.len() && space.attr_of(labels_seq[i]) == Some((attr, false)) {
                     i += 1;
                 }
                 spans.push((attr, start..i));
@@ -219,9 +220,7 @@ pub fn decode_spans(labels_seq: &[usize], space: &LabelSpace) -> Vec<(usize, std
             Some((attr, false)) => {
                 let start = i;
                 i += 1;
-                while i < labels_seq.len()
-                    && space.attr_of(labels_seq[i]) == Some((attr, false))
-                {
+                while i < labels_seq.len() && space.attr_of(labels_seq[i]) == Some((attr, false)) {
                     i += 1;
                 }
                 spans.push((attr, start..i));
@@ -277,7 +276,10 @@ mod tests {
         );
         mark_occurrences(&words, &["red".to_owned()], 0, &space, &mut out);
         mark_occurrences(&words, &["cotton".to_owned()], 1, &space, &mut out);
-        assert_eq!(out, vec![0, space.begin(0), space.inside(0), space.begin(1), 0]);
+        assert_eq!(
+            out,
+            vec![0, space.begin(0), space.inside(0), space.begin(1), 0]
+        );
     }
 
     #[test]

@@ -111,11 +111,9 @@ pub fn marginals(model: &CrfModel, features: &[Vec<FeatId>]) -> Marginals {
     for t in 1..n {
         for p in 0..l {
             for q in 0..l {
-                let s = fwd.alpha[t - 1][p]
-                    + model.transition(p, q)
-                    + fwd.emissions[t][q]
-                    + beta[t][q]
-                    - fwd.log_z;
+                let s =
+                    fwd.alpha[t - 1][p] + model.transition(p, q) + fwd.emissions[t][q] + beta[t][q]
+                        - fwd.log_z;
                 edge[t - 1][p][q] = s.exp();
             }
         }
@@ -212,7 +210,11 @@ mod tests {
         let feats = vec![vec![0], vec![1], vec![0, 1]];
         let fwd = forward(&m, &feats);
         let brute = brute_log_z(&m, &feats);
-        assert!((fwd.log_z - brute).abs() < 1e-10, "{} vs {brute}", fwd.log_z);
+        assert!(
+            (fwd.log_z - brute).abs() < 1e-10,
+            "{} vs {brute}",
+            fwd.log_z
+        );
     }
 
     #[test]

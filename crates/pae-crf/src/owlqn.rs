@@ -109,7 +109,11 @@ where
             })
             .collect();
 
-        let mut step = if iter == 0 { 1.0 / pgnorm.max(1.0) } else { 1.0 };
+        let mut step = if iter == 0 {
+            1.0 / pgnorm.max(1.0)
+        } else {
+            1.0
+        };
         let mut success = false;
         let mut new_smooth = smooth;
         let mut new_value = value;

@@ -40,59 +40,86 @@ impl Default for TrainConfig {
     }
 }
 
+/// Fixed chunk count for the gradient reduction. A constant (never the
+/// thread count) so the partition — and therefore the floating-point
+/// summation order — is identical at any `PAE_JOBS` value.
+const GRAD_CHUNKS: usize = 16;
+
 /// Computes the total negative log-likelihood of `instances` under the
 /// parameters in `model`, filling `grad` (which must be zeroed by the
 /// caller) with its gradient. Regularization is *not* included.
+///
+/// The accumulation runs on the [`pae_runtime`] worker pool over a
+/// fixed partition of the instances; the per-chunk partial gradients
+/// are folded sequentially in chunk order, so the result is
+/// byte-identical at any thread count.
 pub fn nll_and_grad(model: &CrfModel, instances: &[Instance], grad: &mut [f64]) -> f64 {
     debug_assert_eq!(grad.len(), model.params.len());
+    let dim = grad.len();
+    let partials = pae_runtime::parallel_chunk_map(instances, GRAD_CHUNKS, |chunk| {
+        let mut part = vec![0.0; dim];
+        let mut nll = 0.0;
+        for inst in chunk {
+            nll += instance_nll_and_grad(model, inst, &mut part);
+        }
+        (nll, part)
+    });
+    let mut nll = 0.0;
+    for (part_nll, part_grad) in partials {
+        nll += part_nll;
+        for (g, p) in grad.iter_mut().zip(&part_grad) {
+            *g += p;
+        }
+    }
+    nll
+}
+
+/// One instance's NLL contribution, accumulated into `grad`.
+fn instance_nll_and_grad(model: &CrfModel, inst: &Instance, grad: &mut [f64]) -> f64 {
     let l = model.n_labels;
     let trans_off = model.trans_offset();
     let start_off = model.start_offset();
     let end_off = model.end_offset();
-    let mut nll = 0.0;
+    if inst.is_empty() {
+        return 0.0;
+    }
+    let marg = marginals(model, &inst.features);
+    let gold_score = model.sequence_score(&inst.features, &inst.labels);
+    let nll = marg.log_z - gold_score;
 
-    for inst in instances {
-        if inst.is_empty() {
-            continue;
+    let n = inst.len();
+    // Empirical counts: subtract.
+    for (t, feats) in inst.features.iter().enumerate() {
+        let y = inst.labels[t];
+        for &f in feats {
+            grad[f as usize * l + y] -= 1.0;
         }
-        let marg = marginals(model, &inst.features);
-        let gold_score = model.sequence_score(&inst.features, &inst.labels);
-        nll += marg.log_z - gold_score;
+    }
+    grad[start_off + inst.labels[0]] -= 1.0;
+    grad[end_off + inst.labels[n - 1]] -= 1.0;
+    for t in 1..n {
+        grad[trans_off + inst.labels[t - 1] * l + inst.labels[t]] -= 1.0;
+    }
 
-        let n = inst.len();
-        // Empirical counts: subtract.
-        for (t, feats) in inst.features.iter().enumerate() {
-            let y = inst.labels[t];
-            for &f in feats {
-                grad[f as usize * l + y] -= 1.0;
+    // Expected counts: add.
+    for (t, feats) in inst.features.iter().enumerate() {
+        for &f in feats {
+            let base = f as usize * l;
+            for y in 0..l {
+                grad[base + y] += marg.node[t][y];
             }
         }
-        grad[start_off + inst.labels[0]] -= 1.0;
-        grad[end_off + inst.labels[n - 1]] -= 1.0;
-        for t in 1..n {
-            grad[trans_off + inst.labels[t - 1] * l + inst.labels[t]] -= 1.0;
-        }
-
-        // Expected counts: add.
-        for (t, feats) in inst.features.iter().enumerate() {
-            for &f in feats {
-                let base = f as usize * l;
-                for y in 0..l {
-                    grad[base + y] += marg.node[t][y];
-                }
-            }
-        }
-        for y in 0..l {
-            grad[start_off + y] += marg.node[0][y];
-            grad[end_off + y] += marg.node[n - 1][y];
-        }
-        for t in 1..n {
-            let e = &marg.edge[t - 1];
-            for p in 0..l {
-                let row = trans_off + p * l;
-                for q in 0..l {
-                    grad[row + q] += e[p][q];
-                }
+    }
+    for y in 0..l {
+        grad[start_off + y] += marg.node[0][y];
+        grad[end_off + y] += marg.node[n - 1][y];
+    }
+    for t in 1..n {
+        let e = &marg.edge[t - 1];
+        for p in 0..l {
+            let row = trans_off + p * l;
+            for q in 0..l {
+                grad[row + q] += e[p][q];
             }
         }
     }
@@ -354,13 +381,8 @@ mod tests {
             g[1] = 2.0 * (x[1] - 1.0);
             (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2)
         };
-        let res = minimize_l1_with_exempt_suffix(
-            f,
-            vec![0.0, 0.0],
-            1.0,
-            1,
-            &LbfgsConfig::default(),
-        );
+        let res =
+            minimize_l1_with_exempt_suffix(f, vec![0.0, 0.0], 1.0, 1, &LbfgsConfig::default());
         assert!((res.x[0] - 0.5).abs() < 1e-4, "{:?}", res.x);
         assert!((res.x[1] - 1.0).abs() < 1e-4, "{:?}", res.x);
     }

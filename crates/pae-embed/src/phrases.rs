@@ -33,7 +33,10 @@ pub fn group_phrases(sentences: &[Vec<String>], phrases: &[Vec<String>]) -> Vec<
                 if let Some(cands) = by_first.get(sent[i].as_str()) {
                     for cand in cands {
                         if i + cand.len() <= sent.len()
-                            && sent[i..i + cand.len()].iter().zip(cand.iter()).all(|(a, b)| a == b)
+                            && sent[i..i + cand.len()]
+                                .iter()
+                                .zip(cand.iter())
+                                .all(|(a, b)| a == b)
                         {
                             out.push(join_phrase(cand));
                             i += cand.len();

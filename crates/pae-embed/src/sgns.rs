@@ -94,8 +94,7 @@ impl W2vModel {
 
         for _epoch in 0..config.epochs {
             for sent in &encoded {
-                let lr = (config.learning_rate
-                    * (1.0 - step as f32 / total_steps as f32))
+                let lr = (config.learning_rate * (1.0 - step as f32 / total_steps as f32))
                     .max(config.learning_rate * 1e-4);
                 step += 1;
 

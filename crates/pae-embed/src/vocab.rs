@@ -26,10 +26,8 @@ impl W2vVocab {
                 total += 1;
             }
         }
-        let mut items: Vec<(&str, u64)> = freq
-            .into_iter()
-            .filter(|&(_, c)| c >= min_count)
-            .collect();
+        let mut items: Vec<(&str, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
         items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
 
         let mut index = HashMap::with_capacity(items.len());
@@ -105,7 +103,7 @@ mod tests {
         let v = W2vVocab::build(&corpus(), 1);
         assert_eq!(v.word(0), "a"); // 4 occurrences
         assert_eq!(v.word(1), "b"); // 3
-        // c and rare both have 1: lexicographic tie-break.
+                                    // c and rare both have 1: lexicographic tie-break.
         assert_eq!(v.word(2), "c");
         assert_eq!(v.word(3), "rare");
         assert_eq!(v.total_tokens(), 9);

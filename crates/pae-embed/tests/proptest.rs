@@ -52,7 +52,10 @@ proptest! {
         sentence in proptest::collection::vec("[a-c]{1,2}", 0..10),
         phrase in proptest::collection::vec("[a-c]{1,2}", 2..4),
     ) {
-        let grouped = group_phrases(&[sentence.clone()], &[phrase.clone()]);
+        let grouped = group_phrases(
+            std::slice::from_ref(&sentence),
+            std::slice::from_ref(&phrase),
+        );
         let flattened: Vec<String> = grouped[0]
             .iter()
             .flat_map(|t| t.split('_').map(str::to_owned))

@@ -288,10 +288,7 @@ mod tests {
     #[test]
     fn descendants_preorder() {
         let forest = parse("<a><b></b><c><d></d></c></a>");
-        let names: Vec<_> = forest[0]
-            .descendants()
-            .filter_map(|n| n.name())
-            .collect();
+        let names: Vec<_> = forest[0].descendants().filter_map(|n| n.name()).collect();
         assert_eq!(names, ["a", "b", "c", "d"]);
     }
 

@@ -45,13 +45,14 @@ fn decode_one(s: &str) -> Option<(String, usize)> {
         "times" => "×".to_owned(),
         "deg" => "°".to_owned(),
         _ => {
-            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
-                u32::from_str_radix(hex, 16).ok()?
-            } else if let Some(dec) = name.strip_prefix('#') {
-                dec.parse::<u32>().ok()?
-            } else {
-                return None;
-            };
+            let code =
+                if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
             char::from_u32(code)?.to_string()
         }
     };

@@ -18,8 +18,29 @@ impl Default for TextOptions {
 
 /// Elements that force a line break before and after their content.
 const BLOCK: &[&str] = &[
-    "p", "div", "li", "ul", "ol", "h1", "h2", "h3", "h4", "h5", "h6", "tr", "table", "section",
-    "article", "header", "footer", "dl", "dt", "dd", "blockquote", "body", "html",
+    "p",
+    "div",
+    "li",
+    "ul",
+    "ol",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "tr",
+    "table",
+    "section",
+    "article",
+    "header",
+    "footer",
+    "dl",
+    "dt",
+    "dd",
+    "blockquote",
+    "body",
+    "html",
 ];
 
 /// Extracts readable text from a parsed page as newline-separated
@@ -114,7 +135,10 @@ mod tests {
 
     #[test]
     fn script_and_style_skipped() {
-        assert_eq!(text("<p>x</p><script>var a=1;</script><style>p{}</style>"), "x");
+        assert_eq!(
+            text("<p>x</p><script>var a=1;</script><style>p{}</style>"),
+            "x"
+        );
     }
 
     #[test]

@@ -78,9 +78,7 @@ pub fn tokenize(html: &str) -> Vec<HtmlToken> {
                     Some(p) => (p, p + 1),
                     None => (html.len(), html.len()),
                 };
-                let name = html[i + 2..name_end]
-                    .trim()
-                    .to_ascii_lowercase();
+                let name = html[i + 2..name_end].trim().to_ascii_lowercase();
                 out.push(HtmlToken::EndTag { name });
                 i = next;
                 text_start = i;
@@ -92,7 +90,12 @@ pub fn tokenize(html: &str) -> Vec<HtmlToken> {
             if let Some((tok, next)) = parse_start_tag(html, i) {
                 flush_text(&mut out, text_start, i);
                 // Raw-text elements: script/style content is opaque.
-                if let HtmlToken::StartTag { ref name, self_closing: false, .. } = tok {
+                if let HtmlToken::StartTag {
+                    ref name,
+                    self_closing: false,
+                    ..
+                } = tok
+                {
                     if name == "script" || name == "style" {
                         let close_pat = format!("</{name}");
                         let content_start = next;
@@ -104,10 +107,8 @@ pub fn tokenize(html: &str) -> Vec<HtmlToken> {
                         out.push(tok);
                         let (content_end, after) = match close {
                             Some(p) => {
-                                let after = html[p..]
-                                    .find('>')
-                                    .map(|q| p + q + 1)
-                                    .unwrap_or(html.len());
+                                let after =
+                                    html[p..].find('>').map(|q| p + q + 1).unwrap_or(html.len());
                                 (p, after)
                             }
                             None => (html.len(), html.len()),
@@ -196,9 +197,7 @@ fn parse_start_tag(html: &str, start: usize) -> Option<(HtmlToken, usize)> {
                         i = (i + 1).min(bytes.len());
                     } else {
                         let v_start = i;
-                        while i < bytes.len()
-                            && !bytes[i].is_ascii_whitespace()
-                            && bytes[i] != b'>'
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
                         {
                             i += 1;
                         }
@@ -270,7 +269,10 @@ mod tests {
         let toks = tokenize("<br/>");
         assert!(matches!(
             &toks[0],
-            HtmlToken::StartTag { self_closing: true, .. }
+            HtmlToken::StartTag {
+                self_closing: true,
+                ..
+            }
         ));
     }
 
@@ -317,6 +319,11 @@ mod tests {
     fn uppercase_tags_lowercased() {
         let toks = tokenize("<TABLE><TR></TR></TABLE>");
         assert_eq!(toks[0], start("table"));
-        assert_eq!(toks[3], HtmlToken::EndTag { name: "table".into() });
+        assert_eq!(
+            toks[3],
+            HtmlToken::EndTag {
+                name: "table".into()
+            }
+        );
     }
 }

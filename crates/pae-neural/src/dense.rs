@@ -43,7 +43,14 @@ impl Dense {
     /// Backward pass; accumulates into `grads` and `dx`.
     pub fn backward(&self, x: &[f32], dy: &[f32], grads: &mut DenseGrads, dx: &mut [f32]) {
         affine_backward(
-            &self.w, x, dy, self.rows, self.cols, &mut grads.w, &mut grads.b, dx,
+            &self.w,
+            x,
+            dy,
+            self.rows,
+            self.cols,
+            &mut grads.w,
+            &mut grads.b,
+            dx,
         );
     }
 

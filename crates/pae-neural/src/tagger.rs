@@ -564,7 +564,10 @@ mod tests {
     fn training_is_deterministic() {
         let a = BiLstmTagger::train(&corpus(), 3, &quick_config(2));
         let b = BiLstmTagger::train(&corpus(), 3, &quick_config(2));
-        let words: Vec<String> = ["color", ":", "blue"].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["color", ":", "blue"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(a.predict(&words), b.predict(&words));
         assert_eq!(a.out.w, b.out.w);
     }
@@ -641,9 +644,11 @@ mod tests {
     #[test]
     fn oov_words_fall_back_to_char_representation() {
         // Char pattern (digits) should transfer to an unseen number.
+        // 60 epochs: the char branch needs the extra passes to dominate
+        // the <unk> word embedding under this RNG stream.
         let cfg = TaggerConfig {
             word_dropout: 0.4,
-            ..quick_config(40)
+            ..quick_config(60)
         };
         let tagger = BiLstmTagger::train(&corpus(), 3, &cfg);
         let words: Vec<String> = ["weight", ":", "27", "kg"]
@@ -651,7 +656,10 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let pred = tagger.predict(&words);
-        assert_eq!(pred[2], 2, "unseen digit string should be labelled 2, got {pred:?}");
+        assert_eq!(
+            pred[2], 2,
+            "unseen digit string should be labelled 2, got {pred:?}"
+        );
     }
 
     #[test]
@@ -660,7 +668,10 @@ mod tests {
         cfg.dropout = 0.5;
         cfg.word_dropout = 0.3;
         let tagger = BiLstmTagger::train(&corpus(), 3, &cfg);
-        let words: Vec<String> = ["color", ":", "red"].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["color", ":", "red"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let a = tagger.predict(&words);
         let b = tagger.predict(&words);
         assert_eq!(a, b, "inference must not sample dropout");

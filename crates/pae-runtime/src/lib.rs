@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+
+//! Shared worker-pool layer for the bootstrap hot paths.
+//!
+//! Every parallel construct here is **deterministic by construction**:
+//! the decomposition of work (chunk partition, item order of the
+//! output) depends only on the input, never on the thread count or on
+//! scheduling. Threads race only over *which worker executes which
+//! piece*; results are always placed by index and reduced in a fixed
+//! order. Consequently a pipeline run produces byte-identical output
+//! at `PAE_JOBS=1` and `PAE_JOBS=64` — the property
+//! `tests/determinism.rs` enforces end to end.
+//!
+//! Concurrency is bounded by [`jobs`]: the `PAE_JOBS` environment
+//! variable when set (a positive integer), else the machine's
+//! available parallelism. Tests use [`with_jobs`] to pin the bound
+//! without touching the process environment.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Per-thread override installed by [`with_jobs`] and inherited by
+    /// pool workers (so nested stages observe the caller's bound).
+    static JOBS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker-pool width: thread-local override (see [`with_jobs`]),
+/// else `PAE_JOBS`, else available parallelism.
+pub fn jobs() -> usize {
+    if let Some(n) = JOBS_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    std::env::var("PAE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&j| j > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` with [`jobs`] pinned to `n` on this thread (and on any
+/// pool workers spawned inside). Restores the previous value on exit,
+/// panic included. Intended for tests that compare thread counts
+/// without racing on the process environment.
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            JOBS_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _guard = Restore(JOBS_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Maps `f` over `items` on the worker pool, returning results in item
+/// order.
+///
+/// Scheduling is a work-stealing index queue: each worker repeatedly
+/// claims the next unclaimed index, so a slow item delays only itself
+/// — there is no barrier between chunks and no head-of-line blocking.
+/// The output vector is assembled by index, making the result
+/// independent of completion order and thread count.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let width = jobs().min(items.len());
+    if width <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let inherited = jobs();
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move |_| {
+                    JOBS_OVERRIDE.with(|c| c.set(Some(inherited)));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+    .expect("worker pool scope");
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for local in per_worker {
+        for (i, r) in local {
+            debug_assert!(slots[i].is_none(), "item {i} mapped twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Splits `len` items into at most `max_chunks` balanced contiguous
+/// ranges. The partition depends only on `len` and `max_chunks` —
+/// never on the thread count — which is what makes chunked reductions
+/// deterministic across `PAE_JOBS` values.
+pub fn chunk_ranges(len: usize, max_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = max_chunks.max(1).min(len);
+    let base = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Maps `map` over a **fixed partition** of `items` (see
+/// [`chunk_ranges`]) and returns the per-chunk results in chunk order.
+///
+/// The caller folds the chunk results sequentially; because the
+/// partition and the fold order are both fixed, a floating-point
+/// reduction built on this is byte-identical at any thread count.
+pub fn parallel_chunk_map<T, A, F>(items: &[T], max_chunks: usize, map: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(&[T]) -> A + Sync,
+{
+    let ranges = chunk_ranges(items.len(), max_chunks);
+    parallel_map(&ranges, |_, range| map(&items[range.clone()]))
+}
+
+/// Runs two closures concurrently (second on a pool thread when the
+/// pool width allows), returning both results.
+pub fn join<RA, RB, FA, FB>(fa: FA, fb: FB) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB + Send,
+{
+    if jobs() <= 1 {
+        return (fa(), fb());
+    }
+    let inherited = jobs();
+    crossbeam::thread::scope(|scope| {
+        let handle = scope.spawn(move |_| {
+            JOBS_OVERRIDE.with(|c| c.set(Some(inherited)));
+            fb()
+        });
+        let a = fa();
+        let b = handle.join().expect("join worker panicked");
+        (a, b)
+    })
+    .expect("join scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = with_jobs(4, || parallel_map(&items, |i, &x| i * 1000 + x * 2));
+        let expected: Vec<usize> = (0..100).map(|i| i * 1000 + i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_at_any_width() {
+        let items: Vec<u64> = (0..57).map(|i| i * 7 + 3).collect();
+        let serial = with_jobs(1, || parallel_map(&items, |_, &x| x.pow(2)));
+        for width in [2, 3, 8, 16] {
+            let parallel = with_jobs(width, || parallel_map(&items, |_, &x| x.pow(2)));
+            assert_eq!(serial, parallel, "width {width}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 31, 32, 33, 100] {
+            for n in [1usize, 2, 7, 32, 200] {
+                let ranges = chunk_ranges(len, n);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len {len} chunks {n}");
+                let mut pos = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, pos);
+                    assert!(!r.is_empty(), "empty chunk for len {len} n {n}");
+                    pos = r.end;
+                }
+                // Balance: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_float_reduction_is_identical_across_widths() {
+        // Adversarial magnitudes: naive reassociation would change the
+        // sum, so equality here demonstrates the fixed fold order.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3 + 1e9 * ((i % 7) as f64))
+            .collect();
+        let reduce = || {
+            parallel_chunk_map(&xs, 32, |chunk| chunk.iter().sum::<f64>())
+                .into_iter()
+                .fold(0.0f64, |acc, p| acc + p)
+        };
+        let one = with_jobs(1, reduce);
+        for width in [2, 4, 13] {
+            let many = with_jobs(width, reduce);
+            assert_eq!(one.to_bits(), many.to_bits(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = with_jobs(4, || join(|| 6 * 7, || "ok".to_string()));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn with_jobs_restores_previous_bound() {
+        let outer = jobs();
+        with_jobs(3, || {
+            assert_eq!(jobs(), 3);
+            with_jobs(5, || assert_eq!(jobs(), 5));
+            assert_eq!(jobs(), 3);
+        });
+        assert_eq!(jobs(), outer);
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_bound() {
+        let items = vec![(); 8];
+        let seen = with_jobs(2, || parallel_map(&items, |_, _| jobs()));
+        assert!(seen.iter().all(|&j| j == 2), "{seen:?}");
+    }
+}

@@ -122,9 +122,9 @@ impl CategoryKind {
     /// Corpus language.
     pub fn language(&self) -> Language {
         match self {
-            CategoryKind::MailboxDe
-            | CategoryKind::CoffeeMachinesDe
-            | CategoryKind::GardenDe => Language::SpaceDelim,
+            CategoryKind::MailboxDe | CategoryKind::CoffeeMachinesDe | CategoryKind::GardenDe => {
+                Language::SpaceDelim
+            }
             _ => Language::Agglut,
         }
     }
@@ -447,15 +447,7 @@ impl Builder<'_> {
         set_step(&mut opt, 2);
         let mut dig = self.num_attr("digital_zoom", 1, 4, 40, "", 0.1, false);
         set_step(&mut dig, 2);
-        let attrs = vec![
-            self.brand_attr(),
-            eff,
-            tot,
-            opt,
-            dig,
-            weight,
-            shutter,
-        ];
+        let attrs = vec![self.brand_attr(), eff, tot, opt, dig, weight, shutter];
         let mut s = self.base("Digital Cameras", attrs);
         s.table_page_prob = 0.22;
         s.table_noise_prob = 0.01;
@@ -626,15 +618,18 @@ impl Builder<'_> {
             // Cluster 0: carriers.
             self.brand_attr().in_cluster(0),
             carrier_material,
-            self.num_attr("max_load", 1, 9, 20, "kg", 0.3, false).in_cluster(0),
+            self.num_attr("max_load", 1, 9, 20, "kg", 0.3, false)
+                .in_cluster(0),
             // Cluster 1: clothes.
             self.color_attr().in_cluster(1),
             clothes_fabric,
-            self.num_attr("size", 1, 50, 95, "cm", 0.1, false).in_cluster(1),
+            self.num_attr("size", 1, 50, 95, "cm", 0.1, false)
+                .in_cluster(1),
             // Cluster 2: toys.
             self.cat_attr("toy_type", 2, 6).in_cluster(2),
             self.num_attr("age", 1, 0, 6, "", 0.0, false).in_cluster(2),
-            self.num_attr("weight", 1, 1, 5, "kg", 0.4, false).in_cluster(2),
+            self.num_attr("weight", 1, 1, 5, "kg", 0.4, false)
+                .in_cluster(2),
         ];
         let mut s = self.base("Baby Goods", attrs);
         s.table_page_prob = 0.3;

@@ -282,6 +282,8 @@ mod tests {
 
     #[test]
     fn german_dataset_has_fewer_default_products() {
-        assert!(CategoryKind::MailboxDe.default_products() < CategoryKind::Tennis.default_products());
+        assert!(
+            CategoryKind::MailboxDe.default_products() < CategoryKind::Tennis.default_products()
+        );
     }
 }

@@ -49,13 +49,13 @@ impl Language {
         match self {
             Language::Agglut => &[
                 "ka", "ki", "ku", "ke", "ko", "sa", "shi", "su", "se", "so", "ta", "chi", "te",
-                "to", "na", "ni", "no", "ma", "mi", "mo", "ra", "ri", "ru", "re", "wa", "ya",
-                "yo", "ha", "hi", "fu", "he", "ho",
+                "to", "na", "ni", "no", "ma", "mi", "mo", "ra", "ri", "ru", "re", "wa", "ya", "yo",
+                "ha", "hi", "fu", "he", "ho",
             ],
             Language::SpaceDelim => &[
-                "ber", "fel", "gan", "hof", "kel", "lan", "mar", "nen", "rau", "sta", "tal",
-                "ung", "wei", "zer", "bach", "dorf", "gen", "heim", "licht", "stein", "mut",
-                "vor", "ach", "eck",
+                "ber", "fel", "gan", "hof", "kel", "lan", "mar", "nen", "rau", "sta", "tal", "ung",
+                "wei", "zer", "bach", "dorf", "gen", "heim", "licht", "stein", "mut", "vor", "ach",
+                "eck",
             ],
         }
     }
@@ -115,7 +115,9 @@ impl WordFactory {
         syllable_count: usize,
         tag: PosTag,
     ) -> Vec<String> {
-        (0..n).map(|_| self.fresh(rng, syllable_count, tag)).collect()
+        (0..n)
+            .map(|_| self.fresh(rng, syllable_count, tag))
+            .collect()
     }
 
     /// Registers an externally chosen word (e.g. a unit like `kg`).

@@ -24,11 +24,7 @@ pub struct ProductRecord {
 
 /// Draws a product's canonical attribute values.
 pub fn draw_product(schema: &CategorySchema, id: u32, rng: &mut StdRng) -> ProductRecord {
-    let clusters: Vec<usize> = schema
-        .attributes
-        .iter()
-        .filter_map(|a| a.cluster)
-        .collect();
+    let clusters: Vec<usize> = schema.attributes.iter().filter_map(|a| a.cluster).collect();
     let cluster = if clusters.is_empty() {
         None
     } else {
@@ -55,7 +51,8 @@ pub fn render_page(schema: &CategorySchema, record: &ProductRecord, rng: &mut St
     let lang = schema.language;
     let term = lang.terminator();
 
-    let pick_filler = |rng: &mut StdRng| schema.filler[rng.random_range(0..schema.filler.len())].clone();
+    let pick_filler =
+        |rng: &mut StdRng| schema.filler[rng.random_range(0..schema.filler.len())].clone();
     let pick_conn = |rng: &mut StdRng| {
         schema.connectives[rng.random_range(0..schema.connectives.len())].clone()
     };

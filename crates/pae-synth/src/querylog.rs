@@ -112,7 +112,11 @@ mod tests {
         );
 
         // One-off (frequency 1) surfaces must not be queried alone.
-        let singletons: Vec<&&str> = freq.iter().filter(|(_, c)| **c == 1).map(|(s, _)| s).collect();
+        let singletons: Vec<&&str> = freq
+            .iter()
+            .filter(|(_, c)| **c == 1)
+            .map(|(s, _)| s)
+            .collect();
         for s in singletons {
             assert!(
                 !log.iter().any(|q| q == *s),

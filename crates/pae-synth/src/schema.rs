@@ -116,7 +116,10 @@ impl CategorySchema {
 
     /// All canonical attribute keys.
     pub fn attribute_keys(&self) -> Vec<&str> {
-        self.attributes.iter().map(|a| a.canonical.as_str()).collect()
+        self.attributes
+            .iter()
+            .map(|a| a.canonical.as_str())
+            .collect()
     }
 }
 

@@ -110,7 +110,9 @@ mod tests {
         let mut p0 = HashMap::new();
         p0.insert(
             "color".to_owned(),
-            ["aka".to_owned(), "akairo".to_owned()].into_iter().collect(),
+            ["aka".to_owned(), "akairo".to_owned()]
+                .into_iter()
+                .collect(),
         );
         t.product_triples.insert(0, p0);
         t.product_ids = vec![0, 1];

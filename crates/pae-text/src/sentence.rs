@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn decimal_points_do_not_split() {
         let s = SentenceSplitter::new();
-        assert_eq!(s.split("Weight is 2.5kg. Light"), ["Weight is 2.5kg.", "Light"]);
+        assert_eq!(
+            s.split("Weight is 2.5kg. Light"),
+            ["Weight is 2.5kg.", "Light"]
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl HmmPosTagger {
         let w = self.oov_heuristic_weight;
         let mut row = self.log_emit_unk;
         for (t, v) in row.iter_mut().enumerate() {
-            let bias = if t == heur { w } else { (1.0 - w) / (N_TAGS - 1) as f64 };
+            let bias = if t == heur {
+                w
+            } else {
+                (1.0 - w) / (N_TAGS - 1) as f64
+            };
             *v += bias.ln();
         }
         row
@@ -183,20 +187,14 @@ mod tests {
                 ("2", PosTag::Num),
                 ("kg", PosTag::Unit),
             ]),
-            mk(&[
-                ("red", PosTag::Adj),
-                ("bag", PosTag::Noun),
-            ]),
+            mk(&[("red", PosTag::Adj), ("bag", PosTag::Noun)]),
             mk(&[
                 ("size", PosTag::Noun),
                 (":", PosTag::Sym),
                 ("30", PosTag::Num),
                 ("cm", PosTag::Unit),
             ]),
-            mk(&[
-                ("blue", PosTag::Adj),
-                ("bag", PosTag::Noun),
-            ]),
+            mk(&[("blue", PosTag::Adj), ("bag", PosTag::Noun)]),
         ]
     }
 

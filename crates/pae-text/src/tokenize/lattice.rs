@@ -120,12 +120,12 @@ mod tests {
 
     fn lex() -> Lexicon {
         Lexicon::from_entries([
-            ("aka", PosTag::Adj),      // "red"
-            ("kaban", PosTag::Noun),   // "bag"
+            ("aka", PosTag::Adj),    // "red"
+            ("kaban", PosTag::Noun), // "bag"
             ("kg", PosTag::Unit),
-            ("omosa", PosTag::Noun),   // "weight"
+            ("omosa", PosTag::Noun), // "weight"
             ("no", PosTag::Particle),
-            ("akane", PosTag::Noun),   // longer entry sharing prefix with aka
+            ("akane", PosTag::Noun), // longer entry sharing prefix with aka
         ])
     }
 

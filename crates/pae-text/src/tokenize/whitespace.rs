@@ -79,7 +79,11 @@ fn split_chunk(chunk: &str, base: usize, out: &mut Vec<Token>) {
             CharClass::Punct | CharClass::Symbol => {}
             CharClass::Space => unreachable!("chunks contain no whitespace"),
         }
-        let end_b = if j < chars.len() { chars[j].0 } else { chunk.len() };
+        let end_b = if j < chars.len() {
+            chars[j].0
+        } else {
+            chunk.len()
+        };
         out.push(Token::new(
             &chunk[start_b..end_b],
             base + start_b,

@@ -8,9 +8,8 @@ use pae_text::{
 };
 
 fn lexicon_strategy() -> impl Strategy<Value = Lexicon> {
-    proptest::collection::vec("[a-z]{2,6}", 1..8).prop_map(|words| {
-        Lexicon::from_entries(words.into_iter().map(|w| (w, PosTag::Noun)))
-    })
+    proptest::collection::vec("[a-z]{2,6}", 1..8)
+        .prop_map(|words| Lexicon::from_entries(words.into_iter().map(|w| (w, PosTag::Noun))))
 }
 
 proptest! {

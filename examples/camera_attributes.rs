@@ -28,7 +28,13 @@ fn main() {
     let global = outcome.evaluate(&dataset);
 
     println!("global model — per canonical attribute:");
-    let attrs = ["shutter_speed", "effective_pixels", "total_pixels", "weight", "brand"];
+    let attrs = [
+        "shutter_speed",
+        "effective_pixels",
+        "total_pixels",
+        "weight",
+        "brand",
+    ];
     for attr in attrs {
         println!(
             "  {attr:<18} precision {:>5.1}%  coverage {:>5.1}%",

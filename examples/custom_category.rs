@@ -44,7 +44,11 @@ fn main() {
         name: "Specialty Coffee".into(),
         language: Language::SpaceDelim,
         attributes: vec![
-            AttributeSpec::new("roast", roast_aliases, ValueGen::Categorical { pool: roast_pool }),
+            AttributeSpec::new(
+                "roast",
+                roast_aliases,
+                ValueGen::Categorical { pool: roast_pool },
+            ),
             AttributeSpec::new(
                 "volume",
                 volume_aliases,

@@ -17,8 +17,8 @@ fn main() {
     };
 
     for (kind, n) in [
-        (CategoryKind::Garden, 250),     // Agglut (Japanese-like)
-        (CategoryKind::GardenDe, 120),   // SpaceDelim (German-like)
+        (CategoryKind::Garden, 250),   // Agglut (Japanese-like)
+        (CategoryKind::GardenDe, 120), // SpaceDelim (German-like)
     ] {
         let dataset = DatasetSpec::new(kind, 42).products(n).generate();
 

@@ -51,7 +51,9 @@ fn main() {
     // 5. A few extracted triples, with their truth judgement.
     println!("\nsample extractions:");
     for triple in outcome.final_triples().iter().take(8) {
-        let judgement = dataset.truth.judge(triple.product, &triple.attr, &triple.value);
+        let judgement = dataset
+            .truth
+            .judge(triple.product, &triple.attr, &triple.value);
         println!(
             "  product {:>4}  {} = {:<24} [{judgement:?}]",
             triple.product, triple.attr, triple.value

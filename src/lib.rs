@@ -7,6 +7,8 @@
 //!
 //! ## Crate map
 //!
+//! * [`runtime`] — `PAE_JOBS`-bounded worker pools with deterministic
+//!   reductions (same seed ⇒ byte-identical output at any thread count)
 //! * [`text`] — tokenizers and PoS taggers (the only language-dependent layer)
 //! * [`html`] — HTML parsing, dictionary-table detection, text extraction
 //! * [`crf`] — linear-chain CRF with L-BFGS / OWL-QN training
@@ -39,5 +41,6 @@ pub use pae_crf as crf;
 pub use pae_embed as embed;
 pub use pae_html as html;
 pub use pae_neural as neural;
+pub use pae_runtime as runtime;
 pub use pae_synth as synth;
 pub use pae_text as text;

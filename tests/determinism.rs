@@ -1,7 +1,9 @@
 //! Determinism across the whole stack: identical seeds must give
-//! identical datasets, models, and extracted triples.
+//! identical datasets, models, and extracted triples — including at
+//! different worker-pool widths (`PAE_JOBS`).
 
-use pae::core::{BootstrapPipeline, PipelineConfig};
+use pae::core::{BootstrapPipeline, PipelineConfig, TaggerKind};
+use pae::runtime::with_jobs;
 use pae::synth::{CategoryKind, DatasetSpec};
 
 fn run(seed: u64) -> Vec<pae::core::Triple> {
@@ -14,6 +16,49 @@ fn run(seed: u64) -> Vec<pae::core::Triple> {
     };
     cfg.crf.max_iters = 30;
     BootstrapPipeline::new(cfg).run(&dataset).final_triples()
+}
+
+/// Runs one cycle with the given tagger backend at a pinned pool width.
+fn run_tagger_at(tagger: TaggerKind, jobs: usize) -> Vec<pae::core::Triple> {
+    let dataset = DatasetSpec::new(CategoryKind::Tennis, 42)
+        .products(80)
+        .generate();
+    let mut cfg = PipelineConfig {
+        iterations: 1,
+        tagger,
+        ..Default::default()
+    };
+    cfg.crf.max_iters = 30;
+    with_jobs(jobs, || {
+        BootstrapPipeline::new(cfg).run(&dataset).final_triples()
+    })
+}
+
+/// The tentpole guarantee: the worker pool's fixed chunking + ordered
+/// merge make the pipeline byte-identical at any thread count.
+fn assert_jobs_invariant(tagger: TaggerKind) {
+    let serial = run_tagger_at(tagger, 1);
+    let parallel = run_tagger_at(tagger, 4);
+    assert!(!serial.is_empty(), "{tagger:?} extracted nothing");
+    assert_eq!(
+        serial, parallel,
+        "{tagger:?}: PAE_JOBS=1 vs PAE_JOBS=4 diverged"
+    );
+}
+
+#[test]
+fn crf_triples_identical_across_thread_counts() {
+    assert_jobs_invariant(TaggerKind::Crf);
+}
+
+#[test]
+fn rnn_triples_identical_across_thread_counts() {
+    assert_jobs_invariant(TaggerKind::Rnn);
+}
+
+#[test]
+fn ensemble_triples_identical_across_thread_counts() {
+    assert_jobs_invariant(TaggerKind::Ensemble);
 }
 
 #[test]
@@ -33,8 +78,12 @@ fn different_seeds_differ() {
 
 #[test]
 fn dataset_generation_is_stable_across_calls() {
-    let d1 = DatasetSpec::new(CategoryKind::Shoes, 9).products(30).generate();
-    let d2 = DatasetSpec::new(CategoryKind::Shoes, 9).products(30).generate();
+    let d1 = DatasetSpec::new(CategoryKind::Shoes, 9)
+        .products(30)
+        .generate();
+    let d2 = DatasetSpec::new(CategoryKind::Shoes, 9)
+        .products(30)
+        .generate();
     for (a, b) in d1.pages.iter().zip(&d2.pages) {
         assert_eq!(a.html, b.html);
     }

@@ -21,7 +21,11 @@ fn crf_pipeline_reaches_high_precision_and_grows_coverage() {
     let outcome = BootstrapPipeline::new(quick(2)).run(&dataset);
 
     let seed = outcome.seed_report(&dataset);
-    assert!(seed.pair_precision() > 0.85, "seed pair precision {}", seed.pair_precision());
+    assert!(
+        seed.pair_precision() > 0.85,
+        "seed pair precision {}",
+        seed.pair_precision()
+    );
     assert!(seed.coverage() < 0.6, "seed coverage unexpectedly high");
 
     let report = outcome.evaluate(&dataset);
@@ -72,7 +76,8 @@ fn cleaning_direction_on_noisy_category() {
     let corpus = pae::core::parse_corpus(&dataset);
 
     let clean = BootstrapPipeline::new(quick(2)).run_on_corpus(&dataset, &corpus);
-    let dirty = BootstrapPipeline::new(quick(2).without_cleaning()).run_on_corpus(&dataset, &corpus);
+    let dirty =
+        BootstrapPipeline::new(quick(2).without_cleaning()).run_on_corpus(&dataset, &corpus);
 
     let clean_report = clean.evaluate(&dataset);
     let dirty_report = dirty.evaluate(&dataset);
@@ -112,6 +117,10 @@ fn german_category_works_end_to_end() {
         .generate();
     let outcome = BootstrapPipeline::new(quick(2)).run(&dataset);
     let report = outcome.evaluate(&dataset);
-    assert!(report.n_triples() > 20, "too few triples: {}", report.n_triples());
+    assert!(
+        report.n_triples() > 20,
+        "too few triples: {}",
+        report.n_triples()
+    );
     assert!(report.precision() > 0.7, "precision {}", report.precision());
 }

@@ -3,7 +3,7 @@
 
 use pae::crf::{train, FeatureExtractor, FeatureIndex, Instance, TrainConfig};
 use pae::html::{extract_tables, parse};
-use pae::text::{LexiconPosTagger, Lexicon, PosTag, PosTagger, Tokenizer, WhitespaceTokenizer};
+use pae::text::{Lexicon, LexiconPosTagger, PosTag, PosTagger, Tokenizer, WhitespaceTokenizer};
 
 #[test]
 fn html_table_to_crf_chain() {

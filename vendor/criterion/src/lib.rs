@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_function`/
+//! `finish`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is wall-clock
+//! over `sample_size` samples with min/median/mean reported as text.
+//!
+//! `cargo bench` passes `--bench` to the target, which selects full
+//! sampling; without it (e.g. `cargo test` compiling the bench target)
+//! every benchmark body runs exactly once as a smoke test, mirroring
+//! real criterion's test mode.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Collected sample durations (one per `iter` call).
+    samples: Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample (each sample is one call — the
+    /// bodies in this workspace are far above timer resolution).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let rounds = if self.quick { 1 } else { self.sample_size };
+        for _ in 0..rounds {
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            quick: self.criterion.quick,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut bencher.samples,
+            self.throughput,
+            self.criterion.quick,
+        );
+        self
+    }
+
+    /// Ends the group (borrow-release marker, as in criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; its absence means the target
+        // is being smoke-run (e.g. by `cargo test`).
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (stub: detection happens in
+    /// `default()`; kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = 20;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+            quick,
+        };
+        f(&mut bencher);
+        report(id, &mut bencher.samples, None, quick);
+        self
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration], throughput: Option<Throughput>, quick: bool) {
+    if samples.is_empty() {
+        println!("{id:<44} (no samples)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    if quick {
+        println!("{id:<44} smoke-ran in {}", fmt_duration(mean));
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if median.as_nanos() > 0 => {
+            format!(
+                "  {:8.1} MiB/s",
+                b as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            format!("  {:8.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<44} min {}  median {}  mean {}{rate}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares the benchmark entry list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Bytes(1024));
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "quick mode runs the body exactly once");
+    }
+
+    #[test]
+    fn full_mode_collects_samples() {
+        let mut c = Criterion { quick: false };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+        }
+        assert_eq!(ran, 5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

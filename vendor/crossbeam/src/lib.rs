@@ -1,0 +1,118 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63). The surface mirrors
+//! `crossbeam::thread::scope`: the closure passed to
+//! [`thread::Scope::spawn`] receives a `&Scope` argument (unused by
+//! callers that write `|_|`), and [`thread::scope`] returns a `Result`
+//! that is `Err` when a spawned thread panicked.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure; spawned threads
+    /// may borrow non-`'static` data that outlives the scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives the scope itself (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let nested = Scope { inner: inner_scope };
+                    f(&nested)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the
+    /// enclosing stack frame.
+    ///
+    /// Returns `Err` when a spawned-and-not-explicitly-joined thread
+    /// panicked (std's scope re-raises those at scope exit; the
+    /// re-raise is caught here), matching crossbeam's contract. A
+    /// panic in the main closure is also reported as `Err` — a minor
+    /// deviation from crossbeam, which propagates it; every caller in
+    /// this workspace just `expect`s the result.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let mut slots = vec![0usize; 8];
+        thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i * 2;
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(slots, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn panicking_thread_yields_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_results_are_returned() {
+        let doubled = thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("join")
+        })
+        .expect("scope");
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = std::sync::atomic::AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    v.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("scope");
+        assert_eq!(v.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

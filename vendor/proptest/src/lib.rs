@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! reimplements the narrow slice of proptest the workspace's tests
+//! use: value generation (no shrinking) for range, string-regex,
+//! tuple, and vec strategies, combined with the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, and `prop_assume!` macros and a
+//! deterministic [`test_runner::TestRunner`]. Failing cases report the
+//! case index and per-test seed instead of a minimized input.
+//!
+//! Supported string patterns are a regex subset: a concatenation of
+//! atoms (`\PC` for any printable char, or a character class like
+//! `[a-z0-9., ]` with ranges), each with an optional `*` or `{m,n}`
+//! quantifier.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Converts into inclusive `(min, max)` bounds.
+        fn into_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn into_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.into_bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+/// The glob-import surface (`proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property; failures panic with the
+/// formatted message (the runner reports the case seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Rejects the current case when the condition does not hold; the
+/// runner draws a replacement case instead of counting it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            $crate::test_runner::mark_rejected();
+            return;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) {...}`
+/// item becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), ($($strat,)+), |($($pat,)+)| $body);
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,192 @@
+//! String generation from a regex subset.
+//!
+//! Grammar: `pattern := (atom quantifier?)*` where
+//! `atom := "\PC" | "[" class "]"` and `quantifier := "*" | "{m}" |
+//! "{m,n}"`. Classes contain literal characters and `a-z` style
+//! ranges. This covers every pattern in the workspace's tests; an
+//! unsupported construct panics with a clear message so a new pattern
+//! fails loudly rather than generating the wrong language.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Maximum repetitions for the `*` quantifier.
+const STAR_MAX: usize = 32;
+
+/// A parsed pattern element with its repetition bounds.
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+enum Atom {
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    /// A character class, expanded to its members.
+    Class(Vec<char>),
+}
+
+/// Non-ASCII printable characters mixed into `\PC` output so that
+/// multi-byte UTF-8 boundaries are exercised.
+const WIDE_PRINTABLES: &[char] = &[
+    'é', 'ß', 'Ø', 'ñ', 'あ', 'か', '日', '本', '語', '中', '“', '”', '€', '¥', '√', '🦀', '🛒',
+];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                Atom::Printable
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                        assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                        members.push(chars[i]);
+                        i += 1;
+                    } else if chars.get(i + 1) == Some(&'-')
+                        && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                        members.extend((lo..=hi).filter(|c| !c.is_control()));
+                        i += 3;
+                    } else {
+                        members.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                assert!(!members.is_empty(), "empty class in {pattern:?}");
+                i += 1; // closing ']'
+                Atom::Class(members)
+            }
+            other => {
+                // Treat any other character as a literal.
+                i += 1;
+                Atom::Class(vec![other])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, STAR_MAX)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier min"),
+                        n.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let exact = body.trim().parse().expect("quantifier count");
+                        (exact, exact)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn printable(rng: &mut StdRng) -> char {
+    // Mostly ASCII (keeps outputs readable and indexable), with a
+    // slice of multi-byte printables for UTF-8 boundary coverage.
+    if rng.random_range(0usize..10) < 8 {
+        char::from_u32(rng.random_range(0x20u32..0x7F)).expect("ascii printable")
+    } else {
+        WIDE_PRINTABLES[rng.random_range(0..WIDE_PRINTABLES.len())]
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Printable => out.push(printable(rng)),
+                Atom::Class(members) => out.push(members[rng.random_range(0..members.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            let t = generate("\\PC{0,60}", &mut rng);
+            assert!(t.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate("[a-z0-9<&.][a-z0-9<&. ]{0,11}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n), "{s:?}");
+            assert!(!s.starts_with(' '), "first atom has no space: {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_punctuation_and_escapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let allowed: Vec<char> = "abcdefghijklmnopqrstuvwxyz<>/&; \"='".chars().collect();
+        for _ in 0..100 {
+            let s = generate("[a-z<>/&; \"=']{0,120}", &mut rng);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_quantifier() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = generate("[x]{4}", &mut rng);
+        assert_eq!(s, "xxxx");
+    }
+}

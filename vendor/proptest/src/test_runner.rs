@@ -1,0 +1,151 @@
+//! The deterministic case runner behind the [`crate::proptest!`] macro.
+
+use std::cell::Cell;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+thread_local! {
+    static REJECTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current case as rejected (used by `prop_assume!`).
+pub fn mark_rejected() {
+    REJECTED.with(|r| r.set(true));
+}
+
+fn take_rejected() -> bool {
+    REJECTED.with(|r| r.replace(false))
+}
+
+/// Drives one property over many generated cases.
+///
+/// Generation is deterministic: the RNG is seeded from the test name
+/// (plus `PROPTEST_SEED` when set), so failures reproduce across runs
+/// and machines.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` against `config.cases` generated values.
+    ///
+    /// On a panic inside `body`, re-panics after printing the case
+    /// index and seed (there is no shrinking in this stand-in).
+    pub fn run<S: Strategy>(&mut self, name: &str, strategy: S, mut body: impl FnMut(S::Value)) {
+        let seed = base_seed(name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut rng);
+            take_rejected(); // clear any stale flag
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(value);
+            }));
+            case += 1;
+            match outcome {
+                Ok(()) if take_rejected() => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Ok(()) => passed += 1,
+                Err(payload) => {
+                    eprintln!(
+                        "proptest stand-in: {name} failed at case {case} \
+                         (seed {seed}; set PROPTEST_SEED to vary)"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Per-test seed: stable FNV-1a hash of the test name, XORed with the
+/// optional `PROPTEST_SEED` environment override.
+fn base_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    h ^ env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut count = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(40)).run("forty", 0usize..10, |v| {
+            assert!(v < 10);
+            count += 1;
+        });
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn assume_rejections_draw_replacements() {
+        let mut kept = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(20)).run("assume", 0usize..10, |v| {
+            crate::prop_assume!(v % 2 == 0);
+            assert!(v % 2 == 0);
+            kept += 1;
+        });
+        assert_eq!(kept, 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        TestRunner::new(ProptestConfig::with_cases(50)).run("fail", 0usize..10, |v| {
+            assert!(v < 5, "deliberate failure");
+        });
+    }
+}
