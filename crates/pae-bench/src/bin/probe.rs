@@ -3,10 +3,10 @@ use pae_core::{BootstrapPipeline, PipelineConfig, TaggerKind};
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    // Strips --trace-out / honors PAE_TRACE; positional args keep
+    // working on the filtered vector.
+    let (args, trace) = pae_obs::TraceSession::from_env_and_args();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     for kind in [
         CategoryKind::VacuumCleaner,
         CategoryKind::Garden,
@@ -64,4 +64,5 @@ fn main() {
             }
         }
     }
+    trace.finish();
 }

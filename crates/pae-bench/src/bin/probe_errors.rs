@@ -4,16 +4,14 @@ use pae_synth::truth::Judgement;
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let kind = match std::env::args().nth(1).as_deref() {
+    let (args, trace) = pae_obs::TraceSession::from_env_and_args();
+    let kind = match args.get(1).map(String::as_str) {
         Some("mailbox") => CategoryKind::MailboxDe,
         Some("coffee") => CategoryKind::CoffeeMachinesDe,
         Some("camera") => CategoryKind::DigitalCameras,
         _ => CategoryKind::GardenDe,
     };
-    let n: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150);
     let dataset = DatasetSpec::new(kind, 42).products(n).generate();
     let cfg = PipelineConfig {
         iterations: 2,
@@ -43,6 +41,22 @@ fn main() {
         }
     }
     println!("total={} wrong={wrong} maybe={maybe}", triples.len());
+    println!("cleaning per cycle:");
+    for s in &outcome.snapshots {
+        println!(
+            "  it{}: veto symbols={} markup={} unpopular={} too_long={} (total {}) | \
+             semantic removed={} evictions={} unscored={}",
+            s.iteration,
+            s.veto.symbols,
+            s.veto.markup,
+            s.veto.unpopular,
+            s.veto.long,
+            s.veto.total(),
+            s.semantic.removed,
+            s.semantic.evictions,
+            s.semantic.unscored_values,
+        );
+    }
     println!(
         "label space: {:?}",
         outcome
@@ -52,4 +66,5 @@ fn main() {
             .map(|a| { format!("{}->{}", a, dataset.truth.canonical_attr(a).unwrap_or("?")) })
             .collect::<Vec<_>>()
     );
+    trace.finish();
 }

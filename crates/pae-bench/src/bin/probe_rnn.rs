@@ -3,6 +3,7 @@ use pae_core::{config::RnnOptions, BootstrapPipeline, PipelineConfig, TaggerKind
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
+    let (_args, trace) = pae_obs::TraceSession::from_env_and_args();
     let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
         .products(200)
         .generate();
@@ -36,4 +37,5 @@ fn main() {
             r.n_triples()
         );
     }
+    trace.finish();
 }

@@ -257,7 +257,13 @@ pub fn pct(x: f64) -> String {
 pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
     let secs = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
     let mut table = TextTable::new(vec![
-        "cycle", "train", "extract", "veto", "semantic", "total",
+        "cycle",
+        "train",
+        "extract",
+        "veto",
+        "semantic",
+        "corrections",
+        "total",
     ]);
     for s in &outcome.snapshots {
         let t = &s.timings;
@@ -267,6 +273,7 @@ pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
             secs(t.extract),
             secs(t.veto),
             secs(t.semantic),
+            secs(t.corrections),
             secs(t.total()),
         ]);
     }

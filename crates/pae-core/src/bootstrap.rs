@@ -11,7 +11,7 @@ use crate::diversify::diversify;
 use crate::eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
 use crate::seed::{build_seed, Seed};
 use crate::tagger::{extract_candidates, TrainedTagger};
-use crate::timing::{timed, PrepTimings, StageTimings};
+use crate::timing::{span_timed, PrepTimings, StageTimings};
 use crate::trainset::{generate_training_set, LabelSpace};
 use crate::types::{AttrTable, Triple};
 
@@ -62,6 +62,7 @@ impl BootstrapOutcome {
 
     /// Evaluates the final triples.
     pub fn evaluate(&self, dataset: &Dataset) -> EvalReport {
+        let _span = pae_obs::span("eval");
         evaluate_triples(&self.final_triples(), &dataset.truth)
     }
 
@@ -130,9 +131,10 @@ impl BootstrapPipeline {
     /// harness parses once and evaluates many configurations).
     pub fn run_on_corpus(&self, dataset: &Dataset, corpus: &Corpus) -> BootstrapOutcome {
         let cfg = &self.config;
+        let _run_span = pae_obs::span("bootstrap.run");
 
         // Pre-processing: seed + diversification (lines 1–5).
-        let (mut seed, seed_time) = timed(|| {
+        let (mut seed, seed_time) = span_timed("seed", || {
             build_seed(
                 corpus,
                 &dataset.query_log,
@@ -141,7 +143,10 @@ impl BootstrapPipeline {
             )
         });
         self.corrections.apply_to_seed(&mut seed);
-        let (diversified, diversify_time) = timed(|| {
+        if pae_obs::enabled() {
+            pae_obs::gauge_set("bootstrap.seed_pairs", &[], seed.product_pairs.len() as f64);
+        }
+        let (diversified, diversify_time) = span_timed("diversify", || {
             if cfg.use_diversification {
                 let pos_tagger = LexiconPosTagger::new(dataset.lexicon.clone());
                 let pos_key = |value: &str| -> String {
@@ -182,6 +187,8 @@ impl BootstrapPipeline {
         let mut snapshots = Vec::with_capacity(cfg.iterations);
 
         for iteration in 1..=cfg.iterations {
+            let _iter_span =
+                pae_obs::span_fields("iteration", vec![("n".into(), iteration.into())]);
             // Tagging (lines 10–12).
             let tagged =
                 train_and_extract_timed(corpus, &triples, &extra_values, &label_space, cfg);
@@ -200,14 +207,14 @@ impl BootstrapPipeline {
             pool.dedup();
 
             // Cleaning (lines 14–20).
-            let ((pool, veto), veto_time) = timed(|| {
+            let ((pool, veto), veto_time) = span_timed("veto", || {
                 if cfg.use_veto {
                     apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars)
                 } else {
                     (pool, VetoStats::default())
                 }
             });
-            let ((pool, semantic), semantic_time) = timed(|| {
+            let ((pool, semantic), semantic_time) = span_timed("semantic", || {
                 if cfg.use_semantic {
                     semantic_clean(
                         pool,
@@ -219,13 +226,35 @@ impl BootstrapPipeline {
                     (pool, SemanticCleanStats::default())
                 }
             });
-            let pool = if self.corrections.is_empty() {
-                pool
-            } else {
-                self.corrections.apply_to_triples(pool)
-            };
+            // The corrections span is emitted even when there are no
+            // corrections, so every cycle's trace has the same shape.
+            let (pool, corrections_time) = span_timed("corrections", || {
+                if self.corrections.is_empty() {
+                    pool
+                } else {
+                    self.corrections.apply_to_triples(pool)
+                }
+            });
             let prev_len = triples.len();
             triples = pool;
+
+            if pae_obs::enabled() {
+                // Step-indexed series: the per-iteration trajectories
+                // behind the paper's Fig. 3/5 curves.
+                pae_obs::observe_step("bootstrap.triples", iteration, triples.len() as f64);
+                pae_obs::observe_step("bootstrap.candidates", iteration, n_candidates as f64);
+                pae_obs::event(
+                    "iteration.summary",
+                    vec![
+                        ("iteration".into(), iteration.into()),
+                        ("candidates".into(), n_candidates.into()),
+                        ("triples".into(), triples.len().into()),
+                        ("veto_dropped".into(), veto.total().into()),
+                        ("semantic_removed".into(), semantic.removed.into()),
+                        ("semantic_evictions".into(), semantic.evictions.into()),
+                    ],
+                );
+            }
 
             snapshots.push(IterationSnapshot {
                 iteration,
@@ -238,6 +267,7 @@ impl BootstrapPipeline {
                     extract: tagged.extract,
                     veto: veto_time,
                     semantic: semantic_time,
+                    corrections: corrections_time,
                 },
             });
 
@@ -300,9 +330,17 @@ pub fn train_and_extract_timed(
             extract: std::time::Duration::ZERO,
         };
     }
-    let one_backend = |train: &dyn Fn() -> TrainedTagger| {
-        let (tagger, train_time) = timed(train);
-        let (candidates, extract_time) = timed(|| extract_candidates(&tagger, corpus, space));
+    let one_backend = |backend: &'static str, train: &dyn Fn() -> TrainedTagger| {
+        let (tagger, train_time) = {
+            let span = pae_obs::span_fields("train", vec![("backend".into(), backend.into())]);
+            let tagger = train();
+            (tagger, span.finish())
+        };
+        let (candidates, extract_time) = {
+            let span = pae_obs::span_fields("extract", vec![("backend".into(), backend.into())]);
+            let candidates = extract_candidates(&tagger, corpus, space);
+            (candidates, span.finish())
+        };
         TrainExtract {
             candidates,
             train: train_time,
@@ -310,12 +348,12 @@ pub fn train_and_extract_timed(
         }
     };
     match cfg.tagger {
-        TaggerKind::Crf => {
-            one_backend(&|| TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf))
-        }
-        TaggerKind::Rnn => {
-            one_backend(&|| TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn))
-        }
+        TaggerKind::Crf => one_backend("crf", &|| {
+            TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)
+        }),
+        TaggerKind::Rnn => one_backend("rnn", &|| {
+            TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)
+        }),
         TaggerKind::Ensemble => {
             // Precision-first combination: a candidate must be produced
             // by both backends to survive. Both extractions arrive
@@ -324,8 +362,16 @@ pub fn train_and_extract_timed(
             // concurrently on the worker pool; each arm's output only
             // depends on its own seed, so the merge is deterministic.
             let (a, b) = pae_runtime::join(
-                || one_backend(&|| TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)),
-                || one_backend(&|| TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)),
+                || {
+                    one_backend("crf", &|| {
+                        TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)
+                    })
+                },
+                || {
+                    one_backend("rnn", &|| {
+                        TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)
+                    })
+                },
             );
             TrainExtract {
                 candidates: intersect_sorted(a.candidates, &b.candidates),

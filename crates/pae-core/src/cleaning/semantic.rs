@@ -21,6 +21,9 @@ pub struct SemanticCleanStats {
     pub removed: usize,
     /// Distinct values that had no embedding (kept unscored).
     pub unscored_values: usize,
+    /// Values evicted while shrinking per-attribute cores to
+    /// `core_size` (summed over attributes).
+    pub evictions: usize,
 }
 
 /// Runs semantic cleaning over candidate triples.
@@ -130,6 +133,7 @@ pub fn semantic_clean(
         }
 
         let core = build_core(&embedded, options.core_size);
+        stats.evictions += embedded.len() - core.len();
         let core_vecs: Vec<&[f32]> = core.iter().map(|&i| embedded[i].1).collect();
         let core_names: HashSet<&str> = core.iter().map(|&i| embedded[i].0).collect();
 
@@ -154,6 +158,16 @@ pub fn semantic_clean(
         })
         .collect();
     stats.removed = before - survivors.len();
+
+    if pae_obs::enabled() {
+        pae_obs::counter_add("semantic.removed", &[], stats.removed as u64);
+        pae_obs::counter_add("semantic.evictions", &[], stats.evictions as u64);
+        pae_obs::counter_add(
+            "semantic.unscored_values",
+            &[],
+            stats.unscored_values as u64,
+        );
+    }
     (survivors, stats)
 }
 

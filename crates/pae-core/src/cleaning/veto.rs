@@ -95,6 +95,18 @@ pub fn apply_veto(
         .collect();
     stats.unpopular = before - survivors.len();
 
+    if pae_obs::enabled() {
+        pae_obs::counter_add("veto.dropped", &[("rule", "symbols")], stats.symbols as u64);
+        pae_obs::counter_add("veto.dropped", &[("rule", "markup")], stats.markup as u64);
+        pae_obs::counter_add(
+            "veto.dropped",
+            &[("rule", "unpopular")],
+            stats.unpopular as u64,
+        );
+        pae_obs::counter_add("veto.dropped", &[("rule", "too_long")], stats.long as u64);
+        pae_obs::counter_add("veto.kept", &[], survivors.len() as u64);
+    }
+
     (survivors, stats)
 }
 

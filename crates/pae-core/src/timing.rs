@@ -5,6 +5,11 @@
 //! [`crate::bootstrap::BootstrapOutcome`] a [`PrepTimings`] record, so
 //! the experiment binaries can report where a cycle spends its time
 //! without re-instrumenting the pipeline.
+//!
+//! Since the `pae-obs` integration these structs are thin views over
+//! the trace spans: each stage duration is the measured length of the
+//! corresponding span (see [`span_timed`]), so the wall-clock report
+//! and the JSONL trace can never disagree.
 
 use std::time::{Duration, Instant};
 
@@ -23,22 +28,25 @@ pub struct StageTimings {
     pub veto: Duration,
     /// word2vec retraining + semantic drift filtering.
     pub semantic: Duration,
+    /// Human-corrections pass over the cycle's output.
+    pub corrections: Duration,
 }
 
 impl StageTimings {
     /// Sum of all stage durations.
     pub fn total(&self) -> Duration {
-        self.train + self.extract + self.veto + self.semantic
+        self.train + self.extract + self.veto + self.semantic + self.corrections
     }
 
     /// One-line human-readable report.
     pub fn summary(&self) -> String {
         format!(
-            "train {:.3}s  extract {:.3}s  veto {:.3}s  semantic {:.3}s",
+            "train {:.3}s  extract {:.3}s  veto {:.3}s  semantic {:.3}s  corrections {:.3}s",
             self.train.as_secs_f64(),
             self.extract.as_secs_f64(),
             self.veto.as_secs_f64(),
             self.semantic.as_secs_f64(),
+            self.corrections.as_secs_f64(),
         )
     }
 }
@@ -59,6 +67,16 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     (r, t0.elapsed())
 }
 
+/// Times one closure under a named `pae-obs` span, returning its result
+/// and the span's measured duration. This is what makes
+/// [`StageTimings`] a view over the trace: the duration reported here
+/// is byte-for-byte the `dur_ns` of the emitted span.
+pub fn span_timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let span = pae_obs::span(name);
+    let r = f();
+    (r, span.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,10 +88,14 @@ mod tests {
             extract: Duration::from_millis(7),
             veto: Duration::from_millis(1),
             semantic: Duration::from_millis(2),
+            corrections: Duration::from_millis(3),
         };
-        assert_eq!(t.total(), Duration::from_millis(15));
+        assert_eq!(t.total(), Duration::from_millis(18));
         let s = t.summary();
-        assert!(s.contains("train") && s.contains("semantic"), "{s}");
+        assert!(
+            s.contains("train") && s.contains("semantic") && s.contains("corrections"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -81,5 +103,25 @@ mod tests {
         let (v, d) = timed(|| 40 + 2);
         assert_eq!(v, 42);
         assert!(d < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn span_timed_emits_matching_span() {
+        pae_obs::set_enabled(true);
+        pae_obs::clear();
+        let (v, d) = span_timed("stage.test", || 6 * 7);
+        assert_eq!(v, 42);
+        let records = pae_obs::snapshot();
+        let end = records
+            .iter()
+            .find(|r| r.kind == pae_obs::RecordKind::SpanEnd && r.name == "stage.test")
+            .expect("span_end emitted");
+        assert_eq!(
+            end.field("dur_ns"),
+            Some(&pae_obs::FieldValue::U64(d.as_nanos() as u64)),
+            "StageTimings duration equals the span's dur_ns"
+        );
+        pae_obs::set_enabled(false);
+        pae_obs::clear();
     }
 }

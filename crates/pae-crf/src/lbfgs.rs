@@ -69,6 +69,10 @@ where
 
     for iter in 0..cfg.max_iters {
         let gnorm = norm2(&g);
+        if pae_obs::enabled() {
+            pae_obs::observe_step("crf.lbfgs.grad_norm", iter, gnorm);
+            pae_obs::observe_step("crf.lbfgs.nll", iter, value);
+        }
         if gnorm / norm2(&x).max(1.0) < cfg.epsilon {
             return LbfgsResult {
                 x,

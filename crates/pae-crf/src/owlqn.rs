@@ -62,6 +62,13 @@ where
             }
         }
         let pgnorm = norm2(&pg);
+        // Same metric names as the plain L-BFGS path: OWL-QN is the
+        // default training route (l1 > 0), and downstream dashboards
+        // should not care which inner loop produced the series.
+        if pae_obs::enabled() {
+            pae_obs::observe_step("crf.lbfgs.grad_norm", iter, pgnorm);
+            pae_obs::observe_step("crf.lbfgs.nll", iter, value);
+        }
         if pgnorm / norm2(&x).max(1.0) < cfg.epsilon {
             return LbfgsResult {
                 x,

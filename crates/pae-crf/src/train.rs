@@ -186,6 +186,15 @@ pub fn train(
         minimize(objective, x0, &lbfgs_cfg)
     };
 
+    if pae_obs::enabled() {
+        pae_obs::gauge_set("crf.lbfgs.iterations", &[], result.iterations as f64);
+        pae_obs::gauge_set(
+            "crf.lbfgs.converged",
+            &[],
+            if result.converged { 1.0 } else { 0.0 },
+        );
+        pae_obs::gauge_set("crf.lbfgs.final_nll", &[], result.value);
+    }
     model.params = result.x;
     model
 }

@@ -58,6 +58,7 @@ impl W2vModel {
     /// Returns `None` when the filtered vocabulary is empty — the
     /// semantic-cleaning module treats that as "no semantic evidence".
     pub fn train(sentences: &[Vec<String>], config: &W2vConfig) -> Option<Self> {
+        let _span = pae_obs::span("w2v.train");
         let vocab = W2vVocab::build(sentences, config.min_count);
         if vocab.is_empty() {
             return None;
@@ -155,6 +156,12 @@ impl W2vModel {
             }
         }
 
+        if pae_obs::enabled() {
+            pae_obs::counter_add("w2v.retrains", &[], 1);
+            pae_obs::counter_add("w2v.train_steps", &[], step as u64);
+            pae_obs::gauge_set("w2v.vocab_size", &[], v as f64);
+            pae_obs::gauge_set("w2v.sentences", &[], encoded.len() as f64);
+        }
         Some(W2vModel {
             vocab,
             dim,

@@ -116,17 +116,32 @@ impl BiLstmTagger {
 
         let mut order: Vec<usize> = (0..sentences.len()).collect();
         let mut lr = config.learning_rate;
-        for _epoch in 0..config.epochs {
+        for epoch in 0..config.epochs {
             shuffle(&mut order, &mut rng);
+            // Telemetry only: accumulated from activations the pass
+            // already computed, so enabling it consumes no RNG and
+            // cannot perturb training.
+            let observe = pae_obs::enabled();
+            let mut epoch_nll = 0.0f64;
+            let mut epoch_tokens = 0usize;
             for &si in &order {
                 let (words, labels) = &sentences[si];
                 if words.is_empty() {
                     continue;
                 }
                 let pass = tagger.forward(words, Some(&mut rng));
+                if observe {
+                    for (p, &y) in pass.probs.iter().zip(labels) {
+                        epoch_nll += -f64::from(p[y].max(1e-12)).ln();
+                    }
+                    epoch_tokens += labels.len();
+                }
                 let mut grads = tagger.zero_grads();
                 tagger.backward(&pass, labels, &mut grads);
                 tagger.clip_and_apply(&mut grads, lr);
+            }
+            if observe && epoch_tokens > 0 {
+                pae_obs::observe_step("rnn.epoch_loss", epoch, epoch_nll / epoch_tokens as f64);
             }
             lr *= config.lr_decay;
         }

@@ -1,0 +1,167 @@
+//! The global bounded ring-buffer collector.
+//!
+//! Collection is a side channel: enabling or disabling it never changes
+//! pipeline results (the determinism suite enforces this end to end).
+//! All records are appended under a single mutex, which makes the
+//! sequence numbers strictly increasing and records from concurrent
+//! workers non-interleaved. When the buffer is full the oldest record
+//! is dropped and counted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::record::{FieldValue, RecordKind, TraceRecord};
+
+/// Default ring-buffer capacity (records).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Inner {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+fn inner() -> &'static Mutex<Inner> {
+    static INNER: OnceLock<Mutex<Inner>> = OnceLock::new();
+    INNER.get_or_init(|| {
+        Mutex::new(Inner {
+            records: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+            next_seq: 0,
+        })
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turns collection on or off globally. Off by default; the pipeline
+/// produces byte-identical results either way.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether collection is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Resizes the ring buffer (existing overflow is dropped oldest-first).
+pub fn set_capacity(capacity: usize) {
+    let mut g = inner().lock().expect("obs collector poisoned");
+    g.capacity = capacity.max(1);
+    while g.records.len() > g.capacity {
+        g.records.pop_front();
+        g.dropped += 1;
+    }
+}
+
+/// Clears the collected records (capacity and metrics are untouched).
+pub fn clear() {
+    let mut g = inner().lock().expect("obs collector poisoned");
+    g.records.clear();
+    g.dropped = 0;
+}
+
+/// Number of records evicted because the ring buffer was full.
+pub fn dropped() -> u64 {
+    inner().lock().expect("obs collector poisoned").dropped
+}
+
+/// A copy of the collected records in sequence order.
+pub fn snapshot() -> Vec<TraceRecord> {
+    let g = inner().lock().expect("obs collector poisoned");
+    g.records.iter().cloned().collect()
+}
+
+/// Small dense ordinal for the calling thread (for trace readability —
+/// `std::thread::ThreadId` is opaque on stable).
+pub(crate) fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// Appends one record (no-op while disabled).
+pub(crate) fn push(
+    kind: RecordKind,
+    span: u64,
+    parent: u64,
+    name: &str,
+    fields: Vec<(String, FieldValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let t_ns = epoch().elapsed().as_nanos() as u64;
+    let thread = thread_ordinal();
+    let mut g = inner().lock().expect("obs collector poisoned");
+    let seq = g.next_seq;
+    g.next_seq += 1;
+    if g.records.len() >= g.capacity {
+        g.records.pop_front();
+        g.dropped += 1;
+    }
+    g.records.push_back(TraceRecord {
+        seq,
+        t_ns,
+        thread,
+        kind,
+        span,
+        parent,
+        name: name.to_string(),
+        fields,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    fn push_event(name: &str) {
+        push(RecordKind::Event, 0, 0, name, Vec::new());
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _l = test_lock();
+        set_enabled(false);
+        clear();
+        push_event("lost");
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        set_capacity(4);
+        for i in 0..10 {
+            push_event(&format!("e{i}"));
+        }
+        let records = snapshot();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].name, "e6", "oldest records evicted first");
+        assert_eq!(dropped(), 6);
+        // Sequence numbers stay strictly increasing across evictions.
+        for w in records.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        set_capacity(DEFAULT_CAPACITY);
+        set_enabled(false);
+        clear();
+    }
+}

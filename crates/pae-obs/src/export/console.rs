@@ -1,0 +1,160 @@
+//! Human console exporter: renders the collected spans as an indented
+//! tree with durations, collapsing repeated siblings (e.g. per-category
+//! fan-out spans) into one `name ×N` line with aggregate time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::collector;
+use crate::record::{RecordKind, TraceRecord};
+
+struct Node {
+    name: String,
+    dur_ns: u64,
+    children: Vec<u64>,
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+fn render_children(out: &mut String, nodes: &BTreeMap<u64, Node>, children: &[u64], depth: usize) {
+    // Collapse siblings that share a name, preserving first-seen order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: BTreeMap<&str, (u64, u64, Vec<u64>)> = BTreeMap::new();
+    for id in children {
+        let node = &nodes[id];
+        let entry = groups.entry(&node.name).or_insert_with(|| {
+            order.push(&node.name);
+            (0, 0, Vec::new())
+        });
+        entry.0 += 1;
+        entry.1 += node.dur_ns;
+        entry.2.push(*id);
+    }
+    for name in order {
+        let (count, total_ns, ids) = &groups[name];
+        let indent = "  ".repeat(depth);
+        if *count == 1 {
+            let _ = writeln!(out, "{indent}{name}  {}", ms(*total_ns));
+            render_children(out, nodes, &nodes[&ids[0]].children, depth + 1);
+        } else {
+            let _ = writeln!(out, "{indent}{name} ×{count}  {} total", ms(*total_ns));
+            // Merge the grandchildren of every collapsed sibling so the
+            // subtree stays aggregated too.
+            let merged: Vec<u64> = ids
+                .iter()
+                .flat_map(|id| nodes[id].children.iter().copied())
+                .collect();
+            render_children(out, nodes, &merged, depth + 1);
+        }
+    }
+}
+
+/// Renders a span tree from an explicit record snapshot.
+pub fn render_tree(records: &[TraceRecord]) -> String {
+    let mut nodes: BTreeMap<u64, Node> = BTreeMap::new();
+    let mut roots: Vec<u64> = Vec::new();
+    for r in records {
+        match r.kind {
+            RecordKind::SpanStart => {
+                nodes.insert(
+                    r.span,
+                    Node {
+                        name: r.name.clone(),
+                        dur_ns: 0,
+                        children: Vec::new(),
+                    },
+                );
+                if r.parent != 0 && nodes.contains_key(&r.parent) {
+                    let parent = r.parent;
+                    let id = r.span;
+                    nodes.get_mut(&parent).unwrap().children.push(id);
+                } else {
+                    roots.push(r.span);
+                }
+            }
+            RecordKind::SpanEnd => {
+                if let Some(n) = nodes.get_mut(&r.span) {
+                    n.dur_ns = r
+                        .field("dur_ns")
+                        .and_then(|v| match v {
+                            crate::record::FieldValue::U64(n) => Some(*n),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if nodes.is_empty() {
+        out.push_str("(no spans collected)\n");
+        return out;
+    }
+    render_children(&mut out, &nodes, &roots, 0);
+    out
+}
+
+/// Renders the current global collector state.
+pub fn render_current() -> String {
+    render_tree(&collector::snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FieldValue;
+
+    fn start(seq: u64, span: u64, parent: u64, name: &str) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t_ns: 0,
+            thread: 0,
+            kind: RecordKind::SpanStart,
+            span,
+            parent,
+            name: name.into(),
+            fields: vec![],
+        }
+    }
+
+    fn end(seq: u64, span: u64, name: &str, dur_ns: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t_ns: 0,
+            thread: 0,
+            kind: RecordKind::SpanEnd,
+            span,
+            parent: 0,
+            name: name.into(),
+            fields: vec![("dur_ns".into(), FieldValue::U64(dur_ns))],
+        }
+    }
+
+    #[test]
+    fn tree_nests_and_collapses_repeats() {
+        let records = vec![
+            start(0, 1, 0, "bootstrap.run"),
+            start(1, 2, 1, "iteration"),
+            start(2, 3, 2, "train"),
+            end(3, 3, "train", 2_000_000),
+            end(4, 2, "iteration", 3_000_000),
+            start(5, 4, 1, "iteration"),
+            start(6, 5, 4, "train"),
+            end(7, 5, "train", 4_000_000),
+            end(8, 4, "iteration", 5_000_000),
+            end(9, 1, "bootstrap.run", 9_000_000),
+        ];
+        let tree = render_tree(&records);
+        assert!(tree.contains("bootstrap.run  9.0ms"));
+        assert!(tree.contains("  iteration ×2  8.0ms total"));
+        assert!(tree.contains("    train ×2  6.0ms total"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render_tree(&[]), "(no spans collected)\n");
+    }
+}

@@ -1,0 +1,245 @@
+//! JSONL exporter: one JSON object per line.
+//!
+//! Line schema (all lines carry a `type` discriminator):
+//!
+//! - `meta` — first line: `{"type":"meta","version":1,"records":N,"dropped":N}`
+//! - `span_start` / `span_end` / `event` / `metric` — one per trace
+//!   record, with `seq`, `t_ns`, `thread`, `span`, `parent`, `name`, and
+//!   a `fields` object (`span_end` carries `fields.dur_ns`; `metric`
+//!   carries `fields.step` and `fields.value`).
+//! - `metric_snapshot` — final registry state, one line per metric:
+//!   counters/gauges carry `kind` + `value`; histograms carry `kind`,
+//!   `count`, `sum`, `min`, `max`, and sparse `buckets` as
+//!   `[[index, count], ...]` (bucket upper bound = `2^(index-31)`).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::collector;
+use crate::json::{write_f64, write_str};
+use crate::metrics::{self, MetricKey, MetricValue};
+use crate::record::{FieldValue, TraceRecord};
+
+fn write_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        FieldValue::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        FieldValue::F64(f) => write_f64(out, *f),
+        FieldValue::Str(s) => write_str(out, s),
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn render_record(out: &mut String, r: &TraceRecord) {
+    out.push_str("{\"type\":");
+    write_str(out, r.kind.type_str());
+    out.push_str(&format!(
+        ",\"seq\":{},\"t_ns\":{},\"thread\":{},\"span\":{},\"parent\":{},\"name\":",
+        r.seq, r.t_ns, r.thread, r.span, r.parent
+    ));
+    write_str(out, &r.name);
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in r.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_field_value(out, v);
+    }
+    out.push_str("}}\n");
+}
+
+fn render_metric(out: &mut String, k: &MetricKey, v: &MetricValue) {
+    out.push_str("{\"type\":\"metric_snapshot\",\"name\":");
+    write_str(out, &k.name);
+    out.push_str(",\"labels\":{");
+    for (i, (lk, lv)) in k.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, lk);
+        out.push(':');
+        write_str(out, lv);
+    }
+    out.push_str("},");
+    match v {
+        MetricValue::Counter(c) => {
+            out.push_str(&format!("\"kind\":\"counter\",\"value\":{c}"));
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str("\"kind\":\"gauge\",\"value\":");
+            write_f64(out, *g);
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str(&format!(
+                "\"kind\":\"histogram\",\"count\":{},\"sum\":",
+                h.count
+            ));
+            write_f64(out, h.sum);
+            out.push_str(",\"min\":");
+            write_f64(out, if h.count == 0 { 0.0 } else { h.min });
+            out.push_str(",\"max\":");
+            write_f64(out, if h.count == 0 { 0.0 } else { h.max });
+            out.push_str(",\"buckets\":[");
+            let mut first = true;
+            for (i, c) in h.buckets.iter().enumerate() {
+                if *c > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{i},{c}]"));
+                }
+            }
+            out.push(']');
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// Renders a full JSONL document from explicit snapshots.
+pub fn render(
+    records: &[TraceRecord],
+    metrics: &[(MetricKey, MetricValue)],
+    dropped: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"version\":1,\"records\":{},\"dropped\":{}}}\n",
+        records.len(),
+        dropped
+    ));
+    for r in records {
+        render_record(&mut out, r);
+    }
+    for (k, v) in metrics {
+        render_metric(&mut out, k, v);
+    }
+    out
+}
+
+/// Renders the current global collector + registry state.
+pub fn render_current() -> String {
+    render(
+        &collector::snapshot(),
+        &metrics::metrics_snapshot(),
+        collector::dropped(),
+    )
+}
+
+/// Writes the current global state to `path` as JSONL.
+pub fn write_current(path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_current().as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::record::RecordKind;
+
+    #[test]
+    fn every_line_parses_and_meta_leads() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                t_ns: 10,
+                thread: 0,
+                kind: RecordKind::SpanStart,
+                span: 1,
+                parent: 0,
+                name: "root".into(),
+                fields: vec![],
+            },
+            TraceRecord {
+                seq: 1,
+                t_ns: 20,
+                thread: 0,
+                kind: RecordKind::Metric,
+                span: 1,
+                parent: 0,
+                name: "crf.lbfgs.nll".into(),
+                fields: vec![
+                    ("step".into(), FieldValue::U64(0)),
+                    ("value".into(), FieldValue::F64(1.5)),
+                ],
+            },
+            TraceRecord {
+                seq: 2,
+                t_ns: 30,
+                thread: 0,
+                kind: RecordKind::SpanEnd,
+                span: 1,
+                parent: 0,
+                name: "root".into(),
+                fields: vec![("dur_ns".into(), FieldValue::U64(20))],
+            },
+        ];
+        let mut hist = crate::metrics::Histogram::default();
+        hist.buckets[32] = 1;
+        hist.count = 1;
+        hist.sum = 1.0;
+        hist.min = 1.0;
+        hist.max = 1.0;
+        let metrics = vec![
+            (
+                MetricKey {
+                    name: "veto.dropped".into(),
+                    labels: vec![("rule".into(), "symbols".into())],
+                },
+                MetricValue::Counter(4),
+            ),
+            (
+                MetricKey {
+                    name: "crf.lbfgs.nll".into(),
+                    labels: vec![],
+                },
+                MetricValue::Histogram(Box::new(hist)),
+            ),
+        ];
+        let doc = render(&records, &metrics, 0);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 1 + records.len() + metrics.len());
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(parsed[0].get("type").and_then(Json::as_str), Some("meta"));
+        assert_eq!(parsed[0].get("records").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed[1].get("type").and_then(Json::as_str),
+            Some("span_start")
+        );
+        let metric = &parsed[2];
+        assert_eq!(
+            metric
+                .get("fields")
+                .and_then(|f| f.get("value"))
+                .and_then(Json::as_f64),
+            Some(1.5)
+        );
+        assert_eq!(
+            parsed[3]
+                .get("fields")
+                .and_then(|f| f.get("dur_ns"))
+                .and_then(Json::as_u64),
+            Some(20)
+        );
+        let counter = &parsed[4];
+        assert_eq!(
+            counter
+                .get("labels")
+                .and_then(|l| l.get("rule"))
+                .and_then(Json::as_str),
+            Some("symbols")
+        );
+        assert_eq!(counter.get("value").and_then(Json::as_u64), Some(4));
+        let histo = &parsed[5];
+        assert_eq!(histo.get("kind").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(histo.get("count").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,6 @@
+//! Trace and metric exporters: machine-readable JSONL, Prometheus-style
+//! text exposition, and a human console span tree.
+
+pub mod console;
+pub mod jsonl;
+pub mod prometheus;

@@ -1,0 +1,182 @@
+//! Prometheus-style text exposition of the metrics registry.
+//!
+//! Metric and label names are sanitized (`.` and other non-identifier
+//! characters become `_`). Histograms export cumulative
+//! `_bucket{le="..."}` lines plus `_count` and `_sum`, matching the
+//! classic exposition format.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{self, Histogram, MetricKey, MetricValue, HISTOGRAM_BUCKETS};
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                sanitize(k),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        cumulative += h.buckets[i];
+        if h.buckets[i] > 0 || i == HISTOGRAM_BUCKETS - 1 {
+            let le = if i == HISTOGRAM_BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                fmt_num(Histogram::bucket_upper_bound(i))
+            };
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                name,
+                label_block(labels, Some(("le", &le))),
+                cumulative
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        name,
+        label_block(labels, None),
+        h.count
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        name,
+        label_block(labels, None),
+        fmt_num(h.sum)
+    );
+}
+
+/// Renders an explicit metrics snapshot as Prometheus text.
+pub fn render(snapshot: &[(MetricKey, MetricValue)]) -> String {
+    let mut out = String::new();
+    let mut last_name = String::new();
+    for (key, value) in snapshot {
+        let name = sanitize(&key.name);
+        if name != last_name {
+            let kind = match value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_name = name.clone();
+        }
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "{}{} {}", name, label_block(&key.labels, None), c);
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    name,
+                    label_block(&key.labels, None),
+                    fmt_num(*g)
+                );
+            }
+            MetricValue::Histogram(h) => render_histogram(&mut out, &name, &key.labels, h),
+        }
+    }
+    out
+}
+
+/// Renders the current global registry.
+pub fn render_current() -> String {
+    render(&metrics::metrics_snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names_and_renders_all_kinds() {
+        let mut hist = Histogram::default();
+        hist.buckets[32] = 2;
+        hist.buckets[33] = 1;
+        hist.count = 3;
+        hist.sum = 5.0;
+        hist.min = 1.0;
+        hist.max = 3.0;
+        let snap = vec![
+            (
+                MetricKey {
+                    name: "veto.dropped".into(),
+                    labels: vec![("rule".into(), "symbols".into())],
+                },
+                MetricValue::Counter(7),
+            ),
+            (
+                MetricKey {
+                    name: "bootstrap.triples".into(),
+                    labels: vec![],
+                },
+                MetricValue::Gauge(42.0),
+            ),
+            (
+                MetricKey {
+                    name: "crf.lbfgs.nll".into(),
+                    labels: vec![],
+                },
+                MetricValue::Histogram(Box::new(hist)),
+            ),
+        ];
+        let text = render(&snap);
+        assert!(text.contains("# TYPE veto_dropped counter"));
+        assert!(text.contains("veto_dropped{rule=\"symbols\"} 7"));
+        assert!(text.contains("bootstrap_triples 42"));
+        assert!(text.contains("crf_lbfgs_nll_bucket{le=\"2\"} 2"));
+        assert!(text.contains("crf_lbfgs_nll_bucket{le=\"4\"} 3"));
+        assert!(text.contains("crf_lbfgs_nll_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("crf_lbfgs_nll_count 3"));
+        assert!(text.contains("crf_lbfgs_nll_sum 5"));
+    }
+}

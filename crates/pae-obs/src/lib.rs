@@ -1,0 +1,187 @@
+//! `pae-obs` — zero-dependency tracing and metrics for the pipeline.
+//!
+//! Three layers, all behind one global on/off switch ([`set_enabled`],
+//! off by default so instrumented code pays a single relaxed atomic
+//! load when tracing is off):
+//!
+//! 1. **Spans & events** ([`span`], [`event`], [`warn`]) — scoped spans
+//!    with thread-aware parent tracking. Worker pools capture
+//!    [`current_span`] before spawning and wrap worker bodies in
+//!    [`with_parent`], so traces stay parent-linked across threads.
+//!    Records land in a bounded ring buffer (drop-oldest, counted).
+//! 2. **Metrics** ([`counter_add`], [`gauge_set`], [`observe`],
+//!    [`observe_step`]) — a registry of counters, gauges, and
+//!    log₂-bucketed histograms keyed by name + labels.
+//! 3. **Exporters** ([`export::jsonl`], [`export::prometheus`],
+//!    [`export::console`]) — machine-readable JSONL trace, Prometheus
+//!    text exposition, and a human console span tree.
+//!
+//! Telemetry is side-effect-free with respect to pipeline results:
+//! nothing collected here (including wall-clock durations) may feed
+//! back into computation, and the determinism suite asserts
+//! `final_triples()` is byte-identical with collection on or off.
+//!
+//! Binaries opt in via [`TraceSession::from_env_and_args`], which
+//! understands `--trace-out <path>` and the `PAE_TRACE` environment
+//! variable.
+
+#![warn(missing_docs)]
+
+mod collector;
+mod record;
+mod span;
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use collector::{
+    clear, dropped, enabled, set_capacity, set_enabled, snapshot, DEFAULT_CAPACITY,
+};
+pub use metrics::{
+    clear_metrics, counter_add, gauge_set, metrics_snapshot, observe, observe_step, Histogram,
+    MetricKey, MetricValue, HISTOGRAM_BUCKETS,
+};
+pub use record::{FieldValue, RecordKind, TraceRecord};
+pub use span::{current_span, event, span, span_fields, warn, with_parent, SpanGuard};
+
+/// Clears all collected records and registered metrics (the enabled
+/// flag and ring capacity are untouched).
+pub fn reset() {
+    collector::clear();
+    metrics::clear_metrics();
+}
+
+/// CLI/env plumbing for the `probe*` binaries: decides whether tracing
+/// is on and where the trace goes.
+///
+/// Sources, CLI winning over env:
+/// - `--trace-out <path>` (or `--trace-out=<path>`) — write a JSONL
+///   trace to `path`; the flag is stripped from the returned args so
+///   positional parsing downstream is unaffected.
+/// - `PAE_TRACE` — unset, empty, or `0` = off; `1` = console tree only;
+///   anything else is treated as a JSONL output path.
+///
+/// When any target is configured the session enables collection and
+/// clears prior state; [`TraceSession::finish`] exports and disables.
+#[derive(Debug)]
+pub struct TraceSession {
+    out: Option<std::path::PathBuf>,
+    active: bool,
+}
+
+impl TraceSession {
+    /// Builds a session from `std::env::args()` and `PAE_TRACE`,
+    /// returning the args with trace flags stripped.
+    pub fn from_env_and_args() -> (Vec<String>, TraceSession) {
+        Self::from_parts(std::env::args().collect(), std::env::var("PAE_TRACE").ok())
+    }
+
+    /// Testable core of [`TraceSession::from_env_and_args`].
+    pub fn from_parts(args: Vec<String>, env: Option<String>) -> (Vec<String>, TraceSession) {
+        let mut out: Option<std::path::PathBuf> = None;
+        let mut console_only = false;
+        match env.as_deref() {
+            None | Some("") | Some("0") => {}
+            Some("1") => console_only = true,
+            Some(path) => out = Some(path.into()),
+        }
+        let mut filtered = Vec::with_capacity(args.len());
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--trace-out" {
+                match it.next() {
+                    Some(path) => out = Some(path.into()),
+                    None => eprintln!("warning: --trace-out requires a path; flag ignored"),
+                }
+            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+                out = Some(path.into());
+            } else {
+                filtered.push(arg);
+            }
+        }
+        let active = out.is_some() || console_only;
+        if active {
+            reset();
+            set_enabled(true);
+        }
+        (filtered, TraceSession { out, active })
+    }
+
+    /// Whether this session turned collection on.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Exports (JSONL file if a path was configured, console tree to
+    /// stderr either way) and disables collection.
+    pub fn finish(self) {
+        if !self.active {
+            return;
+        }
+        if let Some(path) = &self.out {
+            match export::jsonl::write_current(path) {
+                Ok(()) => eprintln!("trace written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+            }
+        }
+        eprintln!("--- span tree ---");
+        eprint!("{}", export::console::render_current());
+        set_enabled(false);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_out_flag_is_stripped_and_wins_over_env() {
+        let _l = test_lock();
+        let (args, session) = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                "60".into(),
+                "--trace-out".into(),
+                "/tmp/t.jsonl".into(),
+            ],
+            Some("/tmp/env.jsonl".into()),
+        );
+        assert_eq!(args, vec!["probe".to_string(), "60".to_string()]);
+        assert!(session.active());
+        assert_eq!(
+            session.out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn equals_form_and_console_only_env() {
+        let _l = test_lock();
+        let (args, session) = TraceSession::from_parts(
+            vec!["probe".into(), "--trace-out=/tmp/x.jsonl".into()],
+            None,
+        );
+        assert_eq!(args, vec!["probe".to_string()]);
+        assert!(session.active());
+        set_enabled(false);
+
+        let (_, session) = TraceSession::from_parts(vec!["probe".into()], Some("1".into()));
+        assert!(session.active());
+        assert!(session.out.is_none());
+        set_enabled(false);
+
+        let (_, session) = TraceSession::from_parts(vec!["probe".into()], Some("0".into()));
+        assert!(!session.active());
+        assert!(!enabled());
+        reset();
+    }
+}

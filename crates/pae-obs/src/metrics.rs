@@ -1,0 +1,282 @@
+//! Global metrics registry: counters, gauges, and log₂-bucketed
+//! histograms, keyed by name plus sorted label pairs.
+//!
+//! Counters and gauges update the registry only (exported in the final
+//! snapshot); [`observe_step`] additionally appends a `metric` trace
+//! record so step-indexed series (optimizer steps, training epochs)
+//! appear in the JSONL trace with their step order intact.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::collector::{enabled, push};
+use crate::record::{FieldValue, RecordKind};
+use crate::span::current_span;
+
+/// Number of log₂ histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Registry key: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dot-separated (e.g. `veto.dropped`).
+    pub name: String,
+    /// Label pairs, kept sorted for a stable export order.
+    pub labels: Vec<(String, String)>,
+}
+
+/// A log₂-bucketed histogram over positive magnitudes.
+///
+/// Bucket `i` covers values with `floor(log2(v)) == i - 32`, i.e. the
+/// upper bound of bucket `i` is `2^(i - 31)`; values below `2^-32`
+/// (including zero) land in bucket 0 and values at `2^31` or above in
+/// the last bucket. Count, sum, min, and max are tracked exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    pub fn bucket_index(v: f64) -> usize {
+        if !v.is_finite() || v <= 0.0 {
+            return 0;
+        }
+        (v.log2().floor() as i64 + 32).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        2f64.powi(i as i32 - 31)
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log₂-bucketed histogram (boxed: ~550 bytes vs 8 for the others).
+    Histogram(Box<Histogram>),
+}
+
+type Registry = BTreeMap<MetricKey, MetricValue>;
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+/// Adds `delta` to the counter `name{labels}` (no-op while disabled).
+pub fn counter_add(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().lock().expect("obs metrics poisoned");
+    let e = g
+        .entry(key(name, labels))
+        .or_insert(MetricValue::Counter(0));
+    if let MetricValue::Counter(c) = e {
+        *c += delta;
+    }
+}
+
+/// Sets the gauge `name{labels}` (no-op while disabled).
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().lock().expect("obs metrics poisoned");
+    g.insert(key(name, labels), MetricValue::Gauge(value));
+}
+
+/// Records `value` into the histogram `name{labels}` (no-op while
+/// disabled).
+pub fn observe(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = registry().lock().expect("obs metrics poisoned");
+    let e = g
+        .entry(key(name, labels))
+        .or_insert_with(|| MetricValue::Histogram(Box::default()));
+    if let MetricValue::Histogram(h) = e {
+        h.observe(value);
+    }
+}
+
+/// Records one point of a step-indexed series: updates the histogram
+/// `name` AND appends a `metric` trace record carrying `step`/`value`,
+/// so the series is reconstructible in step order from the JSONL trace.
+pub fn observe_step(name: &str, step: usize, value: f64) {
+    if !enabled() {
+        return;
+    }
+    observe(name, &[], value);
+    push(
+        RecordKind::Metric,
+        current_span(),
+        0,
+        name,
+        vec![
+            ("step".into(), FieldValue::U64(step as u64)),
+            ("value".into(), FieldValue::F64(value)),
+        ],
+    );
+}
+
+/// A sorted copy of the metrics registry.
+pub fn metrics_snapshot() -> Vec<(MetricKey, MetricValue)> {
+    let g = registry().lock().expect("obs metrics poisoned");
+    g.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+}
+
+/// Clears all registered metrics.
+pub fn clear_metrics() {
+    registry().lock().expect("obs metrics poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{clear, set_enabled, snapshot};
+    use crate::test_lock;
+
+    #[test]
+    fn counters_and_gauges_register() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear_metrics();
+        counter_add("veto.dropped", &[("rule", "symbols")], 3);
+        counter_add("veto.dropped", &[("rule", "symbols")], 2);
+        counter_add("veto.dropped", &[("rule", "markup")], 1);
+        gauge_set("bootstrap.triples", &[], 42.0);
+        let snap = metrics_snapshot();
+        let get = |name: &str, rule: Option<&str>| {
+            snap.iter()
+                .find(|(k, _)| {
+                    k.name == name
+                        && rule
+                            .is_none_or(|r| k.labels == vec![("rule".to_string(), r.to_string())])
+                })
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(
+            get("veto.dropped", Some("symbols")),
+            Some(MetricValue::Counter(5))
+        );
+        assert_eq!(
+            get("veto.dropped", Some("markup")),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(
+            get("bootstrap.triples", None),
+            Some(MetricValue::Gauge(42.0))
+        );
+        set_enabled(false);
+        clear_metrics();
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 32);
+        assert_eq!(Histogram::bucket_index(1.5), 32);
+        assert_eq!(Histogram::bucket_index(2.0), 33);
+        assert_eq!(Histogram::bucket_index(0.5), 31);
+        assert_eq!(Histogram::bucket_index(f64::INFINITY), 0);
+        assert_eq!(Histogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_bound(32), 2.0);
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(3.0);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.buckets[32], 1);
+        assert_eq!(h.buckets[33], 1);
+    }
+
+    #[test]
+    fn observe_step_emits_trace_record() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        clear_metrics();
+        observe_step("crf.lbfgs.grad_norm", 0, 0.5);
+        observe_step("crf.lbfgs.grad_norm", 1, 0.25);
+        let records = snapshot();
+        let points: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Metric)
+            .collect();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].field("step"), Some(&FieldValue::U64(0)));
+        assert_eq!(points[1].field("value"), Some(&FieldValue::F64(0.25)));
+        let snap = metrics_snapshot();
+        let h = snap
+            .iter()
+            .find(|(k, _)| k.name == "crf.lbfgs.grad_norm")
+            .map(|(_, v)| v.clone());
+        assert!(matches!(h, Some(MetricValue::Histogram(h)) if h.count == 2));
+        set_enabled(false);
+        clear();
+        clear_metrics();
+    }
+
+    #[test]
+    fn disabled_metrics_are_noops() {
+        let _l = test_lock();
+        set_enabled(false);
+        clear_metrics();
+        counter_add("x", &[], 1);
+        gauge_set("y", &[], 1.0);
+        observe("z", &[], 1.0);
+        observe_step("w", 0, 1.0);
+        assert!(metrics_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! The trace record model shared by the collector and the exporters.
+
+/// A typed field value attached to spans, events, and metric points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values export as JSON `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// What a [`TraceRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span began; `span` is its id, `parent` its enclosing span (0 =
+    /// root).
+    SpanStart,
+    /// A span ended; `fields` carries `dur_ns`.
+    SpanEnd,
+    /// A point event inside the current span; `fields` carries `level`
+    /// (`info` or `warn`) plus caller fields.
+    Event,
+    /// One point of a step-indexed metric series (e.g. an optimizer
+    /// step); `fields` carries `step` and `value`.
+    Metric,
+}
+
+impl RecordKind {
+    /// The `type` string used in the JSONL export.
+    pub fn type_str(self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+            RecordKind::Metric => "metric",
+        }
+    }
+}
+
+/// One entry of the bounded trace ring buffer.
+///
+/// Records are appended atomically under one lock, so `seq` is strictly
+/// increasing and records from concurrent workers never interleave
+/// within a record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Strictly increasing sequence number (collection order).
+    pub seq: u64,
+    /// Nanoseconds since the collector epoch (monotonic clock; telemetry
+    /// only — never feeds back into pipeline results).
+    pub t_ns: u64,
+    /// Small per-thread ordinal (assigned on first emission).
+    pub thread: u64,
+    /// Record type.
+    pub kind: RecordKind,
+    /// Span id for span records; the enclosing span for events/metrics.
+    pub span: u64,
+    /// Parent span id (meaningful for [`RecordKind::SpanStart`]; 0 = root).
+    pub parent: u64,
+    /// Span, event, or metric name.
+    pub name: String,
+    /// Typed payload fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceRecord {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup() {
+        let r = TraceRecord {
+            seq: 0,
+            t_ns: 0,
+            thread: 0,
+            kind: RecordKind::Event,
+            span: 0,
+            parent: 0,
+            name: "e".into(),
+            fields: vec![("k".into(), FieldValue::U64(7))],
+        };
+        assert_eq!(r.field("k"), Some(&FieldValue::U64(7)));
+        assert_eq!(r.field("missing"), None);
+    }
+
+    #[test]
+    fn from_impls_cover_common_types() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-2i64), FieldValue::I64(-2));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+    }
+}

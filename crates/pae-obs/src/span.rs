@@ -1,0 +1,203 @@
+//! Scoped spans with thread-aware parent tracking, plus point events.
+//!
+//! Each thread keeps a current-span cursor in a thread local; entering a
+//! span makes it the parent of everything emitted until the guard is
+//! dropped. Worker threads (e.g. `pae_runtime::parallel_map`) capture
+//! [`current_span`] before spawning and re-establish it on the worker via
+//! [`with_parent`], so traces stay parent-linked across the pool.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::collector::{enabled, push};
+use crate::record::{FieldValue, RecordKind};
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The span id enclosing the calling thread right now (0 = no span).
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Runs `f` with `parent` installed as the calling thread's current span.
+///
+/// This is the cross-thread propagation hook: capture [`current_span`]
+/// on the spawning thread, then wrap the worker body in `with_parent` so
+/// spans and events it emits link back to the spawner's span tree. The
+/// previous cursor is restored even if `f` panics.
+pub fn with_parent<R>(parent: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_SPAN.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT_SPAN.with(|c| c.replace(parent));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// An entered span; ends (emitting `span_end` with `dur_ns`) on drop or
+/// via [`SpanGuard::finish`].
+///
+/// Deliberately `!Send`: a guard must end on the thread that opened it,
+/// otherwise the per-thread parent cursor would be corrupted.
+pub struct SpanGuard {
+    id: u64,
+    prev: u64,
+    start: Instant,
+    name: &'static str,
+    ended: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` under the thread's current span.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_fields(name, Vec::new())
+}
+
+/// Opens a span with extra fields on its `span_start` record.
+pub fn span_fields(name: &'static str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT_SPAN.with(|c| c.replace(id));
+    push(RecordKind::SpanStart, id, prev, name, fields);
+    SpanGuard {
+        id,
+        prev,
+        start: Instant::now(),
+        name,
+        ended: false,
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// This span's id (hand it to [`with_parent`] on worker threads).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ends the span now and returns its wall-clock duration.
+    ///
+    /// The duration is telemetry: callers may record it (e.g. in
+    /// `StageTimings`) but must not let it influence pipeline results.
+    pub fn finish(mut self) -> Duration {
+        self.end()
+    }
+
+    fn end(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if !self.ended {
+            self.ended = true;
+            CURRENT_SPAN.with(|c| c.set(self.prev));
+            push(
+                RecordKind::SpanEnd,
+                self.id,
+                self.prev,
+                self.name,
+                vec![("dur_ns".into(), FieldValue::U64(dur.as_nanos() as u64))],
+            );
+        }
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.end();
+    }
+}
+
+/// Emits an info-level point event under the current span.
+pub fn event(name: &str, fields: Vec<(String, FieldValue)>) {
+    emit(name, "info", fields);
+}
+
+/// Emits a warn-level point event under the current span.
+pub fn warn(name: &str, fields: Vec<(String, FieldValue)>) {
+    emit(name, "warn", fields);
+}
+
+fn emit(name: &str, level: &'static str, mut fields: Vec<(String, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    fields.insert(0, ("level".into(), FieldValue::Str(level.into())));
+    push(RecordKind::Event, current_span(), 0, name, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{clear, set_enabled, snapshot};
+    use crate::test_lock;
+
+    #[test]
+    fn spans_nest_and_restore_cursor() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        assert_eq!(current_span(), 0);
+        {
+            let outer = span("outer");
+            assert_eq!(current_span(), outer.id());
+            {
+                let inner = span("inner");
+                assert_eq!(current_span(), inner.id());
+                event("tick", vec![("n".into(), 1u64.into())]);
+            }
+            assert_eq!(current_span(), outer.id());
+        }
+        assert_eq!(current_span(), 0);
+
+        let records = snapshot();
+        let starts: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart)
+            .collect();
+        assert_eq!(starts.len(), 2);
+        let outer_id = starts[0].span;
+        assert_eq!(starts[0].parent, 0);
+        assert_eq!(starts[1].parent, outer_id, "inner links to outer");
+        let tick = records.iter().find(|r| r.name == "tick").unwrap();
+        assert_eq!(tick.span, starts[1].span, "event lands in the inner span");
+        let ends = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanEnd)
+            .count();
+        assert_eq!(ends, 2);
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn finish_reports_duration_once() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        let s = span("timed");
+        let dur = s.finish();
+        assert!(dur.as_nanos() > 0);
+        let ends = snapshot()
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanEnd)
+            .count();
+        assert_eq!(ends, 1, "finish + drop emit exactly one span_end");
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn with_parent_restores_on_exit() {
+        let _l = test_lock();
+        let before = current_span();
+        with_parent(42, || assert_eq!(current_span(), 42));
+        assert_eq!(current_span(), before);
+    }
+}

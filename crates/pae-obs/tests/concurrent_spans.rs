@@ -1,0 +1,89 @@
+//! Concurrent span emission from `pae_runtime::parallel_map` workers
+//! must produce a well-formed trace: parent-linked across threads,
+//! non-interleaved (strictly increasing sequence numbers), and with
+//! every opened span closed.
+
+use pae_obs as obs;
+
+#[test]
+fn parallel_map_trace_is_parent_linked_and_non_interleaved() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    let items: Vec<usize> = (0..64).collect();
+    {
+        let root = obs::span("fanout");
+        let _ = root.id();
+        pae_runtime::with_jobs(4, || {
+            pae_runtime::parallel_map(&items, |i, _| {
+                let _work = obs::span("work");
+                // Hold each item ~1ms so the queue outlives worker
+                // startup and several pool threads actually claim work.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                obs::event("tick", vec![("i".into(), i.into())]);
+            })
+        });
+    }
+
+    let records = obs::snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+
+    // Non-interleaved: the collector assigns sequence numbers under one
+    // lock, so they are strictly increasing in collection order.
+    for w in records.windows(2) {
+        assert!(w[0].seq < w[1].seq, "sequence numbers must be strict");
+    }
+
+    let root_id = records
+        .iter()
+        .find(|r| r.kind == obs::RecordKind::SpanStart && r.name == "fanout")
+        .expect("root span recorded")
+        .span;
+
+    // Parent-linked: every worker-side span hangs off the spawning
+    // thread's span, even though it was emitted on a pool thread.
+    let work_starts: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == obs::RecordKind::SpanStart && r.name == "work")
+        .collect();
+    assert_eq!(work_starts.len(), items.len(), "one span per item");
+    for r in &work_starts {
+        assert_eq!(r.parent, root_id, "worker span not linked to the root");
+    }
+    let worker_threads: std::collections::HashSet<u64> =
+        work_starts.iter().map(|r| r.thread).collect();
+    assert!(
+        worker_threads.len() > 1,
+        "expected emission from multiple pool threads, got {worker_threads:?}"
+    );
+
+    // Balanced: every opened span also closed, exactly once.
+    let started: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == obs::RecordKind::SpanStart)
+        .map(|r| r.span)
+        .collect();
+    let ended: Vec<u64> = records
+        .iter()
+        .filter(|r| r.kind == obs::RecordKind::SpanEnd)
+        .map(|r| r.span)
+        .collect();
+    let started_set: std::collections::HashSet<u64> = started.iter().copied().collect();
+    let ended_set: std::collections::HashSet<u64> = ended.iter().copied().collect();
+    assert_eq!(started.len(), started_set.len(), "span ids are unique");
+    assert_eq!(ended.len(), ended_set.len(), "spans end exactly once");
+    assert_eq!(started_set, ended_set, "every span start has an end");
+
+    // Events land inside the worker spans they were emitted under.
+    let work_ids: std::collections::HashSet<u64> = work_starts.iter().map(|r| r.span).collect();
+    let ticks: Vec<_> = records.iter().filter(|r| r.name == "tick").collect();
+    assert_eq!(ticks.len(), items.len());
+    for t in &ticks {
+        assert!(
+            work_ids.contains(&t.span),
+            "event attached to span {} which is not a work span",
+            t.span
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! JSONL trace validation: every emitted line must parse as JSON and
+//! carry the fields the schema promises.
+//!
+//! Two entry points:
+//!
+//! - `self_generated_trace_is_valid` builds a small trace in-process
+//!   and validates the rendered document.
+//! - `external_trace_file_is_valid` reads the file named by the
+//!   `PAE_TRACE_FILE` environment variable (written by the CI smoke
+//!   job via `probe --trace-out`) and additionally checks the
+//!   pipeline-level spans and metrics the probe is expected to emit.
+//!   Without the variable the test is a no-op.
+
+use pae_obs as obs;
+use pae_obs::json::Json;
+
+/// Validates one JSONL document. Returns the set of span/event/metric
+/// names plus metric_snapshot names seen, or the first schema error.
+fn validate(doc: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut record_lines = 0u64;
+    for (lineno, line) in doc.lines().enumerate() {
+        let n = lineno + 1;
+        let v = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing string \"type\""))?;
+        if lineno == 0 {
+            if ty != "meta" {
+                return Err(format!("line 1: expected meta line, got type={ty:?}"));
+            }
+            summary.declared_records = v
+                .get("records")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {n}: meta missing \"records\""))?;
+            v.get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {n}: meta missing \"version\""))?;
+            v.get("dropped")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {n}: meta missing \"dropped\""))?;
+            continue;
+        }
+        match ty {
+            "meta" => return Err(format!("line {n}: duplicate meta line")),
+            "span_start" | "span_end" | "event" | "metric" => {
+                record_lines += 1;
+                for key in ["seq", "t_ns", "thread", "span", "parent"] {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {n}: {ty} missing numeric \"{key}\""))?;
+                }
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: {ty} missing \"name\""))?;
+                let fields = v
+                    .get("fields")
+                    .ok_or_else(|| format!("line {n}: {ty} missing \"fields\""))?;
+                match ty {
+                    "span_end" => {
+                        fields
+                            .get("dur_ns")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("line {n}: span_end missing fields.dur_ns"))?;
+                    }
+                    "metric" => {
+                        fields
+                            .get("step")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("line {n}: metric missing fields.step"))?;
+                        fields
+                            .get("value")
+                            .ok_or_else(|| format!("line {n}: metric missing fields.value"))?;
+                    }
+                    _ => {}
+                }
+                summary.record_names.push(format!("{ty}:{name}"));
+            }
+            "metric_snapshot" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: metric_snapshot missing \"name\""))?;
+                v.get("labels")
+                    .ok_or_else(|| format!("line {n}: metric_snapshot missing \"labels\""))?;
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: metric_snapshot missing \"kind\""))?;
+                match kind {
+                    "counter" | "gauge" => {
+                        v.get("value")
+                            .ok_or_else(|| format!("line {n}: {kind} missing \"value\""))?;
+                    }
+                    "histogram" => {
+                        for key in ["count", "sum", "min", "max", "buckets"] {
+                            v.get(key)
+                                .ok_or_else(|| format!("line {n}: histogram missing \"{key}\""))?;
+                        }
+                    }
+                    other => return Err(format!("line {n}: unknown metric kind {other:?}")),
+                }
+                summary.metric_names.push(name.to_string());
+            }
+            other => return Err(format!("line {n}: unknown line type {other:?}")),
+        }
+    }
+    if summary.declared_records != record_lines {
+        return Err(format!(
+            "meta declared {} records but {} record lines followed",
+            summary.declared_records, record_lines
+        ));
+    }
+    Ok(summary)
+}
+
+#[derive(Default)]
+struct TraceSummary {
+    declared_records: u64,
+    /// `"<type>:<name>"` for every span_start/span_end/event/metric line.
+    record_names: Vec<String>,
+    metric_names: Vec<String>,
+}
+
+impl TraceSummary {
+    fn has_span(&self, name: &str) -> bool {
+        self.record_names
+            .iter()
+            .any(|n| n == &format!("span_start:{name}"))
+    }
+    fn has_step_metric(&self, name: &str) -> bool {
+        self.record_names
+            .iter()
+            .any(|n| n == &format!("metric:{name}"))
+    }
+    fn has_metric(&self, name: &str) -> bool {
+        self.metric_names.iter().any(|n| n == name)
+    }
+}
+
+#[test]
+fn self_generated_trace_is_valid() {
+    obs::set_enabled(true);
+    obs::reset();
+    {
+        let _root = obs::span("bootstrap.run");
+        let _it = obs::span_fields("iteration", vec![("n".into(), 1u64.into())]);
+        obs::event("iteration.summary", vec![("triples".into(), 12u64.into())]);
+        obs::observe_step("crf.lbfgs.nll", 0, 103.5);
+        obs::counter_add("veto.dropped", &[("rule", "symbols")], 3);
+        obs::gauge_set("bootstrap.seed_pairs", &[], 40.0);
+    }
+    let doc = obs::export::jsonl::render_current();
+    obs::set_enabled(false);
+    obs::reset();
+
+    let summary = validate(&doc).expect("self-generated trace is schema-valid");
+    assert!(summary.has_span("bootstrap.run"));
+    assert!(summary.has_span("iteration"));
+    assert!(summary.has_step_metric("crf.lbfgs.nll"));
+    assert!(summary.has_metric("veto.dropped"));
+    assert!(summary.has_metric("bootstrap.seed_pairs"));
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    // Not JSON at all.
+    assert!(
+        validate("{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\nnot json\n")
+            .is_err()
+    );
+    // Missing meta line.
+    assert!(validate(
+        "{\"type\":\"event\",\"seq\":0,\"t_ns\":0,\"thread\":0,\"span\":0,\"parent\":0,\
+         \"name\":\"x\",\"fields\":{}}\n"
+    )
+    .is_err());
+    // Record count mismatch.
+    assert!(validate("{\"type\":\"meta\",\"version\":1,\"records\":2,\"dropped\":0}\n").is_err());
+}
+
+/// CI entry point: validates the trace written by
+/// `probe --trace-out <path>` and checks the pipeline coverage the
+/// acceptance criteria call for.
+#[test]
+fn external_trace_file_is_valid() {
+    let Ok(path) = std::env::var("PAE_TRACE_FILE") else {
+        eprintln!("PAE_TRACE_FILE not set; skipping external trace validation");
+        return;
+    };
+    let doc = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read PAE_TRACE_FILE={path}: {e}"));
+    let summary = validate(&doc).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+    for span in [
+        "bootstrap.run",
+        "seed",
+        "iteration",
+        "train",
+        "extract",
+        "veto",
+        "semantic",
+        "corrections",
+    ] {
+        assert!(summary.has_span(span), "{path}: no span_start for {span:?}");
+    }
+    for metric in ["crf.lbfgs.grad_norm", "crf.lbfgs.nll"] {
+        assert!(
+            summary.has_step_metric(metric),
+            "{path}: no per-step metric records for {metric:?}"
+        );
+    }
+    for metric in [
+        "runtime.worker.busy_ns",
+        "runtime.queue.claimed",
+        "veto.dropped",
+        "bootstrap.triples",
+    ] {
+        assert!(
+            summary.has_metric(metric),
+            "{path}: metric_snapshot missing {metric:?}"
+        );
+    }
+}

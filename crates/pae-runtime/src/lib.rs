@@ -13,11 +13,20 @@
 //!
 //! Concurrency is bounded by [`jobs`]: the `PAE_JOBS` environment
 //! variable when set (a positive integer), else the machine's
-//! available parallelism. Tests use [`with_jobs`] to pin the bound
-//! without touching the process environment.
+//! available parallelism. Invalid values (`0`, negative, non-numeric)
+//! fall back to available parallelism and raise a one-shot
+//! `runtime.pae_jobs.invalid` warning. Tests use [`with_jobs`] to pin
+//! the bound without touching the process environment.
+//!
+//! The pool is observable through `pae-obs`: workers re-establish the
+//! spawner's span as their parent (so traces stay linked across
+//! threads) and report `runtime.queue.claimed` / `runtime.queue.steals`
+//! / `runtime.worker.busy_ns` counters. All telemetry is gated on the
+//! collector being enabled and never influences scheduling or results.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 thread_local! {
     /// Per-thread override installed by [`with_jobs`] and inherited by
@@ -27,19 +36,50 @@ thread_local! {
 
 /// The worker-pool width: thread-local override (see [`with_jobs`]),
 /// else `PAE_JOBS`, else available parallelism.
+///
+/// An invalid `PAE_JOBS` (`0`, negative, or non-numeric) falls back to
+/// available parallelism; the first such read emits a one-shot
+/// `runtime.pae_jobs.invalid` warning (a `pae-obs` event when
+/// collection is on, plus a stderr line) instead of failing silently.
 pub fn jobs() -> usize {
     if let Some(n) = JOBS_OVERRIDE.with(Cell::get) {
         return n;
     }
-    std::env::var("PAE_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&j| j > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("PAE_JOBS") {
+        Err(_) => fallback(),
+        Ok(raw) => match raw.trim().parse::<i64>() {
+            Ok(n) if n > 0 => n as usize,
+            _ => {
+                let jobs = fallback();
+                warn_invalid_pae_jobs(&raw, jobs);
+                jobs
+            }
+        },
+    }
+}
+
+/// One-shot (per process) diagnostic for an unusable `PAE_JOBS` value.
+fn warn_invalid_pae_jobs(raw: &str, fallback: usize) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if WARNED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    pae_obs::warn(
+        "runtime.pae_jobs.invalid",
+        vec![
+            ("raw".into(), raw.into()),
+            ("fallback".into(), fallback.into()),
+        ],
+    );
+    eprintln!(
+        "warning: PAE_JOBS={raw:?} is not a positive integer; \
+         using available parallelism ({fallback})"
+    );
 }
 
 /// Runs `f` with [`jobs`] pinned to `n` on this thread (and on any
@@ -74,26 +114,64 @@ where
 {
     let width = jobs().min(items.len());
     if width <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        // Serial fast path still reports utilization: a 1-core run
+        // (or PAE_JOBS=1) would otherwise produce a trace with no
+        // pool counters at all. Steals stay at zero — nothing moved
+        // to an extra thread.
+        let busy_from = pae_obs::enabled().then(Instant::now);
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let Some(from) = busy_from {
+            pae_obs::counter_add(
+                "runtime.worker.busy_ns",
+                &[],
+                from.elapsed().as_nanos() as u64,
+            );
+            pae_obs::counter_add("runtime.queue.claimed", &[], items.len() as u64);
+        }
+        return out;
     }
     let inherited = jobs();
+    // Telemetry-only capture: the spawner's span becomes the workers'
+    // parent so cross-thread traces stay linked. Never affects results.
+    let parent_span = pae_obs::current_span();
+    let obs_on = pae_obs::enabled();
     let next = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..width)
-            .map(|_| {
+            .map(|worker| {
                 let f = &f;
                 let next = &next;
                 scope.spawn(move |_| {
                     JOBS_OVERRIDE.with(|c| c.set(Some(inherited)));
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                    pae_obs::with_parent(parent_span, || {
+                        let busy_from = obs_on.then(Instant::now);
+                        let mut claimed = 0u64;
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            claimed += 1;
+                            local.push((i, f(i, &items[i])));
                         }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
+                        if let Some(from) = busy_from {
+                            pae_obs::counter_add(
+                                "runtime.worker.busy_ns",
+                                &[],
+                                from.elapsed().as_nanos() as u64,
+                            );
+                            pae_obs::counter_add("runtime.queue.claimed", &[], claimed);
+                            if worker > 0 {
+                                // "Steals": items taken off the shared
+                                // queue by a worker other than the
+                                // first, i.e. work that actually moved
+                                // to an extra thread.
+                                pae_obs::counter_add("runtime.queue.steals", &[], claimed);
+                            }
+                        }
+                        local
+                    })
                 })
             })
             .collect();
@@ -167,10 +245,11 @@ where
         return (fa(), fb());
     }
     let inherited = jobs();
+    let parent_span = pae_obs::current_span();
     crossbeam::thread::scope(|scope| {
         let handle = scope.spawn(move |_| {
             JOBS_OVERRIDE.with(|c| c.set(Some(inherited)));
-            fb()
+            pae_obs::with_parent(parent_span, fb)
         });
         let a = fa();
         let b = handle.join().expect("join worker panicked");
@@ -182,6 +261,13 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that mutate `PAE_JOBS` with tests that read
+    /// [`jobs`] unpinned (env access races otherwise).
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn parallel_map_preserves_item_order() {
@@ -253,6 +339,7 @@ mod tests {
 
     #[test]
     fn with_jobs_restores_previous_bound() {
+        let _env = env_lock();
         let outer = jobs();
         with_jobs(3, || {
             assert_eq!(jobs(), 3);
@@ -260,6 +347,75 @@ mod tests {
             assert_eq!(jobs(), 3);
         });
         assert_eq!(jobs(), outer);
+    }
+
+    #[test]
+    fn invalid_pae_jobs_falls_back_with_one_shot_warning() {
+        let _env = env_lock();
+        let prev = std::env::var("PAE_JOBS").ok();
+        let expected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        pae_obs::set_enabled(true);
+        pae_obs::clear();
+
+        // All three invalid shapes fall back to available parallelism…
+        for bad in ["0", "-3", "abc"] {
+            std::env::set_var("PAE_JOBS", bad);
+            assert_eq!(jobs(), expected, "PAE_JOBS={bad}");
+        }
+        // …while valid values still win.
+        std::env::set_var("PAE_JOBS", "5");
+        assert_eq!(jobs(), 5);
+
+        // The warning is one-shot per process: three invalid reads,
+        // exactly one event.
+        let warnings: Vec<_> = pae_obs::snapshot()
+            .into_iter()
+            .filter(|r| r.name == "runtime.pae_jobs.invalid")
+            .collect();
+        assert_eq!(warnings.len(), 1, "expected exactly one warning event");
+        assert_eq!(
+            warnings[0].field("raw"),
+            Some(&pae_obs::FieldValue::Str("0".into()))
+        );
+        assert_eq!(
+            warnings[0].field("level"),
+            Some(&pae_obs::FieldValue::Str("warn".into()))
+        );
+
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
+        match prev {
+            Some(v) => std::env::set_var("PAE_JOBS", v),
+            None => std::env::remove_var("PAE_JOBS"),
+        }
+    }
+
+    #[test]
+    fn workers_report_to_the_spawning_span() {
+        let _env = env_lock();
+        pae_obs::set_enabled(true);
+        pae_obs::reset();
+        let items: Vec<usize> = (0..64).collect();
+        {
+            let root = pae_obs::span("fanout");
+            let root_id = root.id();
+            let parents = with_jobs(4, || parallel_map(&items, |_, _| pae_obs::current_span()));
+            assert!(
+                parents.iter().all(|&p| p == root_id),
+                "every worker body sees the spawner's span as parent"
+            );
+        }
+        let steals = pae_obs::metrics_snapshot()
+            .into_iter()
+            .find(|(k, _)| k.name == "runtime.queue.claimed");
+        assert!(
+            matches!(steals, Some((_, pae_obs::MetricValue::Counter(n))) if n == 64),
+            "all claims counted"
+        );
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
     }
 
     #[test]

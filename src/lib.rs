@@ -7,6 +7,10 @@
 //!
 //! ## Crate map
 //!
+//! * [`obs`] — zero-dependency tracing + metrics: spans with
+//!   cross-thread parent tracking, counters/gauges/histograms, and
+//!   JSONL / Prometheus / console exporters (side-effect-free w.r.t.
+//!   pipeline results)
 //! * [`runtime`] — `PAE_JOBS`-bounded worker pools with deterministic
 //!   reductions (same seed ⇒ byte-identical output at any thread count)
 //! * [`text`] — tokenizers and PoS taggers (the only language-dependent layer)
@@ -41,6 +45,7 @@ pub use pae_crf as crf;
 pub use pae_embed as embed;
 pub use pae_html as html;
 pub use pae_neural as neural;
+pub use pae_obs as obs;
 pub use pae_runtime as runtime;
 pub use pae_synth as synth;
 pub use pae_text as text;

@@ -61,6 +61,32 @@ fn ensemble_triples_identical_across_thread_counts() {
     assert_jobs_invariant(TaggerKind::Ensemble);
 }
 
+/// The observability hard constraint: collecting telemetry must be
+/// side-effect-free w.r.t. results — `final_triples()` is
+/// byte-identical with the obs collector enabled or disabled, at
+/// serial and parallel pool widths.
+#[test]
+fn obs_collection_does_not_change_results() {
+    let baseline = run_tagger_at(TaggerKind::Crf, 1);
+    assert!(!baseline.is_empty());
+    for jobs in [1usize, 4] {
+        pae::obs::set_enabled(true);
+        pae::obs::reset();
+        let traced = run_tagger_at(TaggerKind::Crf, jobs);
+        let records = pae::obs::snapshot();
+        pae::obs::set_enabled(false);
+        pae::obs::reset();
+        assert_eq!(
+            baseline, traced,
+            "PAE_JOBS={jobs}: enabling the obs collector changed the output"
+        );
+        assert!(
+            records.iter().any(|r| r.name == "bootstrap.run"),
+            "collection was enabled but produced no pipeline spans"
+        );
+    }
+}
+
 #[test]
 fn identical_seeds_identical_triples() {
     let a = run(42);
