@@ -10,6 +10,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("complex_attributes");
     let prepared = prepare_all(&[CategoryKind::DigitalCameras, CategoryKind::VacuumCleaner]);
     let cfg = PipelineConfig {
         iterations: 1,
@@ -56,4 +57,5 @@ fn main() {
     );
     println!("(paper: 87–100 precision on these attributes, but coverage around 10%)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -9,6 +9,7 @@ use pae_core::{PipelineConfig, TaggerKind};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("ensemble_extension");
     let prepared = prepare_all(&[
         CategoryKind::VacuumCleaner,
         CategoryKind::LadiesBags,
@@ -50,4 +51,5 @@ fn main() {
     println!("Ensemble extension — intersecting CRF and RNN extractions (1 iteration)");
     println!("(expected: ensemble precision ≥ each backend; coverage ≤ each backend)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -10,6 +10,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig3_bootstrap_curves");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
     let iterations = 5usize;
 
@@ -54,4 +55,5 @@ fn main() {
             println!();
         }
     }
+    cli.finish();
 }

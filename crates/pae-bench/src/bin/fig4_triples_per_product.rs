@@ -8,6 +8,7 @@ use pae_core::{PipelineConfig, TaggerKind};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig4_triples_per_product");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
 
     let crf = PipelineConfig {
@@ -41,4 +42,5 @@ fn main() {
         "(paper: CRF consistently associates more triples to products; both < 3 per product)\n"
     );
     print!("{}", table.render());
+    cli.finish();
 }

@@ -6,6 +6,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig5_triples_growth");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
     let iterations = 5usize;
     let cfg = PipelineConfig {
@@ -32,4 +33,5 @@ fn main() {
     println!("Figure 5 — number of triples through bootstrap iterations (CRF with cleaning)");
     println!("(paper: steady increase with decreasing gains in later iterations)\n");
     print!("{}", table.render());
+    cli.finish();
 }

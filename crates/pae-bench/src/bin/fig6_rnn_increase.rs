@@ -11,6 +11,7 @@ use pae_core::{PipelineConfig, TaggerKind};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig6_rnn_increase");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
 
     let rnn = |epochs: usize| PipelineConfig {
@@ -47,4 +48,5 @@ fn main() {
     println!("Figure 6 — triple-count growth after the first bootstrap cycle (RNN configs)");
     println!("(paper: the low-precision configuration grows the most; cleaning grows the least)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -7,9 +7,11 @@ use pae_bench::specialized_figure;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig7_camera_specialized");
     specialized_figure(
         CategoryKind::DigitalCameras,
         &["shutter_speed", "effective_pixels", "weight"],
         "Figure 7 — Digital Cameras attribute coverage: global vs specialized model",
     );
+    cli.finish();
 }

@@ -6,9 +6,11 @@ use pae_bench::specialized_figure;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("fig8_vacuum_specialized");
     specialized_figure(
         CategoryKind::VacuumCleaner,
         &["type", "container_type", "power_supply"],
         "Figure 8 — Vacuum Cleaner attribute coverage: global vs specialized model",
     );
+    cli.finish();
 }

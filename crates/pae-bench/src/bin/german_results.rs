@@ -10,6 +10,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("german_results");
     let prepared = prepare_all(&CategoryKind::GERMAN_CATEGORIES);
     let cfg = PipelineConfig {
         iterations: 5,
@@ -34,4 +35,5 @@ fn main() {
     println!("German categories after five bootstrap cycles (CRF + cleaning)");
     println!("(paper: precision 84.2–94.4, coverage 57.3–87.0; results comparable to Japanese)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -9,6 +9,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("heterogeneous");
     let prepared = prepare_all(&[CategoryKind::BabyCarriers, CategoryKind::BabyGoods]);
     let cfg = PipelineConfig {
         iterations: 2,
@@ -39,4 +40,5 @@ fn main() {
         "\nPrecision drop from homogeneous to heterogeneous: {} points",
         pct(drop)
     );
+    cli.finish();
 }

@@ -12,6 +12,7 @@ use pae_core::{BootstrapPipeline, PipelineConfig};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("pos_backend_ablation");
     let mut table = TextTable::new(vec!["Category", "PoS backend", "precision", "coverage"]);
 
     for kind in [CategoryKind::VacuumCleaner, CategoryKind::MailboxDe] {
@@ -39,4 +40,5 @@ fn main() {
     );
     println!("(expected: comparable results — the pipeline is robust to the PoS layer)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -1,12 +1,13 @@
 //! Quick probe of pipeline behaviour (not a paper experiment).
+use pae_bench::cli::RunCli;
 use pae_core::{BootstrapPipeline, PipelineConfig, TaggerKind};
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    // Strips --trace-out / honors PAE_TRACE; positional args keep
-    // working on the filtered vector.
-    let (args, trace) = pae_obs::TraceSession::from_env_and_args();
-    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    // Strips --trace-out/--ledger/--scale and honors PAE_TRACE;
+    // positional args keep working on the filtered vector.
+    let cli = RunCli::init("probe");
+    let n: usize = cli.args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     for kind in [
         CategoryKind::VacuumCleaner,
         CategoryKind::Garden,
@@ -51,6 +52,7 @@ fn main() {
             );
             for i in 0..=out.snapshots.len() {
                 let r = out.evaluate_iteration(i, &dataset);
+                r.record_obs(&format!("{}/{}/it{i}", kind.name(), name));
                 print!(
                     " | it{i}: P={:.1} C={:.1} n={}",
                     100.0 * r.precision(),
@@ -64,5 +66,5 @@ fn main() {
             }
         }
     }
-    trace.finish();
+    cli.finish();
 }

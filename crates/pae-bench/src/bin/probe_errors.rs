@@ -1,10 +1,12 @@
 //! Error-analysis probe: dump incorrect triples for one category.
+use pae_bench::cli::RunCli;
 use pae_core::{BootstrapPipeline, PipelineConfig};
 use pae_synth::truth::Judgement;
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let (args, trace) = pae_obs::TraceSession::from_env_and_args();
+    let cli = RunCli::init("probe_errors");
+    let args = &cli.args;
     let kind = match args.get(1).map(String::as_str) {
         Some("mailbox") => CategoryKind::MailboxDe,
         Some("coffee") => CategoryKind::CoffeeMachinesDe,
@@ -66,5 +68,5 @@ fn main() {
             .map(|a| { format!("{}->{}", a, dataset.truth.canonical_attr(a).unwrap_or("?")) })
             .collect::<Vec<_>>()
     );
-    trace.finish();
+    cli.finish();
 }

@@ -1,9 +1,10 @@
 //! RNN configuration probe (not a paper experiment).
+use pae_bench::cli::RunCli;
 use pae_core::{config::RnnOptions, BootstrapPipeline, PipelineConfig, TaggerKind};
 use pae_synth::{CategoryKind, DatasetSpec};
 
 fn main() {
-    let (_args, trace) = pae_obs::TraceSession::from_env_and_args();
+    let cli = RunCli::init("probe_rnn");
     let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
         .products(200)
         .generate();
@@ -30,6 +31,7 @@ fn main() {
         let out =
             BootstrapPipeline::new(cfg.clone().without_cleaning()).run_on_corpus(&dataset, &corpus);
         let r = out.evaluate_iteration(1, &dataset);
+        r.record_obs(&format!("rnn/e{epochs}_lr{lr}_h{hidden}/it1"));
         println!(
             "epochs={epochs:2} lr={lr} hid={hidden} P={:.1} C={:.1} n={}",
             100.0 * r.precision(),
@@ -37,5 +39,5 @@ fn main() {
             r.n_triples()
         );
     }
-    trace.finish();
+    cli.finish();
 }

@@ -11,6 +11,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("semantic_core_sweep");
     let prepared = prepare_all(&[
         CategoryKind::Garden,
         CategoryKind::Shoes,
@@ -47,4 +48,5 @@ fn main() {
     println!("Semantic-core size sweep — precision after two bootstrap cycles (CRF + cleaning)");
     println!("(paper: the restriction on n barely matters — ≤1 point even unrestricted)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -10,6 +10,7 @@ use pae_core::PipelineConfig;
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("table1_seed");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
 
     // Seed only: zero bootstrap iterations.
@@ -55,4 +56,5 @@ fn main() {
 
     println!("Table I — seed precision and coverage (paper: precision pairs 92–100, triples 88.5–99.7, coverage 6.5–39.2)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -10,6 +10,7 @@ use pae_bench::{pct, prepare_all, run_parallel, standard_configs, TextTable};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("table2_precision");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
     let configs = standard_configs(1);
 
@@ -42,4 +43,5 @@ fn main() {
     println!("Table III — coverage after the first bootstrap iteration");
     println!("(paper: precision is inversely correlated with coverage across configurations)\n");
     print!("{}", coverage_table.render());
+    cli.finish();
 }

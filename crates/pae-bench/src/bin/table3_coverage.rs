@@ -8,6 +8,7 @@ use pae_bench::{pct, prepare_all, run_parallel, standard_configs, TextTable};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("table3_coverage");
     let prepared = prepare_all(&CategoryKind::TABLE_CATEGORIES);
     let configs = standard_configs(1);
 
@@ -28,4 +29,5 @@ fn main() {
     println!("Table III — coverage after the first bootstrap iteration");
     println!("(paper: 16.6–99.7; cleaning lowers coverage; the low-precision RNN config has the highest coverage)\n");
     print!("{}", table.render());
+    cli.finish();
 }

@@ -11,6 +11,7 @@ use pae_core::{PipelineConfig, TaggerKind};
 use pae_synth::CategoryKind;
 
 fn main() {
+    let cli = pae_bench::cli::RunCli::init("table4_ablation");
     let prepared = prepare_all(&[CategoryKind::VacuumCleaner, CategoryKind::Garden]);
 
     let full = PipelineConfig {
@@ -54,4 +55,5 @@ fn main() {
     println!("Table IV (bottom) — precision after the fifth bootstrap cycle");
     println!("(paper: CRF full 86.5/86.2; -sem -synt drops to 76.9/67.7)\n");
     print!("{}", fifth.render());
+    cli.finish();
 }

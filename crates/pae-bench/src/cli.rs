@@ -1,0 +1,202 @@
+//! Shared CLI plumbing for every experiment binary.
+//!
+//! Before this module each `probe*` binary hand-rolled its
+//! `--trace-out`/`PAE_TRACE` handling and the table/figure binaries
+//! had none; [`RunCli::init`] gives all of them one uniform surface:
+//!
+//! - `--trace-out <path>` / `PAE_TRACE` — via
+//!   [`pae_obs::TraceSession`], unchanged semantics;
+//! - `--scale <small|default|full>` — sets `PAE_SCALE` for this
+//!   process (equivalent to exporting the variable, but visible in
+//!   `--help`-style usage and per-invocation);
+//! - `--ledger <dir>` — after the run, write a
+//!   [`pae_report::summary::RunSummary`] (built from the live trace,
+//!   stamped with git revision, config hash, `PAE_JOBS`, and scale)
+//!   into `<dir>/<name>.json`. Requesting a ledger turns collection on
+//!   even without a trace target.
+//!
+//! All flags are stripped from [`RunCli::args`], so positional
+//! argument parsing in the binaries is unaffected.
+
+use std::path::{Path, PathBuf};
+
+use pae_obs::TraceSession;
+use pae_report::ledger;
+use pae_report::summary::{RunMeta, RunSummary};
+
+/// Per-binary run context: filtered args plus trace/ledger state.
+#[derive(Debug)]
+pub struct RunCli {
+    /// `std::env::args()` with every flag this module owns removed.
+    pub args: Vec<String>,
+    name: String,
+    trace: TraceSession,
+    ledger_dir: Option<PathBuf>,
+    enabled_for_ledger: bool,
+}
+
+impl RunCli {
+    /// Builds the run context from the process environment. Call this
+    /// first thing in `main` — `--scale` must take effect before any
+    /// dataset is generated.
+    pub fn init(name: &str) -> RunCli {
+        Self::from_parts(
+            name,
+            std::env::args().collect(),
+            std::env::var("PAE_TRACE").ok(),
+        )
+    }
+
+    /// Testable core of [`RunCli::init`].
+    pub fn from_parts(name: &str, args: Vec<String>, trace_env: Option<String>) -> RunCli {
+        let mut ledger_dir: Option<PathBuf> = None;
+        let mut filtered = Vec::with_capacity(args.len());
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--ledger" {
+                match it.next() {
+                    Some(dir) => ledger_dir = Some(dir.into()),
+                    None => eprintln!("warning: --ledger requires a directory; flag ignored"),
+                }
+            } else if let Some(dir) = arg.strip_prefix("--ledger=") {
+                ledger_dir = Some(dir.into());
+            } else if arg == "--scale" {
+                match it.next() {
+                    Some(s) => std::env::set_var("PAE_SCALE", s),
+                    None => eprintln!("warning: --scale requires a value; flag ignored"),
+                }
+            } else if let Some(s) = arg.strip_prefix("--scale=") {
+                std::env::set_var("PAE_SCALE", s);
+            } else {
+                filtered.push(arg);
+            }
+        }
+        let (args, trace) = TraceSession::from_parts(filtered, trace_env);
+        let mut enabled_for_ledger = false;
+        if ledger_dir.is_some() && !trace.active() {
+            pae_obs::reset();
+            pae_obs::set_enabled(true);
+            enabled_for_ledger = true;
+        }
+        RunCli {
+            args,
+            name: name.to_owned(),
+            trace,
+            ledger_dir,
+            enabled_for_ledger,
+        }
+    }
+
+    /// Whether trace collection is on for this run (for any reason).
+    pub fn collecting(&self) -> bool {
+        self.trace.active() || self.enabled_for_ledger
+    }
+
+    /// The workspace root (this crate sits at `crates/pae-bench`).
+    pub fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    /// Writes the run-summary ledger entry (when `--ledger` was given)
+    /// and finishes the trace session. Call last thing in `main`.
+    pub fn finish(self) {
+        if let Some(dir) = &self.ledger_dir {
+            let trace = pae_obs::reader::Trace::from_current();
+            let scale = std::env::var("PAE_SCALE").unwrap_or_else(|_| "default".into());
+            let meta = RunMeta {
+                name: self.name.clone(),
+                git_rev: ledger::git_rev(&Self::repo_root()),
+                config_hash: ledger::config_hash(&format!("{} scale={scale}", self.name)),
+                pae_jobs: std::env::var("PAE_JOBS").unwrap_or_default(),
+                scale,
+            };
+            let summary = RunSummary::build(meta, &trace);
+            if summary.incomplete() {
+                eprintln!(
+                    "warning: {} record(s) were dropped; the ledger entry is marked incomplete",
+                    summary.dropped
+                );
+            }
+            match ledger::write_summary(dir, &summary) {
+                Ok(path) => eprintln!("run summary written to {}", path.display()),
+                Err(e) => eprintln!("failed to write run summary to {}: {e}", dir.display()),
+            }
+        }
+        self.trace.finish();
+        if self.enabled_for_ledger {
+            pae_obs::set_enabled(false);
+            pae_obs::reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Env mutations (`PAE_SCALE`) and the global obs switch are
+    /// process-wide; serialize the tests touching them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn flags_are_stripped_and_scale_is_exported() {
+        let _l = lock();
+        let before = std::env::var("PAE_SCALE").ok();
+        let cli = RunCli::from_parts(
+            "unit",
+            vec![
+                "probe".into(),
+                "--scale".into(),
+                "small".into(),
+                "120".into(),
+                "--trace-out=/tmp/unit-cli.jsonl".into(),
+            ],
+            None,
+        );
+        assert_eq!(cli.args, vec!["probe".to_string(), "120".to_string()]);
+        assert_eq!(std::env::var("PAE_SCALE").as_deref(), Ok("small"));
+        assert!(cli.collecting(), "--trace-out enables collection");
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
+        match before {
+            Some(v) => std::env::set_var("PAE_SCALE", v),
+            None => std::env::remove_var("PAE_SCALE"),
+        }
+    }
+
+    #[test]
+    fn ledger_flag_enables_collection_and_writes_summary() {
+        let _l = lock();
+        let dir = std::env::temp_dir().join(format!("pae-cli-ledger-{}", std::process::id()));
+        let cli = RunCli::from_parts(
+            "unit-ledger",
+            vec!["probe".into(), format!("--ledger={}", dir.display())],
+            None,
+        );
+        assert!(cli.collecting(), "--ledger must turn collection on");
+        assert_eq!(cli.args, vec!["probe".to_string()]);
+        pae_obs::event("unit.cli", vec![]);
+        cli.finish();
+        assert!(!pae_obs::enabled(), "finish turns collection back off");
+
+        let path = dir.join("unit-ledger.json");
+        let doc = std::fs::read_to_string(&path).expect("ledger entry written");
+        let summary = RunSummary::parse(&doc).expect("ledger entry parses");
+        assert_eq!(summary.meta.name, "unit-ledger");
+        assert!(!summary.meta.git_rev.is_empty());
+        assert_eq!(summary.meta.config_hash.len(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_flags_means_no_collection() {
+        let _l = lock();
+        let cli = RunCli::from_parts("unit", vec!["probe".into()], None);
+        assert!(!cli.collecting());
+        assert_eq!(cli.args, vec!["probe".to_string()]);
+        cli.finish();
+    }
+}

@@ -10,6 +10,8 @@
 //! `small` (quick smoke runs), default (minutes per experiment), or
 //! `full` (closest to the paper's relative corpus sizes).
 
+pub mod cli;
+
 use std::collections::HashMap;
 
 use pae_core::config::RnnOptions;

@@ -3,7 +3,10 @@
 use pae_synth::Dataset;
 use pae_text::LexiconPosTagger;
 
-use crate::cleaning::{apply_veto, semantic_clean, SemanticCleanStats, VetoStats};
+use crate::cleaning::{
+    apply_veto, semantic_clean_with_baseline, AttrDrift, DriftBaseline, SemanticCleanStats,
+    VetoStats,
+};
 use crate::config::{PipelineConfig, TaggerKind};
 use crate::corpus::{parse_corpus_with, Corpus};
 use crate::corrections::Corrections;
@@ -30,6 +33,10 @@ pub struct IterationSnapshot {
     pub veto: VetoStats,
     /// Semantic-cleaning removals this cycle.
     pub semantic: SemanticCleanStats,
+    /// Per-attribute drift of the accepted values against the
+    /// iteration-0 seed (empty when semantic cleaning is disabled or
+    /// drift is undefined for every attribute).
+    pub drift: Vec<AttrDrift>,
     /// Per-stage wall clock for this cycle.
     pub timings: StageTimings,
 }
@@ -184,6 +191,10 @@ impl BootstrapPipeline {
 
         let word_sentences = corpus.word_sentences();
         let mut triples = seed_triples(&seed);
+        // Drift is always measured against the iteration-0 values,
+        // frozen here — not against the previous cycle — so the scores
+        // answer "how far has this attribute moved from the seed?".
+        let drift_baseline = DriftBaseline::from_triples(&triples);
         let mut snapshots = Vec::with_capacity(cfg.iterations);
 
         for iteration in 1..=cfg.iterations {
@@ -214,16 +225,17 @@ impl BootstrapPipeline {
                     (pool, VetoStats::default())
                 }
             });
-            let ((pool, semantic), semantic_time) = span_timed("semantic", || {
+            let ((pool, semantic, drift), semantic_time) = span_timed("semantic", || {
                 if cfg.use_semantic {
-                    semantic_clean(
+                    semantic_clean_with_baseline(
                         pool,
                         &word_sentences,
                         &cfg.semantic,
                         cfg.seed.wrapping_add(iteration as u64),
+                        Some(&drift_baseline),
                     )
                 } else {
-                    (pool, SemanticCleanStats::default())
+                    (pool, SemanticCleanStats::default(), Vec::new())
                 }
             });
             // The corrections span is emitted even when there are no
@@ -250,10 +262,27 @@ impl BootstrapPipeline {
                         ("candidates".into(), n_candidates.into()),
                         ("triples".into(), triples.len().into()),
                         ("veto_dropped".into(), veto.total().into()),
+                        ("veto_symbols".into(), veto.symbols.into()),
+                        ("veto_markup".into(), veto.markup.into()),
+                        ("veto_unpopular".into(), veto.unpopular.into()),
+                        ("veto_long".into(), veto.long.into()),
                         ("semantic_removed".into(), semantic.removed.into()),
                         ("semantic_evictions".into(), semantic.evictions.into()),
                     ],
                 );
+                for d in &drift {
+                    pae_obs::gauge_set("semantic.drift", &[("attribute", &d.attr)], d.score);
+                    pae_obs::event(
+                        "semantic.drift",
+                        vec![
+                            ("iteration".into(), iteration.into()),
+                            ("attribute".into(), d.attr.clone().into()),
+                            ("score".into(), d.score.into()),
+                            ("n_values".into(), d.n_values.into()),
+                            ("n_baseline".into(), d.n_baseline.into()),
+                        ],
+                    );
+                }
             }
 
             snapshots.push(IterationSnapshot {
@@ -262,6 +291,7 @@ impl BootstrapPipeline {
                 n_candidates,
                 veto,
                 semantic,
+                drift,
                 timings: StageTimings {
                     train: tagged.train,
                     extract: tagged.extract,

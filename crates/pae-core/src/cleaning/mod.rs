@@ -3,5 +3,7 @@
 pub mod semantic;
 pub mod veto;
 
-pub use semantic::{semantic_clean, SemanticCleanStats};
+pub use semantic::{
+    semantic_clean, semantic_clean_with_baseline, AttrDrift, DriftBaseline, SemanticCleanStats,
+};
 pub use veto::{apply_veto, VetoStats};

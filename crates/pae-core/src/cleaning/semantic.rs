@@ -7,7 +7,7 @@
 //! (iv) remove candidate triples whose value is semantically distant
 //! from the core.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use pae_embed::{group_phrases, multiplicative_similarity, W2vConfig, W2vModel};
 
@@ -26,6 +26,55 @@ pub struct SemanticCleanStats {
     pub evictions: usize,
 }
 
+/// Per-attribute semantic drift of the accepted values relative to a
+/// baseline value set.
+///
+/// The score is `1 − cosine(centroid(accepted), centroid(baseline))`,
+/// both centroids taken over mean-centered vectors in *this*
+/// iteration's word2vec space (so the baseline is re-embedded every
+/// cycle and the comparison is apples-to-apples). 0 means the accepted
+/// values still point where the baseline pointed; larger values mean
+/// the attribute's accepted vocabulary is moving away from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDrift {
+    /// Attribute name.
+    pub attr: String,
+    /// Cosine distance between the accepted and baseline centroids
+    /// (0 = aligned, up to 2 = opposite).
+    pub score: f64,
+    /// Accepted values that had an embedding this iteration.
+    pub n_values: usize,
+    /// Baseline values that had an embedding this iteration.
+    pub n_baseline: usize,
+}
+
+/// The per-attribute value sets that [`AttrDrift`] is measured against
+/// — normally the iteration-0 seed triples, frozen before the loop.
+#[derive(Debug, Clone, Default)]
+pub struct DriftBaseline {
+    values_per_attr: HashMap<String, BTreeSet<String>>,
+}
+
+impl DriftBaseline {
+    /// Collects per-attribute value sets (spaces become underscores,
+    /// matching the phrase-grouped corpus tokens).
+    pub fn from_triples(triples: &[Triple]) -> DriftBaseline {
+        let mut values_per_attr: HashMap<String, BTreeSet<String>> = HashMap::new();
+        for t in triples {
+            values_per_attr
+                .entry(t.attr.clone())
+                .or_default()
+                .insert(t.value.replace(' ', "_"));
+        }
+        DriftBaseline { values_per_attr }
+    }
+
+    /// True when no baseline values were collected.
+    pub fn is_empty(&self) -> bool {
+        self.values_per_attr.is_empty()
+    }
+}
+
 /// Runs semantic cleaning over candidate triples.
 ///
 /// `sentences` is the iteration's corpus (plain word lists); the
@@ -37,9 +86,27 @@ pub fn semantic_clean(
     options: &SemanticOptions,
     seed: u64,
 ) -> (Vec<Triple>, SemanticCleanStats) {
+    let (survivors, stats, _) =
+        semantic_clean_with_baseline(triples, sentences, options, seed, None);
+    (survivors, stats)
+}
+
+/// As [`semantic_clean`], additionally scoring per-attribute drift of
+/// the surviving values against `baseline` (see [`AttrDrift`]).
+///
+/// Drift is measured strictly *after* the keep decisions and feeds
+/// nothing back into them, so passing a baseline cannot change which
+/// triples survive — the determinism suite relies on this.
+pub fn semantic_clean_with_baseline(
+    triples: Vec<Triple>,
+    sentences: &[Vec<String>],
+    options: &SemanticOptions,
+    seed: u64,
+    baseline: Option<&DriftBaseline>,
+) -> (Vec<Triple>, SemanticCleanStats, Vec<AttrDrift>) {
     let mut stats = SemanticCleanStats::default();
     if triples.is_empty() {
-        return (triples, stats);
+        return (triples, stats, Vec::new());
     }
 
     // (i) group multiword values into single tokens.
@@ -61,7 +128,7 @@ pub fn semantic_clean(
         ..Default::default()
     };
     let Some(model) = W2vModel::train(&grouped, &config) else {
-        return (triples, stats); // no semantic evidence at all
+        return (triples, stats, Vec::new()); // no semantic evidence at all
     };
 
     // Values per attribute, as single tokens.
@@ -159,6 +226,13 @@ pub fn semantic_clean(
         .collect();
     stats.removed = before - survivors.len();
 
+    // Drift scoring: read-only over the survivors and the already-built
+    // model/mean, so it cannot perturb the keep decisions above.
+    let drift = match baseline {
+        Some(b) if !b.is_empty() => compute_drift(&survivors, b, &model, &mean),
+        _ => Vec::new(),
+    };
+
     if pae_obs::enabled() {
         pae_obs::counter_add("semantic.removed", &[], stats.removed as u64);
         pae_obs::counter_add("semantic.evictions", &[], stats.evictions as u64);
@@ -168,7 +242,86 @@ pub fn semantic_clean(
             stats.unscored_values as u64,
         );
     }
-    (survivors, stats)
+    (survivors, stats, drift)
+}
+
+/// Mean-centered centroid (in f64) of the embeddable `values`, plus how
+/// many of them were embeddable.
+fn centroid<'a, I: Iterator<Item = &'a String>>(
+    values: I,
+    model: &W2vModel,
+    mean: &[f32],
+) -> (Vec<f64>, usize) {
+    let mut sum = vec![0.0f64; mean.len()];
+    let mut n = 0usize;
+    for v in values {
+        if let Some(vec) = model.vector(v) {
+            for ((s, x), m) in sum.iter_mut().zip(vec).zip(mean) {
+                *s += (x - m) as f64;
+            }
+            n += 1;
+        }
+    }
+    if n > 0 {
+        for s in sum.iter_mut() {
+            *s /= n as f64;
+        }
+    }
+    (sum, n)
+}
+
+/// Cosine similarity; `None` when either vector has zero norm.
+fn cosine(a: &[f64], b: &[f64]) -> Option<f64> {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        None
+    } else {
+        Some(dot / (na * nb))
+    }
+}
+
+/// Scores each surviving attribute against the baseline value set.
+/// Attributes absent from the baseline, and attributes where either
+/// side has no embeddable value, are skipped (drift is undefined there,
+/// not zero). Output is sorted by attribute name.
+fn compute_drift(
+    survivors: &[Triple],
+    baseline: &DriftBaseline,
+    model: &W2vModel,
+    mean: &[f32],
+) -> Vec<AttrDrift> {
+    let mut accepted: HashMap<&str, BTreeSet<String>> = HashMap::new();
+    for t in survivors {
+        accepted
+            .entry(t.attr.as_str())
+            .or_default()
+            .insert(t.value.replace(' ', "_"));
+    }
+    let mut attrs: Vec<&str> = accepted.keys().copied().collect();
+    attrs.sort_unstable();
+    let mut out = Vec::new();
+    for attr in attrs {
+        let Some(base_values) = baseline.values_per_attr.get(attr) else {
+            continue;
+        };
+        let (cur, n_cur) = centroid(accepted[attr].iter(), model, mean);
+        let (base, n_base) = centroid(base_values.iter(), model, mean);
+        if n_cur == 0 || n_base == 0 {
+            continue;
+        }
+        let Some(cos) = cosine(&cur, &base) else {
+            continue;
+        };
+        out.push(AttrDrift {
+            attr: attr.to_string(),
+            score: 1.0 - cos,
+            n_values: n_cur,
+            n_baseline: n_base,
+        });
+    }
+    out
 }
 
 /// Builds the core as index set into `embedded`: iteratively discard
@@ -295,6 +448,75 @@ mod tests {
         assert_eq!(stats.removed, 0);
         let (out, _) = semantic_clean(vec![Triple::new(0, "a", "x")], &[], &options(), 7);
         assert_eq!(out.len(), 1, "no corpus → keep everything");
+    }
+
+    #[test]
+    fn drift_is_zero_against_self_and_larger_against_intruders() {
+        let colors = ["aka", "ao", "kiiro", "momo"];
+        let triples: Vec<Triple> = colors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Triple::new(i as u32, "iro", *v))
+            .collect();
+        let mut opts = options();
+        opts.core_size = None; // keep everything: survivors == baseline
+
+        // Baseline == accepted values → centroids coincide → drift ~0.
+        let baseline = DriftBaseline::from_triples(&triples);
+        let (_, _, drift) =
+            semantic_clean_with_baseline(triples.clone(), &corpus(), &opts, 7, Some(&baseline));
+        assert_eq!(drift.len(), 1);
+        assert_eq!(drift[0].attr, "iro");
+        assert!(drift[0].score.abs() < 1e-9, "self-drift {}", drift[0].score);
+        assert_eq!(drift[0].n_values, 4);
+        assert_eq!(drift[0].n_baseline, 4);
+
+        // A weight-context baseline is far from the color survivors.
+        let far = DriftBaseline::from_triples(&[
+            Triple::new(0, "iro", "2"),
+            Triple::new(1, "iro", "3"),
+            Triple::new(2, "iro", "kg"),
+        ]);
+        let (_, _, drifted) =
+            semantic_clean_with_baseline(triples, &corpus(), &opts, 7, Some(&far));
+        assert_eq!(drifted.len(), 1);
+        assert!(
+            drifted[0].score > drift[0].score + 0.05,
+            "drift against foreign baseline ({}) not above self-drift ({})",
+            drifted[0].score,
+            drift[0].score
+        );
+    }
+
+    #[test]
+    fn drift_skips_unknown_attributes_and_none_baseline() {
+        let triples = vec![Triple::new(0, "iro", "aka"), Triple::new(1, "iro", "ao")];
+        // No baseline → no drift rows.
+        let (_, _, drift) =
+            semantic_clean_with_baseline(triples.clone(), &corpus(), &options(), 7, None);
+        assert!(drift.is_empty());
+        // Baseline covering a different attribute → skipped, not zero.
+        let other = DriftBaseline::from_triples(&[Triple::new(0, "omosa", "2")]);
+        let (_, _, drift) =
+            semantic_clean_with_baseline(triples, &corpus(), &options(), 7, Some(&other));
+        assert!(drift.is_empty(), "{drift:?}");
+    }
+
+    #[test]
+    fn baseline_does_not_change_keep_decisions() {
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+            Triple::new(2, "iro", "kiiro"),
+            Triple::new(3, "iro", "momo"),
+            Triple::new(4, "iro", "kg"),
+        ];
+        let (plain, plain_stats) = semantic_clean(triples.clone(), &corpus(), &options(), 7);
+        let baseline = DriftBaseline::from_triples(&triples);
+        let (with_baseline, stats, _) =
+            semantic_clean_with_baseline(triples, &corpus(), &options(), 7, Some(&baseline));
+        assert_eq!(plain, with_baseline);
+        assert_eq!(plain_stats, stats);
     }
 
     #[test]

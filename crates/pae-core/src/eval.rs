@@ -74,6 +74,50 @@ impl EvalReport {
             Some((c, n)) => *c as f64 / *n as f64,
         }
     }
+
+    /// Records this report into the obs trace (no-op when collection is
+    /// off): one `eval.summary` event with the headline metrics plus an
+    /// `eval.attr` event per canonical attribute, all tagged with `key`
+    /// so a trace holding many evaluations (several configs, several
+    /// iterations) stays attributable. `pae-report` builds its quality
+    /// ledger from these events.
+    pub fn record_obs(&self, key: &str) {
+        if !pae_obs::enabled() {
+            return;
+        }
+        pae_obs::event(
+            "eval.summary",
+            vec![
+                ("key".into(), key.into()),
+                ("precision".into(), self.precision().into()),
+                ("coverage".into(), self.coverage().into()),
+                ("n_triples".into(), self.n_triples().into()),
+                ("correct".into(), self.correct.into()),
+                ("incorrect".into(), self.incorrect.into()),
+                ("maybe_incorrect".into(), self.maybe_incorrect.into()),
+                ("covered_products".into(), self.covered_products.into()),
+                ("n_products".into(), self.n_products.into()),
+            ],
+        );
+        let mut attrs: Vec<&String> = self
+            .attr_precision
+            .keys()
+            .chain(self.attr_coverage.keys())
+            .collect();
+        attrs.sort();
+        attrs.dedup();
+        for attr in attrs {
+            pae_obs::event(
+                "eval.attr",
+                vec![
+                    ("key".into(), key.into()),
+                    ("attribute".into(), attr.as_str().into()),
+                    ("precision".into(), self.attr_precision_of(attr).into()),
+                    ("coverage".into(), self.attr_coverage_of(attr).into()),
+                ],
+            );
+        }
+    }
 }
 
 /// Evaluates extracted triples against the ground truth.
@@ -244,6 +288,38 @@ mod tests {
         assert_eq!(r.precision(), 1.0);
         assert_eq!(r.coverage(), 0.0);
         assert_eq!(r.n_triples(), 0);
+    }
+
+    #[test]
+    fn record_obs_emits_keyed_summary_and_attr_events() {
+        let truth = toy_truth();
+        let triples = vec![Triple::new(0, "iro", "aka"), Triple::new(1, "iro", "ao")];
+        let r = evaluate_triples(&triples, &truth);
+        let was_enabled = pae_obs::enabled();
+        pae_obs::set_enabled(true);
+        r.record_obs("unit/record_obs");
+        let records = pae_obs::snapshot();
+        pae_obs::set_enabled(was_enabled);
+
+        // Other tests share the global collector, so look for our key.
+        let keyed = |name: &str| {
+            records.iter().find(|rec| {
+                rec.name == name
+                    && rec.fields.iter().any(|(k, v)| {
+                        k == "key" && *v == pae_obs::FieldValue::Str("unit/record_obs".into())
+                    })
+            })
+        };
+        let summary = keyed("eval.summary").expect("eval.summary missing");
+        assert!(summary
+            .fields
+            .iter()
+            .any(|(k, v)| k == "n_triples" && *v == pae_obs::FieldValue::U64(2)));
+        let attr = keyed("eval.attr").expect("eval.attr missing");
+        assert!(attr
+            .fields
+            .iter()
+            .any(|(k, v)| k == "attribute" && *v == pae_obs::FieldValue::Str("color".into())));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::path::Path;
 
 use crate::collector;
 use crate::json::{write_f64, write_str};
-use crate::metrics::{self, MetricKey, MetricValue};
+use crate::metrics::{MetricKey, MetricValue};
 use crate::record::{FieldValue, TraceRecord};
 
 fn write_field_value(out: &mut String, v: &FieldValue) {
@@ -123,11 +123,14 @@ pub fn render(
     out
 }
 
-/// Renders the current global collector + registry state.
+/// Renders the current global collector + registry state, including
+/// the synthetic `obs.records_dropped` gauge (warning on stderr once if
+/// the ring buffer overflowed and the trace is therefore truncated).
 pub fn render_current() -> String {
+    crate::export::warn_if_truncated();
     render(
         &collector::snapshot(),
-        &metrics::metrics_snapshot(),
+        &crate::export::registry_with_overflow(),
         collector::dropped(),
     )
 }

@@ -4,3 +4,69 @@
 pub mod console;
 pub mod jsonl;
 pub mod prometheus;
+
+use crate::collector;
+use crate::metrics::{self, MetricKey, MetricValue};
+
+/// The gauge name under which collector overflow is exported.
+pub const RECORDS_DROPPED_GAUGE: &str = "obs.records_dropped";
+
+/// The metrics registry plus a synthetic `obs.records_dropped` gauge
+/// carrying the collector's overflow count, so consumers of any export
+/// (and of [`crate::reader::Trace::from_current`]) can detect truncated
+/// traces without parsing the meta line.
+pub(crate) fn registry_with_overflow() -> Vec<(MetricKey, MetricValue)> {
+    let mut snapshot = metrics::metrics_snapshot();
+    snapshot.push((
+        MetricKey {
+            name: RECORDS_DROPPED_GAUGE.to_string(),
+            labels: Vec::new(),
+        },
+        MetricValue::Gauge(collector::dropped() as f64),
+    ));
+    snapshot.sort_by(|(a, _), (b, _)| a.cmp(b));
+    snapshot
+}
+
+/// Warns on stderr — once per process — when the ring buffer has
+/// dropped records, so truncated traces never pass silently.
+pub(crate) fn warn_if_truncated() {
+    let dropped = collector::dropped();
+    if dropped == 0 {
+        return;
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: obs trace truncated: {dropped} oldest record(s) were dropped from the \
+             ring buffer; summaries derived from this trace are incomplete \
+             (raise the capacity with pae_obs::set_capacity)"
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn overflow_gauge_reflects_dropped_count() {
+        let _l = test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::set_capacity(2);
+        for i in 0..5 {
+            crate::event("e", vec![("i".into(), (i as u64).into())]);
+        }
+        let snap = registry_with_overflow();
+        let gauge = snap
+            .iter()
+            .find(|(k, _)| k.name == RECORDS_DROPPED_GAUGE)
+            .map(|(_, v)| v.clone());
+        assert_eq!(gauge, Some(MetricValue::Gauge(3.0)));
+        crate::set_capacity(crate::DEFAULT_CAPACITY);
+        crate::set_enabled(false);
+        crate::reset();
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::metrics::{self, Histogram, MetricKey, MetricValue, HISTOGRAM_BUCKETS};
+use crate::metrics::{Histogram, MetricKey, MetricValue, HISTOGRAM_BUCKETS};
 
 fn sanitize(name: &str) -> String {
     let mut out: String = name
@@ -128,9 +128,12 @@ pub fn render(snapshot: &[(MetricKey, MetricValue)]) -> String {
     out
 }
 
-/// Renders the current global registry.
+/// Renders the current global registry, including the synthetic
+/// `obs.records_dropped` gauge (warning on stderr once if the ring
+/// buffer overflowed).
 pub fn render_current() -> String {
-    render(&metrics::metrics_snapshot())
+    crate::export::warn_if_truncated();
+    render(&crate::export::registry_with_overflow())
 }
 
 #[cfg(test)]

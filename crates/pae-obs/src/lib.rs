@@ -34,6 +34,7 @@ mod span;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod reader;
 
 pub use collector::{
     clear, dropped, enabled, set_capacity, set_enabled, snapshot, DEFAULT_CAPACITY,

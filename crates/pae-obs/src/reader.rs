@@ -1,0 +1,426 @@
+//! Trace reader: parses a JSONL trace document (as produced by
+//! [`crate::export::jsonl`]) back into typed [`TraceRecord`]s and
+//! metric snapshots, so downstream tooling (`pae-report`) can turn
+//! traces into run summaries without re-implementing the schema.
+//!
+//! A [`Trace`] can come from three places:
+//!
+//! - [`Trace::parse`] / [`Trace::read`] — a JSONL document or file;
+//! - [`Trace::from_current`] — the live global collector + registry
+//!   (used by in-process ledger writers, avoiding a JSONL round trip);
+//! - [`Trace::subtree`] — a filtered view keeping only the records
+//!   inside one span's subtree (used by tests that must ignore
+//!   records emitted concurrently by unrelated code).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::collector;
+use crate::json::Json;
+use crate::metrics::{Histogram, MetricKey, MetricValue, HISTOGRAM_BUCKETS};
+use crate::record::{FieldValue, RecordKind, TraceRecord};
+
+/// The `meta` line of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Schema version.
+    pub version: u64,
+    /// Number of record lines the writer declared.
+    pub records: u64,
+    /// Records evicted from the ring buffer before export. A non-zero
+    /// value means the trace is truncated and derived summaries are
+    /// incomplete.
+    pub dropped: u64,
+}
+
+/// A fully parsed trace: meta line, records, and final metric state.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The `meta` line.
+    pub meta: TraceMeta,
+    /// Span/event/metric records in sequence order.
+    pub records: Vec<TraceRecord>,
+    /// Final registry state (`metric_snapshot` lines).
+    pub metrics: Vec<(MetricKey, MetricValue)>,
+}
+
+impl Trace {
+    /// Reads and parses a JSONL trace file.
+    pub fn read(path: &Path) -> Result<Trace, String> {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&doc)
+    }
+
+    /// Parses a JSONL trace document.
+    pub fn parse(doc: &str) -> Result<Trace, String> {
+        let mut trace = Trace::default();
+        let mut saw_meta = false;
+        for (lineno, line) in doc.lines().enumerate() {
+            let n = lineno + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+            let ty = v
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {n}: missing \"type\""))?
+                .to_owned();
+            match ty.as_str() {
+                "meta" => {
+                    if saw_meta {
+                        return Err(format!("line {n}: duplicate meta line"));
+                    }
+                    saw_meta = true;
+                    trace.meta = TraceMeta {
+                        version: req_u64(&v, "version", n)?,
+                        records: req_u64(&v, "records", n)?,
+                        dropped: req_u64(&v, "dropped", n)?,
+                    };
+                }
+                "span_start" | "span_end" | "event" | "metric" => {
+                    if !saw_meta {
+                        return Err(format!("line {n}: record before the meta line"));
+                    }
+                    trace.records.push(parse_record(&ty, &v, n)?);
+                }
+                "metric_snapshot" => {
+                    if !saw_meta {
+                        return Err(format!("line {n}: metric_snapshot before the meta line"));
+                    }
+                    trace.metrics.push(parse_metric_snapshot(&v, n)?);
+                }
+                other => return Err(format!("line {n}: unknown line type {other:?}")),
+            }
+        }
+        if !saw_meta {
+            return Err("empty document: no meta line".into());
+        }
+        if trace.meta.records != trace.records.len() as u64 {
+            return Err(format!(
+                "meta declared {} records but {} record lines followed",
+                trace.meta.records,
+                trace.records.len()
+            ));
+        }
+        Ok(trace)
+    }
+
+    /// Builds a trace from the live global collector and registry
+    /// (no JSONL round trip). Matches what the JSONL exporter would
+    /// write right now, including the `obs.records_dropped` gauge.
+    pub fn from_current() -> Trace {
+        let records = collector::snapshot();
+        let dropped = collector::dropped();
+        Trace {
+            meta: TraceMeta {
+                version: 1,
+                records: records.len() as u64,
+                dropped,
+            },
+            records,
+            metrics: crate::export::registry_with_overflow(),
+        }
+    }
+
+    /// The records inside `root`'s span subtree: the root span itself,
+    /// all transitively nested spans (including spans re-parented
+    /// across threads via `with_parent`), and every event/metric
+    /// emitted under any of them. Metric snapshots and meta are copied
+    /// unchanged (the registry is global and cannot be attributed).
+    pub fn subtree(&self, root: u64) -> Trace {
+        let mut spans: BTreeSet<u64> = BTreeSet::new();
+        spans.insert(root);
+        // Span-start records arrive in sequence order and a child's
+        // start always follows its parent's, so one forward pass
+        // closes the descendant set.
+        for r in &self.records {
+            if r.kind == RecordKind::SpanStart && spans.contains(&r.parent) {
+                spans.insert(r.span);
+            }
+        }
+        let records: Vec<TraceRecord> = self
+            .records
+            .iter()
+            .filter(|r| spans.contains(&r.span))
+            .cloned()
+            .collect();
+        Trace {
+            meta: TraceMeta {
+                version: self.meta.version,
+                records: records.len() as u64,
+                dropped: self.meta.dropped,
+            },
+            records,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Span-start records of the given name, in sequence order.
+    pub fn spans_named<'a>(&'a self, name: &str) -> Vec<&'a TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart && r.name == name)
+            .collect()
+    }
+
+    /// Events of the given name, in sequence order.
+    pub fn events_named<'a>(&'a self, name: &str) -> Vec<&'a TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Event && r.name == name)
+            .collect()
+    }
+
+    /// Looks up a metric snapshot by name and exact label set.
+    pub fn metric(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| {
+                k.name == name
+                    && k.labels.len() == labels.len()
+                    && k.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((ak, av), (bk, bv))| ak == bk && av == bv)
+            })
+            .map(|(_, v)| v)
+    }
+}
+
+fn req_u64(v: &Json, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line}: missing numeric \"{key}\""))
+}
+
+/// Canonicalizes a parsed JSON value into a [`FieldValue`]: integral
+/// non-negative numbers become `U64`, integral negatives `I64`, other
+/// numbers `F64` (`null` maps to `F64(NaN)`, the writer's encoding of
+/// non-finite values).
+fn field_value(v: &Json) -> FieldValue {
+    match v {
+        Json::Num(n) if n.trunc() == *n && *n >= 0.0 && *n < 9e15 => FieldValue::U64(*n as u64),
+        Json::Num(n) if n.trunc() == *n && *n < 0.0 && *n > -9e15 => FieldValue::I64(*n as i64),
+        Json::Num(n) => FieldValue::F64(*n),
+        Json::Str(s) => FieldValue::Str(s.clone()),
+        Json::Bool(b) => FieldValue::Bool(*b),
+        _ => FieldValue::F64(f64::NAN),
+    }
+}
+
+fn parse_record(ty: &str, v: &Json, line: usize) -> Result<TraceRecord, String> {
+    let kind = match ty {
+        "span_start" => RecordKind::SpanStart,
+        "span_end" => RecordKind::SpanEnd,
+        "event" => RecordKind::Event,
+        _ => RecordKind::Metric,
+    };
+    let fields = match v.get("fields") {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .map(|(k, fv)| (k.clone(), field_value(fv)))
+            .collect(),
+        Some(_) => return Err(format!("line {line}: \"fields\" is not an object")),
+        None => return Err(format!("line {line}: {ty} missing \"fields\"")),
+    };
+    Ok(TraceRecord {
+        seq: req_u64(v, "seq", line)?,
+        t_ns: req_u64(v, "t_ns", line)?,
+        thread: req_u64(v, "thread", line)?,
+        kind,
+        span: req_u64(v, "span", line)?,
+        parent: req_u64(v, "parent", line)?,
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line}: {ty} missing \"name\""))?
+            .to_owned(),
+        fields,
+    })
+}
+
+fn parse_metric_snapshot(v: &Json, line: usize) -> Result<(MetricKey, MetricValue), String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line}: metric_snapshot missing \"name\""))?
+        .to_owned();
+    let labels = match v.get("labels") {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .map(|(k, lv)| {
+                lv.as_str()
+                    .map(|s| (k.clone(), s.to_owned()))
+                    .ok_or_else(|| format!("line {line}: non-string label {k:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(format!("line {line}: metric_snapshot missing \"labels\"")),
+    };
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line}: metric_snapshot missing \"kind\""))?;
+    let value = match kind {
+        "counter" => MetricValue::Counter(req_u64(v, "value", line)?),
+        "gauge" => MetricValue::Gauge(
+            v.get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {line}: gauge missing numeric \"value\""))?,
+        ),
+        "histogram" => {
+            let mut h = Histogram {
+                count: req_u64(v, "count", line)?,
+                sum: v.get("sum").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                min: v.get("min").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                max: v.get("max").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                ..Histogram::default()
+            };
+            if h.count == 0 {
+                h.min = f64::INFINITY;
+                h.max = f64::NEG_INFINITY;
+            }
+            match v.get("buckets") {
+                Some(Json::Arr(buckets)) => {
+                    for b in buckets {
+                        let (i, c) = match b {
+                            Json::Arr(pair) if pair.len() == 2 => (
+                                pair[0].as_u64().ok_or_else(|| {
+                                    format!("line {line}: non-integer bucket index")
+                                })?,
+                                pair[1].as_u64().ok_or_else(|| {
+                                    format!("line {line}: non-integer bucket count")
+                                })?,
+                            ),
+                            _ => return Err(format!("line {line}: malformed bucket entry")),
+                        };
+                        if i as usize >= HISTOGRAM_BUCKETS {
+                            return Err(format!("line {line}: bucket index {i} out of range"));
+                        }
+                        h.buckets[i as usize] = c;
+                    }
+                }
+                _ => return Err(format!("line {line}: histogram missing \"buckets\"")),
+            }
+            MetricValue::Histogram(Box::new(h))
+        }
+        other => return Err(format!("line {line}: unknown metric kind {other:?}")),
+    };
+    Ok((MetricKey { name, labels }, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use crate::{clear, clear_metrics, counter_add, event, gauge_set, observe, set_enabled, span};
+
+    /// Round trip: emit real records, render JSONL, parse it back, and
+    /// compare against the in-memory snapshot.
+    #[test]
+    fn parse_round_trips_the_jsonl_exporter() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        clear_metrics();
+        {
+            let _root = span("bootstrap.run");
+            event(
+                "iteration.summary",
+                vec![
+                    ("iteration".into(), 1u64.into()),
+                    ("triples".into(), 12u64.into()),
+                ],
+            );
+            counter_add("veto.dropped", &[("rule", "symbols")], 3);
+            gauge_set("eval.precision", &[("run", "probe")], 0.875);
+            observe("crf.lbfgs.nll", &[], 2.5);
+        }
+        let doc = crate::export::jsonl::render_current();
+        let live = Trace::from_current();
+        set_enabled(false);
+        clear();
+        clear_metrics();
+
+        let parsed = Trace::parse(&doc).expect("exporter output parses");
+        assert_eq!(parsed.meta.records, live.records.len() as u64);
+        assert_eq!(parsed.records.len(), live.records.len());
+        for (a, b) in parsed.records.iter().zip(&live.records) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.parent, b.parent);
+        }
+        assert_eq!(parsed.metrics, live.metrics);
+        assert_eq!(
+            parsed.metric("veto.dropped", &[("rule", "symbols")]),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(parsed.events_named("iteration.summary").len(), 1);
+        assert_eq!(parsed.spans_named("bootstrap.run").len(), 1);
+    }
+
+    #[test]
+    fn subtree_keeps_only_nested_records() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        clear_metrics();
+        let root_id;
+        {
+            let root = span("mine");
+            root_id = root.id();
+            let _inner = span("mine.child");
+            event("mine.event", vec![]);
+        }
+        {
+            let _other = span("other");
+            event("other.event", vec![]);
+        }
+        let trace = Trace::from_current();
+        set_enabled(false);
+        clear();
+        clear_metrics();
+
+        let sub = trace.subtree(root_id);
+        assert!(sub.spans_named("mine").len() == 1);
+        assert!(sub.spans_named("mine.child").len() == 1);
+        assert_eq!(sub.events_named("mine.event").len(), 1);
+        assert!(sub.spans_named("other").is_empty());
+        assert!(sub.events_named("other.event").is_empty());
+        assert_eq!(sub.meta.records, sub.records.len() as u64);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(Trace::parse("").is_err(), "no meta");
+        assert!(
+            Trace::parse("{\"type\":\"meta\",\"version\":1,\"records\":1,\"dropped\":0}\n")
+                .is_err(),
+            "record count mismatch"
+        );
+        assert!(
+            Trace::parse(
+                "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n\
+                 {\"type\":\"mystery\"}\n"
+            )
+            .is_err(),
+            "unknown type"
+        );
+    }
+
+    #[test]
+    fn field_values_canonicalize() {
+        assert_eq!(field_value(&Json::Num(3.0)), FieldValue::U64(3));
+        assert_eq!(field_value(&Json::Num(-2.0)), FieldValue::I64(-2));
+        assert_eq!(field_value(&Json::Num(0.5)), FieldValue::F64(0.5));
+        assert_eq!(field_value(&Json::Bool(true)), FieldValue::Bool(true));
+        assert_eq!(
+            field_value(&Json::Str("x".into())),
+            FieldValue::Str("x".into())
+        );
+        assert!(matches!(field_value(&Json::Null), FieldValue::F64(v) if v.is_nan()));
+    }
+}

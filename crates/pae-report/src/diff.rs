@@ -1,0 +1,380 @@
+//! Comparing two run summaries and gating on regressions.
+//!
+//! [`diff_summaries`] produces a human-readable delta report plus a
+//! list of threshold violations; [`check`] is the CI entry point that
+//! reduces a baseline/current pair to pass/fail.
+//!
+//! Perf and quality are gated differently on purpose:
+//!
+//! - **Timings** vary across machines and runs, so a stage only counts
+//!   as regressed when it is slower than baseline by more than
+//!   [`Thresholds::time_tolerance`] *and* both sides are above
+//!   [`Thresholds::time_floor_ns`] (sub-floor stages are pure noise).
+//! - **Quality** comes from a deterministic pipeline, so precision and
+//!   coverage are compared with tight tolerances, and per-attribute
+//!   drift may not rise more than [`Thresholds::drift_tol`] above
+//!   baseline.
+
+use crate::summary::RunSummary;
+
+/// Noise tolerances for [`diff_summaries`] / [`check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Allowed relative slowdown per stage (0.5 = +50%).
+    pub time_tolerance: f64,
+    /// Stages faster than this on either side are never flagged.
+    pub time_floor_ns: u64,
+    /// Allowed absolute precision drop (headline and per-attribute).
+    pub precision_tol: f64,
+    /// Allowed absolute coverage drop (headline and per-attribute).
+    pub coverage_tol: f64,
+    /// Allowed absolute rise of a per-attribute drift score.
+    pub drift_tol: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            time_tolerance: 0.5,
+            time_floor_ns: 10_000_000,
+            precision_tol: 0.02,
+            coverage_tol: 0.02,
+            drift_tol: 0.25,
+        }
+    }
+}
+
+/// One threshold violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What kind of gate tripped: `perf`, `precision`, `coverage`,
+    /// `drift`, or `incomplete`.
+    pub kind: &'static str,
+    /// Human-readable description with both values.
+    pub what: String,
+}
+
+/// The outcome of comparing two summaries.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// All deltas, one line each, in report order (perf stages first,
+    /// then evaluations, then drift).
+    pub lines: Vec<String>,
+    /// Gates that tripped; empty means the comparison passes.
+    pub violations: Vec<Violation>,
+}
+
+impl DiffReport {
+    /// True when no gate tripped.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report for the console.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.violations.is_empty() {
+            out.push_str("PASS: no regressions beyond thresholds\n");
+        } else {
+            out.push_str(&format!("FAIL: {} violation(s)\n", self.violations.len()));
+            for v in &self.violations {
+                out.push_str(&format!("  [{}] {}\n", v.kind, v.what));
+            }
+        }
+        out
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}ms", ns as f64 / 1e6)
+}
+
+fn fmt_pct(base: u64, cur: u64) -> String {
+    if base == 0 {
+        return "n/a".into();
+    }
+    let pct = (cur as f64 - base as f64) / base as f64 * 100.0;
+    format!("{pct:+.1}%")
+}
+
+/// Compares `current` against `baseline`.
+pub fn diff_summaries(baseline: &RunSummary, current: &RunSummary, t: &Thresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+
+    if current.incomplete() {
+        report.violations.push(Violation {
+            kind: "incomplete",
+            what: format!(
+                "current trace dropped {} record(s); its summary cannot be trusted",
+                current.dropped
+            ),
+        });
+    }
+    if baseline.incomplete() {
+        report
+            .lines
+            .push("note: baseline summary is marked incomplete".into());
+    }
+
+    // Perf: stage-by-stage totals over the union of names.
+    let mut names: Vec<&String> = baseline
+        .stages
+        .keys()
+        .chain(current.stages.keys())
+        .collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        match (baseline.stages.get(name), current.stages.get(name)) {
+            (Some(b), Some(c)) => {
+                report.lines.push(format!(
+                    "stage {name:<20} {:>10} -> {:>10}  ({})",
+                    fmt_ms(b.total_ns),
+                    fmt_ms(c.total_ns),
+                    fmt_pct(b.total_ns, c.total_ns)
+                ));
+                let floor = t.time_floor_ns;
+                if b.total_ns >= floor
+                    && c.total_ns >= floor
+                    && c.total_ns as f64 > b.total_ns as f64 * (1.0 + t.time_tolerance)
+                {
+                    report.violations.push(Violation {
+                        kind: "perf",
+                        what: format!(
+                            "stage {name}: {} -> {} exceeds +{:.0}% tolerance",
+                            fmt_ms(b.total_ns),
+                            fmt_ms(c.total_ns),
+                            t.time_tolerance * 100.0
+                        ),
+                    });
+                }
+            }
+            (None, Some(c)) => report.lines.push(format!(
+                "stage {name:<20} (new)      -> {:>10}",
+                fmt_ms(c.total_ns)
+            )),
+            (Some(b), None) => report.lines.push(format!(
+                "stage {name:<20} {:>10} -> (gone)",
+                fmt_ms(b.total_ns)
+            )),
+            (None, None) => unreachable!(),
+        }
+    }
+
+    // Quality: evaluations matched by key (first occurrence wins when a
+    // key repeats — keys are expected to be unique per run).
+    for b in &baseline.evals {
+        let Some(c) = current.evals.iter().find(|e| e.key == b.key) else {
+            report
+                .lines
+                .push(format!("eval {}: missing from current run", b.key));
+            continue;
+        };
+        report.lines.push(format!(
+            "eval {:<28} precision {:.4} -> {:.4}  coverage {:.4} -> {:.4}  triples {} -> {}",
+            b.key, b.precision, c.precision, b.coverage, c.coverage, b.n_triples, c.n_triples
+        ));
+        if c.precision < b.precision - t.precision_tol {
+            report.violations.push(Violation {
+                kind: "precision",
+                what: format!(
+                    "eval {}: precision {:.4} -> {:.4} (tolerance {:.4})",
+                    b.key, b.precision, c.precision, t.precision_tol
+                ),
+            });
+        }
+        if c.coverage < b.coverage - t.coverage_tol {
+            report.violations.push(Violation {
+                kind: "coverage",
+                what: format!(
+                    "eval {}: coverage {:.4} -> {:.4} (tolerance {:.4})",
+                    b.key, b.coverage, c.coverage, t.coverage_tol
+                ),
+            });
+        }
+        for ba in &b.attrs {
+            let Some(ca) = c.attrs.iter().find(|a| a.attribute == ba.attribute) else {
+                continue;
+            };
+            if ca.precision < ba.precision - t.precision_tol {
+                report.violations.push(Violation {
+                    kind: "precision",
+                    what: format!(
+                        "eval {} attr {}: precision {:.4} -> {:.4}",
+                        b.key, ba.attribute, ba.precision, ca.precision
+                    ),
+                });
+            }
+            if ca.coverage < ba.coverage - t.coverage_tol {
+                report.violations.push(Violation {
+                    kind: "coverage",
+                    what: format!(
+                        "eval {} attr {}: coverage {:.4} -> {:.4}",
+                        b.key, ba.attribute, ba.coverage, ca.coverage
+                    ),
+                });
+            }
+        }
+    }
+
+    // Drift: runs matched by ordinal, iterations by number, attributes
+    // by name. A score may fall freely; rising beyond tolerance flags.
+    for (ord, (brun, crun)) in baseline.runs.iter().zip(&current.runs).enumerate() {
+        for bit in brun {
+            let Some(cit) = crun.iter().find(|it| it.iteration == bit.iteration) else {
+                continue;
+            };
+            for bd in &bit.drift {
+                let Some(cd) = cit.drift.iter().find(|d| d.attribute == bd.attribute) else {
+                    continue;
+                };
+                report.lines.push(format!(
+                    "drift run{ord} it{} {:<16} {:.4} -> {:.4}",
+                    bit.iteration, bd.attribute, bd.score, cd.score
+                ));
+                if cd.score > bd.score + t.drift_tol {
+                    report.violations.push(Violation {
+                        kind: "drift",
+                        what: format!(
+                            "run{ord} it{} attr {}: drift {:.4} -> {:.4} (tolerance {:.4})",
+                            bit.iteration, bd.attribute, bd.score, cd.score, t.drift_tol
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// CI gate: diffs `current` against `baseline` and returns the report;
+/// callers map [`DiffReport::passed`] to an exit code.
+pub fn check(baseline: &RunSummary, current: &RunSummary, t: &Thresholds) -> DiffReport {
+    diff_summaries(baseline, current, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{AttrEval, DriftRow, EvalRow, IterationQuality, StagePerf};
+
+    fn base() -> RunSummary {
+        let mut s = RunSummary::default();
+        s.stages.insert(
+            "semantic".into(),
+            StagePerf {
+                calls: 1,
+                total_ns: 100_000_000,
+                max_ns: 100_000_000,
+            },
+        );
+        s.stages.insert(
+            "tiny".into(),
+            StagePerf {
+                calls: 1,
+                total_ns: 1_000,
+                max_ns: 1_000,
+            },
+        );
+        s.runs.push(vec![IterationQuality {
+            iteration: 1,
+            triples: 100,
+            drift: vec![DriftRow {
+                attribute: "color".into(),
+                score: 0.1,
+                n_values: 10,
+                n_baseline: 8,
+            }],
+            ..IterationQuality::default()
+        }]);
+        s.evals.push(EvalRow {
+            key: "bags/default".into(),
+            precision: 0.9,
+            coverage: 0.8,
+            n_triples: 100,
+            attrs: vec![AttrEval {
+                attribute: "color".into(),
+                precision: 0.95,
+                coverage: 0.7,
+            }],
+        });
+        s
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let s = base();
+        let r = check(&s, &s, &Thresholds::default());
+        assert!(r.passed(), "{:?}", r.violations);
+        assert!(!r.lines.is_empty());
+    }
+
+    #[test]
+    fn slow_stage_above_floor_is_flagged_but_tiny_one_is_not() {
+        let b = base();
+        let mut c = base();
+        c.stages.get_mut("semantic").unwrap().total_ns = 200_000_000;
+        c.stages.get_mut("tiny").unwrap().total_ns = 900_000; // 900x but sub-floor
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "perf");
+        assert!(r.violations[0].what.contains("semantic"));
+    }
+
+    #[test]
+    fn precision_and_coverage_drops_are_flagged() {
+        let b = base();
+        let mut c = base();
+        c.evals[0].precision = 0.85;
+        c.evals[0].coverage = 0.7;
+        c.evals[0].attrs[0].precision = 0.8;
+        let r = check(&b, &c, &Thresholds::default());
+        let kinds: Vec<&str> = r.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec!["precision", "coverage", "precision"]);
+        // Improvements never flag.
+        let mut up = base();
+        up.evals[0].precision = 0.99;
+        assert!(check(&b, &up, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn drift_rise_is_flagged_and_fall_is_not() {
+        let b = base();
+        let mut c = base();
+        c.runs[0][0].drift[0].score = 0.5;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].kind, "drift");
+
+        let mut fell = base();
+        fell.runs[0][0].drift[0].score = -0.4;
+        assert!(check(&b, &fell, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn incomplete_current_always_fails() {
+        let b = base();
+        let mut c = base();
+        c.dropped = 17;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "incomplete");
+    }
+
+    #[test]
+    fn custom_thresholds_relax_gates() {
+        let b = base();
+        let mut c = base();
+        c.evals[0].precision = 0.85;
+        let loose = Thresholds {
+            precision_tol: 0.1,
+            ..Thresholds::default()
+        };
+        assert!(check(&b, &c, &loose).passed());
+        assert!(!check(&b, &c, &Thresholds::default()).passed());
+    }
+}

@@ -1,0 +1,112 @@
+//! The run ledger: writing summaries to `results/ledger/` and stamping
+//! [`RunMeta`](crate::summary::RunMeta) with environment facts.
+
+use std::path::{Path, PathBuf};
+
+use crate::summary::RunSummary;
+
+/// The git revision of `repo_root` (short form), or `unknown` when git
+/// is unavailable or the directory is not a repository.
+pub fn git_rev(repo_root: &Path) -> String {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(repo_root)
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_owned(),
+        _ => "unknown".into(),
+    }
+}
+
+/// FNV-1a over `bytes` — stable across platforms, used for config
+/// fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of a stable, human-readable config description (the
+/// caller formats the knobs that matter; the hash makes two runs with
+/// different configs incomparable at a glance).
+pub fn config_hash(description: &str) -> String {
+    format!("{:016x}", fnv1a(description.as_bytes()))
+}
+
+/// File-system-safe version of a run name (`tableII/bags` →
+/// `tableII_bags`).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes `summary` to `<dir>/<sanitized name>.json`, creating the
+/// directory if needed, and returns the path.
+pub fn write_summary(dir: &Path, summary: &RunSummary) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = sanitize_name(&summary.meta.name);
+    let name = if name.is_empty() { "run".into() } else { name };
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, summary.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RunMeta;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(config_hash("x"), config_hash("x"));
+        assert_ne!(config_hash("iterations=3"), config_hash("iterations=4"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("tableII/bags it#1"), "tableII_bags_it_1");
+        assert_eq!(sanitize_name("probe-smoke_1.0"), "probe-smoke_1.0");
+    }
+
+    #[test]
+    fn write_summary_round_trips_through_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("pae-report-ledger-test-{}", std::process::id()));
+        let summary = RunSummary {
+            meta: RunMeta {
+                name: "unit/ledger".into(),
+                git_rev: "abc".into(),
+                config_hash: "0".into(),
+                pae_jobs: String::new(),
+                scale: "default".into(),
+            },
+            ..RunSummary::default()
+        };
+        let path = write_summary(&dir, &summary).expect("write");
+        assert!(path.ends_with("unit_ledger.json"));
+        let doc = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(RunSummary::parse(&doc).expect("parse"), summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_rev_handles_non_repos() {
+        // /tmp is (normally) not a git repository; either way the call
+        // must not panic and must return a non-empty token.
+        let rev = git_rev(std::env::temp_dir().as_path());
+        assert!(!rev.is_empty());
+    }
+}

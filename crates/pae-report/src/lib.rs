@@ -1,0 +1,33 @@
+//! `pae-report` — run ledger, regression gates, and drift analytics
+//! over `pae-obs` traces.
+//!
+//! Three layers:
+//!
+//! 1. [`summary`] — turns a parsed [`pae_obs::reader::Trace`] into a
+//!    self-contained [`summary::RunSummary`]: run metadata (git rev,
+//!    config hash, job count, scale), per-stage wall-clock aggregates,
+//!    and the per-iteration quality series (triples, candidates, veto
+//!    drops, semantic evictions, per-attribute drift) plus every
+//!    recorded evaluation. The quality section is byte-deterministic
+//!    for a deterministic pipeline run; timings live in a separate
+//!    `perf` section that diffs tolerate noise on.
+//! 2. [`diff`] — compares two summaries: per-stage time deltas with a
+//!    noise threshold, per-eval and per-attribute quality deltas, and
+//!    drift regressions. [`diff::check`] reduces the comparison to
+//!    pass/fail against explicit tolerances for CI gating.
+//! 3. [`ledger`] — helpers for writing summaries into
+//!    `results/ledger/` with stable file names, plus git-revision and
+//!    config-hash probes used to stamp [`summary::RunMeta`].
+//!
+//! The `pae-report` binary exposes all of it as `summarize`, `diff`,
+//! and `check` subcommands (exit codes: 0 pass, 1 regression, 2 usage
+//! or I/O error).
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod ledger;
+pub mod summary;
+
+pub use diff::{check, diff_summaries, DiffReport, Thresholds, Violation};
+pub use summary::{RunMeta, RunSummary};

@@ -1,0 +1,200 @@
+//! `pae-report` CLI: summarize traces, diff summaries, gate CI.
+//!
+//! ```text
+//! pae-report summarize <trace.jsonl|summary.json> [--name N] [--out FILE] [--quality-only]
+//! pae-report diff  <baseline> <current> [threshold flags]
+//! pae-report check <current> --baseline <FILE> [threshold flags]
+//!
+//! threshold flags:
+//!   --time-tolerance F    allowed relative slowdown per stage (default 0.5)
+//!   --time-floor-ms F     ignore stages faster than this (default 10)
+//!   --precision-tol F     allowed precision drop (default 0.02)
+//!   --coverage-tol F      allowed coverage drop (default 0.02)
+//!   --drift-tol F         allowed drift-score rise (default 0.25)
+//! ```
+//!
+//! Inputs may be raw JSONL traces or already-built summary JSON; the
+//! format is auto-detected. Exit codes: 0 pass, 1 regression beyond
+//! thresholds, 2 usage or I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use pae_obs::reader::Trace;
+use pae_report::diff::{check, diff_summaries, Thresholds};
+use pae_report::ledger;
+use pae_report::summary::{RunMeta, RunSummary};
+
+const USAGE: &str = "usage:
+  pae-report summarize <trace.jsonl|summary.json> [--name N] [--out FILE] [--quality-only]
+  pae-report diff  <baseline> <current> [threshold flags]
+  pae-report check <current> --baseline <FILE> [threshold flags]
+threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
+                 --coverage-tol F    --drift-tol F";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pae-report: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Loads a summary from either a summary JSON document or a raw JSONL
+/// trace (detected by content, not extension).
+fn load_summary(path: &str, name_hint: Option<&str>) -> Result<RunSummary, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match RunSummary::parse(&doc) {
+        Ok(s) => Ok(s),
+        Err(summary_err) => {
+            let trace = Trace::parse(&doc).map_err(|trace_err| {
+                format!("{path} is neither a RunSummary ({summary_err}) nor a trace ({trace_err})")
+            })?;
+            let name = name_hint
+                .map(str::to_owned)
+                .or_else(|| {
+                    Path::new(path)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "run".into());
+            Ok(RunSummary::build(
+                RunMeta {
+                    name,
+                    git_rev: ledger::git_rev(Path::new(".")),
+                    config_hash: "unknown".into(),
+                    pae_jobs: std::env::var("PAE_JOBS").unwrap_or_default(),
+                    scale: std::env::var("PAE_SCALE").unwrap_or_else(|_| "default".into()),
+                },
+                &trace,
+            ))
+        }
+    }
+}
+
+/// Parses threshold flags out of `args`, leaving everything else.
+fn take_thresholds(args: &mut Vec<String>) -> Result<Thresholds, String> {
+    let mut t = Thresholds::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = std::mem::take(args).into_iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |target: &mut f64| -> Result<(), String> {
+            let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+            *target = v
+                .parse::<f64>()
+                .map_err(|_| format!("{arg}: not a number: {v}"))?;
+            Ok(())
+        };
+        match arg.as_str() {
+            "--time-tolerance" => grab(&mut t.time_tolerance)?,
+            "--precision-tol" => grab(&mut t.precision_tol)?,
+            "--coverage-tol" => grab(&mut t.coverage_tol)?,
+            "--drift-tol" => grab(&mut t.drift_tol)?,
+            "--time-floor-ms" => {
+                let mut ms = 0.0;
+                grab(&mut ms)?;
+                t.time_floor_ns = (ms * 1e6) as u64;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    *args = rest;
+    Ok(t)
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Ok(Some(v));
+    }
+    Ok(None)
+}
+
+fn cmd_summarize(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let name = take_flag_value(&mut args, "--name")?;
+    let out = take_flag_value(&mut args, "--out")?;
+    let quality_only = if let Some(i) = args.iter().position(|a| a == "--quality-only") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let [input] = args.as_slice() else {
+        return Err("summarize takes exactly one input file".into());
+    };
+    let summary = load_summary(input, name.as_deref())?;
+    let doc = if quality_only {
+        let mut q = summary.quality_json(0);
+        q.push('\n');
+        q
+    } else {
+        summary.to_json()
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("summary written to {path}");
+        }
+        None => print!("{doc}"),
+    }
+    if summary.incomplete() {
+        eprintln!(
+            "warning: trace dropped {} record(s); summary marked incomplete",
+            summary.dropped
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let t = take_thresholds(&mut args)?;
+    let [baseline, current] = args.as_slice() else {
+        return Err("diff takes exactly two input files".into());
+    };
+    let b = load_summary(baseline, None)?;
+    let c = load_summary(current, None)?;
+    print!("{}", diff_summaries(&b, &c, &t).render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let t = take_thresholds(&mut args)?;
+    let baseline =
+        take_flag_value(&mut args, "--baseline")?.ok_or("check requires --baseline <FILE>")?;
+    let [current] = args.as_slice() else {
+        return Err("check takes exactly one current input file".into());
+    };
+    let b = load_summary(&baseline, None)?;
+    let c = load_summary(current, None)?;
+    let report = check(&b, &c, &t);
+    print!("{}", report.render());
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return fail("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "summarize" => cmd_summarize(args),
+        "diff" => cmd_diff(args),
+        "check" => cmd_check(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}

@@ -1,0 +1,667 @@
+//! Building, rendering, and parsing `RunSummary` documents.
+//!
+//! A summary is one JSON object with three top-level sections:
+//!
+//! - `meta` — identity of the run: name, git revision, config hash,
+//!   `PAE_JOBS`, scale, plus the trace's record/dropped counts (a
+//!   non-zero `dropped` marks the summary `incomplete`).
+//! - `perf` — per-stage wall-clock aggregates from span-end records
+//!   (`calls`, `total_ns`, `max_ns` per span name). Timings are never
+//!   byte-stable; diffs apply noise tolerances here.
+//! - `quality` — everything derived from the pipeline's *results*:
+//!   one entry per `bootstrap.run` span holding the per-iteration
+//!   series (`iteration.summary` events) with per-attribute drift
+//!   (`semantic.drift` events), and one entry per recorded evaluation
+//!   (`eval.summary` / `eval.attr` events). For a deterministic
+//!   pipeline this section is byte-identical across runs and thread
+//!   counts; the determinism suite asserts exactly that via
+//!   [`RunSummary::quality_json`].
+
+use std::collections::BTreeMap;
+
+use pae_obs::json::{write_f64, write_str, Json};
+use pae_obs::reader::Trace;
+use pae_obs::{FieldValue, RecordKind};
+
+/// Identity of the run a summary describes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Short run name (usually the binary name, e.g. `probe`).
+    pub name: String,
+    /// Git revision of the working tree (`unknown` outside a repo).
+    pub git_rev: String,
+    /// Hash of the run's configuration knobs (FNV-1a over a stable
+    /// description string; `unknown` when not supplied).
+    pub config_hash: String,
+    /// Raw `PAE_JOBS` value (empty = default worker count).
+    pub pae_jobs: String,
+    /// Raw `PAE_SCALE` value (`default` when unset).
+    pub scale: String,
+}
+
+/// Wall-clock aggregate for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StagePerf {
+    /// Completed spans of this name.
+    pub calls: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+/// One `semantic.drift` row: an attribute's accepted values measured
+/// against the iteration-0 baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// Attribute name.
+    pub attribute: String,
+    /// Cosine distance to the baseline centroid (0 = no drift).
+    pub score: f64,
+    /// Accepted values that were embeddable.
+    pub n_values: u64,
+    /// Baseline values that were embeddable.
+    pub n_baseline: u64,
+}
+
+/// One bootstrap iteration's quality numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterationQuality {
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// Raw candidates the tagger produced.
+    pub candidates: u64,
+    /// Dataset size after cleaning.
+    pub triples: u64,
+    /// Veto-rule removals (all rules).
+    pub veto_dropped: u64,
+    /// Veto removals by the symbols rule.
+    pub veto_symbols: u64,
+    /// Veto removals by the markup rule.
+    pub veto_markup: u64,
+    /// Veto removals by the unpopularity rule.
+    pub veto_unpopular: u64,
+    /// Veto removals by the length rule.
+    pub veto_long: u64,
+    /// Semantic-cleaning removals.
+    pub semantic_removed: u64,
+    /// Core-shrinking evictions.
+    pub semantic_evictions: u64,
+    /// Per-attribute drift, sorted by attribute.
+    pub drift: Vec<DriftRow>,
+}
+
+/// Per-attribute slice of one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrEval {
+    /// Canonical attribute name.
+    pub attribute: String,
+    /// Attribute precision.
+    pub precision: f64,
+    /// Attribute coverage.
+    pub coverage: f64,
+}
+
+/// One recorded evaluation (`EvalReport::record_obs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalRow {
+    /// Caller-chosen key (e.g. `bags/default/final`).
+    pub key: String,
+    /// Headline precision.
+    pub precision: f64,
+    /// Headline product coverage.
+    pub coverage: f64,
+    /// Triples evaluated.
+    pub n_triples: u64,
+    /// Per-attribute breakdown, in emission order.
+    pub attrs: Vec<AttrEval>,
+}
+
+/// A self-contained description of one probe/bench run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunSummary {
+    /// Run identity.
+    pub meta: RunMeta,
+    /// Record lines the trace declared.
+    pub records: u64,
+    /// Records the collector dropped; non-zero means `incomplete`.
+    pub dropped: u64,
+    /// Per-span-name wall-clock aggregates, sorted by name.
+    pub stages: BTreeMap<String, StagePerf>,
+    /// Per-`bootstrap.run` iteration series, in span order.
+    pub runs: Vec<Vec<IterationQuality>>,
+    /// Recorded evaluations, in emission order.
+    pub evals: Vec<EvalRow>,
+}
+
+/// Current `schema_version` written by [`RunSummary::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn field_u64(fields: &[(String, FieldValue)], key: &str) -> Option<u64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(n) => Some(*n),
+            FieldValue::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        })
+}
+
+fn field_f64(fields: &[(String, FieldValue)], key: &str) -> Option<f64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::F64(f) => Some(*f),
+            FieldValue::U64(n) => Some(*n as f64),
+            FieldValue::I64(n) => Some(*n as f64),
+            _ => None,
+        })
+}
+
+fn field_str<'a>(fields: &'a [(String, FieldValue)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+impl RunSummary {
+    /// Whether the underlying trace was truncated.
+    pub fn incomplete(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Builds a summary from a parsed trace.
+    ///
+    /// Events are attributed to their enclosing `bootstrap.run` span by
+    /// walking the span-parent chain, so a trace holding several
+    /// sequential pipeline runs (the experiment harness evaluates many
+    /// configurations per process) yields one quality series each.
+    pub fn build(meta: RunMeta, trace: &Trace) -> RunSummary {
+        let mut summary = RunSummary {
+            meta,
+            records: trace.meta.records,
+            dropped: trace.meta.dropped,
+            ..RunSummary::default()
+        };
+
+        // Perf: aggregate span-end durations by span name.
+        for r in &trace.records {
+            if r.kind != RecordKind::SpanEnd {
+                continue;
+            }
+            let dur = field_u64(&r.fields, "dur_ns").unwrap_or(0);
+            let stage = summary.stages.entry(r.name.clone()).or_default();
+            stage.calls += 1;
+            stage.total_ns += dur;
+            stage.max_ns = stage.max_ns.max(dur);
+        }
+
+        // Span-tree bookkeeping: parent chain + the ordinal of each
+        // `bootstrap.run` span.
+        let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut run_ordinal: BTreeMap<u64, usize> = BTreeMap::new();
+        for r in &trace.records {
+            if r.kind != RecordKind::SpanStart {
+                continue;
+            }
+            parent_of.insert(r.span, r.parent);
+            if r.name == "bootstrap.run" {
+                let next = run_ordinal.len();
+                run_ordinal.insert(r.span, next);
+                summary.runs.push(Vec::new());
+            }
+        }
+        let enclosing_run = |mut span: u64| -> Option<usize> {
+            loop {
+                if let Some(ord) = run_ordinal.get(&span) {
+                    return Some(*ord);
+                }
+                match parent_of.get(&span) {
+                    Some(&p) if p != span => span = p,
+                    _ => return None,
+                }
+            }
+        };
+
+        // Quality: iteration series + drift, grouped per run; evals
+        // keyed globally (they may be recorded outside any run span).
+        for r in &trace.records {
+            if r.kind != RecordKind::Event {
+                continue;
+            }
+            match r.name.as_str() {
+                "iteration.summary" => {
+                    let Some(ord) = enclosing_run(r.span) else {
+                        continue;
+                    };
+                    summary.runs[ord].push(IterationQuality {
+                        iteration: field_u64(&r.fields, "iteration").unwrap_or(0),
+                        candidates: field_u64(&r.fields, "candidates").unwrap_or(0),
+                        triples: field_u64(&r.fields, "triples").unwrap_or(0),
+                        veto_dropped: field_u64(&r.fields, "veto_dropped").unwrap_or(0),
+                        veto_symbols: field_u64(&r.fields, "veto_symbols").unwrap_or(0),
+                        veto_markup: field_u64(&r.fields, "veto_markup").unwrap_or(0),
+                        veto_unpopular: field_u64(&r.fields, "veto_unpopular").unwrap_or(0),
+                        veto_long: field_u64(&r.fields, "veto_long").unwrap_or(0),
+                        semantic_removed: field_u64(&r.fields, "semantic_removed").unwrap_or(0),
+                        semantic_evictions: field_u64(&r.fields, "semantic_evictions").unwrap_or(0),
+                        drift: Vec::new(),
+                    });
+                }
+                "semantic.drift" => {
+                    let Some(ord) = enclosing_run(r.span) else {
+                        continue;
+                    };
+                    let iteration = field_u64(&r.fields, "iteration").unwrap_or(0);
+                    let row = DriftRow {
+                        attribute: field_str(&r.fields, "attribute").unwrap_or("").to_owned(),
+                        score: field_f64(&r.fields, "score").unwrap_or(f64::NAN),
+                        n_values: field_u64(&r.fields, "n_values").unwrap_or(0),
+                        n_baseline: field_u64(&r.fields, "n_baseline").unwrap_or(0),
+                    };
+                    if let Some(it) = summary.runs[ord]
+                        .iter_mut()
+                        .rev()
+                        .find(|it| it.iteration == iteration)
+                    {
+                        it.drift.push(row);
+                    }
+                }
+                "eval.summary" => {
+                    summary.evals.push(EvalRow {
+                        key: field_str(&r.fields, "key").unwrap_or("").to_owned(),
+                        precision: field_f64(&r.fields, "precision").unwrap_or(f64::NAN),
+                        coverage: field_f64(&r.fields, "coverage").unwrap_or(f64::NAN),
+                        n_triples: field_u64(&r.fields, "n_triples").unwrap_or(0),
+                        attrs: Vec::new(),
+                    });
+                }
+                "eval.attr" => {
+                    let key = field_str(&r.fields, "key").unwrap_or("");
+                    let row = AttrEval {
+                        attribute: field_str(&r.fields, "attribute").unwrap_or("").to_owned(),
+                        precision: field_f64(&r.fields, "precision").unwrap_or(f64::NAN),
+                        coverage: field_f64(&r.fields, "coverage").unwrap_or(f64::NAN),
+                    };
+                    if let Some(e) = summary.evals.iter_mut().rev().find(|e| e.key == key) {
+                        e.attrs.push(row);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Drift events arrive in iteration order, but the sort key is
+        // the attribute name — make that explicit.
+        for run in &mut summary.runs {
+            for it in run {
+                it.drift.sort_by(|a, b| a.attribute.cmp(&b.attribute));
+            }
+        }
+        summary
+    }
+
+    /// Renders the quality section alone (canonical form, 2-space
+    /// indent at `indent` levels). Contains no timings: for a
+    /// deterministic pipeline this string is byte-identical across
+    /// re-runs and thread counts.
+    pub fn quality_json(&self, indent: usize) -> String {
+        let mut out = String::new();
+        let pad = |n: usize| "  ".repeat(n);
+        out.push_str("{\n");
+        out.push_str(&format!("{}\"runs\": [", pad(indent + 1)));
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("{}{{\n", pad(indent + 2)));
+            out.push_str(&format!("{}\"iterations\": [", pad(indent + 3)));
+            for (j, it) in run.iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                out.push_str(&format!("{}{{\n", pad(indent + 4)));
+                let p = pad(indent + 5);
+                out.push_str(&format!("{p}\"iteration\": {},\n", it.iteration));
+                out.push_str(&format!("{p}\"candidates\": {},\n", it.candidates));
+                out.push_str(&format!("{p}\"triples\": {},\n", it.triples));
+                out.push_str(&format!("{p}\"veto_dropped\": {},\n", it.veto_dropped));
+                out.push_str(&format!(
+                    "{p}\"veto_by_rule\": {{ \"symbols\": {}, \"markup\": {}, \"unpopular\": {}, \"long\": {} }},\n",
+                    it.veto_symbols, it.veto_markup, it.veto_unpopular, it.veto_long
+                ));
+                out.push_str(&format!(
+                    "{p}\"semantic_removed\": {},\n",
+                    it.semantic_removed
+                ));
+                out.push_str(&format!(
+                    "{p}\"semantic_evictions\": {},\n",
+                    it.semantic_evictions
+                ));
+                out.push_str(&format!("{p}\"drift\": ["));
+                for (k, d) in it.drift.iter().enumerate() {
+                    out.push_str(if k == 0 { "\n" } else { ",\n" });
+                    out.push_str(&format!("{}{{ \"attribute\": ", pad(indent + 6)));
+                    write_str(&mut out, &d.attribute);
+                    out.push_str(", \"score\": ");
+                    write_f64(&mut out, d.score);
+                    out.push_str(&format!(
+                        ", \"n_values\": {}, \"n_baseline\": {} }}",
+                        d.n_values, d.n_baseline
+                    ));
+                }
+                if !it.drift.is_empty() {
+                    out.push_str(&format!("\n{p}"));
+                }
+                out.push_str("]\n");
+                out.push_str(&format!("{}}}", pad(indent + 4)));
+            }
+            if !run.is_empty() {
+                out.push_str(&format!("\n{}", pad(indent + 3)));
+            }
+            out.push_str("]\n");
+            out.push_str(&format!("{}}}", pad(indent + 2)));
+        }
+        if !self.runs.is_empty() {
+            out.push_str(&format!("\n{}", pad(indent + 1)));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("{}\"evals\": [", pad(indent + 1)));
+        for (i, e) in self.evals.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("{}{{\n", pad(indent + 2)));
+            let p = pad(indent + 3);
+            out.push_str(&format!("{p}\"key\": "));
+            write_str(&mut out, &e.key);
+            out.push_str(",\n");
+            out.push_str(&format!("{p}\"precision\": "));
+            write_f64(&mut out, e.precision);
+            out.push_str(",\n");
+            out.push_str(&format!("{p}\"coverage\": "));
+            write_f64(&mut out, e.coverage);
+            out.push_str(",\n");
+            out.push_str(&format!("{p}\"n_triples\": {},\n", e.n_triples));
+            out.push_str(&format!("{p}\"attrs\": ["));
+            for (k, a) in e.attrs.iter().enumerate() {
+                out.push_str(if k == 0 { "\n" } else { ",\n" });
+                out.push_str(&format!("{}{{ \"attribute\": ", pad(indent + 4)));
+                write_str(&mut out, &a.attribute);
+                out.push_str(", \"precision\": ");
+                write_f64(&mut out, a.precision);
+                out.push_str(", \"coverage\": ");
+                write_f64(&mut out, a.coverage);
+                out.push_str(" }");
+            }
+            if !e.attrs.is_empty() {
+                out.push_str(&format!("\n{p}"));
+            }
+            out.push_str("]\n");
+            out.push_str(&format!("{}}}", pad(indent + 2)));
+        }
+        if !self.evals.is_empty() {
+            out.push_str(&format!("\n{}", pad(indent + 1)));
+        }
+        out.push_str("]\n");
+        out.push_str(&format!("{}}}", pad(indent)));
+        out
+    }
+
+    /// Renders the full summary document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"meta\": {\n");
+        let kv = |out: &mut String, key: &str, val: &str, comma: bool| {
+            out.push_str(&format!("    \"{key}\": "));
+            write_str(out, val);
+            out.push_str(if comma { ",\n" } else { "\n" });
+        };
+        kv(&mut out, "name", &self.meta.name, true);
+        kv(&mut out, "git_rev", &self.meta.git_rev, true);
+        kv(&mut out, "config_hash", &self.meta.config_hash, true);
+        kv(&mut out, "pae_jobs", &self.meta.pae_jobs, true);
+        kv(&mut out, "scale", &self.meta.scale, true);
+        out.push_str(&format!("    \"records\": {},\n", self.records));
+        out.push_str(&format!("    \"dropped\": {},\n", self.dropped));
+        out.push_str(&format!("    \"incomplete\": {}\n", self.incomplete()));
+        out.push_str("  },\n");
+        out.push_str("  \"perf\": {\n    \"stages\": {");
+        for (i, (name, s)) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("      ");
+            write_str(&mut out, name);
+            out.push_str(&format!(
+                ": {{ \"calls\": {}, \"total_ns\": {}, \"max_ns\": {} }}",
+                s.calls, s.total_ns, s.max_ns
+            ));
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n  },\n");
+        out.push_str("  \"quality\": ");
+        out.push_str(&self.quality_json(1));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`RunSummary::to_json`].
+    pub fn parse(doc: &str) -> Result<RunSummary, String> {
+        let v = Json::parse(doc)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version: not a RunSummary document")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let meta = v.get("meta").ok_or("missing meta")?;
+        let ms = |k: &str| {
+            meta.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("meta missing \"{k}\""))
+        };
+        let mut summary = RunSummary {
+            meta: RunMeta {
+                name: ms("name")?,
+                git_rev: ms("git_rev")?,
+                config_hash: ms("config_hash")?,
+                pae_jobs: ms("pae_jobs")?,
+                scale: ms("scale")?,
+            },
+            records: meta.get("records").and_then(Json::as_u64).unwrap_or(0),
+            dropped: meta.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+            ..RunSummary::default()
+        };
+        if let Some(Json::Obj(stages)) = v.get("perf").and_then(|p| p.get("stages")) {
+            for (name, s) in stages {
+                summary.stages.insert(
+                    name.clone(),
+                    StagePerf {
+                        calls: s.get("calls").and_then(Json::as_u64).unwrap_or(0),
+                        total_ns: s.get("total_ns").and_then(Json::as_u64).unwrap_or(0),
+                        max_ns: s.get("max_ns").and_then(Json::as_u64).unwrap_or(0),
+                    },
+                );
+            }
+        }
+        let quality = v.get("quality").ok_or("missing quality")?;
+        if let Some(Json::Arr(runs)) = quality.get("runs") {
+            for run in runs {
+                let mut iterations = Vec::new();
+                if let Some(Json::Arr(its)) = run.get("iterations") {
+                    for it in its {
+                        let u = |k: &str| it.get(k).and_then(Json::as_u64).unwrap_or(0);
+                        let rule = |k: &str| {
+                            it.get("veto_by_rule")
+                                .and_then(|v| v.get(k))
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0)
+                        };
+                        let mut iq = IterationQuality {
+                            iteration: u("iteration"),
+                            candidates: u("candidates"),
+                            triples: u("triples"),
+                            veto_dropped: u("veto_dropped"),
+                            veto_symbols: rule("symbols"),
+                            veto_markup: rule("markup"),
+                            veto_unpopular: rule("unpopular"),
+                            veto_long: rule("long"),
+                            semantic_removed: u("semantic_removed"),
+                            semantic_evictions: u("semantic_evictions"),
+                            drift: Vec::new(),
+                        };
+                        if let Some(Json::Arr(drift)) = it.get("drift") {
+                            for d in drift {
+                                iq.drift.push(DriftRow {
+                                    attribute: d
+                                        .get("attribute")
+                                        .and_then(Json::as_str)
+                                        .unwrap_or("")
+                                        .to_owned(),
+                                    score: d
+                                        .get("score")
+                                        .and_then(Json::as_f64)
+                                        .unwrap_or(f64::NAN),
+                                    n_values: d.get("n_values").and_then(Json::as_u64).unwrap_or(0),
+                                    n_baseline: d
+                                        .get("n_baseline")
+                                        .and_then(Json::as_u64)
+                                        .unwrap_or(0),
+                                });
+                            }
+                        }
+                        iterations.push(iq);
+                    }
+                }
+                summary.runs.push(iterations);
+            }
+        }
+        if let Some(Json::Arr(evals)) = quality.get("evals") {
+            for e in evals {
+                let mut row = EvalRow {
+                    key: e.get("key").and_then(Json::as_str).unwrap_or("").to_owned(),
+                    precision: e
+                        .get("precision")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::NAN),
+                    coverage: e.get("coverage").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                    n_triples: e.get("n_triples").and_then(Json::as_u64).unwrap_or(0),
+                    attrs: Vec::new(),
+                };
+                if let Some(Json::Arr(attrs)) = e.get("attrs") {
+                    for a in attrs {
+                        row.attrs.push(AttrEval {
+                            attribute: a
+                                .get("attribute")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_owned(),
+                            precision: a
+                                .get("precision")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(f64::NAN),
+                            coverage: a.get("coverage").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                        });
+                    }
+                }
+                summary.evals.push(row);
+            }
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        let mut s = RunSummary {
+            meta: RunMeta {
+                name: "probe".into(),
+                git_rev: "abc123".into(),
+                config_hash: "deadbeef".into(),
+                pae_jobs: "4".into(),
+                scale: "smoke".into(),
+            },
+            records: 9,
+            dropped: 0,
+            ..RunSummary::default()
+        };
+        s.stages.insert(
+            "seed".into(),
+            StagePerf {
+                calls: 1,
+                total_ns: 1_000_000,
+                max_ns: 1_000_000,
+            },
+        );
+        s.runs.push(vec![IterationQuality {
+            iteration: 1,
+            candidates: 120,
+            triples: 100,
+            veto_dropped: 10,
+            veto_symbols: 4,
+            veto_markup: 3,
+            veto_unpopular: 2,
+            veto_long: 1,
+            semantic_removed: 5,
+            semantic_evictions: 2,
+            drift: vec![DriftRow {
+                attribute: "color".into(),
+                score: 0.125,
+                n_values: 10,
+                n_baseline: 8,
+            }],
+        }]);
+        s.evals.push(EvalRow {
+            key: "bags/default/final".into(),
+            precision: 0.9,
+            coverage: 0.75,
+            n_triples: 100,
+            attrs: vec![AttrEval {
+                attribute: "color".into(),
+                precision: 0.95,
+                coverage: 0.7,
+            }],
+        });
+        s
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_and_stable() {
+        let s = sample();
+        let doc = s.to_json();
+        let parsed = RunSummary::parse(&doc).expect("parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json(), doc, "second render is byte-identical");
+    }
+
+    #[test]
+    fn empty_summary_renders_and_parses() {
+        let s = RunSummary::default();
+        let parsed = RunSummary::parse(&s.to_json()).expect("parses");
+        assert_eq!(parsed, s);
+        assert!(!parsed.incomplete());
+    }
+
+    #[test]
+    fn non_summary_documents_are_rejected() {
+        assert!(RunSummary::parse("{}").is_err());
+        assert!(RunSummary::parse("{\"type\":\"meta\"}").is_err());
+        assert!(RunSummary::parse("not json").is_err());
+    }
+
+    #[test]
+    fn quality_json_excludes_timings() {
+        let q = sample().quality_json(0);
+        assert!(!q.contains("_ns"), "timings leaked into quality: {q}");
+        assert!(q.contains("\"drift\""));
+        assert!(q.contains("\"evals\""));
+    }
+}

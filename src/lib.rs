@@ -21,6 +21,9 @@
 //! * [`synth`] — synthetic e-commerce corpus generator with exact ground truth
 //! * [`core`] — the paper's pipeline: seed, diversification, tagging,
 //!   cleaning, bootstrap loop, and evaluation metrics
+//! * [`report`] — run ledger and regression gates over [`obs`] traces:
+//!   `RunSummary` JSON, summary diffs with noise thresholds, and the
+//!   `pae-report` CLI that gates CI on perf/quality regressions
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use pae_embed as embed;
 pub use pae_html as html;
 pub use pae_neural as neural;
 pub use pae_obs as obs;
+pub use pae_report as report;
 pub use pae_runtime as runtime;
 pub use pae_synth as synth;
 pub use pae_text as text;

@@ -61,12 +61,20 @@ fn ensemble_triples_identical_across_thread_counts() {
     assert_jobs_invariant(TaggerKind::Ensemble);
 }
 
+/// The global obs collector is process-wide state; tests that toggle
+/// it must not interleave.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The observability hard constraint: collecting telemetry must be
 /// side-effect-free w.r.t. results — `final_triples()` is
 /// byte-identical with the obs collector enabled or disabled, at
 /// serial and parallel pool widths.
 #[test]
 fn obs_collection_does_not_change_results() {
+    let _l = obs_lock();
     let baseline = run_tagger_at(TaggerKind::Crf, 1);
     assert!(!baseline.is_empty());
     for jobs in [1usize, 4] {
@@ -83,6 +91,55 @@ fn obs_collection_does_not_change_results() {
         assert!(
             records.iter().any(|r| r.name == "bootstrap.run"),
             "collection was enabled but produced no pipeline spans"
+        );
+    }
+}
+
+/// The ledger hard constraint: the quality section of a `RunSummary`
+/// (iteration series, drift, evals — everything except timings) is
+/// byte-identical across repeated runs AND across pool widths. This is
+/// what lets `pae-report check` gate quality with zero tolerance for
+/// nondeterminism.
+#[test]
+fn run_summary_quality_is_byte_identical_across_thread_counts() {
+    let _l = obs_lock();
+    let mut sections = Vec::new();
+    for jobs in [1usize, 1, 4, 4] {
+        pae::obs::reset();
+        pae::obs::set_enabled(true);
+        // Our own outer span: `subtree` below keeps the summary immune
+        // to records any concurrently-running test may emit.
+        {
+            let _span = pae::obs::span("determinism.quality");
+            let _ = run_tagger_at(TaggerKind::Crf, jobs);
+        }
+        let trace = pae::obs::reader::Trace::from_current();
+        pae::obs::set_enabled(false);
+        pae::obs::reset();
+        let root_records = trace.spans_named("determinism.quality");
+        let root = root_records.first().expect("outer span recorded").span;
+        let summary = pae::report::summary::RunSummary::build(
+            pae::report::summary::RunMeta {
+                name: "determinism".into(),
+                git_rev: "test".into(),
+                config_hash: "test".into(),
+                pae_jobs: String::new(),
+                scale: "test".into(),
+            },
+            &trace.subtree(root),
+        );
+        assert_eq!(summary.runs.len(), 1, "exactly one bootstrap.run");
+        assert!(
+            !summary.runs[0].is_empty(),
+            "iteration series must not be empty"
+        );
+        sections.push((jobs, summary.quality_json(0)));
+    }
+    let (_, reference) = &sections[0];
+    for (jobs, q) in &sections[1..] {
+        assert_eq!(
+            q, reference,
+            "PAE_JOBS={jobs}: quality section diverged from the first PAE_JOBS=1 run"
         );
     }
 }

@@ -14,7 +14,35 @@
 #![warn(missing_docs)]
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Summary statistics of one finished benchmark, as recorded by the
+/// process-global results registry (see [`take_results`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` for grouped benches).
+    pub id: String,
+    /// Number of timed samples (1 in quick/smoke mode).
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Median sample.
+    pub median_ns: u64,
+    /// Mean over all samples.
+    pub mean_ns: u64,
+    /// Whether the benchmark ran in quick (single-sample smoke) mode.
+    pub quick: bool,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark result recorded so far, in execution order.
+/// Lets a custom `main` (instead of `criterion_main!`) post-process the
+/// run — e.g. write a machine-readable report next to the text output.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -154,6 +182,17 @@ fn report(id: &str, samples: &mut [Duration], throughput: Option<Throughput>, qu
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    RESULTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchResult {
+            id: id.to_string(),
+            samples: samples.len(),
+            min_ns: min.as_nanos() as u64,
+            median_ns: median.as_nanos() as u64,
+            mean_ns: mean.as_nanos() as u64,
+            quick,
+        });
     if quick {
         println!("{id:<44} smoke-ran in {}", fmt_duration(mean));
         return;
@@ -239,6 +278,20 @@ mod tests {
             g.bench_function("one", |b| b.iter(|| ran += 1));
         }
         assert_eq!(ran, 5);
+    }
+
+    #[test]
+    fn take_results_drains_recorded_benchmarks() {
+        let mut c = Criterion { quick: false };
+        c.bench_function("registry/unique-id", |b| b.iter(|| black_box(1 + 1)));
+        let results = take_results();
+        let r = results
+            .iter()
+            .find(|r| r.id == "registry/unique-id")
+            .expect("result recorded");
+        assert_eq!(r.samples, 20);
+        assert!(!r.quick);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.mean_ns * 20);
     }
 
     #[test]
