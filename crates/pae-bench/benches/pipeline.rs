@@ -97,39 +97,31 @@ fn bench_bootstrap(c: &mut Criterion) {
 criterion_group!(benches, bench_seed, bench_cleaning, bench_bootstrap);
 
 /// Custom `main` (instead of `criterion_main!`): after the text report,
-/// write the machine-readable `BENCH_pipeline.json` at the repo root so
-/// perf runs can be archived and diffed. Only in full `--bench` mode —
-/// the `cargo test` smoke pass must not dirty the tree.
+/// merge the machine-readable results into `BENCH_pipeline.json` at the
+/// repo root so perf runs can be archived and diffed (entries from
+/// other bench targets, e.g. `crf_micro`, are preserved). Only in full
+/// `--bench` mode — the `cargo test` smoke pass must not dirty the
+/// tree.
 fn main() {
     benches();
     let results = criterion::take_results();
-    if !std::env::args().any(|a| a == "--bench") {
+    // Quick (smoke) samples are not measurements — never persist them.
+    if !std::env::args().any(|a| a == "--bench") || results.iter().any(|r| r.quick) {
         return;
     }
-    let mut doc = String::from("{\n  \"bench\": \"pipeline\",\n");
-    doc.push_str(&format!(
-        "  \"git_rev\": \"{}\",\n",
-        pae_report::ledger::git_rev(std::path::Path::new(concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../.."
-        )))
-    ));
-    doc.push_str(&format!(
-        "  \"pae_jobs\": {},\n  \"results\": [\n",
-        pae_bench::jobs()
-    ));
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        doc.push_str(&format!(
-            "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{comma}\n",
-            r.id, r.samples, r.min_ns, r.median_ns, r.mean_ns
-        ));
-    }
-    doc.push_str("  ]\n}\n");
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_pipeline.json");
-    match std::fs::write(&path, doc) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    let records: Vec<pae_bench::BenchRecord> = results
+        .iter()
+        .map(|r| pae_bench::BenchRecord {
+            id: r.id.clone(),
+            samples: r.samples as u64,
+            min_ns: r.min_ns,
+            median_ns: r.median_ns,
+            mean_ns: r.mean_ns,
+        })
+        .collect();
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    match pae_bench::update_bench_json(root, &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_pipeline.json: {e}"),
     }
 }

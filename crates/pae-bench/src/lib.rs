@@ -258,9 +258,15 @@ pub fn pct(x: f64) -> String {
 /// pre-loop stages, then one row per bootstrap cycle (seconds).
 pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
     let secs = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
+    // The crf.* columns break `train` down into its sub-stages
+    // (feature extraction, gradient evaluations, line search); they
+    // are within `train`, so `total` does not sum them again.
     let mut table = TextTable::new(vec![
         "cycle",
         "train",
+        "crf.feat",
+        "crf.grad",
+        "crf.ls",
         "extract",
         "veto",
         "semantic",
@@ -272,6 +278,9 @@ pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
         table.row(vec![
             s.iteration.to_string(),
             secs(t.train),
+            secs(t.crf.features),
+            secs(t.crf.grad),
+            secs(t.crf.line_search),
             secs(t.extract),
             secs(t.veto),
             secs(t.semantic),
@@ -285,6 +294,81 @@ pub fn stage_timing_report(outcome: &BootstrapOutcome) -> String {
         secs(outcome.prep.diversify),
         table.render()
     )
+}
+
+/// One benchmark's machine-readable summary, as stored in the
+/// repo-root `BENCH_pipeline.json` ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Fastest sample (nanoseconds).
+    pub min_ns: u64,
+    /// Median sample (nanoseconds).
+    pub median_ns: u64,
+    /// Mean over all samples (nanoseconds).
+    pub mean_ns: u64,
+}
+
+/// Merges `records` into `<repo_root>/BENCH_pipeline.json`, keyed by
+/// bench id: entries already in the file with the same id are replaced
+/// in place, unrelated entries are kept. This lets the `pipeline` and
+/// `crf_micro` bench targets contribute to one ledger without
+/// clobbering each other. The header (`git_rev`, `pae_jobs`) reflects
+/// the current run; the document schema is unchanged.
+pub fn update_bench_json(
+    repo_root: &std::path::Path,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    use pae_obs::json::Json;
+    let path = repo_root.join("BENCH_pipeline.json");
+    let mut merged: Vec<BenchRecord> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(doc) = Json::parse(&text) {
+            if let Some(Json::Arr(items)) = doc.get("results") {
+                for it in items {
+                    let parsed = (|| {
+                        Some(BenchRecord {
+                            id: it.get("id")?.as_str()?.to_owned(),
+                            samples: it.get("samples")?.as_u64()?,
+                            min_ns: it.get("min_ns")?.as_u64()?,
+                            median_ns: it.get("median_ns")?.as_u64()?,
+                            mean_ns: it.get("mean_ns")?.as_u64()?,
+                        })
+                    })();
+                    if let Some(r) = parsed {
+                        merged.push(r);
+                    }
+                }
+            }
+        }
+    }
+    for r in records {
+        match merged.iter_mut().find(|m| m.id == r.id) {
+            Some(slot) => *slot = r.clone(),
+            None => merged.push(r.clone()),
+        }
+    }
+    let mut doc = String::from("{\n  \"bench\": \"pipeline\",\n");
+    doc.push_str(&format!(
+        "  \"git_rev\": \"{}\",\n",
+        pae_report::ledger::git_rev(repo_root)
+    ));
+    doc.push_str(&format!("  \"pae_jobs\": {},\n  \"results\": [\n", jobs()));
+    for (i, r) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
+        let mut id = String::new();
+        pae_obs::json::write_str(&mut id, &r.id);
+        doc.push_str(&format!(
+            "    {{\"id\": {id}, \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{comma}\n",
+            r.samples, r.min_ns, r.median_ns, r.mean_ns
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    std::fs::write(&path, doc)?;
+    Ok(path)
 }
 
 /// Per-attribute coverage of `canonical` in a report produced against
@@ -378,6 +462,41 @@ mod tests {
     }
 
     #[test]
+    fn update_bench_json_merges_by_id() {
+        let dir = std::env::temp_dir().join(format!("pae-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = |id: &str, median: u64| BenchRecord {
+            id: id.into(),
+            samples: 10,
+            min_ns: median - 1,
+            median_ns: median,
+            mean_ns: median + 1,
+        };
+        // First write creates the ledger.
+        update_bench_json(&dir, &[rec("a/x", 100), rec("b/y", 200)]).unwrap();
+        // Second write replaces one id and adds another.
+        update_bench_json(&dir, &[rec("b/y", 999), rec("c/z", 300)]).unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_pipeline.json")).unwrap();
+        let doc = pae_obs::json::Json::parse(&text).unwrap();
+        let items = match doc.get("results") {
+            Some(pae_obs::json::Json::Arr(v)) => v,
+            other => panic!("results not an array: {other:?}"),
+        };
+        let median_of = |id: &str| {
+            items
+                .iter()
+                .find(|it| it.get("id").and_then(|j| j.as_str()) == Some(id))
+                .and_then(|it| it.get("median_ns"))
+                .and_then(|j| j.as_u64())
+        };
+        assert_eq!(items.len(), 3, "{text}");
+        assert_eq!(median_of("a/x"), Some(100), "untouched entry kept");
+        assert_eq!(median_of("b/y"), Some(999), "existing id replaced");
+        assert_eq!(median_of("c/z"), Some(300), "new id appended");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn stage_timing_report_has_one_row_per_cycle() {
         let dataset = DatasetSpec::new(CategoryKind::MailboxDe, 5)
             .products(40)
@@ -395,6 +514,13 @@ mod tests {
             report.lines().count(),
             1 + 2 + outcome.snapshots.len(),
             "{report}"
+        );
+        // The CRF sub-stage breakdown is surfaced and non-zero: the
+        // gradient evaluations dominate CRF training.
+        assert!(report.contains("crf.grad"), "{report}");
+        assert!(
+            outcome.snapshots[0].timings.crf.grad > std::time::Duration::ZERO,
+            "crf.grad sub-stage not measured"
         );
     }
 }

@@ -13,8 +13,8 @@ use crate::corrections::Corrections;
 use crate::diversify::diversify;
 use crate::eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
 use crate::seed::{build_seed, Seed};
-use crate::tagger::{extract_candidates, TrainedTagger};
-use crate::timing::{span_timed, PrepTimings, StageTimings};
+use crate::tagger::{extract_candidates, CrfTrainContext, TrainedTagger};
+use crate::timing::{span_timed, CrfStageTimings, PrepTimings, StageTimings};
 use crate::trainset::{generate_training_set, LabelSpace};
 use crate::types::{AttrTable, Triple};
 
@@ -190,6 +190,10 @@ impl BootstrapPipeline {
             .collect();
 
         let word_sentences = corpus.word_sentences();
+        // One CRF training context for the whole run: the per-sentence
+        // feature cache carries over between cycles (same corpus, new
+        // labels), so only genuinely new sentences are re-extracted.
+        let mut crf_ctx = CrfTrainContext::new();
         let mut triples = seed_triples(&seed);
         // Drift is always measured against the iteration-0 values,
         // frozen here — not against the previous cycle — so the scores
@@ -201,8 +205,14 @@ impl BootstrapPipeline {
             let _iter_span =
                 pae_obs::span_fields("iteration", vec![("n".into(), iteration.into())]);
             // Tagging (lines 10–12).
-            let tagged =
-                train_and_extract_timed(corpus, &triples, &extra_values, &label_space, cfg);
+            let tagged = train_and_extract_timed_with(
+                corpus,
+                &triples,
+                &extra_values,
+                &label_space,
+                cfg,
+                &mut crf_ctx,
+            );
             let candidates = tagged.candidates;
             let n_candidates = candidates.len();
 
@@ -298,6 +308,7 @@ impl BootstrapPipeline {
                     veto: veto_time,
                     semantic: semantic_time,
                     corrections: corrections_time,
+                    crf: tagged.crf,
                 },
             });
 
@@ -329,6 +340,8 @@ pub struct TrainExtract {
     pub train: std::time::Duration,
     /// Corpus-decoding wall clock (slower backend for the ensemble).
     pub extract: std::time::Duration,
+    /// CRF training sub-stage breakdown (zero for the RNN backend).
+    pub crf: CrfStageTimings,
 }
 
 /// Trains the configured tagger on the current triples and extracts
@@ -352,37 +365,71 @@ pub fn train_and_extract_timed(
     space: &LabelSpace,
     cfg: &PipelineConfig,
 ) -> TrainExtract {
+    train_and_extract_timed_with(
+        corpus,
+        triples,
+        extra_values,
+        space,
+        cfg,
+        &mut CrfTrainContext::new(),
+    )
+}
+
+/// Trains one backend under `train`/`extract` spans and decodes the
+/// corpus. `train` returns the tagger plus its CRF sub-stage breakdown
+/// (zero for non-CRF backends).
+fn one_backend(
+    corpus: &Corpus,
+    space: &LabelSpace,
+    backend: &'static str,
+    train: impl FnOnce() -> (TrainedTagger, CrfStageTimings),
+) -> TrainExtract {
+    let (tagger, crf, train_time) = {
+        let span = pae_obs::span_fields("train", vec![("backend".into(), backend.into())]);
+        let (tagger, crf) = train();
+        (tagger, crf, span.finish())
+    };
+    let (candidates, extract_time) = {
+        let span = pae_obs::span_fields("extract", vec![("backend".into(), backend.into())]);
+        let candidates = extract_candidates(&tagger, corpus, space);
+        (candidates, span.finish())
+    };
+    TrainExtract {
+        candidates,
+        train: train_time,
+        extract: extract_time,
+        crf,
+    }
+}
+
+/// As [`train_and_extract_timed`], reusing `crf_ctx`'s feature cache
+/// across calls (the bootstrap loop holds one context per run).
+pub fn train_and_extract_timed_with(
+    corpus: &Corpus,
+    triples: &[Triple],
+    extra_values: &[(String, String)],
+    space: &LabelSpace,
+    cfg: &PipelineConfig,
+    crf_ctx: &mut CrfTrainContext,
+) -> TrainExtract {
     let labeled = generate_training_set(corpus, triples, space, extra_values);
     if labeled.is_empty() {
         return TrainExtract {
             candidates: Vec::new(),
             train: std::time::Duration::ZERO,
             extract: std::time::Duration::ZERO,
+            crf: CrfStageTimings::default(),
         };
     }
-    let one_backend = |backend: &'static str, train: &dyn Fn() -> TrainedTagger| {
-        let (tagger, train_time) = {
-            let span = pae_obs::span_fields("train", vec![("backend".into(), backend.into())]);
-            let tagger = train();
-            (tagger, span.finish())
-        };
-        let (candidates, extract_time) = {
-            let span = pae_obs::span_fields("extract", vec![("backend".into(), backend.into())]);
-            let candidates = extract_candidates(&tagger, corpus, space);
-            (candidates, span.finish())
-        };
-        TrainExtract {
-            candidates,
-            train: train_time,
-            extract: extract_time,
-        }
-    };
     match cfg.tagger {
-        TaggerKind::Crf => one_backend("crf", &|| {
-            TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)
+        TaggerKind::Crf => one_backend(corpus, space, "crf", || {
+            TrainedTagger::train_crf_with(&labeled, space.n_labels(), &cfg.crf, crf_ctx)
         }),
-        TaggerKind::Rnn => one_backend("rnn", &|| {
-            TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)
+        TaggerKind::Rnn => one_backend(corpus, space, "rnn", || {
+            (
+                TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn),
+                CrfStageTimings::default(),
+            )
         }),
         TaggerKind::Ensemble => {
             // Precision-first combination: a candidate must be produced
@@ -393,13 +440,16 @@ pub fn train_and_extract_timed(
             // depends on its own seed, so the merge is deterministic.
             let (a, b) = pae_runtime::join(
                 || {
-                    one_backend("crf", &|| {
-                        TrainedTagger::train_crf(&labeled, space.n_labels(), &cfg.crf)
+                    one_backend(corpus, space, "crf", || {
+                        TrainedTagger::train_crf_with(&labeled, space.n_labels(), &cfg.crf, crf_ctx)
                     })
                 },
                 || {
-                    one_backend("rnn", &|| {
-                        TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn)
+                    one_backend(corpus, space, "rnn", || {
+                        (
+                            TrainedTagger::train_rnn(&labeled, space.n_labels(), &cfg.rnn),
+                            CrfStageTimings::default(),
+                        )
                     })
                 },
             );
@@ -407,6 +457,7 @@ pub fn train_and_extract_timed(
                 candidates: intersect_sorted(a.candidates, &b.candidates),
                 train: a.train.max(b.train),
                 extract: a.extract.max(b.extract),
+                crf: a.crf,
             }
         }
     }

@@ -43,5 +43,6 @@ pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
 pub use corrections::Corrections;
 pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
-pub use timing::{PrepTimings, StageTimings};
+pub use tagger::CrfTrainContext;
+pub use timing::{CrfStageTimings, PrepTimings, StageTimings};
 pub use types::{AttrTable, Triple};

@@ -4,14 +4,57 @@
 // fields would only add indirection on the hot decode path.
 #![allow(clippy::large_enum_variant)]
 
-use pae_crf::{CrfModel, FeatureExtractor, FeatureIndex, Instance};
+use std::collections::HashMap;
+
+use pae_crf::data::FeatId;
+use pae_crf::{CrfModel, ExtractScratch, FeatureExtractor, FeatureIndex, Instance};
 use pae_neural::{BiLstmTagger, TaggerConfig};
 use pae_text::PosTag;
 
 use crate::config::{CrfOptions, RnnOptions};
 use crate::corpus::Corpus;
+use crate::timing::CrfStageTimings;
 use crate::trainset::{decode_spans, LabelSpace, LabeledSentence};
 use crate::types::Triple;
+
+/// Cross-cycle CRF training state: a persistent feature arena plus a
+/// per-sentence feature cache.
+///
+/// The bootstrap loop re-trains on largely the same sentences every
+/// cycle (only their labels change), so re-running the feature
+/// templates and re-interning every string each cycle is pure waste.
+/// The context interns into a private, grow-only [`FeatureIndex`] and
+/// caches each sentence's encoded features; at train time the private
+/// ids are renumbered in first-encounter order, which reproduces — id
+/// for id — what fresh interning over this cycle's sentences would
+/// have produced. Training is therefore byte-identical to the
+/// context-free path.
+///
+/// Cache entries are verified against the sentence's words and tags on
+/// every hit (keys are `(product, sent_idx)`, which is not injective
+/// for synthetic fixtures), so a stale entry can never leak features.
+#[derive(Debug, Default)]
+pub struct CrfTrainContext {
+    index: FeatureIndex,
+    cache: HashMap<(u32, usize), CachedSentence>,
+    scratch: ExtractScratch,
+    window: Option<usize>,
+}
+
+#[derive(Debug)]
+struct CachedSentence {
+    words: Vec<String>,
+    pos: Vec<PosTag>,
+    /// Per-position feature ids in the context's *private* index.
+    feats: Vec<Vec<FeatId>>,
+}
+
+impl CrfTrainContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A trained sequence tagger.
 pub enum TrainedTagger {
@@ -32,28 +75,103 @@ pub enum TrainedTagger {
 }
 
 impl TrainedTagger {
-    /// Trains a CRF on the labelled sentences.
+    /// Trains a CRF on the labelled sentences (fresh feature state;
+    /// see [`train_crf_with`](Self::train_crf_with) for the
+    /// cross-cycle variant).
     pub fn train_crf(
         sentences: &[LabeledSentence],
         n_labels: usize,
         options: &CrfOptions,
     ) -> TrainedTagger {
+        Self::train_crf_with(sentences, n_labels, options, &mut CrfTrainContext::new()).0
+    }
+
+    /// Trains a CRF, reusing `ctx`'s feature index and per-sentence
+    /// feature cache across calls. Output is byte-identical to
+    /// [`train_crf`](Self::train_crf) on the same sentences; the
+    /// context only removes repeated extraction work. Also reports the
+    /// training sub-stage wall clock.
+    pub fn train_crf_with(
+        sentences: &[LabeledSentence],
+        n_labels: usize,
+        options: &CrfOptions,
+        ctx: &mut CrfTrainContext,
+    ) -> (TrainedTagger, CrfStageTimings) {
+        // Cached features depend on the template window; a changed
+        // window invalidates everything.
+        if ctx.window != Some(options.window) {
+            *ctx = CrfTrainContext::new();
+            ctx.window = Some(options.window);
+        }
         let extractor = FeatureExtractor::new(pae_crf::FeatureTemplates {
             window: options.window,
             max_sentence_bucket: 8,
         });
-        let mut index = FeatureIndex::new();
-        let mut instances: Vec<Instance> = sentences
-            .iter()
-            .map(|s| {
+
+        let feat_span = pae_obs::span("crf.extract_features");
+        // Encode every sentence into the private index (cache hits skip
+        // extraction entirely), renumbering private ids in
+        // first-encounter order — exactly the ids fresh interning over
+        // these sentences would assign.
+        let mut remap: Vec<u32> = vec![u32::MAX; ctx.index.len()];
+        let mut order: Vec<FeatId> = Vec::new();
+        let mut instances: Vec<Instance> = Vec::with_capacity(sentences.len());
+        for s in sentences {
+            let key = (s.product, s.sent_idx);
+            let hit = matches!(
+                ctx.cache.get(&key),
+                Some(c) if c.words == s.words && c.pos == s.pos
+            );
+            if !hit {
                 let words: Vec<&str> = s.words.iter().map(String::as_str).collect();
                 let pos: Vec<&str> = s.pos.iter().map(|p| p.mnemonic()).collect();
-                Instance {
-                    features: extractor.encode_train(&words, &pos, s.sent_idx, &mut index),
-                    labels: s.labels.clone(),
+                let mut feats = Vec::new();
+                extractor.encode_train_into(
+                    &words,
+                    &pos,
+                    s.sent_idx,
+                    &mut ctx.index,
+                    &mut ctx.scratch,
+                    &mut feats,
+                );
+                ctx.cache.insert(
+                    key,
+                    CachedSentence {
+                        words: s.words.clone(),
+                        pos: s.pos.clone(),
+                        feats,
+                    },
+                );
+                if remap.len() < ctx.index.len() {
+                    remap.resize(ctx.index.len(), u32::MAX);
                 }
-            })
-            .collect();
+            }
+            let cached = &ctx.cache[&key];
+            let features: Vec<Vec<FeatId>> = cached
+                .feats
+                .iter()
+                .map(|fs| {
+                    fs.iter()
+                        .map(|&pf| {
+                            let slot = &mut remap[pf as usize];
+                            if *slot == u32::MAX {
+                                *slot = order.len() as u32;
+                                order.push(pf);
+                            }
+                            *slot
+                        })
+                        .collect()
+                })
+                .collect();
+            instances.push(Instance {
+                features,
+                labels: s.labels.clone(),
+            });
+        }
+        // Public decode index: the renumbered feature strings, interned
+        // in public-id order (ids 0..n by construction).
+        let index = FeatureIndex::from_names(order.iter().map(|&pf| ctx.index.name_of(pf)));
+        let features_time = feat_span.finish();
 
         // CRFsuite-style minfreq pruning: drop singleton features from
         // the instances. Their ids stay allocated (the weight simply
@@ -80,12 +198,20 @@ impl TrainedTagger {
             epsilon: 1e-4,
             dense_transitions: false,
         };
-        let model = pae_crf::train(&instances, index.len(), n_labels, &config);
-        TrainedTagger::Crf {
-            model,
-            extractor,
-            index,
-        }
+        let (model, stats) = pae_crf::train_with_stats(&instances, index.len(), n_labels, &config);
+        let timings = CrfStageTimings {
+            features: features_time,
+            grad: stats.grad_time,
+            line_search: stats.line_search_time,
+        };
+        (
+            TrainedTagger::Crf {
+                model,
+                extractor,
+                index,
+            },
+            timings,
+        )
     }
 
     /// Trains the BiLSTM on the labelled sentences.
@@ -213,6 +339,97 @@ mod tests {
         let pos = vec![PosTag::Noun; 3];
         let labels = tagger.tag(&words, &pos, 0);
         assert_eq!(labels[2], space.begin(0), "labels: {labels:?}");
+    }
+
+    #[test]
+    fn context_reuse_is_byte_identical_to_fresh_training() {
+        let space = LabelSpace::new(vec!["color".into()]);
+        // Distinct (product, sent_idx) keys so cycle 2 actually hits
+        // the cache instead of content-mismatching on a shared key.
+        let mut sentences = toy_sentences(&space);
+        for (i, s) in sentences.iter_mut().enumerate() {
+            s.sent_idx = i;
+        }
+        let options = CrfOptions::default();
+        let mut ctx = CrfTrainContext::new();
+        // Cycle 1 warms the cache.
+        let _ = TrainedTagger::train_crf_with(&sentences, space.n_labels(), &options, &mut ctx);
+
+        // Cycle 2: the bootstrap loop re-labels the same sentences and
+        // adds new ones. Flip one label and append a fresh sentence.
+        let mut cycle2 = sentences.clone();
+        cycle2[4].labels = vec![0, 0];
+        let mut extra = cycle2[0].clone();
+        extra.sent_idx = 99;
+        extra.words = ["iro", ":", "murasaki"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        extra.labels = vec![0, 0, space.begin(0)];
+        cycle2.push(extra);
+
+        let (fresh, _) = TrainedTagger::train_crf_with(
+            &cycle2,
+            space.n_labels(),
+            &options,
+            &mut CrfTrainContext::new(),
+        );
+        let (reused, _) =
+            TrainedTagger::train_crf_with(&cycle2, space.n_labels(), &options, &mut ctx);
+        match (&fresh, &reused) {
+            (
+                TrainedTagger::Crf {
+                    model: ma,
+                    index: ia,
+                    ..
+                },
+                TrainedTagger::Crf {
+                    model: mb,
+                    index: ib,
+                    ..
+                },
+            ) => {
+                assert_eq!(ia.len(), ib.len(), "decode index size");
+                let (pa, pb) = (ma.view().params, mb.view().params);
+                assert_eq!(pa.len(), pb.len());
+                for (i, (a, b)) in pa.iter().zip(pb).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "param {i}: {a} vs {b}");
+                }
+            }
+            _ => panic!("expected CRF taggers"),
+        }
+    }
+
+    #[test]
+    fn stale_cache_entry_is_content_verified() {
+        // Two different sentences sharing (product, sent_idx): the
+        // second must not be served the first's features.
+        let space = LabelSpace::new(vec!["color".into()]);
+        let sentences = toy_sentences(&space); // all share key (0, 0)
+        let options = CrfOptions::default();
+        let (fresh, _) = TrainedTagger::train_crf_with(
+            &sentences,
+            space.n_labels(),
+            &options,
+            &mut CrfTrainContext::new(),
+        );
+        // A context pre-warmed on the *reversed* sentence list must
+        // still produce the identical model.
+        let mut ctx = CrfTrainContext::new();
+        let reversed: Vec<_> = sentences.iter().rev().cloned().collect();
+        let _ = TrainedTagger::train_crf_with(&reversed, space.n_labels(), &options, &mut ctx);
+        let (reused, _) =
+            TrainedTagger::train_crf_with(&sentences, space.n_labels(), &options, &mut ctx);
+        match (&fresh, &reused) {
+            (TrainedTagger::Crf { model: ma, .. }, TrainedTagger::Crf { model: mb, .. }) => {
+                let (pa, pb) = (ma.view().params, mb.view().params);
+                assert_eq!(pa.len(), pb.len());
+                for (i, (a, b)) in pa.iter().zip(pb).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "param {i}");
+                }
+            }
+            _ => panic!("expected CRF taggers"),
+        }
     }
 
     #[test]

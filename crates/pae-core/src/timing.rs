@@ -30,6 +30,23 @@ pub struct StageTimings {
     pub semantic: Duration,
     /// Human-corrections pass over the cycle's output.
     pub corrections: Duration,
+    /// Breakdown of `train` into the CRF sub-stages (all zero for the
+    /// RNN backend). These are *within* `train`, not additive to it,
+    /// so [`StageTimings::total`] ignores them.
+    pub crf: CrfStageTimings,
+}
+
+/// Wall clock of the CRF training sub-stages, mirroring the
+/// `crf.extract_features` / `crf.grad` / `crf.line_search` trace spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrfStageTimings {
+    /// Training-instance encoding (feature extraction + interning,
+    /// including cross-cycle cache lookups).
+    pub features: Duration,
+    /// Accumulated gradient/NLL evaluations inside the optimizer.
+    pub grad: Duration,
+    /// Accumulated line-search probing inside the optimizer.
+    pub line_search: Duration,
 }
 
 impl StageTimings {
@@ -89,6 +106,11 @@ mod tests {
             veto: Duration::from_millis(1),
             semantic: Duration::from_millis(2),
             corrections: Duration::from_millis(3),
+            crf: CrfStageTimings {
+                features: Duration::from_millis(1),
+                grad: Duration::from_millis(3),
+                line_search: Duration::from_millis(1),
+            },
         };
         assert_eq!(t.total(), Duration::from_millis(18));
         let s = t.summary();

@@ -46,6 +46,170 @@ impl Instance {
     }
 }
 
+/// Positional feature access shared by the nested ([`Instance`]) and
+/// packed ([`CsrSeq`]) layouts, so inference walks one code path for
+/// both. Implementations must be cheap: `feats` is called once per
+/// position per forward/backward pass.
+pub trait FeatureSeq {
+    /// Number of positions in the sequence.
+    fn n_positions(&self) -> usize;
+    /// Active feature ids at position `t`.
+    fn feats(&self, t: usize) -> &[FeatId];
+}
+
+impl FeatureSeq for [Vec<FeatId>] {
+    fn n_positions(&self) -> usize {
+        self.len()
+    }
+    fn feats(&self, t: usize) -> &[FeatId] {
+        &self[t]
+    }
+}
+
+impl FeatureSeq for Vec<Vec<FeatId>> {
+    fn n_positions(&self) -> usize {
+        self.len()
+    }
+    fn feats(&self, t: usize) -> &[FeatId] {
+        &self[t]
+    }
+}
+
+/// A training set flattened into CSR (compressed sparse row) arenas.
+///
+/// The nested `Vec<Vec<FeatId>>` layout of [`Instance`] scatters each
+/// position's feature list across the heap; the forward/backward and
+/// gradient walks then chase one pointer per position per optimizer
+/// iteration. Packing flattens everything into four contiguous arrays:
+///
+/// - `seq_bounds[s]..seq_bounds[s+1]` — the position range of sequence `s`
+/// - `feat_offsets[p]..feat_offsets[p+1]` — the id range of position `p`
+/// - `ids` — all feature ids, in (sequence, position, list) order
+/// - `labels` — gold label per position, same indexing as `feat_offsets`
+///
+/// Iteration order over the packed layout is identical to iterating
+/// the nested one, so any fold over features is byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrInstances {
+    seq_bounds: Vec<u32>,
+    feat_offsets: Vec<u32>,
+    ids: Vec<FeatId>,
+    labels: Vec<LabelId>,
+}
+
+impl CsrInstances {
+    /// Flattens nested instances into the packed layout.
+    pub fn pack(instances: &[Instance]) -> Self {
+        let n_pos: usize = instances.iter().map(Instance::len).sum();
+        let n_ids: usize = instances
+            .iter()
+            .flat_map(|i| i.features.iter())
+            .map(Vec::len)
+            .sum();
+        let mut out = Self {
+            seq_bounds: Vec::with_capacity(instances.len() + 1),
+            feat_offsets: Vec::with_capacity(n_pos + 1),
+            ids: Vec::with_capacity(n_ids),
+            labels: Vec::with_capacity(n_pos),
+        };
+        out.seq_bounds.push(0);
+        out.feat_offsets.push(0);
+        for inst in instances {
+            for feats in &inst.features {
+                out.ids.extend_from_slice(feats);
+                out.feat_offsets.push(out.ids.len() as u32);
+            }
+            out.labels.extend_from_slice(&inst.labels);
+            out.seq_bounds.push(out.labels.len() as u32);
+        }
+        out
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.seq_bounds.len() - 1
+    }
+
+    /// True when no sequences are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of positions across all sequences.
+    pub fn n_positions(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Global position range of sequence `s` within the shared arenas
+    /// (`labels` and the per-position rows of `feat_offsets`). Lets
+    /// callers maintain their own position-indexed side arrays — e.g.
+    /// the forward-pass cache in [`crate::train::TrainEngine`].
+    pub fn seq_positions(&self, s: usize) -> std::ops::Range<usize> {
+        self.seq_bounds[s] as usize..self.seq_bounds[s + 1] as usize
+    }
+
+    /// Borrowed view of sequence `s`.
+    pub fn seq(&self, s: usize) -> CsrSeq<'_> {
+        let lo = self.seq_bounds[s] as usize;
+        let hi = self.seq_bounds[s + 1] as usize;
+        CsrSeq {
+            // Offsets stay absolute into the shared `ids` arena; the
+            // window just scopes which positions belong to `s`.
+            feat_offsets: &self.feat_offsets[lo..hi + 1],
+            ids: &self.ids,
+            labels: &self.labels[lo..hi],
+        }
+    }
+
+    /// Expands back to the nested layout (round-trip check for tests).
+    pub fn to_instances(&self) -> Vec<Instance> {
+        (0..self.len())
+            .map(|s| {
+                let seq = self.seq(s);
+                Instance {
+                    features: (0..seq.len()).map(|t| seq.feats(t).to_vec()).collect(),
+                    labels: seq.labels.to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One sequence inside a [`CsrInstances`] arena.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrSeq<'a> {
+    feat_offsets: &'a [u32],
+    ids: &'a [FeatId],
+    /// Gold labels for this sequence.
+    pub labels: &'a [LabelId],
+}
+
+impl CsrSeq<'_> {
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Active feature ids at position `t`.
+    pub fn feats(&self, t: usize) -> &[FeatId] {
+        &self.ids[self.feat_offsets[t] as usize..self.feat_offsets[t + 1] as usize]
+    }
+}
+
+impl FeatureSeq for CsrSeq<'_> {
+    fn n_positions(&self) -> usize {
+        self.len()
+    }
+    fn feats(&self, t: usize) -> &[FeatId] {
+        CsrSeq::feats(self, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +241,43 @@ mod tests {
         };
         assert!(inst.is_empty());
         assert!(inst.validate(1).is_ok());
+    }
+
+    #[test]
+    fn csr_round_trips_nested_layout() {
+        let instances = vec![
+            Instance {
+                features: vec![vec![0, 3], vec![], vec![7]],
+                labels: vec![0, 1, 0],
+            },
+            Instance {
+                features: vec![],
+                labels: vec![],
+            },
+            Instance {
+                features: vec![vec![2]],
+                labels: vec![1],
+            },
+        ];
+        let csr = CsrInstances::pack(&instances);
+        assert_eq!(csr.len(), 3);
+        assert_eq!(csr.n_positions(), 4);
+        assert_eq!(csr.to_instances(), instances);
+
+        let s0 = csr.seq(0);
+        assert_eq!(s0.len(), 3);
+        assert_eq!(s0.feats(0), &[0, 3]);
+        assert_eq!(s0.feats(1), &[] as &[FeatId]);
+        assert_eq!(s0.feats(2), &[7]);
+        assert_eq!(s0.labels, &[0, 1, 0]);
+        assert!(csr.seq(1).is_empty());
+    }
+
+    #[test]
+    fn csr_pack_of_empty_set() {
+        let csr = CsrInstances::pack(&[]);
+        assert!(csr.is_empty());
+        assert_eq!(csr.n_positions(), 0);
+        assert!(csr.to_instances().is_empty());
     }
 }

@@ -5,8 +5,15 @@
 //! the word w\[t\], the words in a window of size K around w\[t\], the
 //! part-of-speech (pos) tags of such words, the concatenation of the pos
 //! of those words, and the sentence number."*
+//!
+//! Extraction is string-free on the hot path: template prefixes
+//! (`"w[-2]="`, `"p[1]="`, …) are pre-rendered at extractor
+//! construction and feature strings are assembled in a caller-provided
+//! [`ExtractScratch`] buffer, so encoding a token performs no heap
+//! allocation beyond interning genuinely new features.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 use crate::data::FeatId;
 
@@ -14,16 +21,30 @@ use crate::data::FeatId;
 ///
 /// During training, unseen feature strings are assigned fresh ids; at
 /// decode time the index is frozen and unseen features are skipped
-/// (they carry zero weight anyway).
+/// (they carry zero weight anyway). The reverse table ([`name_of`])
+/// doubles string storage but lets callers rebuild sub-indices without
+/// re-extracting (see `pae-core`'s cross-cycle training cache).
+///
+/// [`name_of`]: FeatureIndex::name_of
 #[derive(Debug, Default, Clone)]
 pub struct FeatureIndex {
     map: HashMap<String, FeatId>,
+    names: Vec<String>,
 }
 
 impl FeatureIndex {
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds an index by interning `names` in order (ids `0..n`).
+    pub fn from_names<'a, I: IntoIterator<Item = &'a str>>(names: I) -> Self {
+        let mut idx = Self::new();
+        for n in names {
+            idx.intern(n);
+        }
+        idx
     }
 
     /// Interns `feature`, assigning a fresh id when unseen.
@@ -33,12 +54,21 @@ impl FeatureIndex {
         }
         let id = self.map.len() as FeatId;
         self.map.insert(feature.to_owned(), id);
+        self.names.push(feature.to_owned());
         id
     }
 
     /// Looks up `feature` without interning.
     pub fn get(&self, feature: &str) -> Option<FeatId> {
         self.map.get(feature).copied()
+    }
+
+    /// The feature string that was assigned `id`.
+    ///
+    /// # Panics
+    /// When `id` was never assigned.
+    pub fn name_of(&self, id: FeatId) -> &str {
+        &self.names[id as usize]
     }
 
     /// Number of distinct features.
@@ -71,37 +101,90 @@ impl Default for FeatureTemplates {
     }
 }
 
+/// Pre-rendered template prefixes for one window radius, so the hot
+/// path never formats offsets.
+#[derive(Debug, Clone, Default)]
+struct TemplatePrefixes {
+    window: usize,
+    /// `"w[d]="` for `d` in `-k..=k`, indexed by `d + k`.
+    word: Vec<String>,
+    /// `"p[d]="` for `d` in `-k..=k`, indexed by `d + k`.
+    pos: Vec<String>,
+}
+
+impl TemplatePrefixes {
+    fn build(window: usize) -> Self {
+        let k = window as isize;
+        TemplatePrefixes {
+            window,
+            word: (-k..=k).map(|d| format!("w[{d}]=")).collect(),
+            pos: (-k..=k).map(|d| format!("p[{d}]=")).collect(),
+        }
+    }
+}
+
+/// Reusable string buffers for feature assembly. One per encoding
+/// thread; contents are scratch — callers never read them directly.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractScratch {
+    feat: String,
+    pseq: String,
+}
+
 /// Generates feature strings for every position of a sentence.
 ///
 /// `words` and `pos` are parallel; `sentence_number` is the index of the
 /// sentence within its document.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FeatureExtractor {
     /// Template configuration.
     pub templates: FeatureTemplates,
+    prefixes: TemplatePrefixes,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self::new(FeatureTemplates::default())
+    }
 }
 
 impl FeatureExtractor {
     /// Extractor with the given templates.
     pub fn new(templates: FeatureTemplates) -> Self {
-        FeatureExtractor { templates }
+        let prefixes = TemplatePrefixes::build(templates.window);
+        FeatureExtractor {
+            templates,
+            prefixes,
+        }
     }
 
-    /// Produces the feature strings for position `t`.
-    pub fn features_at(
+    /// Visits each feature string of position `t`, in template order,
+    /// assembling them in `scratch` (no allocation on the happy path).
+    fn each_feature(
         &self,
         words: &[&str],
         pos: &[&str],
         sentence_number: usize,
         t: usize,
-    ) -> Vec<String> {
+        scratch: &mut ExtractScratch,
+        mut visit: impl FnMut(&str),
+    ) {
         debug_assert_eq!(words.len(), pos.len());
+        // `templates` is a public field, so it can drift from the
+        // prefixes built at construction; rebuild locally if so (cold
+        // path — none of the pipeline mutates templates in place).
+        let rebuilt;
+        let pre = if self.prefixes.window == self.templates.window {
+            &self.prefixes
+        } else {
+            rebuilt = TemplatePrefixes::build(self.templates.window);
+            &rebuilt
+        };
         let k = self.templates.window as isize;
         let n = words.len() as isize;
         let ti = t as isize;
-        let mut feats = Vec::with_capacity((4 * k as usize + 2) + 3);
 
-        feats.push("bias".to_owned());
+        visit("bias");
         // Word and window words.
         for d in -k..=k {
             let idx = ti + d;
@@ -112,10 +195,13 @@ impl FeatureExtractor {
             } else {
                 words[idx as usize]
             };
-            feats.push(format!("w[{d}]={w}"));
+            scratch.feat.clear();
+            scratch.feat.push_str(&pre.word[(d + k) as usize]);
+            scratch.feat.push_str(w);
+            visit(&scratch.feat);
         }
         // PoS of the window words.
-        let mut pos_concat = String::new();
+        scratch.pseq.clear();
         for d in -k..=k {
             let idx = ti + d;
             let p = if idx < 0 {
@@ -125,17 +211,42 @@ impl FeatureExtractor {
             } else {
                 pos[idx as usize]
             };
-            feats.push(format!("p[{d}]={p}"));
-            if !pos_concat.is_empty() {
-                pos_concat.push('|');
+            scratch.feat.clear();
+            scratch.feat.push_str(&pre.pos[(d + k) as usize]);
+            scratch.feat.push_str(p);
+            visit(&scratch.feat);
+            if !scratch.pseq.is_empty() {
+                scratch.pseq.push('|');
             }
-            pos_concat.push_str(p);
+            scratch.pseq.push_str(p);
         }
         // Concatenation of the window PoS tags.
-        feats.push(format!("pseq={pos_concat}"));
+        scratch.feat.clear();
+        scratch.feat.push_str("pseq=");
+        scratch.feat.push_str(&scratch.pseq);
+        visit(&scratch.feat);
         // Sentence number (bucketed).
         let bucket = sentence_number.min(self.templates.max_sentence_bucket);
-        feats.push(format!("sent={bucket}"));
+        scratch.feat.clear();
+        let _ = write!(scratch.feat, "sent={bucket}");
+        visit(&scratch.feat);
+    }
+
+    /// Produces the feature strings for position `t` (allocating; the
+    /// encode paths below are the allocation-free consumers).
+    pub fn features_at(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        t: usize,
+    ) -> Vec<String> {
+        let k = self.templates.window;
+        let mut feats = Vec::with_capacity((4 * k + 2) + 3);
+        let mut scratch = ExtractScratch::default();
+        self.each_feature(words, pos, sentence_number, t, &mut scratch, |f| {
+            feats.push(f.to_owned())
+        });
         feats
     }
 
@@ -147,14 +258,33 @@ impl FeatureExtractor {
         sentence_number: usize,
         index: &mut FeatureIndex,
     ) -> Vec<Vec<FeatId>> {
-        (0..words.len())
-            .map(|t| {
-                self.features_at(words, pos, sentence_number, t)
-                    .iter()
-                    .map(|f| index.intern(f))
-                    .collect()
-            })
-            .collect()
+        let mut out = Vec::new();
+        let mut scratch = ExtractScratch::default();
+        self.encode_train_into(words, pos, sentence_number, index, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`encode_train`](Self::encode_train) into reusable buffers: the
+    /// inner id vectors of `out` keep their capacity across sentences.
+    pub fn encode_train_into(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        index: &mut FeatureIndex,
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<Vec<FeatId>>,
+    ) {
+        out.resize_with(words.len(), Vec::new);
+        for t in 0..words.len() {
+            let (head, tail) = out.split_at_mut(t);
+            let _ = head;
+            let ids = &mut tail[0];
+            ids.clear();
+            self.each_feature(words, pos, sentence_number, t, scratch, |f| {
+                ids.push(index.intern(f))
+            });
+        }
     }
 
     /// Encodes a sentence against a frozen index (unseen features skipped).
@@ -165,14 +295,33 @@ impl FeatureExtractor {
         sentence_number: usize,
         index: &FeatureIndex,
     ) -> Vec<Vec<FeatId>> {
-        (0..words.len())
-            .map(|t| {
-                self.features_at(words, pos, sentence_number, t)
-                    .iter()
-                    .filter_map(|f| index.get(f))
-                    .collect()
-            })
-            .collect()
+        let mut out = Vec::new();
+        let mut scratch = ExtractScratch::default();
+        self.encode_into(words, pos, sentence_number, index, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) into reusable buffers.
+    pub fn encode_into(
+        &self,
+        words: &[&str],
+        pos: &[&str],
+        sentence_number: usize,
+        index: &FeatureIndex,
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<Vec<FeatId>>,
+    ) {
+        out.resize_with(words.len(), Vec::new);
+        for t in 0..words.len() {
+            let (_, tail) = out.split_at_mut(t);
+            let ids = &mut tail[0];
+            ids.clear();
+            self.each_feature(words, pos, sentence_number, t, scratch, |f| {
+                if let Some(id) = index.get(f) {
+                    ids.push(id);
+                }
+            });
+        }
     }
 }
 
@@ -189,6 +338,21 @@ mod tests {
         assert_eq!(idx.get("b"), Some(1));
         assert_eq!(idx.get("c"), None);
         assert_eq!(idx.len(), 2);
+        assert_eq!(idx.name_of(0), "a");
+        assert_eq!(idx.name_of(1), "b");
+    }
+
+    #[test]
+    fn from_names_reproduces_interning_order() {
+        let mut a = FeatureIndex::new();
+        for f in ["x", "y", "z"] {
+            a.intern(f);
+        }
+        let b = FeatureIndex::from_names(["x", "y", "z"]);
+        assert_eq!(b.len(), 3);
+        for f in ["x", "y", "z"] {
+            assert_eq!(a.get(f), b.get(f));
+        }
     }
 
     #[test]
@@ -235,6 +399,49 @@ mod tests {
         let dec2 = ex.encode(&["blue", "bag"], &pos, 0, &idx);
         assert!(dec2[0].len() < enc[0].len());
         assert!(!dec2[0].is_empty(), "shared window features survive");
+    }
+
+    #[test]
+    fn buffered_encoding_matches_fresh_encoding() {
+        let ex = FeatureExtractor::default();
+        let sentences: Vec<(Vec<&str>, Vec<&str>)> = vec![
+            (vec!["deep", "red", "bag"], vec!["JJ", "JJ", "NN"]),
+            (vec!["bag"], vec!["NN"]),
+            (
+                vec!["weight", ":", "2", "kg"],
+                vec!["NN", "SYM", "CD", "NN"],
+            ),
+        ];
+        let mut fresh_idx = FeatureIndex::new();
+        let fresh: Vec<_> = sentences
+            .iter()
+            .enumerate()
+            .map(|(i, (w, p))| ex.encode_train(w, p, i, &mut fresh_idx))
+            .collect();
+
+        // Same sentences through the reusable-buffer path, deliberately
+        // reusing one scratch and one output across all of them.
+        let mut idx = FeatureIndex::new();
+        let mut scratch = ExtractScratch::default();
+        let mut out = Vec::new();
+        for (i, (w, p)) in sentences.iter().enumerate() {
+            ex.encode_train_into(w, p, i, &mut idx, &mut scratch, &mut out);
+            assert_eq!(out, fresh[i], "sentence {i}");
+        }
+        assert_eq!(idx.len(), fresh_idx.len());
+    }
+
+    #[test]
+    fn stale_prefixes_rebuild_on_template_drift() {
+        // Mutating the public field after construction must not produce
+        // wrong features — the extractor detects the drift.
+        let mut ex = FeatureExtractor::default();
+        ex.templates.window = 1;
+        let feats = ex.features_at(&["a", "b"], &["X", "Y"], 0, 0);
+        assert!(feats.contains(&"w[-1]=<s>".to_owned()));
+        assert!(feats.contains(&"w[1]=b".to_owned()));
+        assert!(!feats.iter().any(|f| f.starts_with("w[2]=")));
+        assert!(feats.contains(&"pseq=BOS|X|Y".to_owned()));
     }
 
     #[test]

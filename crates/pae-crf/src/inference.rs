@@ -3,8 +3,8 @@
 // Dynamic-programming kernels read clearest with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
-use crate::data::{FeatId, LabelId};
-use crate::model::CrfModel;
+use crate::data::{FeatureSeq, LabelId};
+use crate::model::{CrfModel, ParamsView};
 use crate::numeric::log_sum_exp;
 
 /// Forward pass result.
@@ -20,12 +20,13 @@ pub struct Forward {
 }
 
 /// Runs the forward algorithm in log space.
-pub fn forward(model: &CrfModel, features: &[Vec<FeatId>]) -> Forward {
-    let n = features.len();
+pub fn forward<S: FeatureSeq + ?Sized>(model: &CrfModel, features: &S) -> Forward {
+    let view = model.view();
+    let n = features.n_positions();
     let l = model.n_labels;
     let mut emissions = vec![vec![0.0; l]; n];
-    for (t, feats) in features.iter().enumerate() {
-        model.emission_scores(feats, &mut emissions[t]);
+    for (t, em) in emissions.iter_mut().enumerate() {
+        view.emission_scores(features.feats(t), em);
     }
     let mut alpha = vec![vec![f64::NEG_INFINITY; l]; n];
     if n == 0 {
@@ -36,19 +37,19 @@ pub fn forward(model: &CrfModel, features: &[Vec<FeatId>]) -> Forward {
         };
     }
     for y in 0..l {
-        alpha[0][y] = model.start(y) + emissions[0][y];
+        alpha[0][y] = view.start(y) + emissions[0][y];
     }
     let mut scratch = vec![0.0; l];
     for t in 1..n {
         for y in 0..l {
             for (p, s) in scratch.iter_mut().enumerate() {
-                *s = alpha[t - 1][p] + model.transition(p, y);
+                *s = alpha[t - 1][p] + view.transition(p, y);
             }
             alpha[t][y] = log_sum_exp(&scratch) + emissions[t][y];
         }
     }
     for (y, s) in scratch.iter_mut().enumerate() {
-        *s = alpha[n - 1][y] + model.end(y);
+        *s = alpha[n - 1][y] + view.end(y);
     }
     let log_z = log_sum_exp(&scratch);
     Forward {
@@ -62,6 +63,7 @@ pub fn forward(model: &CrfModel, features: &[Vec<FeatId>]) -> Forward {
 /// after `t` given label `l` at `t` (includes the end weight, excludes
 /// emission at `t`).
 pub fn backward(model: &CrfModel, emissions: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let view = model.view();
     let n = emissions.len();
     let l = model.n_labels;
     let mut beta = vec![vec![f64::NEG_INFINITY; l]; n];
@@ -69,13 +71,13 @@ pub fn backward(model: &CrfModel, emissions: &[Vec<f64>]) -> Vec<Vec<f64>> {
         return beta;
     }
     for y in 0..l {
-        beta[n - 1][y] = model.end(y);
+        beta[n - 1][y] = view.end(y);
     }
     let mut scratch = vec![0.0; l];
     for t in (0..n - 1).rev() {
         for y in 0..l {
             for (q, s) in scratch.iter_mut().enumerate() {
-                *s = model.transition(y, q) + emissions[t + 1][q] + beta[t + 1][q];
+                *s = view.transition(y, q) + emissions[t + 1][q] + beta[t + 1][q];
             }
             beta[t][y] = log_sum_exp(&scratch);
         }
@@ -96,10 +98,11 @@ pub struct Marginals {
 }
 
 /// Computes node and edge marginals via forward-backward.
-pub fn marginals(model: &CrfModel, features: &[Vec<FeatId>]) -> Marginals {
+pub fn marginals<S: FeatureSeq + ?Sized>(model: &CrfModel, features: &S) -> Marginals {
+    let view = model.view();
     let fwd = forward(model, features);
     let beta = backward(model, &fwd.emissions);
-    let n = features.len();
+    let n = features.n_positions();
     let l = model.n_labels;
     let mut node = vec![vec![0.0; l]; n];
     for t in 0..n {
@@ -112,7 +115,7 @@ pub fn marginals(model: &CrfModel, features: &[Vec<FeatId>]) -> Marginals {
         for p in 0..l {
             for q in 0..l {
                 let s =
-                    fwd.alpha[t - 1][p] + model.transition(p, q) + fwd.emissions[t][q] + beta[t][q]
+                    fwd.alpha[t - 1][p] + view.transition(p, q) + fwd.emissions[t][q] + beta[t][q]
                         - fwd.log_z;
                 edge[t - 1][p][q] = s.exp();
             }
@@ -125,9 +128,170 @@ pub fn marginals(model: &CrfModel, features: &[Vec<FeatId>]) -> Marginals {
     }
 }
 
+/// Reusable forward-backward workspace: every matrix the nested
+/// [`marginals`] allocates per call, flattened and retained.
+///
+/// Layout (for a sequence of `n` positions and `l` labels):
+/// `node[t*l + y]`, `edge[(t-1)*l*l + p*l + q]`, row-major, valid only
+/// for the window written by the latest [`marginals_into`] call.
+/// Buffers grow monotonically and are never shrunk; stale bytes beyond
+/// the current window are garbage by design — callers must index only
+/// within the window of the sequence they just processed.
+#[derive(Debug, Clone, Default)]
+pub struct MargScratch {
+    emissions: Vec<f64>,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    tmp: Vec<f64>,
+    /// `P(y_t = y | x)` at `[t*l + y]`.
+    pub node: Vec<f64>,
+    /// `P(y_{t-1} = p, y_t = q | x)` at `[(t-1)*l*l + p*l + q]`.
+    pub edge: Vec<f64>,
+    /// Log-partition function of the latest sequence.
+    pub log_z: f64,
+}
+
+/// Grows `v` to at least `n` elements (never shrinks).
+fn ensure(v: &mut Vec<f64>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
+/// Forward pass into caller-provided buffers, returning `log Z`. The
+/// flat-layout half of [`marginals_into`], exposed separately so a
+/// line search can compute objective *values* (which need only `log Z`)
+/// while caching `em`/`alpha` for a later [`MargScratch::finish`] at
+/// the accepted point. `em` and `alpha` must hold at least `n·l`
+/// elements, `tmp` at least `l`; arithmetic is bitwise-identical to
+/// the forward section of the nested [`forward`].
+pub fn forward_into<S: FeatureSeq + ?Sized>(
+    view: ParamsView<'_>,
+    features: &S,
+    em: &mut [f64],
+    alpha: &mut [f64],
+    tmp: &mut [f64],
+) -> f64 {
+    let n = features.n_positions();
+    let l = view.n_labels;
+    if n == 0 {
+        return 0.0;
+    }
+    let em = &mut em[..n * l];
+    for t in 0..n {
+        view.emission_scores(features.feats(t), &mut em[t * l..(t + 1) * l]);
+    }
+    let alpha = &mut alpha[..n * l];
+    let tmp = &mut tmp[..l];
+    for y in 0..l {
+        alpha[y] = view.start(y) + em[y];
+    }
+    for t in 1..n {
+        for y in 0..l {
+            for (p, s) in tmp.iter_mut().enumerate() {
+                *s = alpha[(t - 1) * l + p] + view.transition(p, y);
+            }
+            alpha[t * l + y] = log_sum_exp(tmp) + em[t * l + y];
+        }
+    }
+    for (y, s) in tmp.iter_mut().enumerate() {
+        *s = alpha[(n - 1) * l + y] + view.end(y);
+    }
+    log_sum_exp(tmp)
+}
+
+impl MargScratch {
+    /// Backward pass + node/edge marginals for a sequence of `n`
+    /// positions whose forward quantities (`em`, `alpha`, `log_z`)
+    /// were already computed by [`forward_into`] — against the same
+    /// `view`, or the marginals are garbage. Fills `node`/`edge` and
+    /// sets `log_z`; bitwise-identical to the backward/marginal
+    /// section of [`marginals_into`].
+    pub fn finish(
+        &mut self,
+        view: ParamsView<'_>,
+        n: usize,
+        em: &[f64],
+        alpha: &[f64],
+        log_z: f64,
+    ) {
+        let l = view.n_labels;
+        ensure(&mut self.beta, n * l);
+        ensure(&mut self.tmp, l);
+        ensure(&mut self.node, n * l);
+        ensure(&mut self.edge, n.saturating_sub(1) * l * l);
+        self.log_z = log_z;
+        if n == 0 {
+            return;
+        }
+        let em = &em[..n * l];
+        let alpha = &alpha[..n * l];
+        let tmp = &mut self.tmp[..l];
+        let beta = &mut self.beta[..n * l];
+        for y in 0..l {
+            beta[(n - 1) * l + y] = view.end(y);
+        }
+        for t in (0..n - 1).rev() {
+            for y in 0..l {
+                for (q, s) in tmp.iter_mut().enumerate() {
+                    *s = view.transition(y, q) + em[(t + 1) * l + q] + beta[(t + 1) * l + q];
+                }
+                beta[t * l + y] = log_sum_exp(tmp);
+            }
+        }
+
+        let node = &mut self.node[..n * l];
+        for t in 0..n {
+            for y in 0..l {
+                node[t * l + y] = (alpha[t * l + y] + beta[t * l + y] - log_z).exp();
+            }
+        }
+        let edge = &mut self.edge[..n.saturating_sub(1) * l * l];
+        for t in 1..n {
+            for p in 0..l {
+                for q in 0..l {
+                    let s = alpha[(t - 1) * l + p]
+                        + view.transition(p, q)
+                        + em[t * l + q]
+                        + beta[t * l + q]
+                        - log_z;
+                    edge[(t - 1) * l * l + p * l + q] = s.exp();
+                }
+            }
+        }
+    }
+}
+
+/// Forward-backward into a reusable [`MargScratch`] — the allocation-free
+/// twin of [`marginals`], operating on any feature layout and a borrowed
+/// parameter view. Bitwise-identical arithmetic: same loop orders, same
+/// `log_sum_exp` reductions. Composed from [`forward_into`] +
+/// [`MargScratch::finish`], which callers may also drive separately to
+/// defer the backward/marginal work.
+pub fn marginals_into<S: FeatureSeq + ?Sized>(
+    view: ParamsView<'_>,
+    features: &S,
+    scratch: &mut MargScratch,
+) {
+    let n = features.n_positions();
+    let l = view.n_labels;
+    ensure(&mut scratch.emissions, n * l);
+    ensure(&mut scratch.alpha, n * l);
+    ensure(&mut scratch.tmp, l);
+    // Move the forward buffers out so `finish` can borrow them
+    // immutably alongside `&mut self` (they swap back below).
+    let mut em = std::mem::take(&mut scratch.emissions);
+    let mut alpha = std::mem::take(&mut scratch.alpha);
+    let log_z = forward_into(view, features, &mut em, &mut alpha, &mut scratch.tmp);
+    scratch.finish(view, n, &em, &alpha, log_z);
+    scratch.emissions = em;
+    scratch.alpha = alpha;
+}
+
 /// Viterbi decoding: most probable label sequence.
-pub fn viterbi(model: &CrfModel, features: &[Vec<FeatId>]) -> Vec<LabelId> {
-    let n = features.len();
+pub fn viterbi<S: FeatureSeq + ?Sized>(model: &CrfModel, features: &S) -> Vec<LabelId> {
+    let view = model.view();
+    let n = features.n_positions();
     let l = model.n_labels;
     if n == 0 {
         return Vec::new();
@@ -135,17 +299,17 @@ pub fn viterbi(model: &CrfModel, features: &[Vec<FeatId>]) -> Vec<LabelId> {
     let mut emission = vec![0.0; l];
     let mut delta = vec![vec![f64::NEG_INFINITY; l]; n];
     let mut back = vec![vec![0usize; l]; n];
-    model.emission_scores(&features[0], &mut emission);
+    view.emission_scores(features.feats(0), &mut emission);
     for y in 0..l {
-        delta[0][y] = model.start(y) + emission[y];
+        delta[0][y] = view.start(y) + emission[y];
     }
     for t in 1..n {
-        model.emission_scores(&features[t], &mut emission);
+        view.emission_scores(features.feats(t), &mut emission);
         for y in 0..l {
             let mut best = f64::NEG_INFINITY;
             let mut arg = 0;
             for p in 0..l {
-                let s = delta[t - 1][p] + model.transition(p, y);
+                let s = delta[t - 1][p] + view.transition(p, y);
                 if s > best {
                     best = s;
                     arg = p;
@@ -158,7 +322,7 @@ pub fn viterbi(model: &CrfModel, features: &[Vec<FeatId>]) -> Vec<LabelId> {
     let mut last = 0;
     let mut best = f64::NEG_INFINITY;
     for y in 0..l {
-        let s = delta[n - 1][y] + model.end(y);
+        let s = delta[n - 1][y] + view.end(y);
         if s > best {
             best = s;
             last = y;
@@ -176,6 +340,7 @@ pub fn viterbi(model: &CrfModel, features: &[Vec<FeatId>]) -> Vec<LabelId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::{CsrInstances, FeatId, Instance};
 
     /// Model with 2 labels / 2 features and hand-set weights.
     fn toy_model() -> CrfModel {
@@ -243,6 +408,52 @@ mod tests {
     }
 
     #[test]
+    fn marginals_into_is_bitwise_identical_to_nested() {
+        let m = toy_model();
+        let instances = vec![
+            Instance {
+                features: vec![vec![0], vec![1], vec![0, 1], vec![]],
+                labels: vec![0, 1, 0, 1],
+            },
+            Instance {
+                features: vec![vec![1]],
+                labels: vec![1],
+            },
+        ];
+        let csr = CsrInstances::pack(&instances);
+        let mut scratch = MargScratch::default();
+        for (s, inst) in instances.iter().enumerate() {
+            let nested = marginals(&m, &inst.features);
+            // Reuse the same scratch across sequences of different
+            // lengths — exactly the training access pattern.
+            marginals_into(m.view(), &csr.seq(s), &mut scratch);
+            assert_eq!(nested.log_z.to_bits(), scratch.log_z.to_bits());
+            let l = m.n_labels;
+            for t in 0..inst.len() {
+                for y in 0..l {
+                    assert_eq!(
+                        nested.node[t][y].to_bits(),
+                        scratch.node[t * l + y].to_bits(),
+                        "node[{t}][{y}] of seq {s}"
+                    );
+                }
+            }
+            for t in 1..inst.len() {
+                for p in 0..l {
+                    for q in 0..l {
+                        assert_eq!(
+                            nested.edge[t - 1][p][q].to_bits(),
+                            scratch.edge[(t - 1) * l * l + p * l + q].to_bits(),
+                            "edge[{}][{p}][{q}] of seq {s}",
+                            t - 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn viterbi_matches_brute_force_argmax() {
         let m = toy_model();
         let feats = vec![vec![0], vec![1], vec![0]];
@@ -265,10 +476,13 @@ mod tests {
     #[test]
     fn empty_sequence_inference() {
         let m = toy_model();
-        assert!(viterbi(&m, &[]).is_empty());
-        assert_eq!(forward(&m, &[]).log_z, 0.0);
-        let marg = marginals(&m, &[]);
+        assert!(viterbi(&m, &[] as &[Vec<FeatId>]).is_empty());
+        assert_eq!(forward(&m, &[] as &[Vec<FeatId>]).log_z, 0.0);
+        let marg = marginals(&m, &[] as &[Vec<FeatId>]);
         assert!(marg.node.is_empty() && marg.edge.is_empty());
+        let mut scratch = MargScratch::default();
+        marginals_into(m.view(), &[] as &[Vec<FeatId>], &mut scratch);
+        assert_eq!(scratch.log_z, 0.0);
     }
 
     #[test]

@@ -1,13 +1,45 @@
 //! Limited-memory BFGS minimizer with backtracking line search.
 //!
-//! Generic over the objective: any `FnMut(&[f64], &mut [f64]) -> f64`
-//! that fills the gradient and returns the value. Used directly for
-//! L2-regularized CRF training and as the inner engine of
+//! Generic over the objective via [`Objective`] (any
+//! `FnMut(&[f64], &mut [f64]) -> f64` also qualifies). Used directly
+//! for L2-regularized CRF training and as the inner engine of
 //! [`crate::owlqn`] for L1.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use crate::numeric::{axpy, dot, norm2};
+
+/// A smooth objective whose value and gradient may be requested
+/// separately, so the backtracking line search can skip gradient work
+/// on rejected trial points entirely — the Armijo test consumes only
+/// values, and the gradients of failed trials were always discarded.
+///
+/// The optimizers uphold one calling convention: [`Objective::grad`]
+/// is only ever invoked with the `x` passed to the **most recent**
+/// [`Objective::value`] call. Implementations may therefore cache
+/// per-`x` intermediates (e.g. forward-pass quantities) in `value` and
+/// finish them in `grad`.
+pub trait Objective {
+    /// Objective value at `x`.
+    fn value(&mut self, x: &[f64]) -> f64;
+    /// Gradient at `x` (always the argument of the latest `value`
+    /// call), written into `grad`.
+    fn grad(&mut self, x: &[f64], grad: &mut [f64]);
+}
+
+/// Any value-and-gradient closure is an [`Objective`]; `value` runs
+/// the closure with a discarded gradient buffer. Deterministic
+/// closures (all of ours) return identical values either way.
+impl<F: FnMut(&[f64], &mut [f64]) -> f64> Objective for F {
+    fn value(&mut self, x: &[f64]) -> f64 {
+        let mut g = vec![0.0; x.len()];
+        self(x, &mut g)
+    }
+    fn grad(&mut self, x: &[f64], grad: &mut [f64]) {
+        self(x, grad);
+    }
+}
 
 /// L-BFGS configuration.
 #[derive(Debug, Clone)]
@@ -47,17 +79,18 @@ pub struct LbfgsResult {
     pub iterations: usize,
     /// Whether the gradient-norm criterion was met.
     pub converged: bool,
+    /// Wall time spent inside backtracking line searches, including
+    /// the objective evaluations they perform.
+    pub line_search_ns: u64,
 }
 
 /// Minimizes `f` starting from `x0`.
-pub fn minimize<F>(mut f: F, x0: Vec<f64>, cfg: &LbfgsConfig) -> LbfgsResult
-where
-    F: FnMut(&[f64], &mut [f64]) -> f64,
-{
+pub fn minimize<F: Objective>(mut f: F, x0: Vec<f64>, cfg: &LbfgsConfig) -> LbfgsResult {
     let n = x0.len();
     let mut x = x0;
     let mut g = vec![0.0; n];
-    let mut value = f(&x, &mut g);
+    let mut value = f.value(&x);
+    f.grad(&x, &mut g);
 
     let mut s_history: VecDeque<Vec<f64>> = VecDeque::new();
     let mut y_history: VecDeque<Vec<f64>> = VecDeque::new();
@@ -66,6 +99,11 @@ where
     let mut direction = vec![0.0; n];
     let mut x_new = vec![0.0; n];
     let mut g_new = vec![0.0; n];
+    // Spare curvature-pair buffers: filled each iteration, swapped into
+    // the history on acceptance, recycled from evicted entries.
+    let mut spare_s = vec![0.0; n];
+    let mut spare_y = vec![0.0; n];
+    let mut ls_ns: u64 = 0;
 
     for iter in 0..cfg.max_iters {
         let gnorm = norm2(&g);
@@ -79,6 +117,7 @@ where
                 value,
                 iterations: iter,
                 converged: true,
+                line_search_ns: ls_ns,
             };
         }
 
@@ -99,50 +138,67 @@ where
             dg = -gnorm * gnorm;
         }
 
-        // Backtracking line search (Armijo).
+        // Backtracking line search (Armijo). Trial points are
+        // evaluated value-only; the gradient is completed once, at the
+        // accepted point.
+        let ls_start = Instant::now();
         let mut step = if iter == 0 { 1.0 / gnorm.max(1.0) } else { 1.0 };
         let mut success = false;
+        let mut accepted = value;
         for _ in 0..cfg.max_linesearch {
             x_new.copy_from_slice(&x);
             axpy(step, &direction, &mut x_new);
-            let v_new = f(&x_new, &mut g_new);
+            let v_new = f.value(&x_new);
             if v_new <= value + cfg.armijo * step * dg {
+                accepted = v_new;
                 success = true;
                 break;
             }
             step *= 0.5;
         }
+        if success {
+            f.grad(&x_new, &mut g_new);
+        }
+        ls_ns += ls_start.elapsed().as_nanos() as u64;
         if !success {
             return LbfgsResult {
                 x,
                 value,
                 iterations: iter,
                 converged: false,
+                line_search_ns: ls_ns,
             };
         }
 
         // Update history.
-        let mut s = vec![0.0; n];
-        let mut yv = vec![0.0; n];
         for i in 0..n {
-            s[i] = x_new[i] - x[i];
-            yv[i] = g_new[i] - g[i];
+            spare_s[i] = x_new[i] - x[i];
+            spare_y[i] = g_new[i] - g[i];
         }
-        let ys = dot(&yv, &s);
+        let ys = dot(&spare_y, &spare_s);
         if ys > 1e-10 {
-            if s_history.len() == cfg.history {
-                s_history.pop_front();
-                y_history.pop_front();
+            let (next_s, next_y) = if s_history.len() == cfg.history {
+                // Recycle the evicted pair's allocations as the next
+                // spares (eviction happens only when a pair is pushed,
+                // exactly as before).
                 rho_history.pop_front();
-            }
+                (
+                    s_history.pop_front().expect("history in sync"),
+                    y_history.pop_front().expect("history in sync"),
+                )
+            } else {
+                (vec![0.0; n], vec![0.0; n])
+            };
             rho_history.push_back(1.0 / ys);
-            s_history.push_back(s);
-            y_history.push_back(yv);
+            s_history.push_back(std::mem::replace(&mut spare_s, next_s));
+            y_history.push_back(std::mem::replace(&mut spare_y, next_y));
         }
 
         x.copy_from_slice(&x_new);
         g.copy_from_slice(&g_new);
-        value = f(&x, &mut g); // refresh gradient at accepted point
+        // The objective is deterministic, so the accepted line-search
+        // evaluation already holds f(x) and ∇f(x) — no refresh call.
+        value = accepted;
     }
 
     LbfgsResult {
@@ -150,6 +206,7 @@ where
         value,
         iterations: cfg.max_iters,
         converged: false,
+        line_search_ns: ls_ns,
     }
 }
 

@@ -42,7 +42,11 @@ pub mod numeric;
 pub mod owlqn;
 pub mod train;
 
-pub use data::Instance;
-pub use features::{FeatureExtractor, FeatureIndex, FeatureTemplates};
-pub use model::CrfModel;
-pub use train::{train, TrainConfig};
+pub use data::{CsrInstances, CsrSeq, FeatureSeq, Instance};
+pub use features::{ExtractScratch, FeatureExtractor, FeatureIndex, FeatureTemplates};
+pub use inference::{marginals_into, MargScratch};
+pub use model::{CrfModel, ParamsView};
+pub use train::{
+    dense_grad_enabled, train, train_with_stats, with_dense_grad, TrainConfig, TrainEngine,
+    TrainStats,
+};

@@ -1,6 +1,6 @@
 //! CRF parameter storage and scoring.
 
-use crate::data::{FeatId, LabelId};
+use crate::data::{FeatId, FeatureSeq, LabelId};
 use crate::inference;
 
 /// A trained linear-chain CRF.
@@ -22,19 +22,32 @@ pub struct CrfModel {
     pub params: Vec<f64>,
 }
 
-impl CrfModel {
-    /// Zero-initialized model.
-    pub fn new(n_features: usize, n_labels: usize) -> Self {
-        CrfModel {
+/// A borrowed view of CRF parameters: the same scoring operations as
+/// [`CrfModel`], but over a parameter slice the caller owns.
+///
+/// This is what lets the optimizer's objective evaluate gradients
+/// directly on its iterate `x` — no per-call `to_vec` into a fresh
+/// model. `CrfModel` methods delegate here via [`CrfModel::view`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParamsView<'a> {
+    /// Number of labels.
+    pub n_labels: usize,
+    /// Number of (binary) observation features.
+    pub n_features: usize,
+    /// Flat parameter slice (same layout as [`CrfModel::params`]).
+    pub params: &'a [f64],
+}
+
+impl<'a> ParamsView<'a> {
+    /// Wraps a raw parameter slice. `params.len()` must equal
+    /// [`CrfModel::param_len`] for the given dimensions.
+    pub fn new(params: &'a [f64], n_features: usize, n_labels: usize) -> Self {
+        debug_assert_eq!(params.len(), CrfModel::param_len(n_features, n_labels));
+        ParamsView {
             n_labels,
             n_features,
-            params: vec![0.0; Self::param_len(n_features, n_labels)],
+            params,
         }
-    }
-
-    /// Total parameter count for the given dimensions.
-    pub fn param_len(n_features: usize, n_labels: usize) -> usize {
-        n_features * n_labels + n_labels * n_labels + 2 * n_labels
     }
 
     /// Weight of `(feature, label)`.
@@ -61,7 +74,7 @@ impl CrfModel {
         self.params[self.end_offset() + label]
     }
 
-    /// Offset of the transition block in [`CrfModel::params`].
+    /// Offset of the transition block.
     #[inline]
     pub fn trans_offset(&self) -> usize {
         self.n_features * self.n_labels
@@ -91,15 +104,15 @@ impl CrfModel {
         }
     }
 
-    /// Unnormalized log-score of a full labelling.
-    pub fn sequence_score(&self, features: &[Vec<FeatId>], labels: &[LabelId]) -> f64 {
-        debug_assert_eq!(features.len(), labels.len());
+    /// Unnormalized log-score of a full labelling (any feature layout).
+    pub fn sequence_score<S: FeatureSeq + ?Sized>(&self, features: &S, labels: &[LabelId]) -> f64 {
+        debug_assert_eq!(features.n_positions(), labels.len());
         if labels.is_empty() {
             return 0.0;
         }
         let mut score = self.start(labels[0]) + self.end(labels[labels.len() - 1]);
-        for (t, (feats, &l)) in features.iter().zip(labels).enumerate() {
-            for &f in feats {
+        for (t, &l) in labels.iter().enumerate() {
+            for &f in features.feats(t) {
                 score += self.unigram(f, l);
             }
             if t > 0 {
@@ -107,6 +120,84 @@ impl CrfModel {
             }
         }
         score
+    }
+}
+
+impl CrfModel {
+    /// Zero-initialized model.
+    pub fn new(n_features: usize, n_labels: usize) -> Self {
+        CrfModel {
+            n_labels,
+            n_features,
+            params: vec![0.0; Self::param_len(n_features, n_labels)],
+        }
+    }
+
+    /// Total parameter count for the given dimensions.
+    pub fn param_len(n_features: usize, n_labels: usize) -> usize {
+        n_features * n_labels + n_labels * n_labels + 2 * n_labels
+    }
+
+    /// Borrowed scoring view over this model's parameters.
+    #[inline]
+    pub fn view(&self) -> ParamsView<'_> {
+        ParamsView {
+            n_labels: self.n_labels,
+            n_features: self.n_features,
+            params: &self.params,
+        }
+    }
+
+    /// Weight of `(feature, label)`.
+    #[inline]
+    pub fn unigram(&self, feat: FeatId, label: LabelId) -> f64 {
+        self.view().unigram(feat, label)
+    }
+
+    /// Transition weight `prev → cur`.
+    #[inline]
+    pub fn transition(&self, prev: LabelId, cur: LabelId) -> f64 {
+        self.view().transition(prev, cur)
+    }
+
+    /// Start weight for `label` (virtual BOS transition).
+    #[inline]
+    pub fn start(&self, label: LabelId) -> f64 {
+        self.view().start(label)
+    }
+
+    /// End weight for `label` (virtual EOS transition).
+    #[inline]
+    pub fn end(&self, label: LabelId) -> f64 {
+        self.view().end(label)
+    }
+
+    /// Offset of the transition block in [`CrfModel::params`].
+    #[inline]
+    pub fn trans_offset(&self) -> usize {
+        self.view().trans_offset()
+    }
+
+    /// Offset of the start block.
+    #[inline]
+    pub fn start_offset(&self) -> usize {
+        self.view().start_offset()
+    }
+
+    /// Offset of the end block.
+    #[inline]
+    pub fn end_offset(&self) -> usize {
+        self.view().end_offset()
+    }
+
+    /// Emission scores for one position: `score[l] = Σ_f w[f, l]`.
+    pub fn emission_scores(&self, feats: &[FeatId], out: &mut [f64]) {
+        self.view().emission_scores(feats, out)
+    }
+
+    /// Unnormalized log-score of a full labelling.
+    pub fn sequence_score(&self, features: &[Vec<FeatId>], labels: &[LabelId]) -> f64 {
+        self.view().sequence_score(features, labels)
     }
 
     /// Most likely labelling (Viterbi decode).
@@ -129,6 +220,7 @@ impl CrfModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::{CsrInstances, Instance};
 
     #[test]
     fn layout_offsets_are_disjoint_and_total() {
@@ -154,6 +246,22 @@ mod tests {
         let feats = vec![vec![0u32], vec![]];
         let score = m.sequence_score(&feats, &[1, 0]);
         assert!((score - (1.0 + 0.5 + 0.25 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn view_scores_match_model_on_csr() {
+        let mut m = CrfModel::new(2, 2);
+        for (i, p) in m.params.iter_mut().enumerate() {
+            *p = (i as f64 + 1.0) * 0.17;
+        }
+        let inst = Instance {
+            features: vec![vec![0u32, 1], vec![1]],
+            labels: vec![1, 0],
+        };
+        let csr = CsrInstances::pack(std::slice::from_ref(&inst));
+        let nested = m.sequence_score(&inst.features, &inst.labels);
+        let packed = m.view().sequence_score(&csr.seq(0), &inst.labels);
+        assert_eq!(nested.to_bits(), packed.to_bits());
     }
 
     #[test]

@@ -6,33 +6,33 @@
 //! log-likelihood plus the L2 term.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
-use crate::lbfgs::{two_loop, LbfgsConfig, LbfgsResult};
+use crate::lbfgs::{two_loop, LbfgsConfig, LbfgsResult, Objective};
 use crate::numeric::{dot, norm1, norm2};
 
 /// Minimizes `f(x) + c * ||x||_1`.
 ///
-/// `f` must fill the gradient of the *smooth* part only. Coordinates in
-/// `0..l1_start` are exempt from the L1 penalty when `l1_start > 0` is
-/// given — useful to keep transition weights dense, mirroring common
-/// CRF practice; pass `0` to penalize everything.
-pub fn minimize_l1<F>(
+/// `f` is the *smooth* part only (value and gradient, see
+/// [`Objective`]). Coordinates in `0..l1_start` are exempt from the L1
+/// penalty when `l1_start > 0` is given — useful to keep transition
+/// weights dense, mirroring common CRF practice; pass `0` to penalize
+/// everything.
+pub fn minimize_l1<F: Objective>(
     mut f: F,
     x0: Vec<f64>,
     c: f64,
     l1_from: usize,
     cfg: &LbfgsConfig,
-) -> LbfgsResult
-where
-    F: FnMut(&[f64], &mut [f64]) -> f64,
-{
+) -> LbfgsResult {
     assert!(c >= 0.0, "l1 coefficient must be nonnegative");
     let n = x0.len();
     let penalized = |i: usize| i >= l1_from;
 
     let mut x = x0;
     let mut g = vec![0.0; n];
-    let mut smooth = f(&x, &mut g);
+    let mut smooth = f.value(&x);
+    f.grad(&x, &mut g);
     let mut value = smooth + c * l1_mass(&x, l1_from);
 
     let mut s_history: VecDeque<Vec<f64>> = VecDeque::new();
@@ -43,6 +43,11 @@ where
     let mut dir = vec![0.0; n];
     let mut x_new = vec![0.0; n];
     let mut g_new = vec![0.0; n];
+    let mut orthant = vec![0.0; n];
+    // Spare curvature-pair buffers, recycled from evicted history.
+    let mut spare_s = vec![0.0; n];
+    let mut spare_y = vec![0.0; n];
+    let mut ls_ns: u64 = 0;
 
     for iter in 0..cfg.max_iters {
         // Pseudo-gradient of f + c|x|.
@@ -75,6 +80,7 @@ where
                 value,
                 iterations: iter,
                 converged: true,
+                line_search_ns: ls_ns,
             };
         }
 
@@ -104,18 +110,20 @@ where
 
         // Orthant for the projected line search: sign of x, or of -pg
         // where x is zero.
-        let orthant: Vec<f64> = (0..n)
-            .map(|i| {
-                if !penalized(i) {
-                    0.0 // unconstrained coordinate
-                } else if x[i] != 0.0 {
-                    x[i].signum()
-                } else {
-                    -pg[i].signum()
-                }
-            })
-            .collect();
+        for i in 0..n {
+            orthant[i] = if !penalized(i) {
+                0.0 // unconstrained coordinate
+            } else if x[i] != 0.0 {
+                x[i].signum()
+            } else {
+                -pg[i].signum()
+            };
+        }
 
+        // Projected backtracking line search: trial points are
+        // evaluated value-only; the gradient is completed once, at
+        // the accepted point.
+        let ls_start = Instant::now();
         let mut step = if iter == 0 {
             1.0 / pgnorm.max(1.0)
         } else {
@@ -133,7 +141,7 @@ where
                     xi
                 };
             }
-            new_smooth = f(&x_new, &mut g_new);
+            new_smooth = f.value(&x_new);
             new_value = new_smooth + c * l1_mass(&x_new, l1_from);
             if new_value <= value + cfg.armijo * step * dg {
                 success = true;
@@ -141,31 +149,38 @@ where
             }
             step *= 0.5;
         }
+        if success {
+            f.grad(&x_new, &mut g_new);
+        }
+        ls_ns += ls_start.elapsed().as_nanos() as u64;
         if !success {
             return LbfgsResult {
                 x,
                 value,
                 iterations: iter,
                 converged: false,
+                line_search_ns: ls_ns,
             };
         }
 
-        let mut s = vec![0.0; n];
-        let mut yv = vec![0.0; n];
         for i in 0..n {
-            s[i] = x_new[i] - x[i];
-            yv[i] = g_new[i] - g[i];
+            spare_s[i] = x_new[i] - x[i];
+            spare_y[i] = g_new[i] - g[i];
         }
-        let ys = dot(&yv, &s);
+        let ys = dot(&spare_y, &spare_s);
         if ys > 1e-10 {
-            if s_history.len() == cfg.history {
-                s_history.pop_front();
-                y_history.pop_front();
+            let (next_s, next_y) = if s_history.len() == cfg.history {
                 rho_history.pop_front();
-            }
+                (
+                    s_history.pop_front().expect("history in sync"),
+                    y_history.pop_front().expect("history in sync"),
+                )
+            } else {
+                (vec![0.0; n], vec![0.0; n])
+            };
             rho_history.push_back(1.0 / ys);
-            s_history.push_back(s);
-            y_history.push_back(yv);
+            s_history.push_back(std::mem::replace(&mut spare_s, next_s));
+            y_history.push_back(std::mem::replace(&mut spare_y, next_y));
         }
 
         x.copy_from_slice(&x_new);
@@ -179,6 +194,7 @@ where
         value,
         iterations: cfg.max_iters,
         converged: false,
+        line_search_ns: ls_ns,
     }
 }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pae_crf::data::Instance;
+use pae_crf::data::{CsrInstances, FeatureSeq, Instance};
 use pae_crf::inference::{marginals, viterbi};
 use pae_crf::CrfModel;
 
@@ -12,6 +12,20 @@ fn model(n_features: usize, n_labels: usize, params: Vec<f64>) -> CrfModel {
     assert_eq!(m.params.len(), params.len());
     m.params = params;
     m
+}
+
+/// Strategy: one random nested-layout instance (empty feature lists
+/// and single-position sequences included).
+fn instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec(proptest::collection::vec(0u32..50, 0..6), 1..8).prop_flat_map(
+        |features| {
+            let n = features.len();
+            proptest::collection::vec(0usize..5, n).prop_map(move |labels| Instance {
+                features: features.clone(),
+                labels,
+            })
+        },
+    )
 }
 
 /// Strategy: a small random model + a compatible feature sequence.
@@ -75,6 +89,33 @@ proptest! {
             for p in 0..l {
                 let s: f64 = (0..l).map(|q| marg.edge[t - 1][p][q]).sum();
                 prop_assert!((s - marg.node[t - 1][p]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// The packed-training-set invariant: flattening nested instances
+    /// into the CSR arena and expanding back reproduces the nested
+    /// layout exactly, and every per-position view (labels, feature
+    /// slices, the [`FeatureSeq`] accessor inference walks) agrees
+    /// with the nested accessors.
+    #[test]
+    fn csr_pack_round_trips_nested_layout(
+        insts in proptest::collection::vec(instance(), 0..6),
+    ) {
+        let packed = CsrInstances::pack(&insts);
+        prop_assert_eq!(packed.len(), insts.len());
+        prop_assert_eq!(
+            packed.n_positions(),
+            insts.iter().map(Instance::len).sum::<usize>()
+        );
+        prop_assert_eq!(packed.to_instances(), insts.clone());
+        for (s, inst) in insts.iter().enumerate() {
+            let seq = packed.seq(s);
+            prop_assert_eq!(seq.len(), inst.len());
+            prop_assert_eq!(seq.labels, inst.labels.as_slice());
+            for t in 0..inst.len() {
+                prop_assert_eq!(seq.feats(t), inst.features[t].as_slice());
+                prop_assert_eq!(FeatureSeq::feats(&seq, t), inst.features[t].as_slice());
             }
         }
     }

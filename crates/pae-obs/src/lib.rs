@@ -44,7 +44,9 @@ pub use metrics::{
     MetricKey, MetricValue, HISTOGRAM_BUCKETS,
 };
 pub use record::{FieldValue, RecordKind, TraceRecord};
-pub use span::{current_span, event, span, span_fields, warn, with_parent, SpanGuard};
+pub use span::{
+    current_span, event, span, span_complete, span_fields, warn, with_parent, SpanGuard,
+};
 
 /// Clears all collected records and registered metrics (the enabled
 /// flag and ring capacity are untouched).

@@ -114,6 +114,31 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Records an already-measured interval as a complete span (a
+/// `span_start`/`span_end` pair under the current span, with the given
+/// duration on the end record).
+///
+/// This is the aggregation hook for high-frequency sub-stages: code
+/// that runs thousands of times per enclosing stage (e.g. gradient
+/// evaluations inside an optimizer) accumulates its own wall time and
+/// emits **one** record pair, instead of flooding the bounded ring —
+/// a truncated trace would mark downstream summaries `incomplete`.
+pub fn span_complete(name: &'static str, dur: Duration, fields: Vec<(String, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span();
+    push(RecordKind::SpanStart, id, parent, name, fields);
+    push(
+        RecordKind::SpanEnd,
+        id,
+        parent,
+        name,
+        vec![("dur_ns".into(), FieldValue::U64(dur.as_nanos() as u64))],
+    );
+}
+
 /// Emits an info-level point event under the current span.
 pub fn event(name: &str, fields: Vec<(String, FieldValue)>) {
     emit(name, "info", fields);
@@ -189,6 +214,41 @@ mod tests {
             .filter(|r| r.kind == RecordKind::SpanEnd)
             .count();
         assert_eq!(ends, 1, "finish + drop emit exactly one span_end");
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn span_complete_emits_one_pair_with_explicit_duration() {
+        let _l = test_lock();
+        set_enabled(true);
+        clear();
+        {
+            let outer = span("stage");
+            span_complete(
+                "stage.sub",
+                Duration::from_nanos(1234),
+                vec![("calls".into(), 7u64.into())],
+            );
+            drop(outer);
+        }
+        let records = snapshot();
+        let start = records
+            .iter()
+            .find(|r| r.kind == RecordKind::SpanStart && r.name == "stage.sub")
+            .expect("synthetic span start");
+        let end = records
+            .iter()
+            .find(|r| r.kind == RecordKind::SpanEnd && r.name == "stage.sub")
+            .expect("synthetic span end");
+        let outer_id = records
+            .iter()
+            .find(|r| r.kind == RecordKind::SpanStart && r.name == "stage")
+            .unwrap()
+            .span;
+        assert_eq!(start.parent, outer_id, "nested under the current span");
+        assert_eq!(start.field("calls"), Some(&FieldValue::U64(7)));
+        assert_eq!(end.field("dur_ns"), Some(&FieldValue::U64(1234)));
         set_enabled(false);
         clear();
     }

@@ -1,0 +1,182 @@
+//! Gating Criterion results: compares two `BENCH_pipeline.json`
+//! documents (as written by the `pae-bench` bench targets) median by
+//! median, using the same perf tolerance and floor as the stage gates
+//! in [`crate::diff`].
+//!
+//! Medians rather than means: the stand-in criterion discards one
+//! warmup pass but a handful of samples still leaves the mean exposed
+//! to scheduler noise; the median is the stable statistic to gate on.
+
+use pae_obs::json::Json;
+
+use crate::diff::{DiffReport, Thresholds, Violation};
+
+/// One benchmark's summary from a `BENCH_pipeline.json` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Fastest sample (nanoseconds).
+    pub min_ns: u64,
+    /// Median sample (nanoseconds).
+    pub median_ns: u64,
+    /// Mean over all samples (nanoseconds).
+    pub mean_ns: u64,
+}
+
+/// Parses a `BENCH_pipeline.json` document into its result entries.
+pub fn parse_bench(doc: &str) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(doc)?;
+    let Some(Json::Arr(items)) = json.get("results") else {
+        return Err("document has no \"results\" array".into());
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, it) in items.iter().enumerate() {
+        let field = |k: &str| -> Result<u64, String> {
+            it.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("results[{i}]: missing or non-integer {k:?}"))
+        };
+        out.push(BenchEntry {
+            id: it
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("results[{i}]: missing \"id\""))?
+                .to_owned(),
+            samples: field("samples")?,
+            min_ns: field("min_ns")?,
+            median_ns: field("median_ns")?,
+            mean_ns: field("mean_ns")?,
+        });
+    }
+    Ok(out)
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}ms", ns as f64 / 1e6)
+}
+
+/// Gates `current` against `baseline` by median-per-id. A benchmark
+/// regresses when its median is slower than baseline by more than
+/// [`Thresholds::time_tolerance`] and both medians are above
+/// [`Thresholds::time_floor_ns`]. Ids present on only one side are
+/// reported but never flagged (bench sets may evolve).
+pub fn check_bench(baseline: &[BenchEntry], current: &[BenchEntry], t: &Thresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.id == b.id) else {
+            report
+                .lines
+                .push(format!("bench {:<44} missing from current run", b.id));
+            continue;
+        };
+        let pct = if b.median_ns == 0 {
+            "n/a".into()
+        } else {
+            format!(
+                "{:+.1}%",
+                (c.median_ns as f64 - b.median_ns as f64) / b.median_ns as f64 * 100.0
+            )
+        };
+        report.lines.push(format!(
+            "bench {:<44} median {:>10} -> {:>10}  ({pct})",
+            b.id,
+            fmt_ms(b.median_ns),
+            fmt_ms(c.median_ns),
+        ));
+        if b.median_ns >= t.time_floor_ns
+            && c.median_ns >= t.time_floor_ns
+            && c.median_ns as f64 > b.median_ns as f64 * (1.0 + t.time_tolerance)
+        {
+            report.violations.push(Violation {
+                kind: "perf",
+                what: format!(
+                    "bench {}: median {} -> {} exceeds +{:.0}% tolerance",
+                    b.id,
+                    fmt_ms(b.median_ns),
+                    fmt_ms(c.median_ns),
+                    t.time_tolerance * 100.0
+                ),
+            });
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            report.lines.push(format!(
+                "bench {:<44} (new)      -> median {:>10}",
+                c.id,
+                fmt_ms(c.median_ns)
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, median: u64) -> BenchEntry {
+        BenchEntry {
+            id: id.into(),
+            samples: 10,
+            min_ns: median.saturating_sub(5),
+            median_ns: median,
+            mean_ns: median + 5,
+        }
+    }
+
+    #[test]
+    fn parses_the_bench_document_schema() {
+        let doc = r#"{
+  "bench": "pipeline",
+  "git_rev": "abc",
+  "pae_jobs": 1,
+  "results": [
+    {"id": "seed/build", "samples": 20, "min_ns": 10, "median_ns": 12, "mean_ns": 13},
+    {"id": "boot/cycle", "samples": 10, "min_ns": 100, "median_ns": 120, "mean_ns": 130}
+  ]
+}"#;
+        let entries = parse_bench(doc).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "seed/build");
+        assert_eq!(entries[1].median_ns, 120);
+        assert!(parse_bench("{\"no\": \"results\"}").is_err());
+        assert!(parse_bench("{\"results\": [{\"id\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_is_flagged() {
+        let t = Thresholds {
+            time_tolerance: 0.5,
+            time_floor_ns: 1_000_000,
+            ..Thresholds::default()
+        };
+        let base = vec![entry("boot/cycle", 100_000_000)];
+        // +40%: within tolerance.
+        let ok = vec![entry("boot/cycle", 140_000_000)];
+        assert!(check_bench(&base, &ok, &t).passed());
+        // +60%: flagged.
+        let slow = vec![entry("boot/cycle", 160_000_000)];
+        let r = check_bench(&base, &slow, &t);
+        assert!(!r.passed());
+        assert_eq!(r.violations[0].kind, "perf");
+        assert!(r.violations[0].what.contains("boot/cycle"));
+        // Speedups never flag.
+        let fast = vec![entry("boot/cycle", 50_000_000)];
+        assert!(check_bench(&base, &fast, &t).passed());
+    }
+
+    #[test]
+    fn sub_floor_and_one_sided_ids_never_flag() {
+        let t = Thresholds::default(); // floor 10ms
+        let base = vec![entry("micro/tiny", 1_000), entry("gone/id", 50_000_000)];
+        let cur = vec![entry("micro/tiny", 900_000), entry("new/id", 50_000_000)];
+        let r = check_bench(&base, &cur, &t);
+        assert!(r.passed(), "{:?}", r.violations);
+        assert!(r.lines.iter().any(|l| l.contains("missing from current")));
+        assert!(r.lines.iter().any(|l| l.contains("(new)")));
+    }
+}

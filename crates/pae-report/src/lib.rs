@@ -18,6 +18,9 @@
 //! 3. [`ledger`] — helpers for writing summaries into
 //!    `results/ledger/` with stable file names, plus git-revision and
 //!    config-hash probes used to stamp [`summary::RunMeta`].
+//! 4. [`bench`] — parses the `BENCH_pipeline.json` documents written by
+//!    the `pae-bench` Criterion targets and gates median-per-benchmark
+//!    against the perf tolerance (`check --bench-baseline`).
 //!
 //! The `pae-report` binary exposes all of it as `summarize`, `diff`,
 //! and `check` subcommands (exit codes: 0 pass, 1 regression, 2 usage
@@ -25,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod diff;
 pub mod ledger;
 pub mod summary;

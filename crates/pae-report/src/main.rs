@@ -4,6 +4,7 @@
 //! pae-report summarize <trace.jsonl|summary.json> [--name N] [--out FILE] [--quality-only]
 //! pae-report diff  <baseline> <current> [threshold flags]
 //! pae-report check <current> --baseline <FILE> [threshold flags]
+//! pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
 //!
 //! threshold flags:
 //!   --time-tolerance F    allowed relative slowdown per stage (default 0.5)
@@ -21,6 +22,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use pae_obs::reader::Trace;
+use pae_report::bench;
 use pae_report::diff::{check, diff_summaries, Thresholds};
 use pae_report::ledger;
 use pae_report::summary::{RunMeta, RunSummary};
@@ -29,6 +31,7 @@ const USAGE: &str = "usage:
   pae-report summarize <trace.jsonl|summary.json> [--name N] [--out FILE] [--quality-only]
   pae-report diff  <baseline> <current> [threshold flags]
   pae-report check <current> --baseline <FILE> [threshold flags]
+  pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
 threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
                  --coverage-tol F    --drift-tol F";
 
@@ -161,6 +164,25 @@ fn cmd_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
 
 fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     let t = take_thresholds(&mut args)?;
+    let bench_baseline = take_flag_value(&mut args, "--bench-baseline")?;
+    if let Some(baseline) = bench_baseline {
+        // Benchmark-ledger mode: both sides are BENCH_pipeline.json
+        // documents, gated median-per-id with the perf tolerance.
+        let [current] = args.as_slice() else {
+            return Err("check takes exactly one current input file".into());
+        };
+        let read =
+            |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let b = bench::parse_bench(&read(&baseline)?).map_err(|e| format!("{baseline}: {e}"))?;
+        let c = bench::parse_bench(&read(current)?).map_err(|e| format!("{current}: {e}"))?;
+        let report = bench::check_bench(&b, &c, &t);
+        print!("{}", report.render());
+        return Ok(if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        });
+    }
     let baseline =
         take_flag_value(&mut args, "--baseline")?.ok_or("check requires --baseline <FILE>")?;
     let [current] = args.as_slice() else {

@@ -26,6 +26,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 thread_local! {
@@ -232,6 +233,66 @@ where
     parallel_map(&ranges, |_, range| map(&items[range.clone()]))
 }
 
+/// Slot-indexed scratch storage that outlives individual pool
+/// invocations.
+///
+/// Pool workers are *ephemeral* — [`parallel_map`] spawns scoped
+/// threads per call — so `thread_local!` buffers die with them. A
+/// `Scratch` instead keys reusable state by **work index** (typically
+/// the chunk index of a [`parallel_chunk_map`]-style reduction): slot
+/// `i` is claimed by whichever worker processes piece `i`, which is
+/// always exactly one worker per call. Buffers therefore persist
+/// across every invocation made through the owning value (e.g. all
+/// optimizer iterations of a training run) instead of being
+/// reallocated per call.
+///
+/// Ownership contract: the pool owns the allocation; the *user* of a
+/// slot owns its contents and must re-initialize whatever it reads —
+/// a slot retains the bytes the previous call left behind.
+///
+/// Each slot is an independent `Mutex`, so distinct work indices never
+/// contend; the lock only serializes hypothetical same-index reuse.
+pub struct Scratch<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> Scratch<T> {
+    /// Creates a pool of `n` empty slots. Slots are lazily populated
+    /// by [`Scratch::with`] on first use.
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with exclusive access to slot `slot`, creating its
+    /// value via `init` on first use. The value is retained (with
+    /// whatever contents `f` left in it) for the next call on the
+    /// same slot.
+    pub fn with<R>(&self, slot: usize, init: impl FnOnce() -> T, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        f(guard.get_or_insert_with(init))
+    }
+}
+
+impl<T> std::fmt::Debug for Scratch<T> {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Scratch")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
 /// Runs two closures concurrently (second on a pool thread when the
 /// pool width allows), returning both results.
 pub fn join<RA, RB, FA, FB>(fa: FA, fb: FB) -> (RA, RB)
@@ -328,6 +389,41 @@ mod tests {
             let many = with_jobs(width, reduce);
             assert_eq!(one.to_bits(), many.to_bits(), "width {width}");
         }
+    }
+
+    #[test]
+    fn scratch_slots_persist_across_pool_invocations() {
+        let inits = AtomicUsize::new(0);
+        let scratch: Scratch<Vec<u64>> = Scratch::new(4);
+        let chunks: Vec<usize> = (0..4).collect();
+        for round in 0..3u64 {
+            let sums = with_jobs(4, || {
+                parallel_map(&chunks, |_, &c| {
+                    scratch.with(
+                        c,
+                        || {
+                            inits.fetch_add(1, Ordering::Relaxed);
+                            vec![0; 8]
+                        },
+                        |buf| {
+                            buf[0] += round + c as u64;
+                            buf[0]
+                        },
+                    )
+                })
+            });
+            // Contents accumulate across rounds: slot c has seen
+            // rounds 0..=round, each adding (round + c).
+            for (c, &s) in sums.iter().enumerate() {
+                let expect: u64 = (0..=round).map(|r| r + c as u64).sum();
+                assert_eq!(s, expect, "slot {c} round {round}");
+            }
+        }
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            4,
+            "each slot initialized exactly once across all rounds"
+        );
     }
 
     #[test]

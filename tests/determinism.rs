@@ -95,6 +95,40 @@ fn obs_collection_does_not_change_results() {
     }
 }
 
+/// Captures the quality section of one traced CRF run at `jobs`.
+/// Callers must hold [`obs_lock`].
+fn quality_section(jobs: usize) -> String {
+    pae::obs::reset();
+    pae::obs::set_enabled(true);
+    // Our own outer span: `subtree` below keeps the summary immune
+    // to records any concurrently-running test may emit.
+    {
+        let _span = pae::obs::span("determinism.quality");
+        let _ = run_tagger_at(TaggerKind::Crf, jobs);
+    }
+    let trace = pae::obs::reader::Trace::from_current();
+    pae::obs::set_enabled(false);
+    pae::obs::reset();
+    let root_records = trace.spans_named("determinism.quality");
+    let root = root_records.first().expect("outer span recorded").span;
+    let summary = pae::report::summary::RunSummary::build(
+        pae::report::summary::RunMeta {
+            name: "determinism".into(),
+            git_rev: "test".into(),
+            config_hash: "test".into(),
+            pae_jobs: String::new(),
+            scale: "test".into(),
+        },
+        &trace.subtree(root),
+    );
+    assert_eq!(summary.runs.len(), 1, "exactly one bootstrap.run");
+    assert!(
+        !summary.runs[0].is_empty(),
+        "iteration series must not be empty"
+    );
+    summary.quality_json(0)
+}
+
 /// The ledger hard constraint: the quality section of a `RunSummary`
 /// (iteration series, drift, evals — everything except timings) is
 /// byte-identical across repeated runs AND across pool widths. This is
@@ -103,43 +137,48 @@ fn obs_collection_does_not_change_results() {
 #[test]
 fn run_summary_quality_is_byte_identical_across_thread_counts() {
     let _l = obs_lock();
-    let mut sections = Vec::new();
-    for jobs in [1usize, 1, 4, 4] {
-        pae::obs::reset();
-        pae::obs::set_enabled(true);
-        // Our own outer span: `subtree` below keeps the summary immune
-        // to records any concurrently-running test may emit.
-        {
-            let _span = pae::obs::span("determinism.quality");
-            let _ = run_tagger_at(TaggerKind::Crf, jobs);
-        }
-        let trace = pae::obs::reader::Trace::from_current();
-        pae::obs::set_enabled(false);
-        pae::obs::reset();
-        let root_records = trace.spans_named("determinism.quality");
-        let root = root_records.first().expect("outer span recorded").span;
-        let summary = pae::report::summary::RunSummary::build(
-            pae::report::summary::RunMeta {
-                name: "determinism".into(),
-                git_rev: "test".into(),
-                config_hash: "test".into(),
-                pae_jobs: String::new(),
-                scale: "test".into(),
-            },
-            &trace.subtree(root),
-        );
-        assert_eq!(summary.runs.len(), 1, "exactly one bootstrap.run");
-        assert!(
-            !summary.runs[0].is_empty(),
-            "iteration series must not be empty"
-        );
-        sections.push((jobs, summary.quality_json(0)));
-    }
+    let sections: Vec<(usize, String)> = [1usize, 1, 4, 4]
+        .into_iter()
+        .map(|jobs| (jobs, quality_section(jobs)))
+        .collect();
     let (_, reference) = &sections[0];
     for (jobs, q) in &sections[1..] {
         assert_eq!(
             q, reference,
             "PAE_JOBS={jobs}: quality section diverged from the first PAE_JOBS=1 run"
+        );
+    }
+}
+
+/// The sparse-gradient guarantee: the allocation-free sparse fold must
+/// be byte-identical to the legacy dense fold it replaced (kept behind
+/// [`pae::crf::with_dense_grad`] for one release) — at serial and
+/// parallel pool widths.
+#[test]
+fn dense_and_sparse_gradient_folds_extract_identical_triples() {
+    for jobs in [1usize, 4] {
+        let sparse = run_tagger_at(TaggerKind::Crf, jobs);
+        let dense = pae::crf::with_dense_grad(true, || run_tagger_at(TaggerKind::Crf, jobs));
+        assert!(!sparse.is_empty(), "PAE_JOBS={jobs}: extracted nothing");
+        assert_eq!(
+            sparse, dense,
+            "PAE_JOBS={jobs}: dense vs sparse gradient fold diverged"
+        );
+    }
+}
+
+/// Same guarantee one level up: the `RunSummary` quality section a CI
+/// gate would consume is byte-identical between the dense and sparse
+/// gradient paths at both pool widths.
+#[test]
+fn dense_and_sparse_gradient_folds_quality_sections_match() {
+    let _l = obs_lock();
+    let reference = quality_section(1);
+    for jobs in [1usize, 4] {
+        let dense = pae::crf::with_dense_grad(true, || quality_section(jobs));
+        assert_eq!(
+            dense, reference,
+            "PAE_JOBS={jobs}: dense-fold quality section diverged"
         );
     }
 }
