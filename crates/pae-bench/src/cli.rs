@@ -4,8 +4,10 @@
 //! `--trace-out`/`PAE_TRACE` handling and the table/figure binaries
 //! had none; [`RunCli::init`] gives all of them one uniform surface:
 //!
-//! - `--trace-out <path>` / `PAE_TRACE` — via
-//!   [`pae_obs::TraceSession`], unchanged semantics;
+//! - `--trace-out <path>` / `PAE_TRACE` and
+//!   `--provenance-out <path>` / `PAE_PROVENANCE` (plus `--force` to
+//!   overwrite existing outputs) — via [`pae_obs::TraceSession`],
+//!   unchanged semantics;
 //! - `--scale <small|default|full>` — sets `PAE_SCALE` for this
 //!   process (equivalent to exporting the variable, but visible in
 //!   `--help`-style usage and per-invocation);
@@ -38,17 +40,31 @@ pub struct RunCli {
 impl RunCli {
     /// Builds the run context from the process environment. Call this
     /// first thing in `main` — `--scale` must take effect before any
-    /// dataset is generated.
+    /// dataset is generated. Exits with status 2 on a usage error
+    /// (e.g. refusing to overwrite an existing output without
+    /// `--force`).
     pub fn init(name: &str) -> RunCli {
-        Self::from_parts(
+        match Self::from_parts(
             name,
             std::env::args().collect(),
             std::env::var("PAE_TRACE").ok(),
-        )
+            std::env::var("PAE_PROVENANCE").ok(),
+        ) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Testable core of [`RunCli::init`].
-    pub fn from_parts(name: &str, args: Vec<String>, trace_env: Option<String>) -> RunCli {
+    pub fn from_parts(
+        name: &str,
+        args: Vec<String>,
+        trace_env: Option<String>,
+        prov_env: Option<String>,
+    ) -> Result<RunCli, String> {
         let mut ledger_dir: Option<PathBuf> = None;
         let mut filtered = Vec::with_capacity(args.len());
         let mut it = args.into_iter();
@@ -71,20 +87,20 @@ impl RunCli {
                 filtered.push(arg);
             }
         }
-        let (args, trace) = TraceSession::from_parts(filtered, trace_env);
+        let (args, trace) = TraceSession::from_parts(filtered, trace_env, prov_env)?;
         let mut enabled_for_ledger = false;
         if ledger_dir.is_some() && !trace.active() {
             pae_obs::reset();
             pae_obs::set_enabled(true);
             enabled_for_ledger = true;
         }
-        RunCli {
+        Ok(RunCli {
             args,
             name: name.to_owned(),
             trace,
             ledger_dir,
             enabled_for_ledger,
-        }
+        })
     }
 
     /// Whether trace collection is on for this run (for any reason).
@@ -141,10 +157,24 @@ mod tests {
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// A temp path that does not exist yet (so overwrite refusal never
+    /// trips accidentally).
+    fn fresh_path(tag: &str) -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let p = std::env::temp_dir().join(format!(
+            "pae-bench-cli-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
     #[test]
     fn flags_are_stripped_and_scale_is_exported() {
         let _l = lock();
         let before = std::env::var("PAE_SCALE").ok();
+        let out = fresh_path("strip");
         let cli = RunCli::from_parts(
             "unit",
             vec![
@@ -152,10 +182,12 @@ mod tests {
                 "--scale".into(),
                 "small".into(),
                 "120".into(),
-                "--trace-out=/tmp/unit-cli.jsonl".into(),
+                format!("--trace-out={}", out.display()),
             ],
             None,
-        );
+            None,
+        )
+        .expect("fresh output path is accepted");
         assert_eq!(cli.args, vec!["probe".to_string(), "120".to_string()]);
         assert_eq!(std::env::var("PAE_SCALE").as_deref(), Ok("small"));
         assert!(cli.collecting(), "--trace-out enables collection");
@@ -168,6 +200,80 @@ mod tests {
     }
 
     #[test]
+    fn existing_trace_out_is_refused_without_force() {
+        let _l = lock();
+        let out = fresh_path("refuse-trace");
+        std::fs::write(&out, "precious baseline\n").unwrap();
+        let err = RunCli::from_parts(
+            "unit",
+            vec!["probe".into(), format!("--trace-out={}", out.display())],
+            None,
+            None,
+        )
+        .expect_err("existing file must be refused");
+        assert!(err.contains("refusing to overwrite"), "{err}");
+        assert!(
+            err.contains("--force"),
+            "error must mention the override: {err}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            "precious baseline\n",
+            "the refused file is untouched"
+        );
+        let cli = RunCli::from_parts(
+            "unit",
+            vec![
+                "probe".into(),
+                format!("--trace-out={}", out.display()),
+                "--force".into(),
+            ],
+            None,
+            None,
+        )
+        .expect("--force overrides the refusal");
+        assert!(cli.collecting());
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn existing_provenance_out_is_refused_without_force() {
+        let _l = lock();
+        let out = fresh_path("refuse-prov");
+        std::fs::write(&out, "ledger\n").unwrap();
+        let err = RunCli::from_parts(
+            "unit",
+            vec![
+                "probe".into(),
+                format!("--provenance-out={}", out.display()),
+            ],
+            None,
+            None,
+        )
+        .expect_err("existing provenance file must be refused");
+        assert!(err.contains("refusing to overwrite"), "{err}");
+        let cli = RunCli::from_parts(
+            "unit",
+            vec![
+                "probe".into(),
+                format!("--provenance-out={}", out.display()),
+                "--force".into(),
+            ],
+            None,
+            None,
+        )
+        .expect("--force overrides the refusal");
+        assert!(cli.collecting(), "--provenance-out enables collection");
+        assert!(pae_obs::provenance_enabled());
+        pae_obs::set_provenance_enabled(false);
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
     fn ledger_flag_enables_collection_and_writes_summary() {
         let _l = lock();
         let dir = std::env::temp_dir().join(format!("pae-cli-ledger-{}", std::process::id()));
@@ -175,7 +281,9 @@ mod tests {
             "unit-ledger",
             vec!["probe".into(), format!("--ledger={}", dir.display())],
             None,
-        );
+            None,
+        )
+        .expect("ledger-only run context");
         assert!(cli.collecting(), "--ledger must turn collection on");
         assert_eq!(cli.args, vec!["probe".to_string()]);
         pae_obs::event("unit.cli", vec![]);
@@ -194,7 +302,8 @@ mod tests {
     #[test]
     fn no_flags_means_no_collection() {
         let _l = lock();
-        let cli = RunCli::from_parts("unit", vec!["probe".into()], None);
+        let cli = RunCli::from_parts("unit", vec!["probe".into()], None, None)
+            .expect("flagless run context");
         assert!(!cli.collecting());
         assert_eq!(cli.args, vec!["probe".to_string()]);
         cli.finish();

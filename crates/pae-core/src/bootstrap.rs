@@ -4,16 +4,19 @@ use pae_synth::Dataset;
 use pae_text::LexiconPosTagger;
 
 use crate::cleaning::{
-    apply_veto, semantic_clean_with_baseline, AttrDrift, DriftBaseline, SemanticCleanStats,
-    VetoStats,
+    apply_veto, apply_veto_traced, semantic_clean_traced, semantic_clean_with_baseline, AttrDrift,
+    DriftBaseline, SemanticCleanStats, VetoStats,
 };
 use crate::config::{PipelineConfig, TaggerKind};
 use crate::corpus::{parse_corpus_with, Corpus};
 use crate::corrections::Corrections;
 use crate::diversify::diversify;
 use crate::eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+use crate::provenance::ProvLog;
 use crate::seed::{build_seed, Seed};
-use crate::tagger::{extract_candidates, CrfTrainContext, TrainedTagger};
+use crate::tagger::{
+    extract_candidates, extract_candidates_scored, CrfTrainContext, TrainedTagger,
+};
 use crate::timing::{span_timed, CrfStageTimings, PrepTimings, StageTimings};
 use crate::trainset::{generate_training_set, LabelSpace};
 use crate::types::{AttrTable, Triple};
@@ -200,6 +203,16 @@ impl BootstrapPipeline {
         // answer "how far has this attribute moved from the seed?".
         let drift_baseline = DriftBaseline::from_triples(&triples);
         let mut snapshots = Vec::with_capacity(cfg.iterations);
+        // Lineage ledger (inert unless provenance collection is on).
+        // All emission happens here on the main thread, in canonical
+        // pair order, so the record stream is deterministic.
+        let mut prov = ProvLog::new();
+        prov.record_origins(&triples, &extra_values, &self.corrections);
+        let backend_name = match cfg.tagger {
+            TaggerKind::Crf => "crf",
+            TaggerKind::Rnn => "rnn",
+            TaggerKind::Ensemble => "ensemble",
+        };
 
         for iteration in 1..=cfg.iterations {
             let _iter_span =
@@ -212,6 +225,12 @@ impl BootstrapPipeline {
                 &label_space,
                 cfg,
                 &mut crf_ctx,
+            );
+            prov.record_candidates(
+                iteration,
+                backend_name,
+                &tagged.candidates,
+                tagged.scores.as_ref(),
             );
             let candidates = tagged.candidates;
             let n_candidates = candidates.len();
@@ -227,29 +246,60 @@ impl BootstrapPipeline {
             });
             pool.dedup();
 
-            // Cleaning (lines 14–20).
-            let ((pool, veto), veto_time) = span_timed("veto", || {
+            // Cleaning (lines 14–20). The traced variants return the
+            // same survivors/stats as the plain ones plus the decision
+            // trail; they only run while the ledger is recording.
+            let ((pool, veto, veto_decisions), veto_time) = span_timed("veto", || {
                 if cfg.use_veto {
-                    apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars)
+                    if prov.active() {
+                        apply_veto_traced(pool, cfg.unpopular_keep, cfg.max_value_chars)
+                    } else {
+                        let (pool, stats) =
+                            apply_veto(pool, cfg.unpopular_keep, cfg.max_value_chars);
+                        (pool, stats, Vec::new())
+                    }
                 } else {
-                    (pool, VetoStats::default())
+                    (pool, VetoStats::default(), Vec::new())
                 }
             });
-            let ((pool, semantic, drift), semantic_time) = span_timed("semantic", || {
-                if cfg.use_semantic {
-                    semantic_clean_with_baseline(
-                        pool,
-                        &word_sentences,
-                        &cfg.semantic,
-                        cfg.seed.wrapping_add(iteration as u64),
-                        Some(&drift_baseline),
-                    )
-                } else {
-                    (pool, SemanticCleanStats::default(), Vec::new())
-                }
-            });
+            prov.record_veto(iteration, &veto_decisions);
+            let ((pool, semantic, drift, semantic_decisions), semantic_time) =
+                span_timed("semantic", || {
+                    if cfg.use_semantic {
+                        if prov.active() {
+                            semantic_clean_traced(
+                                pool,
+                                &word_sentences,
+                                &cfg.semantic,
+                                cfg.seed.wrapping_add(iteration as u64),
+                                Some(&drift_baseline),
+                            )
+                        } else {
+                            let (pool, stats, drift) = semantic_clean_with_baseline(
+                                pool,
+                                &word_sentences,
+                                &cfg.semantic,
+                                cfg.seed.wrapping_add(iteration as u64),
+                                Some(&drift_baseline),
+                            );
+                            (pool, stats, drift, Vec::new())
+                        }
+                    } else {
+                        (pool, SemanticCleanStats::default(), Vec::new(), Vec::new())
+                    }
+                });
+            prov.record_semantic(
+                iteration,
+                f64::from(cfg.semantic.keep_threshold),
+                &semantic_decisions,
+            );
             // The corrections span is emitted even when there are no
             // corrections, so every cycle's trace has the same shape.
+            let before_corrections = if prov.active() && !self.corrections.is_empty() {
+                Some(pool.clone())
+            } else {
+                None
+            };
             let (pool, corrections_time) = span_timed("corrections", || {
                 if self.corrections.is_empty() {
                     pool
@@ -257,6 +307,9 @@ impl BootstrapPipeline {
                     self.corrections.apply_to_triples(pool)
                 }
             });
+            if let Some(before) = &before_corrections {
+                prov.record_corrections(iteration, before, &self.corrections);
+            }
             let prev_len = triples.len();
             triples = pool;
 
@@ -320,13 +373,15 @@ impl BootstrapPipeline {
             }
         }
 
-        BootstrapOutcome {
+        let outcome = BootstrapOutcome {
             seed,
             diversified,
             label_space,
             snapshots,
             prep,
-        }
+        };
+        prov.finish(&outcome.final_triples());
+        outcome
     }
 }
 
@@ -336,12 +391,32 @@ impl BootstrapPipeline {
 pub struct TrainExtract {
     /// Candidate triples, sorted and deduplicated.
     pub candidates: Vec<Triple>,
+    /// Decode confidence per candidate, populated only while provenance
+    /// collection is enabled (`None` otherwise — the plain extraction
+    /// path is untouched).
+    pub scores: Option<CandidateScores>,
     /// Tagger-training wall clock (slower backend for the ensemble).
     pub train: std::time::Duration,
     /// Corpus-decoding wall clock (slower backend for the ensemble).
     pub extract: std::time::Duration,
     /// CRF training sub-stage breakdown (zero for the RNN backend).
     pub crf: CrfStageTimings,
+}
+
+/// Decode confidences aligned with [`TrainExtract::candidates`], for
+/// the provenance ledger. Strictly a read-only overlay: nothing here
+/// feeds back into which candidates survive.
+#[derive(Debug, Default)]
+pub struct CandidateScores {
+    /// CRF posterior decode confidence per candidate (empty when the
+    /// CRF backend didn't run).
+    pub crf: Vec<f64>,
+    /// RNN softmax decode confidence per candidate (empty when the RNN
+    /// backend didn't run).
+    pub rnn: Vec<f64>,
+    /// Candidates produced by exactly one backend that the ensemble
+    /// intersection dropped: `(triple, backend, confidence)`.
+    pub ensemble_dropped: Vec<(Triple, &'static str, f64)>,
 }
 
 /// Trains the configured tagger on the current triples and extracts
@@ -389,13 +464,36 @@ fn one_backend(
         let (tagger, crf) = train();
         (tagger, crf, span.finish())
     };
-    let (candidates, extract_time) = {
+    let (candidates, scores, extract_time) = {
         let span = pae_obs::span_fields("extract", vec![("backend".into(), backend.into())]);
-        let candidates = extract_candidates(&tagger, corpus, space);
-        (candidates, span.finish())
+        if pae_obs::provenance_enabled() {
+            let scored = extract_candidates_scored(&tagger, corpus, space);
+            let mut candidates = Vec::with_capacity(scored.len());
+            let mut confs = Vec::with_capacity(scored.len());
+            for (t, c) in scored {
+                candidates.push(t);
+                confs.push(c);
+            }
+            let scores = if backend == "rnn" {
+                CandidateScores {
+                    rnn: confs,
+                    ..Default::default()
+                }
+            } else {
+                CandidateScores {
+                    crf: confs,
+                    ..Default::default()
+                }
+            };
+            (candidates, Some(scores), span.finish())
+        } else {
+            let candidates = extract_candidates(&tagger, corpus, space);
+            (candidates, None, span.finish())
+        }
     };
     TrainExtract {
         candidates,
+        scores,
         train: train_time,
         extract: extract_time,
         crf,
@@ -416,6 +514,7 @@ pub fn train_and_extract_timed_with(
     if labeled.is_empty() {
         return TrainExtract {
             candidates: Vec::new(),
+            scores: None,
             train: std::time::Duration::ZERO,
             extract: std::time::Duration::ZERO,
             crf: CrfStageTimings::default(),
@@ -453,10 +552,13 @@ pub fn train_and_extract_timed_with(
                     })
                 },
             );
+            let (train, extract) = (a.train.max(b.train), a.extract.max(b.extract));
+            let (candidates, scores) = intersect_backends(a.candidates, a.scores, b);
             TrainExtract {
-                candidates: intersect_sorted(a.candidates, &b.candidates),
-                train: a.train.max(b.train),
-                extract: a.extract.max(b.extract),
+                candidates,
+                scores,
+                train,
+                extract,
                 crf: a.crf,
             }
         }
@@ -478,6 +580,53 @@ fn intersect_sorted(a: Vec<Triple>, b: &[Triple]) -> Vec<Triple> {
         }
     }
     out
+}
+
+/// Ensemble intersection of the CRF arm (`a`) and RNN arm (`b`).
+///
+/// Without scores this is exactly [`intersect_sorted`]. With scores
+/// (provenance enabled) the same merge walk additionally pairs up both
+/// backends' confidences for the survivors and collects the
+/// one-backend-only candidates the intersection dropped — the triple
+/// output is byte-identical either way.
+fn intersect_backends(
+    a_candidates: Vec<Triple>,
+    a_scores: Option<CandidateScores>,
+    b: TrainExtract,
+) -> (Vec<Triple>, Option<CandidateScores>) {
+    let (Some(sa), Some(sb)) = (a_scores, b.scores) else {
+        return (intersect_sorted(a_candidates, &b.candidates), None);
+    };
+    let key = |t: &Triple| (t.product, t.attr.clone(), t.value.clone());
+    let mut out = Vec::with_capacity(a_candidates.len().min(b.candidates.len()));
+    let mut scores = CandidateScores::default();
+    let mut bi = b.candidates.into_iter().enumerate().peekable();
+    for (i, t) in a_candidates.into_iter().enumerate() {
+        let k = key(&t);
+        while let Some((j, bt)) = bi.peek() {
+            if key(bt) < k {
+                scores
+                    .ensemble_dropped
+                    .push((bt.clone(), "rnn", sb.rnn[*j]));
+                bi.next();
+            } else {
+                break;
+            }
+        }
+        match bi.peek() {
+            Some((j, bt)) if key(bt) == k => {
+                scores.crf.push(sa.crf[i]);
+                scores.rnn.push(sb.rnn[*j]);
+                out.push(t);
+                bi.next();
+            }
+            _ => scores.ensemble_dropped.push((t, "crf", sa.crf[i])),
+        }
+    }
+    for (j, bt) in bi {
+        scores.ensemble_dropped.push((bt, "rnn", sb.rnn[j]));
+    }
+    (out, Some(scores))
 }
 
 /// Keeps the `max` highest-mass attribute clusters.

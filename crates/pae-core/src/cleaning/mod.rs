@@ -4,6 +4,7 @@ pub mod semantic;
 pub mod veto;
 
 pub use semantic::{
-    semantic_clean, semantic_clean_with_baseline, AttrDrift, DriftBaseline, SemanticCleanStats,
+    semantic_clean, semantic_clean_traced, semantic_clean_with_baseline, AttrDrift, DriftBaseline,
+    SemanticCleanStats, SemanticDecision,
 };
-pub use veto::{apply_veto, VetoStats};
+pub use veto::{apply_veto, apply_veto_traced, VetoDecision, VetoStats};

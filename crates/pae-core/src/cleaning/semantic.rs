@@ -75,6 +75,23 @@ impl DriftBaseline {
     }
 }
 
+/// One value's semantic-cleaning verdict for the provenance trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticDecision {
+    /// Attribute name.
+    pub attr: String,
+    /// Value in its original (spaced) form.
+    pub value: String,
+    /// Multiplicative cosine similarity to the attribute's semantic
+    /// core; `None` when the value had no embedding or no core was
+    /// formed (too few embedded values / no word2vec evidence).
+    pub similarity: Option<f64>,
+    /// Whether the value is itself a member of the core.
+    pub in_core: bool,
+    /// Whether the value survived the pass.
+    pub kept: bool,
+}
+
 /// Runs semantic cleaning over candidate triples.
 ///
 /// `sentences` is the iteration's corpus (plain word lists); the
@@ -104,10 +121,88 @@ pub fn semantic_clean_with_baseline(
     seed: u64,
     baseline: Option<&DriftBaseline>,
 ) -> (Vec<Triple>, SemanticCleanStats, Vec<AttrDrift>) {
+    let (survivors, stats, drift, _) =
+        clean_impl(triples, sentences, options, seed, baseline, false);
+    (survivors, stats, drift)
+}
+
+/// As [`semantic_clean_with_baseline`], additionally returning one
+/// [`SemanticDecision`] per distinct `(attr, value)` pair in the input,
+/// sorted by `(attr, value)`.
+///
+/// Survivors, stats and drift are byte-identical to the untraced
+/// variants' — similarity is computed read-only on top of the same
+/// keep decisions (including for core members, whose keep decision
+/// never consults it).
+pub fn semantic_clean_traced(
+    triples: Vec<Triple>,
+    sentences: &[Vec<String>],
+    options: &SemanticOptions,
+    seed: u64,
+    baseline: Option<&DriftBaseline>,
+) -> (
+    Vec<Triple>,
+    SemanticCleanStats,
+    Vec<AttrDrift>,
+    Vec<SemanticDecision>,
+) {
+    clean_impl(triples, sentences, options, seed, baseline, true)
+}
+
+/// Verdict per underscored value: (similarity, in_core, kept).
+type VerdictMap = HashMap<(String, String), (Option<f64>, bool, bool)>;
+
+/// Turns the per-underscored-value verdicts into the sorted decision
+/// list over the original (spaced) input pairs.
+fn decisions_for(
+    pairs: &BTreeSet<(String, String)>,
+    verdicts: &VerdictMap,
+) -> Vec<SemanticDecision> {
+    pairs
+        .iter()
+        .map(|(attr, value)| {
+            let key = (attr.clone(), value.replace(' ', "_"));
+            let (similarity, in_core, kept) =
+                verdicts.get(&key).copied().unwrap_or((None, false, true));
+            SemanticDecision {
+                attr: attr.clone(),
+                value: value.clone(),
+                similarity,
+                in_core,
+                kept,
+            }
+        })
+        .collect()
+}
+
+fn clean_impl(
+    triples: Vec<Triple>,
+    sentences: &[Vec<String>],
+    options: &SemanticOptions,
+    seed: u64,
+    baseline: Option<&DriftBaseline>,
+    trace: bool,
+) -> (
+    Vec<Triple>,
+    SemanticCleanStats,
+    Vec<AttrDrift>,
+    Vec<SemanticDecision>,
+) {
     let mut stats = SemanticCleanStats::default();
     if triples.is_empty() {
-        return (triples, stats, Vec::new());
+        return (triples, stats, Vec::new(), Vec::new());
     }
+    // Distinct input pairs, original spelling — the decision list's
+    // domain. Only materialized when tracing.
+    let input_pairs: BTreeSet<(String, String)> = if trace {
+        triples
+            .iter()
+            .map(|t| (t.attr.clone(), t.value.clone()))
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+    let mut verdicts: VerdictMap = VerdictMap::new();
 
     // (i) group multiword values into single tokens.
     let phrases: Vec<Vec<String>> = triples
@@ -128,7 +223,9 @@ pub fn semantic_clean_with_baseline(
         ..Default::default()
     };
     let Some(model) = W2vModel::train(&grouped, &config) else {
-        return (triples, stats, Vec::new()); // no semantic evidence at all
+        // No semantic evidence at all: everything is kept, unscored.
+        let decisions = decisions_for(&input_pairs, &verdicts);
+        return (triples, stats, Vec::new(), decisions);
     };
 
     // Values per attribute, as single tokens.
@@ -208,6 +305,15 @@ pub fn semantic_clean_with_baseline(
             let ok = core_names.contains(name)
                 || multiplicative_similarity(vec, &core_vecs) >= options.keep_threshold;
             keep.insert((attr.to_string(), name.to_string()), ok);
+            if trace {
+                // Similarity is also reported for core members — it is
+                // read-only here and never feeds the keep decision.
+                let similarity = multiplicative_similarity(vec, &core_vecs) as f64;
+                verdicts.insert(
+                    (attr.to_string(), name.to_string()),
+                    (Some(similarity), core_names.contains(name), ok),
+                );
+            }
         }
         // Unembedded values: no evidence against them — keep.
         for v in values {
@@ -242,7 +348,8 @@ pub fn semantic_clean_with_baseline(
             stats.unscored_values as u64,
         );
     }
-    (survivors, stats, drift)
+    let decisions = decisions_for(&input_pairs, &verdicts);
+    (survivors, stats, drift, decisions)
 }
 
 /// Mean-centered centroid (in f64) of the embeddable `values`, plus how
@@ -517,6 +624,58 @@ mod tests {
             semantic_clean_with_baseline(triples, &corpus(), &options(), 7, Some(&baseline));
         assert_eq!(plain, with_baseline);
         assert_eq!(plain_stats, stats);
+    }
+
+    #[test]
+    fn traced_clean_matches_untraced_and_scores_every_pair() {
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+            Triple::new(2, "iro", "kiiro"),
+            Triple::new(3, "iro", "momo"),
+            Triple::new(4, "iro", "kg"),
+        ];
+        let (plain, plain_stats) = semantic_clean(triples.clone(), &corpus(), &options(), 7);
+        let (traced, stats, _, decisions) =
+            semantic_clean_traced(triples.clone(), &corpus(), &options(), 7, None);
+        assert_eq!(plain, traced);
+        assert_eq!(plain_stats, stats);
+
+        // One decision per distinct input pair, sorted by (attr, value).
+        assert_eq!(decisions.len(), 5, "{decisions:?}");
+        let keys: Vec<_> = decisions
+            .iter()
+            .map(|d| (d.attr.clone(), d.value.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+
+        let survivors: std::collections::HashSet<_> =
+            traced.iter().map(|t| t.value.as_str()).collect();
+        for d in &decisions {
+            assert_eq!(d.kept, survivors.contains(d.value.as_str()), "{d:?}");
+            assert!(d.similarity.is_some(), "embedded value unscored: {d:?}");
+            if d.in_core {
+                assert!(d.kept, "core member must be kept: {d:?}");
+            }
+        }
+        assert!(decisions.iter().any(|d| d.in_core));
+        let dropped = decisions.iter().find(|d| d.value == "kg").unwrap();
+        assert!(!dropped.kept && !dropped.in_core);
+    }
+
+    #[test]
+    fn traced_clean_keeps_everything_unscored_without_corpus() {
+        let triples = vec![Triple::new(0, "a", "fuka aka"), Triple::new(1, "a", "x")];
+        let (out, _, _, decisions) = semantic_clean_traced(triples, &[], &options(), 7, None);
+        assert_eq!(out.len(), 2);
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions
+            .iter()
+            .all(|d| d.kept && d.similarity.is_none() && !d.in_core));
+        // Original (spaced) spelling is preserved in the trail.
+        assert!(decisions.iter().any(|d| d.value == "fuka aka"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!    number of tagged items; only the top 80 % are kept;
 //! 4. **long values** — values exceeding 30 characters.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::types::Triple;
 
@@ -30,6 +30,32 @@ impl VetoStats {
     }
 }
 
+/// One veto rule's verdict on one distinct `(attr, value)` pair, for
+/// the provenance trail. Only *fires* (`dropped = true`) and
+/// *near-misses* (the rule almost fired) are recorded — pairs a rule
+/// never came close to are silent.
+///
+/// `measure` is the rule's own gauge: the symbol-character fraction
+/// (rule 1), `1.0` for markup (rule 2), the popularity-rank fraction
+/// within the attribute (rule 3, smaller = more popular), or
+/// `chars / max_chars` (rule 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VetoDecision {
+    /// Attribute name.
+    pub attr: String,
+    /// Value string.
+    pub value: String,
+    /// Rule name: `"symbols"`, `"markup"`, `"unpopular"` or `"long"`.
+    pub rule: &'static str,
+    /// Whether the rule removed the pair (false = near-miss).
+    pub dropped: bool,
+    /// Rule-specific gauge (documented on the struct).
+    pub measure: f64,
+}
+
+/// Decision accumulator keyed for deterministic output order.
+type DecisionMap = BTreeMap<(String, String, &'static str), (bool, f64)>;
+
 /// Markup-ish tokens that cannot appear inside a legitimate value.
 fn is_markup_token(tok: &str) -> bool {
     tok.starts_with('<')
@@ -51,18 +77,73 @@ pub fn apply_veto(
     keep_fraction: f64,
     max_chars: usize,
 ) -> (Vec<Triple>, VetoStats) {
+    let (survivors, stats, _) = veto_impl(triples, keep_fraction, max_chars, false);
+    (survivors, stats)
+}
+
+/// [`apply_veto`] plus the per-pair [`VetoDecision`] trail (fires and
+/// near-misses only), sorted by `(attr, value, rule)`.
+///
+/// Survivors and stats are byte-identical to [`apply_veto`]'s on the
+/// same input — the trail is a read-only overlay.
+pub fn apply_veto_traced(
+    triples: Vec<Triple>,
+    keep_fraction: f64,
+    max_chars: usize,
+) -> (Vec<Triple>, VetoStats, Vec<VetoDecision>) {
+    veto_impl(triples, keep_fraction, max_chars, true)
+}
+
+fn veto_impl(
+    triples: Vec<Triple>,
+    keep_fraction: f64,
+    max_chars: usize,
+    trace: bool,
+) -> (Vec<Triple>, VetoStats, Vec<VetoDecision>) {
     let mut stats = VetoStats::default();
+    let mut decisions: DecisionMap = BTreeMap::new();
 
     // Rules 1, 2, 4 are per-triple.
     let mut survivors: Vec<Triple> = Vec::with_capacity(triples.len());
     for t in triples {
         if is_symbol_unigram(&t.value) {
             stats.symbols += 1;
+            if trace {
+                decisions.insert((t.attr, t.value, "symbols"), (true, 1.0));
+            }
         } else if t.value.split(' ').any(is_markup_token) {
             stats.markup += 1;
+            if trace {
+                decisions.insert((t.attr, t.value, "markup"), (true, 1.0));
+            }
         } else if t.value.chars().count() > max_chars {
             stats.long += 1;
+            if trace {
+                let measure = t.value.chars().count() as f64 / max_chars.max(1) as f64;
+                decisions.insert((t.attr, t.value, "long"), (true, measure));
+            }
         } else {
+            if trace {
+                // Near-misses: a single token that is half symbols, or
+                // a value in the top fifth below the length bound.
+                if !t.value.contains(' ') && !t.value.is_empty() {
+                    let total = t.value.chars().count();
+                    let symbols = t.value.chars().filter(|c| !c.is_alphanumeric()).count();
+                    if symbols * 2 >= total {
+                        let measure = symbols as f64 / total as f64;
+                        decisions
+                            .entry((t.attr.clone(), t.value.clone(), "symbols"))
+                            .or_insert((false, measure));
+                    }
+                }
+                let chars = t.value.chars().count();
+                if chars * 5 > max_chars * 4 {
+                    let measure = chars as f64 / max_chars.max(1) as f64;
+                    decisions
+                        .entry((t.attr.clone(), t.value.clone(), "long"))
+                        .or_insert((false, measure));
+                }
+            }
             survivors.push(t);
         }
     }
@@ -81,12 +162,32 @@ pub fn apply_veto(
         per_attr.entry(attr).or_default().push((value, items.len()));
     }
     let mut kept: HashSet<(String, String)> = HashSet::new();
+    let mut unpopular: Vec<((String, String), (bool, f64))> = Vec::new();
     for (attr, mut entities) in per_attr {
         entities.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
-        let keep = ((entities.len() as f64 * keep_fraction).ceil() as usize).max(1);
-        for (value, _) in entities.into_iter().take(keep) {
-            kept.insert((attr.to_owned(), value.to_owned()));
+        let total = entities.len();
+        let keep = ((total as f64 * keep_fraction).ceil() as usize).max(1);
+        for (pos, (value, _)) in entities.into_iter().enumerate() {
+            let dropped = pos >= keep;
+            if !dropped {
+                kept.insert((attr.to_owned(), value.to_owned()));
+            }
+            if trace {
+                let rank_fraction = (pos + 1) as f64 / total as f64;
+                // Near-miss: kept, but in the bottom tenth of the kept
+                // slots (only meaningful with a few entities ranked).
+                let near_miss = !dropped && keep >= 3 && (pos + 1) * 10 > keep * 9;
+                if dropped || near_miss {
+                    unpopular.push((
+                        (attr.to_owned(), value.to_owned()),
+                        (dropped, rank_fraction),
+                    ));
+                }
+            }
         }
+    }
+    for ((attr, value), verdict) in unpopular {
+        decisions.insert((attr, value, "unpopular"), verdict);
     }
     let before = survivors.len();
     let survivors: Vec<Triple> = survivors
@@ -107,7 +208,17 @@ pub fn apply_veto(
         pae_obs::counter_add("veto.kept", &[], survivors.len() as u64);
     }
 
-    (survivors, stats)
+    let decisions = decisions
+        .into_iter()
+        .map(|((attr, value, rule), (dropped, measure))| VetoDecision {
+            attr,
+            value,
+            rule,
+            dropped,
+            measure,
+        })
+        .collect();
+    (survivors, stats, decisions)
 }
 
 #[cfg(test)]
@@ -186,5 +297,68 @@ mod tests {
         let (out, stats) = apply_veto(Vec::new(), 0.8, 30);
         assert!(out.is_empty());
         assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn traced_veto_matches_untraced_and_records_fires() {
+        let long = "a".repeat(31);
+        let near_long = "b".repeat(27); // > 0.8 * 30, <= 30
+        let triples = vec![
+            t(0, "a", ";"),
+            t(1, "a", "<b> aka"),
+            t(2, "a", &long),
+            t(3, "a", &near_long),
+            t(4, "a", "aka"),
+        ];
+        let (plain, plain_stats) = apply_veto(triples.clone(), 1.0, 30);
+        let (traced, traced_stats, decisions) = apply_veto_traced(triples, 1.0, 30);
+        assert_eq!(plain, traced);
+        assert_eq!(plain_stats, traced_stats);
+
+        let find = |value: &str, rule: &str| {
+            decisions
+                .iter()
+                .find(|d| d.value == value && d.rule == rule)
+                .unwrap_or_else(|| panic!("no decision for {value}/{rule}: {decisions:?}"))
+        };
+        assert!(find(";", "symbols").dropped);
+        assert!(find("<b> aka", "markup").dropped);
+        let hit = find(&long, "long");
+        assert!(hit.dropped && hit.measure > 1.0);
+        let near = find(&near_long, "long");
+        assert!(!near.dropped && near.measure > 0.8 && near.measure <= 1.0);
+        assert!(
+            !decisions.iter().any(|d| d.value == "aka"),
+            "clean value must stay silent: {decisions:?}"
+        );
+        // Sorted by (attr, value, rule).
+        let keys: Vec<_> = decisions
+            .iter()
+            .map(|d| (d.attr.clone(), d.value.clone(), d.rule))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn traced_veto_records_unpopular_rank_fractions() {
+        // 5 entities, popularity 5..1, keep 80% → v5 dropped, v4 is the
+        // bottom kept slot (near-miss).
+        let mut triples = Vec::new();
+        for (i, value) in ["v1", "v2", "v3", "v4", "v5"].iter().enumerate() {
+            for p in 0..(5 - i) {
+                triples.push(t(p as u32, "a", value));
+            }
+        }
+        let (_, stats, decisions) = apply_veto_traced(triples, 0.8, 30);
+        assert_eq!(stats.unpopular, 1);
+        let unpopular: Vec<_> = decisions.iter().filter(|d| d.rule == "unpopular").collect();
+        assert_eq!(unpopular.len(), 2, "{unpopular:?}");
+        assert_eq!(unpopular[0].value, "v4");
+        assert!(!unpopular[0].dropped);
+        assert_eq!(unpopular[1].value, "v5");
+        assert!(unpopular[1].dropped);
+        assert!((unpopular[1].measure - 1.0).abs() < 1e-12);
     }
 }

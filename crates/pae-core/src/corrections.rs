@@ -10,7 +10,7 @@
 //! level pair vetoes/additions applied to the seed before the loop, and
 //! output-level removals applied to the final triples.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::seed::Seed;
 use crate::types::Triple;
@@ -24,6 +24,10 @@ pub struct Corrections {
     /// Seed pairs to add for specific products (triples a human
     /// verified): these enter the training set like table pairs.
     pub add_triples: Vec<Triple>,
+    /// `(attr cluster, from value, to value)` output rewrites: a human
+    /// fixed a systematic extraction error (truncated span, spelling
+    /// variant) without dropping the triples that carry it.
+    pub rewrite_pairs: Vec<(String, String, String)>,
 }
 
 impl Corrections {
@@ -44,9 +48,21 @@ impl Corrections {
         self
     }
 
+    /// Adds a category-level value rewrite applied to the output.
+    pub fn rewrite_pair(
+        mut self,
+        attr: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Self {
+        self.rewrite_pairs
+            .push((attr.into(), from.into(), to.into()));
+        self
+    }
+
     /// True when nothing would change.
     pub fn is_empty(&self) -> bool {
-        self.veto_pairs.is_empty() && self.add_triples.is_empty()
+        self.veto_pairs.is_empty() && self.add_triples.is_empty() && self.rewrite_pairs.is_empty()
     }
 
     /// Applies the seed-level corrections in place.
@@ -72,17 +88,35 @@ impl Corrections {
         }
     }
 
-    /// Applies the output-level vetoes to extracted triples.
+    /// Applies the output-level vetoes and rewrites to extracted
+    /// triples. With no rewrites configured this is a pure filter (same
+    /// order, no re-sort); rewrites re-canonicalize (sort + dedup)
+    /// because a rewrite can collide with an existing triple.
     pub fn apply_to_triples(&self, triples: Vec<Triple>) -> Vec<Triple> {
         let vetoed: HashSet<(&str, &str)> = self
             .veto_pairs
             .iter()
             .map(|(a, v)| (a.as_str(), v.as_str()))
             .collect();
-        triples
+        let mut out: Vec<Triple> = triples
             .into_iter()
             .filter(|t| !vetoed.contains(&(t.attr.as_str(), t.value.as_str())))
-            .collect()
+            .collect();
+        if !self.rewrite_pairs.is_empty() {
+            let rewrites: HashMap<(&str, &str), &str> = self
+                .rewrite_pairs
+                .iter()
+                .map(|(a, from, to)| ((a.as_str(), from.as_str()), to.as_str()))
+                .collect();
+            for t in out.iter_mut() {
+                if let Some(&to) = rewrites.get(&(t.attr.as_str(), t.value.as_str())) {
+                    t.value = to.to_owned();
+                }
+            }
+            out.sort_by(|a, b| (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value)));
+            out.dedup();
+        }
+        out
     }
 }
 
@@ -157,6 +191,23 @@ mod tests {
             .apply_to_triples(triples);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value, "aka");
+    }
+
+    #[test]
+    fn output_rewrites_remap_and_recanonicalize() {
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(0, "iro", "akai"), // variant a human folded in
+            Triple::new(1, "iro", "akai"),
+        ];
+        let c = Corrections::new().rewrite_pair("iro", "akai", "aka");
+        assert!(!c.is_empty());
+        let out = c.apply_to_triples(triples);
+        // Product 0's rewrite collides with its existing "aka" → dedup.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|t| t.value == "aka"));
+        assert_eq!(out[0].product, 0);
+        assert_eq!(out[1].product, 1);
     }
 
     #[test]

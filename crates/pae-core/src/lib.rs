@@ -22,7 +22,9 @@
 //! [`eval`] computes the paper's metrics (precision with the
 //! `maybe_incorrect` convention, product coverage, per-attribute
 //! coverage); [`specialized`] trains per-attribute-subset models
-//! (§VIII-D).
+//! (§VIII-D); [`provenance`] threads a per-candidate lineage ledger
+//! through the loop (origin, model confidence, veto/semantic verdicts,
+//! final disposition) when `pae_obs` provenance collection is on.
 
 pub mod bootstrap;
 pub mod cleaning;
@@ -31,6 +33,7 @@ pub mod corpus;
 pub mod corrections;
 pub mod diversify;
 pub mod eval;
+pub mod provenance;
 pub mod seed;
 pub mod specialized;
 pub mod tagger;
@@ -38,11 +41,12 @@ pub mod timing;
 pub mod trainset;
 pub mod types;
 
-pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, IterationSnapshot};
+pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, CandidateScores, IterationSnapshot};
 pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
 pub use corrections::Corrections;
 pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+pub use provenance::ProvLog;
 pub use tagger::CrfTrainContext;
 pub use timing::{CrfStageTimings, PrepTimings, StageTimings};
 pub use types::{AttrTable, Triple};

@@ -1,0 +1,426 @@
+//! Triple provenance: the per-candidate lineage ledger.
+//!
+//! [`ProvLog`] threads a compact decision trail through the bootstrap
+//! loop: where each `(attr, value)` pair came from (seed cell,
+//! diversification, tagger extraction), what the models thought of it
+//! (CRF posterior / RNN softmax decode confidence), every veto rule
+//! that fired on it (or nearly did), its semantic-core similarity per
+//! cleaning pass, any human correction applied, and its final
+//! disposition. Records are emitted through [`pae_obs::provenance`] and
+//! reconstructed by `pae-report explain`.
+//!
+//! Determinism is a hard requirement: everything here runs on the main
+//! thread, after the (parallel) pipeline stages have produced their
+//! results, and every emission loop iterates a `BTree` collection — so
+//! the record stream is byte-identical across repeats and worker-pool
+//! sizes. The log is also strictly read-only with respect to the
+//! pipeline: no method returns anything the pipeline consumes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pae_obs::FieldValue;
+
+use crate::bootstrap::CandidateScores;
+use crate::cleaning::{SemanticDecision, VetoDecision};
+use crate::corrections::Corrections;
+use crate::types::Triple;
+
+/// `(attr, value)` — the identity a lineage trail is keyed on.
+type Pair = (String, String);
+
+/// How many product ids a single provenance record lists before
+/// truncating (the distinct-product *count* is always exact).
+const MAX_PRODUCT_IDS: usize = 16;
+
+/// Per-pair aggregate of one extraction round.
+#[derive(Default)]
+struct Sighting {
+    products: BTreeSet<u32>,
+    conf_crf: Option<f64>,
+    conf_rnn: Option<f64>,
+}
+
+/// The lineage ledger for one bootstrap run.
+///
+/// Construct with [`ProvLog::new`] (a no-op shell unless
+/// [`pae_obs::provenance_enabled`] at that moment), feed it each
+/// stage's outcome in pipeline order, and call [`ProvLog::finish`] with
+/// the final triples to emit one disposition per pair ever seen.
+pub struct ProvLog {
+    active: bool,
+    seen: BTreeSet<Pair>,
+    /// Last *decisive* drop per pair: `(stage, iteration)`. A pair that
+    /// is re-extracted and survives later simply ends up in the final
+    /// set, which overrides this.
+    last_drop: BTreeMap<Pair, (String, usize)>,
+    /// Human rewrites applied to the pair: `(new value, iteration)`.
+    rewritten: BTreeMap<Pair, (String, usize)>,
+}
+
+impl ProvLog {
+    /// A ledger that records iff provenance collection is enabled right
+    /// now (the flag is latched so one run is internally consistent).
+    pub fn new() -> Self {
+        ProvLog {
+            active: pae_obs::provenance_enabled(),
+            seen: BTreeSet::new(),
+            last_drop: BTreeMap::new(),
+            rewritten: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this ledger records anything (callers can skip building
+    /// trace-only inputs when it does not).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Records the pre-loop origins: seed triples (pairs from
+    /// `corrections.add_triples` are attributed to the human), then the
+    /// diversified table values that are not already covered.
+    pub fn record_origins(
+        &mut self,
+        seed_triples: &[Triple],
+        extra_values: &[(String, String)],
+        corrections: &Corrections,
+    ) {
+        if !self.active {
+            return;
+        }
+        let human: BTreeSet<Pair> = corrections
+            .add_triples
+            .iter()
+            .map(|t| (t.attr.clone(), t.value.clone()))
+            .collect();
+        let mut per_pair: BTreeMap<Pair, BTreeSet<u32>> = BTreeMap::new();
+        for t in seed_triples {
+            per_pair
+                .entry((t.attr.clone(), t.value.clone()))
+                .or_default()
+                .insert(t.product);
+        }
+        for (pair, products) in &per_pair {
+            let origin = if human.contains(pair) {
+                "correction"
+            } else {
+                "seed"
+            };
+            self.emit_origin(pair, origin, 0, None, products, None, None);
+        }
+        for (attr, value) in extra_values {
+            let pair = (attr.clone(), value.clone());
+            if !self.seen.contains(&pair) {
+                self.emit_origin(&pair, "diversify", 0, None, &BTreeSet::new(), None, None);
+            }
+        }
+    }
+
+    /// Records one extraction round: first sightings become
+    /// `prov.origin` records (origin `"tagger"`), re-sightings become
+    /// `prov.extract`, and candidates the ensemble intersection threw
+    /// away become `prov.ensemble` drops.
+    pub fn record_candidates(
+        &mut self,
+        iteration: usize,
+        backend: &'static str,
+        candidates: &[Triple],
+        scores: Option<&CandidateScores>,
+    ) {
+        if !self.active {
+            return;
+        }
+        let mut per_pair: BTreeMap<Pair, Sighting> = BTreeMap::new();
+        for (i, t) in candidates.iter().enumerate() {
+            let s = per_pair
+                .entry((t.attr.clone(), t.value.clone()))
+                .or_default();
+            s.products.insert(t.product);
+            if let Some(scores) = scores {
+                if let Some(&c) = scores.crf.get(i) {
+                    s.conf_crf = Some(s.conf_crf.map_or(c, |m: f64| m.max(c)));
+                }
+                if let Some(&c) = scores.rnn.get(i) {
+                    s.conf_rnn = Some(s.conf_rnn.map_or(c, |m: f64| m.max(c)));
+                }
+            }
+        }
+        for (pair, s) in &per_pair {
+            if self.seen.contains(pair) {
+                let mut fields = vec![
+                    ("attr".to_string(), pair.0.clone().into()),
+                    ("value".to_string(), pair.1.clone().into()),
+                    ("iteration".to_string(), iteration.into()),
+                    ("backend".to_string(), backend.into()),
+                    ("products".to_string(), s.products.len().into()),
+                ];
+                push_conf(&mut fields, s.conf_crf, s.conf_rnn);
+                pae_obs::provenance("prov.extract", fields);
+            } else {
+                self.emit_origin(
+                    pair,
+                    "tagger",
+                    iteration,
+                    Some(backend),
+                    &s.products,
+                    s.conf_crf,
+                    s.conf_rnn,
+                );
+            }
+        }
+        // One-backend-only candidates the precision-first intersection
+        // dropped: surfaced with the backend that produced them.
+        if let Some(scores) = scores {
+            let mut dropped: BTreeMap<Pair, (&'static str, f64)> = BTreeMap::new();
+            for (t, solo_backend, conf) in &scores.ensemble_dropped {
+                let e = dropped
+                    .entry((t.attr.clone(), t.value.clone()))
+                    .or_insert((solo_backend, *conf));
+                e.1 = e.1.max(*conf);
+            }
+            for (pair, (solo_backend, conf)) in dropped {
+                if !self.seen.contains(&pair) {
+                    let (crf, rnn) = match solo_backend {
+                        "rnn" => (None, Some(conf)),
+                        _ => (Some(conf), None),
+                    };
+                    self.emit_origin(
+                        &pair,
+                        "tagger",
+                        iteration,
+                        Some(solo_backend),
+                        &BTreeSet::new(),
+                        crf,
+                        rnn,
+                    );
+                    self.last_drop
+                        .insert(pair.clone(), ("ensemble".to_string(), iteration));
+                }
+                pae_obs::provenance(
+                    "prov.ensemble",
+                    vec![
+                        ("attr".to_string(), pair.0.into()),
+                        ("value".to_string(), pair.1.into()),
+                        ("iteration".to_string(), iteration.into()),
+                        ("backend".to_string(), solo_backend.into()),
+                        ("conf".to_string(), conf.into()),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Records the veto pass's fires and near-misses.
+    pub fn record_veto(&mut self, iteration: usize, decisions: &[VetoDecision]) {
+        if !self.active {
+            return;
+        }
+        for d in decisions {
+            pae_obs::provenance(
+                "prov.veto",
+                vec![
+                    ("attr".to_string(), d.attr.clone().into()),
+                    ("value".to_string(), d.value.clone().into()),
+                    ("iteration".to_string(), iteration.into()),
+                    ("rule".to_string(), d.rule.into()),
+                    ("dropped".to_string(), d.dropped.into()),
+                    ("measure".to_string(), d.measure.into()),
+                ],
+            );
+            if d.dropped {
+                let pair = (d.attr.clone(), d.value.clone());
+                self.seen.insert(pair.clone());
+                self.last_drop
+                    .insert(pair, (format!("veto:{}", d.rule), iteration));
+            }
+        }
+    }
+
+    /// Records the semantic pass's per-pair verdicts.
+    pub fn record_semantic(
+        &mut self,
+        iteration: usize,
+        threshold: f64,
+        decisions: &[SemanticDecision],
+    ) {
+        if !self.active {
+            return;
+        }
+        for d in decisions {
+            let mut fields = vec![
+                ("attr".to_string(), d.attr.clone().into()),
+                ("value".to_string(), d.value.clone().into()),
+                ("iteration".to_string(), iteration.into()),
+                ("in_core".to_string(), d.in_core.into()),
+                ("kept".to_string(), d.kept.into()),
+                ("threshold".to_string(), threshold.into()),
+            ];
+            if let Some(sim) = d.similarity {
+                fields.push(("similarity".to_string(), sim.into()));
+            }
+            pae_obs::provenance("prov.semantic", fields);
+            if !d.kept {
+                let pair = (d.attr.clone(), d.value.clone());
+                self.seen.insert(pair.clone());
+                self.last_drop
+                    .insert(pair, ("semantic".to_string(), iteration));
+            }
+        }
+    }
+
+    /// Records human corrections applied to the cycle's output:
+    /// `before` is the pool [`Corrections::apply_to_triples`] received.
+    pub fn record_corrections(
+        &mut self,
+        iteration: usize,
+        before: &[Triple],
+        corrections: &Corrections,
+    ) {
+        if !self.active {
+            return;
+        }
+        let present: BTreeSet<Pair> = before
+            .iter()
+            .map(|t| (t.attr.clone(), t.value.clone()))
+            .collect();
+        let vetoed: BTreeSet<Pair> = corrections
+            .veto_pairs
+            .iter()
+            .map(|(a, v)| (a.clone(), v.clone()))
+            .collect();
+        let rewrites: BTreeMap<Pair, &str> = corrections
+            .rewrite_pairs
+            .iter()
+            .map(|(a, from, to)| ((a.clone(), from.clone()), to.as_str()))
+            .collect();
+        for pair in &present {
+            if vetoed.contains(pair) {
+                pae_obs::provenance(
+                    "prov.correction",
+                    vec![
+                        ("attr".to_string(), pair.0.clone().into()),
+                        ("value".to_string(), pair.1.clone().into()),
+                        ("iteration".to_string(), iteration.into()),
+                        ("action".to_string(), "veto".into()),
+                    ],
+                );
+                self.last_drop
+                    .insert(pair.clone(), ("corrections".to_string(), iteration));
+            } else if let Some(&to) = rewrites.get(pair) {
+                pae_obs::provenance(
+                    "prov.correction",
+                    vec![
+                        ("attr".to_string(), pair.0.clone().into()),
+                        ("value".to_string(), pair.1.clone().into()),
+                        ("iteration".to_string(), iteration.into()),
+                        ("action".to_string(), "rewrite".into()),
+                        ("new_value".to_string(), to.into()),
+                    ],
+                );
+                self.rewritten
+                    .insert(pair.clone(), (to.to_string(), iteration));
+                let target = (pair.0.clone(), to.to_string());
+                if !self.seen.contains(&target) {
+                    self.emit_origin(
+                        &target,
+                        "correction",
+                        iteration,
+                        None,
+                        &BTreeSet::new(),
+                        None,
+                        None,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Emits one `prov.disposition` per pair ever seen: `kept` (in the
+    /// final triples), `rewritten` (folded into another value by a
+    /// human), or `dropped` with the last decisive stage — or
+    /// `"not-extracted"` for training-only vocabulary (diversified
+    /// table values no tagger ever produced).
+    pub fn finish(&mut self, final_triples: &[Triple]) {
+        if !self.active {
+            return;
+        }
+        let final_pairs: BTreeSet<Pair> = final_triples
+            .iter()
+            .map(|t| (t.attr.clone(), t.value.clone()))
+            .collect();
+        for pair in &self.seen {
+            let mut rewritten_to: Option<&str> = None;
+            let (fate, stage, iteration) = if final_pairs.contains(pair) {
+                ("kept", String::new(), 0usize)
+            } else if let Some((to, iter)) = self.rewritten.get(pair) {
+                rewritten_to = Some(to);
+                ("rewritten", "corrections".to_string(), *iter)
+            } else {
+                match self.last_drop.get(pair) {
+                    Some((stage, iter)) => ("dropped", stage.clone(), *iter),
+                    None => ("dropped", "not-extracted".to_string(), 0),
+                }
+            };
+            let mut fields = vec![
+                ("attr".to_string(), pair.0.clone().into()),
+                ("value".to_string(), pair.1.clone().into()),
+                ("fate".to_string(), fate.into()),
+                ("stage".to_string(), stage.into()),
+                ("iteration".to_string(), iteration.into()),
+            ];
+            if let Some(to) = rewritten_to {
+                fields.push(("rewritten_to".to_string(), to.into()));
+            }
+            pae_obs::provenance("prov.disposition", fields);
+        }
+    }
+
+    /// Emits `prov.origin` and marks the pair seen.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_origin(
+        &mut self,
+        pair: &Pair,
+        origin: &str,
+        iteration: usize,
+        backend: Option<&str>,
+        products: &BTreeSet<u32>,
+        conf_crf: Option<f64>,
+        conf_rnn: Option<f64>,
+    ) {
+        let mut fields: Vec<(String, FieldValue)> = vec![
+            ("attr".to_string(), pair.0.clone().into()),
+            ("value".to_string(), pair.1.clone().into()),
+            ("origin".to_string(), origin.into()),
+            ("iteration".to_string(), iteration.into()),
+        ];
+        if let Some(backend) = backend {
+            fields.push(("backend".to_string(), backend.into()));
+        }
+        fields.push(("products".to_string(), products.len().into()));
+        if !products.is_empty() {
+            let ids: Vec<String> = products
+                .iter()
+                .take(MAX_PRODUCT_IDS)
+                .map(|p| p.to_string())
+                .collect();
+            fields.push(("product_ids".to_string(), ids.join(",").into()));
+        }
+        push_conf(&mut fields, conf_crf, conf_rnn);
+        pae_obs::provenance("prov.origin", fields);
+        self.seen.insert(pair.clone());
+    }
+}
+
+impl Default for ProvLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn push_conf(fields: &mut Vec<(String, FieldValue)>, crf: Option<f64>, rnn: Option<f64>) {
+    if let Some(c) = crf {
+        fields.push(("conf_crf".to_string(), c.into()));
+    }
+    if let Some(c) = rnn {
+        fields.push(("conf_rnn".to_string(), c.into()));
+    }
+}

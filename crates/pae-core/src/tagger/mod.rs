@@ -253,6 +253,37 @@ impl TrainedTagger {
             TrainedTagger::Rnn { model } => model.predict(words),
         }
     }
+
+    /// Tags one sentence and reports per-token model confidence: the
+    /// CRF's posterior marginal of the decoded label (forward–backward)
+    /// or the RNN's softmax probability of the argmax.
+    ///
+    /// The labels are exactly [`tag`](Self::tag)'s output — confidence
+    /// is a read-only overlay used by the provenance subsystem and must
+    /// never feed back into what gets extracted.
+    pub fn tag_scored(
+        &self,
+        words: &[String],
+        pos: &[PosTag],
+        sent_idx: usize,
+    ) -> (Vec<usize>, Vec<f64>) {
+        match self {
+            TrainedTagger::Crf {
+                model,
+                extractor,
+                index,
+            } => {
+                let w: Vec<&str> = words.iter().map(String::as_str).collect();
+                let p: Vec<&str> = pos.iter().map(|t| t.mnemonic()).collect();
+                let feats = extractor.encode(&w, &p, sent_idx, index);
+                model.viterbi_with_confidence(&feats)
+            }
+            TrainedTagger::Rnn { model } => {
+                let (labels, confidence) = model.predict_with_confidence(words);
+                (labels, confidence.into_iter().map(f64::from).collect())
+            }
+        }
+    }
 }
 
 /// Runs the tagger over every sentence of the corpus and decodes the
@@ -286,6 +317,51 @@ pub fn extract_candidates(
     let mut out: Vec<Triple> = per_product.into_iter().flatten().collect();
     out.sort_by(|a, b| (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value)));
     out.dedup();
+    out
+}
+
+/// [`extract_candidates`] plus a decode confidence per triple: the mean
+/// per-token confidence over the decoded span (CRF posterior marginal
+/// or RNN softmax probability; see [`TrainedTagger::tag_scored`]).
+///
+/// The triple sequence is byte-identical to [`extract_candidates`]'s —
+/// same canonical sort, and duplicate sightings collapse to the single
+/// highest-confidence one (ties broken by the deterministic sort), so
+/// confidence never influences *which* triples come out, only the
+/// score attached to them.
+pub fn extract_candidates_scored(
+    tagger: &TrainedTagger,
+    corpus: &Corpus,
+    space: &LabelSpace,
+) -> Vec<(Triple, f64)> {
+    let per_product = pae_runtime::parallel_map(&corpus.products, |_, product| {
+        let mut local = Vec::new();
+        for (sent_idx, sentence) in product.sentences.iter().enumerate() {
+            let words: Vec<String> = sentence.words().map(str::to_owned).collect();
+            if words.is_empty() {
+                continue;
+            }
+            let pos: Vec<PosTag> = sentence.tokens.iter().map(|t| t.pos).collect();
+            let (labels, confidence) = tagger.tag_scored(&words, &pos, sent_idx);
+            for (attr, range) in decode_spans(&labels, space) {
+                let span_conf =
+                    confidence[range.clone()].iter().sum::<f64>() / range.len().max(1) as f64;
+                let value = words[range].join(" ");
+                local.push((
+                    Triple::new(product.id, space.attrs()[attr].clone(), value),
+                    span_conf,
+                ));
+            }
+        }
+        local
+    });
+    let mut out: Vec<(Triple, f64)> = per_product.into_iter().flatten().collect();
+    out.sort_by(|a, b| {
+        (a.0.product, &a.0.attr, &a.0.value)
+            .cmp(&(b.0.product, &b.0.attr, &b.0.value))
+            .then(b.1.total_cmp(&a.1))
+    });
+    out.dedup_by(|next, prev| next.0 == prev.0);
     out
 }
 

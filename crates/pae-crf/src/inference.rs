@@ -288,6 +288,33 @@ pub fn marginals_into<S: FeatureSeq + ?Sized>(
     scratch.alpha = alpha;
 }
 
+/// Viterbi decoding plus per-token posterior confidence: the decoded
+/// label sequence and, for each position `t`, the forward–backward
+/// marginal `P(y_t = ŷ_t | x)` of the decoded label.
+///
+/// The labels are exactly [`viterbi`]'s output; the confidences are a
+/// read-only overlay (`exp(alpha[t][ŷ] + beta[t][ŷ] − log Z)`), so
+/// scoring a decode can never change it. A confidence near 1 means the
+/// whole posterior mass agrees with the Viterbi path at that token;
+/// values near `1/n_labels` flag tokens the model was guessing on.
+pub fn viterbi_with_confidence<S: FeatureSeq + ?Sized>(
+    model: &CrfModel,
+    features: &S,
+) -> (Vec<LabelId>, Vec<f64>) {
+    let labels = viterbi(model, features);
+    if labels.is_empty() {
+        return (labels, Vec::new());
+    }
+    let fwd = forward(model, features);
+    let beta = backward(model, &fwd.emissions);
+    let confidence = labels
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| (fwd.alpha[t][y] + beta[t][y] - fwd.log_z).exp())
+        .collect();
+    (labels, confidence)
+}
+
 /// Viterbi decoding: most probable label sequence.
 pub fn viterbi<S: FeatureSeq + ?Sized>(model: &CrfModel, features: &S) -> Vec<LabelId> {
     let view = model.view();
@@ -471,6 +498,26 @@ mod tests {
             }
         }
         assert_eq!(got, best_labels);
+    }
+
+    #[test]
+    fn decode_confidence_is_the_posterior_of_the_decoded_label() {
+        let m = toy_model();
+        let feats = vec![vec![0], vec![1], vec![0]];
+        let (labels, confidence) = viterbi_with_confidence(&m, &feats);
+        assert_eq!(labels, viterbi(&m, &feats), "decode unchanged by scoring");
+        assert_eq!(confidence.len(), labels.len());
+        let marg = marginals(&m, &feats);
+        for (t, (&y, &c)) in labels.iter().zip(&confidence).enumerate() {
+            assert!(c > 0.0 && c <= 1.0 + 1e-12, "conf[{t}] = {c}");
+            assert!(
+                (c - marg.node[t][y]).abs() < 1e-12,
+                "conf[{t}] = {c} vs marginal {}",
+                marg.node[t][y]
+            );
+        }
+        let (empty_labels, empty_conf) = viterbi_with_confidence(&m, &[] as &[Vec<FeatId>]);
+        assert!(empty_labels.is_empty() && empty_conf.is_empty());
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod train;
 
 pub use data::{CsrInstances, CsrSeq, FeatureSeq, Instance};
 pub use features::{ExtractScratch, FeatureExtractor, FeatureIndex, FeatureTemplates};
-pub use inference::{marginals_into, MargScratch};
+pub use inference::{marginals_into, viterbi_with_confidence, MargScratch};
 pub use model::{CrfModel, ParamsView};
 pub use train::{
     dense_grad_enabled, train, train_with_stats, with_dense_grad, TrainConfig, TrainEngine,

@@ -205,6 +205,12 @@ impl CrfModel {
         inference::viterbi(self, features)
     }
 
+    /// Viterbi decode plus the posterior marginal of each decoded
+    /// label (see [`inference::viterbi_with_confidence`]).
+    pub fn viterbi_with_confidence(&self, features: &[Vec<FeatId>]) -> (Vec<LabelId>, Vec<f64>) {
+        inference::viterbi_with_confidence(self, features)
+    }
+
     /// Log-partition function of the sequence.
     pub fn log_partition(&self, features: &[Vec<FeatId>]) -> f64 {
         inference::forward(self, features).log_z

@@ -150,8 +150,17 @@ impl BiLstmTagger {
 
     /// Predicts label ids for `words`.
     pub fn predict(&self, words: &[String]) -> Vec<usize> {
+        self.predict_with_confidence(words).0
+    }
+
+    /// Predicts label ids plus each prediction's softmax probability.
+    ///
+    /// The labels are exactly [`predict`](Self::predict)'s output; the
+    /// confidence is the probability the network assigned to the chosen
+    /// label at that position (1/n_labels means it was guessing).
+    pub fn predict_with_confidence(&self, words: &[String]) -> (Vec<usize>, Vec<f32>) {
         if words.is_empty() {
-            return Vec::new();
+            return (Vec::new(), Vec::new());
         }
         let pass = self.forward(words, None);
         pass.probs
@@ -160,10 +169,10 @@ impl BiLstmTagger {
                 p.iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
+                    .map(|(i, &prob)| (i, prob))
+                    .unwrap_or((0, 0.0))
             })
-            .collect()
+            .unzip()
     }
 
     /// Average per-token cross-entropy of the sentence (diagnostics and

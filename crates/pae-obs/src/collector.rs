@@ -18,6 +18,7 @@ use crate::record::{FieldValue, RecordKind, TraceRecord};
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROVENANCE: AtomicBool = AtomicBool::new(false);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
@@ -57,6 +58,19 @@ pub fn set_enabled(on: bool) {
 /// Whether collection is currently enabled.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns provenance collection on or off. Provenance records are only
+/// emitted while both this flag and [`set_enabled`] are on; like all
+/// telemetry, they never change pipeline results.
+pub fn set_provenance_enabled(on: bool) {
+    PROVENANCE.store(on, Ordering::SeqCst);
+}
+
+/// Whether provenance records are currently being collected (requires
+/// general collection to be enabled as well).
+pub fn provenance_enabled() -> bool {
+    enabled() && PROVENANCE.load(Ordering::Relaxed)
 }
 
 /// Resizes the ring buffer (existing overflow is dropped oldest-first).

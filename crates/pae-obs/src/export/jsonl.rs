@@ -142,6 +142,34 @@ pub fn write_current(path: &Path) -> std::io::Result<()> {
     f.flush()
 }
 
+/// Renders a provenance-only JSONL document: the meta line plus every
+/// [`RecordKind::Provenance`](crate::RecordKind::Provenance) record, and
+/// nothing else. The `records` count covers only the emitted lines, so
+/// the document round-trips through the trace reader.
+pub fn render_provenance(records: &[TraceRecord], dropped: u64) -> String {
+    let provenance: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.kind == crate::record::RecordKind::Provenance)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"version\":1,\"records\":{},\"dropped\":{}}}\n",
+        provenance.len(),
+        dropped
+    ));
+    for r in provenance {
+        render_record(&mut out, r);
+    }
+    out
+}
+
+/// Writes the provenance records collected so far to `path` as JSONL.
+pub fn write_provenance_current(path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_provenance(&collector::snapshot(), collector::dropped()).as_bytes())?;
+    f.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,8 @@ pub mod metrics;
 pub mod reader;
 
 pub use collector::{
-    clear, dropped, enabled, set_capacity, set_enabled, snapshot, DEFAULT_CAPACITY,
+    clear, dropped, enabled, provenance_enabled, set_capacity, set_enabled, set_provenance_enabled,
+    snapshot, DEFAULT_CAPACITY,
 };
 pub use metrics::{
     clear_metrics, counter_add, gauge_set, metrics_snapshot, observe, observe_step, Histogram,
@@ -45,8 +46,13 @@ pub use metrics::{
 };
 pub use record::{FieldValue, RecordKind, TraceRecord};
 pub use span::{
-    current_span, event, span, span_complete, span_fields, warn, with_parent, SpanGuard,
+    current_span, event, provenance, span, span_complete, span_fields, warn, with_parent, SpanGuard,
 };
+
+/// Ring capacity used while provenance collection is active: lineage
+/// records are per-candidate × per-stage, far denser than span records,
+/// and an evicted lineage record silently truncates a decision trail.
+pub const PROVENANCE_CAPACITY: usize = 1 << 20;
 
 /// Clears all collected records and registered metrics (the enabled
 /// flag and ring capacity are untouched).
@@ -56,7 +62,7 @@ pub fn reset() {
 }
 
 /// CLI/env plumbing for the `probe*` binaries: decides whether tracing
-/// is on and where the trace goes.
+/// and provenance are on and where their outputs go.
 ///
 /// Sources, CLI winning over env:
 /// - `--trace-out <path>` (or `--trace-out=<path>`) — write a JSONL
@@ -64,51 +70,123 @@ pub fn reset() {
 ///   positional parsing downstream is unaffected.
 /// - `PAE_TRACE` — unset, empty, or `0` = off; `1` = console tree only;
 ///   anything else is treated as a JSONL output path.
+/// - `--provenance-out <path>` (or `--provenance-out=<path>`) — enable
+///   per-candidate lineage records and write them (provenance lines
+///   only) to `path`.
+/// - `PAE_PROVENANCE` — unset, empty, or `0` = off; `1` = collect
+///   provenance into the main trace (useful with `--trace-out`);
+///   anything else is treated as a provenance-only JSONL output path.
+/// - `--force` — allow overwriting existing output files; without it
+///   a session refuses to clobber an existing `--trace-out` or
+///   `--provenance-out` target.
 ///
 /// When any target is configured the session enables collection and
 /// clears prior state; [`TraceSession::finish`] exports and disables.
 #[derive(Debug)]
 pub struct TraceSession {
     out: Option<std::path::PathBuf>,
+    prov_out: Option<std::path::PathBuf>,
+    /// Render the console span tree at finish (a trace target was
+    /// configured — provenance-only sessions skip the tree).
+    console: bool,
     active: bool,
+    provenance: bool,
 }
 
 impl TraceSession {
-    /// Builds a session from `std::env::args()` and `PAE_TRACE`,
-    /// returning the args with trace flags stripped.
+    /// Builds a session from `std::env::args()`, `PAE_TRACE`, and
+    /// `PAE_PROVENANCE`, returning the args with trace flags stripped.
+    /// Exits with status 2 on a usage error (e.g. refusing to overwrite
+    /// an existing output file without `--force`).
     pub fn from_env_and_args() -> (Vec<String>, TraceSession) {
-        Self::from_parts(std::env::args().collect(), std::env::var("PAE_TRACE").ok())
+        match Self::from_parts(
+            std::env::args().collect(),
+            std::env::var("PAE_TRACE").ok(),
+            std::env::var("PAE_PROVENANCE").ok(),
+        ) {
+            Ok(parts) => parts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Testable core of [`TraceSession::from_env_and_args`].
-    pub fn from_parts(args: Vec<String>, env: Option<String>) -> (Vec<String>, TraceSession) {
+    pub fn from_parts(
+        args: Vec<String>,
+        trace_env: Option<String>,
+        prov_env: Option<String>,
+    ) -> Result<(Vec<String>, TraceSession), String> {
         let mut out: Option<std::path::PathBuf> = None;
         let mut console_only = false;
-        match env.as_deref() {
+        match trace_env.as_deref() {
             None | Some("") | Some("0") => {}
             Some("1") => console_only = true,
             Some(path) => out = Some(path.into()),
         }
+        let mut prov_out: Option<std::path::PathBuf> = None;
+        let mut prov_inline = false;
+        match prov_env.as_deref() {
+            None | Some("") | Some("0") => {}
+            Some("1") => prov_inline = true,
+            Some(path) => prov_out = Some(path.into()),
+        }
+        let mut force = false;
         let mut filtered = Vec::with_capacity(args.len());
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             if arg == "--trace-out" {
                 match it.next() {
                     Some(path) => out = Some(path.into()),
-                    None => eprintln!("warning: --trace-out requires a path; flag ignored"),
+                    None => return Err("--trace-out requires a path".into()),
                 }
             } else if let Some(path) = arg.strip_prefix("--trace-out=") {
                 out = Some(path.into());
+            } else if arg == "--provenance-out" {
+                match it.next() {
+                    Some(path) => prov_out = Some(path.into()),
+                    None => return Err("--provenance-out requires a path".into()),
+                }
+            } else if let Some(path) = arg.strip_prefix("--provenance-out=") {
+                prov_out = Some(path.into());
+            } else if arg == "--force" {
+                force = true;
             } else {
                 filtered.push(arg);
             }
         }
-        let active = out.is_some() || console_only;
+        if !force {
+            for path in [&out, &prov_out].into_iter().flatten() {
+                if path.exists() {
+                    return Err(format!(
+                        "refusing to overwrite existing file {} (pass --force to overwrite)",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        let provenance = prov_inline || prov_out.is_some();
+        let console = out.is_some() || console_only;
+        let active = console || provenance;
         if active {
             reset();
             set_enabled(true);
+            if provenance {
+                set_provenance_enabled(true);
+                set_capacity(PROVENANCE_CAPACITY);
+            }
         }
-        (filtered, TraceSession { out, active })
+        Ok((
+            filtered,
+            TraceSession {
+                out,
+                prov_out,
+                console,
+                active,
+                provenance,
+            },
+        ))
     }
 
     /// Whether this session turned collection on.
@@ -116,11 +194,22 @@ impl TraceSession {
         self.active
     }
 
-    /// Exports (JSONL file if a path was configured, console tree to
-    /// stderr either way) and disables collection.
+    /// Whether this session turned provenance collection on.
+    pub fn provenance_active(&self) -> bool {
+        self.provenance
+    }
+
+    /// Exports (provenance JSONL, trace JSONL, console tree — each if
+    /// configured) and disables collection.
     pub fn finish(self) {
         if !self.active {
             return;
+        }
+        if let Some(path) = &self.prov_out {
+            match export::jsonl::write_provenance_current(path) {
+                Ok(()) => eprintln!("provenance written to {}", path.display()),
+                Err(e) => eprintln!("failed to write provenance to {}: {e}", path.display()),
+            }
         }
         if let Some(path) = &self.out {
             match export::jsonl::write_current(path) {
@@ -128,8 +217,14 @@ impl TraceSession {
                 Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
             }
         }
-        eprintln!("--- span tree ---");
-        eprint!("{}", export::console::render_current());
+        if self.console {
+            eprintln!("--- span tree ---");
+            eprint!("{}", export::console::render_current());
+        }
+        if self.provenance {
+            set_provenance_enabled(false);
+            set_capacity(DEFAULT_CAPACITY);
+        }
         set_enabled(false);
     }
 }
@@ -144,47 +239,164 @@ pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn trace_out_flag_is_stripped_and_wins_over_env() {
-        let _l = test_lock();
-        let (args, session) = TraceSession::from_parts(
-            vec![
-                "probe".into(),
-                "60".into(),
-                "--trace-out".into(),
-                "/tmp/t.jsonl".into(),
-            ],
-            Some("/tmp/env.jsonl".into()),
-        );
-        assert_eq!(args, vec!["probe".to_string(), "60".to_string()]);
-        assert!(session.active());
-        assert_eq!(
-            session.out.as_deref(),
-            Some(std::path::Path::new("/tmp/t.jsonl"))
-        );
+    /// A path in the system temp dir that is guaranteed not to exist
+    /// (unique per test name within this process).
+    fn fresh_path(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("pae-obs-{}-{tag}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn end_session() {
+        set_provenance_enabled(false);
+        set_capacity(DEFAULT_CAPACITY);
         set_enabled(false);
         reset();
     }
 
     #[test]
+    fn trace_out_flag_is_stripped_and_wins_over_env() {
+        let _l = test_lock();
+        let cli = fresh_path("cli");
+        let env = fresh_path("env");
+        let (args, session) = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                "60".into(),
+                "--trace-out".into(),
+                cli.to_string_lossy().into_owned(),
+            ],
+            Some(env.to_string_lossy().into_owned()),
+            None,
+        )
+        .expect("fresh paths");
+        assert_eq!(args, vec!["probe".to_string(), "60".to_string()]);
+        assert!(session.active());
+        assert!(!session.provenance_active());
+        assert_eq!(session.out.as_deref(), Some(cli.as_path()));
+        end_session();
+    }
+
+    #[test]
     fn equals_form_and_console_only_env() {
         let _l = test_lock();
+        let x = fresh_path("eq");
         let (args, session) = TraceSession::from_parts(
-            vec!["probe".into(), "--trace-out=/tmp/x.jsonl".into()],
+            vec![
+                "probe".into(),
+                format!("--trace-out={}", x.to_string_lossy()),
+            ],
             None,
-        );
+            None,
+        )
+        .expect("fresh path");
         assert_eq!(args, vec!["probe".to_string()]);
         assert!(session.active());
-        set_enabled(false);
+        end_session();
 
-        let (_, session) = TraceSession::from_parts(vec!["probe".into()], Some("1".into()));
+        let (_, session) =
+            TraceSession::from_parts(vec!["probe".into()], Some("1".into()), None).unwrap();
         assert!(session.active());
         assert!(session.out.is_none());
-        set_enabled(false);
+        end_session();
 
-        let (_, session) = TraceSession::from_parts(vec!["probe".into()], Some("0".into()));
+        let (_, session) =
+            TraceSession::from_parts(vec!["probe".into()], Some("0".into()), None).unwrap();
         assert!(!session.active());
         assert!(!enabled());
         reset();
+    }
+
+    #[test]
+    fn provenance_flag_enables_collection_and_writes_only_provenance() {
+        let _l = test_lock();
+        let p = fresh_path("prov");
+        let (args, session) = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                "--provenance-out".into(),
+                p.to_string_lossy().into_owned(),
+            ],
+            None,
+            None,
+        )
+        .expect("fresh path");
+        assert_eq!(args, vec!["probe".to_string()]);
+        assert!(session.active());
+        assert!(session.provenance_active());
+        assert!(provenance_enabled());
+        let _s = span("noise");
+        provenance("prov.origin", vec![("attr".into(), "iro".into())]);
+        drop(_s);
+        session.finish();
+        assert!(!enabled());
+        assert!(!provenance_enabled());
+        let doc = std::fs::read_to_string(&p).expect("provenance file written");
+        let trace = reader::Trace::parse(&doc).expect("parses");
+        assert_eq!(trace.records.len(), 1, "provenance lines only: {doc}");
+        assert_eq!(trace.provenance_records()[0].name, "prov.origin");
+        std::fs::remove_file(&p).ok();
+        end_session();
+    }
+
+    #[test]
+    fn provenance_env_inline_mode_needs_no_path() {
+        let _l = test_lock();
+        let (_, session) =
+            TraceSession::from_parts(vec!["probe".into()], None, Some("1".into())).unwrap();
+        assert!(session.active());
+        assert!(session.provenance_active());
+        assert!(session.prov_out.is_none());
+        end_session();
+
+        let (_, session) =
+            TraceSession::from_parts(vec!["probe".into()], None, Some("0".into())).unwrap();
+        assert!(!session.active());
+        assert!(!provenance_enabled());
+        reset();
+    }
+
+    #[test]
+    fn existing_outputs_are_refused_without_force() {
+        let _l = test_lock();
+        for flag in ["--trace-out", "--provenance-out"] {
+            let p = fresh_path(&format!("clobber{}", flag.len()));
+            std::fs::write(&p, "precious").unwrap();
+            let err = TraceSession::from_parts(
+                vec![
+                    "probe".into(),
+                    flag.into(),
+                    p.to_string_lossy().into_owned(),
+                ],
+                None,
+                None,
+            )
+            .expect_err("existing file must be refused");
+            assert!(err.contains("refusing to overwrite"), "{err}");
+            assert!(err.contains("--force"), "{err}");
+            assert!(!enabled(), "refusal must not enable collection");
+            assert_eq!(
+                std::fs::read_to_string(&p).unwrap(),
+                "precious",
+                "file untouched"
+            );
+
+            let (args, session) = TraceSession::from_parts(
+                vec![
+                    "probe".into(),
+                    flag.into(),
+                    p.to_string_lossy().into_owned(),
+                    "--force".into(),
+                ],
+                None,
+                None,
+            )
+            .expect("--force overrides the refusal");
+            assert_eq!(args, vec!["probe".to_string()], "--force is stripped");
+            assert!(session.active());
+            session.finish();
+            std::fs::remove_file(&p).ok();
+            end_session();
+        }
     }
 }

@@ -71,7 +71,30 @@ impl Histogram {
         2f64.powi(i as i32 - 31)
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the log₂ buckets.
+    ///
+    /// The estimate is the upper bound of the bucket holding the
+    /// `ceil(q * count)`-th observation, clamped into `[min, max]` so
+    /// single-bucket histograms report exact values and the tail
+    /// quantiles never exceed the observed maximum. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
         self.buckets[Self::bucket_index(v)] += 1;
         self.count += 1;
         self.sum += v;
@@ -239,6 +262,31 @@ mod tests {
         assert_eq!(h.max, 3.0);
         assert_eq!(h.buckets[32], 1);
         assert_eq!(h.buckets[33], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1.5); // bucket 32, upper bound 2.0
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // bucket 38, upper bound 128.0
+        }
+        // p50/p90 land in the dense bucket; its upper bound (2.0)
+        // overshoots but stays within [min, max].
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.9), 2.0);
+        // p99 reaches the tail bucket; clamped to the observed max.
+        assert_eq!(h.quantile(0.99), 100.0);
+
+        let mut single = Histogram::default();
+        single.observe(42.0);
+        assert_eq!(single.quantile(0.5), 42.0, "clamped to min==max");
+        assert_eq!(single.quantile(0.99), 42.0);
     }
 
     #[test]

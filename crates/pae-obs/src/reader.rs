@@ -79,7 +79,7 @@ impl Trace {
                         dropped: req_u64(&v, "dropped", n)?,
                     };
                 }
-                "span_start" | "span_end" | "event" | "metric" => {
+                "span_start" | "span_end" | "event" | "metric" | "provenance" => {
                     if !saw_meta {
                         return Err(format!("line {n}: record before the meta line"));
                     }
@@ -132,18 +132,35 @@ impl Trace {
     pub fn subtree(&self, root: u64) -> Trace {
         let mut spans: BTreeSet<u64> = BTreeSet::new();
         spans.insert(root);
+        // On a truncated (drop-oldest) trace, a span's start — or its
+        // whole ancestor chain — may have been evicted. Those orphans
+        // cannot be attributed to any subtree, so they are surfaced
+        // rather than silently skipped: filtering them out would make a
+        // truncated trace look like a clean "not my subtree" verdict.
+        let truncated = self.meta.dropped > 0;
+        let started: BTreeSet<u64> = self
+            .records
+            .iter()
+            .filter(|r| r.kind == RecordKind::SpanStart)
+            .map(|r| r.span)
+            .collect();
         // Span-start records arrive in sequence order and a child's
         // start always follows its parent's, so one forward pass
         // closes the descendant set.
         for r in &self.records {
-            if r.kind == RecordKind::SpanStart && spans.contains(&r.parent) {
+            if r.kind == RecordKind::SpanStart
+                && (spans.contains(&r.parent)
+                    || (truncated && r.parent != 0 && !started.contains(&r.parent)))
+            {
                 spans.insert(r.span);
             }
         }
         let records: Vec<TraceRecord> = self
             .records
             .iter()
-            .filter(|r| spans.contains(&r.span))
+            .filter(|r| {
+                spans.contains(&r.span) || (truncated && r.span != 0 && !started.contains(&r.span))
+            })
             .cloned()
             .collect();
         Trace {
@@ -162,6 +179,14 @@ impl Trace {
         self.records
             .iter()
             .filter(|r| r.kind == RecordKind::SpanStart && r.name == name)
+            .collect()
+    }
+
+    /// Provenance records, in sequence (emission) order.
+    pub fn provenance_records(&self) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Provenance)
             .collect()
     }
 
@@ -215,6 +240,7 @@ fn parse_record(ty: &str, v: &Json, line: usize) -> Result<TraceRecord, String> 
         "span_start" => RecordKind::SpanStart,
         "span_end" => RecordKind::SpanEnd,
         "event" => RecordKind::Event,
+        "provenance" => RecordKind::Provenance,
         _ => RecordKind::Metric,
     };
     let fields = match v.get("fields") {
@@ -391,6 +417,85 @@ mod tests {
         assert!(sub.spans_named("other").is_empty());
         assert!(sub.events_named("other.event").is_empty());
         assert_eq!(sub.meta.records, sub.records.len() as u64);
+    }
+
+    #[test]
+    fn subtree_surfaces_orphans_on_truncated_traces() {
+        // Hand-build a truncated trace: the ring evicted the start of
+        // span 2 (and everything before it), so span 2's end and span
+        // 3 (2's child) are orphans — no ancestor chain survives.
+        let rec = |kind, span, parent, name: &str| TraceRecord {
+            seq: 0,
+            t_ns: 0,
+            thread: 0,
+            kind,
+            span,
+            parent,
+            name: name.into(),
+            fields: vec![],
+        };
+        let mut trace = Trace {
+            meta: TraceMeta {
+                version: 1,
+                records: 5,
+                dropped: 2,
+            },
+            records: vec![
+                rec(RecordKind::SpanEnd, 2, 1, "evicted.stage"),
+                rec(RecordKind::SpanStart, 3, 2, "evicted.child"),
+                rec(RecordKind::Event, 3, 0, "evicted.event"),
+                rec(RecordKind::SpanStart, 10, 0, "root"),
+                rec(RecordKind::SpanEnd, 10, 0, "root"),
+            ],
+            metrics: vec![],
+        };
+        let sub = trace.subtree(10);
+        assert_eq!(
+            sub.records.len(),
+            5,
+            "orphaned spans must be surfaced, not skipped: {:?}",
+            sub.records.iter().map(|r| &r.name).collect::<Vec<_>>()
+        );
+        assert_eq!(sub.spans_named("evicted.child").len(), 1);
+        assert_eq!(sub.events_named("evicted.event").len(), 1);
+
+        // The same records in a complete trace (dropped == 0) are
+        // genuinely unrelated to span 10 and stay filtered out.
+        trace.meta.dropped = 0;
+        let sub = trace.subtree(10);
+        assert_eq!(sub.records.len(), 2, "complete traces filter strictly");
+        assert!(sub.spans_named("evicted.child").is_empty());
+    }
+
+    #[test]
+    fn provenance_records_round_trip() {
+        let _l = test_lock();
+        set_enabled(true);
+        crate::set_provenance_enabled(true);
+        clear();
+        clear_metrics();
+        crate::provenance(
+            "prov.origin",
+            vec![
+                ("attr".into(), "iro".into()),
+                ("value".into(), "aka".into()),
+                ("origin".into(), "seed".into()),
+            ],
+        );
+        let doc = crate::export::jsonl::render_current();
+        let prov_doc = crate::export::jsonl::render_provenance(&crate::snapshot(), 0);
+        crate::set_provenance_enabled(false);
+        set_enabled(false);
+        clear();
+        clear_metrics();
+
+        for d in [doc, prov_doc] {
+            let parsed = Trace::parse(&d).expect("provenance line parses");
+            let prov = parsed.provenance_records();
+            assert_eq!(prov.len(), 1);
+            assert_eq!(prov[0].name, "prov.origin");
+            assert_eq!(prov[0].field("attr"), Some(&FieldValue::Str("iro".into())));
+        }
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub enum RecordKind {
     /// One point of a step-indexed metric series (e.g. an optimizer
     /// step); `fields` carries `step` and `value`.
     Metric,
+    /// One decision in a candidate triple's lineage (origin, veto,
+    /// semantic score, correction, disposition); `fields` carries the
+    /// stage-specific payload keyed by `attr`/`value`.
+    Provenance,
 }
 
 impl RecordKind {
@@ -81,6 +85,7 @@ impl RecordKind {
             RecordKind::SpanEnd => "span_end",
             RecordKind::Event => "event",
             RecordKind::Metric => "metric",
+            RecordKind::Provenance => "provenance",
         }
     }
 }

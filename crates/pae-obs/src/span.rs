@@ -11,7 +11,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::collector::{enabled, push};
+use crate::collector::{enabled, provenance_enabled, push};
 use crate::record::{FieldValue, RecordKind};
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -155,6 +155,21 @@ fn emit(name: &str, level: &'static str, mut fields: Vec<(String, FieldValue)>) 
     }
     fields.insert(0, ("level".into(), FieldValue::Str(level.into())));
     push(RecordKind::Event, current_span(), 0, name, fields);
+}
+
+/// Emits one provenance record under the current span (no-op unless
+/// provenance collection is enabled via
+/// [`set_provenance_enabled`](crate::set_provenance_enabled)).
+///
+/// Callers emit these sequentially on one thread in a canonical order
+/// (the determinism suite asserts the resulting lineage ledger is
+/// byte-identical across thread counts), so the record stream itself
+/// stays deterministic apart from timestamps.
+pub fn provenance(name: &str, fields: Vec<(String, FieldValue)>) {
+    if !provenance_enabled() {
+        return;
+    }
+    push(RecordKind::Provenance, current_span(), 0, name, fields);
 }
 
 #[cfg(test)]

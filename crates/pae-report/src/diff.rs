@@ -131,12 +131,21 @@ pub fn diff_summaries(baseline: &RunSummary, current: &RunSummary, t: &Threshold
     for name in names {
         match (baseline.stages.get(name), current.stages.get(name)) {
             (Some(b), Some(c)) => {
-                report.lines.push(format!(
+                let mut line = format!(
                     "stage {name:<20} {:>10} -> {:>10}  ({})",
                     fmt_ms(b.total_ns),
                     fmt_ms(c.total_ns),
                     fmt_pct(b.total_ns, c.total_ns)
-                ));
+                );
+                if c.p99_ns > 0 {
+                    line.push_str(&format!(
+                        "  p50/p90/p99 {}/{}/{}",
+                        fmt_ms(c.p50_ns),
+                        fmt_ms(c.p90_ns),
+                        fmt_ms(c.p99_ns)
+                    ));
+                }
+                report.lines.push(line);
                 let floor = t.time_floor_ns;
                 if b.total_ns >= floor
                     && c.total_ns >= floor
@@ -271,6 +280,9 @@ mod tests {
                 calls: 1,
                 total_ns: 100_000_000,
                 max_ns: 100_000_000,
+                p50_ns: 100_000_000,
+                p90_ns: 100_000_000,
+                p99_ns: 100_000_000,
             },
         );
         s.stages.insert(
@@ -279,6 +291,7 @@ mod tests {
                 calls: 1,
                 total_ns: 1_000,
                 max_ns: 1_000,
+                ..StagePerf::default()
             },
         );
         s.runs.push(vec![IterationQuality {
@@ -312,6 +325,28 @@ mod tests {
         let r = check(&s, &s, &Thresholds::default());
         assert!(r.passed(), "{:?}", r.violations);
         assert!(!r.lines.is_empty());
+    }
+
+    #[test]
+    fn stage_table_shows_quantiles_when_present() {
+        let s = base();
+        let r = check(&s, &s, &Thresholds::default());
+        let semantic = r
+            .lines
+            .iter()
+            .find(|l| l.starts_with("stage semantic"))
+            .expect("semantic stage line");
+        assert!(
+            semantic.contains("p50/p90/p99 100.00ms/100.00ms/100.00ms"),
+            "{semantic}"
+        );
+        // Documents predating the quantile fields render without them.
+        let tiny = r
+            .lines
+            .iter()
+            .find(|l| l.starts_with("stage tiny"))
+            .expect("tiny stage line");
+        assert!(!tiny.contains("p50"), "{tiny}");
     }
 
     #[test]

@@ -21,17 +21,23 @@
 //! 4. [`bench`] — parses the `BENCH_pipeline.json` documents written by
 //!    the `pae-bench` Criterion targets and gates median-per-benchmark
 //!    against the perf tolerance (`check --bench-baseline`).
+//! 5. [`lineage`] — regroups a trace's `provenance` records into one
+//!    [`lineage::TripleLineage`] trail per `(attr, value)` pair, with
+//!    model confidences and the final disposition; powers the
+//!    `explain` / `explain-diff` subcommands.
 //!
 //! The `pae-report` binary exposes all of it as `summarize`, `diff`,
-//! and `check` subcommands (exit codes: 0 pass, 1 regression, 2 usage
-//! or I/O error).
+//! `check`, `explain`, and `explain-diff` subcommands (exit codes:
+//! 0 pass, 1 regression / nothing found, 2 usage or I/O error).
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod diff;
 pub mod ledger;
+pub mod lineage;
 pub mod summary;
 
 pub use diff::{check, diff_summaries, DiffReport, Thresholds, Violation};
+pub use lineage::{fate_flips, FateFlip, LineageLedger, TripleLineage};
 pub use summary::{RunMeta, RunSummary};

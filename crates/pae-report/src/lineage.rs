@@ -1,0 +1,665 @@
+//! The per-triple lineage ledger: provenance records regrouped by
+//! `(attr, value)` pair into one decision trail each.
+//!
+//! [`LineageLedger::build`] walks a trace's `provenance` records in
+//! collection order and folds them into one [`TripleLineage`] per pair:
+//! origin, the running maximum model confidence, every stage event in
+//! order, and the final disposition. The ledger is keyed on a `BTreeMap`
+//! and its JSON export excludes `seq`/`t_ns`/`thread`, so two runs that
+//! made the same decisions serialize byte-identically regardless of
+//! timing or worker count.
+//!
+//! `pae-report explain` renders trails from this ledger;
+//! `pae-report explain-diff` compares the dispositions of two ledgers
+//! and reports every pair whose fate flipped.
+
+use std::collections::BTreeMap;
+
+use pae_obs::json::{write_f64, write_str};
+use pae_obs::reader::Trace;
+use pae_obs::FieldValue;
+
+/// One stage decision in a pair's trail, in collection order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageEvent {
+    /// Which stage spoke: `origin`, `extract`, `ensemble`, `veto`,
+    /// `semantic`, or `correction`.
+    pub stage: &'static str,
+    /// Bootstrap iteration the decision happened in.
+    pub iteration: u64,
+    /// Human-readable rendering of the decision.
+    pub detail: String,
+}
+
+/// The reconstructed lineage of one `(attr, value)` pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripleLineage {
+    /// Attribute name.
+    pub attr: String,
+    /// Value string.
+    pub value: String,
+    /// Where the pair first appeared: `seed`, `diversify`, `tagger`,
+    /// or `correction` (empty when the trace never recorded an origin).
+    pub origin: String,
+    /// Best CRF posterior decode confidence seen for the pair.
+    pub conf_crf: Option<f64>,
+    /// Best RNN softmax decode confidence seen for the pair.
+    pub conf_rnn: Option<f64>,
+    /// Final fate: `kept`, `dropped`, or `rewritten` (empty when the
+    /// trace carries no disposition, e.g. it was cut mid-run).
+    pub fate: String,
+    /// The stage that decided a drop/rewrite (empty for `kept`).
+    pub stage: String,
+    /// Iteration of the deciding stage.
+    pub fate_iteration: u64,
+    /// For `rewritten`: the value the human folded this pair into.
+    pub rewritten_to: Option<String>,
+    /// Every stage decision, in collection order.
+    pub events: Vec<LineageEvent>,
+}
+
+impl TripleLineage {
+    /// The pair's headline confidence: the better of the two backends,
+    /// 0 when no model ever scored it (seed/diversified vocabulary).
+    pub fn confidence(&self) -> f64 {
+        match (self.conf_crf, self.conf_rnn) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => 0.0,
+        }
+    }
+}
+
+/// All lineages of one run, keyed by `(attr, value)`.
+#[derive(Debug, Clone, Default)]
+pub struct LineageLedger {
+    /// One trail per pair the run ever considered.
+    pub entries: BTreeMap<(String, String), TripleLineage>,
+}
+
+fn f_str<'a>(fields: &'a [(String, FieldValue)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+        if let FieldValue::Str(s) = v {
+            Some(s.as_str())
+        } else {
+            None
+        }
+    })
+}
+
+fn f_u64(fields: &[(String, FieldValue)], key: &str) -> Option<u64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(n) => Some(*n),
+            FieldValue::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        })
+}
+
+fn f_f64(fields: &[(String, FieldValue)], key: &str) -> Option<f64> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::F64(f) => Some(*f),
+            FieldValue::U64(n) => Some(*n as f64),
+            FieldValue::I64(n) => Some(*n as f64),
+            _ => None,
+        })
+}
+
+fn f_bool(fields: &[(String, FieldValue)], key: &str) -> Option<bool> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+        if let FieldValue::Bool(b) = v {
+            Some(*b)
+        } else {
+            None
+        }
+    })
+}
+
+fn conf_suffix(crf: Option<f64>, rnn: Option<f64>) -> String {
+    match (crf, rnn) {
+        (Some(c), Some(r)) => format!(", conf crf {c:.3} rnn {r:.3}"),
+        (Some(c), None) => format!(", conf crf {c:.3}"),
+        (None, Some(r)) => format!(", conf rnn {r:.3}"),
+        (None, None) => String::new(),
+    }
+}
+
+impl LineageLedger {
+    /// Regroups a trace's provenance records into per-pair trails.
+    pub fn build(trace: &Trace) -> LineageLedger {
+        let mut ledger = LineageLedger::default();
+        for r in trace.provenance_records() {
+            let (Some(attr), Some(value)) = (f_str(&r.fields, "attr"), f_str(&r.fields, "value"))
+            else {
+                continue;
+            };
+            let entry = ledger
+                .entries
+                .entry((attr.to_string(), value.to_string()))
+                .or_insert_with(|| TripleLineage {
+                    attr: attr.to_string(),
+                    value: value.to_string(),
+                    ..TripleLineage::default()
+                });
+            let iteration = f_u64(&r.fields, "iteration").unwrap_or(0);
+            let crf = f_f64(&r.fields, "conf_crf");
+            let rnn = f_f64(&r.fields, "conf_rnn");
+            if let Some(c) = crf {
+                entry.conf_crf = Some(entry.conf_crf.map_or(c, |m| m.max(c)));
+            }
+            if let Some(c) = rnn {
+                entry.conf_rnn = Some(entry.conf_rnn.map_or(c, |m| m.max(c)));
+            }
+            match r.name.as_str() {
+                "prov.origin" => {
+                    let origin = f_str(&r.fields, "origin").unwrap_or("unknown");
+                    if entry.origin.is_empty() {
+                        entry.origin = origin.to_string();
+                    }
+                    let mut detail = format!("origin: {origin}");
+                    if let Some(backend) = f_str(&r.fields, "backend") {
+                        detail.push_str(&format!(" via {backend}"));
+                    }
+                    if let Some(n) = f_u64(&r.fields, "products") {
+                        if n > 0 {
+                            detail.push_str(&format!(", {n} product(s)"));
+                            if let Some(ids) = f_str(&r.fields, "product_ids") {
+                                detail.push_str(&format!(" [{ids}]"));
+                            }
+                        }
+                    }
+                    detail.push_str(&conf_suffix(crf, rnn));
+                    entry.events.push(LineageEvent {
+                        stage: "origin",
+                        iteration,
+                        detail,
+                    });
+                }
+                "prov.extract" => {
+                    let backend = f_str(&r.fields, "backend").unwrap_or("?");
+                    let n = f_u64(&r.fields, "products").unwrap_or(0);
+                    let detail = format!(
+                        "re-extracted via {backend}, {n} product(s){}",
+                        conf_suffix(crf, rnn)
+                    );
+                    entry.events.push(LineageEvent {
+                        stage: "extract",
+                        iteration,
+                        detail,
+                    });
+                }
+                "prov.ensemble" => {
+                    let backend = f_str(&r.fields, "backend").unwrap_or("?");
+                    let conf = f_f64(&r.fields, "conf").unwrap_or(0.0);
+                    match backend {
+                        "rnn" => {
+                            entry.conf_rnn = Some(entry.conf_rnn.map_or(conf, |m| m.max(conf)))
+                        }
+                        _ => entry.conf_crf = Some(entry.conf_crf.map_or(conf, |m| m.max(conf))),
+                    }
+                    entry.events.push(LineageEvent {
+                        stage: "ensemble",
+                        iteration,
+                        detail: format!(
+                            "ensemble drop: only {backend} produced it (conf {conf:.3})"
+                        ),
+                    });
+                }
+                "prov.veto" => {
+                    let rule = f_str(&r.fields, "rule").unwrap_or("?");
+                    let dropped = f_bool(&r.fields, "dropped").unwrap_or(false);
+                    let measure = f_f64(&r.fields, "measure").unwrap_or(0.0);
+                    let verdict = if dropped { "DROPPED" } else { "near-miss" };
+                    entry.events.push(LineageEvent {
+                        stage: "veto",
+                        iteration,
+                        detail: format!("veto {rule}: {verdict} (measure {measure:.2})"),
+                    });
+                }
+                "prov.semantic" => {
+                    let kept = f_bool(&r.fields, "kept").unwrap_or(true);
+                    let in_core = f_bool(&r.fields, "in_core").unwrap_or(false);
+                    let threshold = f_f64(&r.fields, "threshold").unwrap_or(0.0);
+                    let verdict = if kept { "kept" } else { "DROPPED" };
+                    let mut detail = match f_f64(&r.fields, "similarity") {
+                        Some(sim) => format!(
+                            "semantic: similarity {sim:.3} vs threshold {threshold:.2}, {verdict}"
+                        ),
+                        None => format!("semantic: unscored, {verdict}"),
+                    };
+                    if in_core {
+                        detail.push_str(" (core member)");
+                    }
+                    entry.events.push(LineageEvent {
+                        stage: "semantic",
+                        iteration,
+                        detail,
+                    });
+                }
+                "prov.correction" => {
+                    let detail = match f_str(&r.fields, "action") {
+                        Some("rewrite") => format!(
+                            "correction: rewritten to \"{}\"",
+                            f_str(&r.fields, "new_value").unwrap_or("?")
+                        ),
+                        _ => "correction: vetoed by human".to_string(),
+                    };
+                    entry.events.push(LineageEvent {
+                        stage: "correction",
+                        iteration,
+                        detail,
+                    });
+                }
+                "prov.disposition" => {
+                    entry.fate = f_str(&r.fields, "fate").unwrap_or("").to_string();
+                    entry.stage = f_str(&r.fields, "stage").unwrap_or("").to_string();
+                    entry.fate_iteration = iteration;
+                    entry.rewritten_to = f_str(&r.fields, "rewritten_to").map(str::to_string);
+                }
+                _ => {}
+            }
+        }
+        ledger
+    }
+
+    /// Attribute names with their pair counts, sorted by name — the
+    /// discovery listing `explain` prints when no `--attribute` given.
+    pub fn attributes(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for (attr, _) in self.entries.keys() {
+            *counts.entry(attr).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(a, n)| (a.to_string(), n))
+            .collect()
+    }
+
+    /// Entries matching the query, best confidence first (ties broken
+    /// by the `(attr, value)` key so the order is total).
+    pub fn select(
+        &self,
+        attribute: Option<&str>,
+        value: Option<&str>,
+        product: Option<&str>,
+    ) -> Vec<&TripleLineage> {
+        let mut hits: Vec<&TripleLineage> = self
+            .entries
+            .values()
+            .filter(|e| attribute.is_none_or(|a| e.attr == a))
+            .filter(|e| value.is_none_or(|v| e.value == v))
+            .filter(|e| {
+                product.is_none_or(|p| {
+                    e.events.iter().any(|ev| {
+                        ev.detail.contains(&format!("[{p}]"))
+                            || ev.detail.contains(&format!("[{p},"))
+                            || ev.detail.contains(&format!(",{p},"))
+                            || ev.detail.contains(&format!(",{p}]"))
+                    })
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.confidence()
+                .total_cmp(&a.confidence())
+                .then_with(|| (&a.attr, &a.value).cmp(&(&b.attr, &b.value)))
+        });
+        hits
+    }
+
+    /// Renders one entry's trail for the console.
+    pub fn render_trail(e: &TripleLineage) -> String {
+        let mut out = String::new();
+        let fate = if e.fate.is_empty() { "?" } else { &e.fate };
+        out.push_str(&format!(
+            "{}={}  [{}]  confidence {:.3}",
+            e.attr,
+            e.value,
+            fate,
+            e.confidence()
+        ));
+        if let (Some(c), Some(r)) = (e.conf_crf, e.conf_rnn) {
+            out.push_str(&format!(" (crf {c:.3}, rnn {r:.3})"));
+        }
+        out.push('\n');
+        for ev in &e.events {
+            out.push_str(&format!("  it{}  {}\n", ev.iteration, ev.detail));
+        }
+        match e.fate.as_str() {
+            "kept" => out.push_str("  disposition: kept in the final triples\n"),
+            "rewritten" => out.push_str(&format!(
+                "  disposition: rewritten to \"{}\" at it{} ({})\n",
+                e.rewritten_to.as_deref().unwrap_or("?"),
+                e.fate_iteration,
+                e.stage
+            )),
+            "dropped" => out.push_str(&format!(
+                "  disposition: dropped at it{} by {}\n",
+                e.fate_iteration, e.stage
+            )),
+            _ => out.push_str("  disposition: unknown (trace carries no disposition record)\n"),
+        }
+        out
+    }
+
+    /// Deterministic JSON export of the whole ledger (no `seq`, `t_ns`,
+    /// or `thread` — only decisions).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"type\": \"lineage_ledger\",\n  \"entries\": [");
+        for (i, e) in self.entries.values().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    { \"attr\": ");
+            write_str(&mut out, &e.attr);
+            out.push_str(", \"value\": ");
+            write_str(&mut out, &e.value);
+            out.push_str(", \"origin\": ");
+            write_str(&mut out, &e.origin);
+            out.push_str(", \"fate\": ");
+            write_str(&mut out, &e.fate);
+            out.push_str(", \"stage\": ");
+            write_str(&mut out, &e.stage);
+            out.push_str(&format!(", \"iteration\": {}", e.fate_iteration));
+            out.push_str(", \"confidence\": ");
+            write_f64(&mut out, e.confidence());
+            if let Some(c) = e.conf_crf {
+                out.push_str(", \"conf_crf\": ");
+                write_f64(&mut out, c);
+            }
+            if let Some(c) = e.conf_rnn {
+                out.push_str(", \"conf_rnn\": ");
+                write_f64(&mut out, c);
+            }
+            if let Some(to) = &e.rewritten_to {
+                out.push_str(", \"rewritten_to\": ");
+                write_str(&mut out, to);
+            }
+            out.push_str(", \"events\": [");
+            for (j, ev) in e.events.iter().enumerate() {
+                out.push_str(if j == 0 { "" } else { ", " });
+                out.push_str("{ \"stage\": ");
+                write_str(&mut out, ev.stage);
+                out.push_str(&format!(", \"iteration\": {}", ev.iteration));
+                out.push_str(", \"detail\": ");
+                write_str(&mut out, &ev.detail);
+                out.push_str(" }");
+            }
+            out.push_str("] }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// One pair whose disposition changed between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FateFlip {
+    /// Attribute name.
+    pub attr: String,
+    /// Value string.
+    pub value: String,
+    /// Baseline fate (`absent` when the pair is new).
+    pub from: String,
+    /// Current fate (`absent` when the pair vanished).
+    pub to: String,
+    /// The stage that caused the current fate (`baseline:<stage>` when
+    /// the pair vanished entirely, so the cause lives in the baseline).
+    pub cause: String,
+    /// Iteration of the causing stage.
+    pub iteration: u64,
+}
+
+/// Pairs whose fate differs between `baseline` and `current`, in key
+/// order. A pair missing from one side diffs against `"absent"`.
+pub fn fate_flips(baseline: &LineageLedger, current: &LineageLedger) -> Vec<FateFlip> {
+    let mut keys: Vec<&(String, String)> = baseline
+        .entries
+        .keys()
+        .chain(current.entries.keys())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let mut flips = Vec::new();
+    for key in keys {
+        let b = baseline.entries.get(key);
+        let c = current.entries.get(key);
+        let from = b.map_or("absent", |e| {
+            if e.fate.is_empty() {
+                "?"
+            } else {
+                e.fate.as_str()
+            }
+        });
+        let to = c.map_or("absent", |e| {
+            if e.fate.is_empty() {
+                "?"
+            } else {
+                e.fate.as_str()
+            }
+        });
+        if from == to {
+            continue;
+        }
+        // The cause is whatever stage produced the *current* fate; for
+        // a vanished pair the only explanation lives in the baseline.
+        let (cause, iteration) = match c {
+            Some(e) => {
+                let stage = if e.fate == "kept" {
+                    "final".to_string()
+                } else if e.stage.is_empty() {
+                    "?".to_string()
+                } else {
+                    e.stage.clone()
+                };
+                (stage, e.fate_iteration)
+            }
+            None => match b {
+                Some(e) if !e.stage.is_empty() => {
+                    (format!("baseline:{}", e.stage), e.fate_iteration)
+                }
+                _ => ("absent".to_string(), 0),
+            },
+        };
+        flips.push(FateFlip {
+            attr: key.0.clone(),
+            value: key.1.clone(),
+            from: from.to_string(),
+            to: to.to_string(),
+            cause,
+            iteration,
+        });
+    }
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pae_obs::{RecordKind, TraceRecord};
+
+    fn prov(seq: u64, name: &str, fields: Vec<(&str, FieldValue)>) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t_ns: seq * 10,
+            thread: 0,
+            kind: RecordKind::Provenance,
+            span: 0,
+            parent: 0,
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    fn trace_of(records: Vec<TraceRecord>) -> Trace {
+        let mut t = Trace::default();
+        t.meta.records = records.len() as u64;
+        t.records = records;
+        t
+    }
+
+    fn sample_trace() -> Trace {
+        trace_of(vec![
+            prov(
+                0,
+                "prov.origin",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "red".into()),
+                    ("origin", "seed".into()),
+                    ("iteration", 0usize.into()),
+                    ("products", 2usize.into()),
+                    ("product_ids", "3,7".into()),
+                ],
+            ),
+            prov(
+                1,
+                "prov.origin",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "reddish".into()),
+                    ("origin", "tagger".into()),
+                    ("iteration", 1usize.into()),
+                    ("backend", "crf".into()),
+                    ("products", 1usize.into()),
+                    ("product_ids", "9".into()),
+                    ("conf_crf", 0.61f64.into()),
+                ],
+            ),
+            prov(
+                2,
+                "prov.veto",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "reddish".into()),
+                    ("iteration", 1usize.into()),
+                    ("rule", "long".into()),
+                    ("dropped", false.into()),
+                    ("measure", 0.4f64.into()),
+                ],
+            ),
+            prov(
+                3,
+                "prov.semantic",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "reddish".into()),
+                    ("iteration", 1usize.into()),
+                    ("in_core", false.into()),
+                    ("kept", false.into()),
+                    ("threshold", 0.55f64.into()),
+                    ("similarity", 0.21f64.into()),
+                ],
+            ),
+            prov(
+                4,
+                "prov.disposition",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "red".into()),
+                    ("fate", "kept".into()),
+                    ("stage", "".into()),
+                    ("iteration", 0usize.into()),
+                ],
+            ),
+            prov(
+                5,
+                "prov.disposition",
+                vec![
+                    ("attr", "color".into()),
+                    ("value", "reddish".into()),
+                    ("fate", "dropped".into()),
+                    ("stage", "semantic".into()),
+                    ("iteration", 1usize.into()),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn ledger_reconstructs_trails_and_dispositions() {
+        let ledger = LineageLedger::build(&sample_trace());
+        assert_eq!(ledger.entries.len(), 2);
+        let red = &ledger.entries[&("color".to_string(), "red".to_string())];
+        assert_eq!(red.origin, "seed");
+        assert_eq!(red.fate, "kept");
+        assert_eq!(red.confidence(), 0.0);
+        let reddish = &ledger.entries[&("color".to_string(), "reddish".to_string())];
+        assert_eq!(reddish.origin, "tagger");
+        assert_eq!(reddish.fate, "dropped");
+        assert_eq!(reddish.stage, "semantic");
+        assert_eq!(reddish.fate_iteration, 1);
+        assert_eq!(reddish.confidence(), 0.61);
+        let stages: Vec<&str> = reddish.events.iter().map(|e| e.stage).collect();
+        assert_eq!(stages, vec!["origin", "veto", "semantic"]);
+        let trail = LineageLedger::render_trail(reddish);
+        assert!(trail.contains("veto long: near-miss"), "{trail}");
+        assert!(trail.contains("similarity 0.210"), "{trail}");
+        assert!(trail.contains("dropped at it1 by semantic"), "{trail}");
+    }
+
+    #[test]
+    fn selection_sorts_by_confidence_and_filters_by_product() {
+        let ledger = LineageLedger::build(&sample_trace());
+        let all = ledger.select(Some("color"), None, None);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].value, "reddish", "higher confidence first");
+        let by_value = ledger.select(Some("color"), Some("red"), None);
+        assert_eq!(by_value.len(), 1);
+        let by_product = ledger.select(None, None, Some("9"));
+        assert_eq!(by_product.len(), 1);
+        assert_eq!(by_product[0].value, "reddish");
+        assert!(ledger.select(Some("material"), None, None).is_empty());
+        assert_eq!(ledger.attributes(), vec![("color".to_string(), 2)]);
+    }
+
+    #[test]
+    fn ledger_json_is_deterministic_and_excludes_timing() {
+        let a = LineageLedger::build(&sample_trace());
+        let mut shuffled = sample_trace();
+        for r in &mut shuffled.records {
+            r.t_ns += 1_000_000; // timing must not leak into the export
+            r.thread = 5;
+        }
+        let b = LineageLedger::build(&shuffled);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.to_json().contains("t_ns"));
+        assert!(a.to_json().contains("\"fate\": \"dropped\""));
+    }
+
+    #[test]
+    fn fate_flips_detects_disposition_changes() {
+        let baseline = LineageLedger::build(&sample_trace());
+        let mut regressed = sample_trace();
+        // Flip red's fate to dropped-by-veto in the current run.
+        for r in &mut regressed.records {
+            if r.name == "prov.disposition"
+                && r.field("value") == Some(&FieldValue::Str("red".into()))
+            {
+                r.fields = vec![
+                    ("attr".to_string(), "color".into()),
+                    ("value".to_string(), "red".into()),
+                    ("fate".to_string(), "dropped".into()),
+                    ("stage".to_string(), "veto:symbols".into()),
+                    ("iteration".to_string(), 2usize.into()),
+                ];
+            }
+        }
+        let current = LineageLedger::build(&regressed);
+        let flips = fate_flips(&baseline, &current);
+        assert_eq!(flips.len(), 1);
+        assert_eq!(flips[0].from, "kept");
+        assert_eq!(flips[0].to, "dropped");
+        assert_eq!(flips[0].cause, "veto:symbols");
+        assert_eq!(flips[0].iteration, 2);
+        assert!(fate_flips(&baseline, &baseline).is_empty());
+    }
+}

@@ -5,6 +5,8 @@
 //! pae-report diff  <baseline> <current> [threshold flags]
 //! pae-report check <current> --baseline <FILE> [threshold flags]
 //! pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
+//! pae-report explain <trace.jsonl> [--attribute A] [--value V] [--product P] [--json]
+//! pae-report explain-diff <current trace.jsonl> --baseline <trace.jsonl>
 //!
 //! threshold flags:
 //!   --time-tolerance F    allowed relative slowdown per stage (default 0.5)
@@ -15,8 +17,9 @@
 //! ```
 //!
 //! Inputs may be raw JSONL traces or already-built summary JSON; the
-//! format is auto-detected. Exit codes: 0 pass, 1 regression beyond
-//! thresholds, 2 usage or I/O error.
+//! format is auto-detected (`explain`/`explain-diff` need raw traces
+//! recorded with provenance on). Exit codes: 0 pass, 1 regression
+//! beyond thresholds or nothing found, 2 usage or I/O error.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -25,6 +28,7 @@ use pae_obs::reader::Trace;
 use pae_report::bench;
 use pae_report::diff::{check, diff_summaries, Thresholds};
 use pae_report::ledger;
+use pae_report::lineage::{fate_flips, LineageLedger};
 use pae_report::summary::{RunMeta, RunSummary};
 
 const USAGE: &str = "usage:
@@ -32,6 +36,8 @@ const USAGE: &str = "usage:
   pae-report diff  <baseline> <current> [threshold flags]
   pae-report check <current> --baseline <FILE> [threshold flags]
   pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
+  pae-report explain <trace.jsonl> [--attribute A] [--value V] [--product P] [--json]
+  pae-report explain-diff <current trace.jsonl> --baseline <trace.jsonl>
 threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
                  --coverage-tol F    --drift-tol F";
 
@@ -199,6 +205,86 @@ fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Reads and parses a raw JSONL trace, requiring provenance records.
+fn load_provenance_trace(path: &str) -> Result<Trace, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = Trace::parse(&doc).map_err(|e| format!("{path}: {e}"))?;
+    if trace.provenance_records().is_empty() {
+        return Err(format!(
+            "{path} carries no provenance records; re-run with PAE_PROVENANCE=1 \
+             or --provenance-out to record lineage"
+        ));
+    }
+    Ok(trace)
+}
+
+fn cmd_explain(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let attribute = take_flag_value(&mut args, "--attribute")?;
+    let value = take_flag_value(&mut args, "--value")?;
+    let product = take_flag_value(&mut args, "--product")?;
+    let json = if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let [input] = args.as_slice() else {
+        return Err("explain takes exactly one input trace".into());
+    };
+    let trace = load_provenance_trace(input)?;
+    let ledger = LineageLedger::build(&trace);
+    if json {
+        print!("{}", ledger.to_json());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if attribute.is_none() && value.is_none() && product.is_none() {
+        // Discovery listing: which attributes the ledger knows about.
+        println!(
+            "attributes with lineage ({} pairs total):",
+            ledger.entries.len()
+        );
+        for (attr, n) in ledger.attributes() {
+            println!("  {attr:<24} {n} pair(s)");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let hits = ledger.select(attribute.as_deref(), value.as_deref(), product.as_deref());
+    if hits.is_empty() {
+        eprintln!("no lineage matches the query");
+        return Ok(ExitCode::from(1));
+    }
+    for (i, e) in hits.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", LineageLedger::render_trail(e));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_explain_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let baseline = take_flag_value(&mut args, "--baseline")?
+        .ok_or("explain-diff requires --baseline <FILE>")?;
+    let [current] = args.as_slice() else {
+        return Err("explain-diff takes exactly one current input trace".into());
+    };
+    let b = LineageLedger::build(&load_provenance_trace(&baseline)?);
+    let c = LineageLedger::build(&load_provenance_trace(current)?);
+    let flips = fate_flips(&b, &c);
+    if flips.is_empty() {
+        println!("no disposition flips: {} pair(s) agree", c.entries.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{} disposition flip(s):", flips.len());
+    for f in &flips {
+        println!(
+            "  {}={}  {} -> {}  (cause: {} at it{})",
+            f.attr, f.value, f.from, f.to, f.cause, f.iteration
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -209,6 +295,8 @@ fn main() -> ExitCode {
         "summarize" => cmd_summarize(args),
         "diff" => cmd_diff(args),
         "check" => cmd_check(args),
+        "explain" => cmd_explain(args),
+        "explain-diff" => cmd_explain_diff(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)

@@ -48,6 +48,13 @@ pub struct StagePerf {
     pub total_ns: u64,
     /// Longest single span.
     pub max_ns: u64,
+    /// Median duration (log₂-histogram estimate, clamped to the
+    /// observed range; zero in documents predating the field).
+    pub p50_ns: u64,
+    /// 90th-percentile duration (same estimator).
+    pub p90_ns: u64,
+    /// 99th-percentile duration (same estimator).
+    pub p99_ns: u64,
 }
 
 /// One `semantic.drift` row: an attribute's accepted values measured
@@ -190,7 +197,10 @@ impl RunSummary {
             ..RunSummary::default()
         };
 
-        // Perf: aggregate span-end durations by span name.
+        // Perf: aggregate span-end durations by span name. Quantiles
+        // come from a per-stage log₂ histogram over the durations —
+        // the same estimator the live metrics registry uses.
+        let mut histograms: BTreeMap<String, pae_obs::Histogram> = BTreeMap::new();
         for r in &trace.records {
             if r.kind != RecordKind::SpanEnd {
                 continue;
@@ -200,6 +210,17 @@ impl RunSummary {
             stage.calls += 1;
             stage.total_ns += dur;
             stage.max_ns = stage.max_ns.max(dur);
+            histograms
+                .entry(r.name.clone())
+                .or_default()
+                .observe(dur as f64);
+        }
+        for (name, hist) in &histograms {
+            if let Some(stage) = summary.stages.get_mut(name) {
+                stage.p50_ns = hist.quantile(0.5) as u64;
+                stage.p90_ns = hist.quantile(0.9) as u64;
+                stage.p99_ns = hist.quantile(0.99) as u64;
+            }
         }
 
         // Span-tree bookkeeping: parent chain + the ordinal of each
@@ -434,8 +455,8 @@ impl RunSummary {
             out.push_str("      ");
             write_str(&mut out, name);
             out.push_str(&format!(
-                ": {{ \"calls\": {}, \"total_ns\": {}, \"max_ns\": {} }}",
-                s.calls, s.total_ns, s.max_ns
+                ": {{ \"calls\": {}, \"total_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {} }}",
+                s.calls, s.total_ns, s.max_ns, s.p50_ns, s.p90_ns, s.p99_ns
             ));
         }
         if !self.stages.is_empty() {
@@ -485,6 +506,10 @@ impl RunSummary {
                         calls: s.get("calls").and_then(Json::as_u64).unwrap_or(0),
                         total_ns: s.get("total_ns").and_then(Json::as_u64).unwrap_or(0),
                         max_ns: s.get("max_ns").and_then(Json::as_u64).unwrap_or(0),
+                        // Absent in pre-quantile documents → 0.
+                        p50_ns: s.get("p50_ns").and_then(Json::as_u64).unwrap_or(0),
+                        p90_ns: s.get("p90_ns").and_then(Json::as_u64).unwrap_or(0),
+                        p99_ns: s.get("p99_ns").and_then(Json::as_u64).unwrap_or(0),
                     },
                 );
             }
@@ -599,6 +624,9 @@ mod tests {
                 calls: 1,
                 total_ns: 1_000_000,
                 max_ns: 1_000_000,
+                p50_ns: 1_000_000,
+                p90_ns: 1_000_000,
+                p99_ns: 1_000_000,
             },
         );
         s.runs.push(vec![IterationQuality {
@@ -655,6 +683,40 @@ mod tests {
         assert!(RunSummary::parse("{}").is_err());
         assert!(RunSummary::parse("{\"type\":\"meta\"}").is_err());
         assert!(RunSummary::parse("not json").is_err());
+    }
+
+    #[test]
+    fn build_computes_stage_quantiles_from_span_durations() {
+        // Ten spans of ~1µs and one of ~1s: p50/p90 stay in the small
+        // bucket, p99 reaches for the outlier (clamped to max).
+        let mut doc =
+            String::from("{\"type\":\"meta\",\"version\":1,\"records\":22,\"dropped\":0}\n");
+        for i in 0..11u64 {
+            let dur = if i == 10 { 1_000_000_000u64 } else { 1_024 };
+            doc.push_str(&format!(
+                "{{\"type\":\"span_start\",\"seq\":{},\"t_ns\":0,\"span\":{},\"parent\":0,\"thread\":0,\"name\":\"veto\",\"fields\":{{}}}}\n",
+                2 * i,
+                i + 1,
+            ));
+            doc.push_str(&format!(
+                "{{\"type\":\"span_end\",\"seq\":{},\"t_ns\":0,\"span\":{},\"parent\":0,\"thread\":0,\"name\":\"veto\",\"fields\":{{\"dur_ns\":{}}}}}\n",
+                2 * i + 1,
+                i + 1,
+                dur,
+            ));
+        }
+        let trace = Trace::parse(&doc).expect("parses");
+        let s = RunSummary::build(RunMeta::default(), &trace);
+        let veto = &s.stages["veto"];
+        assert_eq!(veto.calls, 11);
+        assert_eq!(veto.max_ns, 1_000_000_000);
+        assert!(
+            veto.p50_ns >= 1_024 && veto.p50_ns < 1_000_000,
+            "p50 {}",
+            veto.p50_ns
+        );
+        assert!(veto.p90_ns < 1_000_000, "p90 {}", veto.p90_ns);
+        assert_eq!(veto.p99_ns, 1_000_000_000, "p99 {}", veto.p99_ns);
     }
 
     #[test]

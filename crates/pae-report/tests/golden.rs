@@ -1,7 +1,10 @@
-//! Golden tests over the two checked-in fixture traces (`clean.jsonl`
-//! and `regressed.jsonl`, which injects a perf, a precision, a
-//! coverage, and a drift regression), plus exit-code tests driving the
-//! actual `pae-report` binary.
+//! Golden tests over the checked-in fixture traces: `clean.jsonl` /
+//! `regressed.jsonl` (the latter injects a perf, a precision, a
+//! coverage, and a drift regression) for summarize/diff/check, and
+//! `provenance_clean.jsonl` / `provenance_regressed.jsonl` (the latter
+//! flips `color=red` from kept to semantically dropped) for
+//! explain/explain-diff — plus exit-code tests driving the actual
+//! `pae-report` binary.
 
 use std::path::Path;
 use std::process::Command;
@@ -200,6 +203,88 @@ fn cli_usage_and_io_errors_exit_2() {
 
     let (code, _, _) = run_cli(&["check", &fixture("clean.jsonl")]);
     assert_eq!(code, 2, "check without --baseline is a usage error");
+}
+
+#[test]
+fn cli_explain_reconstructs_a_semantically_dropped_trail() {
+    let prov = fixture("provenance_clean.jsonl");
+
+    // No query: discovery listing of attributes with pair counts.
+    let (code, stdout, _) = run_cli(&["explain", &prov]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("color"), "{stdout}");
+    assert!(stdout.contains("3 pair(s)"), "{stdout}");
+    assert!(stdout.contains("weight"), "{stdout}");
+
+    // Full trail for the semantically-dropped triple.
+    let (code, stdout, _) = run_cli(&["explain", &prov, "--attribute", "color"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("color=reddish  [dropped]"),
+        "header with fate: {stdout}"
+    );
+    assert!(
+        stdout.contains("origin: tagger via crf"),
+        "origin event: {stdout}"
+    );
+    assert!(
+        stdout.contains("veto long: near-miss (measure 0.40)"),
+        "veto near-miss: {stdout}"
+    );
+    assert!(
+        stdout.contains("similarity 0.210 vs threshold 0.55, DROPPED"),
+        "semantic verdict: {stdout}"
+    );
+    assert!(
+        stdout.contains("dropped at it1 by semantic"),
+        "disposition: {stdout}"
+    );
+    // Sorted by confidence: red (0.93) before reddish (0.61).
+    let red = stdout.find("color=red  ").expect("red trail present");
+    let reddish = stdout.find("color=reddish").expect("reddish trail");
+    assert!(red < reddish, "confidence ordering: {stdout}");
+
+    // --value narrows to one pair; unknown queries exit 1.
+    let (code, stdout, _) = run_cli(&["explain", &prov, "--attribute", "color", "--value", "red"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("confidence 0.930"), "{stdout}");
+    assert!(!stdout.contains("reddish"), "{stdout}");
+    let (code, _, stderr) = run_cli(&["explain", &prov, "--attribute", "material"]);
+    assert_eq!(code, 1, "no match must exit 1: {stderr}");
+
+    // A trace without provenance records is a usage error.
+    let (code, _, stderr) = run_cli(&["explain", &fixture("clean.jsonl")]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("no provenance records"), "{stderr}");
+
+    // --json emits the deterministic ledger document.
+    let (code, stdout, _) = run_cli(&["explain", &prov, "--json"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"type\": \"lineage_ledger\""), "{stdout}");
+    assert!(stdout.contains("\"fate\": \"kept\""), "{stdout}");
+    let (_, again, _) = run_cli(&["explain", &prov, "--json"]);
+    assert_eq!(stdout, again, "ledger JSON is byte-stable");
+}
+
+#[test]
+fn cli_explain_diff_lists_disposition_flips_with_cause() {
+    let clean = fixture("provenance_clean.jsonl");
+    let bad = fixture("provenance_regressed.jsonl");
+
+    let (code, stdout, _) = run_cli(&["explain-diff", &bad, "--baseline", &clean]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 disposition flip(s)"), "{stdout}");
+    assert!(
+        stdout.contains("color=red  kept -> dropped  (cause: semantic at it1)"),
+        "flip with cause stage: {stdout}"
+    );
+
+    let (code, stdout, _) = run_cli(&["explain-diff", &clean, "--baseline", &clean]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("no disposition flips"), "{stdout}");
+
+    let (code, _, _) = run_cli(&["explain-diff", &bad]);
+    assert_eq!(code, 2, "explain-diff without --baseline is a usage error");
 }
 
 #[test]

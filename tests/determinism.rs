@@ -183,6 +183,85 @@ fn dense_and_sparse_gradient_folds_quality_sections_match() {
     }
 }
 
+/// Captures one provenance-enabled CRF run at `jobs`: the final
+/// triples plus the lineage-ledger JSON built from the run's own span
+/// subtree. Callers must hold [`obs_lock`].
+fn provenance_run(jobs: usize) -> (Vec<pae::core::Triple>, String) {
+    pae::obs::reset();
+    pae::obs::set_enabled(true);
+    pae::obs::set_provenance_enabled(true);
+    pae::obs::set_capacity(pae::obs::PROVENANCE_CAPACITY);
+    let triples;
+    {
+        let _span = pae::obs::span("determinism.provenance");
+        triples = run_tagger_at(TaggerKind::Crf, jobs);
+    }
+    let trace = pae::obs::reader::Trace::from_current();
+    pae::obs::set_provenance_enabled(false);
+    pae::obs::set_enabled(false);
+    pae::obs::set_capacity(pae::obs::DEFAULT_CAPACITY);
+    pae::obs::reset();
+    let root_records = trace.spans_named("determinism.provenance");
+    let root = root_records.first().expect("outer span recorded").span;
+    let sub = trace.subtree(root);
+    assert!(
+        !sub.provenance_records().is_empty(),
+        "provenance was enabled but the run emitted no lineage records"
+    );
+    let ledger = pae::report::lineage::LineageLedger::build(&sub);
+    (triples, ledger.to_json())
+}
+
+/// The provenance hard constraint, both halves: recording lineage is
+/// side-effect-free (final triples byte-identical with provenance on
+/// or off, at serial and parallel pool widths), and the ledger itself
+/// is byte-identical across repeats and across `PAE_JOBS=1` vs `4`.
+#[test]
+fn provenance_ledger_is_deterministic_and_side_effect_free() {
+    let _l = obs_lock();
+    let baseline = run_tagger_at(TaggerKind::Crf, 1); // provenance off
+    assert!(!baseline.is_empty());
+    let (t1, l1) = provenance_run(1);
+    let (t1b, l1b) = provenance_run(1);
+    let (t4, l4) = provenance_run(4);
+    assert_eq!(baseline, t1, "enabling provenance changed the output");
+    assert_eq!(t1, t1b, "repeat run diverged with provenance on");
+    assert_eq!(t1, t4, "PAE_JOBS=4 diverged with provenance on");
+    assert_eq!(l1, l1b, "ledger not byte-identical across repeats");
+    assert_eq!(l1, l4, "ledger not byte-identical across pool widths");
+    assert!(
+        l1.contains("\"fate\": \"kept\""),
+        "ledger records no kept disposition: {l1}"
+    );
+}
+
+/// Same side-effect guarantee for the ensemble backend, whose
+/// provenance path adds per-candidate confidence scoring and
+/// intersection-drop records.
+#[test]
+fn ensemble_provenance_is_side_effect_free() {
+    let _l = obs_lock();
+    let baseline = run_tagger_at(TaggerKind::Ensemble, 4);
+    pae::obs::reset();
+    pae::obs::set_enabled(true);
+    pae::obs::set_provenance_enabled(true);
+    pae::obs::set_capacity(pae::obs::PROVENANCE_CAPACITY);
+    let traced = run_tagger_at(TaggerKind::Ensemble, 4);
+    let trace = pae::obs::reader::Trace::from_current();
+    pae::obs::set_provenance_enabled(false);
+    pae::obs::set_enabled(false);
+    pae::obs::set_capacity(pae::obs::DEFAULT_CAPACITY);
+    pae::obs::reset();
+    assert_eq!(
+        baseline, traced,
+        "ensemble output changed with provenance on"
+    );
+    assert!(
+        !trace.provenance_records().is_empty(),
+        "ensemble run emitted no lineage records"
+    );
+}
+
 #[test]
 fn identical_seeds_identical_triples() {
     let a = run(42);
