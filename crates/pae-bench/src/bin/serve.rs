@@ -1,0 +1,252 @@
+//! `pae-bench serve`: open-loop load generator for the extraction
+//! service.
+//!
+//! ```text
+//! serve <bundle.paeb> [--requests N] [--rate R] [--clients N]
+//!       [--server-workers N] [--batch B] [--kind vacuum|garden|bags]
+//!       [--products N] [--ledger DIR]
+//! ```
+//!
+//! Starts an in-process [`pae_serve::Server`] over real TCP from the
+//! bundle, then fires `N` `/extract` requests at a fixed arrival rate
+//! of `R` req/s. The schedule is **open-loop**: request `i` is due at
+//! `t0 + i/R` regardless of how earlier requests are doing, and each
+//! latency is measured from its *scheduled* send time, so queueing
+//! delay under overload is charged to the tail (no coordinated
+//! omission). Exact p50/p99/p999 over the sorted latencies are
+//! reported and merged into `BENCH_pipeline.json` as `serve/p50`,
+//! `serve/p99`, `serve/p999` for `pae-report check --bench-baseline`;
+//! `--ledger` additionally writes the server-side `serve.request`
+//! stage summary for `pae-report check --baseline`.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use pae_bench::cli::RunCli;
+use pae_bench::{update_bench_json, BenchRecord};
+use pae_serve::{http_request, parse_extract_response, Server, ServerConfig};
+use pae_synth::{CategoryKind, DatasetSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve <bundle.paeb> [--requests N] [--rate R] [--clients N] \
+         [--server-workers N] [--batch B] [--kind vacuum|garden|bags] [--products N]"
+    );
+    ExitCode::from(2)
+}
+
+/// Exact quantile of an ascending-sorted sample (nearest-rank).
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let cli = RunCli::init("serve");
+
+    let mut bundle: Option<String> = None;
+    let mut requests = 200usize;
+    let mut rate = 100.0f64;
+    let mut clients = 8usize;
+    let mut server_workers = 4usize;
+    let mut batch = 1usize;
+    let mut kind = CategoryKind::VacuumCleaner;
+    let mut products = 120usize;
+    let mut it = cli.args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => return usage(),
+            },
+            "--rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0.0 => rate = r,
+                _ => return usage(),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => clients = n,
+                _ => return usage(),
+            },
+            "--server-workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => server_workers = n,
+                _ => return usage(),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => return usage(),
+            },
+            "--kind" => match it.next().map(String::as_str) {
+                Some("vacuum") => kind = CategoryKind::VacuumCleaner,
+                Some("garden") => kind = CategoryKind::Garden,
+                Some("bags") => kind = CategoryKind::LadiesBags,
+                _ => return usage(),
+            },
+            "--products" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => products = n,
+                _ => return usage(),
+            },
+            _ if bundle.is_none() && !arg.starts_with('-') => bundle = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(bundle) = bundle else {
+        return usage();
+    };
+
+    let model = match pae_core::read_bundle(Path::new(&bundle)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve: {bundle}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let extractor = match model.extractor() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("serve: cannot rehydrate model: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let server = match Server::start(
+        extractor,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: server_workers,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let addr = server.addr();
+
+    // Pre-render request bodies: cycle the synthetic pages so the mix
+    // is stable across runs.
+    let dataset = DatasetSpec::new(kind, 42).products(products).generate();
+    let bodies: Vec<String> = (0..requests)
+        .map(|i| {
+            let mut body = String::from("{\"pages\":[");
+            for j in 0..batch {
+                let page = &dataset.pages[(i * batch + j) % dataset.pages.len()];
+                if j > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{{\"product\":{},\"html\":", page.id));
+                pae_obs::json::write_str(&mut body, &page.html);
+                body.push('}');
+            }
+            body.push_str("]}");
+            body
+        })
+        .collect();
+
+    println!(
+        "load: {requests} requests x {batch} page(s) at {rate:.0} req/s \
+         ({clients} clients -> {server_workers} workers on {addr})"
+    );
+    let next = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                let errors = &errors;
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut mine: Vec<u64> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bodies.len() {
+                            break;
+                        }
+                        let due = Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let scheduled = t0 + due;
+                        let ok = http_request(addr, "POST", "/extract", &bodies[i])
+                            .ok()
+                            .filter(|(status, _)| *status == 200)
+                            .and_then(|(_, body)| parse_extract_response(&body).ok())
+                            .is_some();
+                        if ok {
+                            mine.push(scheduled.elapsed().as_nanos() as u64);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    server.shutdown();
+
+    let n_errors = errors.load(Ordering::Relaxed);
+    if latencies.is_empty() {
+        eprintln!("serve: all {requests} requests failed");
+        return ExitCode::from(1);
+    }
+    latencies.sort_unstable();
+    let min = latencies[0];
+    let mean =
+        (latencies.iter().map(|&v| v as u128).sum::<u128>() / latencies.len() as u128) as u64;
+    let (p50, p99, p999) = (
+        quantile_ns(&latencies, 0.50),
+        quantile_ns(&latencies, 0.99),
+        quantile_ns(&latencies, 0.999),
+    );
+    println!(
+        "done: {} ok, {n_errors} failed in {:.2}s ({:.0} req/s achieved)",
+        latencies.len(),
+        wall.as_secs_f64(),
+        latencies.len() as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency (scheduled->response): min {:.2}ms  p50 {:.2}ms  p99 {:.2}ms  p999 {:.2}ms  mean {:.2}ms",
+        min as f64 / 1e6,
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        p999 as f64 / 1e6,
+        mean as f64 / 1e6
+    );
+    for (q, v) in [("p50", p50), ("p99", p99), ("p999", p999)] {
+        pae_obs::observe("serve.load.quantile_ns", &[("q", q)], v as f64);
+    }
+    if n_errors > 0 {
+        eprintln!("serve: {n_errors} requests failed");
+        return ExitCode::from(1);
+    }
+
+    let samples = latencies.len() as u64;
+    let records: Vec<BenchRecord> = [("serve/p50", p50), ("serve/p99", p99), ("serve/p999", p999)]
+        .into_iter()
+        .map(|(id, v)| BenchRecord {
+            id: id.to_owned(),
+            samples,
+            min_ns: min,
+            median_ns: v,
+            mean_ns: mean,
+        })
+        .collect();
+    match update_bench_json(&RunCli::repo_root(), &records) {
+        Ok(path) => println!("merged serve/p50|p99|p999 into {}", path.display()),
+        Err(e) => {
+            eprintln!("serve: cannot update bench ledger: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    cli.finish();
+    ExitCode::SUCCESS
+}

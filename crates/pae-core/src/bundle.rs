@@ -1,0 +1,785 @@
+//! Versioned on-disk form of a [`FrozenModel`]: one self-describing,
+//! byte-deterministic artifact.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "PAEB" | schema_version u32 | content_hash u64 | n_sections u32
+//! [ section id u32 | payload offset u64 | payload len u64 ] * n_sections
+//! payload bytes (concatenated sections)
+//! ```
+//!
+//! `content_hash` is FNV-1a (64-bit) over the payload, so two bundles
+//! with identical frozen state are byte-identical and corruption
+//! anywhere in the payload is caught before decoding. Readers validate
+//! magic, schema version, hash, section table shape, and every
+//! section's internal structure (strict: trailing bytes are an error) —
+//! a bad bundle is always a typed [`BundleError`], never a panic.
+//!
+//! Section inventory (ids are stable; adding a section bumps the
+//! schema version): 1 meta, 2 attrs, 3 lexicon, 4 tagger, 5 veto
+//! blocklist, 6 semantic freeze.
+
+use std::path::Path;
+
+use pae_synth::Language;
+use pae_text::{Lexicon, PosTag};
+
+use crate::cleaning::SemanticFreeze;
+use crate::frozen::{ConfigEcho, FrozenModel, FrozenTagger};
+
+/// Leading magic bytes of every bundle.
+pub const BUNDLE_MAGIC: [u8; 4] = *b"PAEB";
+/// Current bundle schema version.
+pub const BUNDLE_SCHEMA_VERSION: u32 = 1;
+
+const SEC_META: u32 = 1;
+const SEC_ATTRS: u32 = 2;
+const SEC_LEXICON: u32 = 3;
+const SEC_TAGGER: u32 = 4;
+const SEC_VETO: u32 = 5;
+const SEC_SEMANTIC: u32 = 6;
+const SECTION_IDS: [u32; 6] = [
+    SEC_META,
+    SEC_ATTRS,
+    SEC_LEXICON,
+    SEC_TAGGER,
+    SEC_VETO,
+    SEC_SEMANTIC,
+];
+
+/// Why a bundle could not be read (or written).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BundleError {
+    /// The file does not start with [`BUNDLE_MAGIC`].
+    BadMagic,
+    /// The schema version is not [`BUNDLE_SCHEMA_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The payload does not hash to the header's content hash.
+    HashMismatch {
+        /// Hash recorded in the header.
+        expected: u64,
+        /// Hash of the actual payload.
+        actual: u64,
+    },
+    /// The document ends before a declared structure is complete.
+    Truncated(String),
+    /// A structurally invalid document (bad section table, invalid
+    /// enum tag, non-UTF-8 string, trailing bytes, …).
+    Malformed(String),
+    /// Filesystem error (includes the overwrite refusal from
+    /// [`pae_obs::reserve_output`]).
+    Io(String),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::BadMagic => write!(f, "not a PAE bundle (bad magic)"),
+            BundleError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported bundle schema version {found} (this build reads \
+                 version {BUNDLE_SCHEMA_VERSION})"
+            ),
+            BundleError::HashMismatch { expected, actual } => write!(
+                f,
+                "bundle content hash mismatch: header says {expected:016x}, \
+                 payload hashes to {actual:016x}"
+            ),
+            BundleError::Truncated(what) => write!(f, "truncated bundle: {what}"),
+            BundleError::Malformed(what) => write!(f, "malformed bundle: {what}"),
+            BundleError::Io(e) => write!(f, "bundle I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+/// FNV-1a 64-bit over `bytes` (the bundle's content hash).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f32(out, v);
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive reader with strict bounds checking.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BundleError> {
+        if n > self.remaining() {
+            return Err(BundleError::Truncated(format!(
+                "{what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, BundleError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, BundleError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, BundleError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// A declared element count, sanity-bounded by the remaining bytes
+    /// (each element occupies at least `min_elem_bytes`), so a corrupt
+    /// length can never drive an allocation beyond the document size.
+    fn len(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize, BundleError> {
+        let n = self.u64(what)?;
+        let cap = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if n > cap {
+            return Err(BundleError::Truncated(format!(
+                "{what}: declared {n} elements, space for at most {cap}"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, BundleError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, what: &str) -> Result<Vec<f32>, BundleError> {
+        let n = self.len(4, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32(what)?);
+        }
+        Ok(out)
+    }
+
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, BundleError> {
+        let n = self.len(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()));
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, BundleError> {
+        let n = self.len(1, what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| BundleError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    fn finish(&self, what: &str) -> Result<(), BundleError> {
+        if self.remaining() != 0 {
+            return Err(BundleError::Malformed(format!(
+                "{what}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section codecs.
+
+fn language_tag(l: Language) -> u8 {
+    match l {
+        Language::Agglut => 0,
+        Language::SpaceDelim => 1,
+    }
+}
+
+fn language_from(tag: u8) -> Result<Language, BundleError> {
+    match tag {
+        0 => Ok(Language::Agglut),
+        1 => Ok(Language::SpaceDelim),
+        other => Err(BundleError::Malformed(format!(
+            "unknown language tag {other}"
+        ))),
+    }
+}
+
+fn encode_meta(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(language_tag(m.language));
+    out.push(u8::from(m.use_veto));
+    put_u64(&mut out, m.max_value_chars as u64);
+    put_u64(&mut out, m.config.iterations as u64);
+    put_u64(&mut out, m.config.seed);
+    put_str(&mut out, &m.config.tagger);
+    out
+}
+
+fn encode_attrs(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, m.attrs.len() as u64);
+    for a in &m.attrs {
+        put_str(&mut out, a);
+    }
+    out
+}
+
+fn encode_lexicon(m: &FrozenModel) -> Vec<u8> {
+    let mut entries: Vec<(&str, PosTag)> = m.lexicon.iter().collect();
+    entries.sort_by_key(|&(w, _)| w);
+    let mut out = Vec::new();
+    put_u64(&mut out, entries.len() as u64);
+    for (word, tag) in entries {
+        put_str(&mut out, word);
+        out.push(tag.index() as u8);
+    }
+    out
+}
+
+fn encode_tagger_into(out: &mut Vec<u8>, t: &FrozenTagger) {
+    match t {
+        FrozenTagger::Crf {
+            n_labels,
+            params,
+            feature_names,
+            window,
+            max_sentence_bucket,
+        } => {
+            out.push(0);
+            put_u64(out, *n_labels as u64);
+            put_u64(out, *window as u64);
+            put_u64(out, *max_sentence_bucket as u64);
+            put_f64s(out, params);
+            put_u64(out, feature_names.len() as u64);
+            for name in feature_names {
+                put_str(out, name);
+            }
+        }
+        FrozenTagger::Rnn { bytes } => {
+            out.push(1);
+            put_u64(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        FrozenTagger::Ensemble { crf, rnn } => {
+            out.push(2);
+            encode_tagger_into(out, crf);
+            encode_tagger_into(out, rnn);
+        }
+    }
+}
+
+fn encode_veto(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, m.veto_blocklist.len() as u64);
+    for (attr, value) in &m.veto_blocklist {
+        put_str(&mut out, attr);
+        put_str(&mut out, value);
+    }
+    out
+}
+
+fn encode_semantic(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    let Some(s) = &m.semantic else {
+        out.push(0);
+        return out;
+    };
+    out.push(1);
+    put_u64(&mut out, s.dim as u64);
+    put_f32(&mut out, s.keep_threshold);
+    put_f32s(&mut out, &s.mean);
+    put_u64(&mut out, s.vectors.len() as u64);
+    for (word, vec) in &s.vectors {
+        put_str(&mut out, word);
+        put_f32s(&mut out, vec);
+    }
+    put_u64(&mut out, s.cores.len() as u64);
+    for (attr, members) in &s.cores {
+        put_str(&mut out, attr);
+        put_u64(&mut out, members.len() as u64);
+        for mem in members {
+            put_str(&mut out, mem);
+        }
+    }
+    out
+}
+
+fn decode_tagger(r: &mut Reader, depth: usize) -> Result<FrozenTagger, BundleError> {
+    match r.u8("tagger kind")? {
+        0 => {
+            let n_labels = r.u64("crf n_labels")? as usize;
+            let window = r.u64("crf window")? as usize;
+            let max_sentence_bucket = r.u64("crf sentence bucket")? as usize;
+            let params = r.f64s("crf params")?;
+            let n_names = r.len(8, "crf feature count")?;
+            let mut feature_names = Vec::with_capacity(n_names);
+            for _ in 0..n_names {
+                feature_names.push(r.string("crf feature name")?);
+            }
+            let expected = pae_crf::CrfModel::param_len(feature_names.len(), n_labels);
+            if params.len() != expected {
+                return Err(BundleError::Malformed(format!(
+                    "CRF parameter vector has {} entries, expected {expected}",
+                    params.len()
+                )));
+            }
+            Ok(FrozenTagger::Crf {
+                n_labels,
+                params,
+                feature_names,
+                window,
+                max_sentence_bucket,
+            })
+        }
+        1 => {
+            let n = r.len(1, "rnn byte length")?;
+            let bytes = r.take(n, "rnn bytes")?.to_vec();
+            // Validate eagerly: a bundle must never defer a decode
+            // failure to serve time.
+            pae_neural::BiLstmTagger::from_bytes(&bytes)
+                .map_err(|e| BundleError::Malformed(format!("rnn tagger: {e}")))?;
+            Ok(FrozenTagger::Rnn { bytes })
+        }
+        2 if depth == 0 => Ok(FrozenTagger::Ensemble {
+            crf: Box::new(decode_tagger(r, 1)?),
+            rnn: Box::new(decode_tagger(r, 1)?),
+        }),
+        2 => Err(BundleError::Malformed("nested ensemble tagger".to_owned())),
+        other => Err(BundleError::Malformed(format!(
+            "unknown tagger kind {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-bundle encode/decode.
+
+/// Serializes a frozen model into bundle bytes. Deterministic: equal
+/// models produce byte-identical bundles.
+pub fn encode(model: &FrozenModel) -> Vec<u8> {
+    let mut tagger = Vec::new();
+    encode_tagger_into(&mut tagger, &model.tagger);
+    let sections: [(u32, Vec<u8>); 6] = [
+        (SEC_META, encode_meta(model)),
+        (SEC_ATTRS, encode_attrs(model)),
+        (SEC_LEXICON, encode_lexicon(model)),
+        (SEC_TAGGER, tagger),
+        (SEC_VETO, encode_veto(model)),
+        (SEC_SEMANTIC, encode_semantic(model)),
+    ];
+    let mut payload = Vec::new();
+    let mut table = Vec::new();
+    for (id, bytes) in &sections {
+        table.push((*id, payload.len() as u64, bytes.len() as u64));
+        payload.extend_from_slice(bytes);
+    }
+    let mut out = Vec::with_capacity(16 + table.len() * 20 + payload.len());
+    out.extend_from_slice(&BUNDLE_MAGIC);
+    put_u32(&mut out, BUNDLE_SCHEMA_VERSION);
+    put_u64(&mut out, fnv1a(&payload));
+    put_u32(&mut out, table.len() as u32);
+    for (id, offset, len) in table {
+        put_u32(&mut out, id);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, len);
+    }
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses and validates bundle bytes back into a [`FrozenModel`].
+pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic").map_err(|_| BundleError::BadMagic)? != BUNDLE_MAGIC {
+        return Err(BundleError::BadMagic);
+    }
+    let version = r.u32("schema version")?;
+    if version != BUNDLE_SCHEMA_VERSION {
+        return Err(BundleError::UnsupportedVersion { found: version });
+    }
+    let declared_hash = r.u64("content hash")?;
+    let n_sections = r.u32("section count")? as usize;
+    if n_sections != SECTION_IDS.len() {
+        return Err(BundleError::Malformed(format!(
+            "expected {} sections, header declares {n_sections}",
+            SECTION_IDS.len()
+        )));
+    }
+    let mut table = Vec::with_capacity(n_sections);
+    for (i, &want) in SECTION_IDS.iter().enumerate() {
+        let id = r.u32("section id")?;
+        let offset = r.u64("section offset")?;
+        let len = r.u64("section length")?;
+        if id != want {
+            return Err(BundleError::Malformed(format!(
+                "section {i} has id {id}, expected {want}"
+            )));
+        }
+        table.push((offset, len));
+    }
+    let payload = &bytes[r.pos..];
+    let actual_hash = fnv1a(payload);
+    if actual_hash != declared_hash {
+        return Err(BundleError::HashMismatch {
+            expected: declared_hash,
+            actual: actual_hash,
+        });
+    }
+    // Sections must tile the payload exactly, in order.
+    let mut cursor = 0u64;
+    for (i, &(offset, len)) in table.iter().enumerate() {
+        if offset != cursor {
+            return Err(BundleError::Malformed(format!(
+                "section {i} starts at {offset}, expected {cursor}"
+            )));
+        }
+        cursor = offset
+            .checked_add(len)
+            .ok_or_else(|| BundleError::Malformed("section extent overflows".to_owned()))?;
+    }
+    if cursor != payload.len() as u64 {
+        return Err(BundleError::Malformed(format!(
+            "sections cover {cursor} bytes, payload has {}",
+            payload.len()
+        )));
+    }
+    let section = |i: usize| {
+        let (offset, len) = table[i];
+        &payload[offset as usize..(offset + len) as usize]
+    };
+
+    // Meta.
+    let mut r = Reader::new(section(0));
+    let language = language_from(r.u8("language tag")?)?;
+    let use_veto = match r.u8("use_veto flag")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(BundleError::Malformed(format!(
+                "invalid use_veto flag {other}"
+            )))
+        }
+    };
+    let max_value_chars = r.u64("max_value_chars")? as usize;
+    let iterations = r.u64("iterations")? as usize;
+    let seed = r.u64("seed")?;
+    let tagger_name = r.string("tagger name")?;
+    r.finish("meta section")?;
+
+    // Attrs.
+    let mut r = Reader::new(section(1));
+    let n_attrs = r.len(8, "attr count")?;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        attrs.push(r.string("attr name")?);
+    }
+    r.finish("attrs section")?;
+
+    // Lexicon.
+    let mut r = Reader::new(section(2));
+    let n_words = r.len(9, "lexicon entry count")?;
+    let mut entries = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        let word = r.string("lexicon word")?;
+        let tag = r.u8("lexicon tag")? as usize;
+        if tag >= PosTag::ALL.len() {
+            return Err(BundleError::Malformed(format!(
+                "invalid PoS tag index {tag}"
+            )));
+        }
+        entries.push((word, PosTag::from_index(tag)));
+    }
+    r.finish("lexicon section")?;
+    let lexicon = Lexicon::from_entries(entries);
+
+    // Tagger.
+    let mut r = Reader::new(section(3));
+    let tagger = decode_tagger(&mut r, 0)?;
+    r.finish("tagger section")?;
+
+    // Veto blocklist.
+    let mut r = Reader::new(section(4));
+    let n_blocked = r.len(16, "blocklist entry count")?;
+    let mut veto_blocklist = Vec::with_capacity(n_blocked);
+    for _ in 0..n_blocked {
+        let attr = r.string("blocklist attr")?;
+        let value = r.string("blocklist value")?;
+        veto_blocklist.push((attr, value));
+    }
+    r.finish("veto section")?;
+
+    // Semantic freeze.
+    let mut r = Reader::new(section(5));
+    let semantic = match r.u8("semantic presence flag")? {
+        0 => None,
+        1 => {
+            let dim = r.u64("semantic dim")? as usize;
+            let keep_threshold = r.f32("keep threshold")?;
+            let mean = r.f32s("semantic mean")?;
+            if mean.len() != dim {
+                return Err(BundleError::Malformed(format!(
+                    "semantic mean has {} entries, dim is {dim}",
+                    mean.len()
+                )));
+            }
+            let n_vecs = r.len(12, "vector count")?;
+            let mut vectors = Vec::with_capacity(n_vecs);
+            for _ in 0..n_vecs {
+                let word = r.string("vector word")?;
+                let vec = r.f32s("vector values")?;
+                if vec.len() != dim {
+                    return Err(BundleError::Malformed(format!(
+                        "vector for {word:?} has {} entries, dim is {dim}",
+                        vec.len()
+                    )));
+                }
+                vectors.push((word, vec));
+            }
+            let n_cores = r.len(16, "core count")?;
+            let mut cores = Vec::with_capacity(n_cores);
+            for _ in 0..n_cores {
+                let attr = r.string("core attr")?;
+                let n_members = r.len(8, "core member count")?;
+                let mut members = Vec::with_capacity(n_members);
+                for _ in 0..n_members {
+                    members.push(r.string("core member")?);
+                }
+                cores.push((attr, members));
+            }
+            Some(SemanticFreeze {
+                dim,
+                mean,
+                vectors,
+                cores,
+                keep_threshold,
+            })
+        }
+        other => {
+            return Err(BundleError::Malformed(format!(
+                "invalid semantic presence flag {other}"
+            )))
+        }
+    };
+    r.finish("semantic section")?;
+
+    Ok(FrozenModel {
+        language,
+        lexicon,
+        attrs,
+        tagger,
+        use_veto,
+        max_value_chars,
+        veto_blocklist,
+        semantic,
+        config: ConfigEcho {
+            iterations,
+            seed,
+            tagger: tagger_name,
+        },
+    })
+}
+
+/// The content hash a bundle's header declares (validating magic and
+/// version first). Cheap: does not decode or re-hash the payload.
+pub fn declared_hash(bytes: &[u8]) -> Result<u64, BundleError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4, "magic").map_err(|_| BundleError::BadMagic)? != BUNDLE_MAGIC {
+        return Err(BundleError::BadMagic);
+    }
+    let version = r.u32("schema version")?;
+    if version != BUNDLE_SCHEMA_VERSION {
+        return Err(BundleError::UnsupportedVersion { found: version });
+    }
+    r.u64("content hash")
+}
+
+/// Writes `model` to `path`, refusing to overwrite an existing file
+/// unless `force` (the same create-new semantics as the CLI's trace
+/// outputs). Returns the bundle's content hash.
+pub fn write_bundle(model: &FrozenModel, path: &Path, force: bool) -> Result<u64, BundleError> {
+    use std::io::Write as _;
+    let bytes = encode(model);
+    let hash = declared_hash(&bytes).expect("fresh bundle has a valid header");
+    if force {
+        std::fs::write(path, &bytes).map_err(|e| BundleError::Io(e.to_string()))?;
+    } else {
+        let mut f = pae_obs::reserve_output(path).map_err(BundleError::Io)?;
+        f.write_all(&bytes)
+            .and_then(|()| f.flush())
+            .map_err(|e| BundleError::Io(e.to_string()))?;
+    }
+    Ok(hash)
+}
+
+/// Reads and validates a bundle from `path`.
+pub fn read_bundle(path: &Path) -> Result<FrozenModel, BundleError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::BootstrapPipeline;
+    use crate::config::{PipelineConfig, TaggerKind};
+    use crate::corpus::parse_corpus;
+    use pae_synth::{CategoryKind, DatasetSpec};
+
+    fn frozen_model(kind: TaggerKind) -> FrozenModel {
+        let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+            .products(50)
+            .generate();
+        let corpus = parse_corpus(&dataset);
+        let mut cfg = PipelineConfig {
+            iterations: 1,
+            tagger: kind,
+            ..Default::default()
+        };
+        cfg.crf.max_iters = 40;
+        let outcome = BootstrapPipeline::new(cfg.clone()).run_on_corpus(&dataset, &corpus);
+        FrozenModel::freeze(&dataset, &corpus, &outcome, &cfg).expect("freeze")
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let model = frozen_model(TaggerKind::Crf);
+        let bytes = encode(&model);
+        let restored = decode(&bytes).expect("decode");
+        assert_eq!(model, restored);
+        // Re-encoding the decoded model reproduces the bytes exactly,
+        // and encoding is deterministic call to call.
+        assert_eq!(encode(&restored), bytes);
+        assert_eq!(encode(&model), bytes);
+        assert_eq!(declared_hash(&bytes).unwrap(), fnv1a(&bytes[20 + 6 * 20..]));
+    }
+
+    #[test]
+    fn ensemble_round_trips() {
+        let model = frozen_model(TaggerKind::Ensemble);
+        let bytes = encode(&model);
+        let restored = decode(&bytes).expect("decode");
+        assert_eq!(model, restored);
+        assert!(matches!(restored.tagger, FrozenTagger::Ensemble { .. }));
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_never_a_panic() {
+        let model = frozen_model(TaggerKind::Crf);
+        let bytes = encode(&model);
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decode(&bad), Err(BundleError::BadMagic));
+
+        // Wrong schema version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode(&bad),
+            Err(BundleError::UnsupportedVersion { found: 99 })
+        ));
+
+        // Payload corruption → hash mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            decode(&bad),
+            Err(BundleError::HashMismatch { .. })
+        ));
+
+        // Truncation anywhere must be an error (never a panic). Step by
+        // a prime so the loop samples many offsets without being slow.
+        let mut cut = 0;
+        while cut < bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "decode succeeded at {cut}");
+            cut += 131;
+        }
+        assert!(decode(&[]).is_err());
+
+        // Trailing garbage after the payload → hash covers it? No — the
+        // hash covers the declared payload slice, so extra bytes extend
+        // that slice and break the hash.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_respects_overwrite_guard() {
+        let model = frozen_model(TaggerKind::Crf);
+        let dir = std::env::temp_dir().join(format!("pae-bundle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.paeb");
+        let _ = std::fs::remove_file(&path);
+
+        let hash = write_bundle(&model, &path, false).expect("first write");
+        let restored = read_bundle(&path).expect("read");
+        assert_eq!(model, restored);
+        assert_eq!(declared_hash(&std::fs::read(&path).unwrap()).unwrap(), hash);
+
+        // Second non-forced write must refuse.
+        let err = write_bundle(&model, &path, false).unwrap_err();
+        assert!(matches!(&err, BundleError::Io(msg) if msg.contains("refusing to overwrite")));
+        // Forced write succeeds and is byte-identical.
+        let hash2 = write_bundle(&model, &path, true).expect("forced write");
+        assert_eq!(hash, hash2);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -4,7 +4,9 @@ pub mod semantic;
 pub mod veto;
 
 pub use semantic::{
-    semantic_clean, semantic_clean_traced, semantic_clean_with_baseline, AttrDrift, DriftBaseline,
-    SemanticCleanStats, SemanticDecision,
+    freeze_semantic, semantic_clean, semantic_clean_traced, semantic_clean_with_baseline,
+    AttrDrift, DriftBaseline, SemanticCleanStats, SemanticDecision, SemanticFreeze,
 };
-pub use veto::{apply_veto, apply_veto_traced, VetoDecision, VetoStats};
+pub use veto::{
+    apply_veto, apply_veto_traced, per_triple_veto, unpopular_blocklist, VetoDecision, VetoStats,
+};

@@ -352,6 +352,180 @@ fn clean_impl(
     (survivors, stats, drift, decisions)
 }
 
+/// The semantic cleaner's state frozen for serving: the word2vec
+/// vectors, the anisotropy-correction mean, and each attribute's
+/// semantic core, captured once at freeze time so serve-time extraction
+/// can replay the keep decision without retraining word2vec.
+///
+/// Vectors are stored raw (uncentered); [`SemanticFreeze::keeps`]
+/// subtracts `mean` on the fly, mirroring `clean_impl`. Values with no
+/// frozen vector — including every value first seen at serve time —
+/// are kept: semantic cleaning only vetoes on positive evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticFreeze {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Mean vector over the freeze-time candidate values (the common
+    /// anisotropic component; subtracted before every similarity).
+    pub mean: Vec<f32>,
+    /// `(word, raw vector)` for the full word2vec vocabulary, sorted by
+    /// word. Multiword values appear underscored, as in the grouped
+    /// training corpus.
+    pub vectors: Vec<(String, Vec<f32>)>,
+    /// `(attr, core member values)` sorted by attr; members sorted.
+    pub cores: Vec<(String, Vec<String>)>,
+    /// Minimum multiplicative similarity to the core to survive.
+    pub keep_threshold: f32,
+}
+
+impl SemanticFreeze {
+    /// Raw (uncentered) frozen vector for `word`, if any.
+    fn vector(&self, word: &str) -> Option<&[f32]> {
+        self.vectors
+            .binary_search_by(|(w, _)| w.as_str().cmp(word))
+            .ok()
+            .map(|i| self.vectors[i].1.as_slice())
+    }
+
+    /// Replays the freeze-time keep decision for one `(attr, value)`
+    /// pair (`value` in its original spaced form). Core members and
+    /// values without evidence (no frozen core for the attribute, or no
+    /// embedding for the value) are kept.
+    pub fn keeps(&self, attr: &str, value: &str) -> bool {
+        let Ok(core_idx) = self.cores.binary_search_by(|(a, _)| a.as_str().cmp(attr)) else {
+            return true;
+        };
+        let token = value.replace(' ', "_");
+        let (_, core) = &self.cores[core_idx];
+        if core.iter().any(|m| m == &token) {
+            return true;
+        }
+        let Some(raw) = self.vector(&token) else {
+            return true;
+        };
+        let centered: Vec<f32> = raw.iter().zip(&self.mean).map(|(x, m)| x - m).collect();
+        let core_vecs: Vec<Vec<f32>> = core
+            .iter()
+            .filter_map(|m| self.vector(m))
+            .map(|v| v.iter().zip(&self.mean).map(|(x, m)| x - m).collect())
+            .collect();
+        let refs: Vec<&[f32]> = core_vecs.iter().map(Vec::as_slice).collect();
+        if refs.is_empty() {
+            return true;
+        }
+        multiplicative_similarity(&centered, &refs) >= self.keep_threshold
+    }
+}
+
+/// Captures the semantic cleaner's state for a frozen model: trains
+/// word2vec on the (phrase-grouped) corpus exactly as [`semantic_clean`]
+/// does, computes the candidate-value mean and per-attribute cores over
+/// `triples`, and packages everything as a [`SemanticFreeze`].
+///
+/// Returns `None` when the corpus yields no word2vec model (no semantic
+/// evidence — serve-time cleaning degrades to keep-everything, matching
+/// the in-loop behaviour).
+pub fn freeze_semantic(
+    triples: &[Triple],
+    sentences: &[Vec<String>],
+    options: &SemanticOptions,
+    seed: u64,
+) -> Option<SemanticFreeze> {
+    if triples.is_empty() {
+        return None;
+    }
+    let phrases: Vec<Vec<String>> = triples
+        .iter()
+        .map(|t| t.value_tokens().iter().map(|s| s.to_string()).collect())
+        .filter(|p: &Vec<String>| p.len() >= 2)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    let grouped = group_phrases(sentences, &phrases);
+    let config = W2vConfig {
+        dim: options.dim,
+        epochs: options.epochs,
+        min_count: options.min_count,
+        seed,
+        ..Default::default()
+    };
+    let model = W2vModel::train(&grouped, &config)?;
+
+    let mut values_per_attr: HashMap<&str, BTreeSet<String>> = HashMap::new();
+    for t in triples {
+        values_per_attr
+            .entry(t.attr.as_str())
+            .or_default()
+            .insert(t.value.replace(' ', "_"));
+    }
+    // The same candidate-value mean clean_impl computes.
+    let mut all_names: Vec<&str> = values_per_attr
+        .values()
+        .flatten()
+        .map(String::as_str)
+        .collect();
+    all_names.sort_unstable();
+    all_names.dedup();
+    let mut mean = vec![0.0f32; options.dim];
+    let mut n_embedded = 0usize;
+    for name in &all_names {
+        if let Some(v) = model.vector(name) {
+            for (m, x) in mean.iter_mut().zip(v) {
+                *m += x;
+            }
+            n_embedded += 1;
+        }
+    }
+    if n_embedded > 0 {
+        for m in mean.iter_mut() {
+            *m /= n_embedded as f32;
+        }
+    }
+    let centered: HashMap<&str, Vec<f32>> = all_names
+        .iter()
+        .filter_map(|&name| {
+            model
+                .vector(name)
+                .map(|v| (name, v.iter().zip(&mean).map(|(x, m)| x - m).collect()))
+        })
+        .collect();
+
+    let mut cores: Vec<(String, Vec<String>)> = Vec::new();
+    for (attr, values) in &values_per_attr {
+        let mut embedded: Vec<(&str, &[f32])> = values
+            .iter()
+            .filter_map(|v| {
+                centered
+                    .get(v.as_str())
+                    .map(|vec| (v.as_str(), vec.as_slice()))
+            })
+            .collect();
+        embedded.sort_by_key(|(v, _)| *v);
+        if embedded.len() < 3 {
+            // Too little evidence for a core: the attribute keeps
+            // everything at serve time, same as in-loop.
+            continue;
+        }
+        let core = build_core(&embedded, options.core_size);
+        let mut members: Vec<String> = core.iter().map(|&i| embedded[i].0.to_owned()).collect();
+        members.sort_unstable();
+        cores.push((attr.to_string(), members));
+    }
+    cores.sort();
+
+    Some(SemanticFreeze {
+        dim: options.dim,
+        mean,
+        vectors: model
+            .entries()
+            .into_iter()
+            .map(|(w, v)| (w.to_owned(), v.to_vec()))
+            .collect(),
+        cores,
+        keep_threshold: options.keep_threshold,
+    })
+}
+
 /// Mean-centered centroid (in f64) of the embeddable `values`, plus how
 /// many of them were embeddable.
 fn centroid<'a, I: Iterator<Item = &'a String>>(
@@ -676,6 +850,56 @@ mod tests {
             .all(|d| d.kept && d.similarity.is_none() && !d.in_core));
         // Original (spaced) spelling is preserved in the trail.
         assert!(decisions.iter().any(|d| d.value == "fuka aka"));
+    }
+
+    #[test]
+    fn frozen_semantic_replays_in_loop_keep_decisions() {
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+            Triple::new(2, "iro", "kiiro"),
+            Triple::new(3, "iro", "momo"),
+            Triple::new(4, "iro", "kg"),
+        ];
+        let (survivors, _) = semantic_clean(triples.clone(), &corpus(), &options(), 7);
+        let frozen = freeze_semantic(&triples, &corpus(), &options(), 7).expect("model");
+        for t in &triples {
+            let kept_in_loop = survivors.contains(t);
+            assert_eq!(
+                frozen.keeps(&t.attr, &t.value),
+                kept_in_loop,
+                "disagreement on {t:?}"
+            );
+        }
+        // The drifted value must actually be vetoed both ways.
+        assert!(!frozen.keeps("iro", "kg"));
+        // Unknown attributes and unseen values are kept (no evidence).
+        assert!(frozen.keeps("nonexistent", "aka"));
+        assert!(frozen.keeps("iro", "totally fresh value"));
+    }
+
+    #[test]
+    fn frozen_semantic_is_deterministic_and_sorted() {
+        let triples = vec![
+            Triple::new(0, "iro", "aka"),
+            Triple::new(1, "iro", "ao"),
+            Triple::new(2, "iro", "kiiro"),
+            Triple::new(3, "iro", "momo"),
+        ];
+        let a = freeze_semantic(&triples, &corpus(), &options(), 7).unwrap();
+        let b = freeze_semantic(&triples, &corpus(), &options(), 7).unwrap();
+        assert_eq!(a, b);
+        let mut words: Vec<&str> = a.vectors.iter().map(|(w, _)| w.as_str()).collect();
+        let sorted = {
+            let mut s = words.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(words, sorted);
+        words.dedup();
+        assert_eq!(words.len(), a.vectors.len(), "duplicate vocab entries");
+        assert!(freeze_semantic(&[], &corpus(), &options(), 7).is_none());
+        assert!(freeze_semantic(&triples, &[], &options(), 7).is_none());
     }
 
     #[test]

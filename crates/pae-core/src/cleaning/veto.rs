@@ -94,6 +94,57 @@ pub fn apply_veto_traced(
     veto_impl(triples, keep_fraction, max_chars, true)
 }
 
+/// The per-triple portion of the veto pass: rules 1 (symbol unigram),
+/// 2 (markup) and 4 (overlong), applied to a single value in the same
+/// order as [`apply_veto`]. Returns the name of the first rule that
+/// fires, or `None` when the value survives all three.
+///
+/// Rule 3 (unpopularity) is corpus-statistical and cannot be evaluated
+/// on one triple — frozen serving replays it from a blocklist computed
+/// at freeze time (see [`unpopular_blocklist`]).
+pub fn per_triple_veto(value: &str, max_chars: usize) -> Option<&'static str> {
+    if is_symbol_unigram(value) {
+        Some("symbols")
+    } else if value.split(' ').any(is_markup_token) {
+        Some("markup")
+    } else if value.chars().count() > max_chars {
+        Some("long")
+    } else {
+        None
+    }
+}
+
+/// Rule 3 as a frozen artifact: ranks each attribute's entities by the
+/// number of distinct tagged products (exactly as [`apply_veto`] does)
+/// and returns the `(attr, value)` pairs that fall outside the top
+/// `keep_fraction`, sorted. A frozen model carries this list so
+/// serve-time extraction can veto the known unpopular tail without the
+/// corpus statistics.
+pub fn unpopular_blocklist(triples: &[Triple], keep_fraction: f64) -> Vec<(String, String)> {
+    let mut items_per_entity: HashMap<(&str, &str), HashSet<u32>> = HashMap::new();
+    for t in triples {
+        items_per_entity
+            .entry((t.attr.as_str(), t.value.as_str()))
+            .or_default()
+            .insert(t.product);
+    }
+    let mut per_attr: HashMap<&str, Vec<(&str, usize)>> = HashMap::new();
+    for ((attr, value), items) in &items_per_entity {
+        per_attr.entry(attr).or_default().push((value, items.len()));
+    }
+    let mut dropped: Vec<(String, String)> = Vec::new();
+    for (attr, mut entities) in per_attr {
+        entities.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let total = entities.len();
+        let keep = ((total as f64 * keep_fraction).ceil() as usize).max(1);
+        for (value, _) in entities.into_iter().skip(keep) {
+            dropped.push((attr.to_owned(), value.to_owned()));
+        }
+    }
+    dropped.sort();
+    dropped
+}
+
 fn veto_impl(
     triples: Vec<Triple>,
     keep_fraction: f64,
@@ -339,6 +390,52 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn per_triple_veto_agrees_with_apply_veto() {
+        let long = "a".repeat(31);
+        let values = [
+            ";",
+            "*",
+            "2 . 5 kg",
+            "<b> aka",
+            "aka * ao",
+            long.as_str(),
+            "aka",
+            "ok",
+        ];
+        for value in values {
+            let (out, _) = apply_veto(vec![t(0, "a", value)], 1.0, 30);
+            let fired = per_triple_veto(value, 30);
+            assert_eq!(
+                out.is_empty(),
+                fired.is_some(),
+                "disagreement on {value:?}: {fired:?}"
+            );
+        }
+        assert_eq!(per_triple_veto(";", 30), Some("symbols"));
+        assert_eq!(per_triple_veto("<b> aka", 30), Some("markup"));
+        assert_eq!(per_triple_veto(&long, 30), Some("long"));
+        assert_eq!(per_triple_veto("aka", 30), None);
+    }
+
+    #[test]
+    fn unpopular_blocklist_matches_rule_three() {
+        // Same fixture as `unpopular_tail_vetoed`: keep 80% of 5 → v5.
+        let mut triples = Vec::new();
+        for (i, value) in ["v1", "v2", "v3", "v4", "v5"].iter().enumerate() {
+            for p in 0..(5 - i) {
+                triples.push(t(p as u32, "a", value));
+            }
+        }
+        let blocklist = unpopular_blocklist(&triples, 0.8);
+        assert_eq!(blocklist, vec![("a".to_owned(), "v5".to_owned())]);
+        let (out, _) = apply_veto(triples, 0.8, 30);
+        for t in &out {
+            assert!(!blocklist.contains(&(t.attr.clone(), t.value.clone())));
+        }
+        assert!(unpopular_blocklist(&[], 0.8).is_empty());
     }
 
     #[test]

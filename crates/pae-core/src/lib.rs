@@ -27,12 +27,14 @@
 //! final disposition) when `pae_obs` provenance collection is on.
 
 pub mod bootstrap;
+pub mod bundle;
 pub mod cleaning;
 pub mod config;
 pub mod corpus;
 pub mod corrections;
 pub mod diversify;
 pub mod eval;
+pub mod frozen;
 pub mod provenance;
 pub mod seed;
 pub mod specialized;
@@ -42,10 +44,12 @@ pub mod trainset;
 pub mod types;
 
 pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, CandidateScores, IterationSnapshot};
+pub use bundle::{read_bundle, write_bundle, BundleError, BUNDLE_MAGIC, BUNDLE_SCHEMA_VERSION};
 pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
 pub use corrections::Corrections;
 pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
+pub use frozen::{FreezeError, FrozenExtractor, FrozenModel, FrozenTagger};
 pub use provenance::ProvLog;
 pub use tagger::CrfTrainContext;
 pub use timing::{CrfStageTimings, PrepTimings, StageTimings};

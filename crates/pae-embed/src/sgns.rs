@@ -189,6 +189,24 @@ impl W2vModel {
     pub fn cosine(&self, a: &str, b: &str) -> Option<f32> {
         Some(crate::similarity::cosine(self.vector(a)?, self.vector(b)?))
     }
+
+    /// All `(word, vector)` entries sorted by word — the deterministic
+    /// export order used when freezing embeddings into a model bundle
+    /// (vocabulary ids are frequency-ranked and therefore stable, but
+    /// a lexicographic order makes the artifact independent of the
+    /// ranking tie-break).
+    pub fn entries(&self) -> Vec<(&str, &[f32])> {
+        let mut out: Vec<(&str, &[f32])> = (0..self.vocab.len())
+            .map(|id| {
+                (
+                    self.vocab.word(id),
+                    &self.vectors[id * self.dim..(id + 1) * self.dim],
+                )
+            })
+            .collect();
+        out.sort_by_key(|&(w, _)| w);
+        out
+    }
 }
 
 #[inline]

@@ -496,6 +496,261 @@ impl BiLstmTagger {
     }
 }
 
+/// Binary codec for a trained tagger (model freezing / serving).
+///
+/// Little-endian and byte-deterministic: the word/char indexes are
+/// written in id order (ids are dense `1..=n` by construction), so the
+/// same model always serializes to the same bytes. The layout is
+/// versioned; [`BiLstmTagger::from_bytes`] validates the version and
+/// every section length and returns a typed error instead of
+/// panicking on truncated or foreign input.
+impl BiLstmTagger {
+    /// Codec layout version for [`BiLstmTagger::to_bytes`].
+    pub const CODEC_VERSION: u32 = 1;
+
+    /// Serializes the full model (config, indexes, all weights).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 4 * self.param_count());
+        out.extend_from_slice(&Self::CODEC_VERSION.to_le_bytes());
+        let c = &self.config;
+        for n in [
+            c.char_dim,
+            c.char_hidden,
+            c.word_dim,
+            c.word_hidden,
+            c.epochs,
+        ] {
+            out.extend_from_slice(&(n as u64).to_le_bytes());
+        }
+        for f in [
+            c.learning_rate,
+            c.lr_decay,
+            c.dropout,
+            c.word_dropout,
+            c.clip,
+        ] {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out.extend_from_slice(&c.seed.to_le_bytes());
+        out.extend_from_slice(&(self.n_labels as u64).to_le_bytes());
+
+        // Indexes in id order (ids are dense 1..=len).
+        let mut words: Vec<(&String, usize)> =
+            self.word_index.iter().map(|(w, &i)| (w, i)).collect();
+        words.sort_by_key(|&(_, i)| i);
+        out.extend_from_slice(&(words.len() as u64).to_le_bytes());
+        for (w, _) in words {
+            out.extend_from_slice(&(w.len() as u64).to_le_bytes());
+            out.extend_from_slice(w.as_bytes());
+        }
+        let mut chars: Vec<(char, usize)> =
+            self.char_index.iter().map(|(&ch, &i)| (ch, i)).collect();
+        chars.sort_by_key(|&(_, i)| i);
+        out.extend_from_slice(&(chars.len() as u64).to_le_bytes());
+        for (ch, _) in chars {
+            out.extend_from_slice(&(ch as u32).to_le_bytes());
+        }
+
+        for emb in [&self.word_emb, &self.char_emb] {
+            out.extend_from_slice(&(emb.vocab as u64).to_le_bytes());
+            out.extend_from_slice(&(emb.dim as u64).to_le_bytes());
+            write_f32s(&mut out, &emb.w);
+        }
+        for lstm in [
+            &self.char_fwd,
+            &self.char_bwd,
+            &self.word_fwd,
+            &self.word_bwd,
+        ] {
+            out.extend_from_slice(&(lstm.input_dim as u64).to_le_bytes());
+            out.extend_from_slice(&(lstm.hidden as u64).to_le_bytes());
+            write_f32s(&mut out, &lstm.w);
+            write_f32s(&mut out, &lstm.b);
+        }
+        out.extend_from_slice(&(self.out.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.out.cols as u64).to_le_bytes());
+        write_f32s(&mut out, &self.out.w);
+        write_f32s(&mut out, &self.out.b);
+        out
+    }
+
+    /// Deserializes a model written by [`BiLstmTagger::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32("codec version")?;
+        if version != Self::CODEC_VERSION {
+            return Err(format!(
+                "unsupported BiLstmTagger codec version {version} (expected {})",
+                Self::CODEC_VERSION
+            ));
+        }
+        let config = TaggerConfig {
+            char_dim: r.len("char_dim")?,
+            char_hidden: r.len("char_hidden")?,
+            word_dim: r.len("word_dim")?,
+            word_hidden: r.len("word_hidden")?,
+            epochs: r.len("epochs")?,
+            learning_rate: r.f32("learning_rate")?,
+            lr_decay: r.f32("lr_decay")?,
+            dropout: r.f32("dropout")?,
+            word_dropout: r.f32("word_dropout")?,
+            clip: r.f32("clip")?,
+            seed: r.u64("seed")?,
+        };
+        let n_labels = r.len("n_labels")?;
+
+        let n_words = r.len("word index size")?;
+        let mut word_index = HashMap::with_capacity(n_words);
+        for id in 1..=n_words {
+            word_index.insert(r.string("word entry")?, id);
+        }
+        let n_chars = r.len("char index size")?;
+        let mut char_index = HashMap::with_capacity(n_chars);
+        for id in 1..=n_chars {
+            let scalar = r.u32("char entry")?;
+            let ch = char::from_u32(scalar)
+                .ok_or_else(|| format!("invalid char scalar {scalar:#x} in char index"))?;
+            char_index.insert(ch, id);
+        }
+
+        let mut embedding = |name: &str| -> Result<Embedding, String> {
+            let vocab = r.len("embedding vocab")?;
+            let dim = r.len("embedding dim")?;
+            let w = r.f32s(name)?;
+            if w.len() != vocab * dim {
+                return Err(format!(
+                    "{name}: weight length {} does not match {vocab}x{dim}",
+                    w.len()
+                ));
+            }
+            Ok(Embedding { vocab, dim, w })
+        };
+        let word_emb = embedding("word embedding")?;
+        let char_emb = embedding("char embedding")?;
+        let mut lstm = |name: &str| -> Result<Lstm, String> {
+            let input_dim = r.len("lstm input_dim")?;
+            let hidden = r.len("lstm hidden")?;
+            let w = r.f32s(name)?;
+            let b = r.f32s(name)?;
+            if w.len() != 4 * hidden * (input_dim + hidden) || b.len() != 4 * hidden {
+                return Err(format!("{name}: weight shape mismatch"));
+            }
+            Ok(Lstm {
+                input_dim,
+                hidden,
+                w,
+                b,
+            })
+        };
+        let char_fwd = lstm("char_fwd")?;
+        let char_bwd = lstm("char_bwd")?;
+        let word_fwd = lstm("word_fwd")?;
+        let word_bwd = lstm("word_bwd")?;
+        let rows = r.len("dense rows")?;
+        let cols = r.len("dense cols")?;
+        let w = r.f32s("dense weights")?;
+        let b = r.f32s("dense bias")?;
+        if w.len() != rows * cols || b.len() != rows {
+            return Err("dense layer: weight shape mismatch".into());
+        }
+        r.finish()?;
+
+        if rows != n_labels {
+            return Err(format!(
+                "output layer has {rows} rows but the model claims {n_labels} labels"
+            ));
+        }
+        Ok(BiLstmTagger {
+            config,
+            n_labels,
+            word_index,
+            char_index,
+            word_emb,
+            char_emb,
+            char_fwd,
+            char_bwd,
+            word_fwd,
+            word_bwd,
+            out: Dense { rows, cols, w, b },
+        })
+    }
+}
+
+fn write_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.extend_from_slice(&(xs.len() as u64).to_le_bytes());
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian cursor used by [`BiLstmTagger::from_bytes`].
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated model bytes reading {what}"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize, String> {
+        let n = self.u64(what)?;
+        usize::try_from(n).map_err(|_| format!("{what} {n} overflows usize"))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, what: &str) -> Result<Vec<f32>, String> {
+        let n = self.len(what)?;
+        if n > self.bytes.len().saturating_sub(self.pos) / 4 {
+            return Err(format!("truncated model bytes: {what} claims {n} floats"));
+        }
+        let raw = self.take(4 * n, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, String> {
+        let n = self.len(what)?;
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| format!("{what}: invalid UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "{} trailing byte(s) after the model payload",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Xavier-uniform initialization with `fan_in`/`fan_out`.
 fn xavier(w: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
@@ -551,6 +806,36 @@ mod tests {
             seed: 3,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn codec_round_trips_byte_identically() {
+        let tagger = BiLstmTagger::train(&corpus(), 3, &quick_config(3));
+        let bytes = tagger.to_bytes();
+        let restored = BiLstmTagger::from_bytes(&bytes).expect("round trip");
+        // Identical predictions on seen and unseen words…
+        for sentence in ["color : red bag", "weight : 9 oz", "zzz unseen"] {
+            let words: Vec<String> = sentence.split(' ').map(str::to_owned).collect();
+            assert_eq!(
+                tagger.predict_with_confidence(&words),
+                restored.predict_with_confidence(&words),
+                "{sentence}"
+            );
+        }
+        // …and a byte-identical re-serialization (HashMap iteration
+        // order must not leak into the artifact).
+        assert_eq!(restored.to_bytes(), bytes);
+
+        // Truncation and version skew are typed errors, not panics.
+        assert!(BiLstmTagger::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(BiLstmTagger::from_bytes(&[]).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = 0xFE;
+        let err = BiLstmTagger::from_bytes(&wrong_version).unwrap_err();
+        assert!(err.contains("codec version"), "{err}");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(BiLstmTagger::from_bytes(&trailing).is_err());
     }
 
     #[test]

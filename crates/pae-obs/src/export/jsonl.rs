@@ -12,7 +12,6 @@
 //!   `count`, `sum`, `min`, `max`, and sparse `buckets` as
 //!   `[[index, count], ...]` (bucket upper bound = `2^(index-31)`).
 
-use std::io::Write as _;
 use std::path::Path;
 
 use crate::collector;
@@ -138,8 +137,15 @@ pub fn render_current() -> String {
 /// Writes the current global state to `path` as JSONL.
 pub fn write_current(path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(render_current().as_bytes())?;
-    f.flush()
+    write_current_to(&mut f)
+}
+
+/// Writes the current global state as JSONL into an already-open
+/// writer (used by sessions that reserved their output file with
+/// `create_new` semantics at startup).
+pub fn write_current_to(w: &mut dyn std::io::Write) -> std::io::Result<()> {
+    w.write_all(render_current().as_bytes())?;
+    w.flush()
 }
 
 /// Renders a provenance-only JSONL document: the meta line plus every
@@ -166,8 +172,14 @@ pub fn render_provenance(records: &[TraceRecord], dropped: u64) -> String {
 /// Writes the provenance records collected so far to `path` as JSONL.
 pub fn write_provenance_current(path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(render_provenance(&collector::snapshot(), collector::dropped()).as_bytes())?;
-    f.flush()
+    write_provenance_current_to(&mut f)
+}
+
+/// Writes the provenance records collected so far as JSONL into an
+/// already-open writer.
+pub fn write_provenance_current_to(w: &mut dyn std::io::Write) -> std::io::Result<()> {
+    w.write_all(render_provenance(&collector::snapshot(), collector::dropped()).as_bytes())?;
+    w.flush()
 }
 
 #[cfg(test)]

@@ -80,17 +80,51 @@ pub fn reset() {
 ///   a session refuses to clobber an existing `--trace-out` or
 ///   `--provenance-out` target.
 ///
+/// Without `--force` the output files are *reserved atomically* at
+/// session start (`File::create_new`): the open itself fails when the
+/// file exists, so two concurrent runs pointed at the same target
+/// cannot both pass an existence check and clobber each other —
+/// exactly one wins the reservation and the other exits with the
+/// refusal error. [`TraceSession::finish`] writes into the reserved
+/// handles.
+///
 /// When any target is configured the session enables collection and
 /// clears prior state; [`TraceSession::finish`] exports and disables.
 #[derive(Debug)]
 pub struct TraceSession {
     out: Option<std::path::PathBuf>,
     prov_out: Option<std::path::PathBuf>,
+    /// Atomically reserved `--trace-out` handle (`create_new`), absent
+    /// under `--force` (which recreates the file at finish).
+    out_file: Option<std::fs::File>,
+    /// Atomically reserved `--provenance-out` handle.
+    prov_file: Option<std::fs::File>,
     /// Render the console span tree at finish (a trace target was
     /// configured — provenance-only sessions skip the tree).
     console: bool,
     active: bool,
     provenance: bool,
+}
+
+/// Atomically reserves `path` for writing: fails with the standard
+/// "refusing to overwrite" usage error when the file already exists
+/// (the check and the creation are one `open(2)` with `O_EXCL`, so
+/// concurrent reservations race safely — exactly one wins).
+pub fn reserve_output(path: &std::path::Path) -> Result<std::fs::File, String> {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+        .map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AlreadyExists {
+                format!(
+                    "refusing to overwrite existing file {} (pass --force to overwrite)",
+                    path.display()
+                )
+            } else {
+                format!("cannot create {}: {e}", path.display())
+            }
+        })
 }
 
 impl TraceSession {
@@ -156,13 +190,25 @@ impl TraceSession {
                 filtered.push(arg);
             }
         }
+        let mut out_file = None;
+        let mut prov_file = None;
         if !force {
-            for path in [&out, &prov_out].into_iter().flatten() {
-                if path.exists() {
-                    return Err(format!(
-                        "refusing to overwrite existing file {} (pass --force to overwrite)",
-                        path.display()
-                    ));
+            if let Some(path) = &out {
+                out_file = Some(reserve_output(path)?);
+            }
+            if let Some(path) = &prov_out {
+                match reserve_output(path) {
+                    Ok(f) => prov_file = Some(f),
+                    Err(e) => {
+                        // Roll back the trace reservation so a refused
+                        // session leaves nothing behind.
+                        if out_file.take().is_some() {
+                            if let Some(p) = &out {
+                                let _ = std::fs::remove_file(p);
+                            }
+                        }
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -182,6 +228,8 @@ impl TraceSession {
             TraceSession {
                 out,
                 prov_out,
+                out_file,
+                prov_file,
                 console,
                 active,
                 provenance,
@@ -201,18 +249,28 @@ impl TraceSession {
 
     /// Exports (provenance JSONL, trace JSONL, console tree — each if
     /// configured) and disables collection.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         if !self.active {
             return;
         }
         if let Some(path) = &self.prov_out {
-            match export::jsonl::write_provenance_current(path) {
+            // Write through the reserved handle when we hold one;
+            // `--force` sessions (no reservation) recreate the file.
+            let written = match self.prov_file.as_mut() {
+                Some(f) => export::jsonl::write_provenance_current_to(f),
+                None => export::jsonl::write_provenance_current(path),
+            };
+            match written {
                 Ok(()) => eprintln!("provenance written to {}", path.display()),
                 Err(e) => eprintln!("failed to write provenance to {}: {e}", path.display()),
             }
         }
         if let Some(path) = &self.out {
-            match export::jsonl::write_current(path) {
+            let written = match self.out_file.as_mut() {
+                Some(f) => export::jsonl::write_current_to(f),
+                None => export::jsonl::write_current(path),
+            };
+            match written {
                 Ok(()) => eprintln!("trace written to {}", path.display()),
                 Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
             }
@@ -398,5 +456,64 @@ mod tests {
             std::fs::remove_file(&p).ok();
             end_session();
         }
+    }
+
+    #[test]
+    fn output_reservation_is_atomic_across_sessions() {
+        let _l = test_lock();
+        let p = fresh_path("race");
+        // First session wins the reservation (create_new), so a second
+        // session started before the first has written anything is
+        // refused — the old exists-then-open check let both proceed.
+        let (_, winner) = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                format!("--trace-out={}", p.to_string_lossy()),
+            ],
+            None,
+            None,
+        )
+        .expect("first reservation succeeds");
+        let err = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                format!("--trace-out={}", p.to_string_lossy()),
+            ],
+            None,
+            None,
+        )
+        .expect_err("second session must lose the race");
+        assert!(err.contains("refusing to overwrite"), "{err}");
+        winner.finish();
+        let doc = std::fs::read_to_string(&p).expect("winner's trace written");
+        assert!(doc.starts_with("{\"type\":\"meta\""), "{doc}");
+        std::fs::remove_file(&p).ok();
+        end_session();
+    }
+
+    #[test]
+    fn refused_provenance_rolls_back_the_trace_reservation() {
+        let _l = test_lock();
+        let t = fresh_path("rollback-trace");
+        let p = fresh_path("rollback-prov");
+        std::fs::write(&p, "precious").unwrap();
+        let err = TraceSession::from_parts(
+            vec![
+                "probe".into(),
+                format!("--trace-out={}", t.to_string_lossy()),
+                format!("--provenance-out={}", p.to_string_lossy()),
+            ],
+            None,
+            None,
+        )
+        .expect_err("existing provenance target must refuse the session");
+        assert!(err.contains("refusing to overwrite"), "{err}");
+        assert!(
+            !t.exists(),
+            "the trace reservation is rolled back on refusal"
+        );
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "precious");
+        std::fs::remove_file(&p).ok();
+        reset();
     }
 }

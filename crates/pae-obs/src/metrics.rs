@@ -73,22 +73,36 @@ impl Histogram {
 
     /// Estimated `q`-quantile (`0.0..=1.0`) from the log₂ buckets.
     ///
-    /// The estimate is the upper bound of the bucket holding the
-    /// `ceil(q * count)`-th observation, clamped into `[min, max]` so
-    /// single-bucket histograms report exact values and the tail
-    /// quantiles never exceed the observed maximum. Returns 0 for an
-    /// empty histogram.
+    /// The `ceil(q * count)`-th observation's bucket is located by a
+    /// cumulative walk, then the estimate interpolates linearly within
+    /// that bucket by rank (an observation at rank fraction `f` of the
+    /// bucket's population sits at `lower + f * (upper - lower)`),
+    /// rather than reporting the bucket's power-of-two upper bound —
+    /// which systematically overshot (90 observations of 1.5 reported
+    /// p50 = 2.0, a +33% bias). The result is clamped into
+    /// `[min, max]` so single-bucket histograms report exact values
+    /// and the tail quantiles never exceed the observed maximum.
+    /// Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
-        for (i, c) in self.buckets.iter().enumerate() {
-            cumulative += c;
-            if cumulative >= target {
-                return Self::bucket_upper_bound(i).clamp(self.min, self.max);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
             }
+            if cumulative + c >= target {
+                let upper = Self::bucket_upper_bound(i);
+                // Bucket 0 also holds non-positive values; treat its
+                // lower edge as 0 rather than 2^-32's neighbour.
+                let lower = if i == 0 { 0.0 } else { upper / 2.0 };
+                let fraction = (target - cumulative) as f64 / c as f64;
+                let estimate = lower + fraction * (upper - lower);
+                return estimate.clamp(self.min, self.max);
+            }
+            cumulative += c;
         }
         self.max
     }
@@ -276,12 +290,19 @@ mod tests {
         for _ in 0..10 {
             h.observe(100.0); // bucket 38, upper bound 128.0
         }
-        // p50/p90 land in the dense bucket; its upper bound (2.0)
-        // overshoots but stays within [min, max].
-        assert_eq!(h.quantile(0.5), 2.0);
+        // p50 interpolates within the dense bucket [1, 2): rank 50 of
+        // 90 → 1 + (50/90)·1 ≈ 1.556, not the old upper bound 2.0.
+        assert!((h.quantile(0.5) - (1.0 + 50.0 / 90.0)).abs() < 1e-12);
+        // p90 is the bucket's last rank → its upper bound exactly.
         assert_eq!(h.quantile(0.9), 2.0);
         // p99 reaches the tail bucket; clamped to the observed max.
         assert_eq!(h.quantile(0.99), 100.0);
+        // A uniform bucket reports its median near the true value.
+        let mut uniform = Histogram::default();
+        for _ in 0..100 {
+            uniform.observe(1.5);
+        }
+        assert_eq!(uniform.quantile(0.5), 1.5);
 
         let mut single = Histogram::default();
         single.observe(42.0);

@@ -470,7 +470,50 @@ impl RunSummary {
     }
 
     /// Parses a document produced by [`RunSummary::to_json`].
+    ///
+    /// Numeric fields are **required and type-checked**: a missing or
+    /// non-numeric `records`, stage counter, iteration count, or eval
+    /// statistic is a parse error, not a silent zero — a truncated or
+    /// hand-mangled baseline used to gate every perf/quality check
+    /// against zeros and always "pass". Only the stage quantiles
+    /// (`p50_ns`/`p90_ns`/`p99_ns`) may be absent, for compatibility
+    /// with pre-quantile documents; float fields accept `null` because
+    /// that is how [`write_f64`] renders NaN.
     pub fn parse(doc: &str) -> Result<RunSummary, String> {
+        fn req_u64(obj: &Json, ctx: &str, k: &str) -> Result<u64, String> {
+            match obj.get(k) {
+                None => Err(format!("{ctx}: missing required field {k:?}")),
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx}: field {k:?} is not a non-negative integer")),
+            }
+        }
+        fn opt_u64(obj: &Json, ctx: &str, k: &str) -> Result<u64, String> {
+            match obj.get(k) {
+                None => Ok(0),
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx}: field {k:?} is not a non-negative integer")),
+            }
+        }
+        fn req_f64(obj: &Json, ctx: &str, k: &str) -> Result<f64, String> {
+            match obj.get(k) {
+                None => Err(format!("{ctx}: missing required field {k:?}")),
+                Some(Json::Null) => Ok(f64::NAN),
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| format!("{ctx}: field {k:?} is not a number")),
+            }
+        }
+        fn req_str(obj: &Json, ctx: &str, k: &str) -> Result<String, String> {
+            match obj.get(k) {
+                None => Err(format!("{ctx}: missing required field {k:?}")),
+                Some(j) => j
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("{ctx}: field {k:?} is not a string")),
+            }
+        }
         let v = Json::parse(doc)?;
         let version = v
             .get("schema_version")
@@ -494,69 +537,61 @@ impl RunSummary {
                 pae_jobs: ms("pae_jobs")?,
                 scale: ms("scale")?,
             },
-            records: meta.get("records").and_then(Json::as_u64).unwrap_or(0),
-            dropped: meta.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+            records: req_u64(meta, "meta", "records")?,
+            dropped: req_u64(meta, "meta", "dropped")?,
             ..RunSummary::default()
         };
         if let Some(Json::Obj(stages)) = v.get("perf").and_then(|p| p.get("stages")) {
             for (name, s) in stages {
+                let ctx = format!("stage {name:?}");
                 summary.stages.insert(
                     name.clone(),
                     StagePerf {
-                        calls: s.get("calls").and_then(Json::as_u64).unwrap_or(0),
-                        total_ns: s.get("total_ns").and_then(Json::as_u64).unwrap_or(0),
-                        max_ns: s.get("max_ns").and_then(Json::as_u64).unwrap_or(0),
-                        // Absent in pre-quantile documents → 0.
-                        p50_ns: s.get("p50_ns").and_then(Json::as_u64).unwrap_or(0),
-                        p90_ns: s.get("p90_ns").and_then(Json::as_u64).unwrap_or(0),
-                        p99_ns: s.get("p99_ns").and_then(Json::as_u64).unwrap_or(0),
+                        calls: req_u64(s, &ctx, "calls")?,
+                        total_ns: req_u64(s, &ctx, "total_ns")?,
+                        max_ns: req_u64(s, &ctx, "max_ns")?,
+                        // Absent in pre-quantile documents → 0, but a
+                        // present value must still be numeric.
+                        p50_ns: opt_u64(s, &ctx, "p50_ns")?,
+                        p90_ns: opt_u64(s, &ctx, "p90_ns")?,
+                        p99_ns: opt_u64(s, &ctx, "p99_ns")?,
                     },
                 );
             }
         }
         let quality = v.get("quality").ok_or("missing quality")?;
         if let Some(Json::Arr(runs)) = quality.get("runs") {
-            for run in runs {
+            for (ri, run) in runs.iter().enumerate() {
                 let mut iterations = Vec::new();
                 if let Some(Json::Arr(its)) = run.get("iterations") {
                     for it in its {
-                        let u = |k: &str| it.get(k).and_then(Json::as_u64).unwrap_or(0);
-                        let rule = |k: &str| {
-                            it.get("veto_by_rule")
-                                .and_then(|v| v.get(k))
-                                .and_then(Json::as_u64)
-                                .unwrap_or(0)
-                        };
+                        let ctx = format!("runs[{ri}] iteration");
+                        let rules = it
+                            .get("veto_by_rule")
+                            .ok_or_else(|| format!("{ctx}: missing \"veto_by_rule\""))?;
+                        let rctx = format!("{ctx} veto_by_rule");
                         let mut iq = IterationQuality {
-                            iteration: u("iteration"),
-                            candidates: u("candidates"),
-                            triples: u("triples"),
-                            veto_dropped: u("veto_dropped"),
-                            veto_symbols: rule("symbols"),
-                            veto_markup: rule("markup"),
-                            veto_unpopular: rule("unpopular"),
-                            veto_long: rule("long"),
-                            semantic_removed: u("semantic_removed"),
-                            semantic_evictions: u("semantic_evictions"),
+                            iteration: req_u64(it, &ctx, "iteration")?,
+                            candidates: req_u64(it, &ctx, "candidates")?,
+                            triples: req_u64(it, &ctx, "triples")?,
+                            veto_dropped: req_u64(it, &ctx, "veto_dropped")?,
+                            veto_symbols: req_u64(rules, &rctx, "symbols")?,
+                            veto_markup: req_u64(rules, &rctx, "markup")?,
+                            veto_unpopular: req_u64(rules, &rctx, "unpopular")?,
+                            veto_long: req_u64(rules, &rctx, "long")?,
+                            semantic_removed: req_u64(it, &ctx, "semantic_removed")?,
+                            semantic_evictions: req_u64(it, &ctx, "semantic_evictions")?,
                             drift: Vec::new(),
                         };
                         if let Some(Json::Arr(drift)) = it.get("drift") {
                             for d in drift {
+                                let attribute = req_str(d, &ctx, "attribute")?;
+                                let dctx = format!("{ctx} drift {attribute:?}");
                                 iq.drift.push(DriftRow {
-                                    attribute: d
-                                        .get("attribute")
-                                        .and_then(Json::as_str)
-                                        .unwrap_or("")
-                                        .to_owned(),
-                                    score: d
-                                        .get("score")
-                                        .and_then(Json::as_f64)
-                                        .unwrap_or(f64::NAN),
-                                    n_values: d.get("n_values").and_then(Json::as_u64).unwrap_or(0),
-                                    n_baseline: d
-                                        .get("n_baseline")
-                                        .and_then(Json::as_u64)
-                                        .unwrap_or(0),
+                                    score: req_f64(d, &dctx, "score")?,
+                                    n_values: req_u64(d, &dctx, "n_values")?,
+                                    n_baseline: req_u64(d, &dctx, "n_baseline")?,
+                                    attribute,
                                 });
                             }
                         }
@@ -568,29 +603,23 @@ impl RunSummary {
         }
         if let Some(Json::Arr(evals)) = quality.get("evals") {
             for e in evals {
+                let key = req_str(e, "eval", "key")?;
+                let ctx = format!("eval {key:?}");
                 let mut row = EvalRow {
-                    key: e.get("key").and_then(Json::as_str).unwrap_or("").to_owned(),
-                    precision: e
-                        .get("precision")
-                        .and_then(Json::as_f64)
-                        .unwrap_or(f64::NAN),
-                    coverage: e.get("coverage").and_then(Json::as_f64).unwrap_or(f64::NAN),
-                    n_triples: e.get("n_triples").and_then(Json::as_u64).unwrap_or(0),
+                    precision: req_f64(e, &ctx, "precision")?,
+                    coverage: req_f64(e, &ctx, "coverage")?,
+                    n_triples: req_u64(e, &ctx, "n_triples")?,
+                    key,
                     attrs: Vec::new(),
                 };
                 if let Some(Json::Arr(attrs)) = e.get("attrs") {
                     for a in attrs {
+                        let attribute = req_str(a, &ctx, "attribute")?;
+                        let actx = format!("{ctx} attr {attribute:?}");
                         row.attrs.push(AttrEval {
-                            attribute: a
-                                .get("attribute")
-                                .and_then(Json::as_str)
-                                .unwrap_or("")
-                                .to_owned(),
-                            precision: a
-                                .get("precision")
-                                .and_then(Json::as_f64)
-                                .unwrap_or(f64::NAN),
-                            coverage: a.get("coverage").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                            precision: req_f64(a, &actx, "precision")?,
+                            coverage: req_f64(a, &actx, "coverage")?,
+                            attribute,
                         });
                     }
                 }

@@ -206,6 +206,59 @@ fn cli_usage_and_io_errors_exit_2() {
 }
 
 #[test]
+fn malformed_baseline_is_rejected_not_zeroed() {
+    // The fixture mangles three required numerics (`records` as a
+    // string, a stage missing `total_ns`, an iteration `triples` of
+    // null) and drops an eval's `coverage`. Before strict parsing each
+    // of these silently became 0 and the gate compared against zeros.
+    let doc = std::fs::read_to_string(fixture("malformed_baseline.json")).unwrap();
+    let err = RunSummary::parse(&doc).expect_err("malformed summary must not parse");
+    assert!(
+        err.contains("records"),
+        "first mangled field is named: {err}"
+    );
+
+    // Each corruption is caught individually once the earlier ones are
+    // repaired.
+    let fixed_records = doc.replace("\"records\": \"1608\"", "\"records\": 1608");
+    let err = RunSummary::parse(&fixed_records).expect_err("still malformed");
+    assert!(err.contains("total_ns"), "{err}");
+    let fixed_stage = fixed_records.replace(
+        "{ \"calls\": 9, \"max_ns\": 695955603 }",
+        "{ \"calls\": 9, \"total_ns\": 1, \"max_ns\": 695955603 }",
+    );
+    let err = RunSummary::parse(&fixed_stage).expect_err("still malformed");
+    assert!(err.contains("triples"), "{err}");
+    let fixed_iter = fixed_stage.replace("\"triples\": null", "\"triples\": 61");
+    let err = RunSummary::parse(&fixed_iter).expect_err("still malformed");
+    assert!(err.contains("coverage"), "{err}");
+    let fixed_all = fixed_iter.replace(
+        "\"precision\": 0.9,",
+        "\"precision\": 0.9, \"coverage\": 0.8,",
+    );
+    let s = RunSummary::parse(&fixed_all).expect("fully repaired document parses");
+    assert_eq!(s.records, 1608);
+    assert_eq!(s.runs[0][0].triples, 61);
+}
+
+#[test]
+fn cli_check_and_diff_exit_2_on_malformed_baseline() {
+    let clean = fixture("clean.jsonl");
+    let bad = fixture("malformed_baseline.json");
+
+    let (code, _, stderr) = run_cli(&["check", &clean, "--baseline", &bad]);
+    assert_eq!(
+        code, 2,
+        "malformed baseline must be a usage error, not a pass"
+    );
+    assert!(stderr.contains("neither a RunSummary"), "{stderr}");
+    assert!(stderr.contains("records"), "names the bad field: {stderr}");
+
+    let (code, _, stderr) = run_cli(&["diff", &bad, &clean]);
+    assert_eq!(code, 2, "diff with a malformed side must exit 2: {stderr}");
+}
+
+#[test]
 fn cli_explain_reconstructs_a_semantically_dropped_trail() {
     let prov = fixture("provenance_clean.jsonl");
 

@@ -15,8 +15,11 @@
 //! variable when set (a positive integer), else the machine's
 //! available parallelism. Invalid values (`0`, negative, non-numeric)
 //! fall back to available parallelism and raise a one-shot
-//! `runtime.pae_jobs.invalid` warning. Tests use [`with_jobs`] to pin
-//! the bound without touching the process environment.
+//! `runtime.pae_jobs.invalid` warning; values above 4× available
+//! parallelism are clamped to that ceiling with a one-shot
+//! `runtime.pae_jobs.clamped` warning (`PAE_JOBS=1000000` must not
+//! attempt a million threads). Tests use [`with_jobs`] to pin the
+//! bound without touching the process environment.
 //!
 //! The pool is observable through `pae-obs`: workers re-establish the
 //! spawner's span as their parent (so traces stay linked across
@@ -42,6 +45,9 @@ thread_local! {
 /// available parallelism; the first such read emits a one-shot
 /// `runtime.pae_jobs.invalid` warning (a `pae-obs` event when
 /// collection is on, plus a stderr line) instead of failing silently.
+/// A valid but oversized value is clamped to [`max_jobs`] — spawning
+/// threads is bounded by what the machine can run, not by the
+/// environment — with a one-shot `runtime.pae_jobs.clamped` warning.
 pub fn jobs() -> usize {
     if let Some(n) = JOBS_OVERRIDE.with(Cell::get) {
         return n;
@@ -54,7 +60,15 @@ pub fn jobs() -> usize {
     match std::env::var("PAE_JOBS") {
         Err(_) => fallback(),
         Ok(raw) => match raw.trim().parse::<i64>() {
-            Ok(n) if n > 0 => n as usize,
+            Ok(n) if n > 0 => {
+                let ceiling = max_jobs();
+                if n as u64 > ceiling as u64 {
+                    warn_clamped_pae_jobs(&raw, ceiling);
+                    ceiling
+                } else {
+                    n as usize
+                }
+            }
             _ => {
                 let jobs = fallback();
                 warn_invalid_pae_jobs(&raw, jobs);
@@ -62,6 +76,35 @@ pub fn jobs() -> usize {
             }
         },
     }
+}
+
+/// Ceiling for the `PAE_JOBS`-requested pool width: 4× available
+/// parallelism (at least 4). Oversubscription beyond that only adds
+/// scheduler churn and risks exhausting thread limits.
+pub fn max_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .saturating_mul(4)
+}
+
+/// One-shot (per process) diagnostic for an oversized `PAE_JOBS`.
+fn warn_clamped_pae_jobs(raw: &str, ceiling: usize) {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if WARNED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    pae_obs::warn(
+        "runtime.pae_jobs.clamped",
+        vec![
+            ("raw".into(), raw.into()),
+            ("ceiling".into(), ceiling.into()),
+        ],
+    );
+    eprintln!(
+        "warning: PAE_JOBS={raw:?} exceeds 4x available parallelism; \
+         clamping the worker pool to {ceiling}"
+    );
 }
 
 /// One-shot (per process) diagnostic for an unusable `PAE_JOBS` value.
@@ -460,9 +503,9 @@ mod tests {
             std::env::set_var("PAE_JOBS", bad);
             assert_eq!(jobs(), expected, "PAE_JOBS={bad}");
         }
-        // …while valid values still win.
-        std::env::set_var("PAE_JOBS", "5");
-        assert_eq!(jobs(), 5);
+        // …while valid values within the ceiling still win.
+        std::env::set_var("PAE_JOBS", "2");
+        assert_eq!(jobs(), 2);
 
         // The warning is one-shot per process: three invalid reads,
         // exactly one event.
@@ -478,6 +521,47 @@ mod tests {
         assert_eq!(
             warnings[0].field("level"),
             Some(&pae_obs::FieldValue::Str("warn".into()))
+        );
+
+        pae_obs::set_enabled(false);
+        pae_obs::reset();
+        match prev {
+            Some(v) => std::env::set_var("PAE_JOBS", v),
+            None => std::env::remove_var("PAE_JOBS"),
+        }
+    }
+
+    #[test]
+    fn oversized_pae_jobs_is_clamped_with_one_shot_warning() {
+        let _env = env_lock();
+        let prev = std::env::var("PAE_JOBS").ok();
+        let ceiling = max_jobs();
+        pae_obs::set_enabled(true);
+        pae_obs::clear();
+
+        // Requests far above the machine clamp to the ceiling…
+        for huge in ["1000000", "999999999"] {
+            std::env::set_var("PAE_JOBS", huge);
+            assert_eq!(jobs(), ceiling, "PAE_JOBS={huge}");
+        }
+        // …and the exact ceiling passes through unclamped.
+        std::env::set_var("PAE_JOBS", ceiling.to_string());
+        assert_eq!(jobs(), ceiling);
+
+        // The clamp warning is one-shot per process: two oversized
+        // reads, exactly one event.
+        let warnings: Vec<_> = pae_obs::snapshot()
+            .into_iter()
+            .filter(|r| r.name == "runtime.pae_jobs.clamped")
+            .collect();
+        assert_eq!(warnings.len(), 1, "expected exactly one clamp event");
+        assert_eq!(
+            warnings[0].field("raw"),
+            Some(&pae_obs::FieldValue::Str("1000000".into()))
+        );
+        assert_eq!(
+            warnings[0].field("ceiling"),
+            Some(&pae_obs::FieldValue::U64(ceiling as u64))
         );
 
         pae_obs::set_enabled(false);

@@ -1,0 +1,71 @@
+//! `pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]`
+//!
+//! Loads a frozen model bundle once, then serves `/extract` and
+//! `/healthz` until the process is killed. The bound address is printed
+//! on stdout as `listening on <addr>` so callers binding port 0 can
+//! discover the port.
+
+use std::process::ExitCode;
+
+use pae_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bundle_path: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => config.addr = a,
+                None => return usage(),
+            },
+            "--workers" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => config.workers = w,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ if bundle_path.is_none() && !arg.starts_with('-') => bundle_path = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(bundle_path) = bundle_path else {
+        return usage();
+    };
+
+    let model = match pae_core::read_bundle(std::path::Path::new(&bundle_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("pae-serve: {bundle_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "pae-serve: loaded bundle (tagger={}, {} attrs, seed={})",
+        model.config.tagger,
+        model.attrs.len(),
+        model.config.seed
+    );
+    let extractor = match model.extractor() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("pae-serve: cannot rehydrate model: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let server = match Server::start(extractor, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pae-serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.join();
+    ExitCode::SUCCESS
+}

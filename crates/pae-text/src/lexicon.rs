@@ -10,7 +10,7 @@ use crate::pos::PosTag;
 /// For unsegmented languages the lexicon doubles as the segmentation
 /// dictionary: the [`crate::tokenize::LatticeTokenizer`] matches the
 /// longest lexicon entry at each position.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Lexicon {
     entries: HashMap<String, PosTag>,
     /// Longest entry length in *characters* — bounds the lattice search.

@@ -20,7 +20,11 @@
 //! * [`embed`] — word2vec skip-gram with negative sampling
 //! * [`synth`] — synthetic e-commerce corpus generator with exact ground truth
 //! * [`core`] — the paper's pipeline: seed, diversification, tagging,
-//!   cleaning, bootstrap loop, and evaluation metrics
+//!   cleaning, bootstrap loop, and evaluation metrics; plus the
+//!   freeze layer ([`core::frozen`], [`core::bundle`]) that packages a
+//!   trained run into a versioned, byte-deterministic model bundle
+//! * [`serve`] — HTTP extraction service over frozen bundles: a
+//!   bounded worker pool answering `/extract` from a warm extractor
 //! * [`report`] — run ledger and regression gates over [`obs`] traces:
 //!   `RunSummary` JSON, summary diffs with noise thresholds, and the
 //!   `pae-report` CLI that gates CI on perf/quality regressions
@@ -51,5 +55,6 @@ pub use pae_neural as neural;
 pub use pae_obs as obs;
 pub use pae_report as report;
 pub use pae_runtime as runtime;
+pub use pae_serve as serve;
 pub use pae_synth as synth;
 pub use pae_text as text;
