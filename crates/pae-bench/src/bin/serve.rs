@@ -18,6 +18,16 @@
 //! `serve/p99`, `serve/p999` for `pae-report check --bench-baseline`;
 //! `--ledger` additionally writes the server-side `serve.request`
 //! stage summary for `pae-report check --baseline`.
+//!
+//! The run also exercises the server's own observability: `/metrics`
+//! is scraped before and after the load (both scrapes must
+//! schema-validate), the per-route counter deltas are reconciled
+//! against the client-side tally, and `/statusz` windowed quantiles
+//! are printed next to the client-observed ones and asserted to agree
+//! within tolerance (the server-side view excludes open-loop queueing,
+//! so it must never *exceed* the client view by more than the slack).
+//! Server-side p50/p99 are merged as `serve/server_p50` and
+//! `serve/server_p99`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -26,6 +36,8 @@ use std::time::{Duration, Instant};
 
 use pae_bench::cli::RunCli;
 use pae_bench::{update_bench_json, BenchRecord};
+use pae_obs::export::prometheus::{parse_text, validate, Sample};
+use pae_obs::json::Json;
 use pae_serve::{http_request, parse_extract_response, Server, ServerConfig};
 use pae_synth::{CategoryKind, DatasetSpec};
 
@@ -42,6 +54,51 @@ fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
     debug_assert!(!sorted.is_empty());
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Scrapes and schema-validates `/metrics`, returning the parsed
+/// samples.
+fn scrape_metrics(addr: std::net::SocketAddr, when: &str) -> Result<Vec<Sample>, String> {
+    let (status, text) =
+        http_request(addr, "GET", "/metrics", "").map_err(|e| format!("scrape {when}: {e}"))?;
+    if status != 200 {
+        return Err(format!("scrape {when}: /metrics returned {status}"));
+    }
+    validate(&text).map_err(|e| format!("scrape {when}: invalid exposition: {e}"))?;
+    parse_text(&text).map_err(|e| format!("scrape {when}: {e}"))
+}
+
+fn sample_value(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
+        .map(|s| s.value)
+        .unwrap_or(0.0)
+}
+
+/// The server-side windowed quantiles for the extract route from
+/// `/statusz` (widest window: the whole run fits in it).
+fn statusz_extract_quantiles(addr: std::net::SocketAddr) -> Result<(u64, u64), String> {
+    let (status, body) =
+        http_request(addr, "GET", "/statusz", "").map_err(|e| format!("statusz: {e}"))?;
+    if status != 200 {
+        return Err(format!("/statusz returned {status}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("/statusz not JSON: {e}"))?;
+    let route = doc
+        .get("windows")
+        .and_then(|w| w.get("5m"))
+        .and_then(|w| w.get("routes"))
+        .and_then(|r| r.get("extract"))
+        .ok_or("/statusz has no windows.5m.routes.extract")?;
+    let q = |name: &str| {
+        route
+            .get(name)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("/statusz extract window missing {name}"))
+    };
+    Ok((q("p50_ns")?, q("p99_ns")?))
 }
 
 fn main() -> ExitCode {
@@ -96,7 +153,7 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let model = match pae_core::read_bundle(Path::new(&bundle)) {
+    let (model, bundle_hash) = match pae_core::read_bundle_with_hash(Path::new(&bundle)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("serve: {bundle}: {e}");
@@ -115,6 +172,8 @@ fn main() -> ExitCode {
         &ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: server_workers,
+            bundle_hash,
+            ..ServerConfig::default()
         },
     ) {
         Ok(s) => s,
@@ -149,6 +208,13 @@ fn main() -> ExitCode {
         "load: {requests} requests x {batch} page(s) at {rate:.0} req/s \
          ({clients} clients -> {server_workers} workers on {addr})"
     );
+    let before = match scrape_metrics(addr, "before") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
     let next = AtomicUsize::new(0);
     let errors = AtomicUsize::new(0);
     let t0 = Instant::now();
@@ -191,6 +257,16 @@ fn main() -> ExitCode {
             .collect()
     });
     let wall = t0.elapsed();
+
+    // Scrape the server's own view while it is still up.
+    let after = match scrape_metrics(addr, "after") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let server_view = statusz_extract_quantiles(addr);
     server.shutdown();
 
     let n_errors = errors.load(Ordering::Relaxed);
@@ -229,19 +305,85 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
 
-    let samples = latencies.len() as u64;
-    let records: Vec<BenchRecord> = [("serve/p50", p50), ("serve/p99", p99), ("serve/p999", p999)]
-        .into_iter()
-        .map(|(id, v)| BenchRecord {
-            id: id.to_owned(),
+    // Reconcile the server-side delta with the client-side tally: the
+    // cumulative per-route extract count must have grown by exactly
+    // the number of requests the clients got answers to.
+    let extract_count = |samples: &[Sample]| {
+        sample_value(
             samples,
-            min_ns: min,
-            median_ns: v,
-            mean_ns: mean,
-        })
-        .collect();
+            "serve_live_request_ns_count",
+            Some(("route", "extract")),
+        )
+    };
+    let delta_extract = extract_count(&after) - extract_count(&before);
+    println!(
+        "server view: extract requests {delta_extract:.0} (delta), \
+         responses 200 {:.0} -> {:.0}",
+        sample_value(&before, "serve_live_responses", Some(("status", "200"))),
+        sample_value(&after, "serve_live_responses", Some(("status", "200")))
+    );
+    if delta_extract as u64 != latencies.len() as u64 {
+        eprintln!(
+            "serve: server counted {delta_extract:.0} extract requests but clients \
+             completed {}",
+            latencies.len()
+        );
+        return ExitCode::from(1);
+    }
+
+    // Server-side windowed quantiles next to the client view. The
+    // server measures read+handle+write only — open-loop queueing is
+    // charged to the client — so the server view may sit well below
+    // the client view but must never exceed it beyond slack.
+    let (server_p50, server_p99) = match server_view {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "latency (server-side, /statusz 5m window): p50 {:.2}ms  p99 {:.2}ms",
+        server_p50 as f64 / 1e6,
+        server_p99 as f64 / 1e6
+    );
+    const AGREE_FACTOR: f64 = 2.0;
+    const AGREE_SLACK_NS: f64 = 50e6;
+    for (label, server_q, client_q) in [("p50", server_p50, p50), ("p99", server_p99, p99)] {
+        if server_q as f64 > client_q as f64 * AGREE_FACTOR + AGREE_SLACK_NS {
+            eprintln!(
+                "serve: server-side {label} {:.2}ms disagrees with client-side {:.2}ms \
+                 (tolerance x{AGREE_FACTOR} + {:.0}ms)",
+                server_q as f64 / 1e6,
+                client_q as f64 / 1e6,
+                AGREE_SLACK_NS / 1e6
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    let samples = latencies.len() as u64;
+    let records: Vec<BenchRecord> = [
+        ("serve/p50", p50),
+        ("serve/p99", p99),
+        ("serve/p999", p999),
+        ("serve/server_p50", server_p50),
+        ("serve/server_p99", server_p99),
+    ]
+    .into_iter()
+    .map(|(id, v)| BenchRecord {
+        id: id.to_owned(),
+        samples,
+        min_ns: min,
+        median_ns: v,
+        mean_ns: mean,
+    })
+    .collect();
     match update_bench_json(&RunCli::repo_root(), &records) {
-        Ok(path) => println!("merged serve/p50|p99|p999 into {}", path.display()),
+        Ok(path) => println!(
+            "merged serve/p50|p99|p999 + server_p50|server_p99 into {}",
+            path.display()
+        ),
         Err(e) => {
             eprintln!("serve: cannot update bench ledger: {e}");
             return ExitCode::from(1);

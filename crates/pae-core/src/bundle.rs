@@ -666,9 +666,17 @@ pub fn write_bundle(model: &FrozenModel, path: &Path, force: bool) -> Result<u64
 
 /// Reads and validates a bundle from `path`.
 pub fn read_bundle(path: &Path) -> Result<FrozenModel, BundleError> {
+    read_bundle_with_hash(path).map(|(model, _)| model)
+}
+
+/// Reads and validates a bundle from `path`, also returning its
+/// declared (and verified) content hash so servers can report which
+/// exact bundle they loaded without re-reading the file.
+pub fn read_bundle_with_hash(path: &Path) -> Result<(FrozenModel, u64), BundleError> {
     let bytes =
         std::fs::read(path).map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
-    decode(&bytes)
+    let hash = declared_hash(&bytes)?;
+    decode(&bytes).map(|model| (model, hash))
 }
 
 #[cfg(test)]

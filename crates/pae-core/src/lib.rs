@@ -44,7 +44,10 @@ pub mod trainset;
 pub mod types;
 
 pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, CandidateScores, IterationSnapshot};
-pub use bundle::{read_bundle, write_bundle, BundleError, BUNDLE_MAGIC, BUNDLE_SCHEMA_VERSION};
+pub use bundle::{
+    read_bundle, read_bundle_with_hash, write_bundle, BundleError, BUNDLE_MAGIC,
+    BUNDLE_SCHEMA_VERSION,
+};
 pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
 pub use corrections::Corrections;

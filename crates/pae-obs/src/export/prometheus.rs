@@ -1,9 +1,20 @@
-//! Prometheus-style text exposition of the metrics registry.
+//! Prometheus-style text exposition of the metrics registry, plus a
+//! parser/validator for scraped expositions.
 //!
 //! Metric and label names are sanitized (`.` and other non-identifier
-//! characters become `_`). Histograms export cumulative
-//! `_bucket{le="..."}` lines plus `_count` and `_sum`, matching the
-//! classic exposition format.
+//! characters become `_`). Label *values* are escaped per the
+//! exposition format: `\` → `\\`, `"` → `\"`, newline → `\n` (a raw
+//! newline in a label value used to split the sample across two lines
+//! and corrupt the whole exposition). Histograms export cumulative
+//! `_bucket{le="..."}` lines plus `_count` and `_sum` under one
+//! `# TYPE <family> histogram` header, matching the classic format.
+//!
+//! [`render`] works over any explicit snapshot (the trace-derived
+//! path); [`render_live`] is the serving path — it merges the live
+//! global registry with caller-supplied metrics (windowed gauges,
+//! process gauges) into one sorted exposition. [`parse_text`] and
+//! [`validate`] let scrapers (the load generator, CI schema checks)
+//! consume an exposition without a real Prometheus server.
 
 use std::fmt::Write as _;
 
@@ -26,19 +37,29 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline (the latter was previously passed through raw,
+/// splitting the sample line in two).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| {
-            format!(
-                "{}=\"{}\"",
-                sanitize(k),
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            )
-        })
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if parts.is_empty() {
         String::new()
@@ -94,7 +115,9 @@ fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h
     );
 }
 
-/// Renders an explicit metrics snapshot as Prometheus text.
+/// Renders an explicit metrics snapshot as Prometheus text. The
+/// snapshot must be sorted by key (as [`crate::metrics_snapshot`]
+/// returns it) so each family gets exactly one `# TYPE` header.
 pub fn render(snapshot: &[(MetricKey, MetricValue)]) -> String {
     let mut out = String::new();
     let mut last_name = String::new();
@@ -136,27 +159,259 @@ pub fn render_current() -> String {
     render(&crate::export::registry_with_overflow())
 }
 
+/// Renders the live serving view: the global registry (with the
+/// overflow gauge) merged with caller-supplied metrics — windowed
+/// quantile gauges, process gauges, a server's own always-on counters.
+/// The merged set is re-sorted so `# TYPE` headers stay one-per-family
+/// even when `extra` interleaves names with the registry.
+pub fn render_live(extra: Vec<(MetricKey, MetricValue)>) -> String {
+    let mut snapshot = crate::export::registry_with_overflow();
+    snapshot.extend(extra);
+    snapshot.sort_by(|(a, _), (b, _)| a.cmp(b));
+    render(&snapshot)
+}
+
+// ---------------------------------------------------------------------
+// Parsing and validating scraped expositions.
+
+/// One parsed sample line: sanitized metric name, label pairs (with
+/// escapes resolved), and the numeric value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name as exposed (e.g. `serve_request_ns_bucket`).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`+Inf`/`-Inf`/`NaN` accepted).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("not a number: {other:?}")),
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('{') {
+        None => {
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("no value separator in {line:?}"))?;
+            return Ok(Sample {
+                name: name.to_owned(),
+                labels: Vec::new(),
+                value: parse_value(value.trim())?,
+            });
+        }
+        Some(_) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label block in {line:?}"))?;
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+    };
+    let open = head.find('{').expect("checked above");
+    let name = &head[..open];
+    let mut labels = Vec::new();
+    let mut rest = &head[open + 1..head.len() - 1];
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+        let key = rest[..eq].trim().to_owned();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in {line:?}"));
+        }
+        // Walk the quoted value resolving escapes.
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in {line:?}")),
+                },
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let consumed = consumed.ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+        labels.push((key, value));
+        rest = after[1 + consumed..].trim_start_matches(',').trim_start();
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value: parse_value(value)?,
+    })
+}
+
+/// Parses an exposition into its sample lines (comments skipped).
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", n + 1))?);
+    }
+    Ok(out)
+}
+
+/// Schema-checks an exposition as this module writes it: every sample
+/// parses, names are legal, every family is preceded by exactly one
+/// `# TYPE` header, and histogram families have cumulative
+/// non-decreasing buckets ending in `+Inf` whose total matches
+/// `_count`, plus a `_sum`. Returns the number of samples on success.
+pub fn validate(text: &str) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            if !valid_name(family) {
+                return Err(format!("line {}: bad family name {family:?}", n + 1));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {}: bad TYPE kind {kind:?}", n + 1));
+            }
+            if types.insert(family.to_owned(), kind.to_owned()).is_some() {
+                return Err(format!("line {}: duplicate TYPE for {family:?}", n + 1));
+            }
+        }
+    }
+    let samples = parse_text(text)?;
+    // family of a sample: the histogram suffixes collapse to the base.
+    let family_of = |s: &Sample| -> String {
+        for suffix in ["_bucket", "_count", "_sum"] {
+            if let Some(base) = s.name.strip_suffix(suffix) {
+                if types.get(base).map(String::as_str) == Some("histogram") {
+                    return base.to_owned();
+                }
+            }
+        }
+        s.name.clone()
+    };
+    let mut hist_buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut hist_sums: BTreeMap<String, bool> = BTreeMap::new();
+    for s in &samples {
+        if !valid_name(&s.name) {
+            return Err(format!("bad sample name {:?}", s.name));
+        }
+        for (k, _) in &s.labels {
+            if !valid_name(k) {
+                return Err(format!("{}: bad label name {k:?}", s.name));
+            }
+        }
+        let family = family_of(s);
+        if !types.contains_key(&family) {
+            return Err(format!("sample {} has no # TYPE header", s.name));
+        }
+        if types.get(&family).map(String::as_str) == Some("histogram") {
+            // Key the series by family plus its labels minus `le`.
+            let series: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let key = format!("{family}|{}", series.join(","));
+            if s.name.ends_with("_bucket") {
+                let le = s
+                    .label("le")
+                    .ok_or_else(|| format!("{}: bucket without le", s.name))?;
+                let bound = parse_value(le).map_err(|e| format!("{}: {e}", s.name))?;
+                hist_buckets.entry(key).or_default().push((bound, s.value));
+            } else if s.name.ends_with("_count") {
+                hist_counts.insert(key, s.value);
+            } else if s.name.ends_with("_sum") {
+                hist_sums.insert(key, true);
+            }
+        }
+    }
+    for (key, buckets) in &hist_buckets {
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_cum = -1.0;
+        for &(bound, cum) in buckets {
+            if bound <= prev_bound {
+                return Err(format!("{key}: bucket bounds not increasing"));
+            }
+            if cum < prev_cum {
+                return Err(format!("{key}: cumulative bucket counts decreased"));
+            }
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+        let (last_bound, last_cum) = *buckets.last().expect("non-empty by construction");
+        if last_bound != f64::INFINITY {
+            return Err(format!("{key}: histogram missing +Inf bucket"));
+        }
+        match hist_counts.get(key) {
+            Some(&count) if count == last_cum => {}
+            Some(&count) => {
+                return Err(format!(
+                    "{key}: _count {count} != +Inf bucket {last_cum}"
+                ))
+            }
+            None => return Err(format!("{key}: histogram missing _count")),
+        }
+        if !hist_sums.contains_key(key) {
+            return Err(format!("{key}: histogram missing _sum"));
+        }
+    }
+    Ok(samples.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn hist(values: &[f64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
     #[test]
     fn sanitizes_names_and_renders_all_kinds() {
-        let mut hist = Histogram::default();
-        hist.buckets[32] = 2;
-        hist.buckets[33] = 1;
-        hist.count = 3;
-        hist.sum = 5.0;
-        hist.min = 1.0;
-        hist.max = 3.0;
         let snap = vec![
-            (
-                MetricKey {
-                    name: "veto.dropped".into(),
-                    labels: vec![("rule".into(), "symbols".into())],
-                },
-                MetricValue::Counter(7),
-            ),
             (
                 MetricKey {
                     name: "bootstrap.triples".into(),
@@ -169,17 +424,109 @@ mod tests {
                     name: "crf.lbfgs.nll".into(),
                     labels: vec![],
                 },
-                MetricValue::Histogram(Box::new(hist)),
+                MetricValue::Histogram(Box::new(hist(&[1.0, 1.5, 3.0]))),
+            ),
+            (
+                MetricKey {
+                    name: "veto.dropped".into(),
+                    labels: vec![("rule".into(), "symbols".into())],
+                },
+                MetricValue::Counter(7),
             ),
         ];
         let text = render(&snap);
         assert!(text.contains("# TYPE veto_dropped counter"));
         assert!(text.contains("veto_dropped{rule=\"symbols\"} 7"));
         assert!(text.contains("bootstrap_triples 42"));
+        assert!(text.contains("# TYPE crf_lbfgs_nll histogram"));
         assert!(text.contains("crf_lbfgs_nll_bucket{le=\"2\"} 2"));
         assert!(text.contains("crf_lbfgs_nll_bucket{le=\"4\"} 3"));
         assert!(text.contains("crf_lbfgs_nll_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("crf_lbfgs_nll_count 3"));
-        assert!(text.contains("crf_lbfgs_nll_sum 5"));
+        assert!(text.contains("crf_lbfgs_nll_sum 5.5"));
+        assert_eq!(validate(&text).expect("valid exposition"), 7);
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let snap = vec![(
+            MetricKey {
+                name: "veto.dropped".into(),
+                labels: vec![("rule".into(), "a\\b\"c\nd".into())],
+            },
+            MetricValue::Counter(1),
+        )];
+        let text = render(&snap);
+        assert!(
+            text.contains("veto_dropped{rule=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{text}"
+        );
+        // The raw newline must NOT split the sample line.
+        assert_eq!(text.lines().count(), 2, "{text}");
+        let samples = parse_text(&text).expect("round-trips");
+        assert_eq!(samples[0].label("rule"), Some("a\\b\"c\nd"));
+        validate(&text).expect("escaped exposition validates");
+    }
+
+    #[test]
+    fn parse_text_handles_all_sample_shapes() {
+        let text = "# TYPE x counter\nx 3\n# TYPE y gauge\ny{a=\"1\",b=\"two\"} 1.5\n\
+                    # TYPE z gauge\nz{inf=\"yes\"} +Inf\n";
+        let samples = parse_text(text).expect("parses");
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "x");
+        assert_eq!(samples[0].value, 3.0);
+        assert_eq!(samples[1].label("b"), Some("two"));
+        assert_eq!(samples[2].value, f64::INFINITY);
+        assert!(parse_text("nope").is_err());
+        assert!(parse_text("bad{unclosed 1").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_schema_violations() {
+        // Missing TYPE header.
+        assert!(validate("orphan 1\n").is_err());
+        // Histogram with decreasing cumulative counts.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n\
+                   h_count 3\nh_sum 2\n";
+        assert!(validate(bad).unwrap_err().contains("decreased"));
+        // Histogram whose _count disagrees with the +Inf bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\nh_sum 2\n";
+        assert!(validate(bad).unwrap_err().contains("_count"));
+        // Histogram without +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"2\"} 3\nh_count 3\nh_sum 2\n";
+        assert!(validate(bad).unwrap_err().contains("+Inf"));
+        // Duplicate TYPE headers.
+        assert!(validate("# TYPE x counter\n# TYPE x counter\nx 1\n").is_err());
+    }
+
+    #[test]
+    fn render_live_merges_and_stays_sorted() {
+        let extra = vec![
+            (
+                MetricKey {
+                    name: "serve.live.latency_ns".into(),
+                    labels: vec![
+                        ("q".into(), "p50".into()),
+                        ("route".into(), "extract".into()),
+                        ("window".into(), "1m".into()),
+                    ],
+                },
+                MetricValue::Gauge(12345.0),
+            ),
+            (
+                MetricKey {
+                    name: "process.rss_bytes".into(),
+                    labels: vec![],
+                },
+                MetricValue::Gauge(1e6),
+            ),
+        ];
+        let text = render_live(extra);
+        assert!(text.contains("# TYPE process_rss_bytes gauge"));
+        assert!(text.contains(
+            "serve_live_latency_ns{q=\"p50\",route=\"extract\",window=\"1m\"} 12345"
+        ));
+        validate(&text).expect("live exposition validates");
     }
 }

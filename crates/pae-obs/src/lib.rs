@@ -34,7 +34,9 @@ mod span;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod process;
 pub mod reader;
+pub mod window;
 
 pub use collector::{
     clear, dropped, enabled, provenance_enabled, set_capacity, set_enabled, set_provenance_enabled,
@@ -44,10 +46,12 @@ pub use metrics::{
     clear_metrics, counter_add, gauge_set, metrics_snapshot, observe, observe_step, Histogram,
     MetricKey, MetricValue, HISTOGRAM_BUCKETS,
 };
+pub use process::{process_metrics, process_stats, ProcessStats};
 pub use record::{FieldValue, RecordKind, TraceRecord};
 pub use span::{
     current_span, event, provenance, span, span_complete, span_fields, warn, with_parent, SpanGuard,
 };
+pub use window::{WindowedCounter, WindowedHistogram};
 
 /// Ring capacity used while provenance collection is active: lineage
 /// records are per-candidate × per-stage, far denser than span records,

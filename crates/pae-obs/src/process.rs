@@ -1,0 +1,111 @@
+//! Process-level gauges for live observability: resident set size,
+//! thread count, and uptime.
+//!
+//! Values come from `/proc/self` (Linux); on other platforms the
+//! readings are `None` and exporters simply omit the gauges. Nothing
+//! here is wired into the global registry automatically — a server
+//! calls [`process_metrics`] at scrape time so `/metrics` always
+//! reports a fresh RSS rather than a stale startup sample, feeding the
+//! ROADMAP memory-ceiling goal without a background sampler thread.
+
+use crate::metrics::{MetricKey, MetricValue};
+
+/// Linux page size assumed when converting `statm` pages to bytes.
+/// `getconf PAGESIZE` is 4096 on every target this workspace builds
+/// for; a non-standard page size skews the RSS gauge by a constant
+/// factor but never affects extraction.
+const PAGE_SIZE: u64 = 4096;
+
+/// A point-in-time reading of the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Resident set size in bytes (`/proc/self/statm` field 2 × page
+    /// size). `None` when procfs is unavailable.
+    pub rss_bytes: Option<u64>,
+    /// Live thread count (`/proc/self/status` `Threads:`).
+    pub threads: Option<u64>,
+}
+
+/// Reads the current process stats (best-effort, never panics).
+pub fn process_stats() -> ProcessStats {
+    ProcessStats {
+        rss_bytes: read_rss_bytes(),
+        threads: read_threads(),
+    }
+}
+
+fn read_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * PAGE_SIZE)
+}
+
+fn read_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The process gauges as registry-shaped metrics, ready to merge into
+/// a live Prometheus exposition: `process.rss_bytes`,
+/// `process.threads`, and `process.uptime_seconds` (uptime is passed
+/// in because only the owner of the start instant knows it).
+pub fn process_metrics(uptime_seconds: f64) -> Vec<(MetricKey, MetricValue)> {
+    let stats = process_stats();
+    let mut out = vec![(
+        MetricKey {
+            name: "process.uptime_seconds".to_owned(),
+            labels: Vec::new(),
+        },
+        MetricValue::Gauge(uptime_seconds),
+    )];
+    if let Some(rss) = stats.rss_bytes {
+        out.push((
+            MetricKey {
+                name: "process.rss_bytes".to_owned(),
+                labels: Vec::new(),
+            },
+            MetricValue::Gauge(rss as f64),
+        ));
+    }
+    if let Some(threads) = stats.threads {
+        out.push((
+            MetricKey {
+                name: "process.threads".to_owned(),
+                labels: Vec::new(),
+            },
+            MetricValue::Gauge(threads as f64),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn procfs_readings_are_plausible() {
+        let stats = process_stats();
+        let rss = stats.rss_bytes.expect("statm readable on linux");
+        assert!(rss > 0, "resident set must be non-zero");
+        let threads = stats.threads.expect("status readable on linux");
+        assert!(threads >= 1, "at least this thread is running");
+    }
+
+    #[test]
+    fn process_metrics_always_carry_uptime() {
+        let metrics = process_metrics(12.5);
+        let uptime = metrics
+            .iter()
+            .find(|(k, _)| k.name == "process.uptime_seconds")
+            .expect("uptime gauge present");
+        assert_eq!(uptime.1, MetricValue::Gauge(12.5));
+        for (k, _) in &metrics {
+            assert!(k.labels.is_empty(), "{}: process gauges are label-free", k.name);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Rolling-window metrics: ring-of-epoch-buckets histograms and
+//! counters for live serving telemetry.
+//!
+//! The cumulative registry ([`crate::metrics`]) answers "what happened
+//! since the process started"; a live server also needs "what happened
+//! in the last minute". [`WindowedHistogram`] and [`WindowedCounter`]
+//! keep a fixed ring of epoch buckets: time is divided into
+//! `epoch_s`-second epochs, each epoch owns one slot, and a slot is
+//! lazily reset the first time a newer epoch touches it. Reading a
+//! window of `W` seconds merges the `W / epoch_s` most recent slots
+//! (including the current, partially-filled one) — an estimate that is
+//! at most one epoch stale at the edges, which is the standard
+//! trade-off for O(1) updates and bounded memory.
+//!
+//! **The clock is injected**: every operation takes `now_s`, seconds on
+//! whatever monotonic clock the caller owns (a server passes
+//! `Instant::elapsed().as_secs()` since startup; tests pass literal
+//! epochs). Nothing here reads wall time, so windowed behaviour is
+//! fully deterministic under test.
+
+use crate::metrics::Histogram;
+
+/// A histogram over a rolling time window: a ring of per-epoch
+/// [`Histogram`]s merged on demand.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    epoch_s: u64,
+    /// `slots[i]` holds data for epoch `e` where `e % slots.len() == i`;
+    /// the paired `u64` records which epoch the slot currently belongs
+    /// to (stale slots are reset on first touch).
+    slots: Vec<(u64, Histogram)>,
+}
+
+impl WindowedHistogram {
+    /// A ring of `n_slots` epochs of `epoch_s` seconds each; the widest
+    /// answerable window is `epoch_s * n_slots` seconds.
+    pub fn new(epoch_s: u64, n_slots: usize) -> WindowedHistogram {
+        assert!(epoch_s > 0 && n_slots > 0);
+        WindowedHistogram {
+            epoch_s,
+            slots: vec![(u64::MAX, Histogram::default()); n_slots],
+        }
+    }
+
+    /// The widest window this ring can answer, in seconds.
+    pub fn span_s(&self) -> u64 {
+        self.epoch_s * self.slots.len() as u64
+    }
+
+    fn slot_mut(&mut self, now_s: u64) -> &mut Histogram {
+        let epoch = now_s / self.epoch_s;
+        let i = (epoch % self.slots.len() as u64) as usize;
+        let (owner, hist) = &mut self.slots[i];
+        if *owner != epoch {
+            *owner = epoch;
+            *hist = Histogram::default();
+        }
+        hist
+    }
+
+    /// Records one observation at time `now_s`.
+    pub fn observe(&mut self, now_s: u64, v: f64) {
+        self.slot_mut(now_s).observe(v);
+    }
+
+    /// Merges the slots covering the last `window_s` seconds (clamped
+    /// to the ring span) into one [`Histogram`]. The current epoch is
+    /// included, so fresh observations are visible immediately.
+    pub fn window(&self, now_s: u64, window_s: u64) -> Histogram {
+        let epochs = (window_s.clamp(1, self.span_s())).div_ceil(self.epoch_s);
+        let current = now_s / self.epoch_s;
+        let oldest = current.saturating_sub(epochs - 1);
+        let mut merged = Histogram::default();
+        for (owner, hist) in &self.slots {
+            if *owner < oldest || *owner > current || hist.count == 0 {
+                continue;
+            }
+            for (b, c) in merged.buckets.iter_mut().zip(hist.buckets.iter()) {
+                *b += c;
+            }
+            merged.count += hist.count;
+            merged.sum += hist.sum;
+            merged.min = merged.min.min(hist.min);
+            merged.max = merged.max.max(hist.max);
+        }
+        merged
+    }
+
+    /// `q`-quantile over the last `window_s` seconds (0 when empty).
+    pub fn quantile(&self, now_s: u64, window_s: u64, q: f64) -> f64 {
+        self.window(now_s, window_s).quantile(q)
+    }
+}
+
+/// A counter over a rolling time window: a ring of per-epoch totals.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    epoch_s: u64,
+    /// `(owning epoch, count)` pairs, same slot discipline as
+    /// [`WindowedHistogram`].
+    slots: Vec<(u64, u64)>,
+}
+
+impl WindowedCounter {
+    /// A ring of `n_slots` epochs of `epoch_s` seconds each.
+    pub fn new(epoch_s: u64, n_slots: usize) -> WindowedCounter {
+        assert!(epoch_s > 0 && n_slots > 0);
+        WindowedCounter {
+            epoch_s,
+            slots: vec![(u64::MAX, 0); n_slots],
+        }
+    }
+
+    /// The widest window this ring can answer, in seconds.
+    pub fn span_s(&self) -> u64 {
+        self.epoch_s * self.slots.len() as u64
+    }
+
+    /// Adds `delta` at time `now_s`.
+    pub fn add(&mut self, now_s: u64, delta: u64) {
+        let epoch = now_s / self.epoch_s;
+        let i = (epoch % self.slots.len() as u64) as usize;
+        let (owner, count) = &mut self.slots[i];
+        if *owner != epoch {
+            *owner = epoch;
+            *count = 0;
+        }
+        *count += delta;
+    }
+
+    /// Total over the last `window_s` seconds (clamped to the span).
+    pub fn total(&self, now_s: u64, window_s: u64) -> u64 {
+        let epochs = (window_s.clamp(1, self.span_s())).div_ceil(self.epoch_s);
+        let current = now_s / self.epoch_s;
+        let oldest = current.saturating_sub(epochs - 1);
+        self.slots
+            .iter()
+            .filter(|(owner, _)| *owner >= oldest && *owner <= current)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Average per-second rate over the last `window_s` seconds.
+    pub fn rate(&self, now_s: u64, window_s: u64) -> f64 {
+        let w = window_s.clamp(1, self.span_s());
+        self.total(now_s, w) as f64 / w as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_window_rolls_old_epochs_out() {
+        // 1-second epochs, 60-slot ring: 1m is the full span.
+        let mut h = WindowedHistogram::new(1, 60);
+        for t in 0..10u64 {
+            h.observe(t, 100.0);
+        }
+        assert_eq!(h.window(9, 60).count, 10);
+        // At t=70 the first 10 epochs have aged out of a 60s window.
+        assert_eq!(h.window(70, 60).count, 0);
+        // New data at t=70 is visible immediately.
+        h.observe(70, 7.0);
+        let w = h.window(70, 60);
+        assert_eq!(w.count, 1);
+        assert_eq!(w.min, 7.0);
+    }
+
+    #[test]
+    fn narrower_windows_see_fewer_epochs() {
+        let mut h = WindowedHistogram::new(5, 60); // 300s span
+        h.observe(0, 1.0); // epoch 0
+        h.observe(100, 2.0); // epoch 20
+        h.observe(299, 3.0); // epoch 59
+        assert_eq!(h.window(299, 300).count, 3);
+        // 60s window at t=299 covers epochs 48..=59 only.
+        assert_eq!(h.window(299, 60).count, 1);
+        assert_eq!(h.window(299, 60).max, 3.0);
+    }
+
+    #[test]
+    fn ring_reuse_resets_stale_slots() {
+        let mut h = WindowedHistogram::new(1, 4);
+        h.observe(0, 1.0);
+        h.observe(1, 1.0);
+        // Epoch 4 reuses slot 0; the epoch-0 data must not leak in.
+        h.observe(4, 9.0);
+        let w = h.window(4, 4);
+        assert_eq!(w.count, 2, "epochs 1 and 4");
+        assert_eq!(w.max, 9.0);
+    }
+
+    #[test]
+    fn windowed_quantiles_match_merged_histogram() {
+        let mut h = WindowedHistogram::new(1, 60);
+        for t in 0..30u64 {
+            h.observe(t, 10.0);
+        }
+        for t in 30..33u64 {
+            h.observe(t, 1000.0);
+        }
+        let p50 = h.quantile(32, 60, 0.5);
+        assert!((9.0..=20.0).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile(32, 60, 0.99), 1000.0);
+        // A window that excludes the slow tail reports fast quantiles.
+        assert_eq!(h.quantile(29, 30, 0.99), 10.0);
+    }
+
+    #[test]
+    fn counter_totals_and_rates() {
+        let mut c = WindowedCounter::new(5, 60);
+        for t in 0..60u64 {
+            c.add(t, 2);
+        }
+        assert_eq!(c.total(59, 60), 120);
+        assert!((c.rate(59, 60) - 2.0).abs() < 1e-9);
+        // 240s later everything has aged out of a 60s window but the
+        // 300s window still sees the tail epochs.
+        assert_eq!(c.total(299, 60), 0);
+        assert!(c.total(299, 300) > 0);
+        // Requesting more than the span clamps to the span.
+        assert_eq!(c.total(59, 100_000), 120);
+    }
+
+    #[test]
+    fn deterministic_under_injected_clock() {
+        let run = || {
+            let mut h = WindowedHistogram::new(5, 60);
+            let mut c = WindowedCounter::new(5, 60);
+            for t in 0..500u64 {
+                h.observe(t, (t % 17) as f64 + 1.0);
+                c.add(t, t % 3);
+            }
+            (
+                h.window(499, 60).count,
+                h.quantile(499, 300, 0.9).to_bits(),
+                c.total(499, 60),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,78 @@
+//! Prometheus exposition validation: every `/metrics` scrape must
+//! parse, carry `# TYPE` headers for all families, and render
+//! histograms with cumulative buckets.
+//!
+//! Two entry points, mirroring `trace_check.rs`:
+//!
+//! - `self_generated_exposition_is_valid` renders the live registry
+//!   in-process and validates it.
+//! - `external_metrics_file_is_valid` reads the file named by the
+//!   `PAE_METRICS_FILE` environment variable (a `/metrics` scrape
+//!   saved by the CI serve-smoke job) and additionally checks for the
+//!   serving families a live `pae-serve` is expected to expose.
+//!   Without the variable the test is a no-op.
+
+use pae_obs as obs;
+use pae_obs::export::prometheus::{parse_text, validate};
+
+#[test]
+fn self_generated_exposition_is_valid() {
+    obs::set_enabled(true);
+    obs::counter_add("veto.dropped", &[("rule", "symbols")], 3);
+    obs::gauge_set("bootstrap.seed_pairs", &[], 40.0);
+    obs::observe("crf.lbfgs.nll", &[], 103.5);
+    let text = obs::export::prometheus::render_current();
+    obs::set_enabled(false);
+
+    let n = validate(&text).expect("live registry exposition is schema-valid");
+    assert!(n >= 3, "expected at least 3 samples, got {n}");
+    let samples = parse_text(&text).expect("parses");
+    assert!(samples.iter().any(|s| s.name == "veto_dropped"));
+    assert!(samples.iter().any(|s| s.name == "crf_lbfgs_nll_count"));
+}
+
+/// CI entry point: validates a saved `/metrics` scrape and checks the
+/// serving coverage the acceptance criteria call for.
+#[test]
+fn external_metrics_file_is_valid() {
+    let Ok(path) = std::env::var("PAE_METRICS_FILE") else {
+        eprintln!("PAE_METRICS_FILE not set; skipping external metrics validation");
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read PAE_METRICS_FILE={path}: {e}"));
+    let n = validate(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(n > 0, "{path}: exposition is empty");
+    let samples = parse_text(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let has = |name: &str| samples.iter().any(|s| s.name == name);
+
+    // Live server families: request counter, per-status responses,
+    // windowed quantile gauges, pool gauges, per-route histograms.
+    for family in [
+        "serve_live_requests",
+        "serve_live_responses",
+        "serve_live_latency_ns",
+        "serve_live_request_rate",
+        "serve_live_workers",
+        "serve_live_request_ns_count",
+    ] {
+        assert!(has(family), "{path}: missing serving family {family:?}");
+    }
+    // Process gauges (the scrape comes from a Linux CI runner).
+    for family in ["process_uptime_seconds", "process_rss_bytes", "process_threads"] {
+        assert!(has(family), "{path}: missing process gauge {family:?}");
+    }
+    // Windowed quantiles carry the expected label structure.
+    let quantile = samples
+        .iter()
+        .find(|s| s.name == "serve_live_latency_ns" && s.label("route") == Some("extract"))
+        .unwrap_or_else(|| panic!("{path}: no windowed latency for the extract route"));
+    assert!(
+        matches!(quantile.label("window"), Some("1m" | "5m")),
+        "{path}: latency gauge missing window label"
+    );
+    assert!(
+        matches!(quantile.label("q"), Some("p50" | "p90" | "p99")),
+        "{path}: latency gauge missing quantile label"
+    );
+}

@@ -30,6 +30,9 @@ pub struct Thresholds {
     pub coverage_tol: f64,
     /// Allowed absolute rise of a per-attribute drift score.
     pub drift_tol: f64,
+    /// Allowed absolute rise of the serving error rate (0.0 = any new
+    /// server-side error beyond baseline fails the gate).
+    pub error_rate_tol: f64,
 }
 
 impl Default for Thresholds {
@@ -40,6 +43,7 @@ impl Default for Thresholds {
             precision_tol: 0.02,
             coverage_tol: 0.02,
             drift_tol: 0.25,
+            error_rate_tol: 0.0,
         }
     }
 }
@@ -48,7 +52,8 @@ impl Default for Thresholds {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// What kind of gate tripped: `perf`, `precision`, `coverage`,
-    /// `drift`, or `incomplete`.
+    /// `drift`, `incomplete`, `slo-p99`, `slo-error-rate`, or
+    /// `slo-missing`.
     pub kind: &'static str,
     /// Human-readable description with both values.
     pub what: String,
@@ -172,6 +177,67 @@ pub fn diff_summaries(baseline: &RunSummary, current: &RunSummary, t: &Threshold
             )),
             (None, None) => unreachable!(),
         }
+    }
+
+    // Serving SLOs: server-side extract p99 is gated like a perf stage
+    // (relative tolerance over a noise floor); the error rate is gated
+    // absolutely — errors are deterministic server behaviour, not
+    // machine noise, so the default tolerance is zero.
+    match (&baseline.serving, &current.serving) {
+        (Some(b), Some(c)) => {
+            report.lines.push(format!(
+                "serving: requests {} -> {}  error_rate {:.4} -> {:.4}  p99 {} -> {} ({})",
+                b.requests,
+                c.requests,
+                b.error_rate,
+                c.error_rate,
+                fmt_ms(b.p99_ns),
+                fmt_ms(c.p99_ns),
+                fmt_pct(b.p99_ns, c.p99_ns)
+            ));
+            if b.p99_ns >= t.time_floor_ns
+                && c.p99_ns >= t.time_floor_ns
+                && c.p99_ns as f64 > b.p99_ns as f64 * (1.0 + t.time_tolerance)
+            {
+                report.violations.push(Violation {
+                    kind: "slo-p99",
+                    what: format!(
+                        "serving p99 {} -> {} exceeds +{:.0}% tolerance",
+                        fmt_ms(b.p99_ns),
+                        fmt_ms(c.p99_ns),
+                        t.time_tolerance * 100.0
+                    ),
+                });
+            }
+            if c.error_rate > b.error_rate + t.error_rate_tol {
+                report.violations.push(Violation {
+                    kind: "slo-error-rate",
+                    what: format!(
+                        "serving error rate {:.4} -> {:.4} (tolerance {:.4})",
+                        b.error_rate, c.error_rate, t.error_rate_tol
+                    ),
+                });
+            }
+        }
+        (None, Some(c)) => report.lines.push(format!(
+            "serving: (new) {} requests, error_rate {:.4}, p99 {}",
+            c.requests,
+            c.error_rate,
+            fmt_ms(c.p99_ns)
+        )),
+        (Some(b), None) => {
+            report.lines.push(format!(
+                "serving: baseline had {} requests, current run served nothing",
+                b.requests
+            ));
+            report.violations.push(Violation {
+                kind: "slo-missing",
+                what: "baseline has a serving section but the current run served no \
+                       traffic — SLO gates cannot run"
+                    .to_owned(),
+            });
+        }
+        (None, None) => {}
     }
 
     // Quality: evaluations matched by key (first occurrence wins when a
@@ -389,6 +455,54 @@ mod tests {
         let mut fell = base();
         fell.runs[0][0].drift[0].score = -0.4;
         assert!(check(&b, &fell, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn serving_slo_gates_fire_on_p99_and_error_rate() {
+        use crate::summary::ServingSummary;
+        let mut b = base();
+        b.serving = Some(ServingSummary {
+            requests: 150,
+            errors: 0,
+            error_rate: 0.0,
+            p50_ns: 20_000_000,
+            p99_ns: 100_000_000,
+        });
+        // Within tolerance: passes.
+        let mut c = b.clone();
+        c.serving.as_mut().unwrap().p99_ns = 120_000_000;
+        assert!(check(&b, &c, &Thresholds::default()).passed());
+
+        // p99 blowout: slo-p99.
+        c.serving.as_mut().unwrap().p99_ns = 200_000_000;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "slo-p99");
+
+        // Any new error with the default zero tolerance: slo-error-rate.
+        let mut c = b.clone();
+        c.serving.as_mut().unwrap().errors = 1;
+        c.serving.as_mut().unwrap().error_rate = 1.0 / 150.0;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "slo-error-rate");
+        let loose = Thresholds {
+            error_rate_tol: 0.05,
+            ..Thresholds::default()
+        };
+        assert!(check(&b, &c, &loose).passed());
+
+        // Sub-floor p99s are never flagged (noise).
+        let mut tiny = b.clone();
+        tiny.serving.as_mut().unwrap().p99_ns = 1_000;
+        let mut tiny_cur = b.clone();
+        tiny_cur.serving.as_mut().unwrap().p99_ns = 900_000;
+        assert!(check(&tiny, &tiny_cur, &Thresholds::default()).passed());
+
+        // Baseline serving but current not: gates cannot run -> fail.
+        let r = check(&b, &base(), &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "slo-missing");
+        // Reverse direction (new serving section) is informational only.
+        assert!(check(&base(), &b, &Thresholds::default()).passed());
     }
 
     #[test]

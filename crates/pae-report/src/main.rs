@@ -14,6 +14,7 @@
 //!   --precision-tol F     allowed precision drop (default 0.02)
 //!   --coverage-tol F      allowed coverage drop (default 0.02)
 //!   --drift-tol F         allowed drift-score rise (default 0.25)
+//!   --error-rate-tol F    allowed serving error-rate rise (default 0)
 //! ```
 //!
 //! Inputs may be raw JSONL traces or already-built summary JSON; the
@@ -39,7 +40,7 @@ const USAGE: &str = "usage:
   pae-report explain <trace.jsonl> [--attribute A] [--value V] [--product P] [--json]
   pae-report explain-diff <current trace.jsonl> --baseline <trace.jsonl>
 threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
-                 --coverage-tol F    --drift-tol F";
+                 --coverage-tol F    --drift-tol F       --error-rate-tol F";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("pae-report: {msg}");
@@ -97,6 +98,7 @@ fn take_thresholds(args: &mut Vec<String>) -> Result<Thresholds, String> {
             "--precision-tol" => grab(&mut t.precision_tol)?,
             "--coverage-tol" => grab(&mut t.coverage_tol)?,
             "--drift-tol" => grab(&mut t.drift_tol)?,
+            "--error-rate-tol" => grab(&mut t.error_rate_tol)?,
             "--time-floor-ms" => {
                 let mut ms = 0.0;
                 grab(&mut ms)?;

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use pae_obs::json::{write_f64, write_str, Json};
 use pae_obs::reader::Trace;
-use pae_obs::{FieldValue, RecordKind};
+use pae_obs::{FieldValue, MetricValue, RecordKind};
 
 /// Identity of the run a summary describes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -124,6 +124,24 @@ pub struct EvalRow {
     pub attrs: Vec<AttrEval>,
 }
 
+/// Server-side serving SLOs, derived from the final registry state of
+/// a serving run (`serve.responses` status counters and the
+/// `serve.request_ns{route="extract"}` latency histogram). Absent for
+/// runs that never served traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingSummary {
+    /// Total responses across all status codes.
+    pub requests: u64,
+    /// Non-200 responses.
+    pub errors: u64,
+    /// `errors / requests` (0 when no requests).
+    pub error_rate: f64,
+    /// Median extract-route latency (log₂-histogram estimate).
+    pub p50_ns: u64,
+    /// 99th-percentile extract-route latency (same estimator).
+    pub p99_ns: u64,
+}
+
 /// A self-contained description of one probe/bench run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -135,6 +153,8 @@ pub struct RunSummary {
     pub dropped: u64,
     /// Per-span-name wall-clock aggregates, sorted by name.
     pub stages: BTreeMap<String, StagePerf>,
+    /// Server-side SLOs when the run served traffic.
+    pub serving: Option<ServingSummary>,
     /// Per-`bootstrap.run` iteration series, in span order.
     pub runs: Vec<Vec<IterationQuality>>,
     /// Recorded evaluations, in emission order.
@@ -221,6 +241,47 @@ impl RunSummary {
                 stage.p90_ns = hist.quantile(0.9) as u64;
                 stage.p99_ns = hist.quantile(0.99) as u64;
             }
+        }
+
+        // Serving SLOs from the final registry state: response-status
+        // counters and the extract-route latency histogram.
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        let mut served = false;
+        let mut extract_hist: Option<&pae_obs::Histogram> = None;
+        for (key, value) in &trace.metrics {
+            match (key.name.as_str(), value) {
+                ("serve.responses", MetricValue::Counter(n)) => {
+                    served = true;
+                    requests += n;
+                    let ok = key
+                        .labels
+                        .iter()
+                        .any(|(k, v)| k == "status" && v == "200");
+                    if !ok {
+                        errors += n;
+                    }
+                }
+                ("serve.request_ns", MetricValue::Histogram(h))
+                    if key.labels.iter().any(|(k, v)| k == "route" && v == "extract") =>
+                {
+                    extract_hist = Some(h)
+                }
+                _ => {}
+            }
+        }
+        if served {
+            summary.serving = Some(ServingSummary {
+                requests,
+                errors,
+                error_rate: if requests > 0 {
+                    errors as f64 / requests as f64
+                } else {
+                    0.0
+                },
+                p50_ns: extract_hist.map_or(0, |h| h.quantile(0.5) as u64),
+                p99_ns: extract_hist.map_or(0, |h| h.quantile(0.99) as u64),
+            });
         }
 
         // Span-tree bookkeeping: parent chain + the ordinal of each
@@ -463,6 +524,17 @@ impl RunSummary {
             out.push_str("\n    ");
         }
         out.push_str("}\n  },\n");
+        if let Some(s) = &self.serving {
+            out.push_str(&format!(
+                "  \"serving\": {{ \"requests\": {}, \"errors\": {}, \"error_rate\": ",
+                s.requests, s.errors
+            ));
+            write_f64(&mut out, s.error_rate);
+            out.push_str(&format!(
+                ", \"p50_ns\": {}, \"p99_ns\": {} }},\n",
+                s.p50_ns, s.p99_ns
+            ));
+        }
         out.push_str("  \"quality\": ");
         out.push_str(&self.quality_json(1));
         out.push_str("\n}\n");
@@ -558,6 +630,17 @@ impl RunSummary {
                     },
                 );
             }
+        }
+        // Optional: only serving runs carry it (and older baselines
+        // predate it), but a present section is fully type-checked.
+        if let Some(s) = v.get("serving") {
+            summary.serving = Some(ServingSummary {
+                requests: req_u64(s, "serving", "requests")?,
+                errors: req_u64(s, "serving", "errors")?,
+                error_rate: req_f64(s, "serving", "error_rate")?,
+                p50_ns: req_u64(s, "serving", "p50_ns")?,
+                p99_ns: req_u64(s, "serving", "p99_ns")?,
+            });
         }
         let quality = v.get("quality").ok_or("missing quality")?;
         if let Some(Json::Arr(runs)) = quality.get("runs") {
@@ -746,6 +829,47 @@ mod tests {
         );
         assert!(veto.p90_ns < 1_000_000, "p90 {}", veto.p90_ns);
         assert_eq!(veto.p99_ns, 1_000_000_000, "p99 {}", veto.p99_ns);
+    }
+
+    #[test]
+    fn serving_section_round_trips_and_stays_optional() {
+        let mut s = sample();
+        assert!(
+            RunSummary::parse(&s.to_json()).expect("parses").serving.is_none(),
+            "non-serving summary must not grow a serving section"
+        );
+        s.serving = Some(ServingSummary {
+            requests: 150,
+            errors: 3,
+            error_rate: 0.02,
+            p50_ns: 2_000_000,
+            p99_ns: 9_000_000,
+        });
+        let doc = s.to_json();
+        let parsed = RunSummary::parse(&doc).expect("parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json(), doc);
+        // A mangled serving section is a parse error, not a silent zero.
+        let mangled = doc.replace("\"requests\": 150", "\"requests\": \"many\"");
+        assert!(RunSummary::parse(&mangled).is_err());
+    }
+
+    #[test]
+    fn build_derives_serving_slos_from_registry_metrics() {
+        let doc = "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n\
+            {\"type\":\"metric_snapshot\",\"name\":\"serve.responses\",\"labels\":{\"status\":\"200\"},\"kind\":\"counter\",\"value\":98}\n\
+            {\"type\":\"metric_snapshot\",\"name\":\"serve.responses\",\"labels\":{\"status\":\"400\"},\"kind\":\"counter\",\"value\":2}\n";
+        let trace = Trace::parse(doc).expect("parses");
+        let s = RunSummary::build(RunMeta::default(), &trace);
+        let serving = s.serving.expect("serving section derived");
+        assert_eq!(serving.requests, 100);
+        assert_eq!(serving.errors, 2);
+        assert!((serving.error_rate - 0.02).abs() < 1e-12);
+
+        // No serve metrics at all -> no serving section.
+        let quiet = "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n";
+        let trace = Trace::parse(quiet).expect("parses");
+        assert!(RunSummary::build(RunMeta::default(), &trace).serving.is_none());
     }
 
     #[test]

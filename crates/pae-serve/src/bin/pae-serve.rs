@@ -1,16 +1,25 @@
-//! `pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]`
+//! `pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]
+//! [--slow-ms MS] [--trace-sample N]`
 //!
-//! Loads a frozen model bundle once, then serves `/extract` and
-//! `/healthz` until the process is killed. The bound address is printed
-//! on stdout as `listening on <addr>` so callers binding port 0 can
-//! discover the port.
+//! Loads a frozen model bundle once, then serves `/extract`,
+//! `/healthz`, `/metrics`, and `/statusz` until the process is killed.
+//! The bound address is printed on stdout as `listening on <addr>` so
+//! callers binding port 0 can discover the port.
+//!
+//! `--slow-ms MS` captures requests slower than MS into the bounded
+//! ring dumped by `/statusz?slow=1` (0 = off). `--trace-sample N`
+//! samples 1-in-N requests into the obs trace (also settable via
+//! `PAE_SERVE_TRACE_SAMPLE`; the flag wins).
 
 use std::process::ExitCode;
 
 use pae_serve::{Server, ServerConfig};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]");
+    eprintln!(
+        "usage: pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N] \
+         [--slow-ms MS] [--trace-sample N]"
+    );
     ExitCode::from(2)
 }
 
@@ -29,6 +38,14 @@ fn main() -> ExitCode {
                 Some(w) => config.workers = w,
                 None => return usage(),
             },
+            "--slow-ms" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(ms) => config.slow_ms = ms,
+                None => return usage(),
+            },
+            "--trace-sample" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(n) => config.trace_sample = n,
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             _ if bundle_path.is_none() && !arg.starts_with('-') => bundle_path = Some(arg),
             _ => return usage(),
@@ -38,15 +55,16 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let model = match pae_core::read_bundle(std::path::Path::new(&bundle_path)) {
+    let (model, hash) = match pae_core::read_bundle_with_hash(std::path::Path::new(&bundle_path)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("pae-serve: {bundle_path}: {e}");
             return ExitCode::from(1);
         }
     };
+    config.bundle_hash = hash;
     eprintln!(
-        "pae-serve: loaded bundle (tagger={}, {} attrs, seed={})",
+        "pae-serve: loaded bundle {hash:016x} (tagger={}, {} attrs, seed={})",
         model.config.tagger,
         model.attrs.len(),
         model.config.seed

@@ -34,7 +34,25 @@
 //! `serve.request_ns` histogram sample, and `serve.responses` counters
 //! labelled by status code, all through [`pae_obs`] so the existing
 //! exporters (JSONL ledger, `pae-report check`) see serving the same
-//! way they see training.
+//! way they see training. On top of that, the server keeps its own
+//! always-on live telemetry (independent of the obs trace switch) and
+//! exposes it over two read-only endpoints:
+//!
+//! * `GET /metrics` → Prometheus text: the obs registry merged with
+//!   `serve.live.*` (windowed p50/p90/p99 per route over 1m/5m,
+//!   response-code counters, in-flight and pool gauges, cumulative
+//!   per-route latency histograms) and `process.*` gauges (RSS,
+//!   threads, uptime).
+//! * `GET /statusz` → JSON: bundle content hash + schema version,
+//!   uptime, per-route in-flight, windowed quantiles, response-code
+//!   counters, pool utilization, and with `?slow=1` the bounded ring
+//!   of captured slow requests (`--slow-ms` threshold; per-stage
+//!   timings and a body digest, never the body itself).
+//!
+//! Requests can also be *sampled* into the obs trace deterministically
+//! (1-in-N by request counter, `PAE_SERVE_TRACE_SAMPLE` — no RNG). All
+//! of this records strictly after the response bytes are written, so
+//! telemetry provably never changes `/extract` output.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,6 +64,10 @@ use std::time::Instant;
 use pae_core::frozen::FrozenExtractor;
 use pae_core::Triple;
 use pae_obs::json::{self, Json};
+
+mod telemetry;
+
+use telemetry::{RequestTiming, Telemetry};
 
 /// Upper bound on request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -63,6 +85,20 @@ pub struct ServerConfig {
     /// the `PAE_JOBS` compute pool *inside* a request, so this only
     /// needs to cover concurrent connections, not cores.
     pub workers: usize,
+    /// Content hash of the bundle being served, reported on
+    /// `/healthz` and `/statusz` so replica fleets can detect bundle
+    /// skew. 0 when the model did not come from a bundle (e.g. frozen
+    /// in-process by tests). Use [`pae_core::read_bundle_with_hash`]
+    /// to obtain it.
+    pub bundle_hash: u64,
+    /// Sample 1-in-N requests into the obs trace as
+    /// `serve.request.sample` events; 0 disables. Deterministic
+    /// (request-counter based, no RNG). Defaults from
+    /// `PAE_SERVE_TRACE_SAMPLE`.
+    pub trace_sample: u64,
+    /// Capture requests slower than this many milliseconds into the
+    /// bounded slow-request ring (`/statusz?slow=1`); 0 disables.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -70,8 +106,20 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:8391".to_owned(),
             workers: pae_runtime::jobs().clamp(2, 8),
+            bundle_hash: 0,
+            trace_sample: trace_sample_from_env(),
+            slow_ms: 0,
         }
     }
+}
+
+/// Parses `PAE_SERVE_TRACE_SAMPLE` (1-in-N sampling; absent, empty, or
+/// unparsable → 0 = off).
+pub fn trace_sample_from_env() -> u64 {
+    std::env::var("PAE_SERVE_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// A running extraction server. Dropping it without calling
@@ -99,10 +147,18 @@ impl Server {
         let rx = Arc::new(Mutex::new(rx));
 
         let n_workers = config.workers.max(1);
+        let telemetry = Arc::new(Telemetry::new(
+            config.bundle_hash,
+            pae_core::BUNDLE_SCHEMA_VERSION,
+            config.trace_sample,
+            config.slow_ms,
+            n_workers,
+        ));
         let mut workers = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
             let rx = Arc::clone(&rx);
             let extractor = Arc::clone(&shared);
+            let telemetry = Arc::clone(&telemetry);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pae-serve-{i}"))
@@ -111,7 +167,8 @@ impl Server {
                             Ok(s) => s,
                             Err(_) => break, // acceptor gone: shutdown
                         };
-                        handle_connection(stream, &extractor);
+                        let _busy = telemetry.worker_busy();
+                        handle_connection(stream, &extractor, &telemetry);
                     })
                     .map_err(|e| format!("spawn worker: {e}"))?,
             );
@@ -180,19 +237,37 @@ impl Server {
 
 struct Response {
     status: u16,
+    content_type: &'static str,
     body: String,
 }
 
 impl Response {
     fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A `200` carrying Prometheus exposition text instead of JSON.
+    fn ok_text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
     }
 
     fn error(status: u16, message: &str) -> Response {
         let mut body = String::from("{\"error\":");
         json::write_str(&mut body, message);
         body.push('}');
-        Response { status, body }
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
     }
 }
 
@@ -207,12 +282,28 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor) {
+fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor, telemetry: &Telemetry) {
     let started = Instant::now();
     let _guard = pae_obs::span("serve.request");
+    let mut timing = RequestTiming::default();
     let (route, response) = match read_request(&mut stream) {
-        Ok((method, path, body)) => route_request(&method, &path, &body, extractor),
-        Err(resp) => ("malformed", resp),
+        Ok((method, path, body)) => {
+            timing.read_ns = started.elapsed().as_nanos() as u64;
+            timing.body_bytes = body.len() as u64;
+            timing.body_digest = pae_core::bundle::fnv1a(&body);
+            let route = route_name(&method, &path);
+            let handle_start = Instant::now();
+            let response = {
+                let _in_flight = telemetry.enter(route);
+                dispatch(route, &method, &path, &body, extractor, telemetry)
+            };
+            timing.handle_ns = handle_start.elapsed().as_nanos() as u64;
+            (route, response)
+        }
+        Err(resp) => {
+            timing.read_ns = started.elapsed().as_nanos() as u64;
+            ("malformed", resp)
+        }
     };
     let status_label = match response.status {
         200 => "200",
@@ -229,15 +320,21 @@ fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor) {
         started.elapsed().as_nanos() as f64,
     );
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len()
     );
+    let write_start = Instant::now();
     let _ = stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(response.body.as_bytes()))
         .and_then(|()| stream.flush());
+    timing.write_ns = write_start.elapsed().as_nanos() as u64;
+    // All live telemetry records after the response is on the wire:
+    // sampling and slow-capture cannot influence what was sent.
+    telemetry.record(route, response.status, status_label, &timing);
 }
 
 /// Reads one HTTP/1.1 request: `(method, path, body)`. Protocol
@@ -302,30 +399,51 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn route_request(
+/// Maps a request to its route label (query string ignored). The
+/// label is decided before dispatch so in-flight gauges can bracket
+/// the handler.
+fn route_name(method: &str, path: &str) -> &'static str {
+    let base = path.split('?').next().unwrap_or(path);
+    match (method, base) {
+        ("GET", "/healthz") => "healthz",
+        ("POST", "/extract") => "extract",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/statusz") => "statusz",
+        (_, "/healthz" | "/extract" | "/metrics" | "/statusz") => "bad_method",
+        _ => "not_found",
+    }
+}
+
+fn dispatch(
+    route: &'static str,
     method: &str,
     path: &str,
     body: &[u8],
     extractor: &FrozenExtractor,
-) -> (&'static str, Response) {
-    match (method, path) {
-        ("GET", "/healthz") => ("healthz", healthz(extractor)),
-        ("POST", "/extract") => ("extract", extract(body, extractor)),
-        (_, "/healthz") | (_, "/extract") => (
-            "bad_method",
-            Response::error(405, &format!("method {method} not allowed")),
-        ),
-        _ => (
-            "not_found",
-            Response::error(404, &format!("no route {path}")),
-        ),
+    telemetry: &Telemetry,
+) -> Response {
+    match route {
+        "healthz" => healthz(extractor, telemetry),
+        "extract" => extract(body, extractor),
+        "metrics" => Response::ok_text(pae_obs::export::prometheus::render_live(
+            telemetry.metrics_extra(),
+        )),
+        "statusz" => {
+            let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
+            let include_slow = query.split('&').any(|kv| kv == "slow=1" || kv == "slow");
+            Response::ok(telemetry.statusz_json(include_slow))
+        }
+        "bad_method" => Response::error(405, &format!("method {method} not allowed")),
+        _ => Response::error(404, &format!("no route {path}")),
     }
 }
 
-fn healthz(extractor: &FrozenExtractor) -> Response {
+fn healthz(extractor: &FrozenExtractor, telemetry: &Telemetry) -> Response {
     Response::ok(format!(
-        "{{\"status\":\"ok\",\"attrs\":{}}}",
-        extractor.attrs().len()
+        "{{\"status\":\"ok\",\"attrs\":{},\"bundle_hash\":\"{:016x}\",\"schema_version\":{}}}",
+        extractor.attrs().len(),
+        telemetry.bundle_hash,
+        telemetry.schema_version
     ))
 }
 

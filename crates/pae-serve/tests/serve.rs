@@ -47,6 +47,9 @@ fn start_server() -> Server {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
+        bundle_hash: 0,
+        trace_sample: 0,
+        slow_ms: 0,
     };
     Server::start(extractor(), &config).expect("start server")
 }
@@ -85,6 +88,17 @@ fn healthz_reports_model_shape() {
     assert_eq!(
         doc.get("attrs").and_then(pae_obs::json::Json::as_u64),
         Some(fixture().model.attrs.len() as u64)
+    );
+    // Bundle identity for skew detection: hash (0 here — no bundle
+    // file behind the test fixture) and PAEB schema version.
+    assert_eq!(
+        doc.get("bundle_hash").and_then(pae_obs::json::Json::as_str),
+        Some("0000000000000000")
+    );
+    assert_eq!(
+        doc.get("schema_version")
+            .and_then(pae_obs::json::Json::as_u64),
+        Some(pae_core::BUNDLE_SCHEMA_VERSION as u64)
     );
     server.shutdown();
 }
