@@ -16,6 +16,10 @@
 //!   stamped with git revision, config hash, `PAE_JOBS`, and scale)
 //!   into `<dir>/<name>.json`. Requesting a ledger turns collection on
 //!   even without a trace target.
+//! - `--profile` / `PAE_PROF` — enable allocation profiling (via
+//!   [`pae_obs::prof`]): span-end records gain allocation fields and
+//!   the ledger entry gains a `memory` section (the `mem.summary`
+//!   event is emitted before the summary is built).
 //!
 //! All flags are stripped from [`RunCli::args`], so positional
 //! argument parsing in the binaries is unaffected.
@@ -49,6 +53,7 @@ impl RunCli {
             std::env::args().collect(),
             std::env::var("PAE_TRACE").ok(),
             std::env::var("PAE_PROVENANCE").ok(),
+            std::env::var("PAE_PROF").ok(),
         ) {
             Ok(cli) => cli,
             Err(msg) => {
@@ -64,6 +69,7 @@ impl RunCli {
         args: Vec<String>,
         trace_env: Option<String>,
         prov_env: Option<String>,
+        prof_env: Option<String>,
     ) -> Result<RunCli, String> {
         let mut ledger_dir: Option<PathBuf> = None;
         let mut filtered = Vec::with_capacity(args.len());
@@ -87,7 +93,7 @@ impl RunCli {
                 filtered.push(arg);
             }
         }
-        let (args, trace) = TraceSession::from_parts(filtered, trace_env, prov_env)?;
+        let (args, trace) = TraceSession::from_parts(filtered, trace_env, prov_env, prof_env)?;
         let mut enabled_for_ledger = false;
         if ledger_dir.is_some() && !trace.active() {
             pae_obs::reset();
@@ -115,7 +121,11 @@ impl RunCli {
 
     /// Writes the run-summary ledger entry (when `--ledger` was given)
     /// and finishes the trace session. Call last thing in `main`.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
+        // End profiling before snapshotting the trace: the mem.summary
+        // event it emits is what RunSummary::build turns into the
+        // ledger's `memory` section.
+        self.trace.end_profiling();
         if let Some(dir) = &self.ledger_dir {
             let trace = pae_obs::reader::Trace::from_current();
             let scale = std::env::var("PAE_SCALE").unwrap_or_else(|_| "default".into());
@@ -186,6 +196,7 @@ mod tests {
             ],
             None,
             None,
+            None,
         )
         .expect("fresh output path is accepted");
         assert_eq!(cli.args, vec!["probe".to_string(), "120".to_string()]);
@@ -209,6 +220,7 @@ mod tests {
             vec!["probe".into(), format!("--trace-out={}", out.display())],
             None,
             None,
+            None,
         )
         .expect_err("existing file must be refused");
         assert!(err.contains("refusing to overwrite"), "{err}");
@@ -228,6 +240,7 @@ mod tests {
                 format!("--trace-out={}", out.display()),
                 "--force".into(),
             ],
+            None,
             None,
             None,
         )
@@ -251,6 +264,7 @@ mod tests {
             ],
             None,
             None,
+            None,
         )
         .expect_err("existing provenance file must be refused");
         assert!(err.contains("refusing to overwrite"), "{err}");
@@ -261,6 +275,7 @@ mod tests {
                 format!("--provenance-out={}", out.display()),
                 "--force".into(),
             ],
+            None,
             None,
             None,
         )
@@ -280,6 +295,7 @@ mod tests {
         let cli = RunCli::from_parts(
             "unit-ledger",
             vec!["probe".into(), format!("--ledger={}", dir.display())],
+            None,
             None,
             None,
         )
@@ -302,7 +318,7 @@ mod tests {
     #[test]
     fn no_flags_means_no_collection() {
         let _l = lock();
-        let cli = RunCli::from_parts("unit", vec!["probe".into()], None, None)
+        let cli = RunCli::from_parts("unit", vec!["probe".into()], None, None, None)
             .expect("flagless run context");
         assert!(!cli.collecting());
         assert_eq!(cli.args, vec!["probe".to_string()]);

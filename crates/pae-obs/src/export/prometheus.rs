@@ -306,7 +306,10 @@ pub fn validate(text: &str) -> Result<usize, String> {
             if !valid_name(family) {
                 return Err(format!("line {}: bad family name {family:?}", n + 1));
             }
-            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
                 return Err(format!("line {}: bad TYPE kind {kind:?}", n + 1));
             }
             if types.insert(family.to_owned(), kind.to_owned()).is_some() {
@@ -383,11 +386,7 @@ pub fn validate(text: &str) -> Result<usize, String> {
         }
         match hist_counts.get(key) {
             Some(&count) if count == last_cum => {}
-            Some(&count) => {
-                return Err(format!(
-                    "{key}: _count {count} != +Inf bucket {last_cum}"
-                ))
-            }
+            Some(&count) => return Err(format!("{key}: _count {count} != +Inf bucket {last_cum}")),
             None => return Err(format!("{key}: histogram missing _count")),
         }
         if !hist_sums.contains_key(key) {
@@ -501,6 +500,89 @@ mod tests {
     }
 
     #[test]
+    fn empty_live_histogram_renders_and_validates() {
+        // A histogram family that exists but has observed nothing (a
+        // serving histogram before the first request): only the +Inf
+        // bucket at 0, _count 0, and _sum 0 — and the validator must
+        // accept the degenerate-but-legal shape.
+        let extra = vec![(
+            MetricKey {
+                name: "serve.request_ns".into(),
+                labels: vec![("route".into(), "extract".into())],
+            },
+            MetricValue::Histogram(Box::default()),
+        )];
+        let text = render_live(extra);
+        assert!(
+            text.contains("serve_request_ns_bucket{route=\"extract\",le=\"+Inf\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("serve_request_ns_count{route=\"extract\"} 0"));
+        assert!(text.contains("serve_request_ns_sum{route=\"extract\"} 0"));
+        validate(&text).expect("empty histogram validates");
+        let samples = parse_text(&text).expect("parses");
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "serve_request_ns_bucket")
+            .expect("+Inf bucket present");
+        assert_eq!(inf.label("le"), Some("+Inf"));
+        assert_eq!(inf.value, 0.0);
+    }
+
+    #[test]
+    fn escaped_labels_round_trip_through_the_live_path() {
+        // Every escape-worthy character, rendered through render_live
+        // (the serving scrape path), must parse back verbatim and pass
+        // the validator.
+        let hostile = "back\\slash \"quoted\"\nsecond line";
+        let extra = vec![(
+            MetricKey {
+                name: "serve.errors".into(),
+                labels: vec![("reason".into(), hostile.into())],
+            },
+            MetricValue::Counter(2),
+        )];
+        let text = render_live(extra);
+        validate(&text).expect("escaped live exposition validates");
+        let samples = parse_text(&text).expect("parses");
+        let s = samples
+            .iter()
+            .find(|s| s.name == "serve_errors")
+            .expect("family present");
+        assert_eq!(s.label("reason"), Some(hostile), "escapes resolve back");
+        assert_eq!(s.value, 2.0);
+    }
+
+    #[test]
+    fn zero_observation_families_render_and_validate() {
+        // Families registered but never incremented: a 0 counter and a
+        // 0 gauge still get a TYPE header and a sample line — scrapers
+        // rely on the family existing from the first scrape.
+        let snap = vec![
+            (
+                MetricKey {
+                    name: "serve.responses".into(),
+                    labels: vec![("code".into(), "500".into())],
+                },
+                MetricValue::Counter(0),
+            ),
+            (
+                MetricKey {
+                    name: "serve.queue_depth".into(),
+                    labels: vec![],
+                },
+                MetricValue::Gauge(0.0),
+            ),
+        ];
+        let text = render(&snap);
+        assert!(text.contains("# TYPE serve_responses counter"), "{text}");
+        assert!(text.contains("serve_responses{code=\"500\"} 0"));
+        assert!(text.contains("serve_queue_depth 0"));
+        let n = validate(&text).expect("zero-observation families validate");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
     fn render_live_merges_and_stays_sorted() {
         let extra = vec![
             (
@@ -524,9 +606,9 @@ mod tests {
         ];
         let text = render_live(extra);
         assert!(text.contains("# TYPE process_rss_bytes gauge"));
-        assert!(text.contains(
-            "serve_live_latency_ns{q=\"p50\",route=\"extract\",window=\"1m\"} 12345"
-        ));
+        assert!(
+            text.contains("serve_live_latency_ns{q=\"p50\",route=\"extract\",window=\"1m\"} 12345")
+        );
         validate(&text).expect("live exposition validates");
     }
 }

@@ -35,6 +35,7 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod process;
+pub mod prof;
 pub mod reader;
 pub mod window;
 
@@ -47,6 +48,10 @@ pub use metrics::{
     MetricKey, MetricValue, HISTOGRAM_BUCKETS,
 };
 pub use process::{process_metrics, process_stats, ProcessStats};
+pub use prof::{
+    prof_enabled, prof_stats, set_prof_enabled, start_rss_sampler, MemReport, ProfSession,
+    ProfStats, RssSampler,
+};
 pub use record::{FieldValue, RecordKind, TraceRecord};
 pub use span::{
     current_span, event, provenance, span, span_complete, span_fields, warn, with_parent, SpanGuard,
@@ -83,6 +88,13 @@ pub fn reset() {
 /// - `--force` — allow overwriting existing output files; without it
 ///   a session refuses to clobber an existing `--trace-out` or
 ///   `--provenance-out` target.
+/// - `--profile` — enable allocation profiling (the counting
+///   `#[global_allocator]` plus an RSS sampler; see [`prof`]). Span-end
+///   records gain `alloc_bytes`/`alloc_count`/`peak_live_bytes` fields
+///   and [`TraceSession::finish`] emits a `mem.summary` event for the
+///   run ledger. Profiling alone does not enable trace collection.
+/// - `PAE_PROF` — unset, empty, or `0` = off; anything else = same as
+///   `--profile`.
 ///
 /// Without `--force` the output files are *reserved atomically* at
 /// session start (`File::create_new`): the open itself fails when the
@@ -108,6 +120,10 @@ pub struct TraceSession {
     console: bool,
     active: bool,
     provenance: bool,
+    /// Live profiling session (`--profile` / `PAE_PROF`); finished —
+    /// emitting its `mem.summary` event — by [`TraceSession::finish`]
+    /// or an early [`TraceSession::end_profiling`].
+    prof: Option<prof::ProfSession>,
 }
 
 /// Atomically reserves `path` for writing: fails with the standard
@@ -141,6 +157,7 @@ impl TraceSession {
             std::env::args().collect(),
             std::env::var("PAE_TRACE").ok(),
             std::env::var("PAE_PROVENANCE").ok(),
+            std::env::var("PAE_PROF").ok(),
         ) {
             Ok(parts) => parts,
             Err(msg) => {
@@ -155,6 +172,7 @@ impl TraceSession {
         args: Vec<String>,
         trace_env: Option<String>,
         prov_env: Option<String>,
+        prof_env: Option<String>,
     ) -> Result<(Vec<String>, TraceSession), String> {
         let mut out: Option<std::path::PathBuf> = None;
         let mut console_only = false;
@@ -170,6 +188,7 @@ impl TraceSession {
             Some("1") => prov_inline = true,
             Some(path) => prov_out = Some(path.into()),
         }
+        let mut profile = !matches!(prof_env.as_deref(), None | Some("") | Some("0"));
         let mut force = false;
         let mut filtered = Vec::with_capacity(args.len());
         let mut it = args.into_iter();
@@ -188,6 +207,8 @@ impl TraceSession {
                 }
             } else if let Some(path) = arg.strip_prefix("--provenance-out=") {
                 prov_out = Some(path.into());
+            } else if arg == "--profile" {
+                profile = true;
             } else if arg == "--force" {
                 force = true;
             } else {
@@ -227,6 +248,9 @@ impl TraceSession {
                 set_capacity(PROVENANCE_CAPACITY);
             }
         }
+        // Begin profiling last, after collection is configured, so the
+        // session's counters start from a clean baseline.
+        let prof_session = profile.then(prof::ProfSession::begin);
         Ok((
             filtered,
             TraceSession {
@@ -237,6 +261,7 @@ impl TraceSession {
                 console,
                 active,
                 provenance,
+                prof: prof_session,
             },
         ))
     }
@@ -251,9 +276,29 @@ impl TraceSession {
         self.provenance
     }
 
+    /// Whether this session turned allocation profiling on (and has not
+    /// yet ended it).
+    pub fn profiling_active(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Ends the profiling session now (idempotent), emitting the
+    /// `mem.summary` event into the live collection and returning the
+    /// run's memory totals. Callers that build a `RunSummary` from the
+    /// live collection must call this *before* snapshotting, otherwise
+    /// the summary's `memory` section is missing;
+    /// [`TraceSession::finish`] calls it automatically for everyone
+    /// else.
+    pub fn end_profiling(&mut self) -> Option<prof::MemReport> {
+        self.prof.take().map(prof::ProfSession::finish)
+    }
+
     /// Exports (provenance JSONL, trace JSONL, console tree — each if
     /// configured) and disables collection.
     pub fn finish(mut self) {
+        // Profiling may be on without any trace target; end it before
+        // the early return so the allocator is never left counting.
+        self.end_profiling();
         if !self.active {
             return;
         }
@@ -330,6 +375,7 @@ mod tests {
             ],
             Some(env.to_string_lossy().into_owned()),
             None,
+            None,
         )
         .expect("fresh paths");
         assert_eq!(args, vec!["probe".to_string(), "60".to_string()]);
@@ -350,6 +396,7 @@ mod tests {
             ],
             None,
             None,
+            None,
         )
         .expect("fresh path");
         assert_eq!(args, vec!["probe".to_string()]);
@@ -357,13 +404,13 @@ mod tests {
         end_session();
 
         let (_, session) =
-            TraceSession::from_parts(vec!["probe".into()], Some("1".into()), None).unwrap();
+            TraceSession::from_parts(vec!["probe".into()], Some("1".into()), None, None).unwrap();
         assert!(session.active());
         assert!(session.out.is_none());
         end_session();
 
         let (_, session) =
-            TraceSession::from_parts(vec!["probe".into()], Some("0".into()), None).unwrap();
+            TraceSession::from_parts(vec!["probe".into()], Some("0".into()), None, None).unwrap();
         assert!(!session.active());
         assert!(!enabled());
         reset();
@@ -379,6 +426,7 @@ mod tests {
                 "--provenance-out".into(),
                 p.to_string_lossy().into_owned(),
             ],
+            None,
             None,
             None,
         )
@@ -405,14 +453,14 @@ mod tests {
     fn provenance_env_inline_mode_needs_no_path() {
         let _l = test_lock();
         let (_, session) =
-            TraceSession::from_parts(vec!["probe".into()], None, Some("1".into())).unwrap();
+            TraceSession::from_parts(vec!["probe".into()], None, Some("1".into()), None).unwrap();
         assert!(session.active());
         assert!(session.provenance_active());
         assert!(session.prov_out.is_none());
         end_session();
 
         let (_, session) =
-            TraceSession::from_parts(vec!["probe".into()], None, Some("0".into())).unwrap();
+            TraceSession::from_parts(vec!["probe".into()], None, Some("0".into()), None).unwrap();
         assert!(!session.active());
         assert!(!provenance_enabled());
         reset();
@@ -430,6 +478,7 @@ mod tests {
                     flag.into(),
                     p.to_string_lossy().into_owned(),
                 ],
+                None,
                 None,
                 None,
             )
@@ -450,6 +499,7 @@ mod tests {
                     p.to_string_lossy().into_owned(),
                     "--force".into(),
                 ],
+                None,
                 None,
                 None,
             )
@@ -476,6 +526,7 @@ mod tests {
             ],
             None,
             None,
+            None,
         )
         .expect("first reservation succeeds");
         let err = TraceSession::from_parts(
@@ -483,6 +534,7 @@ mod tests {
                 "probe".into(),
                 format!("--trace-out={}", p.to_string_lossy()),
             ],
+            None,
             None,
             None,
         )
@@ -507,6 +559,7 @@ mod tests {
                 format!("--trace-out={}", t.to_string_lossy()),
                 format!("--provenance-out={}", p.to_string_lossy()),
             ],
+            None,
             None,
             None,
         )

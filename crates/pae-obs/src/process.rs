@@ -1,12 +1,17 @@
 //! Process-level gauges for live observability: resident set size,
-//! thread count, and uptime.
+//! peak RSS, thread count, and uptime.
 //!
 //! Values come from `/proc/self` (Linux); on other platforms the
-//! readings are `None` and exporters simply omit the gauges. Nothing
-//! here is wired into the global registry automatically — a server
-//! calls [`process_metrics`] at scrape time so `/metrics` always
+//! readings are `None` and exporters simply omit the gauges. Parsing is
+//! strictly best-effort: a missing, truncated, or garbled field yields
+//! `None`, never a fabricated zero — a gauge that silently reads 0
+//! would trip the memory regression gates in the wrong direction.
+//! Nothing here is wired into the global registry automatically — a
+//! server calls [`process_metrics`] at scrape time so `/metrics` always
 //! reports a fresh RSS rather than a stale startup sample, feeding the
-//! ROADMAP memory-ceiling goal without a background sampler thread.
+//! ROADMAP memory-ceiling goal without a background sampler thread
+//! (the profiling layer's `RssSampler` exists separately for run-level
+//! peak capture).
 
 use crate::metrics::{MetricKey, MetricValue};
 
@@ -22,62 +27,81 @@ pub struct ProcessStats {
     /// Resident set size in bytes (`/proc/self/statm` field 2 × page
     /// size). `None` when procfs is unavailable.
     pub rss_bytes: Option<u64>,
+    /// Peak resident set size in bytes (`/proc/self/status` `VmHWM:`,
+    /// kernel-tracked high-water mark since process start).
+    pub peak_rss_bytes: Option<u64>,
     /// Live thread count (`/proc/self/status` `Threads:`).
     pub threads: Option<u64>,
 }
 
 /// Reads the current process stats (best-effort, never panics).
 pub fn process_stats() -> ProcessStats {
+    let status = std::fs::read_to_string("/proc/self/status").ok();
+    let status = status.as_deref();
     ProcessStats {
-        rss_bytes: read_rss_bytes(),
-        threads: read_threads(),
+        rss_bytes: std::fs::read_to_string("/proc/self/statm")
+            .ok()
+            .as_deref()
+            .and_then(parse_statm_rss),
+        peak_rss_bytes: status.and_then(|s| parse_status_bytes(s, "VmHWM:")),
+        threads: status.and_then(|s| parse_status_count(s, "Threads:")),
     }
 }
 
-fn read_rss_bytes() -> Option<u64> {
-    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+/// Parses the resident-pages field (field 2) of a `/proc/self/statm`
+/// document into bytes. `None` on a truncated or non-numeric document.
+pub fn parse_statm_rss(statm: &str) -> Option<u64> {
     let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
     Some(resident_pages * PAGE_SIZE)
 }
 
-fn read_threads() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+/// Finds `key` in a `/proc/self/status` document and parses its value
+/// as a plain count (e.g. `Threads:\t12`). Missing key, missing value,
+/// or a non-numeric value all yield `None`.
+pub fn parse_status_count(status: &str, key: &str) -> Option<u64> {
     status
         .lines()
-        .find_map(|l| l.strip_prefix("Threads:"))
+        .find_map(|l| l.strip_prefix(key))
         .and_then(|v| v.trim().parse().ok())
+}
+
+/// Finds `key` in a `/proc/self/status` document and parses its value
+/// as a byte quantity. The kernel writes sizes as `<n> kB`; the unit
+/// suffix is required-or-absent: `12 kB` and a bare `12` both parse
+/// (as kilobytes — `status` sizes are always kB), anything else is
+/// `None`.
+pub fn parse_status_bytes(status: &str, key: &str) -> Option<u64> {
+    let raw = status.lines().find_map(|l| l.strip_prefix(key))?.trim();
+    let number = raw.strip_suffix("kB").map(str::trim_end).unwrap_or(raw);
+    let kb: u64 = number.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// The process gauges as registry-shaped metrics, ready to merge into
 /// a live Prometheus exposition: `process.rss_bytes`,
-/// `process.threads`, and `process.uptime_seconds` (uptime is passed
-/// in because only the owner of the start instant knows it).
+/// `process.peak_rss_bytes`, `process.threads`, and
+/// `process.uptime_seconds` (uptime is passed in because only the
+/// owner of the start instant knows it).
 pub fn process_metrics(uptime_seconds: f64) -> Vec<(MetricKey, MetricValue)> {
     let stats = process_stats();
-    let mut out = vec![(
-        MetricKey {
-            name: "process.uptime_seconds".to_owned(),
-            labels: Vec::new(),
-        },
-        MetricValue::Gauge(uptime_seconds),
-    )];
-    if let Some(rss) = stats.rss_bytes {
-        out.push((
+    let gauge = |name: &str, v: f64| {
+        (
             MetricKey {
-                name: "process.rss_bytes".to_owned(),
+                name: name.to_owned(),
                 labels: Vec::new(),
             },
-            MetricValue::Gauge(rss as f64),
-        ));
+            MetricValue::Gauge(v),
+        )
+    };
+    let mut out = vec![gauge("process.uptime_seconds", uptime_seconds)];
+    if let Some(rss) = stats.rss_bytes {
+        out.push(gauge("process.rss_bytes", rss as f64));
+    }
+    if let Some(peak) = stats.peak_rss_bytes {
+        out.push(gauge("process.peak_rss_bytes", peak as f64));
     }
     if let Some(threads) = stats.threads {
-        out.push((
-            MetricKey {
-                name: "process.threads".to_owned(),
-                labels: Vec::new(),
-            },
-            MetricValue::Gauge(threads as f64),
-        ));
+        out.push(gauge("process.threads", threads as f64));
     }
     out
 }
@@ -94,6 +118,8 @@ mod tests {
         assert!(rss > 0, "resident set must be non-zero");
         let threads = stats.threads.expect("status readable on linux");
         assert!(threads >= 1, "at least this thread is running");
+        let peak = stats.peak_rss_bytes.expect("VmHWM readable on linux");
+        assert!(peak >= rss / 2, "peak {peak} implausibly below rss {rss}");
     }
 
     #[test]
@@ -105,7 +131,70 @@ mod tests {
             .expect("uptime gauge present");
         assert_eq!(uptime.1, MetricValue::Gauge(12.5));
         for (k, _) in &metrics {
-            assert!(k.labels.is_empty(), "{}: process gauges are label-free", k.name);
+            assert!(
+                k.labels.is_empty(),
+                "{}: process gauges are label-free",
+                k.name
+            );
         }
+    }
+
+    // A realistic /proc/self/status excerpt for the fixture tests.
+    const STATUS_FIXTURE: &str = "\
+Name:\tpae-serve
+Umask:\t0022
+State:\tS (sleeping)
+VmPeak:\t  191808 kB
+VmSize:\t  191808 kB
+VmHWM:\t   84240 kB
+VmRSS:\t   84240 kB
+Threads:\t9
+Seccomp:\t0
+";
+
+    #[test]
+    fn status_fixture_parses_expected_values() {
+        assert_eq!(
+            parse_status_bytes(STATUS_FIXTURE, "VmHWM:"),
+            Some(84240 * 1024)
+        );
+        assert_eq!(parse_status_count(STATUS_FIXTURE, "Threads:"), Some(9));
+        assert_eq!(
+            parse_status_bytes(STATUS_FIXTURE, "VmPeak:"),
+            Some(191808 * 1024)
+        );
+    }
+
+    #[test]
+    fn missing_or_truncated_status_fields_yield_none_not_zero() {
+        // Key absent entirely.
+        assert_eq!(parse_status_bytes("Name:\tx\n", "VmHWM:"), None);
+        assert_eq!(parse_status_count("Name:\tx\n", "Threads:"), None);
+        // Key present, value truncated away (e.g. partial read).
+        assert_eq!(parse_status_bytes("VmHWM:", "VmHWM:"), None);
+        assert_eq!(parse_status_bytes("VmHWM:\t\n", "VmHWM:"), None);
+        assert_eq!(parse_status_count("Threads:\n", "Threads:"), None);
+        // Garbled values must not parse as zero.
+        assert_eq!(parse_status_bytes("VmHWM:\tlots kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_bytes("VmHWM:\t12 MB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_count("Threads:\tmany\n", "Threads:"), None);
+        // A unit-less number still parses (kernel format drift guard).
+        assert_eq!(
+            parse_status_bytes("VmHWM:\t12\n", "VmHWM:"),
+            Some(12 * 1024)
+        );
+        // An explicit zero is a real value, not a parse failure.
+        assert_eq!(parse_status_bytes("VmHWM:\t0 kB\n", "VmHWM:"), Some(0));
+    }
+
+    #[test]
+    fn truncated_statm_yields_none() {
+        assert_eq!(
+            parse_statm_rss("47952 21060 1326 12 0 9000 0"),
+            Some(21060 * PAGE_SIZE)
+        );
+        assert_eq!(parse_statm_rss("47952"), None, "resident field missing");
+        assert_eq!(parse_statm_rss(""), None);
+        assert_eq!(parse_statm_rss("x y z"), None);
     }
 }

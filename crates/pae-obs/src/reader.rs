@@ -198,6 +198,73 @@ impl Trace {
             .collect()
     }
 
+    /// Aggregates every span in the trace into a [`SpanInfo`] carrying
+    /// total and *self* weights (wall time, and allocation bytes when
+    /// the trace was recorded with profiling on). Returned in
+    /// first-seen sequence order.
+    ///
+    /// Self weight is the span's total minus the sum of its direct
+    /// children's totals, saturating at zero — children running
+    /// concurrently on worker threads can sum to more wall time than
+    /// the parent span's own duration.
+    pub fn span_infos(&self) -> Vec<SpanInfo> {
+        use std::collections::BTreeMap;
+        let u64_field = |r: &TraceRecord, key: &str| match r.field(key) {
+            Some(FieldValue::U64(v)) => *v,
+            _ => 0,
+        };
+        let mut order: Vec<u64> = Vec::new();
+        let mut infos: BTreeMap<u64, SpanInfo> = BTreeMap::new();
+        for r in &self.records {
+            if r.kind != RecordKind::SpanStart && r.kind != RecordKind::SpanEnd {
+                continue;
+            }
+            // An end without a start still yields an entry (drop-oldest
+            // traces may have evicted the start); parent and name ride
+            // on both record kinds.
+            let info = infos.entry(r.span).or_insert_with(|| {
+                order.push(r.span);
+                SpanInfo {
+                    span: r.span,
+                    parent: r.parent,
+                    name: r.name.clone(),
+                    dur_ns: 0,
+                    self_ns: 0,
+                    alloc_bytes: 0,
+                    self_alloc_bytes: 0,
+                    alloc_count: 0,
+                    peak_live_bytes: 0,
+                }
+            });
+            if r.kind == RecordKind::SpanEnd {
+                info.dur_ns = u64_field(r, "dur_ns");
+                info.alloc_bytes = u64_field(r, "alloc_bytes");
+                info.alloc_count = u64_field(r, "alloc_count");
+                info.peak_live_bytes = u64_field(r, "peak_live_bytes");
+            }
+        }
+        let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut child_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+        for info in infos.values() {
+            if info.parent != 0 {
+                *child_ns.entry(info.parent).or_default() += info.dur_ns;
+                *child_bytes.entry(info.parent).or_default() += info.alloc_bytes;
+            }
+        }
+        for info in infos.values_mut() {
+            info.self_ns = info
+                .dur_ns
+                .saturating_sub(child_ns.get(&info.span).copied().unwrap_or(0));
+            info.self_alloc_bytes = info
+                .alloc_bytes
+                .saturating_sub(child_bytes.get(&info.span).copied().unwrap_or(0));
+        }
+        order
+            .into_iter()
+            .filter_map(|id| infos.remove(&id))
+            .collect()
+    }
+
     /// Looks up a metric snapshot by name and exact label set.
     pub fn metric(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
         self.metrics
@@ -212,6 +279,32 @@ impl Trace {
             })
             .map(|(_, v)| v)
     }
+}
+
+/// One span's aggregated weights, as computed by [`Trace::span_infos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// Span id.
+    pub span: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Total wall time (`dur_ns` on the end record; 0 if the end was
+    /// evicted).
+    pub dur_ns: u64,
+    /// Wall time minus the sum of direct children's wall time
+    /// (saturating — concurrent children can exceed the parent).
+    pub self_ns: u64,
+    /// Bytes allocated on the span's own thread while it was innermost
+    /// (0 on traces recorded without profiling).
+    pub alloc_bytes: u64,
+    /// `alloc_bytes` minus direct children's `alloc_bytes` (saturating).
+    pub self_alloc_bytes: u64,
+    /// Allocation calls attributed to the span.
+    pub alloc_count: u64,
+    /// Live-bytes high-water mark inside the span's window.
+    pub peak_live_bytes: u64,
 }
 
 fn req_u64(v: &Json, key: &str, line: usize) -> Result<u64, String> {
@@ -496,6 +589,113 @@ mod tests {
             assert_eq!(prov[0].name, "prov.origin");
             assert_eq!(prov[0].field("attr"), Some(&FieldValue::Str("iro".into())));
         }
+    }
+
+    #[test]
+    fn span_infos_compute_self_time_and_self_bytes() {
+        let rec = |kind, span, parent, name: &str, fields: Vec<(String, FieldValue)>| TraceRecord {
+            seq: 0,
+            t_ns: 0,
+            thread: 0,
+            kind,
+            span,
+            parent,
+            name: name.into(),
+            fields,
+        };
+        let end_fields = |dur: u64, bytes: u64, count: u64, peak: u64| {
+            vec![
+                ("dur_ns".into(), FieldValue::U64(dur)),
+                ("alloc_bytes".into(), FieldValue::U64(bytes)),
+                ("alloc_count".into(), FieldValue::U64(count)),
+                ("peak_live_bytes".into(), FieldValue::U64(peak)),
+            ]
+        };
+        // root(1) {100ns, 1000B} > child(2) {30ns, 600B} > leaf(3) {10ns, 100B},
+        // plus a second root-level child(4) {25ns, 150B}.
+        let trace = Trace {
+            meta: TraceMeta {
+                version: 1,
+                records: 8,
+                dropped: 0,
+            },
+            records: vec![
+                rec(RecordKind::SpanStart, 1, 0, "root", vec![]),
+                rec(RecordKind::SpanStart, 2, 1, "child", vec![]),
+                rec(RecordKind::SpanStart, 3, 2, "leaf", vec![]),
+                rec(
+                    RecordKind::SpanEnd,
+                    3,
+                    2,
+                    "leaf",
+                    end_fields(10, 100, 2, 90),
+                ),
+                rec(
+                    RecordKind::SpanEnd,
+                    2,
+                    1,
+                    "child",
+                    end_fields(30, 600, 5, 400),
+                ),
+                rec(RecordKind::SpanStart, 4, 1, "child2", vec![]),
+                rec(
+                    RecordKind::SpanEnd,
+                    4,
+                    1,
+                    "child2",
+                    end_fields(25, 150, 3, 120),
+                ),
+                rec(
+                    RecordKind::SpanEnd,
+                    1,
+                    0,
+                    "root",
+                    end_fields(100, 1000, 12, 800),
+                ),
+            ],
+            metrics: vec![],
+        };
+        let infos = trace.span_infos();
+        assert_eq!(infos.len(), 4);
+        assert_eq!(
+            infos.iter().map(|i| i.name.as_str()).collect::<Vec<_>>(),
+            vec!["root", "child", "leaf", "child2"],
+            "first-seen order"
+        );
+        let by_name = |n: &str| infos.iter().find(|i| i.name == n).unwrap();
+        let root = by_name("root");
+        assert_eq!(root.dur_ns, 100);
+        assert_eq!(root.self_ns, 100 - 30 - 25, "root minus direct children");
+        assert_eq!(root.self_alloc_bytes, 1000 - 600 - 150);
+        assert_eq!(root.alloc_count, 12);
+        assert_eq!(root.peak_live_bytes, 800);
+        let child = by_name("child");
+        assert_eq!(child.self_ns, 20, "30 minus leaf's 10");
+        assert_eq!(child.self_alloc_bytes, 500);
+        assert_eq!(by_name("leaf").self_ns, 10, "leaves keep their total");
+
+        // Concurrent children can out-sum the parent; self saturates.
+        let trace2 = Trace {
+            meta: TraceMeta {
+                version: 1,
+                records: 4,
+                dropped: 0,
+            },
+            records: vec![
+                rec(RecordKind::SpanStart, 1, 0, "pool", vec![]),
+                rec(RecordKind::SpanStart, 2, 1, "worker", vec![]),
+                rec(
+                    RecordKind::SpanEnd,
+                    2,
+                    1,
+                    "worker",
+                    end_fields(500, 0, 0, 0),
+                ),
+                rec(RecordKind::SpanEnd, 1, 0, "pool", end_fields(100, 0, 0, 0)),
+            ],
+            metrics: vec![],
+        };
+        assert_eq!(trace2.span_infos()[0].self_ns, 0, "saturates, no underflow");
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct SpanGuard {
     start: Instant,
     name: &'static str,
     ended: bool,
+    /// Allocation-attribution window, open only while profiling is
+    /// enabled ([`crate::set_prof_enabled`]); its deltas land as
+    /// `alloc_bytes` / `alloc_count` / `peak_live_bytes` fields on the
+    /// `span_end` record. Attribution is per-thread: a worker thread's
+    /// allocations count toward the worker's own spans, not toward the
+    /// spawning span this guard belongs to.
+    alloc: Option<crate::prof::SpanAllocSnapshot>,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -67,12 +74,16 @@ pub fn span_fields(name: &'static str, fields: Vec<(String, FieldValue)>) -> Spa
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let prev = CURRENT_SPAN.with(|c| c.replace(id));
     push(RecordKind::SpanStart, id, prev, name, fields);
+    // Snapshot after the start record is pushed so the record's own
+    // allocations don't charge to this span.
+    let alloc = crate::prof::span_alloc_begin();
     SpanGuard {
         id,
         prev,
         start: Instant::now(),
         name,
         ended: false,
+        alloc,
         _not_send: PhantomData,
     }
 }
@@ -96,13 +107,16 @@ impl SpanGuard {
         if !self.ended {
             self.ended = true;
             CURRENT_SPAN.with(|c| c.set(self.prev));
-            push(
-                RecordKind::SpanEnd,
-                self.id,
-                self.prev,
-                self.name,
-                vec![("dur_ns".into(), FieldValue::U64(dur.as_nanos() as u64))],
-            );
+            let mut fields = vec![("dur_ns".into(), FieldValue::U64(dur.as_nanos() as u64))];
+            // Close the attribution window before pushing the end
+            // record, so the record's own allocations stay out.
+            if let Some(snap) = self.alloc.take() {
+                let (bytes, count, peak) = crate::prof::span_alloc_end(snap);
+                fields.push(("alloc_bytes".into(), FieldValue::U64(bytes)));
+                fields.push(("alloc_count".into(), FieldValue::U64(count)));
+                fields.push(("peak_live_bytes".into(), FieldValue::U64(peak)));
+            }
+            push(RecordKind::SpanEnd, self.id, self.prev, self.name, fields);
         }
         dur
     }

@@ -17,6 +17,15 @@
 //! `Instant::elapsed().as_secs()` since startup; tests pass literal
 //! epochs). Nothing here reads wall time, so windowed behaviour is
 //! fully deterministic under test.
+//!
+//! **Backwards clocks are tolerated on the write path**: callers are
+//! supposed to pass a monotonic clock, but a stepped wall clock (NTP,
+//! VM resume) can slip through. A write whose `now_s` maps to an epoch
+//! older than the newest epoch ever written is clamped to that newest
+//! epoch — without the clamp the old epoch number could reuse and
+//! *reset* a newer slot, silently deleting fresh observations. Reads
+//! are pure and stay unclamped: querying an earlier `now_s`
+//! deliberately answers "what did the window look like then".
 
 use crate::metrics::Histogram;
 
@@ -29,6 +38,9 @@ pub struct WindowedHistogram {
     /// the paired `u64` records which epoch the slot currently belongs
     /// to (stale slots are reset on first touch).
     slots: Vec<(u64, Histogram)>,
+    /// Newest epoch any operation has seen; `now_s` values that map to
+    /// an older epoch are clamped here (backwards-clock tolerance).
+    latest: u64,
 }
 
 impl WindowedHistogram {
@@ -39,6 +51,7 @@ impl WindowedHistogram {
         WindowedHistogram {
             epoch_s,
             slots: vec![(u64::MAX, Histogram::default()); n_slots],
+            latest: 0,
         }
     }
 
@@ -48,7 +61,8 @@ impl WindowedHistogram {
     }
 
     fn slot_mut(&mut self, now_s: u64) -> &mut Histogram {
-        let epoch = now_s / self.epoch_s;
+        let epoch = (now_s / self.epoch_s).max(self.latest);
+        self.latest = epoch;
         let i = (epoch % self.slots.len() as u64) as usize;
         let (owner, hist) = &mut self.slots[i];
         if *owner != epoch {
@@ -99,6 +113,9 @@ pub struct WindowedCounter {
     /// `(owning epoch, count)` pairs, same slot discipline as
     /// [`WindowedHistogram`].
     slots: Vec<(u64, u64)>,
+    /// Newest epoch seen, for backwards-clock clamping (see
+    /// [`WindowedHistogram::latest`]).
+    latest: u64,
 }
 
 impl WindowedCounter {
@@ -108,6 +125,7 @@ impl WindowedCounter {
         WindowedCounter {
             epoch_s,
             slots: vec![(u64::MAX, 0); n_slots],
+            latest: 0,
         }
     }
 
@@ -118,7 +136,8 @@ impl WindowedCounter {
 
     /// Adds `delta` at time `now_s`.
     pub fn add(&mut self, now_s: u64, delta: u64) {
-        let epoch = now_s / self.epoch_s;
+        let epoch = (now_s / self.epoch_s).max(self.latest);
+        self.latest = epoch;
         let i = (epoch % self.slots.len() as u64) as usize;
         let (owner, count) = &mut self.slots[i];
         if *owner != epoch {
@@ -131,7 +150,7 @@ impl WindowedCounter {
     /// Total over the last `window_s` seconds (clamped to the span).
     pub fn total(&self, now_s: u64, window_s: u64) -> u64 {
         let epochs = (window_s.clamp(1, self.span_s())).div_ceil(self.epoch_s);
-        let current = now_s / self.epoch_s;
+        let current = (now_s / self.epoch_s).max(self.latest);
         let oldest = current.saturating_sub(epochs - 1);
         self.slots
             .iter()
@@ -222,6 +241,36 @@ mod tests {
         assert!(c.total(299, 300) > 0);
         // Requesting more than the span clamps to the span.
         assert_eq!(c.total(59, 100_000), 120);
+    }
+
+    #[test]
+    fn backwards_clock_is_clamped_to_latest_epoch() {
+        // 1-second epochs, 4-slot ring. Observe at t=100, then the
+        // clock steps back to t=96: epoch 96 maps to the *same slot*
+        // as epoch 100, so without the clamp the stale write would
+        // reset the slot and delete the fresh observation. The clamp
+        // keeps the write in epoch 100 and both observations survive.
+        let mut h = WindowedHistogram::new(1, 4);
+        h.observe(100, 1.0);
+        h.observe(96, 2.0);
+        let w = h.window(100, 4);
+        assert_eq!(w.count, 2, "stepped-back observe must not reset the slot");
+        assert_eq!(w.max, 2.0);
+        // A much larger step back (different slot) is clamped too: the
+        // write lands in the newest epoch, not in an expired one where
+        // the current window would never see it.
+        h.observe(50, 3.0);
+        assert_eq!(h.window(100, 4).count, 3);
+        // Once the clock moves forward again, normal rolling resumes.
+        h.observe(103, 4.0);
+        assert_eq!(h.window(103, 4).count, 4, "epochs 100 and 103");
+
+        let mut c = WindowedCounter::new(1, 4);
+        c.add(100, 5);
+        c.add(96, 7);
+        assert_eq!(c.total(100, 4), 12, "stepped-back add lands in epoch 100");
+        c.add(103, 1);
+        assert_eq!(c.total(103, 4), 13);
     }
 
     #[test]

@@ -59,7 +59,11 @@ fn external_metrics_file_is_valid() {
         assert!(has(family), "{path}: missing serving family {family:?}");
     }
     // Process gauges (the scrape comes from a Linux CI runner).
-    for family in ["process_uptime_seconds", "process_rss_bytes", "process_threads"] {
+    for family in [
+        "process_uptime_seconds",
+        "process_rss_bytes",
+        "process_threads",
+    ] {
         assert!(has(family), "{path}: missing process gauge {family:?}");
     }
     // Windowed quantiles carry the expected label structure.

@@ -33,6 +33,9 @@ pub struct Thresholds {
     /// Allowed absolute rise of the serving error rate (0.0 = any new
     /// server-side error beyond baseline fails the gate).
     pub error_rate_tol: f64,
+    /// Allowed relative growth of the memory ledger (peak RSS and
+    /// total allocated bytes) for profiled runs (0.25 = +25%).
+    pub mem_tolerance: f64,
 }
 
 impl Default for Thresholds {
@@ -44,6 +47,7 @@ impl Default for Thresholds {
             coverage_tol: 0.02,
             drift_tol: 0.25,
             error_rate_tol: 0.0,
+            mem_tolerance: 0.25,
         }
     }
 }
@@ -52,8 +56,8 @@ impl Default for Thresholds {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// What kind of gate tripped: `perf`, `precision`, `coverage`,
-    /// `drift`, `incomplete`, `slo-p99`, `slo-error-rate`, or
-    /// `slo-missing`.
+    /// `drift`, `incomplete`, `slo-p99`, `slo-error-rate`,
+    /// `slo-missing`, `mem-rss`, `mem-alloc`, or `mem-missing`.
     pub kind: &'static str,
     /// Human-readable description with both values.
     pub what: String,
@@ -234,6 +238,70 @@ pub fn diff_summaries(baseline: &RunSummary, current: &RunSummary, t: &Threshold
                 kind: "slo-missing",
                 what: "baseline has a serving section but the current run served no \
                        traffic — SLO gates cannot run"
+                    .to_owned(),
+            });
+        }
+        (None, None) => {}
+    }
+
+    // Memory ledger: peak RSS and total allocated bytes are gated
+    // relatively, like perf — allocator totals are deterministic for a
+    // deterministic pipeline, but RSS depends on the allocator's page
+    // reuse, so both share one noise tolerance. A baseline with a
+    // memory section demands one from the current run: a profiled
+    // baseline gated against an unprofiled run would pass vacuously.
+    let fmt_mib = |b: u64| format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0));
+    match (&baseline.memory, &current.memory) {
+        (Some(b), Some(c)) => {
+            report.lines.push(format!(
+                "memory: peak_rss {} -> {} ({})  total_alloc {} -> {} ({})  allocs {} -> {}",
+                fmt_mib(b.peak_rss_bytes),
+                fmt_mib(c.peak_rss_bytes),
+                fmt_pct(b.peak_rss_bytes, c.peak_rss_bytes),
+                fmt_mib(b.total_alloc_bytes),
+                fmt_mib(c.total_alloc_bytes),
+                fmt_pct(b.total_alloc_bytes, c.total_alloc_bytes),
+                b.alloc_count,
+                c.alloc_count
+            ));
+            if c.peak_rss_bytes as f64 > b.peak_rss_bytes as f64 * (1.0 + t.mem_tolerance) {
+                report.violations.push(Violation {
+                    kind: "mem-rss",
+                    what: format!(
+                        "peak RSS {} -> {} exceeds +{:.0}% tolerance",
+                        fmt_mib(b.peak_rss_bytes),
+                        fmt_mib(c.peak_rss_bytes),
+                        t.mem_tolerance * 100.0
+                    ),
+                });
+            }
+            if c.total_alloc_bytes as f64 > b.total_alloc_bytes as f64 * (1.0 + t.mem_tolerance) {
+                report.violations.push(Violation {
+                    kind: "mem-alloc",
+                    what: format!(
+                        "total allocated {} -> {} exceeds +{:.0}% tolerance",
+                        fmt_mib(b.total_alloc_bytes),
+                        fmt_mib(c.total_alloc_bytes),
+                        t.mem_tolerance * 100.0
+                    ),
+                });
+            }
+        }
+        (None, Some(c)) => report.lines.push(format!(
+            "memory: (new) peak_rss {}, total_alloc {}, allocs {}",
+            fmt_mib(c.peak_rss_bytes),
+            fmt_mib(c.total_alloc_bytes),
+            c.alloc_count
+        )),
+        (Some(b), None) => {
+            report.lines.push(format!(
+                "memory: baseline recorded peak_rss {}, current run was not profiled",
+                fmt_mib(b.peak_rss_bytes)
+            ));
+            report.violations.push(Violation {
+                kind: "mem-missing",
+                what: "baseline has a memory section but the current run was not \
+                       profiled — memory gates cannot run"
                     .to_owned(),
             });
         }
@@ -503,6 +571,60 @@ mod tests {
         assert_eq!(r.violations[0].kind, "slo-missing");
         // Reverse direction (new serving section) is informational only.
         assert!(check(&base(), &b, &Thresholds::default()).passed());
+    }
+
+    #[test]
+    fn memory_gates_fire_on_rss_and_alloc_regressions() {
+        use crate::summary::MemorySummary;
+        let mut b = base();
+        b.memory = Some(MemorySummary {
+            peak_rss_bytes: 100 << 20,
+            total_alloc_bytes: 1_000_000_000,
+            alloc_count: 5_000_000,
+            peak_live_bytes: 80 << 20,
+        });
+        // Within tolerance: passes.
+        let mut c = b.clone();
+        c.memory.as_mut().unwrap().peak_rss_bytes = 110 << 20;
+        assert!(check(&b, &c, &Thresholds::default()).passed());
+
+        // Injected +50% peak-RSS regression at 10% tolerance: mem-rss.
+        let mut c = b.clone();
+        c.memory.as_mut().unwrap().peak_rss_bytes = 150 << 20;
+        let tight = Thresholds {
+            mem_tolerance: 0.1,
+            ..Thresholds::default()
+        };
+        let r = check(&b, &c, &tight);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "mem-rss");
+        // The same regression passes at a looser tolerance.
+        let loose = Thresholds {
+            mem_tolerance: 0.6,
+            ..Thresholds::default()
+        };
+        assert!(check(&b, &c, &loose).passed());
+
+        // Allocation blowout: mem-alloc.
+        let mut c = b.clone();
+        c.memory.as_mut().unwrap().total_alloc_bytes = 2_000_000_000;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "mem-alloc");
+
+        // Memory falling never flags.
+        let mut c = b.clone();
+        c.memory.as_mut().unwrap().peak_rss_bytes = 50 << 20;
+        c.memory.as_mut().unwrap().total_alloc_bytes = 500_000_000;
+        assert!(check(&b, &c, &Thresholds::default()).passed());
+
+        // Profiled baseline vs unprofiled current: gates cannot run.
+        let r = check(&b, &base(), &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "mem-missing");
+        // Reverse direction (newly profiled run) is informational only.
+        let r = check(&base(), &b, &Thresholds::default());
+        assert!(r.passed(), "{:?}", r.violations);
+        assert!(r.lines.iter().any(|l| l.starts_with("memory: (new)")));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Folded-stack (flamegraph) export from a trace's span tree.
+//!
+//! [`folded_stacks`] renders the standard `stack;frames;joined N`
+//! collapsed format consumed by `flamegraph.pl`, speedscope, and
+//! inferno: one line per unique span path, weighted either by
+//! *self time* (wall clock minus time attributed to children) or by
+//! *self allocated bytes* (for profiled traces whose span-end records
+//! carry `alloc_bytes`). Self weights come from
+//! [`pae_obs::reader::Trace::span_infos`], so concurrent children that
+//! overlap their parent saturate to zero rather than going negative.
+//!
+//! Output is deterministic: paths are aggregated in a `BTreeMap` and
+//! emitted in lexicographic order, zero-weight paths are skipped, and
+//! frame names have the format's two separator characters (`;` and
+//! space) replaced with `_`.
+
+use std::collections::BTreeMap;
+
+use pae_obs::reader::Trace;
+
+/// What a folded stack line's count measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Self wall-clock nanoseconds per span.
+    TimeNs,
+    /// Self allocated bytes per span (requires a profiled trace).
+    AllocBytes,
+}
+
+impl Weight {
+    /// Parses a `--weight` argument (`time` or `bytes`).
+    pub fn parse(s: &str) -> Result<Weight, String> {
+        match s {
+            "time" => Ok(Weight::TimeNs),
+            "bytes" => Ok(Weight::AllocBytes),
+            other => Err(format!(
+                "unknown weight {other:?} (expected \"time\" or \"bytes\")"
+            )),
+        }
+    }
+}
+
+/// Makes a span name safe to use as a folded-stack frame.
+fn frame(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Collapses a trace's span tree into folded stacks.
+///
+/// Returns one `path;to;span weight\n` line per span path whose self
+/// weight is non-zero, lexicographically sorted. Identical paths (the
+/// same span name called repeatedly under the same ancestry) are
+/// summed. Spans whose parent chain is broken (truncated traces) root
+/// their path at the deepest reachable ancestor.
+pub fn folded_stacks(trace: &Trace, weight: Weight) -> String {
+    let infos = trace.span_infos();
+    let mut by_span: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, info) in infos.iter().enumerate() {
+        by_span.insert(info.span, i);
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for info in &infos {
+        let w = match weight {
+            Weight::TimeNs => info.self_ns,
+            Weight::AllocBytes => info.self_alloc_bytes,
+        };
+        if w == 0 {
+            continue;
+        }
+        // Walk the parent chain to the root, bounded by the span count
+        // so a malformed trace with a parent cycle cannot hang us.
+        let mut frames = vec![frame(&info.name)];
+        let mut cur = info.parent;
+        for _ in 0..infos.len() {
+            let Some(&i) = by_span.get(&cur) else { break };
+            frames.push(frame(&infos[i].name));
+            cur = infos[i].parent;
+            if cur == 0 {
+                break;
+            }
+        }
+        frames.reverse();
+        *folded.entry(frames.join(";")).or_insert(0) += w;
+    }
+
+    let mut out = String::new();
+    for (path, w) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(kind: &str, seq: u64, span: u64, parent: u64, name: &str, fields: &str) -> String {
+        format!(
+            "{{\"type\":\"{kind}\",\"seq\":{seq},\"t_ns\":0,\"span\":{span},\"parent\":{parent},\"thread\":0,\"name\":\"{name}\",\"fields\":{{{fields}}}}}\n"
+        )
+    }
+
+    /// root(100ns, 1000B) > child(30, 600) > leaf(10, 100), plus
+    /// child2(25, 150) under root — the same tree the reader tests use.
+    fn sample_trace() -> Trace {
+        let mut doc =
+            String::from("{\"type\":\"meta\",\"version\":1,\"records\":8,\"dropped\":0}\n");
+        doc.push_str(&span_line("span_start", 0, 1, 0, "root", ""));
+        doc.push_str(&span_line("span_start", 1, 2, 1, "child", ""));
+        doc.push_str(&span_line("span_start", 2, 3, 2, "leaf", ""));
+        doc.push_str(&span_line(
+            "span_end",
+            3,
+            3,
+            2,
+            "leaf",
+            "\"dur_ns\":10,\"alloc_bytes\":100,\"alloc_count\":1,\"peak_live_bytes\":100",
+        ));
+        doc.push_str(&span_line(
+            "span_end",
+            4,
+            2,
+            1,
+            "child",
+            "\"dur_ns\":30,\"alloc_bytes\":600,\"alloc_count\":6,\"peak_live_bytes\":600",
+        ));
+        doc.push_str(&span_line("span_start", 5, 4, 1, "child2", ""));
+        doc.push_str(&span_line(
+            "span_end",
+            6,
+            4,
+            1,
+            "child2",
+            "\"dur_ns\":25,\"alloc_bytes\":150,\"alloc_count\":2,\"peak_live_bytes\":150",
+        ));
+        doc.push_str(&span_line(
+            "span_end",
+            7,
+            1,
+            0,
+            "root",
+            "\"dur_ns\":100,\"alloc_bytes\":1000,\"alloc_count\":10,\"peak_live_bytes\":1000",
+        ));
+        Trace::parse(&doc).expect("trace parses")
+    }
+
+    #[test]
+    fn time_weighted_stacks_use_self_time() {
+        let out = folded_stacks(&sample_trace(), Weight::TimeNs);
+        // Lexicographic path order: '2' sorts before ';'.
+        assert_eq!(
+            out,
+            "root 45\nroot;child 20\nroot;child2 25\nroot;child;leaf 10\n"
+        );
+    }
+
+    #[test]
+    fn byte_weighted_stacks_use_self_alloc_bytes() {
+        let out = folded_stacks(&sample_trace(), Weight::AllocBytes);
+        assert_eq!(
+            out,
+            "root 250\nroot;child 500\nroot;child2 150\nroot;child;leaf 100\n"
+        );
+    }
+
+    #[test]
+    fn zero_weight_paths_are_skipped_and_repeats_are_summed() {
+        // Two sibling spans with the same name sum into one line; a
+        // span with zero self weight (all time in its child) vanishes.
+        let mut doc =
+            String::from("{\"type\":\"meta\",\"version\":1,\"records\":6,\"dropped\":0}\n");
+        doc.push_str(&span_line("span_start", 0, 1, 0, "root", ""));
+        doc.push_str(&span_line("span_start", 1, 2, 1, "work", ""));
+        doc.push_str(&span_line("span_end", 2, 2, 1, "work", "\"dur_ns\":40"));
+        doc.push_str(&span_line("span_start", 3, 3, 1, "work", ""));
+        doc.push_str(&span_line("span_end", 4, 3, 1, "work", "\"dur_ns\":60"));
+        // root's entire 100ns is inside its children -> self 0.
+        doc.push_str(&span_line("span_end", 5, 1, 0, "root", "\"dur_ns\":100"));
+        let trace = Trace::parse(&doc).expect("parses");
+        let out = folded_stacks(&trace, Weight::TimeNs);
+        assert_eq!(out, "root;work 100\n");
+        // An unprofiled trace has no byte weights at all.
+        assert_eq!(folded_stacks(&trace, Weight::AllocBytes), "");
+    }
+
+    #[test]
+    fn separator_characters_in_names_are_sanitized() {
+        let mut doc =
+            String::from("{\"type\":\"meta\",\"version\":1,\"records\":2,\"dropped\":0}\n");
+        doc.push_str(&span_line("span_start", 0, 1, 0, "odd name;x", ""));
+        doc.push_str(&span_line(
+            "span_end",
+            1,
+            1,
+            0,
+            "odd name;x",
+            "\"dur_ns\":5",
+        ));
+        let trace = Trace::parse(&doc).expect("parses");
+        assert_eq!(folded_stacks(&trace, Weight::TimeNs), "odd_name_x 5\n");
+    }
+
+    #[test]
+    fn weight_parses_both_modes_and_rejects_garbage() {
+        assert_eq!(Weight::parse("time"), Ok(Weight::TimeNs));
+        assert_eq!(Weight::parse("bytes"), Ok(Weight::AllocBytes));
+        assert!(Weight::parse("calories").is_err());
+    }
+}

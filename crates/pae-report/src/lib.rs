@@ -25,19 +25,25 @@
 //!    [`lineage::TripleLineage`] trail per `(attr, value)` pair, with
 //!    model confidences and the final disposition; powers the
 //!    `explain` / `explain-diff` subcommands.
+//! 6. [`flamegraph`] — collapses a trace's span tree into folded
+//!    stacks weighted by self time or self allocated bytes, for
+//!    rendering with any standard flamegraph tool.
 //!
 //! The `pae-report` binary exposes all of it as `summarize`, `diff`,
-//! `check`, `explain`, and `explain-diff` subcommands (exit codes:
-//! 0 pass, 1 regression / nothing found, 2 usage or I/O error).
+//! `check`, `explain`, `explain-diff`, and `flamegraph` subcommands
+//! (exit codes: 0 pass, 1 regression / nothing found, 2 usage or I/O
+//! error).
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod diff;
+pub mod flamegraph;
 pub mod ledger;
 pub mod lineage;
 pub mod summary;
 
 pub use diff::{check, diff_summaries, DiffReport, Thresholds, Violation};
+pub use flamegraph::{folded_stacks, Weight};
 pub use lineage::{fate_flips, FateFlip, LineageLedger, TripleLineage};
 pub use summary::{RunMeta, RunSummary};

@@ -7,6 +7,7 @@
 //! pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
 //! pae-report explain <trace.jsonl> [--attribute A] [--value V] [--product P] [--json]
 //! pae-report explain-diff <current trace.jsonl> --baseline <trace.jsonl>
+//! pae-report flamegraph <trace.jsonl> [--weight time|bytes] [--out FILE]
 //!
 //! threshold flags:
 //!   --time-tolerance F    allowed relative slowdown per stage (default 0.5)
@@ -15,6 +16,7 @@
 //!   --coverage-tol F      allowed coverage drop (default 0.02)
 //!   --drift-tol F         allowed drift-score rise (default 0.25)
 //!   --error-rate-tol F    allowed serving error-rate rise (default 0)
+//!   --mem-tolerance F     allowed relative memory growth (default 0.25)
 //! ```
 //!
 //! Inputs may be raw JSONL traces or already-built summary JSON; the
@@ -39,8 +41,10 @@ const USAGE: &str = "usage:
   pae-report check <current BENCH_pipeline.json> --bench-baseline <FILE> [threshold flags]
   pae-report explain <trace.jsonl> [--attribute A] [--value V] [--product P] [--json]
   pae-report explain-diff <current trace.jsonl> --baseline <trace.jsonl>
+  pae-report flamegraph <trace.jsonl> [--weight time|bytes] [--out FILE]
 threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
-                 --coverage-tol F    --drift-tol F       --error-rate-tol F";
+                 --coverage-tol F    --drift-tol F       --error-rate-tol F
+                 --mem-tolerance F";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("pae-report: {msg}");
@@ -99,6 +103,7 @@ fn take_thresholds(args: &mut Vec<String>) -> Result<Thresholds, String> {
             "--coverage-tol" => grab(&mut t.coverage_tol)?,
             "--drift-tol" => grab(&mut t.drift_tol)?,
             "--error-rate-tol" => grab(&mut t.error_rate_tol)?,
+            "--mem-tolerance" => grab(&mut t.mem_tolerance)?,
             "--time-floor-ms" => {
                 let mut ms = 0.0;
                 grab(&mut ms)?;
@@ -287,6 +292,35 @@ fn cmd_explain_diff(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_flamegraph(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let weight = match take_flag_value(&mut args, "--weight")? {
+        Some(w) => pae_report::flamegraph::Weight::parse(&w)?,
+        None => pae_report::flamegraph::Weight::TimeNs,
+    };
+    let out = take_flag_value(&mut args, "--out")?;
+    let [input] = args.as_slice() else {
+        return Err("flamegraph takes exactly one input trace".into());
+    };
+    let doc = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let trace = Trace::parse(&doc).map_err(|e| format!("{input}: {e}"))?;
+    let folded = pae_report::flamegraph::folded_stacks(&trace, weight);
+    if folded.is_empty() {
+        eprintln!(
+            "no weighted stacks in {input} (byte weights need a trace recorded with \
+             profiling on: PAE_PROF=1 or --profile)"
+        );
+        return Ok(ExitCode::from(1));
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &folded).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("folded stacks written to {path}");
+        }
+        None => print!("{folded}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -299,6 +333,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(args),
         "explain" => cmd_explain(args),
         "explain-diff" => cmd_explain_diff(args),
+        "flamegraph" => cmd_flamegraph(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)

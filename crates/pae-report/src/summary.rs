@@ -142,6 +142,22 @@ pub struct ServingSummary {
     pub p99_ns: u64,
 }
 
+/// Run-level memory ledger, derived from the `mem.summary` event a
+/// profiled run ([`pae_obs::ProfSession`]) emits when profiling ends.
+/// Absent for unprofiled runs (and for baselines predating the field).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemorySummary {
+    /// Peak resident set size in bytes: the max of the sampler's
+    /// observations and the kernel's `VmHWM` high-water mark.
+    pub peak_rss_bytes: u64,
+    /// Bytes handed out by the allocator while profiling was on.
+    pub total_alloc_bytes: u64,
+    /// Allocation calls while profiling was on.
+    pub alloc_count: u64,
+    /// High-water mark of live (allocated − freed) heap bytes.
+    pub peak_live_bytes: u64,
+}
+
 /// A self-contained description of one probe/bench run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -155,6 +171,8 @@ pub struct RunSummary {
     pub stages: BTreeMap<String, StagePerf>,
     /// Server-side SLOs when the run served traffic.
     pub serving: Option<ServingSummary>,
+    /// Run-level memory ledger when the run was profiled.
+    pub memory: Option<MemorySummary>,
     /// Per-`bootstrap.run` iteration series, in span order.
     pub runs: Vec<Vec<IterationQuality>>,
     /// Recorded evaluations, in emission order.
@@ -254,16 +272,16 @@ impl RunSummary {
                 ("serve.responses", MetricValue::Counter(n)) => {
                     served = true;
                     requests += n;
-                    let ok = key
-                        .labels
-                        .iter()
-                        .any(|(k, v)| k == "status" && v == "200");
+                    let ok = key.labels.iter().any(|(k, v)| k == "status" && v == "200");
                     if !ok {
                         errors += n;
                     }
                 }
                 ("serve.request_ns", MetricValue::Histogram(h))
-                    if key.labels.iter().any(|(k, v)| k == "route" && v == "extract") =>
+                    if key
+                        .labels
+                        .iter()
+                        .any(|(k, v)| k == "route" && v == "extract") =>
                 {
                     extract_hist = Some(h)
                 }
@@ -282,6 +300,22 @@ impl RunSummary {
                 p50_ns: extract_hist.map_or(0, |h| h.quantile(0.5) as u64),
                 p99_ns: extract_hist.map_or(0, |h| h.quantile(0.99) as u64),
             });
+        }
+
+        // Memory ledger from the `mem.summary` event a profiled run
+        // emits when profiling ends. Last one wins: a process that
+        // profiles several phases reports its final (cumulative)
+        // counters last.
+        for r in trace.records.iter().rev() {
+            if r.kind == RecordKind::Event && r.name == "mem.summary" {
+                summary.memory = Some(MemorySummary {
+                    peak_rss_bytes: field_u64(&r.fields, "peak_rss_bytes").unwrap_or(0),
+                    total_alloc_bytes: field_u64(&r.fields, "total_alloc_bytes").unwrap_or(0),
+                    alloc_count: field_u64(&r.fields, "alloc_count").unwrap_or(0),
+                    peak_live_bytes: field_u64(&r.fields, "peak_live_bytes").unwrap_or(0),
+                });
+                break;
+            }
         }
 
         // Span-tree bookkeeping: parent chain + the ordinal of each
@@ -535,6 +569,13 @@ impl RunSummary {
                 s.p50_ns, s.p99_ns
             ));
         }
+        if let Some(m) = &self.memory {
+            out.push_str(&format!(
+                "  \"memory\": {{ \"peak_rss_bytes\": {}, \"total_alloc_bytes\": {}, \
+                 \"alloc_count\": {}, \"peak_live_bytes\": {} }},\n",
+                m.peak_rss_bytes, m.total_alloc_bytes, m.alloc_count, m.peak_live_bytes
+            ));
+        }
         out.push_str("  \"quality\": ");
         out.push_str(&self.quality_json(1));
         out.push_str("\n}\n");
@@ -640,6 +681,16 @@ impl RunSummary {
                 error_rate: req_f64(s, "serving", "error_rate")?,
                 p50_ns: req_u64(s, "serving", "p50_ns")?,
                 p99_ns: req_u64(s, "serving", "p99_ns")?,
+            });
+        }
+        // Optional: only profiled runs carry it, but a present section
+        // is fully type-checked (a mangled value must not gate as 0).
+        if let Some(m) = v.get("memory") {
+            summary.memory = Some(MemorySummary {
+                peak_rss_bytes: req_u64(m, "memory", "peak_rss_bytes")?,
+                total_alloc_bytes: req_u64(m, "memory", "total_alloc_bytes")?,
+                alloc_count: req_u64(m, "memory", "alloc_count")?,
+                peak_live_bytes: req_u64(m, "memory", "peak_live_bytes")?,
             });
         }
         let quality = v.get("quality").ok_or("missing quality")?;
@@ -835,7 +886,10 @@ mod tests {
     fn serving_section_round_trips_and_stays_optional() {
         let mut s = sample();
         assert!(
-            RunSummary::parse(&s.to_json()).expect("parses").serving.is_none(),
+            RunSummary::parse(&s.to_json())
+                .expect("parses")
+                .serving
+                .is_none(),
             "non-serving summary must not grow a serving section"
         );
         s.serving = Some(ServingSummary {
@@ -869,7 +923,61 @@ mod tests {
         // No serve metrics at all -> no serving section.
         let quiet = "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n";
         let trace = Trace::parse(quiet).expect("parses");
-        assert!(RunSummary::build(RunMeta::default(), &trace).serving.is_none());
+        assert!(RunSummary::build(RunMeta::default(), &trace)
+            .serving
+            .is_none());
+    }
+
+    #[test]
+    fn memory_section_round_trips_and_stays_optional() {
+        let mut s = sample();
+        assert!(
+            RunSummary::parse(&s.to_json())
+                .expect("parses")
+                .memory
+                .is_none(),
+            "unprofiled summary must not grow a memory section"
+        );
+        s.memory = Some(MemorySummary {
+            peak_rss_bytes: 120 << 20,
+            total_alloc_bytes: 3_000_000_000,
+            alloc_count: 42_000_000,
+            peak_live_bytes: 90 << 20,
+        });
+        let doc = s.to_json();
+        let parsed = RunSummary::parse(&doc).expect("parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json(), doc);
+        // A mangled memory section is a parse error, not a silent zero.
+        let mangled = doc.replace("\"alloc_count\": 42000000", "\"alloc_count\": \"lots\"");
+        assert!(RunSummary::parse(&mangled).is_err());
+    }
+
+    #[test]
+    fn build_derives_memory_section_from_mem_summary_event() {
+        let doc = "{\"type\":\"meta\",\"version\":1,\"records\":2,\"dropped\":0}\n\
+            {\"type\":\"event\",\"seq\":0,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"mem.summary\",\"fields\":{\"peak_rss_bytes\":100,\"total_alloc_bytes\":10,\"alloc_count\":1,\"peak_live_bytes\":5}}\n\
+            {\"type\":\"event\",\"seq\":1,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"mem.summary\",\"fields\":{\"peak_rss_bytes\":200,\"total_alloc_bytes\":20,\"alloc_count\":2,\"peak_live_bytes\":7}}\n";
+        let trace = Trace::parse(doc).expect("parses");
+        let s = RunSummary::build(RunMeta::default(), &trace);
+        let mem = s.memory.expect("memory section derived");
+        assert_eq!(
+            mem,
+            MemorySummary {
+                peak_rss_bytes: 200,
+                total_alloc_bytes: 20,
+                alloc_count: 2,
+                peak_live_bytes: 7,
+            },
+            "the last mem.summary event wins"
+        );
+
+        // No mem.summary event -> no memory section.
+        let quiet = "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n";
+        let trace = Trace::parse(quiet).expect("parses");
+        assert!(RunSummary::build(RunMeta::default(), &trace)
+            .memory
+            .is_none());
     }
 
     #[test]

@@ -341,6 +341,81 @@ fn cli_explain_diff_lists_disposition_flips_with_cause() {
 }
 
 #[test]
+fn cli_check_mem_tolerance_gates_injected_rss_regression() {
+    // A profiled baseline and a current run whose peak RSS grew +50%:
+    // the gate must fail at 10% tolerance and pass at 100%.
+    let mut baseline = summarize("clean.jsonl");
+    baseline.memory = Some(pae_report::summary::MemorySummary {
+        peak_rss_bytes: 100 << 20,
+        total_alloc_bytes: 1_000_000_000,
+        alloc_count: 5_000_000,
+        peak_live_bytes: 80 << 20,
+    });
+    let mut current = baseline.clone();
+    current.memory.as_mut().unwrap().peak_rss_bytes = 150 << 20;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let b_path = dir.join(format!("pae-report-membase-{pid}.json"));
+    let c_path = dir.join(format!("pae-report-memcur-{pid}.json"));
+    std::fs::write(&b_path, baseline.to_json()).unwrap();
+    std::fs::write(&c_path, current.to_json()).unwrap();
+    let b = b_path.to_str().unwrap();
+    let c = c_path.to_str().unwrap();
+
+    let (code, stdout, _) = run_cli(&["check", c, "--baseline", b, "--mem-tolerance", "0.1"]);
+    assert_eq!(
+        code, 1,
+        "+50% peak RSS at 10% tolerance must fail: {stdout}"
+    );
+    assert!(stdout.contains("[mem-rss]"), "{stdout}");
+
+    let (code, stdout, _) = run_cli(&["check", c, "--baseline", b, "--mem-tolerance", "1.0"]);
+    assert_eq!(
+        code, 0,
+        "same regression passes at 100% tolerance: {stdout}"
+    );
+
+    // A profiled baseline against an unprofiled current run fails too.
+    let unprofiled = summarize("clean.jsonl");
+    std::fs::write(&c_path, unprofiled.to_json()).unwrap();
+    let (code, stdout, _) = run_cli(&["check", c, "--baseline", b]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[mem-missing]"), "{stdout}");
+
+    let _ = std::fs::remove_file(&b_path);
+    let _ = std::fs::remove_file(&c_path);
+}
+
+#[test]
+fn cli_flamegraph_renders_folded_stacks() {
+    let clean = fixture("clean.jsonl");
+
+    let (code, stdout, _) = run_cli(&["flamegraph", &clean]);
+    assert_eq!(code, 0, "{stdout}");
+    // Folded format: every line is `path;to;span weight`.
+    for line in stdout.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!path.is_empty());
+        weight.parse::<u64>().expect("numeric weight");
+    }
+    assert!(
+        stdout.lines().any(|l| l.starts_with("bootstrap.run;")),
+        "stacks rooted under the pipeline span: {stdout}"
+    );
+    let (_, again, _) = run_cli(&["flamegraph", &clean, "--weight", "time"]);
+    assert_eq!(stdout, again, "folded output is byte-stable");
+
+    // The unprofiled fixture has no byte weights: exit 1, with a hint.
+    let (code, _, stderr) = run_cli(&["flamegraph", &clean, "--weight", "bytes"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("PAE_PROF"), "{stderr}");
+
+    // Unknown weight is a usage error.
+    let (code, _, _) = run_cli(&["flamegraph", &clean, "--weight", "calories"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
 fn cli_summarize_emits_parseable_summary_and_diff_runs() {
     let clean = fixture("clean.jsonl");
     let (code, stdout, _) = run_cli(&["summarize", &clean, "--name", "golden"]);

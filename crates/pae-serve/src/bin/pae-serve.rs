@@ -1,5 +1,5 @@
 //! `pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]
-//! [--slow-ms MS] [--trace-sample N]`
+//! [--slow-ms MS] [--trace-sample N] [--profile]`
 //!
 //! Loads a frozen model bundle once, then serves `/extract`,
 //! `/healthz`, `/metrics`, and `/statusz` until the process is killed.
@@ -9,7 +9,9 @@
 //! `--slow-ms MS` captures requests slower than MS into the bounded
 //! ring dumped by `/statusz?slow=1` (0 = off). `--trace-sample N`
 //! samples 1-in-N requests into the obs trace (also settable via
-//! `PAE_SERVE_TRACE_SAMPLE`; the flag wins).
+//! `PAE_SERVE_TRACE_SAMPLE`; the flag wins). `--profile` (or
+//! `PAE_PROF=1`) turns on the counting allocator so `/metrics` exposes
+//! `prof.*` families and `/statusz` reports live allocator counters.
 
 use std::process::ExitCode;
 
@@ -18,7 +20,7 @@ use pae_serve::{Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N] \
-         [--slow-ms MS] [--trace-sample N]"
+         [--slow-ms MS] [--trace-sample N] [--profile]"
     );
     ExitCode::from(2)
 }
@@ -27,9 +29,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bundle_path: Option<String> = None;
     let mut config = ServerConfig::default();
+    let mut profile = !matches!(
+        std::env::var("PAE_PROF").ok().as_deref(),
+        None | Some("") | Some("0")
+    );
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--profile" => profile = true,
             "--addr" => match it.next() {
                 Some(a) => config.addr = a,
                 None => return usage(),
@@ -54,6 +61,10 @@ fn main() -> ExitCode {
     let Some(bundle_path) = bundle_path else {
         return usage();
     };
+    if profile {
+        pae_obs::set_prof_enabled(true);
+        eprintln!("pae-serve: allocation profiling on (prof.* metric families live)");
+    }
 
     let (model, hash) = match pae_core::read_bundle_with_hash(std::path::Path::new(&bundle_path)) {
         Ok(m) => m,

@@ -197,7 +197,7 @@ impl Telemetry {
         // The event goes through the obs collector, which no-ops when
         // collection is disabled; either way the response bytes were
         // already sent.
-        if self.trace_sample > 0 && seq % self.trace_sample == 0 {
+        if self.trace_sample > 0 && seq.is_multiple_of(self.trace_sample) {
             pae_obs::event(
                 "serve.request.sample",
                 vec![
@@ -232,6 +232,32 @@ impl Telemetry {
                 .collect(),
         };
         let mut out = pae_obs::process_metrics(self.uptime_seconds());
+        // Allocator families, present only when the counting allocator
+        // is on (PAE_PROF=1 / --profile): zero-valued counters on an
+        // unprofiled server would read as "profiled, allocated nothing".
+        let prof = pae_obs::prof_stats();
+        if prof.enabled {
+            out.push((
+                key("prof.alloc_bytes_total", &[]),
+                MetricValue::Counter(prof.alloc_bytes),
+            ));
+            out.push((
+                key("prof.alloc_count_total", &[]),
+                MetricValue::Counter(prof.alloc_count),
+            ));
+            out.push((
+                key("prof.free_bytes_total", &[]),
+                MetricValue::Counter(prof.free_bytes),
+            ));
+            out.push((
+                key("prof.live_bytes", &[]),
+                MetricValue::Gauge(prof.live_bytes as f64),
+            ));
+            out.push((
+                key("prof.peak_live_bytes", &[]),
+                MetricValue::Gauge(prof.peak_live_bytes as f64),
+            ));
+        }
         out.push((
             key("serve.live.workers", &[]),
             MetricValue::Gauge(self.workers as f64),
@@ -315,6 +341,26 @@ impl Telemetry {
             self.workers,
             busy as f64 / self.workers.max(1) as f64
         );
+        // Memory block: kernel-reported RSS (nullable — procfs may be
+        // unavailable) plus allocator counters when profiling is on.
+        let ps = pae_obs::process_stats();
+        let opt = |v: Option<u64>| v.map_or("null".to_owned(), |n| n.to_string());
+        let prof = pae_obs::prof_stats();
+        let _ = write!(
+            out,
+            ",\"memory\":{{\"rss_bytes\":{},\"peak_rss_bytes\":{},\"profiling\":{}",
+            opt(ps.rss_bytes),
+            opt(ps.peak_rss_bytes),
+            prof.enabled
+        );
+        if prof.enabled {
+            let _ = write!(
+                out,
+                ",\"alloc_bytes\":{},\"alloc_count\":{},\"live_bytes\":{},\"peak_live_bytes\":{}",
+                prof.alloc_bytes, prof.alloc_count, prof.live_bytes, prof.peak_live_bytes
+            );
+        }
+        out.push('}');
         out.push_str(",\"in_flight\":{");
         for (i, (route, n)) in inner.in_flight.iter().enumerate() {
             let _ = write!(out, "{}\"{route}\":{n}", if i > 0 { "," } else { "" });
@@ -456,8 +502,7 @@ mod tests {
             get("serve.live.responses", &[("status", "200")]),
             Some(MetricValue::Counter(5))
         );
-        let Some(MetricValue::Histogram(h)) =
-            get("serve.live.request_ns", &[("route", "extract")])
+        let Some(MetricValue::Histogram(h)) = get("serve.live.request_ns", &[("route", "extract")])
         else {
             panic!("per-route histogram missing");
         };
@@ -476,11 +521,15 @@ mod tests {
         t.record("extract", 200, "200", &timing(0));
         let doc = Json::parse(&t.statusz_json(true)).expect("statusz is JSON");
         assert_eq!(
-            doc.get("bundle").and_then(|b| b.get("content_hash")).and_then(Json::as_str),
+            doc.get("bundle")
+                .and_then(|b| b.get("content_hash"))
+                .and_then(Json::as_str),
             Some("0000000000001234")
         );
         assert_eq!(
-            doc.get("bundle").and_then(|b| b.get("schema_version")).and_then(Json::as_u64),
+            doc.get("bundle")
+                .and_then(|b| b.get("schema_version"))
+                .and_then(Json::as_u64),
             Some(1)
         );
         assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(2));
@@ -520,6 +569,43 @@ mod tests {
     }
 
     #[test]
+    fn statusz_memory_block_reflects_profiling_state() {
+        let t = Telemetry::new(0, 1, 0, 0, 2);
+        // Unprofiled: RSS fields present (real or null), allocator
+        // counters absent.
+        let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let mem = doc.get("memory").expect("memory block");
+        assert_eq!(mem.get("profiling"), Some(&Json::Bool(false)));
+        assert!(mem.get("rss_bytes").is_some());
+        assert!(mem.get("alloc_bytes").is_none());
+        let metrics = t.metrics_extra();
+        assert!(
+            !metrics.iter().any(|(k, _)| k.name.starts_with("prof.")),
+            "prof families must be absent while unprofiled"
+        );
+
+        // Profiled: counters appear in both /statusz and /metrics.
+        pae_obs::set_prof_enabled(true);
+        let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let metrics = t.metrics_extra();
+        pae_obs::set_prof_enabled(false);
+        let mem = doc.get("memory").expect("memory block");
+        assert_eq!(mem.get("profiling"), Some(&Json::Bool(true)));
+        assert!(mem.get("alloc_bytes").and_then(Json::as_u64).is_some());
+        assert!(mem.get("peak_live_bytes").and_then(Json::as_u64).is_some());
+        for family in [
+            "prof.alloc_bytes_total",
+            "prof.live_bytes",
+            "prof.peak_live_bytes",
+        ] {
+            assert!(
+                metrics.iter().any(|(k, _)| k.name == family),
+                "{family} missing from profiled /metrics"
+            );
+        }
+    }
+
+    #[test]
     fn in_flight_and_busy_guards_balance() {
         let t = Telemetry::new(0, 1, 0, 0, 4);
         {
@@ -527,7 +613,10 @@ mod tests {
             let _g = t.enter("extract");
             let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
             assert_eq!(
-                doc.get("in_flight").unwrap().get("extract").and_then(Json::as_u64),
+                doc.get("in_flight")
+                    .unwrap()
+                    .get("extract")
+                    .and_then(Json::as_u64),
                 Some(1)
             );
             assert_eq!(
@@ -537,7 +626,10 @@ mod tests {
         }
         let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
         assert_eq!(
-            doc.get("in_flight").unwrap().get("extract").and_then(Json::as_u64),
+            doc.get("in_flight")
+                .unwrap()
+                .get("extract")
+                .and_then(Json::as_u64),
             Some(0)
         );
         assert_eq!(

@@ -81,9 +81,7 @@ fn batch_request_body(pages: &[(u32, String)]) -> String {
 fn sample_value(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> Option<f64> {
     samples
         .iter()
-        .find(|s| {
-            s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v))
-        })
+        .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
         .map(|s| s.value)
 }
 
@@ -108,8 +106,12 @@ fn metrics_and_statusz_stay_consistent_under_concurrent_load() {
                     for round in 0..6 {
                         let i = (client * 5 + round * 7) % pages.len();
                         let (product, html) = &pages[i];
-                        let (status, body) =
-                            http_request(addr, "POST", "/extract", &page_request_body(*product, html))?;
+                        let (status, body) = http_request(
+                            addr,
+                            "POST",
+                            "/extract",
+                            &page_request_body(*product, html),
+                        )?;
                         if status != 200 {
                             return Err(format!("client {client}: status {status}: {body}"));
                         }
@@ -282,11 +284,15 @@ fn deterministic_sampling_emits_trace_events() {
         samples.len()
     );
     for record in &samples {
-        for key in ["seq", "route", "total_ns", "read_ns", "handle_ns", "body_digest"] {
-            assert!(
-                record.field(key).is_some(),
-                "sample event missing {key:?}"
-            );
+        for key in [
+            "seq",
+            "route",
+            "total_ns",
+            "read_ns",
+            "handle_ns",
+            "body_digest",
+        ] {
+            assert!(record.field(key).is_some(), "sample event missing {key:?}");
         }
     }
 }

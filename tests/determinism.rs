@@ -95,6 +95,48 @@ fn obs_collection_does_not_change_results() {
     }
 }
 
+/// The profiling hard constraint: the counting allocator and span
+/// allocation attribution must be side-effect-free w.r.t. results —
+/// `final_triples()` is byte-identical with profiling enabled or
+/// disabled, at serial and parallel pool widths.
+#[test]
+fn allocation_profiling_does_not_change_results() {
+    let _l = obs_lock();
+    let baseline = run_tagger_at(TaggerKind::Crf, 1);
+    assert!(!baseline.is_empty());
+    for jobs in [1usize, 4] {
+        pae::obs::set_prof_enabled(true);
+        let profiled = run_tagger_at(TaggerKind::Crf, jobs);
+        let stats = pae::obs::prof_stats();
+        pae::obs::set_prof_enabled(false);
+        assert_eq!(
+            baseline, profiled,
+            "PAE_JOBS={jobs}: enabling allocation profiling changed the output"
+        );
+        assert!(
+            stats.alloc_count > 0,
+            "PAE_JOBS={jobs}: profiling was on but counted no allocations"
+        );
+    }
+}
+
+/// Profiling composed with collection: the quality section a CI gate
+/// consumes is byte-identical whether or not the run was profiled.
+#[test]
+fn profiled_quality_section_is_byte_identical() {
+    let _l = obs_lock();
+    let reference = quality_section(1);
+    for jobs in [1usize, 4] {
+        pae::obs::set_prof_enabled(true);
+        let profiled = quality_section(jobs);
+        pae::obs::set_prof_enabled(false);
+        assert_eq!(
+            profiled, reference,
+            "PAE_JOBS={jobs}: profiling changed the quality section"
+        );
+    }
+}
+
 /// Captures the quality section of one traced CRF run at `jobs`.
 /// Callers must hold [`obs_lock`].
 fn quality_section(jobs: usize) -> String {
