@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! freeze <out.paeb> [--kind vacuum|garden|bags] [--products N]
-//!        [--iterations N] [--tagger crf|rnn|ensemble] [--force]
+//!        [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2]
+//!        [--force]
 //! ```
+//!
+//! `--schema 1` writes the legacy eager-deserialize format (for
+//! backward-compat fixtures); the default is the current zero-copy
+//! schema.
 //!
 //! Runs the bootstrap loop on the synthetic category (MASTER_SEED=42,
 //! so the bundle is reproducible bit for bit), freezes the outcome
@@ -25,7 +30,7 @@ use pae_synth::{CategoryKind, DatasetSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freeze <out.paeb> [--kind vacuum|garden|bags] [--products N] \
-         [--iterations N] [--tagger crf|rnn|ensemble] [--force]"
+         [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2] [--force]"
     );
     ExitCode::from(2)
 }
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
     let mut products = 120usize;
     let mut iterations = 1usize;
     let mut tagger = TaggerKind::Crf;
+    let mut schema = pae_core::BUNDLE_SCHEMA_VERSION;
     let mut it = cli.args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,6 +68,11 @@ fn main() -> ExitCode {
                 Some("crf") => tagger = TaggerKind::Crf,
                 Some("rnn") => tagger = TaggerKind::Rnn,
                 Some("ensemble") => tagger = TaggerKind::Ensemble,
+                _ => return usage(),
+            },
+            "--schema" => match it.next().map(String::as_str) {
+                Some("1") => schema = pae_core::BUNDLE_SCHEMA_V1,
+                Some("2") => schema = pae_core::BUNDLE_SCHEMA_VERSION,
                 _ => return usage(),
             },
             _ if out.is_none() && !arg.starts_with('-') => out = Some(arg.clone()),
@@ -104,14 +115,18 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     }
-    match pae_core::write_bundle(&model, path, force) {
+    let bytes = if schema == pae_core::BUNDLE_SCHEMA_V1 {
+        pae_core::bundle::encode_v1(&model)
+    } else {
+        pae_core::bundle::encode(&model)
+    };
+    match pae_core::bundle::write_bundle_bytes(&bytes, path, force) {
         Ok(hash) => {
             let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
             println!(
-                "wrote {} ({} bytes, schema v{}, hash {hash:016x}, {} attrs)",
+                "wrote {} ({} bytes, schema v{schema}, hash {hash:016x}, {} attrs)",
                 path.display(),
                 size,
-                pae_core::BUNDLE_SCHEMA_VERSION,
                 model.attrs.len()
             );
         }

@@ -153,14 +153,15 @@ fn main() -> ExitCode {
         return usage();
     };
 
-    let (model, bundle_hash) = match pae_core::read_bundle_with_hash(Path::new(&bundle)) {
-        Ok(m) => m,
+    let load_start = std::time::Instant::now();
+    let loaded = match pae_core::LoadedBundle::open(Path::new(&bundle)) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("serve: {bundle}: {e}");
             return ExitCode::from(1);
         }
     };
-    let extractor = match model.extractor() {
+    let extractor = match loaded.extractor() {
         Ok(x) => x,
         Err(e) => {
             eprintln!("serve: cannot rehydrate model: {e}");
@@ -172,7 +173,9 @@ fn main() -> ExitCode {
         &ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: server_workers,
-            bundle_hash,
+            bundle_hash: loaded.content_hash(),
+            bundle_schema: loaded.schema_version(),
+            bundle_load_ns: load_start.elapsed().as_nanos() as u64,
             ..ServerConfig::default()
         },
     ) {

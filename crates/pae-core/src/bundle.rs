@@ -1,37 +1,65 @@
 //! Versioned on-disk form of a [`FrozenModel`]: one self-describing,
 //! byte-deterministic artifact.
 //!
-//! Layout (all integers little-endian):
+//! Schema v2 layout (all integers little-endian):
 //!
 //! ```text
-//! magic "PAEB" | schema_version u32 | content_hash u64 | n_sections u32
-//! [ section id u32 | payload offset u64 | payload len u64 ] * n_sections
-//! payload bytes (concatenated sections)
+//! magic "PAEB" | schema_version u32 (=2) | content_hash u64 | n_sections u32
+//! [ id u32 | reserved u32 | payload offset u64 | len u64 | fnv1a_words(section) u64 ] * 6
+//! pad to 8-byte boundary
+//! payload: sections at 8-byte-aligned offsets, zero-padded between
 //! ```
 //!
-//! `content_hash` is FNV-1a (64-bit) over the payload, so two bundles
-//! with identical frozen state are byte-identical and corruption
-//! anywhere in the payload is caught before decoding. Readers validate
-//! magic, schema version, hash, section table shape, and every
-//! section's internal structure (strict: trailing bytes are an error) —
-//! a bad bundle is always a typed [`BundleError`], never a panic.
+//! v2 stores the string dictionaries — segmentation/PoS lexicon, CRF
+//! feature vocabulary, veto blocklist — as flat [`pae_fst`] double-array
+//! arenas. [`LoadedBundle::open`] validates the header, the section
+//! table, and every per-section hash (word-folded FNV-1a,
+//! [`fnv1a_words`]), but decodes nothing;
+//! [`LoadedBundle::extractor`] then *borrows* the arenas straight out
+//! of the loaded bytes (`Arc<[u8]>` sub-ranges), so cold-start cost is
+//! hash + offset validation plus one bulk copy of the numeric CRF
+//! parameters — no per-string allocation, no hash-map interning.
+//! `content_hash` is FNV-1a over the section table (whose entries embed
+//! the per-section hashes), making it a cheap transitive identity for
+//! the whole payload.
+//!
+//! Schema v1 (`[ id | offset | len ]` table, `content_hash` over the
+//! payload, length-prefixed strings everywhere) is still read via the
+//! legacy eager-deserialize path; [`encode_v1`] is kept as a writer for
+//! compatibility fixtures. Readers validate magic, schema version,
+//! hashes, section table shape, and every section's internal structure
+//! (strict: trailing bytes are an error) — a bad bundle is always a
+//! typed [`BundleError`], never a panic.
 //!
 //! Section inventory (ids are stable; adding a section bumps the
 //! schema version): 1 meta, 2 attrs, 3 lexicon, 4 tagger, 5 veto
 //! blocklist, 6 semantic freeze.
 
 use std::path::Path;
+use std::sync::Arc;
 
+use pae_fst::Fst;
 use pae_synth::Language;
 use pae_text::{Lexicon, PosTag};
 
 use crate::cleaning::SemanticFreeze;
-use crate::frozen::{ConfigEcho, FrozenModel, FrozenTagger};
+use crate::frozen::{
+    assemble_extractor, blocklist_key, crf_tagger_from_parts, Blocklist, ConfigEcho,
+    ExtractBackend, FrozenExtractor, FrozenModel, FrozenTagger,
+};
+use crate::tagger::TrainedTagger;
 
 /// Leading magic bytes of every bundle.
 pub const BUNDLE_MAGIC: [u8; 4] = *b"PAEB";
-/// Current bundle schema version.
-pub const BUNDLE_SCHEMA_VERSION: u32 = 1;
+/// Current bundle schema version (flat FST arenas, zero-copy load).
+pub const BUNDLE_SCHEMA_VERSION: u32 = 2;
+/// The legacy eager-deserialize schema this build still reads.
+pub const BUNDLE_SCHEMA_V1: u32 = 1;
+
+/// Fixed header size shared by both schemas.
+const HEADER_BYTES: usize = 20;
+/// v2 section-table entry: id u32 | reserved u32 | offset u64 | len u64 | hash u64.
+const V2_ENTRY_BYTES: usize = 32;
 
 const SEC_META: u32 = 1;
 const SEC_ATTRS: u32 = 2;
@@ -48,21 +76,28 @@ const SECTION_IDS: [u32; 6] = [
     SEC_SEMANTIC,
 ];
 
+/// First payload byte: header + v2 table, rounded up to 8.
+const fn v2_payload_start() -> usize {
+    (HEADER_BYTES + SECTION_IDS.len() * V2_ENTRY_BYTES + 7) & !7
+}
+
 /// Why a bundle could not be read (or written).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BundleError {
     /// The file does not start with [`BUNDLE_MAGIC`].
     BadMagic,
-    /// The schema version is not [`BUNDLE_SCHEMA_VERSION`].
+    /// The schema version is neither [`BUNDLE_SCHEMA_VERSION`] nor
+    /// [`BUNDLE_SCHEMA_V1`].
     UnsupportedVersion {
         /// Version found in the header.
         found: u32,
     },
-    /// The payload does not hash to the header's content hash.
+    /// A region does not hash to its declared hash (the v1 payload, the
+    /// v2 section table, or a v2 section).
     HashMismatch {
-        /// Hash recorded in the header.
+        /// Hash recorded in the header or section table.
         expected: u64,
-        /// Hash of the actual payload.
+        /// Hash of the actual bytes.
         actual: u64,
     },
     /// The document ends before a declared structure is complete.
@@ -82,12 +117,12 @@ impl std::fmt::Display for BundleError {
             BundleError::UnsupportedVersion { found } => write!(
                 f,
                 "unsupported bundle schema version {found} (this build reads \
-                 version {BUNDLE_SCHEMA_VERSION})"
+                 versions {BUNDLE_SCHEMA_V1} and {BUNDLE_SCHEMA_VERSION})"
             ),
             BundleError::HashMismatch { expected, actual } => write!(
                 f,
-                "bundle content hash mismatch: header says {expected:016x}, \
-                 payload hashes to {actual:016x}"
+                "bundle content hash mismatch: declared {expected:016x}, \
+                 bytes hash to {actual:016x}"
             ),
             BundleError::Truncated(what) => write!(f, "truncated bundle: {what}"),
             BundleError::Malformed(what) => write!(f, "malformed bundle: {what}"),
@@ -103,6 +138,37 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64-bit with an 8-byte input unit: same offset basis, prime,
+/// and xor-multiply mixing, but folding one little-endian u64 word per
+/// step (tail zero-padded). The schema-v2 **section** hashes use this
+/// variant — the byte-at-a-time loop is a serial multiply per byte
+/// (≈1 ns/byte), which made the load-time integrity pass the dominant
+/// cold-start cost; folding words cuts the dependency chain 8× so
+/// validation runs at memory speed. Bit-flip detection is unchanged:
+/// any corrupted byte lands in some word and perturbs every later
+/// state. Inputs differing only in trailing zero bytes can collide
+/// (the tail is zero-padded), which is fine for section hashing: the
+/// section *length* is committed separately in the table entry, so the
+/// `(len, hash)` pair still pins the content. (The v1 payload hash and
+/// the v2 *table* hash keep plain [`fnv1a`]: v1 is a frozen format,
+/// and the table is 192 bytes.)
+pub fn fnv1a_words(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
@@ -139,6 +205,13 @@ fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
     put_u64(out, vs.len() as u64);
     for &v in vs {
         out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Zero-pads `out` to the next 8-byte boundary.
+fn pad8(out: &mut Vec<u8>) {
+    while out.len() % 8 != 0 {
+        out.push(0);
     }
 }
 
@@ -237,8 +310,108 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Bounded cursor over a loaded bundle's shared bytes: like [`Reader`],
+/// but able to carve [`Fst`] sub-ranges that keep the whole buffer
+/// alive via its `Arc` instead of copying the arena.
+struct ArcReader<'a> {
+    bytes: &'a Arc<[u8]>,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> ArcReader<'a> {
+    fn new(bytes: &'a Arc<[u8]>, start: usize, len: usize) -> Self {
+        ArcReader {
+            bytes,
+            pos: start,
+            end: start + len,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BundleError> {
+        if n > self.remaining() {
+            return Err(BundleError::Truncated(format!(
+                "{what}: need {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, BundleError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Bulk-decodes a length-prefixed `f64` array (the hot path when
+    /// loading CRF parameters: one bounds check, then `chunks_exact`).
+    fn f64s(&mut self, what: &str) -> Result<Vec<f64>, BundleError> {
+        let n = self.u64(what)? as usize;
+        let need = n.checked_mul(8).ok_or_else(|| {
+            BundleError::Malformed(format!("{what}: element count overflows"))
+        })?;
+        let raw = self.take(need, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads a length-prefixed FST arena as a zero-copy sub-range of
+    /// the shared buffer. Strict: the declared length must equal the
+    /// arena's own header-derived size.
+    fn carve_fst(&mut self, what: &str) -> Result<Fst, BundleError> {
+        let len = self.u64(what)? as usize;
+        if len > self.remaining() {
+            return Err(BundleError::Truncated(format!(
+                "{what}: arena of {len} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let fst = Fst::from_shared(Arc::clone(self.bytes), self.pos, len)
+            .map_err(|e| BundleError::Malformed(format!("{what}: {e}")))?;
+        if fst.view().arena_len() != len {
+            return Err(BundleError::Malformed(format!(
+                "{what}: {} trailing bytes after arena",
+                len - fst.view().arena_len()
+            )));
+        }
+        self.pos += len;
+        Ok(fst)
+    }
+
+    /// Consumes zero padding up to the next 8-byte boundary (positions
+    /// are absolute and every v2 section starts 8-aligned).
+    fn skip_padding(&mut self, what: &str) -> Result<(), BundleError> {
+        let misalign = self.pos % 8;
+        if misalign == 0 {
+            return Ok(());
+        }
+        let pad = self.take(8 - misalign, what)?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(BundleError::Malformed(format!("{what}: nonzero padding")));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, what: &str) -> Result<(), BundleError> {
+        if self.remaining() != 0 {
+            return Err(BundleError::Malformed(format!(
+                "{what}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------
-// Section codecs.
+// Section codecs shared by both schemas.
 
 fn language_tag(l: Language) -> u8 {
     match l {
@@ -268,6 +441,35 @@ fn encode_meta(m: &FrozenModel) -> Vec<u8> {
     out
 }
 
+fn decode_meta(buf: &[u8]) -> Result<(Language, bool, usize, ConfigEcho), BundleError> {
+    let mut r = Reader::new(buf);
+    let language = language_from(r.u8("language tag")?)?;
+    let use_veto = match r.u8("use_veto flag")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(BundleError::Malformed(format!(
+                "invalid use_veto flag {other}"
+            )))
+        }
+    };
+    let max_value_chars = r.u64("max_value_chars")? as usize;
+    let iterations = r.u64("iterations")? as usize;
+    let seed = r.u64("seed")?;
+    let tagger = r.string("tagger name")?;
+    r.finish("meta section")?;
+    Ok((
+        language,
+        use_veto,
+        max_value_chars,
+        ConfigEcho {
+            iterations,
+            seed,
+            tagger,
+        },
+    ))
+}
+
 fn encode_attrs(m: &FrozenModel) -> Vec<u8> {
     let mut out = Vec::new();
     put_u64(&mut out, m.attrs.len() as u64);
@@ -277,58 +479,15 @@ fn encode_attrs(m: &FrozenModel) -> Vec<u8> {
     out
 }
 
-fn encode_lexicon(m: &FrozenModel) -> Vec<u8> {
-    let mut entries: Vec<(&str, PosTag)> = m.lexicon.iter().collect();
-    entries.sort_by_key(|&(w, _)| w);
-    let mut out = Vec::new();
-    put_u64(&mut out, entries.len() as u64);
-    for (word, tag) in entries {
-        put_str(&mut out, word);
-        out.push(tag.index() as u8);
+fn decode_attrs(buf: &[u8]) -> Result<Vec<String>, BundleError> {
+    let mut r = Reader::new(buf);
+    let n_attrs = r.len(8, "attr count")?;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        attrs.push(r.string("attr name")?);
     }
-    out
-}
-
-fn encode_tagger_into(out: &mut Vec<u8>, t: &FrozenTagger) {
-    match t {
-        FrozenTagger::Crf {
-            n_labels,
-            params,
-            feature_names,
-            window,
-            max_sentence_bucket,
-        } => {
-            out.push(0);
-            put_u64(out, *n_labels as u64);
-            put_u64(out, *window as u64);
-            put_u64(out, *max_sentence_bucket as u64);
-            put_f64s(out, params);
-            put_u64(out, feature_names.len() as u64);
-            for name in feature_names {
-                put_str(out, name);
-            }
-        }
-        FrozenTagger::Rnn { bytes } => {
-            out.push(1);
-            put_u64(out, bytes.len() as u64);
-            out.extend_from_slice(bytes);
-        }
-        FrozenTagger::Ensemble { crf, rnn } => {
-            out.push(2);
-            encode_tagger_into(out, crf);
-            encode_tagger_into(out, rnn);
-        }
-    }
-}
-
-fn encode_veto(m: &FrozenModel) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_u64(&mut out, m.veto_blocklist.len() as u64);
-    for (attr, value) in &m.veto_blocklist {
-        put_str(&mut out, attr);
-        put_str(&mut out, value);
-    }
-    out
+    r.finish("attrs section")?;
+    Ok(attrs)
 }
 
 fn encode_semantic(m: &FrozenModel) -> Vec<u8> {
@@ -357,7 +516,120 @@ fn encode_semantic(m: &FrozenModel) -> Vec<u8> {
     out
 }
 
-fn decode_tagger(r: &mut Reader, depth: usize) -> Result<FrozenTagger, BundleError> {
+fn decode_semantic_section(buf: &[u8]) -> Result<Option<SemanticFreeze>, BundleError> {
+    let mut r = Reader::new(buf);
+    let semantic = match r.u8("semantic presence flag")? {
+        0 => None,
+        1 => {
+            let dim = r.u64("semantic dim")? as usize;
+            let keep_threshold = r.f32("keep threshold")?;
+            let mean = r.f32s("semantic mean")?;
+            if mean.len() != dim {
+                return Err(BundleError::Malformed(format!(
+                    "semantic mean has {} entries, dim is {dim}",
+                    mean.len()
+                )));
+            }
+            let n_vecs = r.len(12, "vector count")?;
+            let mut vectors = Vec::with_capacity(n_vecs);
+            for _ in 0..n_vecs {
+                let word = r.string("vector word")?;
+                let vec = r.f32s("vector values")?;
+                if vec.len() != dim {
+                    return Err(BundleError::Malformed(format!(
+                        "vector for {word:?} has {} entries, dim is {dim}",
+                        vec.len()
+                    )));
+                }
+                vectors.push((word, vec));
+            }
+            let n_cores = r.len(16, "core count")?;
+            let mut cores = Vec::with_capacity(n_cores);
+            for _ in 0..n_cores {
+                let attr = r.string("core attr")?;
+                let n_members = r.len(8, "core member count")?;
+                let mut members = Vec::with_capacity(n_members);
+                for _ in 0..n_members {
+                    members.push(r.string("core member")?);
+                }
+                cores.push((attr, members));
+            }
+            Some(SemanticFreeze {
+                dim,
+                mean,
+                vectors,
+                cores,
+                keep_threshold,
+            })
+        }
+        other => {
+            return Err(BundleError::Malformed(format!(
+                "invalid semantic presence flag {other}"
+            )))
+        }
+    };
+    r.finish("semantic section")?;
+    Ok(semantic)
+}
+
+// ---------------------------------------------------------------------
+// v1 section codecs (legacy: length-prefixed strings everywhere).
+
+fn encode_lexicon_v1(m: &FrozenModel) -> Vec<u8> {
+    let mut entries: Vec<(String, PosTag)> = m.lexicon.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    put_u64(&mut out, entries.len() as u64);
+    for (word, tag) in entries {
+        put_str(&mut out, &word);
+        out.push(tag.index() as u8);
+    }
+    out
+}
+
+fn encode_tagger_v1_into(out: &mut Vec<u8>, t: &FrozenTagger) {
+    match t {
+        FrozenTagger::Crf {
+            n_labels,
+            params,
+            feature_names,
+            window,
+            max_sentence_bucket,
+        } => {
+            out.push(0);
+            put_u64(out, *n_labels as u64);
+            put_u64(out, *window as u64);
+            put_u64(out, *max_sentence_bucket as u64);
+            put_f64s(out, params);
+            put_u64(out, feature_names.len() as u64);
+            for name in feature_names {
+                put_str(out, name);
+            }
+        }
+        FrozenTagger::Rnn { bytes } => {
+            out.push(1);
+            put_u64(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+        }
+        FrozenTagger::Ensemble { crf, rnn } => {
+            out.push(2);
+            encode_tagger_v1_into(out, crf);
+            encode_tagger_v1_into(out, rnn);
+        }
+    }
+}
+
+fn encode_veto_v1(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, m.veto_blocklist.len() as u64);
+    for (attr, value) in &m.veto_blocklist {
+        put_str(&mut out, attr);
+        put_str(&mut out, value);
+    }
+    out
+}
+
+fn decode_tagger_v1(r: &mut Reader, depth: usize) -> Result<FrozenTagger, BundleError> {
     match r.u8("tagger kind")? {
         0 => {
             let n_labels = r.u64("crf n_labels")? as usize;
@@ -394,8 +666,8 @@ fn decode_tagger(r: &mut Reader, depth: usize) -> Result<FrozenTagger, BundleErr
             Ok(FrozenTagger::Rnn { bytes })
         }
         2 if depth == 0 => Ok(FrozenTagger::Ensemble {
-            crf: Box::new(decode_tagger(r, 1)?),
-            rnn: Box::new(decode_tagger(r, 1)?),
+            crf: Box::new(decode_tagger_v1(r, 1)?),
+            rnn: Box::new(decode_tagger_v1(r, 1)?),
         }),
         2 => Err(BundleError::Malformed("nested ensemble tagger".to_owned())),
         other => Err(BundleError::Malformed(format!(
@@ -405,19 +677,281 @@ fn decode_tagger(r: &mut Reader, depth: usize) -> Result<FrozenTagger, BundleErr
 }
 
 // ---------------------------------------------------------------------
-// Whole-bundle encode/decode.
+// v2 section codecs (flat arenas, 8-aligned records).
 
-/// Serializes a frozen model into bundle bytes. Deterministic: equal
-/// models produce byte-identical bundles.
+fn encode_lexicon_v2(m: &FrozenModel) -> Vec<u8> {
+    m.lexicon.compiled().as_bytes().to_vec()
+}
+
+/// One tagger record, all fields u64-aligned:
+///
+/// ```text
+/// kind u64 (0 crf | 1 rnn | 2 ensemble)
+/// crf:      n_labels u64 | window u64 | sentence_bucket u64
+///           | params_len u64 | f64 * params_len
+///           | arena_len u64 | feature-name FST arena | pad8
+/// rnn:      len u64 | bytes | pad8
+/// ensemble: crf record | rnn record
+/// ```
+fn encode_tagger_v2_into(out: &mut Vec<u8>, t: &FrozenTagger) {
+    debug_assert_eq!(out.len() % 8, 0, "tagger records start 8-aligned");
+    match t {
+        FrozenTagger::Crf {
+            n_labels,
+            params,
+            feature_names,
+            window,
+            max_sentence_bucket,
+        } => {
+            put_u64(out, 0);
+            put_u64(out, *n_labels as u64);
+            put_u64(out, *window as u64);
+            put_u64(out, *max_sentence_bucket as u64);
+            put_u64(out, params.len() as u64);
+            for &p in params {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+            // Feature name → interned id, keyed by name bytes. The
+            // interner guarantees unique names, so the build cannot
+            // fail on duplicates.
+            let mut pairs: Vec<(&[u8], u32)> = feature_names
+                .iter()
+                .enumerate()
+                .map(|(id, name)| (name.as_bytes(), id as u32))
+                .collect();
+            pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            let arena = pae_fst::build_fst(&pairs, 0).expect("unique feature names build");
+            put_u64(out, arena.len() as u64);
+            out.extend_from_slice(&arena);
+            pad8(out);
+        }
+        FrozenTagger::Rnn { bytes } => {
+            put_u64(out, 1);
+            put_u64(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+            pad8(out);
+        }
+        FrozenTagger::Ensemble { crf, rnn } => {
+            put_u64(out, 2);
+            encode_tagger_v2_into(out, crf);
+            encode_tagger_v2_into(out, rnn);
+        }
+    }
+}
+
+fn encode_veto_v2(m: &FrozenModel) -> Vec<u8> {
+    // Composite keys sort bytewise, which is NOT the (attr, value) pair
+    // order when one attr is a strict prefix of another (0xFF compares
+    // above every UTF-8 byte), so sort the keys themselves.
+    let mut keys: Vec<Vec<u8>> = m
+        .veto_blocklist
+        .iter()
+        .map(|(attr, value)| blocklist_key(attr, value))
+        .collect();
+    keys.sort_unstable();
+    let pairs: Vec<(&[u8], u32)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_slice(), i as u32))
+        .collect();
+    pae_fst::build_fst(&pairs, 0).expect("deduplicated blocklist keys build")
+}
+
+/// A v2 tagger section parsed into parts that can become either a
+/// serving backend (zero-copy feature automaton) or a materialized
+/// [`FrozenTagger`] (for API parity with v1).
+enum TaggerParts {
+    Crf {
+        n_labels: usize,
+        window: usize,
+        max_sentence_bucket: usize,
+        params: Vec<f64>,
+        names: Fst,
+    },
+    Rnn {
+        bytes: Vec<u8>,
+    },
+    Ensemble {
+        crf: Box<TaggerParts>,
+        rnn: Box<TaggerParts>,
+    },
+}
+
+fn decode_tagger_parts(r: &mut ArcReader, depth: usize) -> Result<TaggerParts, BundleError> {
+    match r.u64("tagger kind")? {
+        0 => {
+            let n_labels = r.u64("crf n_labels")? as usize;
+            let window = r.u64("crf window")? as usize;
+            let max_sentence_bucket = r.u64("crf sentence bucket")? as usize;
+            let params = r.f64s("crf params")?;
+            let names = r.carve_fst("crf feature automaton")?;
+            r.skip_padding("crf record padding")?;
+            let expected = pae_crf::CrfModel::param_len(names.n_keys(), n_labels);
+            if params.len() != expected {
+                return Err(BundleError::Malformed(format!(
+                    "CRF parameter vector has {} entries, expected {expected}",
+                    params.len()
+                )));
+            }
+            Ok(TaggerParts::Crf {
+                n_labels,
+                window,
+                max_sentence_bucket,
+                params,
+                names,
+            })
+        }
+        1 => {
+            let n = r.u64("rnn byte length")? as usize;
+            let bytes = r.take(n, "rnn bytes")?.to_vec();
+            // Validate eagerly: a bundle must never defer a decode
+            // failure to serve time.
+            pae_neural::BiLstmTagger::from_bytes(&bytes)
+                .map_err(|e| BundleError::Malformed(format!("rnn tagger: {e}")))?;
+            r.skip_padding("rnn record padding")?;
+            Ok(TaggerParts::Rnn { bytes })
+        }
+        2 if depth == 0 => Ok(TaggerParts::Ensemble {
+            crf: Box::new(decode_tagger_parts(r, 1)?),
+            rnn: Box::new(decode_tagger_parts(r, 1)?),
+        }),
+        2 => Err(BundleError::Malformed("nested ensemble tagger".to_owned())),
+        other => Err(BundleError::Malformed(format!(
+            "unknown tagger kind {other}"
+        ))),
+    }
+}
+
+impl TaggerParts {
+    fn into_trained(self) -> Result<TrainedTagger, String> {
+        match self {
+            TaggerParts::Crf {
+                n_labels,
+                window,
+                max_sentence_bucket,
+                params,
+                names,
+            } => crf_tagger_from_parts(
+                n_labels,
+                params,
+                pae_crf::FeatureIndex::from_fst(names),
+                window,
+                max_sentence_bucket,
+            ),
+            TaggerParts::Rnn { bytes } => Ok(TrainedTagger::Rnn {
+                model: pae_neural::BiLstmTagger::from_bytes(&bytes)?,
+            }),
+            TaggerParts::Ensemble { .. } => Err("nested ensemble".to_owned()),
+        }
+    }
+
+    fn into_backend(self) -> Result<ExtractBackend, String> {
+        match self {
+            TaggerParts::Ensemble { crf, rnn } => Ok(ExtractBackend::Ensemble(
+                Box::new(crf.into_trained()?),
+                Box::new(rnn.into_trained()?),
+            )),
+            one => Ok(ExtractBackend::One(Box::new(one.into_trained()?))),
+        }
+    }
+
+    /// Materializes the legacy in-memory form (rebuilds the id-ordered
+    /// feature name table from the automaton).
+    fn to_frozen(&self) -> Result<FrozenTagger, BundleError> {
+        match self {
+            TaggerParts::Crf {
+                n_labels,
+                window,
+                max_sentence_bucket,
+                params,
+                names,
+            } => {
+                let n = names.n_keys();
+                let mut feature_names = vec![String::new(); n];
+                let mut seen = vec![false; n];
+                for (key, id) in names.iter() {
+                    let name = String::from_utf8(key).map_err(|_| {
+                        BundleError::Malformed("non-UTF-8 feature name".to_owned())
+                    })?;
+                    let id = id as usize;
+                    if id >= n || seen[id] {
+                        return Err(BundleError::Malformed(format!(
+                            "feature automaton id {id} out of range or duplicated"
+                        )));
+                    }
+                    feature_names[id] = name;
+                    seen[id] = true;
+                }
+                Ok(FrozenTagger::Crf {
+                    n_labels: *n_labels,
+                    params: params.clone(),
+                    feature_names,
+                    window: *window,
+                    max_sentence_bucket: *max_sentence_bucket,
+                })
+            }
+            TaggerParts::Rnn { bytes } => Ok(FrozenTagger::Rnn {
+                bytes: bytes.clone(),
+            }),
+            TaggerParts::Ensemble { crf, rnn } => Ok(FrozenTagger::Ensemble {
+                crf: Box::new(crf.to_frozen()?),
+                rnn: Box::new(rnn.to_frozen()?),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-bundle encode.
+
+/// Serializes a frozen model into schema-v2 bundle bytes.
+/// Deterministic: equal models produce byte-identical bundles.
 pub fn encode(model: &FrozenModel) -> Vec<u8> {
     let mut tagger = Vec::new();
-    encode_tagger_into(&mut tagger, &model.tagger);
+    encode_tagger_v2_into(&mut tagger, &model.tagger);
     let sections: [(u32, Vec<u8>); 6] = [
         (SEC_META, encode_meta(model)),
         (SEC_ATTRS, encode_attrs(model)),
-        (SEC_LEXICON, encode_lexicon(model)),
+        (SEC_LEXICON, encode_lexicon_v2(model)),
         (SEC_TAGGER, tagger),
-        (SEC_VETO, encode_veto(model)),
+        (SEC_VETO, encode_veto_v2(model)),
+        (SEC_SEMANTIC, encode_semantic(model)),
+    ];
+    let payload_start = v2_payload_start();
+    let mut payload = Vec::new();
+    let mut table_bytes = Vec::with_capacity(SECTION_IDS.len() * V2_ENTRY_BYTES);
+    for (id, bytes) in &sections {
+        pad8(&mut payload);
+        put_u32(&mut table_bytes, *id);
+        put_u32(&mut table_bytes, 0); // reserved
+        put_u64(&mut table_bytes, payload.len() as u64);
+        put_u64(&mut table_bytes, bytes.len() as u64);
+        put_u64(&mut table_bytes, fnv1a_words(bytes));
+        payload.extend_from_slice(bytes);
+    }
+    let mut out = Vec::with_capacity(payload_start + payload.len());
+    out.extend_from_slice(&BUNDLE_MAGIC);
+    put_u32(&mut out, BUNDLE_SCHEMA_VERSION);
+    put_u64(&mut out, fnv1a(&table_bytes));
+    put_u32(&mut out, SECTION_IDS.len() as u32);
+    out.extend_from_slice(&table_bytes);
+    out.resize(payload_start, 0);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serializes a frozen model into legacy schema-v1 bundle bytes. Kept
+/// as a writer so compatibility fixtures and migration tests can
+/// produce old-format bundles from current models.
+pub fn encode_v1(model: &FrozenModel) -> Vec<u8> {
+    let mut tagger = Vec::new();
+    encode_tagger_v1_into(&mut tagger, &model.tagger);
+    let sections: [(u32, Vec<u8>); 6] = [
+        (SEC_META, encode_meta(model)),
+        (SEC_ATTRS, encode_attrs(model)),
+        (SEC_LEXICON, encode_lexicon_v1(model)),
+        (SEC_TAGGER, tagger),
+        (SEC_VETO, encode_veto_v1(model)),
         (SEC_SEMANTIC, encode_semantic(model)),
     ];
     let mut payload = Vec::new();
@@ -426,9 +960,9 @@ pub fn encode(model: &FrozenModel) -> Vec<u8> {
         table.push((*id, payload.len() as u64, bytes.len() as u64));
         payload.extend_from_slice(bytes);
     }
-    let mut out = Vec::with_capacity(16 + table.len() * 20 + payload.len());
+    let mut out = Vec::with_capacity(HEADER_BYTES + table.len() * 20 + payload.len());
     out.extend_from_slice(&BUNDLE_MAGIC);
-    put_u32(&mut out, BUNDLE_SCHEMA_VERSION);
+    put_u32(&mut out, BUNDLE_SCHEMA_V1);
     put_u64(&mut out, fnv1a(&payload));
     put_u32(&mut out, table.len() as u32);
     for (id, offset, len) in table {
@@ -440,14 +974,16 @@ pub fn encode(model: &FrozenModel) -> Vec<u8> {
     out
 }
 
-/// Parses and validates bundle bytes back into a [`FrozenModel`].
-pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
+// ---------------------------------------------------------------------
+// v1 whole-bundle decode (legacy eager path).
+
+fn decode_v1(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
     let mut r = Reader::new(bytes);
     if r.take(4, "magic").map_err(|_| BundleError::BadMagic)? != BUNDLE_MAGIC {
         return Err(BundleError::BadMagic);
     }
     let version = r.u32("schema version")?;
-    if version != BUNDLE_SCHEMA_VERSION {
+    if version != BUNDLE_SCHEMA_V1 {
         return Err(BundleError::UnsupportedVersion { found: version });
     }
     let declared_hash = r.u64("content hash")?;
@@ -501,32 +1037,8 @@ pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
         &payload[offset as usize..(offset + len) as usize]
     };
 
-    // Meta.
-    let mut r = Reader::new(section(0));
-    let language = language_from(r.u8("language tag")?)?;
-    let use_veto = match r.u8("use_veto flag")? {
-        0 => false,
-        1 => true,
-        other => {
-            return Err(BundleError::Malformed(format!(
-                "invalid use_veto flag {other}"
-            )))
-        }
-    };
-    let max_value_chars = r.u64("max_value_chars")? as usize;
-    let iterations = r.u64("iterations")? as usize;
-    let seed = r.u64("seed")?;
-    let tagger_name = r.string("tagger name")?;
-    r.finish("meta section")?;
-
-    // Attrs.
-    let mut r = Reader::new(section(1));
-    let n_attrs = r.len(8, "attr count")?;
-    let mut attrs = Vec::with_capacity(n_attrs);
-    for _ in 0..n_attrs {
-        attrs.push(r.string("attr name")?);
-    }
-    r.finish("attrs section")?;
+    let (language, use_veto, max_value_chars, config) = decode_meta(section(0))?;
+    let attrs = decode_attrs(section(1))?;
 
     // Lexicon.
     let mut r = Reader::new(section(2));
@@ -547,7 +1059,7 @@ pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
 
     // Tagger.
     let mut r = Reader::new(section(3));
-    let tagger = decode_tagger(&mut r, 0)?;
+    let tagger = decode_tagger_v1(&mut r, 0)?;
     r.finish("tagger section")?;
 
     // Veto blocklist.
@@ -561,59 +1073,7 @@ pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
     }
     r.finish("veto section")?;
 
-    // Semantic freeze.
-    let mut r = Reader::new(section(5));
-    let semantic = match r.u8("semantic presence flag")? {
-        0 => None,
-        1 => {
-            let dim = r.u64("semantic dim")? as usize;
-            let keep_threshold = r.f32("keep threshold")?;
-            let mean = r.f32s("semantic mean")?;
-            if mean.len() != dim {
-                return Err(BundleError::Malformed(format!(
-                    "semantic mean has {} entries, dim is {dim}",
-                    mean.len()
-                )));
-            }
-            let n_vecs = r.len(12, "vector count")?;
-            let mut vectors = Vec::with_capacity(n_vecs);
-            for _ in 0..n_vecs {
-                let word = r.string("vector word")?;
-                let vec = r.f32s("vector values")?;
-                if vec.len() != dim {
-                    return Err(BundleError::Malformed(format!(
-                        "vector for {word:?} has {} entries, dim is {dim}",
-                        vec.len()
-                    )));
-                }
-                vectors.push((word, vec));
-            }
-            let n_cores = r.len(16, "core count")?;
-            let mut cores = Vec::with_capacity(n_cores);
-            for _ in 0..n_cores {
-                let attr = r.string("core attr")?;
-                let n_members = r.len(8, "core member count")?;
-                let mut members = Vec::with_capacity(n_members);
-                for _ in 0..n_members {
-                    members.push(r.string("core member")?);
-                }
-                cores.push((attr, members));
-            }
-            Some(SemanticFreeze {
-                dim,
-                mean,
-                vectors,
-                cores,
-                keep_threshold,
-            })
-        }
-        other => {
-            return Err(BundleError::Malformed(format!(
-                "invalid semantic presence flag {other}"
-            )))
-        }
-    };
-    r.finish("semantic section")?;
+    let semantic = decode_semantic_section(section(5))?;
 
     Ok(FrozenModel {
         language,
@@ -624,23 +1084,294 @@ pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
         max_value_chars,
         veto_blocklist,
         semantic,
-        config: ConfigEcho {
-            iterations,
-            seed,
-            tagger: tagger_name,
-        },
+        config,
     })
 }
 
+// ---------------------------------------------------------------------
+// Zero-copy loading.
+
+/// A validated bundle held as shared bytes.
+///
+/// Opening performs only header/table parsing and hash verification —
+/// no section decoding. [`extractor`](Self::extractor) then assembles a
+/// serving [`FrozenExtractor`] whose lexicon, CRF feature index, and
+/// veto blocklist are automata *borrowing* these bytes (v2), so the
+/// dominant load costs are one word-folded hash pass over the payload
+/// ([`fnv1a_words`]) and one bulk copy of the CRF parameter vector.
+/// v1 bundles are transparently decoded through the legacy eager path
+/// at open time.
+pub struct LoadedBundle {
+    bytes: Arc<[u8]>,
+    schema: u32,
+    content_hash: u64,
+    /// Absolute `(start, len)` per section, in [`SECTION_IDS`] order
+    /// (unused for v1).
+    sections: [(usize, usize); 6],
+    /// The eagerly decoded model for legacy v1 bundles.
+    legacy: Option<FrozenModel>,
+}
+
+impl LoadedBundle {
+    /// Reads and validates a bundle file.
+    pub fn open(path: &Path) -> Result<LoadedBundle, BundleError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_bytes(bytes)
+    }
+
+    /// Validates an owned byte buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<LoadedBundle, BundleError> {
+        Self::from_shared(Arc::from(bytes.into_boxed_slice()))
+    }
+
+    /// Validates shared bytes (the buffer is kept alive by the carved
+    /// automata for as long as any extractor uses them).
+    pub fn from_shared(bytes: Arc<[u8]>) -> Result<LoadedBundle, BundleError> {
+        let mut r = Reader::new(&bytes);
+        if r.take(4, "magic").map_err(|_| BundleError::BadMagic)? != BUNDLE_MAGIC {
+            return Err(BundleError::BadMagic);
+        }
+        let version = r.u32("schema version")?;
+        match version {
+            BUNDLE_SCHEMA_V1 => {
+                let content_hash = r.u64("content hash")?;
+                let legacy = decode_v1(&bytes)?;
+                Ok(LoadedBundle {
+                    bytes,
+                    schema: BUNDLE_SCHEMA_V1,
+                    content_hash,
+                    sections: [(0, 0); 6],
+                    legacy: Some(legacy),
+                })
+            }
+            BUNDLE_SCHEMA_VERSION => {
+                let declared = r.u64("content hash")?;
+                let n_sections = r.u32("section count")? as usize;
+                if n_sections != SECTION_IDS.len() {
+                    return Err(BundleError::Malformed(format!(
+                        "expected {} sections, header declares {n_sections}",
+                        SECTION_IDS.len()
+                    )));
+                }
+                let table_bytes = r.take(SECTION_IDS.len() * V2_ENTRY_BYTES, "section table")?;
+                let actual = fnv1a(table_bytes);
+                if actual != declared {
+                    return Err(BundleError::HashMismatch {
+                        expected: declared,
+                        actual,
+                    });
+                }
+                let payload_start = v2_payload_start();
+                if bytes.len() < payload_start {
+                    return Err(BundleError::Truncated(format!(
+                        "payload starts at {payload_start}, file has {} bytes",
+                        bytes.len()
+                    )));
+                }
+                let mut t = Reader::new(table_bytes);
+                let mut sections = [(0usize, 0usize); 6];
+                let mut cursor = 0u64;
+                for (i, &want) in SECTION_IDS.iter().enumerate() {
+                    let id = t.u32("section id")?;
+                    let reserved = t.u32("section reserved")?;
+                    let offset = t.u64("section offset")?;
+                    let len = t.u64("section length")?;
+                    let hash = t.u64("section hash")?;
+                    if id != want {
+                        return Err(BundleError::Malformed(format!(
+                            "section {i} has id {id}, expected {want}"
+                        )));
+                    }
+                    if reserved != 0 {
+                        return Err(BundleError::Malformed(format!(
+                            "section {i} has nonzero reserved field {reserved}"
+                        )));
+                    }
+                    let aligned = cursor
+                        .checked_add(7)
+                        .ok_or_else(|| {
+                            BundleError::Malformed("section extent overflows".to_owned())
+                        })?
+                        & !7;
+                    if offset != aligned {
+                        return Err(BundleError::Malformed(format!(
+                            "section {i} starts at {offset}, expected {aligned}"
+                        )));
+                    }
+                    let end = offset.checked_add(len).ok_or_else(|| {
+                        BundleError::Malformed("section extent overflows".to_owned())
+                    })?;
+                    let abs_start = payload_start as u64 + offset;
+                    let abs_end = payload_start as u64 + end;
+                    if abs_end > bytes.len() as u64 {
+                        return Err(BundleError::Truncated(format!(
+                            "section {i} extends to {abs_end}, file has {} bytes",
+                            bytes.len()
+                        )));
+                    }
+                    // Inter-section padding is zeros by construction.
+                    let pad = &bytes[(payload_start as u64 + cursor) as usize..abs_start as usize];
+                    if pad.iter().any(|&b| b != 0) {
+                        return Err(BundleError::Malformed(format!(
+                            "nonzero padding before section {i}"
+                        )));
+                    }
+                    let slice = &bytes[abs_start as usize..abs_end as usize];
+                    let actual = fnv1a_words(slice);
+                    if actual != hash {
+                        return Err(BundleError::HashMismatch {
+                            expected: hash,
+                            actual,
+                        });
+                    }
+                    sections[i] = (abs_start as usize, len as usize);
+                    cursor = end;
+                }
+                if payload_start as u64 + cursor != bytes.len() as u64 {
+                    return Err(BundleError::Malformed(format!(
+                        "sections end at {}, file has {} bytes",
+                        payload_start as u64 + cursor,
+                        bytes.len()
+                    )));
+                }
+                Ok(LoadedBundle {
+                    bytes,
+                    schema: BUNDLE_SCHEMA_VERSION,
+                    content_hash: declared,
+                    sections: [
+                        sections[0], sections[1], sections[2], sections[3], sections[4],
+                        sections[5],
+                    ],
+                    legacy: None,
+                })
+            }
+            found => Err(BundleError::UnsupportedVersion { found }),
+        }
+    }
+
+    /// The bundle's schema version (1 or 2).
+    pub fn schema_version(&self) -> u32 {
+        self.schema
+    }
+
+    /// The verified content hash the header declares.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    fn section(&self, i: usize) -> &[u8] {
+        let (start, len) = self.sections[i];
+        &self.bytes[start..start + len]
+    }
+
+    /// Carves a whole section as a zero-copy automaton; strict about
+    /// trailing bytes.
+    fn section_fst(&self, i: usize, what: &str) -> Result<Fst, BundleError> {
+        let (start, len) = self.sections[i];
+        let fst = Fst::from_shared(Arc::clone(&self.bytes), start, len)
+            .map_err(|e| BundleError::Malformed(format!("{what}: {e}")))?;
+        if fst.view().arena_len() != len {
+            return Err(BundleError::Malformed(format!(
+                "{what}: {} trailing bytes after arena",
+                len - fst.view().arena_len()
+            )));
+        }
+        Ok(fst)
+    }
+
+    fn tagger_parts(&self) -> Result<TaggerParts, BundleError> {
+        let (start, len) = self.sections[3];
+        let mut r = ArcReader::new(&self.bytes, start, len);
+        let parts = decode_tagger_parts(&mut r, 0)?;
+        r.finish("tagger section")?;
+        Ok(parts)
+    }
+
+    /// Assembles a serving extractor. For v2 this is the zero-copy
+    /// path: the lexicon, CRF feature index, and veto blocklist all
+    /// borrow this bundle's bytes.
+    pub fn extractor(&self) -> Result<FrozenExtractor, BundleError> {
+        if let Some(model) = &self.legacy {
+            return model.extractor().map_err(BundleError::Malformed);
+        }
+        let (language, use_veto, max_value_chars, _config) = decode_meta(self.section(0))?;
+        let attrs = decode_attrs(self.section(1))?;
+        let lexicon = Lexicon::from_fst(self.section_fst(2, "lexicon automaton")?);
+        let backend = self
+            .tagger_parts()?
+            .into_backend()
+            .map_err(BundleError::Malformed)?;
+        let veto = Blocklist::Fst(self.section_fst(4, "veto automaton")?);
+        let semantic = decode_semantic_section(self.section(5))?;
+        Ok(assemble_extractor(
+            language,
+            lexicon,
+            attrs,
+            backend,
+            use_veto,
+            max_value_chars,
+            veto,
+            semantic,
+        ))
+    }
+
+    /// Materializes the full [`FrozenModel`] (v1 API parity; walks and
+    /// validates every section).
+    pub fn model(&self) -> Result<FrozenModel, BundleError> {
+        if let Some(model) = &self.legacy {
+            return Ok(model.clone());
+        }
+        let (language, use_veto, max_value_chars, config) = decode_meta(self.section(0))?;
+        let attrs = decode_attrs(self.section(1))?;
+        let lexicon = Lexicon::from_fst(self.section_fst(2, "lexicon automaton")?);
+        let tagger = self.tagger_parts()?.to_frozen()?;
+        let veto_fst = self.section_fst(4, "veto automaton")?;
+        let mut veto_blocklist = Vec::with_capacity(veto_fst.n_keys());
+        for (key, _) in veto_fst.iter() {
+            let sep = key.iter().position(|&b| b == 0xFF).ok_or_else(|| {
+                BundleError::Malformed("veto key lacks the attr/value separator".to_owned())
+            })?;
+            let attr = String::from_utf8(key[..sep].to_vec())
+                .map_err(|_| BundleError::Malformed("non-UTF-8 veto attr".to_owned()))?;
+            let value = String::from_utf8(key[sep + 1..].to_vec())
+                .map_err(|_| BundleError::Malformed("non-UTF-8 veto value".to_owned()))?;
+            veto_blocklist.push((attr, value));
+        }
+        veto_blocklist.sort();
+        let semantic = decode_semantic_section(self.section(5))?;
+        Ok(FrozenModel {
+            language,
+            lexicon,
+            attrs,
+            tagger,
+            use_veto,
+            max_value_chars,
+            veto_blocklist,
+            semantic,
+            config,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-bundle convenience API.
+
+/// Parses and validates bundle bytes (either schema) back into a
+/// [`FrozenModel`].
+pub fn decode(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
+    LoadedBundle::from_bytes(bytes.to_vec())?.model()
+}
+
 /// The content hash a bundle's header declares (validating magic and
-/// version first). Cheap: does not decode or re-hash the payload.
+/// version first). Cheap: does not decode or re-hash anything.
 pub fn declared_hash(bytes: &[u8]) -> Result<u64, BundleError> {
     let mut r = Reader::new(bytes);
     if r.take(4, "magic").map_err(|_| BundleError::BadMagic)? != BUNDLE_MAGIC {
         return Err(BundleError::BadMagic);
     }
     let version = r.u32("schema version")?;
-    if version != BUNDLE_SCHEMA_VERSION {
+    if version != BUNDLE_SCHEMA_VERSION && version != BUNDLE_SCHEMA_V1 {
         return Err(BundleError::UnsupportedVersion { found: version });
     }
     r.u64("content hash")
@@ -650,14 +1381,19 @@ pub fn declared_hash(bytes: &[u8]) -> Result<u64, BundleError> {
 /// unless `force` (the same create-new semantics as the CLI's trace
 /// outputs). Returns the bundle's content hash.
 pub fn write_bundle(model: &FrozenModel, path: &Path, force: bool) -> Result<u64, BundleError> {
+    write_bundle_bytes(&encode(model), path, force)
+}
+
+/// Writes already-encoded bundle bytes (either schema) with the same
+/// overwrite semantics as [`write_bundle`].
+pub fn write_bundle_bytes(bytes: &[u8], path: &Path, force: bool) -> Result<u64, BundleError> {
     use std::io::Write as _;
-    let bytes = encode(model);
-    let hash = declared_hash(&bytes).expect("fresh bundle has a valid header");
+    let hash = declared_hash(bytes)?;
     if force {
-        std::fs::write(path, &bytes).map_err(|e| BundleError::Io(e.to_string()))?;
+        std::fs::write(path, bytes).map_err(|e| BundleError::Io(e.to_string()))?;
     } else {
         let mut f = pae_obs::reserve_output(path).map_err(BundleError::Io)?;
-        f.write_all(&bytes)
+        f.write_all(bytes)
             .and_then(|()| f.flush())
             .map_err(|e| BundleError::Io(e.to_string()))?;
     }
@@ -673,10 +1409,9 @@ pub fn read_bundle(path: &Path) -> Result<FrozenModel, BundleError> {
 /// declared (and verified) content hash so servers can report which
 /// exact bundle they loaded without re-reading the file.
 pub fn read_bundle_with_hash(path: &Path) -> Result<(FrozenModel, u64), BundleError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
-    let hash = declared_hash(&bytes)?;
-    decode(&bytes).map(|model| (model, hash))
+    let loaded = LoadedBundle::open(path)?;
+    let model = loaded.model()?;
+    Ok((model, loaded.content_hash()))
 }
 
 #[cfg(test)]
@@ -685,9 +1420,9 @@ mod tests {
     use crate::bootstrap::BootstrapPipeline;
     use crate::config::{PipelineConfig, TaggerKind};
     use crate::corpus::parse_corpus;
-    use pae_synth::{CategoryKind, DatasetSpec};
+    use pae_synth::{CategoryKind, Dataset, DatasetSpec};
 
-    fn frozen_model(kind: TaggerKind) -> FrozenModel {
+    fn frozen_fixture(kind: TaggerKind) -> (Dataset, FrozenModel) {
         let dataset = DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
             .products(50)
             .generate();
@@ -699,7 +1434,12 @@ mod tests {
         };
         cfg.crf.max_iters = 40;
         let outcome = BootstrapPipeline::new(cfg.clone()).run_on_corpus(&dataset, &corpus);
-        FrozenModel::freeze(&dataset, &corpus, &outcome, &cfg).expect("freeze")
+        let model = FrozenModel::freeze(&dataset, &corpus, &outcome, &cfg).expect("freeze");
+        (dataset, model)
+    }
+
+    fn frozen_model(kind: TaggerKind) -> FrozenModel {
+        frozen_fixture(kind).1
     }
 
     #[test]
@@ -712,7 +1452,52 @@ mod tests {
         // and encoding is deterministic call to call.
         assert_eq!(encode(&restored), bytes);
         assert_eq!(encode(&model), bytes);
+        // The v2 content hash covers the section table.
+        assert_eq!(
+            declared_hash(&bytes).unwrap(),
+            fnv1a(&bytes[HEADER_BYTES..HEADER_BYTES + 6 * V2_ENTRY_BYTES])
+        );
+    }
+
+    /// The word-folded section hash: sensitive to any single-byte
+    /// change at any offset (aligned or tail), deterministic, and
+    /// trailing-zero collisions are tolerable because the section
+    /// length is committed separately in the table.
+    #[test]
+    fn fnv1a_words_detects_flips_at_every_offset() {
+        let base: Vec<u8> = (0..37u8).collect(); // deliberately not a multiple of 8
+        let reference = fnv1a_words(&base);
+        assert_eq!(fnv1a_words(&base), reference);
+        for i in 0..base.len() {
+            let mut corrupt = base.clone();
+            corrupt[i] ^= 0x01;
+            assert_ne!(
+                fnv1a_words(&corrupt),
+                reference,
+                "flip at offset {i} went undetected"
+            );
+        }
+        // The documented tail property: trailing zeros pad into the
+        // same final word — (len, hash) is the committed identity.
+        assert_eq!(fnv1a_words(b"x"), fnv1a_words(b"x\0"));
+        // Distinct from the byte-wise variant once a word holds more
+        // than one byte (a 1-byte input degenerates to the same single
+        // xor-multiply in both).
+        assert_ne!(fnv1a_words(b"xy"), fnv1a(b"xy"));
+    }
+
+    #[test]
+    fn legacy_v1_round_trips() {
+        let model = frozen_model(TaggerKind::Crf);
+        let bytes = encode_v1(&model);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
+        let restored = decode(&bytes).expect("decode v1");
+        assert_eq!(model, restored);
+        // v1 hash covers the payload after the 20-byte table entries.
         assert_eq!(declared_hash(&bytes).unwrap(), fnv1a(&bytes[20 + 6 * 20..]));
+        let loaded = LoadedBundle::from_bytes(bytes).expect("load v1");
+        assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_V1);
+        assert_eq!(loaded.model().expect("model"), model);
     }
 
     #[test]
@@ -722,6 +1507,23 @@ mod tests {
         let restored = decode(&bytes).expect("decode");
         assert_eq!(model, restored);
         assert!(matches!(restored.tagger, FrozenTagger::Ensemble { .. }));
+    }
+
+    #[test]
+    fn zero_copy_extractor_matches_rehydrated_model() {
+        let (dataset, model) = frozen_fixture(TaggerKind::Crf);
+        let loaded = LoadedBundle::from_bytes(encode(&model)).expect("load");
+        assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_VERSION);
+        let zero_copy = loaded.extractor().expect("zero-copy extractor");
+        let eager = model.extractor().expect("rehydrate");
+        for page in dataset.pages.iter().take(15) {
+            assert_eq!(
+                zero_copy.extract_page(page.id, &page.html),
+                eager.extract_page(page.id, &page.html),
+                "outputs diverge on page {}",
+                page.id
+            );
+        }
     }
 
     #[test]
@@ -742,10 +1544,18 @@ mod tests {
             Err(BundleError::UnsupportedVersion { found: 99 })
         ));
 
-        // Payload corruption → hash mismatch.
+        // Payload corruption → the section's own hash catches it.
         let mut bad = bytes.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0xff;
+        assert!(matches!(
+            decode(&bad),
+            Err(BundleError::HashMismatch { .. })
+        ));
+
+        // Table corruption → the header's content hash catches it.
+        let mut bad = bytes.clone();
+        bad[HEADER_BYTES + 8] ^= 0xff;
         assert!(matches!(
             decode(&bad),
             Err(BundleError::HashMismatch { .. })
@@ -760,9 +1570,8 @@ mod tests {
         }
         assert!(decode(&[]).is_err());
 
-        // Trailing garbage after the payload → hash covers it? No — the
-        // hash covers the declared payload slice, so extra bytes extend
-        // that slice and break the hash.
+        // Trailing garbage after the last section → the sections no
+        // longer end exactly at the file's end.
         let mut bad = bytes.clone();
         bad.push(0);
         assert!(decode(&bad).is_err());

@@ -125,7 +125,6 @@ mod tests {
     use super::*;
     use crate::corpus::TablePair;
     use crate::types::AttrTable;
-    use std::collections::HashMap;
 
     fn toy_seed() -> Seed {
         let mut table = AttrTable::default();
@@ -147,7 +146,7 @@ mod tests {
                     value: "zzz".into(),
                 },
             ],
-            alias_to_cluster: HashMap::new(),
+            alias_to_cluster: crate::seed::AliasTable::default(),
         }
     }
 

@@ -17,6 +17,7 @@
 //! [`crate::bundle`] gives the frozen model a versioned, byte-stable
 //! on-disk form.
 
+use pae_fst::Fst;
 use pae_html::{extract_text, parse, TextOptions};
 use pae_synth::{Dataset, Language};
 use pae_text::{Lexicon, LexiconPosTagger, PosTag, Sentence, SentenceSplitter, Tokenizer};
@@ -268,24 +269,90 @@ impl FrozenModel {
     /// validation but was built by a future incompatible writer.
     pub fn extractor(&self) -> Result<FrozenExtractor, String> {
         let backend = rehydrate_tagger(&self.tagger)?;
-        Ok(FrozenExtractor {
-            tokenizer: self.language.tokenizer(&self.lexicon),
-            pos_tagger: LexiconPosTagger::new(self.lexicon.clone()),
-            splitter: SentenceSplitter::new(),
-            space: LabelSpace::new(self.attrs.clone()),
+        Ok(assemble_extractor(
+            self.language,
+            self.lexicon.clone(),
+            self.attrs.clone(),
             backend,
-            use_veto: self.use_veto,
-            max_value_chars: self.max_value_chars,
-            veto_blocklist: self.veto_blocklist.clone(),
-            semantic: self.semantic.clone(),
-        })
+            self.use_veto,
+            self.max_value_chars,
+            Blocklist::Sorted(self.veto_blocklist.clone()),
+            self.semantic.clone(),
+        ))
+    }
+}
+
+/// The frozen rule-3 blocklist in serving form.
+#[derive(Debug, Clone)]
+pub(crate) enum Blocklist {
+    /// Sorted `(attr, value)` pairs (the freeze-time form), probed by
+    /// binary search.
+    Sorted(Vec<(String, String)>),
+    /// Zero-copy automaton over `attr ++ 0xFF ++ value` keys, borrowing
+    /// a loaded bundle's bytes. `0xFF` never occurs in UTF-8, so the
+    /// separator is unambiguous.
+    Fst(Fst),
+}
+
+/// The composite automaton key for a blocked `(attr, value)` pair.
+pub(crate) fn blocklist_key(attr: &str, value: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(attr.len() + value.len() + 1);
+    key.extend_from_slice(attr.as_bytes());
+    key.push(0xFF);
+    key.extend_from_slice(value.as_bytes());
+    key
+}
+
+impl Blocklist {
+    /// True when the pair was rejected by the freeze-time popularity
+    /// ranking.
+    pub(crate) fn contains(&self, attr: &str, value: &str) -> bool {
+        match self {
+            Blocklist::Sorted(list) => list
+                .binary_search_by(|(a, v)| (a.as_str(), v.as_str()).cmp(&(attr, value)))
+                .is_ok(),
+            Blocklist::Fst(fst) => fst.get(&blocklist_key(attr, value)).is_some(),
+        }
     }
 }
 
 /// The serve-time tagger: one backend or the intersected pair.
-enum ExtractBackend {
+pub(crate) enum ExtractBackend {
     One(Box<TrainedTagger>),
     Ensemble(Box<TrainedTagger>, Box<TrainedTagger>),
+}
+
+/// Assembles a CRF serving tagger from already-loaded parts. Used by
+/// both the in-memory rehydration path (interned feature index) and
+/// the zero-copy bundle loader (frozen automaton index).
+pub(crate) fn crf_tagger_from_parts(
+    n_labels: usize,
+    params: Vec<f64>,
+    index: pae_crf::FeatureIndex,
+    window: usize,
+    max_sentence_bucket: usize,
+) -> Result<TrainedTagger, String> {
+    let n_features = index.len();
+    let expected = pae_crf::CrfModel::param_len(n_features, n_labels);
+    if params.len() != expected {
+        return Err(format!(
+            "CRF parameter vector has {} entries, expected {expected} \
+             for {n_features} features x {n_labels} labels",
+            params.len()
+        ));
+    }
+    Ok(TrainedTagger::Crf {
+        model: pae_crf::CrfModel {
+            n_labels,
+            n_features,
+            params,
+        },
+        extractor: pae_crf::FeatureExtractor::new(pae_crf::FeatureTemplates {
+            window,
+            max_sentence_bucket,
+        }),
+        index,
+    })
 }
 
 fn rehydrate_one(frozen: &FrozenTagger) -> Result<TrainedTagger, String> {
@@ -296,29 +363,13 @@ fn rehydrate_one(frozen: &FrozenTagger) -> Result<TrainedTagger, String> {
             feature_names,
             window,
             max_sentence_bucket,
-        } => {
-            let n_features = feature_names.len();
-            let expected = pae_crf::CrfModel::param_len(n_features, *n_labels);
-            if params.len() != expected {
-                return Err(format!(
-                    "CRF parameter vector has {} entries, expected {expected} \
-                     for {n_features} features x {n_labels} labels",
-                    params.len()
-                ));
-            }
-            Ok(TrainedTagger::Crf {
-                model: pae_crf::CrfModel {
-                    n_labels: *n_labels,
-                    n_features,
-                    params: params.clone(),
-                },
-                extractor: pae_crf::FeatureExtractor::new(pae_crf::FeatureTemplates {
-                    window: *window,
-                    max_sentence_bucket: *max_sentence_bucket,
-                }),
-                index: pae_crf::FeatureIndex::from_names(feature_names.iter().map(String::as_str)),
-            })
-        }
+        } => crf_tagger_from_parts(
+            *n_labels,
+            params.clone(),
+            pae_crf::FeatureIndex::from_names(feature_names.iter().map(String::as_str)),
+            *window,
+            *max_sentence_bucket,
+        ),
         FrozenTagger::Rnn { bytes } => Ok(TrainedTagger::Rnn {
             model: pae_neural::BiLstmTagger::from_bytes(bytes)?,
         }),
@@ -404,8 +455,34 @@ pub struct FrozenExtractor {
     backend: ExtractBackend,
     use_veto: bool,
     max_value_chars: usize,
-    veto_blocklist: Vec<(String, String)>,
+    veto_blocklist: Blocklist,
     semantic: Option<SemanticFreeze>,
+}
+
+/// Assembles an extractor from already-loaded parts; the zero-copy
+/// bundle loader uses this to skip materializing a [`FrozenModel`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_extractor(
+    language: Language,
+    lexicon: Lexicon,
+    attrs: Vec<String>,
+    backend: ExtractBackend,
+    use_veto: bool,
+    max_value_chars: usize,
+    veto_blocklist: Blocklist,
+    semantic: Option<SemanticFreeze>,
+) -> FrozenExtractor {
+    FrozenExtractor {
+        tokenizer: language.tokenizer(&lexicon),
+        pos_tagger: LexiconPosTagger::new(lexicon),
+        splitter: SentenceSplitter::new(),
+        space: LabelSpace::new(attrs),
+        backend,
+        use_veto,
+        max_value_chars,
+        veto_blocklist,
+        semantic,
+    }
 }
 
 impl FrozenExtractor {
@@ -469,11 +546,7 @@ impl FrozenExtractor {
             if per_triple_veto(&t.value, self.max_value_chars).is_some() {
                 return false;
             }
-            if self
-                .veto_blocklist
-                .binary_search_by(|(a, v)| (a.as_str(), v.as_str()).cmp(&(&t.attr, &t.value)))
-                .is_ok()
-            {
+            if self.veto_blocklist.contains(&t.attr, &t.value) {
                 return false;
             }
         }

@@ -6,11 +6,72 @@ pub mod value_clean;
 
 use std::collections::HashMap;
 
+use pae_fst::Fst;
+
 use crate::corpus::{Corpus, TablePair};
 use crate::types::AttrTable;
 
 pub use aggregate::{aggregate_attributes, AggregationConfig};
 pub use value_clean::{clean_values, ValueCleanConfig};
+
+/// Alias → cluster-name table, stored as a byte-keyed automaton over
+/// the aliases plus one deduplicated cluster-name list: each lookup is
+/// a single trie descent and the aggregated surface forms are stored
+/// once, prefix-compressed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AliasTable {
+    /// Alias → index into `clusters`.
+    fst: Fst,
+    /// Deduplicated cluster names, sorted.
+    clusters: Vec<String>,
+}
+
+impl AliasTable {
+    /// Builds the table from `alias → cluster` pairs.
+    pub fn from_map(map: &HashMap<String, String>) -> AliasTable {
+        let mut clusters: Vec<String> = map.values().cloned().collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        let mut pairs: Vec<(&[u8], u32)> = map
+            .iter()
+            .map(|(alias, cluster)| {
+                let idx = clusters
+                    .binary_search(cluster)
+                    .expect("cluster list covers every value") as u32;
+                (alias.as_bytes(), idx)
+            })
+            .collect();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let fst = Fst::build(&pairs, 0).expect("deduplicated alias keys always build");
+        AliasTable { fst, clusters }
+    }
+
+    /// The cluster an alias was aggregated into, if any.
+    pub fn get(&self, alias: &str) -> Option<&str> {
+        let idx = self.fst.get(alias.as_bytes())? as usize;
+        self.clusters.get(idx).map(String::as_str)
+    }
+
+    /// Number of aliases.
+    pub fn len(&self) -> usize {
+        self.fst.n_keys()
+    }
+
+    /// True when no alias is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(alias, cluster)` pairs in alias order.
+    pub fn iter(&self) -> impl Iterator<Item = (String, &str)> + '_ {
+        self.fst.iter().filter_map(|(k, v)| {
+            Some((
+                String::from_utf8(k).ok()?,
+                self.clusters.get(v as usize)?.as_str(),
+            ))
+        })
+    }
+}
 
 /// The seed after discovery + aggregation + cleaning: the cluster table
 /// plus the per-product pairs (needed to tag the initial training set).
@@ -24,7 +85,7 @@ pub struct Seed {
     /// Per-product `(cluster, value)` pairs surviving cleaning.
     pub product_pairs: Vec<TablePair>,
     /// Alias → cluster name mapping produced by aggregation.
-    pub alias_to_cluster: HashMap<String, String>,
+    pub alias_to_cluster: AliasTable,
 }
 
 /// Builds the candidate [`AttrTable`] straight from dictionary tables
@@ -45,14 +106,14 @@ pub fn build_seed(
     clean: &ValueCleanConfig,
 ) -> Seed {
     let candidates = candidate_discovery(corpus);
-    let alias_to_cluster = aggregate_attributes(&candidates, agg);
+    let alias_to_cluster = AliasTable::from_map(&aggregate_attributes(&candidates, agg));
 
     // Re-key candidates by cluster.
     let mut clustered = AttrTable::default();
     for pair in &corpus.table_pairs {
         let cluster = alias_to_cluster
             .get(&pair.attr)
-            .cloned()
+            .map(str::to_owned)
             .unwrap_or_else(|| pair.attr.clone());
         clustered.add(&cluster, &pair.value);
     }
@@ -68,7 +129,7 @@ pub fn build_seed(
         .filter_map(|pair| {
             let cluster = alias_to_cluster
                 .get(&pair.attr)
-                .cloned()
+                .map(str::to_owned)
                 .unwrap_or_else(|| pair.attr.clone());
             let kept = surviving
                 .get(cluster.as_str())

@@ -15,21 +15,51 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use pae_fst::Fst;
+
 use crate::data::FeatId;
 
-/// Grow-only feature-string interner.
+/// Feature-string index: grow-only interner during training, or a
+/// read-only double-array automaton when rehydrated from a frozen
+/// bundle.
 ///
 /// During training, unseen feature strings are assigned fresh ids; at
 /// decode time the index is frozen and unseen features are skipped
-/// (they carry zero weight anyway). The reverse table ([`name_of`])
-/// doubles string storage but lets callers rebuild sub-indices without
-/// re-extracting (see `pae-core`'s cross-cycle training cache).
+/// (they carry zero weight anyway). The interned form's reverse table
+/// ([`name_of`]) doubles string storage but lets callers rebuild
+/// sub-indices without re-extracting (see `pae-core`'s cross-cycle
+/// training cache).
+///
+/// The frozen form ([`from_fst`]) answers [`get`] straight off a
+/// `name → id` automaton — typically borrowing a loaded bundle's
+/// bytes, so no per-feature strings or hash table are ever built.
+/// [`intern`] and [`name_of`] are training/debug operations and panic
+/// on a frozen index.
 ///
 /// [`name_of`]: FeatureIndex::name_of
-#[derive(Debug, Default, Clone)]
+/// [`from_fst`]: FeatureIndex::from_fst
+/// [`get`]: FeatureIndex::get
+/// [`intern`]: FeatureIndex::intern
+#[derive(Debug, Clone)]
 pub struct FeatureIndex {
-    map: HashMap<String, FeatId>,
-    names: Vec<String>,
+    repr: IndexRepr,
+}
+
+#[derive(Debug, Clone)]
+enum IndexRepr {
+    Interned {
+        map: HashMap<String, FeatId>,
+        names: Vec<String>,
+    },
+    Frozen { fst: Fst },
+}
+
+impl Default for FeatureIndex {
+    fn default() -> Self {
+        FeatureIndex {
+            repr: IndexRepr::Interned { map: HashMap::new(), names: Vec::new() },
+        }
+    }
 }
 
 impl FeatureIndex {
@@ -47,38 +77,68 @@ impl FeatureIndex {
         idx
     }
 
+    /// Wraps a compiled `name → id` automaton as a frozen, read-only
+    /// index. Ids must be dense (`0..n_keys`), as produced by
+    /// serializing an interned index.
+    pub fn from_fst(fst: Fst) -> Self {
+        FeatureIndex { repr: IndexRepr::Frozen { fst } }
+    }
+
     /// Interns `feature`, assigning a fresh id when unseen.
+    ///
+    /// # Panics
+    /// On a frozen index — interning is a training-time operation.
     pub fn intern(&mut self, feature: &str) -> FeatId {
-        if let Some(&id) = self.map.get(feature) {
-            return id;
+        match &mut self.repr {
+            IndexRepr::Interned { map, names } => {
+                if let Some(&id) = map.get(feature) {
+                    return id;
+                }
+                let id = map.len() as FeatId;
+                map.insert(feature.to_owned(), id);
+                names.push(feature.to_owned());
+                id
+            }
+            IndexRepr::Frozen { .. } => {
+                panic!("cannot intern into a frozen feature index (training-time only)")
+            }
         }
-        let id = self.map.len() as FeatId;
-        self.map.insert(feature.to_owned(), id);
-        self.names.push(feature.to_owned());
-        id
     }
 
     /// Looks up `feature` without interning.
     pub fn get(&self, feature: &str) -> Option<FeatId> {
-        self.map.get(feature).copied()
+        match &self.repr {
+            IndexRepr::Interned { map, .. } => map.get(feature).copied(),
+            IndexRepr::Frozen { fst } => fst.get(feature.as_bytes()).map(|v| v as FeatId),
+        }
     }
 
     /// The feature string that was assigned `id`.
     ///
     /// # Panics
-    /// When `id` was never assigned.
+    /// When `id` was never assigned, or on a frozen index (the reverse
+    /// table is a training/debug facility and is not materialized when
+    /// loading from a bundle).
     pub fn name_of(&self, id: FeatId) -> &str {
-        &self.names[id as usize]
+        match &self.repr {
+            IndexRepr::Interned { names, .. } => &names[id as usize],
+            IndexRepr::Frozen { .. } => {
+                panic!("frozen feature index has no reverse table (training-time only)")
+            }
+        }
     }
 
     /// Number of distinct features.
     pub fn len(&self) -> usize {
-        self.map.len()
+        match &self.repr {
+            IndexRepr::Interned { map, .. } => map.len(),
+            IndexRepr::Frozen { fst } => fst.n_keys(),
+        }
     }
 
     /// True when no feature has been interned.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 }
 

@@ -66,27 +66,35 @@ fn main() -> ExitCode {
         eprintln!("pae-serve: allocation profiling on (prof.* metric families live)");
     }
 
-    let (model, hash) = match pae_core::read_bundle_with_hash(std::path::Path::new(&bundle_path)) {
-        Ok(m) => m,
+    // Load = validate + assemble: on schema-v2 bundles the extractor
+    // borrows the loaded bytes (zero-copy), so this is the cold-start
+    // wall time /statusz reports as bundle.load_ns.
+    let load_start = std::time::Instant::now();
+    let loaded = match pae_core::LoadedBundle::open(std::path::Path::new(&bundle_path)) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("pae-serve: {bundle_path}: {e}");
             return ExitCode::from(1);
         }
     };
-    config.bundle_hash = hash;
-    eprintln!(
-        "pae-serve: loaded bundle {hash:016x} (tagger={}, {} attrs, seed={})",
-        model.config.tagger,
-        model.attrs.len(),
-        model.config.seed
-    );
-    let extractor = match model.extractor() {
+    let extractor = match loaded.extractor() {
         Ok(x) => x,
         Err(e) => {
             eprintln!("pae-serve: cannot rehydrate model: {e}");
             return ExitCode::from(1);
         }
     };
+    let load_ns = load_start.elapsed().as_nanos() as u64;
+    let hash = loaded.content_hash();
+    config.bundle_hash = hash;
+    config.bundle_schema = loaded.schema_version();
+    config.bundle_load_ns = load_ns;
+    eprintln!(
+        "pae-serve: loaded bundle {hash:016x} (schema v{}, {} attrs, {:.3} ms)",
+        loaded.schema_version(),
+        extractor.attrs().len(),
+        load_ns as f64 / 1e6
+    );
     let server = match Server::start(extractor, &config) {
         Ok(s) => s,
         Err(e) => {

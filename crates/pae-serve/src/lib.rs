@@ -91,6 +91,13 @@ pub struct ServerConfig {
     /// in-process by tests). Use [`pae_core::read_bundle_with_hash`]
     /// to obtain it.
     pub bundle_hash: u64,
+    /// `PAEB` schema version of the bundle being served, reported on
+    /// `/statusz`. Defaults to the current writer schema.
+    pub bundle_schema: u32,
+    /// Wall-clock nanoseconds the binary spent loading the bundle
+    /// (validate + build extractor), reported on `/statusz` and as the
+    /// `serve.bundle.load_ns` gauge. 0 when not loaded from a bundle.
+    pub bundle_load_ns: u64,
     /// Sample 1-in-N requests into the obs trace as
     /// `serve.request.sample` events; 0 disables. Deterministic
     /// (request-counter based, no RNG). Defaults from
@@ -107,6 +114,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8391".to_owned(),
             workers: pae_runtime::jobs().clamp(2, 8),
             bundle_hash: 0,
+            bundle_schema: pae_core::BUNDLE_SCHEMA_VERSION,
+            bundle_load_ns: 0,
             trace_sample: trace_sample_from_env(),
             slow_ms: 0,
         }
@@ -149,7 +158,8 @@ impl Server {
         let n_workers = config.workers.max(1);
         let telemetry = Arc::new(Telemetry::new(
             config.bundle_hash,
-            pae_core::BUNDLE_SCHEMA_VERSION,
+            config.bundle_schema,
+            config.bundle_load_ns,
             config.trace_sample,
             config.slow_ms,
             n_workers,

@@ -94,6 +94,9 @@ pub(crate) struct Telemetry {
     pub bundle_hash: u64,
     /// `PAEB` schema version of the loaded bundle.
     pub schema_version: u32,
+    /// Wall-clock nanoseconds spent loading the bundle at startup
+    /// (0 when unknown, e.g. tests freezing in-process).
+    pub bundle_load_ns: u64,
     /// Sample 1-in-N requests into the obs trace (0 = off).
     trace_sample: u64,
     /// Capture requests slower than this (0 = off).
@@ -108,6 +111,7 @@ impl Telemetry {
     pub(crate) fn new(
         bundle_hash: u64,
         schema_version: u32,
+        bundle_load_ns: u64,
         trace_sample: u64,
         slow_ms: u64,
         workers: usize,
@@ -116,6 +120,7 @@ impl Telemetry {
             start: Instant::now(),
             bundle_hash,
             schema_version,
+            bundle_load_ns,
             trace_sample,
             slow_ns: slow_ms.saturating_mul(1_000_000),
             workers,
@@ -259,6 +264,10 @@ impl Telemetry {
             ));
         }
         out.push((
+            key("serve.bundle.load_ns", &[]),
+            MetricValue::Gauge(self.bundle_load_ns as f64),
+        ));
+        out.push((
             key("serve.live.workers", &[]),
             MetricValue::Gauge(self.workers as f64),
         ));
@@ -325,8 +334,8 @@ impl Telemetry {
         let mut out = String::with_capacity(1024);
         let _ = write!(
             out,
-            "{{\"bundle\":{{\"content_hash\":\"{:016x}\",\"schema_version\":{}}}",
-            self.bundle_hash, self.schema_version
+            "{{\"bundle\":{{\"content_hash\":\"{:016x}\",\"schema_version\":{},\"load_ns\":{}}}",
+            self.bundle_hash, self.schema_version, self.bundle_load_ns
         );
         let _ = write!(
             out,
@@ -475,7 +484,7 @@ mod tests {
 
     #[test]
     fn records_accumulate_and_render() {
-        let t = Telemetry::new(0xabc, 1, 0, 0, 4);
+        let t = Telemetry::new(0xabc, 1, 0, 0, 0, 4);
         for _ in 0..5 {
             t.record("extract", 200, "200", &timing(1));
         }
@@ -499,6 +508,10 @@ mod tests {
             Some(MetricValue::Counter(6))
         );
         assert_eq!(
+            get("serve.bundle.load_ns", &[]),
+            Some(MetricValue::Gauge(0.0))
+        );
+        assert_eq!(
             get("serve.live.responses", &[("status", "200")]),
             Some(MetricValue::Counter(5))
         );
@@ -516,7 +529,7 @@ mod tests {
 
     #[test]
     fn statusz_is_valid_json_with_expected_fields() {
-        let t = Telemetry::new(0x1234, 1, 0, 10, 4);
+        let t = Telemetry::new(0x1234, 2, 77, 0, 10, 4);
         t.record("extract", 200, "200", &timing(50)); // 50ms > 10ms: slow
         t.record("extract", 200, "200", &timing(0));
         let doc = Json::parse(&t.statusz_json(true)).expect("statusz is JSON");
@@ -530,7 +543,13 @@ mod tests {
             doc.get("bundle")
                 .and_then(|b| b.get("schema_version"))
                 .and_then(Json::as_u64),
-            Some(1)
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("bundle")
+                .and_then(|b| b.get("load_ns"))
+                .and_then(Json::as_u64),
+            Some(77)
         );
         assert_eq!(doc.get("requests").and_then(Json::as_u64), Some(2));
         let slow = doc.get("slow").expect("slow section");
@@ -550,7 +569,7 @@ mod tests {
 
     #[test]
     fn slow_ring_is_bounded_drop_oldest() {
-        let t = Telemetry::new(0, 1, 0, 1, 2);
+        let t = Telemetry::new(0, 1, 0, 0, 1, 2);
         for _ in 0..(SLOW_RING + 10) {
             t.record("extract", 200, "200", &timing(5));
         }
@@ -570,7 +589,7 @@ mod tests {
 
     #[test]
     fn statusz_memory_block_reflects_profiling_state() {
-        let t = Telemetry::new(0, 1, 0, 0, 2);
+        let t = Telemetry::new(0, 1, 0, 0, 0, 2);
         // Unprofiled: RSS fields present (real or null), allocator
         // counters absent.
         let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
@@ -607,7 +626,7 @@ mod tests {
 
     #[test]
     fn in_flight_and_busy_guards_balance() {
-        let t = Telemetry::new(0, 1, 0, 0, 4);
+        let t = Telemetry::new(0, 1, 0, 0, 0, 4);
         {
             let _b = t.worker_busy();
             let _g = t.enter("extract");

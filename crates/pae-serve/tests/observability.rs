@@ -53,6 +53,7 @@ fn start_server(bundle_hash: u64, trace_sample: u64, slow_ms: u64) -> Server {
         bundle_hash,
         trace_sample,
         slow_ms,
+        ..ServerConfig::default()
     };
     Server::start(extractor(), &config).expect("start server")
 }
@@ -325,6 +326,12 @@ fn bundle_identity_and_process_gauges_are_exposed() {
         bundle.get("content_hash").and_then(Json::as_str),
         Some("feedbeefdeadcafe")
     );
+    assert_eq!(
+        bundle.get("schema_version").and_then(Json::as_u64),
+        Some(pae_core::BUNDLE_SCHEMA_VERSION as u64)
+    );
+    // No bundle file behind the test fixture, so load time is 0.
+    assert_eq!(bundle.get("load_ns").and_then(Json::as_u64), Some(0));
 
     let (status, text) = http_request(addr, "GET", "/metrics", "").expect("metrics");
     assert_eq!(status, 200);

@@ -50,6 +50,7 @@ fn start_server() -> Server {
         bundle_hash: 0,
         trace_sample: 0,
         slow_ms: 0,
+        ..ServerConfig::default()
     };
     Server::start(extractor(), &config).expect("start server")
 }

@@ -40,7 +40,13 @@ impl Language {
     /// Builds the tokenizer appropriate for this language.
     pub fn tokenizer(&self, lexicon: &Lexicon) -> Box<dyn Tokenizer> {
         match self {
-            Language::Agglut => Box::new(LatticeTokenizer::new(lexicon.clone())),
+            Language::Agglut => {
+                // Compile the matching automaton on the shared lexicon
+                // first so every tokenizer clone reuses it instead of
+                // rebuilding its own.
+                let _ = lexicon.compiled();
+                Box::new(LatticeTokenizer::new(lexicon.clone()))
+            }
             Language::SpaceDelim => Box::new(WhitespaceTokenizer::new()),
         }
     }

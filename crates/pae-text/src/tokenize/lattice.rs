@@ -36,20 +36,20 @@ impl LatticeTokenizer {
     }
 
     /// Longest lexicon match starting at `chars[i]`, as a char count.
+    ///
+    /// One forward walk of the lexicon automaton — no per-length
+    /// probes. Matched entries are complete UTF-8 strings, so the
+    /// match end always lands on a character boundary and the byte
+    /// length converts to a whole number of chars.
     fn longest_match(&self, chars: &[(usize, char)], text: &str, i: usize) -> Option<usize> {
-        let max = self.lexicon.max_chars().min(chars.len() - i);
-        for len in (1..=max).rev() {
-            let start = chars[i].0;
-            let end = if i + len < chars.len() {
-                chars[i + len].0
-            } else {
-                text.len()
-            };
-            if self.lexicon.contains(&text[start..end]) {
-                return Some(len);
-            }
+        let start = chars[i].0;
+        let (match_bytes, _tag) = self.lexicon.longest_match_at(text, start)?;
+        let end = start + match_bytes;
+        let mut j = i + 1;
+        while j < chars.len() && chars[j].0 < end {
+            j += 1;
         }
-        None
+        Some(j - i)
     }
 }
 

@@ -67,4 +67,53 @@ proptest! {
             prop_assert_eq!(again, vec![s]);
         }
     }
+
+    /// The compiled-automaton lookup path agrees exactly with a plain
+    /// HashMap reference, for both exact lookups and longest-match at
+    /// every byte position of a random text — building and frozen.
+    #[test]
+    fn fst_path_equals_hashmap_reference(
+        words in proptest::collection::vec("[a-c]{1,5}", 0..10),
+        text in "[a-d ]{0,32}",
+        probe in "[a-d]{0,6}",
+    ) {
+        let entries: Vec<(String, PosTag)> = words
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (w, PosTag::ALL[i % PosTag::ALL.len()]))
+            .collect();
+        let reference: std::collections::HashMap<String, PosTag> =
+            entries.iter().cloned().collect();
+        let building = Lexicon::from_entries(entries);
+        let frozen = Lexicon::from_fst(building.compiled().clone());
+
+        for lex in [&building, &frozen] {
+            prop_assert_eq!(lex.tag_of(&probe), reference.get(&probe).copied());
+            for (w, t) in &reference {
+                prop_assert_eq!(lex.tag_of(w), Some(*t));
+            }
+            for pos in 0..=text.len() {
+                let want = reference
+                    .iter()
+                    .filter(|(w, _)| text.as_bytes()[pos..].starts_with(w.as_bytes()))
+                    .max_by_key(|(w, _)| w.len())
+                    .map(|(w, t)| (w.len(), *t));
+                prop_assert_eq!(lex.longest_match_at(&text, pos), want);
+            }
+        }
+        prop_assert_eq!(&building, &frozen);
+    }
+
+    /// Lattice tokenization is identical before/after freezing the
+    /// lexicon — the tokenizer result depends only on the entry set.
+    #[test]
+    fn lattice_tokenization_survives_freezing(
+        lex in lexicon_strategy(),
+        text in "[a-z0-9.,% ]{0,48}",
+    ) {
+        let frozen = Lexicon::from_fst(lex.compiled().clone());
+        let a = LatticeTokenizer::new(lex).tokenize(&text);
+        let b = LatticeTokenizer::new(frozen).tokenize(&text);
+        prop_assert_eq!(a, b);
+    }
 }

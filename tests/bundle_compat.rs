@@ -1,0 +1,158 @@
+//! Bundle compatibility and zero-copy equivalence, over the committed
+//! smoke fixtures under `crates/pae-bench/benches/data/`: the same
+//! frozen model written in schema v1 (eager) and schema v2 (zero-copy)
+//! by `pae-bench freeze --schema 1|2` with MASTER_SEED=42.
+//!
+//! Three guarantees:
+//!
+//! 1. **Backward compat** — schema-v1 bundles written before the
+//!    compaction still load (legacy eager path) and decode to the same
+//!    model as the v2 encoding.
+//! 2. **Zero-copy equivalence** — the borrowed-arena extractor is
+//!    byte-identical to the eager-rehydrated one, at `PAE_JOBS=1` and
+//!    `4`.
+//! 3. **Serve-vs-direct** — an HTTP server answering from the
+//!    zero-copy extractor returns exactly the triples direct in-process
+//!    extraction produces.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use pae::core::frozen::FrozenExtractor;
+use pae::core::{LoadedBundle, Triple, BUNDLE_SCHEMA_VERSION};
+use pae::runtime::with_jobs;
+use pae::serve::{http_request, parse_extract_response, Server, ServerConfig};
+use pae::synth::{CategoryKind, DatasetSpec};
+
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/pae-bench/benches/data"
+    ))
+    .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Pages matching the fixtures' training category (the extractor is a
+/// model, not a parser — any page set works, but in-domain pages
+/// exercise the lexicon/veto arenas for real).
+fn fixture_pages() -> Vec<(u32, String)> {
+    DatasetSpec::new(CategoryKind::VacuumCleaner, 42)
+        .products(60)
+        .generate()
+        .pages
+        .iter()
+        .take(20)
+        .map(|p| (p.id, p.html.clone()))
+        .collect()
+}
+
+#[test]
+fn v1_fixture_loads_through_the_legacy_path() {
+    let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
+    assert_eq!(v1.schema_version(), 1, "fixture must be schema v1");
+    let model = v1.model().expect("v1 model materializes");
+    assert!(!model.attrs.is_empty());
+    let extractor = v1.extractor().expect("v1 extractor rehydrates");
+    assert_eq!(extractor.attrs().len(), model.attrs.len());
+}
+
+#[test]
+fn v1_and_v2_fixtures_hold_the_same_model() {
+    let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
+    let v2 = LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
+    assert_eq!(v2.schema_version(), BUNDLE_SCHEMA_VERSION);
+    assert_eq!(
+        v1.model().expect("v1 model"),
+        v2.model().expect("v2 model"),
+        "schema migration changed the model"
+    );
+}
+
+/// Re-encoding the model materialized from a legacy bundle must
+/// reproduce the v2 fixture bit for bit: the migration path
+/// (load v1 → encode) is deterministic and canonical.
+#[test]
+fn reencoding_a_v1_model_is_byte_identical_to_the_v2_fixture() {
+    let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
+    let model = v1.model().expect("v1 model");
+    assert_eq!(
+        pae::core::bundle::encode(&model),
+        fixture_bytes("smoke_v2.paeb"),
+        "encode(model_from_v1) != committed v2 bytes"
+    );
+}
+
+fn extract_at(extractor: &FrozenExtractor, pages: &[(u32, String)], jobs: usize) -> Vec<Triple> {
+    with_jobs(jobs, || extractor.extract_pages(pages))
+}
+
+/// The tentpole correctness bar: the zero-copy extractor (arenas
+/// borrowed from the loaded v2 bytes) extracts byte-identical triples
+/// to the eager path, and both are thread-count invariant.
+#[test]
+fn zero_copy_extraction_matches_eager_at_any_job_count() {
+    let bytes: Arc<[u8]> = fixture_bytes("smoke_v2.paeb").into();
+    let loaded = LoadedBundle::from_shared(bytes).expect("v2 loads");
+    let zero_copy = loaded.extractor().expect("zero-copy extractor");
+    let eager = loaded
+        .model()
+        .expect("materialize")
+        .extractor()
+        .expect("eager extractor");
+    let pages = fixture_pages();
+
+    let reference = extract_at(&eager, &pages, 1);
+    assert!(!reference.is_empty(), "fixture extracts nothing");
+    for jobs in [1usize, 4] {
+        assert_eq!(
+            extract_at(&zero_copy, &pages, jobs),
+            reference,
+            "PAE_JOBS={jobs}: zero-copy diverged from eager"
+        );
+        assert_eq!(
+            extract_at(&eager, &pages, jobs),
+            reference,
+            "PAE_JOBS={jobs}: eager extraction is thread-count dependent"
+        );
+    }
+}
+
+/// Serving from the zero-copy extractor returns exactly what direct
+/// in-process extraction produces, at both pool widths.
+#[test]
+fn serve_from_v2_bundle_matches_direct_extraction() {
+    let loaded =
+        LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
+    let pages = fixture_pages();
+    let direct = loaded.extractor().expect("extractor");
+    let at_one = extract_at(&direct, &pages, 1);
+    let at_four = extract_at(&direct, &pages, 4);
+    assert_eq!(at_one, at_four, "direct extraction depends on PAE_JOBS");
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        bundle_hash: loaded.content_hash(),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(loaded.extractor().expect("extractor"), &config).expect("start server");
+
+    let mut body = String::from("{\"pages\":[");
+    for (i, (product, html)) in pages.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("{{\"product\":{product},\"html\":"));
+        pae::obs::json::write_str(&mut body, html);
+        body.push('}');
+    }
+    body.push_str("]}");
+    let (status, response) =
+        http_request(server.addr(), "POST", "/extract", &body).expect("batch extract");
+    assert_eq!(status, 200, "{response}");
+    let served = parse_extract_response(&response).expect("parse");
+    assert_eq!(served, at_one, "served triples diverged from direct");
+    server.shutdown();
+}
