@@ -44,7 +44,7 @@ fn bench_bundle_load(c: &mut Criterion) {
     // meaningless otherwise.
     let eager = pae_core::bundle::decode(&v1).expect("v1 fixture decodes");
     let loaded = LoadedBundle::from_shared(v2.clone()).expect("v2 fixture loads");
-    assert_eq!(loaded.schema_version(), pae_core::BUNDLE_SCHEMA_VERSION);
+    assert_eq!(loaded.schema_version(), pae_core::BUNDLE_SCHEMA_V2);
     assert_eq!(eager, loaded.model().expect("v2 rehydrates"));
 
     let mut group = c.benchmark_group("bundle_load");

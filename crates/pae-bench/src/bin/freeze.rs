@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! freeze <out.paeb> [--kind vacuum|garden|bags] [--products N]
-//!        [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2]
+//!        [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2|3]
 //!        [--force]
 //! ```
 //!
-//! `--schema 1` writes the legacy eager-deserialize format (for
+//! `--schema 1` writes the legacy eager-deserialize format and
+//! `--schema 2` the zero-copy layout without reference stats (both for
 //! backward-compat fixtures); the default is the current zero-copy
-//! schema.
+//! schema with the freeze-time reference-stats section.
 //!
 //! Runs the bootstrap loop on the synthetic category (MASTER_SEED=42,
 //! so the bundle is reproducible bit for bit), freezes the outcome
@@ -30,7 +31,7 @@ use pae_synth::{CategoryKind, DatasetSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: freeze <out.paeb> [--kind vacuum|garden|bags] [--products N] \
-         [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2] [--force]"
+         [--iterations N] [--tagger crf|rnn|ensemble] [--schema 1|2|3] [--force]"
     );
     ExitCode::from(2)
 }
@@ -72,7 +73,8 @@ fn main() -> ExitCode {
             },
             "--schema" => match it.next().map(String::as_str) {
                 Some("1") => schema = pae_core::BUNDLE_SCHEMA_V1,
-                Some("2") => schema = pae_core::BUNDLE_SCHEMA_VERSION,
+                Some("2") => schema = pae_core::BUNDLE_SCHEMA_V2,
+                Some("3") => schema = pae_core::BUNDLE_SCHEMA_VERSION,
                 _ => return usage(),
             },
             _ if out.is_none() && !arg.starts_with('-') => out = Some(arg.clone()),
@@ -117,6 +119,8 @@ fn main() -> ExitCode {
     }
     let bytes = if schema == pae_core::BUNDLE_SCHEMA_V1 {
         pae_core::bundle::encode_v1(&model)
+    } else if schema == pae_core::BUNDLE_SCHEMA_V2 {
+        pae_core::bundle::encode_v2(&model)
     } else {
         pae_core::bundle::encode(&model)
     };

@@ -4,7 +4,7 @@
 //! ```text
 //! serve <bundle.paeb> [--requests N] [--rate R] [--clients N]
 //!       [--server-workers N] [--batch B] [--kind vacuum|garden|bags]
-//!       [--products N] [--ledger DIR]
+//!       [--products N] [--skew] [--ledger DIR]
 //! ```
 //!
 //! Starts an in-process [`pae_serve::Server`] over real TCP from the
@@ -28,6 +28,18 @@
 //! so it must never *exceed* the client view by more than the slack).
 //! Server-side p50/p99 are merged as `serve/server_p50` and
 //! `serve/server_p99`.
+//!
+//! The run also gates the server's *field quality* view: `/qualityz`
+//! is read after the load and its 5m window is replayed into the
+//! trace as `quality.online` / `quality.online.attr` events, so the
+//! `--ledger` summary grows a `quality_online` section for
+//! `pae-report check`. With the default in-distribution traffic the
+//! server must report `quality: ok`; with `--skew` the page mix is
+//! restricted to the quarter of the corpus with the longest truth
+//! values — a deliberate value-length distribution shift — and the
+//! run asserts the drift telemetry actually fires (`quality:
+//! degraded`, some attribute PSI above the threshold). `--skew`
+//! requires a schema-v3 bundle with embedded reference stats.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -44,7 +56,7 @@ use pae_synth::{CategoryKind, DatasetSpec};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve <bundle.paeb> [--requests N] [--rate R] [--clients N] \
-         [--server-workers N] [--batch B] [--kind vacuum|garden|bags] [--products N]"
+         [--server-workers N] [--batch B] [--kind vacuum|garden|bags] [--products N] [--skew]"
     );
     ExitCode::from(2)
 }
@@ -74,6 +86,76 @@ fn sample_value(samples: &[Sample], name: &str, label: Option<(&str, &str)>) -> 
         .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
         .map(|s| s.value)
         .unwrap_or(0.0)
+}
+
+/// One attribute's row from `/qualityz`.
+struct OnlineAttrRow {
+    attribute: String,
+    triples: u64,
+    rate: f64,
+    /// `None` when the server had no reference or the window was
+    /// under-sampled.
+    drift: Option<f64>,
+}
+
+/// The server's field-quality verdict from `GET /qualityz` (5m
+/// window: the whole run fits in it).
+struct OnlineQuality {
+    flag: String,
+    drift_threshold: f64,
+    pages: u64,
+    empty_pages: u64,
+    empty_rate: f64,
+    oov_rate: f64,
+    attrs: Vec<OnlineAttrRow>,
+}
+
+fn read_qualityz(addr: std::net::SocketAddr) -> Result<OnlineQuality, String> {
+    let (status, body) =
+        http_request(addr, "GET", "/qualityz", "").map_err(|e| format!("qualityz: {e}"))?;
+    if status != 200 {
+        return Err(format!("/qualityz returned {status}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("/qualityz not JSON: {e}"))?;
+    let flag = doc
+        .get("quality")
+        .and_then(Json::as_str)
+        .ok_or("/qualityz has no quality flag")?
+        .to_owned();
+    let drift_threshold = doc
+        .get("thresholds")
+        .and_then(|t| t.get("drift"))
+        .and_then(Json::as_f64)
+        .ok_or("/qualityz has no thresholds.drift")?;
+    let five = doc
+        .get("windows")
+        .and_then(|w| w.get("5m"))
+        .ok_or("/qualityz has no windows.5m")?;
+    let num = |k: &str| {
+        five.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("5m window missing {k}"))
+    };
+    let mut attrs = Vec::new();
+    if let Some(Json::Obj(m)) = five.get("attrs") {
+        for (attribute, a) in m {
+            attrs.push(OnlineAttrRow {
+                attribute: attribute.clone(),
+                triples: a.get("triples").and_then(Json::as_u64).unwrap_or(0),
+                rate: a.get("rate").and_then(Json::as_f64).unwrap_or(0.0),
+                drift: a.get("drift").and_then(Json::as_f64),
+            });
+        }
+    }
+    Ok(OnlineQuality {
+        flag,
+        drift_threshold,
+        pages: num("pages")? as u64,
+        empty_pages: num("empty_pages")? as u64,
+        empty_rate: num("empty_rate")?,
+        oov_rate: num("oov_rate")?,
+        attrs,
+    })
 }
 
 /// The server-side windowed quantiles for the extract route from
@@ -112,6 +194,7 @@ fn main() -> ExitCode {
     let mut batch = 1usize;
     let mut kind = CategoryKind::VacuumCleaner;
     let mut products = 120usize;
+    let mut skew = false;
     let mut it = cli.args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -145,6 +228,7 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => products = n,
                 _ => return usage(),
             },
+            "--skew" => skew = true,
             _ if bundle.is_none() && !arg.starts_with('-') => bundle = Some(arg.clone()),
             _ => return usage(),
         }
@@ -168,6 +252,21 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    let reference = match loaded.reference() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: cannot decode reference stats: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if skew && reference.is_none() {
+        eprintln!(
+            "serve: --skew asserts drift telemetry fires, which needs a bundle with \
+             embedded reference stats (schema v3); this bundle is schema v{}",
+            loaded.schema_version()
+        );
+        return ExitCode::from(1);
+    }
     let server = match Server::start(
         extractor,
         &ServerConfig {
@@ -176,6 +275,7 @@ fn main() -> ExitCode {
             bundle_hash: loaded.content_hash(),
             bundle_schema: loaded.schema_version(),
             bundle_load_ns: load_start.elapsed().as_nanos() as u64,
+            reference,
             ..ServerConfig::default()
         },
     ) {
@@ -188,13 +288,38 @@ fn main() -> ExitCode {
     let addr = server.addr();
 
     // Pre-render request bodies: cycle the synthetic pages so the mix
-    // is stable across runs.
+    // is stable across runs. With --skew the mix is restricted to the
+    // quarter of the corpus whose ground-truth values are longest
+    // (deterministic sort: total value chars desc, then id) — live
+    // value-length distributions shift up and the per-attribute PSI
+    // against the freeze-time reference must fire.
     let dataset = DatasetSpec::new(kind, 42).products(products).generate();
+    let traffic: Vec<&pae_synth::ProductPage> = if skew {
+        let truth_chars = |id: u32| -> usize {
+            dataset
+                .truth
+                .product_triples
+                .get(&id)
+                .map(|attrs| {
+                    attrs
+                        .values()
+                        .flat_map(|vs| vs.iter().map(|v| v.chars().count()))
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
+        let mut ranked: Vec<&pae_synth::ProductPage> = dataset.pages.iter().collect();
+        ranked.sort_by_key(|p| (std::cmp::Reverse(truth_chars(p.id)), p.id));
+        ranked.truncate(dataset.pages.len().div_ceil(4));
+        ranked
+    } else {
+        dataset.pages.iter().collect()
+    };
     let bodies: Vec<String> = (0..requests)
         .map(|i| {
             let mut body = String::from("{\"pages\":[");
             for j in 0..batch {
-                let page = &dataset.pages[(i * batch + j) % dataset.pages.len()];
+                let page = traffic[(i * batch + j) % traffic.len()];
                 if j > 0 {
                     body.push(',');
                 }
@@ -270,6 +395,7 @@ fn main() -> ExitCode {
         }
     };
     let server_view = statusz_extract_quantiles(addr);
+    let quality_view = read_qualityz(addr);
     server.shutdown();
 
     let n_errors = errors.load(Ordering::Relaxed);
@@ -363,6 +489,86 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(1);
         }
+    }
+
+    // Field quality: print the server's verdict, replay it into the
+    // trace (so the ledger summary grows a quality_online section),
+    // and gate it. In-distribution traffic must score healthy; --skew
+    // deliberately shifts the value-length mix and must fire drift.
+    let quality = match quality_view {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let degraded = quality.flag == "degraded";
+    println!(
+        "quality: {} (5m window: {} pages, empty_rate {:.4}, oov_rate {:.4})",
+        quality.flag, quality.pages, quality.empty_rate, quality.oov_rate
+    );
+    let max_drift = quality
+        .attrs
+        .iter()
+        .filter_map(|a| a.drift.map(|d| (a.attribute.as_str(), d)))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    match max_drift {
+        Some((attribute, drift)) => println!(
+            "quality: max attr drift {drift:.4} ({attribute}), threshold {:.2}",
+            quality.drift_threshold
+        ),
+        None => println!("quality: no attribute drift scored (no reference or under-sampled)"),
+    }
+    pae_obs::event(
+        "quality.online",
+        vec![
+            ("pages".into(), pae_obs::FieldValue::U64(quality.pages)),
+            (
+                "empty_pages".into(),
+                pae_obs::FieldValue::U64(quality.empty_pages),
+            ),
+            (
+                "empty_rate".into(),
+                pae_obs::FieldValue::F64(quality.empty_rate),
+            ),
+            (
+                "oov_rate".into(),
+                pae_obs::FieldValue::F64(quality.oov_rate),
+            ),
+            (
+                "degraded".into(),
+                pae_obs::FieldValue::U64(u64::from(degraded)),
+            ),
+        ],
+    );
+    for a in &quality.attrs {
+        let mut fields = vec![
+            (
+                "attribute".into(),
+                pae_obs::FieldValue::Str(a.attribute.clone()),
+            ),
+            ("triples".into(), pae_obs::FieldValue::U64(a.triples)),
+            ("rate".into(), pae_obs::FieldValue::F64(a.rate)),
+        ];
+        if let Some(d) = a.drift {
+            fields.push(("drift".into(), pae_obs::FieldValue::F64(d)));
+        }
+        pae_obs::event("quality.online.attr", fields);
+    }
+    if skew {
+        let fired = max_drift.is_some_and(|(_, d)| d > quality.drift_threshold);
+        if !degraded || !fired {
+            eprintln!(
+                "serve: --skew shifted the traffic mix but drift telemetry did not fire \
+                 (quality {}, max drift {:?})",
+                quality.flag,
+                max_drift.map(|(_, d)| d)
+            );
+            return ExitCode::from(1);
+        }
+    } else if degraded {
+        eprintln!("serve: in-distribution traffic was flagged degraded");
+        return ExitCode::from(1);
     }
 
     let samples = latencies.len() as u64;

@@ -1,14 +1,22 @@
 //! Versioned on-disk form of a [`FrozenModel`]: one self-describing,
 //! byte-deterministic artifact.
 //!
-//! Schema v2 layout (all integers little-endian):
+//! Schema v3 layout (all integers little-endian):
 //!
 //! ```text
-//! magic "PAEB" | schema_version u32 (=2) | content_hash u64 | n_sections u32
-//! [ id u32 | reserved u32 | payload offset u64 | len u64 | fnv1a_words(section) u64 ] * 6
+//! magic "PAEB" | schema_version u32 (=3) | content_hash u64 | n_sections u32
+//! [ id u32 | reserved u32 | payload offset u64 | len u64 | fnv1a_words(section) u64 ] * 7
 //! pad to 8-byte boundary
 //! payload: sections at 8-byte-aligned offsets, zero-padded between
 //! ```
+//!
+//! v3 is v2 plus one trailing section (id 7): the freeze-time
+//! [`ReferenceStats`] the serving quality monitor scores live traffic
+//! against. The section body starts with a presence flag (like the
+//! semantic section), so a model without reference stats still encodes
+//! deterministically; v2 bundles (6 sections) still load, reporting
+//! [`LoadedBundle::reference`] as `None` — "no-reference" serving mode.
+//! [`encode_v2`] is kept as a writer for compatibility fixtures.
 //!
 //! v2 stores the string dictionaries — segmentation/PoS lexicon, CRF
 //! feature vocabulary, veto blocklist — as flat [`pae_fst`] double-array
@@ -33,7 +41,7 @@
 //!
 //! Section inventory (ids are stable; adding a section bumps the
 //! schema version): 1 meta, 2 attrs, 3 lexicon, 4 tagger, 5 veto
-//! blocklist, 6 semantic freeze.
+//! blocklist, 6 semantic freeze, 7 reference stats (v3+).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -47,18 +55,22 @@ use crate::frozen::{
     assemble_extractor, blocklist_key, crf_tagger_from_parts, Blocklist, ConfigEcho,
     ExtractBackend, FrozenExtractor, FrozenModel, FrozenTagger,
 };
+use crate::quality::{AttrReference, BackendReference, ReferenceStats, CONF_BUCKETS, LEN_BUCKETS};
 use crate::tagger::TrainedTagger;
 
 /// Leading magic bytes of every bundle.
 pub const BUNDLE_MAGIC: [u8; 4] = *b"PAEB";
-/// Current bundle schema version (flat FST arenas, zero-copy load).
-pub const BUNDLE_SCHEMA_VERSION: u32 = 2;
+/// Current bundle schema version (v2 + the reference-stats section).
+pub const BUNDLE_SCHEMA_VERSION: u32 = 3;
+/// The previous tabled schema (no reference-stats section); still read,
+/// and still written by [`encode_v2`] for compatibility fixtures.
+pub const BUNDLE_SCHEMA_V2: u32 = 2;
 /// The legacy eager-deserialize schema this build still reads.
 pub const BUNDLE_SCHEMA_V1: u32 = 1;
 
-/// Fixed header size shared by both schemas.
+/// Fixed header size shared by all schemas.
 const HEADER_BYTES: usize = 20;
-/// v2 section-table entry: id u32 | reserved u32 | offset u64 | len u64 | hash u64.
+/// Tabled (v2+) section-table entry: id u32 | reserved u32 | offset u64 | len u64 | hash u64.
 const V2_ENTRY_BYTES: usize = 32;
 
 const SEC_META: u32 = 1;
@@ -67,7 +79,19 @@ const SEC_LEXICON: u32 = 3;
 const SEC_TAGGER: u32 = 4;
 const SEC_VETO: u32 = 5;
 const SEC_SEMANTIC: u32 = 6;
-const SECTION_IDS: [u32; 6] = [
+const SEC_REFERENCE: u32 = 7;
+/// Section inventory of the current (v3) schema.
+const SECTION_IDS: [u32; 7] = [
+    SEC_META,
+    SEC_ATTRS,
+    SEC_LEXICON,
+    SEC_TAGGER,
+    SEC_VETO,
+    SEC_SEMANTIC,
+    SEC_REFERENCE,
+];
+/// Section inventory of schema v2 (everything but reference stats).
+const V2_SECTION_IDS: [u32; 6] = [
     SEC_META,
     SEC_ATTRS,
     SEC_LEXICON,
@@ -76,9 +100,10 @@ const SECTION_IDS: [u32; 6] = [
     SEC_SEMANTIC,
 ];
 
-/// First payload byte: header + v2 table, rounded up to 8.
-const fn v2_payload_start() -> usize {
-    (HEADER_BYTES + SECTION_IDS.len() * V2_ENTRY_BYTES + 7) & !7
+/// First payload byte of a tabled bundle: header + table, rounded up
+/// to 8.
+const fn payload_start(n_sections: usize) -> usize {
+    (HEADER_BYTES + n_sections * V2_ENTRY_BYTES + 7) & !7
 }
 
 /// Why a bundle could not be read (or written).
@@ -86,8 +111,8 @@ const fn v2_payload_start() -> usize {
 pub enum BundleError {
     /// The file does not start with [`BUNDLE_MAGIC`].
     BadMagic,
-    /// The schema version is neither [`BUNDLE_SCHEMA_VERSION`] nor
-    /// [`BUNDLE_SCHEMA_V1`].
+    /// The schema version is none of [`BUNDLE_SCHEMA_VERSION`],
+    /// [`BUNDLE_SCHEMA_V2`], or [`BUNDLE_SCHEMA_V1`].
     UnsupportedVersion {
         /// Version found in the header.
         found: u32,
@@ -117,7 +142,7 @@ impl std::fmt::Display for BundleError {
             BundleError::UnsupportedVersion { found } => write!(
                 f,
                 "unsupported bundle schema version {found} (this build reads \
-                 versions {BUNDLE_SCHEMA_V1} and {BUNDLE_SCHEMA_VERSION})"
+                 versions {BUNDLE_SCHEMA_V1} through {BUNDLE_SCHEMA_VERSION})"
             ),
             BundleError::HashMismatch { expected, actual } => write!(
                 f,
@@ -208,9 +233,16 @@ fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
     }
 }
 
+fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
 /// Zero-pads `out` to the next 8-byte boundary.
 fn pad8(out: &mut Vec<u8>) {
-    while out.len() % 8 != 0 {
+    while !out.len().is_multiple_of(8) {
         out.push(0);
     }
 }
@@ -292,6 +324,15 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    fn u64s(&mut self, what: &str) -> Result<Vec<u64>, BundleError> {
+        let n = self.len(8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64(what)?);
+        }
+        Ok(out)
+    }
+
     fn string(&mut self, what: &str) -> Result<String, BundleError> {
         let n = self.len(1, what)?;
         let bytes = self.take(n, what)?;
@@ -352,9 +393,9 @@ impl<'a> ArcReader<'a> {
     /// loading CRF parameters: one bounds check, then `chunks_exact`).
     fn f64s(&mut self, what: &str) -> Result<Vec<f64>, BundleError> {
         let n = self.u64(what)? as usize;
-        let need = n.checked_mul(8).ok_or_else(|| {
-            BundleError::Malformed(format!("{what}: element count overflows"))
-        })?;
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| BundleError::Malformed(format!("{what}: element count overflows")))?;
         let raw = self.take(need, what)?;
         Ok(raw
             .chunks_exact(8)
@@ -570,6 +611,115 @@ fn decode_semantic_section(buf: &[u8]) -> Result<Option<SemanticFreeze>, BundleE
     };
     r.finish("semantic section")?;
     Ok(semantic)
+}
+
+/// Reference-stats section (id 7, v3+): a presence flag, then the
+/// freeze-time corpus counters. Integer-only, so encoding is trivially
+/// byte-deterministic; per-attribute rates are derived at read time
+/// from `triples` and `pages`, never stored as floats.
+fn encode_reference(m: &FrozenModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    let Some(r) = &m.reference else {
+        out.push(0);
+        return out;
+    };
+    out.push(1);
+    put_u64(&mut out, r.pages);
+    put_u64(&mut out, r.empty_pages);
+    put_u64(&mut out, r.total_triples);
+    put_u64(&mut out, r.tokens);
+    put_u64(&mut out, r.oov_tokens);
+    put_u64(&mut out, r.backends.len() as u64);
+    for b in &r.backends {
+        put_str(&mut out, &b.backend);
+        put_u64s(&mut out, &b.confidence);
+    }
+    put_u64(&mut out, r.attrs.len() as u64);
+    for a in &r.attrs {
+        put_str(&mut out, &a.attribute);
+        put_u64(&mut out, a.triples);
+        put_u64(&mut out, a.top_values.len() as u64);
+        for (value, count) in &a.top_values {
+            put_str(&mut out, value);
+            put_u64(&mut out, *count);
+        }
+        put_u64s(&mut out, &a.value_len);
+    }
+    out
+}
+
+fn decode_reference_section(buf: &[u8]) -> Result<Option<ReferenceStats>, BundleError> {
+    let mut r = Reader::new(buf);
+    let stats = match r.u8("reference presence flag")? {
+        0 => None,
+        1 => {
+            let pages = r.u64("reference pages")?;
+            let empty_pages = r.u64("reference empty pages")?;
+            let total_triples = r.u64("reference triple count")?;
+            let tokens = r.u64("reference token count")?;
+            let oov_tokens = r.u64("reference oov count")?;
+            let n_backends = r.len(16, "reference backend count")?;
+            let mut backends = Vec::with_capacity(n_backends);
+            for _ in 0..n_backends {
+                let backend = r.string("reference backend name")?;
+                let confidence = r.u64s("confidence histogram")?;
+                if confidence.len() != CONF_BUCKETS {
+                    return Err(BundleError::Malformed(format!(
+                        "confidence histogram for {backend:?} has {} buckets, \
+                         expected {CONF_BUCKETS}",
+                        confidence.len()
+                    )));
+                }
+                backends.push(BackendReference {
+                    backend,
+                    confidence,
+                });
+            }
+            let n_attrs = r.len(24, "reference attr count")?;
+            let mut attrs = Vec::with_capacity(n_attrs);
+            for _ in 0..n_attrs {
+                let attribute = r.string("reference attr name")?;
+                let triples = r.u64("reference attr triples")?;
+                let n_top = r.len(16, "reference top-value count")?;
+                let mut top_values = Vec::with_capacity(n_top);
+                for _ in 0..n_top {
+                    let value = r.string("reference top value")?;
+                    let count = r.u64("reference top count")?;
+                    top_values.push((value, count));
+                }
+                let value_len = r.u64s("value-length histogram")?;
+                if value_len.len() != LEN_BUCKETS {
+                    return Err(BundleError::Malformed(format!(
+                        "value-length histogram for {attribute:?} has {} buckets, \
+                         expected {LEN_BUCKETS}",
+                        value_len.len()
+                    )));
+                }
+                attrs.push(AttrReference {
+                    attribute,
+                    triples,
+                    top_values,
+                    value_len,
+                });
+            }
+            Some(ReferenceStats {
+                pages,
+                empty_pages,
+                total_triples,
+                tokens,
+                oov_tokens,
+                backends,
+                attrs,
+            })
+        }
+        other => {
+            return Err(BundleError::Malformed(format!(
+                "invalid reference presence flag {other}"
+            )))
+        }
+    };
+    r.finish("reference section")?;
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------
@@ -870,9 +1020,8 @@ impl TaggerParts {
                 let mut feature_names = vec![String::new(); n];
                 let mut seen = vec![false; n];
                 for (key, id) in names.iter() {
-                    let name = String::from_utf8(key).map_err(|_| {
-                        BundleError::Malformed("non-UTF-8 feature name".to_owned())
-                    })?;
+                    let name = String::from_utf8(key)
+                        .map_err(|_| BundleError::Malformed("non-UTF-8 feature name".to_owned()))?;
                     let id = id as usize;
                     if id >= n || seen[id] {
                         return Err(BundleError::Malformed(format!(
@@ -904,23 +1053,27 @@ impl TaggerParts {
 // ---------------------------------------------------------------------
 // Whole-bundle encode.
 
-/// Serializes a frozen model into schema-v2 bundle bytes.
-/// Deterministic: equal models produce byte-identical bundles.
-pub fn encode(model: &FrozenModel) -> Vec<u8> {
+/// The six sections shared by every tabled schema, in section-id
+/// order.
+fn common_sections(model: &FrozenModel) -> [(u32, Vec<u8>); 6] {
     let mut tagger = Vec::new();
     encode_tagger_v2_into(&mut tagger, &model.tagger);
-    let sections: [(u32, Vec<u8>); 6] = [
+    [
         (SEC_META, encode_meta(model)),
         (SEC_ATTRS, encode_attrs(model)),
         (SEC_LEXICON, encode_lexicon_v2(model)),
         (SEC_TAGGER, tagger),
         (SEC_VETO, encode_veto_v2(model)),
         (SEC_SEMANTIC, encode_semantic(model)),
-    ];
-    let payload_start = v2_payload_start();
+    ]
+}
+
+/// Assembles a tabled (v2+) bundle from already-encoded sections.
+fn encode_tabled(schema: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let payload_start = payload_start(sections.len());
     let mut payload = Vec::new();
-    let mut table_bytes = Vec::with_capacity(SECTION_IDS.len() * V2_ENTRY_BYTES);
-    for (id, bytes) in &sections {
+    let mut table_bytes = Vec::with_capacity(sections.len() * V2_ENTRY_BYTES);
+    for (id, bytes) in sections {
         pad8(&mut payload);
         put_u32(&mut table_bytes, *id);
         put_u32(&mut table_bytes, 0); // reserved
@@ -931,13 +1084,30 @@ pub fn encode(model: &FrozenModel) -> Vec<u8> {
     }
     let mut out = Vec::with_capacity(payload_start + payload.len());
     out.extend_from_slice(&BUNDLE_MAGIC);
-    put_u32(&mut out, BUNDLE_SCHEMA_VERSION);
+    put_u32(&mut out, schema);
     put_u64(&mut out, fnv1a(&table_bytes));
-    put_u32(&mut out, SECTION_IDS.len() as u32);
+    put_u32(&mut out, sections.len() as u32);
     out.extend_from_slice(&table_bytes);
     out.resize(payload_start, 0);
     out.extend_from_slice(&payload);
     out
+}
+
+/// Serializes a frozen model into schema-v3 bundle bytes.
+/// Deterministic: equal models produce byte-identical bundles.
+pub fn encode(model: &FrozenModel) -> Vec<u8> {
+    let common = common_sections(model);
+    let mut sections: Vec<(u32, Vec<u8>)> = common.into_iter().collect();
+    sections.push((SEC_REFERENCE, encode_reference(model)));
+    encode_tabled(BUNDLE_SCHEMA_VERSION, &sections)
+}
+
+/// Serializes a frozen model into schema-v2 bundle bytes (no
+/// reference-stats section — [`ReferenceStats`] is dropped). Kept as a
+/// writer so compatibility fixtures and migration tests can produce
+/// previous-format bundles from current models.
+pub fn encode_v2(model: &FrozenModel) -> Vec<u8> {
+    encode_tabled(BUNDLE_SCHEMA_V2, &common_sections(model))
 }
 
 /// Serializes a frozen model into legacy schema-v1 bundle bytes. Kept
@@ -988,14 +1158,14 @@ fn decode_v1(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
     }
     let declared_hash = r.u64("content hash")?;
     let n_sections = r.u32("section count")? as usize;
-    if n_sections != SECTION_IDS.len() {
+    if n_sections != V2_SECTION_IDS.len() {
         return Err(BundleError::Malformed(format!(
             "expected {} sections, header declares {n_sections}",
-            SECTION_IDS.len()
+            V2_SECTION_IDS.len()
         )));
     }
     let mut table = Vec::with_capacity(n_sections);
-    for (i, &want) in SECTION_IDS.iter().enumerate() {
+    for (i, &want) in V2_SECTION_IDS.iter().enumerate() {
         let id = r.u32("section id")?;
         let offset = r.u64("section offset")?;
         let len = r.u64("section length")?;
@@ -1084,6 +1254,7 @@ fn decode_v1(bytes: &[u8]) -> Result<FrozenModel, BundleError> {
         max_value_chars,
         veto_blocklist,
         semantic,
+        reference: None,
         config,
     })
 }
@@ -1106,8 +1277,9 @@ pub struct LoadedBundle {
     schema: u32,
     content_hash: u64,
     /// Absolute `(start, len)` per section, in [`SECTION_IDS`] order
-    /// (unused for v1).
-    sections: [(usize, usize); 6],
+    /// (the trailing reference entry stays `(0, 0)` for v2; unused for
+    /// v1).
+    sections: [(usize, usize); 7],
     /// The eagerly decoded model for legacy v1 bundles.
     legacy: Option<FrozenModel>,
 }
@@ -1115,8 +1287,8 @@ pub struct LoadedBundle {
 impl LoadedBundle {
     /// Reads and validates a bundle file.
     pub fn open(path: &Path) -> Result<LoadedBundle, BundleError> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| BundleError::Io(format!("{}: {e}", path.display())))?;
         Self::from_bytes(bytes)
     }
 
@@ -1141,20 +1313,25 @@ impl LoadedBundle {
                     bytes,
                     schema: BUNDLE_SCHEMA_V1,
                     content_hash,
-                    sections: [(0, 0); 6],
+                    sections: [(0, 0); 7],
                     legacy: Some(legacy),
                 })
             }
-            BUNDLE_SCHEMA_VERSION => {
+            BUNDLE_SCHEMA_V2 | BUNDLE_SCHEMA_VERSION => {
+                let ids: &[u32] = if version == BUNDLE_SCHEMA_V2 {
+                    &V2_SECTION_IDS
+                } else {
+                    &SECTION_IDS
+                };
                 let declared = r.u64("content hash")?;
                 let n_sections = r.u32("section count")? as usize;
-                if n_sections != SECTION_IDS.len() {
+                if n_sections != ids.len() {
                     return Err(BundleError::Malformed(format!(
                         "expected {} sections, header declares {n_sections}",
-                        SECTION_IDS.len()
+                        ids.len()
                     )));
                 }
-                let table_bytes = r.take(SECTION_IDS.len() * V2_ENTRY_BYTES, "section table")?;
+                let table_bytes = r.take(ids.len() * V2_ENTRY_BYTES, "section table")?;
                 let actual = fnv1a(table_bytes);
                 if actual != declared {
                     return Err(BundleError::HashMismatch {
@@ -1162,7 +1339,7 @@ impl LoadedBundle {
                         actual,
                     });
                 }
-                let payload_start = v2_payload_start();
+                let payload_start = payload_start(ids.len());
                 if bytes.len() < payload_start {
                     return Err(BundleError::Truncated(format!(
                         "payload starts at {payload_start}, file has {} bytes",
@@ -1170,9 +1347,9 @@ impl LoadedBundle {
                     )));
                 }
                 let mut t = Reader::new(table_bytes);
-                let mut sections = [(0usize, 0usize); 6];
+                let mut sections = [(0usize, 0usize); 7];
                 let mut cursor = 0u64;
-                for (i, &want) in SECTION_IDS.iter().enumerate() {
+                for (i, &want) in ids.iter().enumerate() {
                     let id = t.u32("section id")?;
                     let reserved = t.u32("section reserved")?;
                     let offset = t.u64("section offset")?;
@@ -1188,12 +1365,9 @@ impl LoadedBundle {
                             "section {i} has nonzero reserved field {reserved}"
                         )));
                     }
-                    let aligned = cursor
-                        .checked_add(7)
-                        .ok_or_else(|| {
-                            BundleError::Malformed("section extent overflows".to_owned())
-                        })?
-                        & !7;
+                    let aligned = cursor.checked_add(7).ok_or_else(|| {
+                        BundleError::Malformed("section extent overflows".to_owned())
+                    })? & !7;
                     if offset != aligned {
                         return Err(BundleError::Malformed(format!(
                             "section {i} starts at {offset}, expected {aligned}"
@@ -1237,12 +1411,9 @@ impl LoadedBundle {
                 }
                 Ok(LoadedBundle {
                     bytes,
-                    schema: BUNDLE_SCHEMA_VERSION,
+                    schema: version,
                     content_hash: declared,
-                    sections: [
-                        sections[0], sections[1], sections[2], sections[3], sections[4],
-                        sections[5],
-                    ],
+                    sections,
                     legacy: None,
                 })
             }
@@ -1250,7 +1421,7 @@ impl LoadedBundle {
         }
     }
 
-    /// The bundle's schema version (1 or 2).
+    /// The bundle's schema version (1, 2, or 3).
     pub fn schema_version(&self) -> u32 {
         self.schema
     }
@@ -1340,6 +1511,7 @@ impl LoadedBundle {
         }
         veto_blocklist.sort();
         let semantic = decode_semantic_section(self.section(5))?;
+        let reference = self.reference()?;
         Ok(FrozenModel {
             language,
             lexicon,
@@ -1349,8 +1521,23 @@ impl LoadedBundle {
             max_value_chars,
             veto_blocklist,
             semantic,
+            reference,
             config,
         })
+    }
+
+    /// The freeze-time [`ReferenceStats`], when the bundle carries
+    /// them. `Ok(None)` for v1/v2 bundles (no reference section — the
+    /// quality monitor serves in "no-reference" mode) and for v3
+    /// bundles frozen without stats.
+    pub fn reference(&self) -> Result<Option<ReferenceStats>, BundleError> {
+        if let Some(model) = &self.legacy {
+            return Ok(model.reference.clone());
+        }
+        if self.schema < BUNDLE_SCHEMA_VERSION {
+            return Ok(None);
+        }
+        decode_reference_section(self.section(6))
     }
 }
 
@@ -1371,7 +1558,10 @@ pub fn declared_hash(bytes: &[u8]) -> Result<u64, BundleError> {
         return Err(BundleError::BadMagic);
     }
     let version = r.u32("schema version")?;
-    if version != BUNDLE_SCHEMA_VERSION && version != BUNDLE_SCHEMA_V1 {
+    if !matches!(
+        version,
+        BUNDLE_SCHEMA_V1 | BUNDLE_SCHEMA_V2 | BUNDLE_SCHEMA_VERSION
+    ) {
         return Err(BundleError::UnsupportedVersion { found: version });
     }
     r.u64("content hash")
@@ -1452,11 +1642,59 @@ mod tests {
         // and encoding is deterministic call to call.
         assert_eq!(encode(&restored), bytes);
         assert_eq!(encode(&model), bytes);
-        // The v2 content hash covers the section table.
+        // The tabled content hash covers the section table.
         assert_eq!(
             declared_hash(&bytes).unwrap(),
-            fnv1a(&bytes[HEADER_BYTES..HEADER_BYTES + 6 * V2_ENTRY_BYTES])
+            fnv1a(&bytes[HEADER_BYTES..HEADER_BYTES + 7 * V2_ENTRY_BYTES])
         );
+        // Freeze always embeds reference stats, and they survive the
+        // round trip through the v3 section.
+        assert!(restored.reference.is_some());
+        let loaded = LoadedBundle::from_bytes(bytes).expect("load v3");
+        assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_VERSION);
+        assert_eq!(loaded.reference().expect("reference"), model.reference);
+    }
+
+    #[test]
+    fn v2_writer_drops_reference_and_loads_in_no_reference_mode() {
+        let model = frozen_model(TaggerKind::Crf);
+        assert!(model.reference.is_some(), "freeze computes reference stats");
+        let bytes = encode_v2(&model);
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+        let loaded = LoadedBundle::from_bytes(bytes.clone()).expect("load v2");
+        assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_V2);
+        // No reference section: None, not an empty/zeroed stats block.
+        assert_eq!(loaded.reference().expect("reference"), None);
+        let restored = loaded.model().expect("model");
+        assert_eq!(restored.reference, None);
+        let mut stripped = model.clone();
+        stripped.reference = None;
+        assert_eq!(restored, stripped);
+        // Re-encoding as v2 is byte-deterministic, and re-encoding the
+        // no-reference model as v3 stores an absent-flag section that
+        // still round-trips.
+        assert_eq!(encode_v2(&restored), bytes);
+        let v3 = encode(&restored);
+        let reloaded = LoadedBundle::from_bytes(v3).expect("load v3");
+        assert_eq!(reloaded.reference().expect("reference"), None);
+        assert_eq!(reloaded.model().expect("model"), stripped);
+    }
+
+    #[test]
+    fn corrupt_reference_section_is_a_typed_error() {
+        let model = frozen_model(TaggerKind::Crf);
+        let bytes = encode(&model);
+        // The reference section is the last one; its presence flag is
+        // the first byte after the preceding sections' payload. Flip a
+        // byte inside it: the section hash must catch it.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 3;
+        bad[last] ^= 0x55;
+        let err = match LoadedBundle::from_bytes(bad) {
+            Ok(_) => panic!("corrupt reference section was accepted"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, BundleError::HashMismatch { .. }));
     }
 
     /// The word-folded section hash: sensitive to any single-byte
@@ -1489,15 +1727,20 @@ mod tests {
     #[test]
     fn legacy_v1_round_trips() {
         let model = frozen_model(TaggerKind::Crf);
+        // v1 has no reference section, so the round trip compares
+        // against the model with its reference stats stripped.
+        let mut stripped = model.clone();
+        stripped.reference = None;
         let bytes = encode_v1(&model);
         assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
         let restored = decode(&bytes).expect("decode v1");
-        assert_eq!(model, restored);
+        assert_eq!(stripped, restored);
         // v1 hash covers the payload after the 20-byte table entries.
         assert_eq!(declared_hash(&bytes).unwrap(), fnv1a(&bytes[20 + 6 * 20..]));
         let loaded = LoadedBundle::from_bytes(bytes).expect("load v1");
         assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_V1);
-        assert_eq!(loaded.model().expect("model"), model);
+        assert_eq!(loaded.reference().expect("reference"), None);
+        assert_eq!(loaded.model().expect("model"), stripped);
     }
 
     #[test]

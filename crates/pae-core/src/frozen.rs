@@ -27,6 +27,7 @@ use crate::cleaning::veto::{per_triple_veto, unpopular_blocklist};
 use crate::cleaning::{freeze_semantic, SemanticFreeze};
 use crate::config::{PipelineConfig, TaggerKind};
 use crate::corpus::{Corpus, PosBackend};
+use crate::quality::{PageObservation, ReferenceBuilder, ReferenceStats};
 use crate::tagger::{extract_candidates, TrainedTagger};
 use crate::trainset::{decode_spans, generate_training_set, LabelSpace};
 use crate::types::Triple;
@@ -129,6 +130,10 @@ pub struct FrozenModel {
     /// The semantic cleaner's frozen state (`None` when semantic
     /// cleaning is off or the corpus yielded no word2vec model).
     pub semantic: Option<SemanticFreeze>,
+    /// Freeze-time extraction behavior over the training corpus, the
+    /// baseline the serving quality monitor scores live traffic
+    /// against (`None` for models loaded from pre-v3 bundles).
+    pub reference: Option<ReferenceStats>,
     /// Configuration echo for provenance.
     pub config: ConfigEcho,
 }
@@ -245,7 +250,7 @@ impl FrozenModel {
             None
         };
 
-        Ok(FrozenModel {
+        let mut model = FrozenModel {
             language: dataset.language(),
             lexicon: dataset.lexicon.clone(),
             attrs: space.attrs().to_vec(),
@@ -254,12 +259,15 @@ impl FrozenModel {
             max_value_chars: config.max_value_chars,
             veto_blocklist,
             semantic,
+            reference: None,
             config: ConfigEcho {
                 iterations: config.iterations,
                 seed: config.seed,
                 tagger: tagger_name.to_owned(),
             },
-        })
+        };
+        model.reference = Some(compute_reference(&model, dataset));
+        Ok(model)
     }
 
     /// Rehydrates the frozen model into a ready-to-serve extractor.
@@ -413,6 +421,62 @@ fn decode_sentences(
     out
 }
 
+/// [`decode_sentences`] with a per-span confidence overlay: identical
+/// candidate triples (the labels come from
+/// [`TrainedTagger::tag_scored`], which decodes exactly as
+/// [`TrainedTagger::tag`]), plus the mean token confidence of each
+/// decoded span appended to `confidences` in decode order. Confidence
+/// is observational only — it never affects what is extracted.
+fn decode_sentences_observed(
+    tagger: &TrainedTagger,
+    product: u32,
+    sentences: &[Sentence],
+    space: &LabelSpace,
+    confidences: &mut Vec<f64>,
+) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for (sent_idx, sentence) in sentences.iter().enumerate() {
+        let words: Vec<String> = sentence.words().map(str::to_owned).collect();
+        if words.is_empty() {
+            continue;
+        }
+        let pos: Vec<PosTag> = sentence.tokens.iter().map(|t| t.pos).collect();
+        let (labels, scores) = tagger.tag_scored(&words, &pos, sent_idx);
+        for (attr, range) in decode_spans(&labels, space) {
+            let span = &scores[range.clone()];
+            let conf = if span.is_empty() {
+                0.0
+            } else {
+                span.iter().sum::<f64>() / span.len() as f64
+            };
+            confidences.push(conf);
+            let value = words[range].join(" ");
+            out.push(Triple::new(product, space.attrs()[attr].clone(), value));
+        }
+    }
+    out.sort_by(|a, b| (a.product, &a.attr, &a.value).cmp(&(b.product, &b.attr, &b.value)));
+    out.dedup();
+    out
+}
+
+/// Builds [`ReferenceStats`] for a freshly frozen model by running the
+/// instrumented extraction path over the training corpus pages in
+/// order. Deterministic: extraction is per-page pure and the fold is
+/// commutative counters, so the result is bit-identical at any thread
+/// count.
+fn compute_reference(model: &FrozenModel, dataset: &Dataset) -> ReferenceStats {
+    let _span = pae_obs::span("freeze.reference");
+    let extractor = model.extractor().expect("fresh frozen tagger rehydrates");
+    let mut builder = ReferenceBuilder::new(extractor.attrs(), &extractor.backend_names());
+    let observed = pae_runtime::parallel_map(&dataset.pages, |_, page| {
+        extractor.extract_page_observed(page.id, &page.html)
+    });
+    for (triples, obs) in &observed {
+        builder.observe_page(triples, obs);
+    }
+    builder.finish()
+}
+
 /// Corpus-wide extraction with a rehydrated backend (freeze-time rule-3
 /// statistics).
 fn extract_with(backend: &ExtractBackend, corpus: &Corpus, space: &LabelSpace) -> Vec<Triple> {
@@ -499,6 +563,92 @@ impl FrozenExtractor {
     /// frozen rule-3 blocklist, and the frozen semantic filter.
     pub fn extract_page(&self, product: u32, html: &str) -> Vec<Triple> {
         let _span = pae_obs::span("frozen.extract_page");
+        let sentences = self.page_sentences(html);
+        let candidates = match &self.backend {
+            ExtractBackend::One(t) => decode_sentences(t, product, &sentences, &self.space),
+            ExtractBackend::Ensemble(a, b) => {
+                let xa = decode_sentences(a, product, &sentences, &self.space);
+                let xb = decode_sentences(b, product, &sentences, &self.space);
+                intersect(xa, &xb)
+            }
+        };
+        candidates.into_iter().filter(|t| self.keeps(t)).collect()
+    }
+
+    /// [`extract_page`](Self::extract_page) with a quality-observation
+    /// overlay: byte-identical triples (same tokenize → tag → decode →
+    /// clean pipeline; the scored tagger decodes exactly as the plain
+    /// one), plus token/OOV counts and per-backend span confidences for
+    /// the quality monitor. Observation is strictly read-only — nothing
+    /// recorded here feeds back into extraction.
+    pub fn extract_page_observed(
+        &self,
+        product: u32,
+        html: &str,
+    ) -> (Vec<Triple>, PageObservation) {
+        let _span = pae_obs::span("frozen.extract_page");
+        let sentences = self.page_sentences(html);
+        let lexicon = self.pos_tagger.lexicon();
+        let mut tokens = 0u64;
+        let mut oov_tokens = 0u64;
+        for sentence in &sentences {
+            for word in sentence.words() {
+                tokens += 1;
+                if !lexicon.contains(word) {
+                    oov_tokens += 1;
+                }
+            }
+        }
+        let mut confidences: Vec<Vec<f64>> = Vec::new();
+        let candidates = match &self.backend {
+            ExtractBackend::One(t) => {
+                let mut confs = Vec::new();
+                let out =
+                    decode_sentences_observed(t, product, &sentences, &self.space, &mut confs);
+                confidences.push(confs);
+                out
+            }
+            ExtractBackend::Ensemble(a, b) => {
+                let mut ca = Vec::new();
+                let mut cb = Vec::new();
+                let xa = decode_sentences_observed(a, product, &sentences, &self.space, &mut ca);
+                let xb = decode_sentences_observed(b, product, &sentences, &self.space, &mut cb);
+                confidences.push(ca);
+                confidences.push(cb);
+                intersect(xa, &xb)
+            }
+        };
+        let kept: Vec<Triple> = candidates.into_iter().filter(|t| self.keeps(t)).collect();
+        (
+            kept,
+            PageObservation {
+                tokens,
+                oov_tokens,
+                confidences,
+            },
+        )
+    }
+
+    /// The backend names, in the order
+    /// [`PageObservation::confidences`] reports them (the CRF arm
+    /// first for ensembles).
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        fn name(t: &TrainedTagger) -> &'static str {
+            match t {
+                TrainedTagger::Crf { .. } => "crf",
+                TrainedTagger::Rnn { .. } => "rnn",
+            }
+        }
+        match &self.backend {
+            ExtractBackend::One(t) => vec![name(t)],
+            ExtractBackend::Ensemble(a, b) => vec![name(a), name(b)],
+        }
+    }
+
+    /// The page pipeline shared by the plain and observed extraction
+    /// paths: `<title>` content first, then the split free text,
+    /// dictionary tables excluded (mirrors corpus parsing exactly).
+    fn page_sentences(&self, html: &str) -> Vec<Sentence> {
         let forest = parse(html);
         let mut sentences = Vec::new();
         for title in pae_html::dom::find_all(&forest, "title") {
@@ -518,16 +668,7 @@ impl FrozenExtractor {
                 sentences.push(s);
             }
         }
-
-        let candidates = match &self.backend {
-            ExtractBackend::One(t) => decode_sentences(t, product, &sentences, &self.space),
-            ExtractBackend::Ensemble(a, b) => {
-                let xa = decode_sentences(a, product, &sentences, &self.space);
-                let xb = decode_sentences(b, product, &sentences, &self.space);
-                intersect(xa, &xb)
-            }
-        };
-        candidates.into_iter().filter(|t| self.keeps(t)).collect()
+        sentences
     }
 
     /// Extracts from many pages concurrently on the [`pae_runtime`]
@@ -538,6 +679,18 @@ impl FrozenExtractor {
         let per_page =
             pae_runtime::parallel_map(pages, |_, (id, html)| self.extract_page(*id, html));
         per_page.into_iter().flatten().collect()
+    }
+
+    /// Batch variant of
+    /// [`extract_page_observed`](Self::extract_page_observed): per-page
+    /// `(triples, observation)` pairs in input order. Concatenating the
+    /// triples reproduces [`extract_pages`](Self::extract_pages)
+    /// byte for byte.
+    pub fn extract_pages_observed(
+        &self,
+        pages: &[(u32, String)],
+    ) -> Vec<(Vec<Triple>, PageObservation)> {
+        pae_runtime::parallel_map(pages, |_, (id, html)| self.extract_page_observed(*id, html))
     }
 
     /// The frozen cleaning decision for one candidate triple.
@@ -616,6 +769,55 @@ mod tests {
         let four = pae_runtime::with_jobs(4, || extractor.extract_pages(&pages));
         assert_eq!(one, four);
         assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn observed_extraction_is_byte_identical_to_plain() {
+        let (dataset, _, model) = frozen_fixture();
+        let extractor = model.extractor().unwrap();
+        assert_eq!(extractor.backend_names(), vec!["crf"]);
+        let mut any_confidence = false;
+        for page in dataset.pages.iter().take(12) {
+            let plain = extractor.extract_page(page.id, &page.html);
+            let (observed, obs) = extractor.extract_page_observed(page.id, &page.html);
+            assert_eq!(plain, observed, "observation changed extraction");
+            assert!(obs.tokens >= obs.oov_tokens);
+            assert!(obs.tokens > 0);
+            assert_eq!(obs.confidences.len(), 1);
+            for &c in &obs.confidences[0] {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&c),
+                    "confidence {c} out of range"
+                );
+                any_confidence = true;
+            }
+        }
+        assert!(any_confidence, "no spans decoded on any page");
+    }
+
+    #[test]
+    fn freeze_embeds_reference_stats() {
+        let (dataset, _, model) = frozen_fixture();
+        let reference = model.reference.as_ref().expect("freeze computes reference");
+        assert_eq!(reference.pages, dataset.pages.len() as u64);
+        assert!(reference.total_triples > 0, "reference saw no extractions");
+        assert_eq!(reference.attrs.len(), model.attrs.len());
+        assert!(reference.tokens > 0);
+        assert!(reference.oov_tokens <= reference.tokens);
+        assert_eq!(reference.backends.len(), 1);
+        assert_eq!(reference.backends[0].backend, "crf");
+        assert!(reference.backends[0].confidence.iter().sum::<u64>() > 0);
+        let busiest = reference
+            .attrs
+            .iter()
+            .max_by_key(|a| a.triples)
+            .expect("attrs nonempty");
+        assert!(!busiest.top_values.is_empty());
+        assert_eq!(
+            busiest.value_len.iter().sum::<u64>(),
+            busiest.triples,
+            "length histogram must cover every triple"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod diversify;
 pub mod eval;
 pub mod frozen;
 pub mod provenance;
+pub mod quality;
 pub mod seed;
 pub mod specialized;
 pub mod tagger;
@@ -46,7 +47,7 @@ pub mod types;
 pub use bootstrap::{BootstrapOutcome, BootstrapPipeline, CandidateScores, IterationSnapshot};
 pub use bundle::{
     read_bundle, read_bundle_with_hash, write_bundle, BundleError, LoadedBundle, BUNDLE_MAGIC,
-    BUNDLE_SCHEMA_V1, BUNDLE_SCHEMA_VERSION,
+    BUNDLE_SCHEMA_V1, BUNDLE_SCHEMA_V2, BUNDLE_SCHEMA_VERSION,
 };
 pub use config::{PipelineConfig, TaggerKind};
 pub use corpus::{parse_corpus, Corpus, ProductText};
@@ -54,6 +55,7 @@ pub use corrections::Corrections;
 pub use eval::{evaluate_pairs, evaluate_triples, EvalReport, PairReport};
 pub use frozen::{FreezeError, FrozenExtractor, FrozenModel, FrozenTagger};
 pub use provenance::ProvLog;
+pub use quality::{AttrReference, BackendReference, PageObservation, ReferenceStats};
 pub use tagger::CrfTrainContext;
 pub use timing::{CrfStageTimings, PrepTimings, StageTimings};
 pub use types::{AttrTable, Triple};

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod process;
 pub mod prof;
 pub mod reader;
+pub mod sketch;
 pub mod window;
 
 pub use collector::{

@@ -1,0 +1,387 @@
+//! Streaming sketches for extraction-quality monitoring: a
+//! deterministic space-saving top-k heavy-hitter sketch plus
+//! fixed-bucket histograms with distribution-divergence scoring (PSI
+//! and Jensen–Shannon).
+//!
+//! The cumulative registry's [`crate::metrics::Histogram`] is
+//! log₂-bucketed — right for latencies spanning orders of magnitude,
+//! wrong for divergence scoring, where reference and live sides must
+//! share one fixed binning. [`FixedHistogram`] covers a closed range
+//! with equal-width buckets so a freeze-time reference distribution
+//! and a live windowed distribution can be compared bucket-for-bucket
+//! with [`psi`] / [`js_divergence`].
+//!
+//! Everything here is deterministic: no hashing with random seeds, no
+//! wall clocks. [`SpaceSaving`] breaks every tie lexicographically, so
+//! two replicas fed the same stream report the same top-k.
+
+use std::collections::BTreeMap;
+
+/// One tracked heavy hitter: the estimated count overcounts the true
+/// frequency by at most `error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitter {
+    /// The tracked item.
+    pub value: String,
+    /// Estimated occurrence count (`true count <= count`).
+    pub count: u64,
+    /// Maximum overcount inherited from the entry this one evicted
+    /// (`count - error <= true count`).
+    pub error: u64,
+}
+
+/// Space-saving top-k heavy-hitter sketch (Metwally et al.): tracks at
+/// most `capacity` distinct items in O(capacity) memory. Any item whose
+/// true frequency exceeds `N / capacity` (N = stream length) is
+/// guaranteed to be tracked, and every tracked item's true count is
+/// bracketed by `count - error ..= count`.
+///
+/// Eviction picks the minimum by `(count, value)`, so the sketch is a
+/// pure function of the observation sequence.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: BTreeMap<String, (u64, u64)>,
+}
+
+impl SpaceSaving {
+    /// A sketch tracking at most `capacity` items (`capacity >= 1`).
+    pub fn new(capacity: usize) -> SpaceSaving {
+        assert!(capacity >= 1, "space-saving capacity must be >= 1");
+        SpaceSaving {
+            capacity,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of items currently tracked (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records one occurrence of `item`.
+    pub fn observe(&mut self, item: &str) {
+        self.observe_n(item, 1);
+    }
+
+    /// Records `n` occurrences of `item` at once.
+    pub fn observe_n(&mut self, item: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some((count, _)) = self.entries.get_mut(item) {
+            *count += n;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(item.to_owned(), (n, 0));
+            return;
+        }
+        // Evict the minimum-count entry (ties broken by smallest key:
+        // BTreeMap iteration order makes the first minimum the winner).
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(k, (c, _))| (*c, k.as_str()))
+            .map(|(k, (c, _))| (k.clone(), *c))
+            .expect("non-empty at capacity");
+        self.entries.remove(&victim.0);
+        self.entries
+            .insert(item.to_owned(), (victim.1 + n, victim.1));
+    }
+
+    /// All tracked items, ordered by `(count desc, value asc)`.
+    pub fn top(&self) -> Vec<HeavyHitter> {
+        let mut out: Vec<HeavyHitter> = self
+            .entries
+            .iter()
+            .map(|(k, &(count, error))| HeavyHitter {
+                value: k.clone(),
+                count,
+                error,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+        out
+    }
+
+    /// Iterates `(item, count, error)` in key order — the raw entries,
+    /// for merging several sketches (e.g. per-epoch ring slots) into a
+    /// windowed view.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.entries.iter().map(|(k, &(c, e))| (k.as_str(), c, e))
+    }
+}
+
+/// An equal-width-bucket histogram over the closed range `[lo, hi)`.
+/// Out-of-range observations clamp into the edge buckets, so the count
+/// vector always accounts for every observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl FixedHistogram {
+    /// `n` equal-width buckets covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> FixedHistogram {
+        assert!(n >= 1 && hi > lo, "need at least one bucket and hi > lo");
+        FixedHistogram {
+            lo,
+            hi,
+            counts: vec![0; n],
+        }
+    }
+
+    /// A histogram wrapping pre-computed counts (e.g. decoded from a
+    /// bundle section) over `[lo, hi)`.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> FixedHistogram {
+        assert!(!counts.is_empty() && hi > lo);
+        FixedHistogram { lo, hi, counts }
+    }
+
+    /// The bucket index `x` falls into (clamped to the edges).
+    pub fn bucket_of(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo) * n as f64;
+        (t.floor().max(0.0) as usize).min(n - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, x: f64) {
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+    }
+
+    /// The per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another histogram's counts bucket-for-bucket (the two must
+    /// share a binning).
+    pub fn merge_from(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "binning mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Proportion floor replacing empty buckets in [`psi`]: the standard
+/// PSI convention, keeping the log terms finite without renormalizing.
+const PSI_EPS: f64 = 1e-6;
+
+/// Population stability index between two count vectors sharing one
+/// binning: `Σ (qᵢ - pᵢ) · ln(qᵢ / pᵢ)` over bucket proportions, with
+/// empty buckets floored at `1e-6` (the conventional smoothing). The
+/// measure is symmetric and unbounded; common practice reads `< 0.1`
+/// as stable, `> 0.25` as drifted.
+///
+/// Edge cases: both sides empty → `0.0` (nothing to compare); one side
+/// empty → every proportion drops to the floor, so the score is large
+/// (all mass vanished *is* maximal drift).
+pub fn psi(reference: &[u64], live: &[u64]) -> f64 {
+    assert_eq!(reference.len(), live.len(), "binning mismatch");
+    let (rt, lt) = (
+        reference.iter().sum::<u64>() as f64,
+        live.iter().sum::<u64>() as f64,
+    );
+    if rt == 0.0 && lt == 0.0 {
+        return 0.0;
+    }
+    let mut score = 0.0;
+    for (&r, &l) in reference.iter().zip(live) {
+        let p = if rt > 0.0 { r as f64 / rt } else { 0.0 }.max(PSI_EPS);
+        let q = if lt > 0.0 { l as f64 / lt } else { 0.0 }.max(PSI_EPS);
+        score += (q - p) * (q / p).ln();
+    }
+    score
+}
+
+/// Jensen–Shannon divergence (base-2 logs, so the result is in
+/// `[0, 1]`) between two count vectors sharing one binning:
+/// `½·KL(p‖m) + ½·KL(q‖m)` with `m = ½(p+q)` and `0·log 0 = 0`.
+///
+/// Edge cases: both sides empty → `0.0`; exactly one side empty →
+/// `1.0` (documented convention: a vanished distribution is maximally
+/// divergent, and it is also the limit of the formula as the emptier
+/// side's mass goes to zero on disjoint support).
+pub fn js_divergence(reference: &[u64], live: &[u64]) -> f64 {
+    assert_eq!(reference.len(), live.len(), "binning mismatch");
+    let (rt, lt) = (
+        reference.iter().sum::<u64>() as f64,
+        live.iter().sum::<u64>() as f64,
+    );
+    match (rt == 0.0, lt == 0.0) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (false, false) => {}
+    }
+    let mut kl_p = 0.0;
+    let mut kl_q = 0.0;
+    for (&r, &l) in reference.iter().zip(live) {
+        let p = r as f64 / rt;
+        let q = l as f64 / lt;
+        let m = 0.5 * (p + q);
+        if p > 0.0 {
+            kl_p += p * (p / m).log2();
+        }
+        if q > 0.0 {
+            kl_q += q * (q / m).log2();
+        }
+    }
+    (0.5 * (kl_p + kl_q)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_saving_exact_below_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for item in ["a", "b", "a", "c", "a", "b"] {
+            s.observe(item);
+        }
+        let top = s.top();
+        assert_eq!(top.len(), 3);
+        assert_eq!(
+            (top[0].value.as_str(), top[0].count, top[0].error),
+            ("a", 3, 0)
+        );
+        assert_eq!(
+            (top[1].value.as_str(), top[1].count, top[1].error),
+            ("b", 2, 0)
+        );
+        assert_eq!(
+            (top[2].value.as_str(), top[2].count, top[2].error),
+            ("c", 1, 0)
+        );
+    }
+
+    #[test]
+    fn space_saving_eviction_brackets_true_counts() {
+        // Capacity 2, stream of length 8: "a" ×5 dominates.
+        let mut s = SpaceSaving::new(2);
+        for item in ["a", "a", "b", "a", "c", "a", "d", "a"] {
+            s.observe(item);
+        }
+        let top = s.top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].value, "a");
+        assert_eq!(top[0].count, 5, "tracked from the start, exact");
+        assert_eq!(top[0].error, 0);
+        // The runner-up inherited an evicted entry's count as error.
+        assert!(top[1].count >= 1 && top[1].count - top[1].error <= 1);
+    }
+
+    #[test]
+    fn space_saving_ties_break_lexicographically() {
+        // All counts equal at capacity: the eviction victim must be the
+        // lexicographically smallest, deterministically.
+        let mut s = SpaceSaving::new(2);
+        s.observe("b");
+        s.observe("a");
+        s.observe("z");
+        let tracked: Vec<&str> = s.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(tracked, vec!["b", "z"], "min-(count,key) entry evicted");
+    }
+
+    #[test]
+    fn space_saving_top_order_is_count_desc_then_value_asc() {
+        let mut s = SpaceSaving::new(8);
+        for item in ["y", "x", "x", "y", "w"] {
+            s.observe(item);
+        }
+        let top = s.top();
+        let names: Vec<&str> = top.iter().map(|h| h.value.as_str()).collect();
+        assert_eq!(names, vec!["x", "y", "w"]);
+    }
+
+    #[test]
+    fn fixed_histogram_buckets_and_clamping() {
+        let mut h = FixedHistogram::new(0.0, 1.0, 20);
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(0.049), 0);
+        assert_eq!(h.bucket_of(0.05), 1);
+        assert_eq!(h.bucket_of(0.999), 19);
+        // Out-of-range clamps to the edge buckets.
+        assert_eq!(h.bucket_of(-5.0), 0);
+        assert_eq!(h.bucket_of(1.0), 19);
+        assert_eq!(h.bucket_of(7.5), 19);
+        h.observe(0.5);
+        h.observe(2.0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[10], 1);
+        assert_eq!(h.counts()[19], 1);
+
+        let mut other = FixedHistogram::new(0.0, 1.0, 20);
+        other.observe(0.5);
+        h.merge_from(&other);
+        assert_eq!(h.counts()[10], 2);
+    }
+
+    #[test]
+    fn psi_hand_computed_fixture() {
+        // p = (0.5, 0.5), q = (0.75, 0.25):
+        // (0.75-0.5)·ln(1.5) + (0.25-0.5)·ln(0.5) = 0.2746530...
+        let got = psi(&[1, 1], &[3, 1]);
+        assert!((got - 0.274_653_1).abs() < 1e-6, "psi {got}");
+        // Symmetric.
+        assert!((psi(&[3, 1], &[1, 1]) - got).abs() < 1e-12);
+        // Identical distributions (different scales) score zero.
+        assert_eq!(psi(&[2, 6], &[1, 3]), 0.0);
+    }
+
+    #[test]
+    fn psi_empty_and_one_sided() {
+        assert_eq!(psi(&[0, 0], &[0, 0]), 0.0);
+        // One-sided: all mass vanished — far beyond any drift threshold.
+        assert!(psi(&[5, 5], &[0, 0]) > 10.0);
+        assert!(psi(&[0, 0], &[5, 5]) > 10.0);
+        // Disjoint support is extreme drift too.
+        assert!(psi(&[10, 0], &[0, 10]) > 10.0);
+    }
+
+    #[test]
+    fn js_hand_computed_fixture() {
+        // p = (0.5, 0.5), q = (0.75, 0.25) → 0.0487950...
+        let got = js_divergence(&[1, 1], &[3, 1]);
+        assert!((got - 0.048_795_0).abs() < 1e-6, "js {got}");
+        assert!((js_divergence(&[3, 1], &[1, 1]) - got).abs() < 1e-12);
+        assert_eq!(js_divergence(&[4, 4], &[1, 1]), 0.0);
+        // Disjoint support is exactly 1 bit.
+        assert!((js_divergence(&[1, 0], &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_empty_and_one_sided() {
+        assert_eq!(js_divergence(&[0, 0], &[0, 0]), 0.0);
+        assert_eq!(js_divergence(&[3, 4], &[0, 0]), 1.0);
+        assert_eq!(js_divergence(&[0, 0], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let run = || {
+            let mut s = SpaceSaving::new(4);
+            for i in 0..200u64 {
+                s.observe(&format!("v{}", i % 13));
+            }
+            s.top()
+        };
+        assert_eq!(run(), run());
+    }
+}

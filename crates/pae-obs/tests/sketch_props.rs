@@ -1,0 +1,62 @@
+//! Property tests for the space-saving heavy-hitter sketch, checked
+//! against exact `BTreeMap` counts.
+
+use std::collections::BTreeMap;
+
+use pae_obs::sketch::SpaceSaving;
+use proptest::prelude::*;
+
+proptest! {
+    /// The guaranteed-frequency invariant of space-saving: for every
+    /// tracked item, `count - error <= exact <= count`; every item
+    /// whose exact frequency exceeds `N / capacity` is tracked; and no
+    /// tracked count underestimates — so the sketch's top-k can only
+    /// promote, never hide, a true heavy hitter.
+    #[test]
+    fn space_saving_brackets_exact_counts(
+        items in proptest::collection::vec("[a-f]{1,2}", 0..300),
+        capacity in 1usize..12,
+    ) {
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut exact: BTreeMap<String, u64> = BTreeMap::new();
+        for item in &items {
+            sketch.observe(item);
+            *exact.entry(item.clone()).or_default() += 1;
+        }
+        let n = items.len() as u64;
+        prop_assert!(sketch.len() <= capacity);
+
+        let mut min_tracked = u64::MAX;
+        for (item, count, error) in sketch.iter() {
+            let true_count = exact.get(item).copied().unwrap_or(0);
+            prop_assert!(count >= true_count,
+                "{item}: estimate {count} < exact {true_count}");
+            prop_assert!(count - error <= true_count,
+                "{item}: lower bound {} > exact {true_count}", count - error);
+            prop_assert!(error <= n, "{item}: error {error} > stream length {n}");
+            min_tracked = min_tracked.min(count);
+        }
+
+        // Any item strictly more frequent than N/capacity must be
+        // tracked (the classic space-saving guarantee: the minimum
+        // tracked count never exceeds N/capacity, and estimates never
+        // undercount).
+        let tracked: BTreeMap<&str, u64> =
+            sketch.iter().map(|(k, c, _)| (k, c)).collect();
+        for (item, &true_count) in &exact {
+            if true_count * capacity as u64 > n {
+                prop_assert!(tracked.contains_key(item.as_str()),
+                    "heavy item {item} (exact {true_count}, N {n}, k {capacity}) evicted");
+            }
+        }
+
+        // Below capacity the sketch is exact.
+        if exact.len() <= capacity {
+            prop_assert_eq!(tracked.len(), exact.len());
+            for (item, count, error) in sketch.iter() {
+                prop_assert_eq!(count, exact[item]);
+                prop_assert_eq!(error, 0u64);
+            }
+        }
+    }
+}

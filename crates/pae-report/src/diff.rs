@@ -36,6 +36,10 @@ pub struct Thresholds {
     /// Allowed relative growth of the memory ledger (peak RSS and
     /// total allocated bytes) for profiled runs (0.25 = +25%).
     pub mem_tolerance: f64,
+    /// Allowed absolute rise of the online empty-extraction rate.
+    pub empty_rate_tol: f64,
+    /// Allowed absolute rise of the online OOV-token rate.
+    pub oov_tol: f64,
 }
 
 impl Default for Thresholds {
@@ -48,6 +52,8 @@ impl Default for Thresholds {
             drift_tol: 0.25,
             error_rate_tol: 0.0,
             mem_tolerance: 0.25,
+            empty_rate_tol: 0.10,
+            oov_tol: 0.10,
         }
     }
 }
@@ -57,7 +63,9 @@ impl Default for Thresholds {
 pub struct Violation {
     /// What kind of gate tripped: `perf`, `precision`, `coverage`,
     /// `drift`, `incomplete`, `slo-p99`, `slo-error-rate`,
-    /// `slo-missing`, `mem-rss`, `mem-alloc`, or `mem-missing`.
+    /// `slo-missing`, `mem-rss`, `mem-alloc`, `mem-missing`,
+    /// `quality-degraded`, `quality-drift`, `quality-empty-rate`,
+    /// `quality-oov`, or `quality-missing`.
     pub kind: &'static str,
     /// Human-readable description with both values.
     pub what: String,
@@ -238,6 +246,94 @@ pub fn diff_summaries(baseline: &RunSummary, current: &RunSummary, t: &Threshold
                 kind: "slo-missing",
                 what: "baseline has a serving section but the current run served no \
                        traffic — SLO gates cannot run"
+                    .to_owned(),
+            });
+        }
+        (None, None) => {}
+    }
+
+    // Online quality: field-level serving health observed at the end
+    // of the load run. The degraded flag and per-attribute drift are
+    // deterministic for deterministic traffic, so any new degradation
+    // flags; the rate gates use absolute tolerances like error_rate.
+    match (&baseline.quality_online, &current.quality_online) {
+        (Some(b), Some(c)) => {
+            report.lines.push(format!(
+                "quality: pages {} -> {}  empty_rate {:.4} -> {:.4}  oov_rate {:.4} -> {:.4}  \
+                 degraded {} -> {}",
+                b.pages,
+                c.pages,
+                b.empty_rate,
+                c.empty_rate,
+                b.oov_rate,
+                c.oov_rate,
+                b.degraded,
+                c.degraded
+            ));
+            if c.degraded && !b.degraded {
+                report.violations.push(Violation {
+                    kind: "quality-degraded",
+                    what: "server judged itself degraded; baseline run was healthy".to_owned(),
+                });
+            }
+            if c.empty_rate > b.empty_rate + t.empty_rate_tol {
+                report.violations.push(Violation {
+                    kind: "quality-empty-rate",
+                    what: format!(
+                        "online empty-extraction rate {:.4} -> {:.4} (tolerance {:.4})",
+                        b.empty_rate, c.empty_rate, t.empty_rate_tol
+                    ),
+                });
+            }
+            if c.oov_rate > b.oov_rate + t.oov_tol {
+                report.violations.push(Violation {
+                    kind: "quality-oov",
+                    what: format!(
+                        "online OOV-token rate {:.4} -> {:.4} (tolerance {:.4})",
+                        b.oov_rate, c.oov_rate, t.oov_tol
+                    ),
+                });
+            }
+            for ca in &c.attrs {
+                let Some(cd) = ca.drift else {
+                    continue;
+                };
+                // An unscored baseline attribute gates from zero: a
+                // newly scored drift must still sit inside tolerance.
+                let bd = b
+                    .attrs
+                    .iter()
+                    .find(|a| a.attribute == ca.attribute)
+                    .and_then(|a| a.drift)
+                    .unwrap_or(0.0);
+                report.lines.push(format!(
+                    "quality drift {:<16} {:.4} -> {:.4}",
+                    ca.attribute, bd, cd
+                ));
+                if cd > bd + t.drift_tol {
+                    report.violations.push(Violation {
+                        kind: "quality-drift",
+                        what: format!(
+                            "attr {}: online drift {:.4} -> {:.4} (tolerance {:.4})",
+                            ca.attribute, bd, cd, t.drift_tol
+                        ),
+                    });
+                }
+            }
+        }
+        (None, Some(c)) => report.lines.push(format!(
+            "quality: (new) {} pages, empty_rate {:.4}, degraded {}",
+            c.pages, c.empty_rate, c.degraded
+        )),
+        (Some(b), None) => {
+            report.lines.push(format!(
+                "quality: baseline observed {} pages, current run observed nothing",
+                b.pages
+            ));
+            report.violations.push(Violation {
+                kind: "quality-missing",
+                what: "baseline has a quality_online section but the current run did not \
+                       observe field quality — drift gates cannot run"
                     .to_owned(),
             });
         }
@@ -625,6 +721,70 @@ mod tests {
         let r = check(&base(), &b, &Thresholds::default());
         assert!(r.passed(), "{:?}", r.violations);
         assert!(r.lines.iter().any(|l| l.starts_with("memory: (new)")));
+    }
+
+    #[test]
+    fn quality_online_gates_fire_on_degradation_and_drift() {
+        use crate::summary::{OnlineAttr, QualityOnlineSummary};
+        let mut b = base();
+        b.quality_online = Some(QualityOnlineSummary {
+            pages: 150,
+            empty_pages: 0,
+            empty_rate: 0.0,
+            oov_rate: 0.05,
+            degraded: false,
+            attrs: vec![OnlineAttr {
+                attribute: "color".into(),
+                triples: 140,
+                rate: 0.93,
+                drift: Some(0.03),
+            }],
+        });
+        // Identical: passes.
+        assert!(check(&b, &b, &Thresholds::default()).passed());
+
+        // Degraded flag flips: quality-degraded.
+        let mut c = b.clone();
+        c.quality_online.as_mut().unwrap().degraded = true;
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "quality-degraded");
+
+        // Drift rises past tolerance: quality-drift.
+        let mut c = b.clone();
+        c.quality_online.as_mut().unwrap().attrs[0].drift = Some(0.5);
+        let r = check(&b, &c, &Thresholds::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].kind, "quality-drift");
+        // A newly scored attribute gates from zero.
+        let mut unscored = b.clone();
+        unscored.quality_online.as_mut().unwrap().attrs[0].drift = None;
+        let r = check(&unscored, &c, &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "quality-drift");
+        // Drift falling (or losing its score) never flags.
+        assert!(check(&c, &unscored, &Thresholds::default()).passed());
+
+        // Empty-rate and OOV rises past the absolute tolerances.
+        let mut c = b.clone();
+        c.quality_online.as_mut().unwrap().empty_rate = 0.2;
+        c.quality_online.as_mut().unwrap().oov_rate = 0.3;
+        let r = check(&b, &c, &Thresholds::default());
+        let kinds: Vec<&str> = r.violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec!["quality-empty-rate", "quality-oov"]);
+        let loose = Thresholds {
+            empty_rate_tol: 0.5,
+            oov_tol: 0.5,
+            ..Thresholds::default()
+        };
+        assert!(check(&b, &c, &loose).passed());
+
+        // Observed baseline vs unobserved current: gates cannot run.
+        let r = check(&b, &base(), &Thresholds::default());
+        assert_eq!(r.violations[0].kind, "quality-missing");
+        // Reverse direction (newly observed run) is informational only.
+        let r = check(&base(), &b, &Thresholds::default());
+        assert!(r.passed(), "{:?}", r.violations);
+        assert!(r.lines.iter().any(|l| l.starts_with("quality: (new)")));
     }
 
     #[test]

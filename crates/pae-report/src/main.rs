@@ -17,6 +17,8 @@
 //!   --drift-tol F         allowed drift-score rise (default 0.25)
 //!   --error-rate-tol F    allowed serving error-rate rise (default 0)
 //!   --mem-tolerance F     allowed relative memory growth (default 0.25)
+//!   --empty-rate-tol F    allowed online empty-extraction-rate rise (default 0.1)
+//!   --oov-tol F           allowed online OOV-token-rate rise (default 0.1)
 //! ```
 //!
 //! Inputs may be raw JSONL traces or already-built summary JSON; the
@@ -44,7 +46,7 @@ const USAGE: &str = "usage:
   pae-report flamegraph <trace.jsonl> [--weight time|bytes] [--out FILE]
 threshold flags: --time-tolerance F  --time-floor-ms F  --precision-tol F
                  --coverage-tol F    --drift-tol F       --error-rate-tol F
-                 --mem-tolerance F";
+                 --mem-tolerance F   --empty-rate-tol F  --oov-tol F";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("pae-report: {msg}");
@@ -104,6 +106,8 @@ fn take_thresholds(args: &mut Vec<String>) -> Result<Thresholds, String> {
             "--drift-tol" => grab(&mut t.drift_tol)?,
             "--error-rate-tol" => grab(&mut t.error_rate_tol)?,
             "--mem-tolerance" => grab(&mut t.mem_tolerance)?,
+            "--empty-rate-tol" => grab(&mut t.empty_rate_tol)?,
+            "--oov-tol" => grab(&mut t.oov_tol)?,
             "--time-floor-ms" => {
                 let mut ms = 0.0;
                 grab(&mut ms)?;

@@ -142,6 +142,45 @@ pub struct ServingSummary {
     pub p99_ns: u64,
 }
 
+/// One attribute's online extraction-quality row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineAttr {
+    /// Attribute name.
+    pub attribute: String,
+    /// Triples extracted for this attribute over the observed window.
+    pub triples: u64,
+    /// Triples per served page.
+    pub rate: f64,
+    /// PSI of the live value-length distribution against the bundle's
+    /// freeze-time reference; `None` when the server ran in
+    /// no-reference mode or the window was under-sampled (absent, not
+    /// zero — "nothing to compare against" must not read as "no
+    /// drift").
+    pub drift: Option<f64>,
+}
+
+/// Online extraction-quality telemetry from a serving run, derived
+/// from the `quality.online` / `quality.online.attr` events a load
+/// generator emits after reading the server's `/qualityz` endpoint.
+/// Absent for runs that never served traffic (and for baselines
+/// predating the field).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityOnlineSummary {
+    /// Pages served in the observed window.
+    pub pages: u64,
+    /// Pages that produced zero triples.
+    pub empty_pages: u64,
+    /// `empty_pages / pages` (0 when no pages).
+    pub empty_rate: f64,
+    /// Out-of-vocabulary token rate over the window.
+    pub oov_rate: f64,
+    /// Whether the server judged itself degraded (`/statusz` quality
+    /// flag at observation time).
+    pub degraded: bool,
+    /// Per-attribute rows, sorted by attribute.
+    pub attrs: Vec<OnlineAttr>,
+}
+
 /// Run-level memory ledger, derived from the `mem.summary` event a
 /// profiled run ([`pae_obs::ProfSession`]) emits when profiling ends.
 /// Absent for unprofiled runs (and for baselines predating the field).
@@ -171,6 +210,8 @@ pub struct RunSummary {
     pub stages: BTreeMap<String, StagePerf>,
     /// Server-side SLOs when the run served traffic.
     pub serving: Option<ServingSummary>,
+    /// Online extraction-quality telemetry when the run observed it.
+    pub quality_online: Option<QualityOnlineSummary>,
     /// Run-level memory ledger when the run was profiled.
     pub memory: Option<MemorySummary>,
     /// Per-`bootstrap.run` iteration series, in span order.
@@ -316,6 +357,43 @@ impl RunSummary {
                 });
                 break;
             }
+        }
+
+        // Online quality from `quality.online` (+ `.attr`) events: the
+        // load generator reads the server's /qualityz once at the end
+        // of the run and replays it into the trace. A later headline
+        // event replaces an earlier one (last observation wins, like
+        // `mem.summary`); attr rows attach to the live section.
+        for r in &trace.records {
+            if r.kind != RecordKind::Event {
+                continue;
+            }
+            match r.name.as_str() {
+                "quality.online" => {
+                    summary.quality_online = Some(QualityOnlineSummary {
+                        pages: field_u64(&r.fields, "pages").unwrap_or(0),
+                        empty_pages: field_u64(&r.fields, "empty_pages").unwrap_or(0),
+                        empty_rate: field_f64(&r.fields, "empty_rate").unwrap_or(0.0),
+                        oov_rate: field_f64(&r.fields, "oov_rate").unwrap_or(0.0),
+                        degraded: field_u64(&r.fields, "degraded").unwrap_or(0) != 0,
+                        attrs: Vec::new(),
+                    });
+                }
+                "quality.online.attr" => {
+                    if let Some(q) = &mut summary.quality_online {
+                        q.attrs.push(OnlineAttr {
+                            attribute: field_str(&r.fields, "attribute").unwrap_or("").to_owned(),
+                            triples: field_u64(&r.fields, "triples").unwrap_or(0),
+                            rate: field_f64(&r.fields, "rate").unwrap_or(0.0),
+                            drift: field_f64(&r.fields, "drift"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(q) = &mut summary.quality_online {
+            q.attrs.sort_by(|a, b| a.attribute.cmp(&b.attribute));
         }
 
         // Span-tree bookkeeping: parent chain + the ordinal of each
@@ -569,6 +647,36 @@ impl RunSummary {
                 s.p50_ns, s.p99_ns
             ));
         }
+        if let Some(q) = &self.quality_online {
+            out.push_str(&format!(
+                "  \"quality_online\": {{\n    \"pages\": {}, \"empty_pages\": {}, \"empty_rate\": ",
+                q.pages, q.empty_pages
+            ));
+            write_f64(&mut out, q.empty_rate);
+            out.push_str(", \"oov_rate\": ");
+            write_f64(&mut out, q.oov_rate);
+            out.push_str(&format!(
+                ", \"degraded\": {},\n    \"attrs\": [",
+                q.degraded
+            ));
+            for (i, a) in q.attrs.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str("      { \"attribute\": ");
+                write_str(&mut out, &a.attribute);
+                out.push_str(&format!(", \"triples\": {}, \"rate\": ", a.triples));
+                write_f64(&mut out, a.rate);
+                out.push_str(", \"drift\": ");
+                match a.drift {
+                    Some(d) => write_f64(&mut out, d),
+                    None => out.push_str("null"),
+                }
+                out.push_str(" }");
+            }
+            if !q.attrs.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]\n  },\n");
+        }
         if let Some(m) = &self.memory {
             out.push_str(&format!(
                 "  \"memory\": {{ \"peak_rss_bytes\": {}, \"total_alloc_bytes\": {}, \
@@ -682,6 +790,45 @@ impl RunSummary {
                 p50_ns: req_u64(s, "serving", "p50_ns")?,
                 p99_ns: req_u64(s, "serving", "p99_ns")?,
             });
+        }
+        // Optional: only observed serving runs carry it, but a present
+        // section is fully type-checked. An attribute's `drift` is
+        // tri-state: a number when scored, `null`/absent when the
+        // server had no reference to score against.
+        if let Some(q) = v.get("quality_online") {
+            let degraded = match q.get("degraded") {
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("quality_online: field \"degraded\" is not a bool".into()),
+                None => return Err("quality_online: missing required field \"degraded\"".into()),
+            };
+            let mut section = QualityOnlineSummary {
+                pages: req_u64(q, "quality_online", "pages")?,
+                empty_pages: req_u64(q, "quality_online", "empty_pages")?,
+                empty_rate: req_f64(q, "quality_online", "empty_rate")?,
+                oov_rate: req_f64(q, "quality_online", "oov_rate")?,
+                degraded,
+                attrs: Vec::new(),
+            };
+            if let Some(Json::Arr(attrs)) = q.get("attrs") {
+                for a in attrs {
+                    let attribute = req_str(a, "quality_online attr", "attribute")?;
+                    let ctx = format!("quality_online attr {attribute:?}");
+                    let drift = match a.get("drift") {
+                        None | Some(Json::Null) => None,
+                        Some(j) => Some(
+                            j.as_f64()
+                                .ok_or_else(|| format!("{ctx}: field \"drift\" is not a number"))?,
+                        ),
+                    };
+                    section.attrs.push(OnlineAttr {
+                        triples: req_u64(a, &ctx, "triples")?,
+                        rate: req_f64(a, &ctx, "rate")?,
+                        drift,
+                        attribute,
+                    });
+                }
+            }
+            summary.quality_online = Some(section);
         }
         // Optional: only profiled runs carry it, but a present section
         // is fully type-checked (a mangled value must not gate as 0).
@@ -977,6 +1124,77 @@ mod tests {
         let trace = Trace::parse(quiet).expect("parses");
         assert!(RunSummary::build(RunMeta::default(), &trace)
             .memory
+            .is_none());
+    }
+
+    #[test]
+    fn quality_online_section_round_trips_and_stays_optional() {
+        let mut s = sample();
+        assert!(
+            RunSummary::parse(&s.to_json())
+                .expect("parses")
+                .quality_online
+                .is_none(),
+            "non-serving summary must not grow a quality_online section"
+        );
+        s.quality_online = Some(QualityOnlineSummary {
+            pages: 150,
+            empty_pages: 3,
+            empty_rate: 0.02,
+            oov_rate: 0.05,
+            degraded: false,
+            attrs: vec![
+                OnlineAttr {
+                    attribute: "color".into(),
+                    triples: 140,
+                    rate: 0.933333,
+                    drift: Some(0.04),
+                },
+                OnlineAttr {
+                    attribute: "weight".into(),
+                    triples: 2,
+                    rate: 0.013333,
+                    drift: None,
+                },
+            ],
+        });
+        let doc = s.to_json();
+        assert!(
+            doc.contains("\"drift\": null"),
+            "unscored drift must render as null, not 0: {doc}"
+        );
+        let parsed = RunSummary::parse(&doc).expect("parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json(), doc, "second render is byte-identical");
+        // A mangled section is a parse error, not a silent zero.
+        let mangled = doc.replace("\"pages\": 150", "\"pages\": \"many\"");
+        assert!(RunSummary::parse(&mangled).is_err());
+        let mangled = doc.replace("\"degraded\": false", "\"degraded\": 0.5");
+        assert!(RunSummary::parse(&mangled).is_err());
+    }
+
+    #[test]
+    fn build_derives_quality_online_from_events() {
+        let doc = "{\"type\":\"meta\",\"version\":1,\"records\":4,\"dropped\":0}\n\
+            {\"type\":\"event\",\"seq\":0,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"quality.online\",\"fields\":{\"pages\":100,\"empty_pages\":50,\"empty_rate\":0.5,\"oov_rate\":0.2,\"degraded\":1}}\n\
+            {\"type\":\"event\",\"seq\":1,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"quality.online\",\"fields\":{\"pages\":150,\"empty_pages\":3,\"empty_rate\":0.02,\"oov_rate\":0.05,\"degraded\":0}}\n\
+            {\"type\":\"event\",\"seq\":2,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"quality.online.attr\",\"fields\":{\"attribute\":\"weight\",\"triples\":2,\"rate\":0.013}}\n\
+            {\"type\":\"event\",\"seq\":3,\"t_ns\":0,\"span\":0,\"parent\":0,\"thread\":0,\"name\":\"quality.online.attr\",\"fields\":{\"attribute\":\"color\",\"triples\":140,\"rate\":0.93,\"drift\":0.04}}\n";
+        let trace = Trace::parse(doc).expect("parses");
+        let s = RunSummary::build(RunMeta::default(), &trace);
+        let q = s.quality_online.expect("quality_online derived");
+        assert_eq!(q.pages, 150, "the last quality.online event wins");
+        assert!(!q.degraded);
+        assert_eq!(q.attrs.len(), 2);
+        assert_eq!(q.attrs[0].attribute, "color", "attrs sorted by name");
+        assert_eq!(q.attrs[0].drift, Some(0.04));
+        assert_eq!(q.attrs[1].drift, None, "unscored attr stays None");
+
+        // No quality events -> no section.
+        let quiet = "{\"type\":\"meta\",\"version\":1,\"records\":0,\"dropped\":0}\n";
+        let trace = Trace::parse(quiet).expect("parses");
+        assert!(RunSummary::build(RunMeta::default(), &trace)
+            .quality_online
             .is_none());
     }
 

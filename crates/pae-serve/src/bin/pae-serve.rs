@@ -1,5 +1,6 @@
 //! `pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N]
-//! [--slow-ms MS] [--trace-sample N] [--profile]`
+//! [--slow-ms MS] [--trace-sample N] [--drift-threshold X]
+//! [--empty-rate-threshold X] [--profile]`
 //!
 //! Loads a frozen model bundle once, then serves `/extract`,
 //! `/healthz`, `/metrics`, and `/statusz` until the process is killed.
@@ -9,7 +10,16 @@
 //! `--slow-ms MS` captures requests slower than MS into the bounded
 //! ring dumped by `/statusz?slow=1` (0 = off). `--trace-sample N`
 //! samples 1-in-N requests into the obs trace (also settable via
-//! `PAE_SERVE_TRACE_SAMPLE`; the flag wins). `--profile` (or
+//! `PAE_SERVE_TRACE_SAMPLE`; the flag wins).
+//!
+//! Schema-v3 bundles carry freeze-time reference stats; the server
+//! scores live traffic against them and flags `/statusz` degraded when
+//! any attribute's drift exceeds `--drift-threshold` (PSI, default
+//! 0.25) or the windowed empty-extraction rate exceeds
+//! `--empty-rate-threshold` (default 0.5). Older bundles serve in
+//! no-reference mode (live `/qualityz` rates only, no drift scores).
+//!
+//! `--profile` (or
 //! `PAE_PROF=1`) turns on the counting allocator so `/metrics` exposes
 //! `prof.*` families and `/statusz` reports live allocator counters.
 
@@ -20,7 +30,8 @@ use pae_serve::{Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pae-serve <bundle.paeb> [--addr HOST:PORT] [--workers N] \
-         [--slow-ms MS] [--trace-sample N] [--profile]"
+         [--slow-ms MS] [--trace-sample N] [--drift-threshold X] \
+         [--empty-rate-threshold X] [--profile]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +62,14 @@ fn main() -> ExitCode {
             },
             "--trace-sample" => match it.next().and_then(|w| w.parse().ok()) {
                 Some(n) => config.trace_sample = n,
+                None => return usage(),
+            },
+            "--drift-threshold" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(x) => config.drift_threshold = x,
+                None => return usage(),
+            },
+            "--empty-rate-threshold" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(x) => config.empty_rate_threshold = x,
                 None => return usage(),
             },
             "--help" | "-h" => return usage(),
@@ -89,6 +108,25 @@ fn main() -> ExitCode {
     config.bundle_hash = hash;
     config.bundle_schema = loaded.schema_version();
     config.bundle_load_ns = load_ns;
+    config.reference = match loaded.reference() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pae-serve: cannot decode reference stats ({e}); serving without");
+            None
+        }
+    };
+    match &config.reference {
+        Some(r) => eprintln!(
+            "pae-serve: reference stats over {} pages ({} attrs, {} backends) — drift scoring on",
+            r.pages,
+            r.attrs.len(),
+            r.backends.len()
+        ),
+        None => eprintln!(
+            "pae-serve: no reference stats in bundle (schema v{}) — serving in no-reference mode",
+            loaded.schema_version()
+        ),
+    }
     eprintln!(
         "pae-serve: loaded bundle {hash:016x} (schema v{}, {} attrs, {:.3} ms)",
         loaded.schema_version(),

@@ -45,9 +45,15 @@
 //!   threads, uptime).
 //! * `GET /statusz` → JSON: bundle content hash + schema version,
 //!   uptime, per-route in-flight, windowed quantiles, response-code
-//!   counters, pool utilization, and with `?slow=1` the bounded ring
-//!   of captured slow requests (`--slow-ms` threshold; per-stage
+//!   counters, pool utilization, the extraction-quality verdict
+//!   (`"quality":"ok"|"degraded"`), and with `?slow=1` the bounded
+//!   ring of captured slow requests (`--slow-ms` threshold; per-stage
 //!   timings and a body digest, never the body itself).
+//! * `GET /qualityz` → JSON: the field-quality monitor's view — live
+//!   windowed per-attribute triple rates, empty-extraction and OOV
+//!   rates, value heavy hitters, and drift scores against the bundle's
+//!   freeze-time reference stats (schema v3; `serve.quality.*` on
+//!   `/metrics` mirrors it).
 //!
 //! Requests can also be *sampled* into the obs trace deterministically
 //! (1-in-N by request counter, `PAE_SERVE_TRACE_SAMPLE` — no RNG). All
@@ -62,11 +68,14 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use pae_core::frozen::FrozenExtractor;
+use pae_core::quality::ReferenceStats;
 use pae_core::Triple;
 use pae_obs::json::{self, Json};
 
+mod quality;
 mod telemetry;
 
+use quality::{PageSample, QualityMonitor};
 use telemetry::{RequestTiming, Telemetry};
 
 /// Upper bound on request head (request line + headers).
@@ -106,6 +115,18 @@ pub struct ServerConfig {
     /// Capture requests slower than this many milliseconds into the
     /// bounded slow-request ring (`/statusz?slow=1`); 0 disables.
     pub slow_ms: u64,
+    /// Freeze-time reference stats from the bundle's quality section
+    /// (schema v3; [`pae_core::LoadedBundle::reference`]). `None` runs
+    /// the quality monitor in *no-reference* mode: live field telemetry
+    /// only, no drift scores.
+    pub reference: Option<ReferenceStats>,
+    /// Drift score above which an attribute (PSI over value lengths) or
+    /// backend (Jensen–Shannon over confidences) flags the server
+    /// `degraded`. The default is the conventional PSI "drifted" line.
+    pub drift_threshold: f64,
+    /// Fraction of pages with zero extracted triples (5m window) above
+    /// which the server flags `degraded`.
+    pub empty_rate_threshold: f64,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +139,9 @@ impl Default for ServerConfig {
             bundle_load_ns: 0,
             trace_sample: trace_sample_from_env(),
             slow_ms: 0,
+            reference: None,
+            drift_threshold: 0.25,
+            empty_rate_threshold: 0.5,
         }
     }
 }
@@ -164,11 +188,19 @@ impl Server {
             config.slow_ms,
             n_workers,
         ));
+        let monitor = Arc::new(QualityMonitor::new(
+            shared.attrs().to_vec(),
+            shared.backend_names(),
+            config.reference.clone(),
+            config.drift_threshold,
+            config.empty_rate_threshold,
+        ));
         let mut workers = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
             let rx = Arc::clone(&rx);
             let extractor = Arc::clone(&shared);
             let telemetry = Arc::clone(&telemetry);
+            let monitor = Arc::clone(&monitor);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pae-serve-{i}"))
@@ -178,7 +210,7 @@ impl Server {
                             Err(_) => break, // acceptor gone: shutdown
                         };
                         let _busy = telemetry.worker_busy();
-                        handle_connection(stream, &extractor, &telemetry);
+                        handle_connection(stream, &extractor, &telemetry, &monitor);
                     })
                     .map_err(|e| format!("spawn worker: {e}"))?,
             );
@@ -292,27 +324,32 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor, telemetry: &Telemetry) {
+fn handle_connection(
+    mut stream: TcpStream,
+    extractor: &FrozenExtractor,
+    telemetry: &Telemetry,
+    monitor: &QualityMonitor,
+) {
     let started = Instant::now();
     let _guard = pae_obs::span("serve.request");
     let mut timing = RequestTiming::default();
-    let (route, response) = match read_request(&mut stream) {
+    let (route, response, samples) = match read_request(&mut stream) {
         Ok((method, path, body)) => {
             timing.read_ns = started.elapsed().as_nanos() as u64;
             timing.body_bytes = body.len() as u64;
             timing.body_digest = pae_core::bundle::fnv1a(&body);
             let route = route_name(&method, &path);
             let handle_start = Instant::now();
-            let response = {
+            let (response, samples) = {
                 let _in_flight = telemetry.enter(route);
-                dispatch(route, &method, &path, &body, extractor, telemetry)
+                dispatch(route, &method, &path, &body, extractor, telemetry, monitor)
             };
             timing.handle_ns = handle_start.elapsed().as_nanos() as u64;
-            (route, response)
+            (route, response, samples)
         }
         Err(resp) => {
             timing.read_ns = started.elapsed().as_nanos() as u64;
-            ("malformed", resp)
+            ("malformed", resp, None)
         }
     };
     let status_label = match response.status {
@@ -329,8 +366,12 @@ fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor, telemet
         &[("route", route)],
         started.elapsed().as_nanos() as f64,
     );
+    // The monotonic request id, echoed to the client and stamped on the
+    // slow ring and sampled trace events for cross-correlation.
+    let seq = telemetry.next_seq();
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+         x-pae-request: {seq}\r\nConnection: close\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
@@ -343,8 +384,12 @@ fn handle_connection(mut stream: TcpStream, extractor: &FrozenExtractor, telemet
         .and_then(|()| stream.flush());
     timing.write_ns = write_start.elapsed().as_nanos() as u64;
     // All live telemetry records after the response is on the wire:
-    // sampling and slow-capture cannot influence what was sent.
-    telemetry.record(route, response.status, status_label, &timing);
+    // sampling, slow-capture, and quality monitoring cannot influence
+    // what was sent.
+    telemetry.record(route, response.status, status_label, &timing, seq);
+    if let Some(samples) = samples {
+        monitor.record(telemetry.now_s(), &samples);
+    }
 }
 
 /// Reads one HTTP/1.1 request: `(method, path, body)`. Protocol
@@ -419,7 +464,8 @@ fn route_name(method: &str, path: &str) -> &'static str {
         ("POST", "/extract") => "extract",
         ("GET", "/metrics") => "metrics",
         ("GET", "/statusz") => "statusz",
-        (_, "/healthz" | "/extract" | "/metrics" | "/statusz") => "bad_method",
+        ("GET", "/qualityz") => "qualityz",
+        (_, "/healthz" | "/extract" | "/metrics" | "/statusz" | "/qualityz") => "bad_method",
         _ => "not_found",
     }
 }
@@ -431,21 +477,28 @@ fn dispatch(
     body: &[u8],
     extractor: &FrozenExtractor,
     telemetry: &Telemetry,
-) -> Response {
-    match route {
+    monitor: &QualityMonitor,
+) -> (Response, Option<Vec<PageSample>>) {
+    let response = match route {
         "healthz" => healthz(extractor, telemetry),
-        "extract" => extract(body, extractor),
-        "metrics" => Response::ok_text(pae_obs::export::prometheus::render_live(
-            telemetry.metrics_extra(),
-        )),
+        "extract" => return extract(body, extractor),
+        "metrics" => {
+            let mut metrics = telemetry.metrics_extra();
+            metrics.extend(monitor.metrics(telemetry.now_s()));
+            Response::ok_text(pae_obs::export::prometheus::render_live(metrics))
+        }
         "statusz" => {
             let query = path.split_once('?').map(|(_, q)| q).unwrap_or("");
             let include_slow = query.split('&').any(|kv| kv == "slow=1" || kv == "slow");
-            Response::ok(telemetry.statusz_json(include_slow))
+            Response::ok(
+                telemetry.statusz_json(include_slow, Some(monitor.flag(telemetry.now_s()))),
+            )
         }
+        "qualityz" => Response::ok(monitor.qualityz_json(telemetry.now_s())),
         "bad_method" => Response::error(405, &format!("method {method} not allowed")),
         _ => Response::error(404, &format!("no route {path}")),
-    }
+    };
+    (response, None)
 }
 
 fn healthz(extractor: &FrozenExtractor, telemetry: &Telemetry) -> Response {
@@ -457,28 +510,38 @@ fn healthz(extractor: &FrozenExtractor, telemetry: &Telemetry) -> Response {
     ))
 }
 
-fn extract(body: &[u8], extractor: &FrozenExtractor) -> Response {
+fn extract(body: &[u8], extractor: &FrozenExtractor) -> (Response, Option<Vec<PageSample>>) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+        Err(_) => return (Response::error(400, "body is not UTF-8"), None),
     };
     let doc = match Json::parse(text) {
         Ok(d) => d,
-        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        Err(e) => {
+            return (
+                Response::error(400, &format!("invalid JSON body: {e}")),
+                None,
+            )
+        }
     };
     let pages = match parse_pages(&doc) {
         Ok(p) => p,
-        Err(e) => return Response::error(400, &e),
+        Err(e) => return (Response::error(400, &e), None),
     };
     let n_pages = pages.len();
-    let triples = if let [(product, html)] = pages.as_slice() {
-        extractor.extract_page(*product, html)
+    // The observed path returns byte-identical triples plus a per-page
+    // read-only overlay (tokens, OOV, backend confidences) that the
+    // quality monitor folds in *after* the response is written.
+    let per_page: Vec<PageSample> = if let [(product, html)] = pages.as_slice() {
+        vec![extractor.extract_page_observed(*product, html)]
     } else {
-        extractor.extract_pages(&pages)
+        extractor.extract_pages_observed(&pages)
     };
+    let n_triples: usize = per_page.iter().map(|(t, _)| t.len()).sum();
     pae_obs::counter_add("serve.pages", &[], n_pages as u64);
-    pae_obs::counter_add("serve.triples", &[], triples.len() as u64);
-    Response::ok(render_triples(n_pages, &triples))
+    pae_obs::counter_add("serve.triples", &[], n_triples as u64);
+    let body = render_triples(n_pages, per_page.iter().flat_map(|(t, _)| t));
+    (Response::ok(body), Some(per_page))
 }
 
 /// Accepts `{"product":N,"html":"…"}` or `{"pages":[{…},…]}`.
@@ -513,9 +576,9 @@ fn parse_page(item: &Json) -> Result<(u32, String), String> {
     Ok((product, html.to_owned()))
 }
 
-fn render_triples(pages: usize, triples: &[Triple]) -> String {
+fn render_triples<'a>(pages: usize, triples: impl IntoIterator<Item = &'a Triple>) -> String {
     let mut out = format!("{{\"pages\":{pages},\"triples\":[");
-    for (i, t) in triples.iter().enumerate() {
+    for (i, t) in triples.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -540,6 +603,22 @@ pub fn http_request(
     path: &str,
     body: &str,
 ) -> Result<(u16, String), String> {
+    let (status, _, body) = http_request_with_headers(addr, method, path, body)?;
+    Ok((status, body))
+}
+
+/// Response headers as lower-cased `(name, value)` pairs.
+pub type Headers = Vec<(String, String)>;
+
+/// Like [`http_request`], but also returns the response [`Headers`] —
+/// e.g. to read the `x-pae-request` id the server stamps on every
+/// response.
+pub fn http_request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, Headers, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -557,12 +636,18 @@ pub fn http_request(
     let (head, payload) = text
         .split_once("\r\n\r\n")
         .ok_or("response has no header/body separator")?;
-    let status = head
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("malformed status line: {head:?}"))?;
-    Ok((status, payload.to_owned()))
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+        .collect();
+    Ok((status, headers, payload.to_owned()))
 }
 
 /// Parses an `/extract` response body back into triples.

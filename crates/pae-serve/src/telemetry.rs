@@ -28,10 +28,12 @@ use pae_obs::{FieldValue, Histogram, MetricKey, MetricValue, WindowedCounter, Wi
 
 /// Windowed rings: 5-second epochs × 60 slots = 300 s span, enough to
 /// answer both the 1m and 5m windows exposed on `/metrics`/`/statusz`.
-const EPOCH_S: u64 = 5;
-const N_SLOTS: usize = 60;
+/// Shared with the quality monitor so latency and field-quality windows
+/// line up.
+pub(crate) const EPOCH_S: u64 = 5;
+pub(crate) const N_SLOTS: usize = 60;
 /// The windows rendered as quantile gauges, label → width.
-const WINDOWS: [(&str, u64); 2] = [("1m", 60), ("5m", 300)];
+pub(crate) const WINDOWS: [(&str, u64); 2] = [("1m", 60), ("5m", 300)];
 /// Quantiles rendered per route and window.
 const QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)];
 /// Capacity of the slow-request ring (oldest dropped first).
@@ -160,18 +162,38 @@ impl Telemetry {
         InFlightGuard { t: self, route }
     }
 
-    /// Records a finished request. Returns its sequence number.
-    /// Everything observable happens here, strictly after the response
-    /// was written.
+    /// Allocates the next monotonic request id. The connection handler
+    /// calls this before writing the response head so the id can be
+    /// echoed back as the `x-pae-request` header, then passes it to
+    /// [`Telemetry::record`] so the slow ring and sampled trace events
+    /// carry the same id the client saw.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a finished request under its pre-allocated sequence
+    /// number. Everything observable happens here, strictly after the
+    /// response was written.
     pub(crate) fn record(
         &self,
         route: &'static str,
         status: u16,
         status_label: &'static str,
         timing: &RequestTiming,
-    ) -> u64 {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let now_s = self.now_s();
+        seq: u64,
+    ) {
+        self.record_at(self.now_s(), route, status, status_label, timing, seq);
+    }
+
+    fn record_at(
+        &self,
+        now_s: u64,
+        route: &'static str,
+        status: u16,
+        status_label: &'static str,
+        timing: &RequestTiming,
+        seq: u64,
+    ) {
         let total_ns = timing.total_ns();
         {
             let mut inner = self.inner.lock().expect("telemetry lock poisoned");
@@ -221,14 +243,16 @@ impl Telemetry {
                 ],
             );
         }
-        seq
     }
 
     /// The live metrics merged into `/metrics` next to the global
     /// registry: `serve.live.*` counters/gauges/histograms plus
     /// `process.*` gauges, all registry-shaped.
     pub(crate) fn metrics_extra(&self) -> Vec<(MetricKey, MetricValue)> {
-        let now_s = self.now_s();
+        self.metrics_extra_at(self.now_s())
+    }
+
+    fn metrics_extra_at(&self, now_s: u64) -> Vec<(MetricKey, MetricValue)> {
         let key = |name: &str, labels: &[(&str, &str)]| MetricKey {
             name: name.to_owned(),
             labels: labels
@@ -311,13 +335,19 @@ impl Telemetry {
                 continue;
             };
             for (window, width) in WINDOWS {
+                // A window with no samples has no quantiles: emitting 0
+                // would read as "p99 = 0 ns". Skip the family instead.
+                let merged = windowed.window(now_s, width);
+                if merged.count == 0 {
+                    continue;
+                }
                 for (q_label, q) in QUANTILES {
                     out.push((
                         key(
                             "serve.live.latency_ns",
                             &[("q", q_label), ("route", route), ("window", window)],
                         ),
-                        MetricValue::Gauge(windowed.quantile(now_s, width, q)),
+                        MetricValue::Gauge(merged.quantile(q)),
                     ));
                 }
             }
@@ -326,10 +356,15 @@ impl Telemetry {
     }
 
     /// The `/statusz` JSON document. `include_slow` adds the captured
-    /// slow-request ring (`?slow=1`).
-    pub(crate) fn statusz_json(&self, include_slow: bool) -> String {
+    /// slow-request ring (`?slow=1`); `quality` is the extraction
+    /// quality monitor's `ok`/`degraded` verdict (`None` when rendered
+    /// without a monitor, e.g. in telemetry-only tests).
+    pub(crate) fn statusz_json(&self, include_slow: bool, quality: Option<&str>) -> String {
+        self.statusz_json_at(self.now_s(), include_slow, quality)
+    }
+
+    fn statusz_json_at(&self, now_s: u64, include_slow: bool, quality: Option<&str>) -> String {
         use std::fmt::Write as _;
-        let now_s = self.now_s();
         let inner = self.inner.lock().expect("telemetry lock poisoned");
         let mut out = String::with_capacity(1024);
         let _ = write!(
@@ -343,6 +378,9 @@ impl Telemetry {
             self.uptime_seconds(),
             self.seq.load(Ordering::Relaxed)
         );
+        if let Some(q) = quality {
+            let _ = write!(out, ",\"quality\":\"{q}\"");
+        }
         let busy = self.busy.load(Ordering::Relaxed);
         let _ = write!(
             out,
@@ -393,13 +431,16 @@ impl Telemetry {
                 };
                 let _ = write!(out, "{}\"{route}\":{{", if first { "" } else { "," });
                 first = false;
+                // An empty window has no quantiles: render null, not a
+                // fake 0 ns latency.
+                let merged = windowed.window(now_s, *width);
                 for (qi, (q_label, q)) in QUANTILES.iter().enumerate() {
-                    let _ = write!(
-                        out,
-                        "{}\"{q_label}_ns\":{:.0}",
-                        if qi > 0 { "," } else { "" },
-                        windowed.quantile(now_s, *width, *q)
-                    );
+                    let _ = write!(out, "{}\"{q_label}_ns\":", if qi > 0 { "," } else { "" });
+                    if merged.count == 0 {
+                        out.push_str("null");
+                    } else {
+                        let _ = write!(out, "{:.0}", merged.quantile(*q));
+                    }
                 }
                 out.push('}');
             }
@@ -486,9 +527,9 @@ mod tests {
     fn records_accumulate_and_render() {
         let t = Telemetry::new(0xabc, 1, 0, 0, 0, 4);
         for _ in 0..5 {
-            t.record("extract", 200, "200", &timing(1));
+            t.record("extract", 200, "200", &timing(1), t.next_seq());
         }
-        t.record("not_found", 404, "404", &timing(0));
+        t.record("not_found", 404, "404", &timing(0), t.next_seq());
         let metrics = t.metrics_extra();
         let get = |name: &str, labels: &[(&str, &str)]| {
             metrics
@@ -530,9 +571,9 @@ mod tests {
     #[test]
     fn statusz_is_valid_json_with_expected_fields() {
         let t = Telemetry::new(0x1234, 2, 77, 0, 10, 4);
-        t.record("extract", 200, "200", &timing(50)); // 50ms > 10ms: slow
-        t.record("extract", 200, "200", &timing(0));
-        let doc = Json::parse(&t.statusz_json(true)).expect("statusz is JSON");
+        t.record("extract", 200, "200", &timing(50), t.next_seq()); // 50ms > 10ms: slow
+        t.record("extract", 200, "200", &timing(0), t.next_seq());
+        let doc = Json::parse(&t.statusz_json(true, None)).expect("statusz is JSON");
         assert_eq!(
             doc.get("bundle")
                 .and_then(|b| b.get("content_hash"))
@@ -563,7 +604,7 @@ mod tests {
             Some("extract")
         );
         // Without include_slow the ring is summarized but not dumped.
-        let brief = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let brief = Json::parse(&t.statusz_json(false, None)).expect("JSON");
         assert!(brief.get("slow").unwrap().get("requests").is_none());
     }
 
@@ -571,9 +612,9 @@ mod tests {
     fn slow_ring_is_bounded_drop_oldest() {
         let t = Telemetry::new(0, 1, 0, 0, 1, 2);
         for _ in 0..(SLOW_RING + 10) {
-            t.record("extract", 200, "200", &timing(5));
+            t.record("extract", 200, "200", &timing(5), t.next_seq());
         }
-        let doc = Json::parse(&t.statusz_json(true)).expect("JSON");
+        let doc = Json::parse(&t.statusz_json(true, None)).expect("JSON");
         let slow = doc.get("slow").unwrap();
         assert_eq!(
             slow.get("seen").and_then(Json::as_u64),
@@ -592,7 +633,7 @@ mod tests {
         let t = Telemetry::new(0, 1, 0, 0, 0, 2);
         // Unprofiled: RSS fields present (real or null), allocator
         // counters absent.
-        let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let doc = Json::parse(&t.statusz_json(false, None)).expect("JSON");
         let mem = doc.get("memory").expect("memory block");
         assert_eq!(mem.get("profiling"), Some(&Json::Bool(false)));
         assert!(mem.get("rss_bytes").is_some());
@@ -605,7 +646,7 @@ mod tests {
 
         // Profiled: counters appear in both /statusz and /metrics.
         pae_obs::set_prof_enabled(true);
-        let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let doc = Json::parse(&t.statusz_json(false, None)).expect("JSON");
         let metrics = t.metrics_extra();
         pae_obs::set_prof_enabled(false);
         let mem = doc.get("memory").expect("memory block");
@@ -625,12 +666,73 @@ mod tests {
     }
 
     #[test]
+    fn empty_windows_render_null_not_zero() {
+        let t = Telemetry::new(0, 1, 0, 0, 0, 2);
+        // Record far in the past: by "now" (t=0 .. a few ms) both the
+        // 1m and 5m windows... actually the reverse: record at a large
+        // now_s, then render at an epoch far past it, so every windowed
+        // slot has aged out while the cumulative histogram still holds
+        // the sample.
+        t.record_at(0, "extract", 200, "200", &timing(1), t.next_seq());
+        let doc = Json::parse(&t.statusz_json_at(10_000, false, None)).expect("JSON");
+        let route = doc
+            .get("windows")
+            .and_then(|w| w.get("1m"))
+            .and_then(|w| w.get("routes"))
+            .and_then(|r| r.get("extract"))
+            .expect("route block still listed");
+        assert_eq!(
+            route.get("p50_ns"),
+            Some(&Json::Null),
+            "empty window → null"
+        );
+        assert_eq!(route.get("p99_ns"), Some(&Json::Null));
+        let metrics = t.metrics_extra_at(10_000);
+        assert!(
+            !metrics
+                .iter()
+                .any(|(k, _)| k.name == "serve.live.latency_ns"),
+            "empty windows must omit the latency family, not emit 0"
+        );
+        // Cumulative per-route histogram is unaffected by window aging.
+        assert!(metrics
+            .iter()
+            .any(|(k, _)| k.name == "serve.live.request_ns"));
+
+        // With a fresh sample in-window the quantiles come back.
+        t.record_at(10_000, "extract", 200, "200", &timing(1), t.next_seq());
+        let doc = Json::parse(&t.statusz_json_at(10_000, false, None)).expect("JSON");
+        let p50 = doc
+            .get("windows")
+            .and_then(|w| w.get("1m"))
+            .and_then(|w| w.get("routes"))
+            .and_then(|r| r.get("extract"))
+            .and_then(|r| r.get("p50_ns"))
+            .and_then(Json::as_f64)
+            .expect("non-empty window renders a number");
+        assert!(p50 > 0.0);
+        assert!(t
+            .metrics_extra_at(10_000)
+            .iter()
+            .any(|(k, _)| k.name == "serve.live.latency_ns"));
+    }
+
+    #[test]
+    fn statusz_carries_the_quality_flag_when_given() {
+        let t = Telemetry::new(0, 1, 0, 0, 0, 2);
+        let doc = Json::parse(&t.statusz_json(false, Some("degraded"))).expect("JSON");
+        assert_eq!(doc.get("quality").and_then(Json::as_str), Some("degraded"));
+        let doc = Json::parse(&t.statusz_json(false, None)).expect("JSON");
+        assert!(doc.get("quality").is_none());
+    }
+
+    #[test]
     fn in_flight_and_busy_guards_balance() {
         let t = Telemetry::new(0, 1, 0, 0, 0, 4);
         {
             let _b = t.worker_busy();
             let _g = t.enter("extract");
-            let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+            let doc = Json::parse(&t.statusz_json(false, None)).expect("JSON");
             assert_eq!(
                 doc.get("in_flight")
                     .unwrap()
@@ -643,7 +745,7 @@ mod tests {
                 Some(1)
             );
         }
-        let doc = Json::parse(&t.statusz_json(false)).expect("JSON");
+        let doc = Json::parse(&t.statusz_json(false, None)).expect("JSON");
         assert_eq!(
             doc.get("in_flight")
                 .unwrap()

@@ -3,7 +3,7 @@
 //! frozen model written in schema v1 (eager) and schema v2 (zero-copy)
 //! by `pae-bench freeze --schema 1|2` with MASTER_SEED=42.
 //!
-//! Three guarantees:
+//! Four guarantees:
 //!
 //! 1. **Backward compat** — schema-v1 bundles written before the
 //!    compaction still load (legacy eager path) and decode to the same
@@ -14,12 +14,16 @@
 //! 3. **Serve-vs-direct** — an HTTP server answering from the
 //!    zero-copy extractor returns exactly the triples direct in-process
 //!    extraction produces.
+//! 4. **No-reference mode** — pre-v3 bundles carry no freeze-time
+//!    reference stats; they must report `reference() == Ok(None)` and
+//!    keep serving, while the current (v3) encoding round-trips the
+//!    reference-stats section intact.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use pae::core::frozen::FrozenExtractor;
-use pae::core::{LoadedBundle, Triple, BUNDLE_SCHEMA_VERSION};
+use pae::core::{LoadedBundle, Triple, BUNDLE_SCHEMA_V2, BUNDLE_SCHEMA_VERSION};
 use pae::runtime::with_jobs;
 use pae::serve::{http_request, parse_extract_response, Server, ServerConfig};
 use pae::synth::{CategoryKind, DatasetSpec};
@@ -61,7 +65,11 @@ fn v1_fixture_loads_through_the_legacy_path() {
 fn v1_and_v2_fixtures_hold_the_same_model() {
     let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
     let v2 = LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
-    assert_eq!(v2.schema_version(), BUNDLE_SCHEMA_VERSION);
+    assert_eq!(
+        v2.schema_version(),
+        BUNDLE_SCHEMA_V2,
+        "fixture must be schema v2"
+    );
     assert_eq!(
         v1.model().expect("v1 model"),
         v2.model().expect("v2 model"),
@@ -71,16 +79,81 @@ fn v1_and_v2_fixtures_hold_the_same_model() {
 
 /// Re-encoding the model materialized from a legacy bundle must
 /// reproduce the v2 fixture bit for bit: the migration path
-/// (load v1 → encode) is deterministic and canonical.
+/// (load v1 → encode_v2) is deterministic and canonical.
 #[test]
 fn reencoding_a_v1_model_is_byte_identical_to_the_v2_fixture() {
     let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
     let model = v1.model().expect("v1 model");
     assert_eq!(
-        pae::core::bundle::encode(&model),
+        pae::core::bundle::encode_v2(&model),
         fixture_bytes("smoke_v2.paeb"),
-        "encode(model_from_v1) != committed v2 bytes"
+        "encode_v2(model_from_v1) != committed v2 bytes"
     );
+}
+
+/// Pre-v3 bundles have no reference-stats section: both fixtures must
+/// report `Ok(None)` — the monitor's "no-reference mode", never an
+/// error — and the v2 extractor keeps working without one.
+#[test]
+fn pre_v3_fixtures_load_in_no_reference_mode() {
+    for name in ["smoke_v1.paeb", "smoke_v2.paeb"] {
+        let loaded = LoadedBundle::from_bytes(fixture_bytes(name)).expect("fixture loads");
+        assert_eq!(
+            loaded
+                .reference()
+                .expect("reference never errors on fixtures"),
+            None,
+            "{name}: pre-v3 bundle invented reference stats"
+        );
+    }
+    let v2 = LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
+    let extractor = v2.extractor().expect("no-reference bundle still serves");
+    assert!(!extract_at(&extractor, &fixture_pages(), 1).is_empty());
+}
+
+/// The current encoder emits schema v3 and round-trips the optional
+/// reference-stats section exactly — both absent (legacy model) and
+/// present (synthetic stats grafted onto the fixture model).
+#[test]
+fn v3_encoding_round_trips_reference_stats() {
+    use pae::core::quality::{CONF_BUCKETS, LEN_BUCKETS};
+    use pae::core::{AttrReference, BackendReference, ReferenceStats};
+
+    let v1 = LoadedBundle::from_bytes(fixture_bytes("smoke_v1.paeb")).expect("v1 loads");
+    let mut model = v1.model().expect("v1 model");
+    assert_eq!(model.reference, None, "legacy model carries no stats");
+
+    // Absent: a reference-free model still encodes as v3, loads, and
+    // reports no-reference mode.
+    let bare = pae::core::bundle::encode(&model);
+    let loaded = LoadedBundle::from_bytes(bare).expect("v3 loads");
+    assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_VERSION);
+    assert_eq!(loaded.reference().expect("decodes"), None);
+    assert_eq!(loaded.model().expect("model"), model);
+
+    // Present: stats survive encode → load byte-exactly.
+    let stats = ReferenceStats {
+        pages: 60,
+        empty_pages: 3,
+        total_triples: 410,
+        tokens: 9000,
+        oov_tokens: 120,
+        backends: vec![BackendReference {
+            backend: "crf".to_owned(),
+            confidence: (0..CONF_BUCKETS as u64).collect(),
+        }],
+        attrs: vec![AttrReference {
+            attribute: "suction".to_owned(),
+            triples: 41,
+            top_values: vec![("2000pa".to_owned(), 17), ("1800pa".to_owned(), 9)],
+            value_len: (0..LEN_BUCKETS as u64).rev().collect(),
+        }],
+    };
+    model.reference = Some(stats.clone());
+    let loaded = LoadedBundle::from_bytes(pae::core::bundle::encode(&model)).expect("v3 loads");
+    assert_eq!(loaded.schema_version(), BUNDLE_SCHEMA_VERSION);
+    assert_eq!(loaded.reference().expect("decodes"), Some(stats));
+    assert_eq!(loaded.model().expect("model"), model);
 }
 
 fn extract_at(extractor: &FrozenExtractor, pages: &[(u32, String)], jobs: usize) -> Vec<Triple> {
@@ -122,8 +195,7 @@ fn zero_copy_extraction_matches_eager_at_any_job_count() {
 /// in-process extraction produces, at both pool widths.
 #[test]
 fn serve_from_v2_bundle_matches_direct_extraction() {
-    let loaded =
-        LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
+    let loaded = LoadedBundle::from_bytes(fixture_bytes("smoke_v2.paeb")).expect("v2 loads");
     let pages = fixture_pages();
     let direct = loaded.extractor().expect("extractor");
     let at_one = extract_at(&direct, &pages, 1);
